@@ -1,0 +1,187 @@
+// Ablation: ahead-of-time layout transform (DMA) versus on-the-fly packing.
+//
+// Related Work positions AXI-Pack against data-layout-transform (DLT)
+// accelerators like PLANAR: those gain bus efficiency by rearranging data
+// in memory ahead of use, at the cost of extra memory traffic and an extra
+// pass. With AXI-Pack both strategies are available from the same
+// protocol:
+//
+//   on-the-fly      — the consumer streams strided data directly via pack
+//                     bursts (one pass, no staging buffer);
+//   ahead-of-time   — an AXI-Pack DMA first gathers the data to a
+//                     contiguous buffer, then the consumer streams it with
+//                     plain bursts (two passes; pays off only under reuse).
+//
+// The bench sweeps the reuse count: on-the-fly pays the strided cost every
+// pass, ahead-of-time pays gather + cheap contiguous passes. The crossover
+// quantifies when a DLT pass is worth it — with AXI-Pack's packed strided
+// bursts the answer is "almost never" for bank-friendly strides, which is
+// the paper's argument for protocol-level packing.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "dma/descriptor.hpp"
+#include "dma/engine.hpp"
+#include "mem/banked_memory.hpp"
+#include "pack/adapter.hpp"
+#include "sim/kernel.hpp"
+
+namespace {
+
+using namespace axipack;
+
+struct Fabric {
+  sim::Kernel kernel;
+  mem::BackingStore store{0x8000'0000ull, 64ull << 20};
+  std::unique_ptr<axi::AxiPort> port;
+  std::unique_ptr<mem::BankedMemory> memory;
+  std::unique_ptr<pack::AxiPackAdapter> adapter;
+  std::unique_ptr<dma::DmaEngine> engine;
+
+  explicit Fabric(bool use_pack) {
+    port = std::make_unique<axi::AxiPort>(kernel, 2, "dma");
+    mem::BankedMemoryConfig mc;
+    mc.num_ports = 8;
+    mc.num_banks = 17;
+    memory = std::make_unique<mem::BankedMemory>(kernel, store, mc);
+    pack::AdapterConfig ac;
+    adapter = std::make_unique<pack::AxiPackAdapter>(kernel, *port, *memory,
+                                                     ac);
+    dma::DmaConfig dc;
+    dc.use_pack = use_pack;
+    engine = std::make_unique<dma::DmaEngine>(kernel, *port, dc);
+  }
+
+  std::uint64_t run_job(const dma::Descriptor& d) {
+    const std::uint64_t start = kernel.now();
+    engine->push(d);
+    kernel.run_until([&] { return engine->idle() && adapter->idle(); },
+                     50'000'000);
+    return kernel.now() - start;
+  }
+};
+
+constexpr std::uint64_t kElems = 1024;
+
+/// Per-stride single-pass costs.
+struct Costs {
+  std::uint64_t contig = 0;   ///< contiguous pass
+  std::uint64_t strided = 0;  ///< strided pass, pack burst
+  std::uint64_t gather = 0;   ///< DLT gather, pack DMA
+  std::uint64_t narrow = 0;   ///< DLT gather, narrow (per-element) DMA
+};
+
+Costs measure(std::int64_t stride) {
+  Costs c;
+  // Pack-mode fabric covers the contiguous pass, the on-the-fly strided
+  // pass, and the pack-DMA gather.
+  Fabric fab(true);
+  const std::uint64_t src =
+      fab.store.alloc(kElems * static_cast<std::uint64_t>(stride) + 64, 64);
+  const std::uint64_t staging = fab.store.alloc(kElems * 4, 64);
+  const std::uint64_t sink = fab.store.alloc(kElems * 4, 64);
+  for (std::uint64_t i = 0; i < kElems; ++i) {
+    fab.store.write_u32(src + i * static_cast<std::uint64_t>(stride),
+                        std::uint32_t(i));
+  }
+
+  dma::Descriptor strided_pass;
+  strided_pass.src = dma::Pattern::strided(src, stride);
+  strided_pass.dst = dma::Pattern::contiguous(sink);
+  strided_pass.elem_bytes = 4;
+  strided_pass.num_elems = kElems;
+  c.strided = fab.run_job(strided_pass);
+
+  dma::Descriptor dlt = strided_pass;
+  dlt.dst = dma::Pattern::contiguous(staging);
+  c.gather = fab.run_job(dlt);
+
+  dma::Descriptor contig_pass;
+  contig_pass.src = dma::Pattern::contiguous(staging);
+  contig_pass.dst = dma::Pattern::contiguous(sink);
+  contig_pass.elem_bytes = 4;
+  contig_pass.num_elems = kElems;
+  c.contig = fab.run_job(contig_pass);
+
+  // Separate fabric for the conventional narrow-burst gather engine.
+  Fabric nf(false);
+  const std::uint64_t nsrc =
+      nf.store.alloc(kElems * static_cast<std::uint64_t>(stride) + 64, 64);
+  const std::uint64_t ndst = nf.store.alloc(kElems * 4, 64);
+  for (std::uint64_t i = 0; i < kElems; ++i) {
+    nf.store.write_u32(nsrc + i * static_cast<std::uint64_t>(stride),
+                       std::uint32_t(i));
+  }
+  dma::Descriptor narrow_gather;
+  narrow_gather.src = dma::Pattern::strided(nsrc, stride);
+  narrow_gather.dst = dma::Pattern::contiguous(ndst);
+  narrow_gather.elem_bytes = 4;
+  narrow_gather.num_elems = kElems;
+  c.narrow = nf.run_job(narrow_gather);
+  return c;
+}
+
+void emit() {
+  bench::figure_header("Ablation",
+                       "DLT (ahead-of-time DMA) vs on-the-fly packing");
+
+  // Stride 40 B (10 words) is coprime with the 17 banks — the common case.
+  // Stride 68 B (17 words) puts every element in the same bank — the
+  // pathology where even packed bursts serialize at one word per cycle.
+  for (const std::int64_t stride : {std::int64_t{40}, std::int64_t{68}}) {
+    const Costs c = measure(stride);
+    std::printf("single-pass costs (%llu elements, stride %lld B%s):\n",
+                static_cast<unsigned long long>(kElems),
+                static_cast<long long>(stride),
+                stride == 68 ? " — same-bank pathology on 17 banks" : "");
+    util::Table costs({"operation", "cycles", "vs contiguous"});
+    costs.row().cell("contiguous pass").cell(c.contig).cell(1.0, 2);
+    costs.row()
+        .cell("strided pass (pack burst)")
+        .cell(c.strided)
+        .cell(static_cast<double>(c.strided) / c.contig, 2);
+    costs.row()
+        .cell("DLT gather (pack DMA)")
+        .cell(c.gather)
+        .cell(static_cast<double>(c.gather) / c.contig, 2);
+    costs.row()
+        .cell("DLT gather (narrow DMA)")
+        .cell(c.narrow)
+        .cell(static_cast<double>(c.narrow) / c.contig, 2);
+    costs.print(std::cout);
+
+    std::printf("\ntotal cost over R reuse passes:\n");
+    util::Table table({"reuses", "on-the-fly (pack)",
+                       "DLT+contig (pack DMA)", "DLT+contig (narrow DMA)",
+                       "best"});
+    for (const unsigned reuses : {1u, 2u, 4u, 8u, 16u}) {
+      const std::uint64_t fly = c.strided * reuses;
+      const std::uint64_t dlt_pack = c.gather + c.contig * reuses;
+      const std::uint64_t dlt_narrow = c.narrow + c.contig * reuses;
+      const char* best = fly <= dlt_pack && fly <= dlt_narrow
+                             ? "on-the-fly"
+                         : dlt_pack <= dlt_narrow ? "DLT (pack)"
+                                                  : "DLT (narrow)";
+      table.row()
+          .cell(std::to_string(reuses))
+          .cell(fly)
+          .cell(dlt_pack)
+          .cell(dlt_narrow)
+          .cell(best);
+    }
+    table.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf("design takeaway: with bank-friendly strides the packed "
+              "on-the-fly stream is nearly\ncontiguous-fast and a DLT pass "
+              "only pays off under reuse; in the same-bank pathology\nthe "
+              "gather amortizes after two passes. Either way the AXI-Pack "
+              "DMA performs the DLT\npass cheaper than a conventional "
+              "narrow-burst engine.\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return axipack::bench::run_bench_main(argc, argv, emit);
+}

@@ -1,0 +1,69 @@
+// Ablation: decoupling-queue depth versus read-bus utilization.
+//
+// The paper fixes the converters' decoupling queues at depth 4 for the
+// system evaluation (§III-C) and raises them to 32 for the sensitivity
+// analysis "to avoid bottlenecks unrelated to our analysis" (§III-E). This
+// ablation quantifies that design choice: it sweeps the depth from 1 to 32
+// on strided and indirect read streams and shows where utilization
+// saturates. Note the model's word path crosses two more registered FIFO
+// hops than the RTL (port mux request/response stages), so model depth 8
+// covers the bank round trip the RTL's depth 4 does — which is why the
+// evaluation systems default to 8 (systems/config.hpp).
+#include "bench_common.hpp"
+#include "systems/sensitivity.hpp"
+
+namespace {
+
+using namespace axipack;
+
+void emit() {
+  bench::figure_header("Ablation", "decoupling-queue depth (paper: 4 in "
+                       "system runs, 32 in sensitivity runs)");
+  util::Table table({"depth", "strided s=1", "strided s=17", "strided avg",
+                     "indirect 32/32", "indirect 32/8"});
+  for (const unsigned depth : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    sys::SensitivityConfig cfg;
+    cfg.queue_depth = depth;
+
+    cfg.indirect = false;
+    cfg.stride_elems = 1;
+    const double unit = sys::measure_read_utilization(cfg).r_util;
+    // Stride equal to the bank count is the pathological case prime-banked
+    // memories still serialize; deeper queues hide part of the stall.
+    cfg.stride_elems = 17;
+    const double worst = sys::measure_read_utilization(cfg).r_util;
+
+    double avg = 0.0;
+    const int kStrides = 16;
+    for (int s = 1; s <= kStrides; ++s) {
+      cfg.stride_elems = s;
+      avg += sys::measure_read_utilization(cfg).r_util;
+    }
+    avg /= kStrides;
+
+    cfg.indirect = true;
+    cfg.index_bits = 32;
+    const double ind32 = sys::measure_read_utilization(cfg).r_util;
+    cfg.index_bits = 8;
+    const double ind8 = sys::measure_read_utilization(cfg).r_util;
+
+    table.row()
+        .cell(std::to_string(depth))
+        .cell(util::fmt_pct(unit))
+        .cell(util::fmt_pct(worst))
+        .cell(util::fmt_pct(avg))
+        .cell(util::fmt_pct(ind32))
+        .cell(util::fmt_pct(ind8));
+  }
+  table.print(std::cout);
+  std::printf("\ndesign takeaway: depth 4 recovers most of the strided "
+              "utilization on 17 banks;\nrandom-index indirect streams keep "
+              "gaining from deeper queues, which is why the\npaper's "
+              "sensitivity study raises the depth to 32.\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return axipack::bench::run_bench_main(argc, argv, emit);
+}

@@ -1,0 +1,40 @@
+// Shared helpers for the figure-reproduction benches: every binary prints
+// the paper-style series with `paper:` reference rows, then (optionally)
+// runs google-benchmark timers over representative simulations when invoked
+// with --gbench.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace axipack::bench {
+
+/// Prints the standard figure header.
+inline void figure_header(const char* fig, const char* title) {
+  std::printf("==========================================================\n");
+  std::printf("%s — %s\n", fig, title);
+  std::printf("==========================================================\n");
+}
+
+/// Runs main-like entry: `emit()` prints the figure tables; if --gbench is
+/// passed, google-benchmark runs whatever benchmarks the binary registered.
+inline int run_bench_main(int argc, char** argv, void (*emit)()) {
+  bool gbench = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gbench") == 0) gbench = true;
+  }
+  emit();
+  if (gbench) {
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+  }
+  return 0;
+}
+
+}  // namespace axipack::bench

@@ -1,0 +1,81 @@
+// Fig. 3a: speedups over BASE and read-bus utilizations (with and without
+// index traffic) for all six workloads on the three systems.
+//
+// Paper reference points (256-bit bus): peak speedups 5.4x (ismt) strided /
+// 2.4x (spmv) indirect; bus utilizations up to 87% (gemv) / 39% (sssp);
+// PACK reaches ~97% of IDEAL on average.
+#include "bench_common.hpp"
+#include "systems/runner.hpp"
+
+namespace {
+
+using namespace axipack;
+
+struct PaperRef {
+  wl::KernelKind kernel;
+  double pack_speedup;  ///< approximate bar heights from Fig. 3a
+  double ideal_speedup;
+  double pack_r_util;
+};
+
+// Reference values read from the published figure (approximate where the
+// paper gives no exact number in the text).
+const PaperRef kPaper[] = {
+    {wl::KernelKind::ismt, 5.4, 5.9, 0.50},
+    {wl::KernelKind::gemv, 2.4, 2.5, 0.87},
+    {wl::KernelKind::trmv, 2.0, 2.1, 0.72},
+    {wl::KernelKind::spmv, 2.4, 2.5, 0.33},
+    {wl::KernelKind::prank, 2.2, 2.3, 0.35},
+    {wl::KernelKind::sssp, 2.1, 2.2, 0.39},
+};
+
+void emit() {
+  bench::figure_header("Fig. 3a", "speedups and R-bus utilizations");
+  util::Table table({"workload", "base cyc", "pack cyc", "ideal cyc",
+                     "pack speedup", "ideal speedup", "pack R util",
+                     "R util w/o idx", "pack/ideal", "paper speedup",
+                     "paper R util", "ok"});
+  double frac_sum = 0.0;
+  for (const PaperRef& ref : kPaper) {
+    const auto base = sys::run_default(ref.kernel, sys::SystemKind::base);
+    const auto pack = sys::run_default(ref.kernel, sys::SystemKind::pack);
+    const auto ideal = sys::run_default(ref.kernel, sys::SystemKind::ideal);
+    const double pack_speedup =
+        static_cast<double>(base.cycles) / pack.cycles;
+    const double ideal_speedup =
+        static_cast<double>(base.cycles) / ideal.cycles;
+    frac_sum += static_cast<double>(ideal.cycles) / pack.cycles;
+    table.row()
+        .cell(wl::kernel_name(ref.kernel))
+        .cell(base.cycles)
+        .cell(pack.cycles)
+        .cell(ideal.cycles)
+        .cell(pack_speedup, 2)
+        .cell(ideal_speedup, 2)
+        .cell(util::fmt_pct(pack.r_util))
+        .cell(util::fmt_pct(pack.r_util_no_idx))
+        .cell(util::fmt_pct(static_cast<double>(ideal.cycles) / pack.cycles))
+        .cell(ref.pack_speedup, 1)
+        .cell(util::fmt_pct(ref.pack_r_util))
+        .cell(base.correct && pack.correct && ideal.correct ? "yes" : "NO");
+  }
+  table.print(std::cout);
+  std::printf("\nPACK reaches %.1f%% of IDEAL on average "
+              "(paper: 97%%)\n\n",
+              frac_sum / 6.0 * 100.0);
+}
+
+void bm_fig3a_pack_spmv(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto r = sys::run_default(wl::KernelKind::spmv,
+                                    sys::SystemKind::pack);
+    state.counters["sim_cycles"] = static_cast<double>(r.cycles);
+  }
+}
+BENCHMARK(bm_fig3a_pack_spmv)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return axipack::bench::run_bench_main(argc, argv, emit);
+}

@@ -1,0 +1,58 @@
+// Fig. 3e: spmv PACK speedup over BASE versus average nonzeros per row
+// (2..390) and bus width.
+//
+// Paper reference: speedups converge to 1.4x / 1.8x / 2.4x for 64/128/256
+// bit; the nonzeros per row set stream length per row iteration, so the
+// scaling mirrors Fig. 3d.
+#include "bench_common.hpp"
+#include "systems/runner.hpp"
+
+namespace {
+
+using namespace axipack;
+
+double speedup_at(unsigned bus_bits, std::uint32_t nnz) {
+  auto mk = [&](sys::SystemKind kind) {
+    auto cfg = sys::default_workload(wl::KernelKind::spmv, kind);
+    cfg.nnz_per_row = nnz;
+    // Keep total work bounded across the sweep.
+    cfg.n = nnz >= 128 ? 256u : 512u;
+    return sys::run_workload(sys::SystemConfig::make(kind, bus_bits), cfg);
+  };
+  const auto base = mk(sys::SystemKind::base);
+  const auto pack = mk(sys::SystemKind::pack);
+  return static_cast<double>(base.cycles) / static_cast<double>(pack.cycles);
+}
+
+void emit() {
+  bench::figure_header("Fig. 3e", "spmv PACK speedup scaling");
+  const std::uint32_t nnzs[] = {2, 8, 24, 64, 128, 256, 390};
+  util::Table table({"nnz/row", "64b bus", "128b bus", "256b bus"});
+  double last[3] = {0, 0, 0};
+  for (const auto nnz : nnzs) {
+    table.row().cell(std::uint64_t{nnz});
+    int i = 0;
+    for (const unsigned bus : {64u, 128u, 256u}) {
+      last[i] = speedup_at(bus, nnz);
+      table.cell(last[i], 2);
+      ++i;
+    }
+  }
+  table.print(std::cout);
+  std::printf("\npaper: converged speedups ~1.4x / 1.8x / 2.4x  —  "
+              "measured at nnz=390: %.1fx / %.1fx / %.1fx\n\n",
+              last[0], last[1], last[2]);
+}
+
+void bm_spmv_390(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(speedup_at(256, 390));
+  }
+}
+BENCHMARK(bm_spmv_390)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return axipack::bench::run_bench_main(argc, argv, emit);
+}

@@ -1,0 +1,40 @@
+// Fig. 4a: adapter area versus clock constraint for 64/128/256-bit buses.
+//
+// Paper reference: 69 / 130 / 257 kGE at 1 GHz; minimum periods 787 / 800 /
+// 839 ps; area scales linearly with bus width and gracefully with clock.
+#include "bench_common.hpp"
+#include "energy/area_model.hpp"
+
+namespace {
+
+using namespace axipack;
+
+void emit() {
+  bench::figure_header("Fig. 4a", "adapter area vs minimum clock");
+  util::Table table({"clock (ps)", "64b (kGE)", "128b (kGE)", "256b (kGE)"});
+  for (const double clk : {800.0, 839.0, 900.0, 1000.0, 1250.0, 1500.0,
+                           2000.0, 2500.0, 3000.0}) {
+    table.row().cell(clk, 0);
+    for (const unsigned bus : {64u, 128u, 256u}) {
+      const auto area = energy::adapter_area_kge(bus, clk);
+      table.cell(area.has_value() ? util::fmt(*area, 1) : std::string("—"));
+    }
+  }
+  table.print(std::cout);
+  std::printf("\nminimum periods: %.0f / %.0f / %.0f ps "
+              "(paper: 787 / 800 / 839 ps)\n",
+              energy::adapter_min_period_ps(64),
+              energy::adapter_min_period_ps(128),
+              energy::adapter_min_period_ps(256));
+  std::printf("area @1 GHz: %.0f / %.0f / %.0f kGE "
+              "(paper: 69 / 130 / 257 kGE)\n\n",
+              *energy::adapter_area_kge(64, 1000),
+              *energy::adapter_area_kge(128, 1000),
+              *energy::adapter_area_kge(256, 1000));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return axipack::bench::run_bench_main(argc, argv, emit);
+}

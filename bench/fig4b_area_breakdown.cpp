@@ -1,0 +1,55 @@
+// Fig. 4b: hierarchical area breakdown of the 256-bit adapter.
+//
+// Paper reference: indir W 74 kGE (29%), indir R 73 (28%), stride W 37
+// (14%), stride R 36 (14%), AXI4 conv 26 (10%), memory mux 9 (3%), AXI
+// demux 3 (1%). Read/write converters are near-identical in size; the
+// two-stage indirect converters are roughly double the strided ones.
+#include "bench_common.hpp"
+#include "energy/area_model.hpp"
+
+namespace {
+
+using namespace axipack;
+
+void emit() {
+  bench::figure_header("Fig. 4b", "adapter area breakdown (256-bit)");
+  const auto b = energy::adapter_breakdown_kge(256);
+  const double total = b.total();
+  util::Table table({"block", "kGE", "share", "paper kGE", "paper share"});
+  const struct {
+    const char* name;
+    double kge;
+    double paper_kge;
+    const char* paper_share;
+  } rows[] = {
+      {"indirect W converter", b.indirect_w, 74, "29%"},
+      {"indirect R converter", b.indirect_r, 73, "28%"},
+      {"strided W converter", b.strided_w, 37, "14%"},
+      {"strided R converter", b.strided_r, 36, "14%"},
+      {"base AXI4 converter", b.base_conv, 26, "10%"},
+      {"memory mux", b.mem_mux, 9, "3%"},
+      {"AXI demux", b.axi_demux, 3, "1%"},
+  };
+  for (const auto& row : rows) {
+    table.row()
+        .cell(row.name)
+        .cell(row.kge, 1)
+        .cell(util::fmt_pct(row.kge / total))
+        .cell(row.paper_kge, 0)
+        .cell(row.paper_share);
+  }
+  table.row().cell("total").cell(total, 1).cell("100%").cell(258.0, 0).cell(
+      "100%");
+  table.print(std::cout);
+  std::printf("\nindirect/strided converter size ratio: %.2f "
+              "(paper: ~2x, due to the two-stage design)\n",
+              b.indirect_r / b.strided_r);
+  std::printf("adapter / Ara area: %.1f%% (paper: 6.2%%)\n\n",
+              total / energy::ara_area_kge(8) * 100.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return axipack::bench::run_bench_main(argc, argv, emit);
+}

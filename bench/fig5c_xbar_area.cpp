@@ -1,0 +1,44 @@
+// Fig. 5c: bank crossbar area versus bank count, split into crossbar
+// wiring/muxing and the modulo/divider units prime counts require.
+//
+// Paper reference: power-of-two crossbars are cheaper; the relative prime
+// overhead shrinks with bank count; 17 banks is the chosen area-performance
+// sweet spot (95% / 81% of ideal on strided / indirect reads).
+#include "bench_common.hpp"
+#include "energy/area_model.hpp"
+#include "util/bits.hpp"
+
+namespace {
+
+using namespace axipack;
+
+void emit() {
+  bench::figure_header("Fig. 5c", "bank crossbar area");
+  util::Table table({"banks", "crossbar kGE", "modulo kGE", "divider kGE",
+                     "total kGE", "prime"});
+  for (const unsigned banks : {8u, 11u, 16u, 17u, 31u, 32u}) {
+    const auto a = energy::bank_xbar_area_kge(banks);
+    table.row()
+        .cell(std::uint64_t{banks})
+        .cell(a.crossbar, 1)
+        .cell(a.modulo, 1)
+        .cell(a.divider, 1)
+        .cell(a.total(), 1)
+        .cell(util::is_prime(banks) ? "yes" : "no");
+  }
+  table.print(std::cout);
+  const auto a17 = energy::bank_xbar_area_kge(17);
+  const auto a16 = energy::bank_xbar_area_kge(16);
+  std::printf("\nprime overhead at 17 banks: %.0f%% over the pure crossbar "
+              "(modulo + divider)\n",
+              (a17.total() / a17.crossbar - 1.0) * 100.0);
+  std::printf("17-bank vs 16-bank total: +%.1f kGE — the paper's chosen "
+              "area-performance tradeoff\n\n",
+              a17.total() - a16.total());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return axipack::bench::run_bench_main(argc, argv, emit);
+}

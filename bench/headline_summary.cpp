@@ -1,0 +1,86 @@
+// Headline summary: the paper's abstract-level claims, paper vs measured.
+//
+//   * peak strided speedup 5.4x (ismt), bus utilization 87% (gemv)
+//   * peak indirect speedup 2.4x (spmv), bus utilization 39% (sssp)
+//   * PACK ~97% of IDEAL on average
+//   * energy efficiency up to 5.3x strided / 2.1x indirect
+//   * 256-bit adapter = 6.2% of Ara's area
+#include "bench_common.hpp"
+#include "energy/area_model.hpp"
+#include "energy/power_model.hpp"
+#include "systems/runner.hpp"
+
+namespace {
+
+using namespace axipack;
+
+void emit() {
+  bench::figure_header("Headline", "paper-vs-measured summary");
+  const wl::KernelKind kernels[] = {wl::KernelKind::ismt, wl::KernelKind::gemv,
+                                    wl::KernelKind::trmv, wl::KernelKind::spmv,
+                                    wl::KernelKind::prank,
+                                    wl::KernelKind::sssp};
+  double peak_strided_speedup = 0.0;
+  double peak_indirect_speedup = 0.0;
+  double peak_strided_util = 0.0;
+  double peak_indirect_util = 0.0;
+  double peak_strided_eff = 0.0;
+  double peak_indirect_eff = 0.0;
+  double ratio_sum = 0.0;
+  bool all_correct = true;
+  for (const auto kernel : kernels) {
+    const auto base_cfg = sys::SystemConfig::make(sys::SystemKind::base);
+    const auto pack_cfg = sys::SystemConfig::make(sys::SystemKind::pack);
+    const auto base = sys::run_workload(
+        base_cfg, sys::default_workload(kernel, sys::SystemKind::base));
+    const auto pack = sys::run_workload(
+        pack_cfg, sys::default_workload(kernel, sys::SystemKind::pack));
+    const auto ideal =
+        sys::run_default(kernel, sys::SystemKind::ideal);
+    all_correct = all_correct && base.correct && pack.correct && ideal.correct;
+    const double speedup = static_cast<double>(base.cycles) / pack.cycles;
+    const double eff = energy::efficiency_gain(
+        energy::estimate(base_cfg, base), base.cycles,
+        energy::estimate(pack_cfg, pack), pack.cycles);
+    ratio_sum += static_cast<double>(ideal.cycles) / pack.cycles;
+    if (wl::kernel_is_indirect(kernel)) {
+      peak_indirect_speedup = std::max(peak_indirect_speedup, speedup);
+      peak_indirect_util = std::max(peak_indirect_util, pack.r_util);
+      peak_indirect_eff = std::max(peak_indirect_eff, eff);
+    } else {
+      peak_strided_speedup = std::max(peak_strided_speedup, speedup);
+      peak_strided_util = std::max(peak_strided_util, pack.r_util);
+      peak_strided_eff = std::max(peak_strided_eff, eff);
+    }
+  }
+  const double adapter_ratio =
+      *energy::adapter_area_kge(256, 1000) / energy::ara_area_kge(8);
+
+  util::Table table({"claim", "paper", "measured"});
+  table.row().cell("peak strided speedup").cell("5.4x").cell(
+      util::fmt(peak_strided_speedup, 2) + "x");
+  table.row().cell("peak strided R-bus utilization").cell("87%").cell(
+      util::fmt_pct(peak_strided_util));
+  table.row().cell("peak indirect speedup").cell("2.4x").cell(
+      util::fmt(peak_indirect_speedup, 2) + "x");
+  table.row().cell("peak indirect R-bus utilization").cell("39%").cell(
+      util::fmt_pct(peak_indirect_util));
+  table.row().cell("PACK vs IDEAL performance").cell("97%").cell(
+      util::fmt_pct(ratio_sum / 6.0));
+  table.row().cell("peak strided energy-eff. gain").cell("5.3x").cell(
+      util::fmt(peak_strided_eff, 2) + "x");
+  table.row().cell("peak indirect energy-eff. gain").cell("2.1x").cell(
+      util::fmt(peak_indirect_eff, 2) + "x");
+  table.row().cell("adapter area / Ara area").cell("6.2%").cell(
+      util::fmt_pct(adapter_ratio));
+  table.row().cell("all workloads verified").cell("-").cell(
+      all_correct ? "yes" : "NO");
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return axipack::bench::run_bench_main(argc, argv, emit);
+}

@@ -1,0 +1,124 @@
+// Multiple requestors sharing one AXI-Pack endpoint.
+//
+// The paper notes that "AXI-Pack supports non-core requestors (e.g.,
+// accelerators) and systems with multiple requestors and endpoints". Here a
+// vector processor runs sparse matrix-vector multiply with in-memory
+// indirection while an AXI-Pack DMA engine simultaneously re-tiles a dense
+// matrix (column gather) behind it — the pattern of a double-buffered
+// pipeline where the DMA stages the next layer's data while the core
+// computes the current one.
+//
+// Usage: multi_master [spmv_rows] [gather_dim]   (default 128 256)
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "axi/monitor.hpp"
+#include "axi/xbar.hpp"
+#include "dma/descriptor.hpp"
+#include "dma/engine.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/banked_memory.hpp"
+#include "pack/adapter.hpp"
+#include "sim/kernel.hpp"
+#include "systems/runner.hpp"
+#include "vproc/processor.hpp"
+#include "workloads/workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace axipack;
+  const std::uint32_t rows =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 128;
+  const std::uint32_t dim =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 256;
+
+  // --- Fabric: 2 masters -> crossbar -> AXI-Pack adapter -> 17 banks.
+  sim::Kernel kernel;
+  mem::BackingStore store(0x8000'0000ull, 64ull << 20);
+  axi::AxiPort port_proc(kernel, 2, "proc");
+  axi::AxiPort port_dma(kernel, 2, "dma");
+  axi::AxiPort port_mid(kernel, 2, "mid");
+  axi::AxiPort port_mem(kernel, 2, "mem");
+  axi::AxiXbar xbar(kernel, {&port_proc, &port_dma}, {&port_mid},
+                    {{0x8000'0000ull, 64ull << 20, 0}});
+  axi::AxiLink link(kernel, port_mid, port_mem);
+  mem::BankedMemoryConfig mc;
+  mc.num_ports = 8;
+  mc.num_banks = 17;
+  mem::BankedMemory memory(kernel, store, mc);
+  pack::AdapterConfig ac;
+  pack::AxiPackAdapter adapter(kernel, port_mem, memory, ac);
+
+  // --- Master 0: vector processor running spmv with vlimxei.
+  vproc::VProcConfig vc;
+  vc.mode = vproc::VlsuMode::pack;
+  vproc::Processor proc(kernel, vc, store, &port_proc);
+  auto wl_cfg = sys::default_workload(wl::KernelKind::spmv,
+                                      sys::SystemKind::pack);
+  wl_cfg.n = rows;
+  wl_cfg.nnz_per_row = std::min(rows, 64u);
+  const wl::WorkloadInstance inst = wl::build_workload(store, wl_cfg);
+
+  // --- Master 1: DMA gathering eight matrix columns into contiguous tiles.
+  dma::DmaConfig dc;
+  dma::DmaEngine engine(kernel, port_dma, dc);
+  const std::uint64_t mat = store.alloc(std::uint64_t{dim} * dim * 4, 64);
+  for (std::uint64_t i = 0; i < std::uint64_t{dim} * dim; ++i) {
+    store.write_f32(mat + 4 * i, static_cast<float>(i % 997));
+  }
+  std::vector<dma::Descriptor> chain;
+  std::vector<std::uint64_t> tiles;
+  for (std::uint32_t c = 0; c < 8; ++c) {
+    dma::Descriptor d;
+    d.src = dma::Pattern::strided(mat + 4ull * c, std::int64_t{dim} * 4);
+    d.dst = dma::Pattern::contiguous(store.alloc(std::uint64_t{dim} * 4, 64));
+    tiles.push_back(d.dst.addr);
+    d.elem_bytes = 4;
+    d.num_elems = dim;
+    chain.push_back(d);
+  }
+  engine.start_chain(dma::build_chain(store, chain));
+
+  // --- Run both to completion.
+  proc.run(inst.program);
+  const bool ok = kernel.run_until(
+      [&] { return proc.done() && engine.idle() && adapter.idle(); },
+      100'000'000);
+  if (!ok) {
+    std::fprintf(stderr, "system did not drain\n");
+    return 1;
+  }
+
+  std::string msg;
+  const bool spmv_ok = inst.check(store, msg);
+  bool dma_ok = true;
+  for (std::uint32_t c = 0; c < 8; ++c) {
+    for (std::uint64_t i = 0; i < dim; ++i) {
+      dma_ok &= store.read_f32(tiles[c] + 4 * i) ==
+                store.read_f32(mat + 4ull * c + i * std::uint64_t{dim} * 4);
+    }
+  }
+
+  const auto& bus = link.stats();
+  std::printf("multi_master: spmv (%u rows) on the vector core + 8-column "
+              "gather DMA, one shared AXI-Pack adapter\n\n", rows);
+  std::printf("  total cycles        : %llu\n",
+              static_cast<unsigned long long>(kernel.now()));
+  std::printf("  spmv result         : %s\n",
+              spmv_ok ? "correct" : ("WRONG: " + msg).c_str());
+  std::printf("  dma tiles           : %s\n",
+              dma_ok ? "correct" : "WRONG DATA");
+  std::printf("  adapter bursts      : base=%llu stridedR=%llu indirR=%llu\n",
+              static_cast<unsigned long long>(adapter.stats().base_reads),
+              static_cast<unsigned long long>(adapter.stats().strided_reads),
+              static_cast<unsigned long long>(adapter.stats().indirect_reads));
+  std::printf("  shared R bus        : %llu beats, %llu payload bytes\n",
+              static_cast<unsigned long long>(bus.r_beats),
+              static_cast<unsigned long long>(bus.r_payload_bytes));
+  std::printf("\nboth requestors' packed streams interleave through the "
+              "crossbar and adapter\nwithout reshaping — the property the "
+              "paper's protocol design targets.\n");
+  return (spmv_ok && dma_ok) ? 0 : 1;
+}

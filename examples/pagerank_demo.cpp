@@ -1,0 +1,62 @@
+// PageRank on a synthetic digraph, run on the PACK system with AXI-Pack
+// in-memory indirection. Demonstrates a complete application on top of the
+// library: generation, iterative vector kernels, convergence checking
+// against the golden reference, and performance/energy reporting.
+//
+// Usage: pagerank_demo [nodes] [avg_degree] [iterations]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "energy/power_model.hpp"
+#include "systems/runner.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace axipack;
+  const std::uint32_t nodes =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 256;
+  const std::uint32_t degree =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 32;
+  const std::uint32_t iters =
+      argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 8;
+
+  std::printf("pagerank: %u nodes, avg in-degree %u, %u iterations\n\n", nodes,
+              degree, iters);
+
+  util::Table table({"system", "cycles", "R util", "power (mW)",
+                     "energy (uJ)", "correct"});
+  sys::RunResult base_result;
+  energy::PowerEstimate base_power;
+  for (const auto kind : {sys::SystemKind::base, sys::SystemKind::pack}) {
+    auto wl_cfg = sys::default_workload(wl::KernelKind::prank, kind);
+    wl_cfg.n = nodes;
+    wl_cfg.nnz_per_row = degree;
+    wl_cfg.iterations = iters;
+    const auto sys_cfg = sys::SystemConfig::make(kind);
+    const auto result = sys::run_workload(sys_cfg, wl_cfg);
+    const auto power = energy::estimate(sys_cfg, result);
+    if (kind == sys::SystemKind::base) {
+      base_result = result;
+      base_power = power;
+    }
+    table.row()
+        .cell(sys::system_name(kind))
+        .cell(result.cycles)
+        .cell(util::fmt_pct(result.r_util))
+        .cell(power.power_mw, 1)
+        .cell(power.energy_uj, 2)
+        .cell(result.correct ? "yes" : ("NO: " + result.error));
+    if (kind == sys::SystemKind::pack) {
+      std::printf("\n");
+      table.print(std::cout);
+      std::printf("\nspeedup:            %.2fx\n",
+                  static_cast<double>(base_result.cycles) / result.cycles);
+      std::printf("energy efficiency:  %.2fx (paper: up to 2.1x on indirect "
+                  "workloads)\n",
+                  energy::efficiency_gain(base_power, base_result.cycles,
+                                          power, result.cycles));
+    }
+  }
+  return 0;
+}

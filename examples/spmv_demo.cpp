@@ -1,0 +1,48 @@
+// Sparse matrix-vector multiply with in-memory indirection: shows how the
+// PACK system's vlimxei instruction removes index traffic from the bus and
+// speeds up the gather-dominated kernel (paper's headline indirect result).
+//
+// Usage: spmv_demo [rows] [avg_nnz_per_row]     (default 256 x 64)
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "systems/runner.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace axipack;
+  const std::uint32_t rows =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 256;
+  const std::uint32_t nnz =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 64;
+
+  std::printf("spmv: %u rows, ~%u nonzeros/row (CSR, FP32, 32-bit indices)\n\n",
+              rows, nnz);
+  util::Table table({"system", "indices", "cycles", "R util", "R util w/o idx",
+                     "speedup", "correct"});
+  std::uint64_t base_cycles = 0;
+  for (const auto kind : {sys::SystemKind::base, sys::SystemKind::pack,
+                          sys::SystemKind::ideal}) {
+    auto wl_cfg = sys::default_workload(wl::KernelKind::spmv, kind);
+    wl_cfg.n = rows;
+    wl_cfg.nnz_per_row = nnz;
+    const auto result =
+        sys::run_workload(sys::SystemConfig::make(kind), wl_cfg);
+    if (kind == sys::SystemKind::base) base_cycles = result.cycles;
+    table.row()
+        .cell(sys::system_name(kind))
+        .cell(wl_cfg.in_memory_indices ? "in-memory (vlimxei)"
+                                       : "core-side (vle+vluxei)")
+        .cell(result.cycles)
+        .cell(util::fmt_pct(result.r_util))
+        .cell(util::fmt_pct(result.r_util_no_idx))
+        .cell(static_cast<double>(base_cycles) / result.cycles, 2)
+        .cell(result.correct ? "yes" : ("NO: " + result.error));
+  }
+  table.print(std::cout);
+  std::printf("\npaper (heart1, 390 nnz/row): PACK speedup 2.4x; in-memory "
+              "indirection keeps index\ntraffic off the bus (IDEAL wastes up "
+              "to 20%% of bus time on indices)\n");
+  return 0;
+}

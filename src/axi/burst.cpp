@@ -1,0 +1,127 @@
+#include "axi/burst.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "axi/pack.hpp"
+#include "util/bits.hpp"
+
+namespace axipack::axi {
+
+using util::ceil_div;
+using util::log2_exact;
+using util::round_down;
+
+std::vector<AxiAr> split_contiguous(std::uint64_t addr, std::uint64_t bytes,
+                                    unsigned bus_bytes, Traffic traffic) {
+  std::vector<AxiAr> out;
+  if (bytes == 0) return out;
+  const auto size = static_cast<std::uint8_t>(log2_exact(bus_bytes));
+  std::uint64_t cur = round_down<std::uint64_t>(addr, bus_bytes);
+  const std::uint64_t end = addr + bytes;
+  while (cur < end) {
+    // Stop at the earlier of: 4 KiB boundary, 256-beat limit, end of range.
+    const std::uint64_t boundary = round_down(cur, k4K) + k4K;
+    const std::uint64_t max_by_len = cur + std::uint64_t{kMaxBurstBeats} * bus_bytes;
+    const std::uint64_t stop = std::min({boundary, max_by_len, end});
+    const auto beats =
+        static_cast<unsigned>(ceil_div<std::uint64_t>(stop - cur, bus_bytes));
+    AxiAr ar;
+    ar.addr = cur;
+    ar.len = static_cast<std::uint16_t>(beats - 1);
+    ar.size = size;
+    ar.burst = BurstType::incr;
+    ar.traffic = traffic;
+    out.push_back(ar);
+    cur += std::uint64_t{beats} * bus_bytes;
+  }
+  return out;
+}
+
+std::vector<AxiAr> split_pack_strided(std::uint64_t base,
+                                      std::int64_t stride_bytes,
+                                      unsigned elem_bytes,
+                                      std::uint64_t num_elems,
+                                      unsigned bus_bytes) {
+  assert(bus_bytes % elem_bytes == 0);
+  std::vector<AxiAr> out;
+  const std::uint64_t epb = bus_bytes / elem_bytes;
+  const std::uint64_t max_elems = std::uint64_t{kMaxBurstBeats} * epb;
+  std::uint64_t done = 0;
+  while (done < num_elems) {
+    const std::uint64_t chunk = std::min(num_elems - done, max_elems);
+    AxiAr ar;
+    ar.addr = base + static_cast<std::uint64_t>(
+                         static_cast<std::int64_t>(done) * stride_bytes);
+    ar.size = static_cast<std::uint8_t>(log2_exact(elem_bytes));
+    ar.len = static_cast<std::uint16_t>(ceil_div(chunk, epb) - 1);
+    ar.burst = BurstType::incr;
+    ar.pack = PackRequest{.indir = false,
+                          .stride = stride_bytes,
+                          .index_base = 0,
+                          .index_bits = 32,
+                          .num_elems = chunk};
+    out.push_back(ar);
+    done += chunk;
+  }
+  return out;
+}
+
+std::vector<AxiAr> split_pack_indirect(std::uint64_t elem_base,
+                                       std::uint64_t index_base,
+                                       unsigned index_bits,
+                                       unsigned elem_bytes,
+                                       std::uint64_t num_elems,
+                                       unsigned bus_bytes) {
+  assert(bus_bytes % elem_bytes == 0);
+  std::vector<AxiAr> out;
+  const std::uint64_t epb = bus_bytes / elem_bytes;
+  const std::uint64_t max_elems = std::uint64_t{kMaxBurstBeats} * epb;
+  std::uint64_t done = 0;
+  while (done < num_elems) {
+    const std::uint64_t chunk = std::min(num_elems - done, max_elems);
+    AxiAr ar;
+    ar.addr = elem_base;
+    ar.size = static_cast<std::uint8_t>(log2_exact(elem_bytes));
+    ar.len = static_cast<std::uint16_t>(ceil_div(chunk, epb) - 1);
+    ar.burst = BurstType::incr;
+    ar.pack = PackRequest{.indir = true,
+                          .stride = 0,
+                          .index_base = index_base + done * (index_bits / 8),
+                          .index_bits = index_bits,
+                          .num_elems = chunk};
+    out.push_back(ar);
+    done += chunk;
+  }
+  return out;
+}
+
+std::uint64_t beat_addr(const AxiAx& ax, unsigned beat) {
+  assert(!ax.pack.has_value());
+  const std::uint64_t bytes = ax.beat_bytes();
+  switch (ax.burst) {
+    case BurstType::fixed:
+      return ax.addr;
+    case BurstType::incr: {
+      if (beat == 0) return ax.addr;
+      // Beats after the first are aligned to the transfer size.
+      const std::uint64_t aligned = round_down<std::uint64_t>(ax.addr, bytes);
+      return aligned + std::uint64_t{beat} * bytes;
+    }
+    case BurstType::wrap: {
+      // WRAP requires aligned start and power-of-two container.
+      const std::uint64_t container = bytes * ax.beats();
+      const std::uint64_t base = round_down(ax.addr, container);
+      const std::uint64_t off = (ax.addr - base + std::uint64_t{beat} * bytes) %
+                                container;
+      return base + off;
+    }
+  }
+  return ax.addr;
+}
+
+unsigned beat_lane(const AxiAx& ax, unsigned beat, unsigned bus_bytes) {
+  return static_cast<unsigned>(beat_addr(ax, beat) % bus_bytes);
+}
+
+}  // namespace axipack::axi

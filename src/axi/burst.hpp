@@ -1,0 +1,53 @@
+// AXI4 burst geometry helpers: splitting logical streams into protocol-legal
+// bursts and computing per-beat addresses, including narrow and wrapping
+// bursts. Masters (the VLSU, DMA-style test drivers) use these to stay within
+// AXI4's 256-beat and 4 KiB-boundary rules; pack bursts are exempt from the
+// 4 KiB rule by construction (they address a single stream-aware endpoint)
+// but still respect the 256-beat length limit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "axi/types.hpp"
+
+namespace axipack::axi {
+
+inline constexpr unsigned kMaxBurstBeats = 256;
+inline constexpr std::uint64_t k4K = 4096;
+
+/// Splits a contiguous byte range [addr, addr+bytes) into legal INCR bursts
+/// for a `bus_bytes`-wide bus. Bursts are bus-aligned except possibly the
+/// first, never cross a 4 KiB boundary, and have at most 256 beats.
+/// All returned requests use `size` = log2(bus_bytes) (full-width beats).
+std::vector<AxiAr> split_contiguous(std::uint64_t addr, std::uint64_t bytes,
+                                    unsigned bus_bytes,
+                                    Traffic traffic = Traffic::data);
+
+/// Splits a strided element stream into AXI-Pack strided bursts (<= 256
+/// beats each). `elem_bytes` must divide `bus_bytes`.
+std::vector<AxiAr> split_pack_strided(std::uint64_t base,
+                                      std::int64_t stride_bytes,
+                                      unsigned elem_bytes,
+                                      std::uint64_t num_elems,
+                                      unsigned bus_bytes);
+
+/// Splits an indexed element stream into AXI-Pack indirect bursts. Each
+/// burst's index_base points at the first index it consumes, so bursts are
+/// independent (the controller never needs cross-burst state).
+std::vector<AxiAr> split_pack_indirect(std::uint64_t elem_base,
+                                       std::uint64_t index_base,
+                                       unsigned index_bits,
+                                       unsigned elem_bytes,
+                                       std::uint64_t num_elems,
+                                       unsigned bus_bytes);
+
+/// Address of beat `i` of a regular (non-pack) burst, per the AXI4 rules for
+/// INCR/FIXED/WRAP with the request's size.
+std::uint64_t beat_addr(const AxiAx& ax, unsigned beat);
+
+/// Lowest byte lane touched by beat `i` of a regular narrow burst on a
+/// `bus_bytes` bus.
+unsigned beat_lane(const AxiAx& ax, unsigned beat, unsigned bus_bytes);
+
+}  // namespace axipack::axi

@@ -1,0 +1,61 @@
+#include "axi/monitor.hpp"
+
+#include "axi/protocol_checker.hpp"
+
+namespace axipack::axi {
+
+BusStats BusStats::diff(const BusStats& earlier) const {
+  BusStats d;
+  d.ar_handshakes = ar_handshakes - earlier.ar_handshakes;
+  d.aw_handshakes = aw_handshakes - earlier.aw_handshakes;
+  d.r_beats = r_beats - earlier.r_beats;
+  d.r_payload_bytes = r_payload_bytes - earlier.r_payload_bytes;
+  d.r_index_bytes = r_index_bytes - earlier.r_index_bytes;
+  d.w_beats = w_beats - earlier.w_beats;
+  d.w_payload_bytes = w_payload_bytes - earlier.w_payload_bytes;
+  d.b_handshakes = b_handshakes - earlier.b_handshakes;
+  return d;
+}
+
+AxiLink::AxiLink(sim::Kernel& k, AxiPort& upstream, AxiPort& downstream)
+    : up_(upstream), down_(downstream), kernel_(k) {
+  k.add(*this);
+}
+
+void AxiLink::tick() {
+  const sim::Cycle now = kernel_.now();
+  if (up_.ar.can_pop() && down_.ar.can_push()) {
+    if (checker_ != nullptr) checker_->observe_ar(up_.ar.front(), now);
+    down_.ar.push(up_.ar.pop());
+    ++stats_.ar_handshakes;
+  }
+  if (up_.aw.can_pop() && down_.aw.can_push()) {
+    if (checker_ != nullptr) checker_->observe_aw(up_.aw.front(), now);
+    down_.aw.push(up_.aw.pop());
+    ++stats_.aw_handshakes;
+  }
+  if (up_.w.can_pop() && down_.w.can_push()) {
+    AxiW beat = up_.w.pop();
+    if (checker_ != nullptr) checker_->observe_w(beat, now);
+    ++stats_.w_beats;
+    stats_.w_payload_bytes += beat.useful_bytes;
+    down_.w.push(std::move(beat));
+  }
+  if (down_.r.can_pop() && up_.r.can_push()) {
+    AxiR beat = down_.r.pop();
+    if (checker_ != nullptr) checker_->observe_r(beat, now);
+    ++stats_.r_beats;
+    stats_.r_payload_bytes += beat.useful_bytes;
+    if (beat.traffic == Traffic::index) {
+      stats_.r_index_bytes += beat.useful_bytes;
+    }
+    up_.r.push(std::move(beat));
+  }
+  if (down_.b.can_pop() && up_.b.can_push()) {
+    if (checker_ != nullptr) checker_->observe_b(down_.b.front(), now);
+    up_.b.push(down_.b.pop());
+    ++stats_.b_handshakes;
+  }
+}
+
+}  // namespace axipack::axi

@@ -1,0 +1,53 @@
+// AxiLink: a register slice that forwards all five channels between an
+// upstream (master-side) and downstream (slave-side) AxiPort, one beat per
+// channel per cycle, while counting traffic. This is both the bus monitor
+// used to measure the paper's R-bus utilization and the pipeline stage a
+// real interconnect hop would insert.
+#pragma once
+
+#include <cstdint>
+
+#include "axi/types.hpp"
+#include "sim/kernel.hpp"
+
+namespace axipack::axi {
+
+/// Traffic counters accumulated by an AxiLink.
+struct BusStats {
+  std::uint64_t ar_handshakes = 0;
+  std::uint64_t aw_handshakes = 0;
+  std::uint64_t r_beats = 0;
+  std::uint64_t r_payload_bytes = 0;  ///< useful bytes, all traffic classes
+  std::uint64_t r_index_bytes = 0;    ///< useful bytes tagged Traffic::index
+  std::uint64_t w_beats = 0;
+  std::uint64_t w_payload_bytes = 0;
+  std::uint64_t b_handshakes = 0;
+
+  BusStats diff(const BusStats& earlier) const;
+};
+
+class ProtocolChecker;
+
+class AxiLink final : public sim::Component {
+ public:
+  /// Forwards upstream->downstream on AR/AW/W and downstream->upstream on
+  /// R/B. Registers itself with the kernel.
+  AxiLink(sim::Kernel& k, AxiPort& upstream, AxiPort& downstream);
+
+  void tick() override;
+
+  const BusStats& stats() const { return stats_; }
+
+  /// Attaches a passive protocol checker observing every beat that crosses
+  /// this hop (non-owning; pass nullptr to detach).
+  void attach_checker(ProtocolChecker* checker) { checker_ = checker; }
+
+ private:
+  AxiPort& up_;
+  AxiPort& down_;
+  BusStats stats_;
+  ProtocolChecker* checker_ = nullptr;
+  sim::Kernel& kernel_;
+};
+
+}  // namespace axipack::axi

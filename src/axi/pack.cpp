@@ -1,0 +1,80 @@
+#include "axi/pack.hpp"
+
+#include <cassert>
+
+namespace axipack::axi {
+
+unsigned index_bits_to_code(unsigned index_bits) {
+  switch (index_bits) {
+    case 8: return 0;
+    case 16: return 1;
+    case 32: return 2;
+    default: assert(false && "unsupported index size"); return 2;
+  }
+}
+
+unsigned index_code_to_bits(unsigned code) {
+  switch (code) {
+    case 0: return 8;
+    case 1: return 16;
+    case 2: return 32;
+    default: assert(false && "unsupported index size code"); return 32;
+  }
+}
+
+UserBits encode_user(const std::optional<PackRequest>& pack,
+                     unsigned user_bits) {
+  if (!pack.has_value()) return 0;
+  assert(user_bits >= 8 && user_bits <= 64);
+  const unsigned payload_bits = user_bits - 4;
+  UserBits u = 1;  // pack bit
+  if (pack->indir) {
+    u |= UserBits{1} << 1;
+    u |= UserBits{index_bits_to_code(pack->index_bits)} << 2;
+    assert(payload_bits >= 64 ||
+           (pack->index_base >> payload_bits) == 0);
+    u |= (pack->index_base & ((UserBits{1} << payload_bits) - 1)) << 4;
+  } else {
+    // Sign check: stride must be representable in payload_bits signed bits.
+    const std::int64_t lo = -(std::int64_t{1} << (payload_bits - 1));
+    const std::int64_t hi = (std::int64_t{1} << (payload_bits - 1)) - 1;
+    assert(pack->stride >= lo && pack->stride <= hi);
+    (void)lo;
+    (void)hi;
+    const auto raw = static_cast<std::uint64_t>(pack->stride);
+    u |= (raw & ((UserBits{1} << payload_bits) - 1)) << 4;
+  }
+  return u;
+}
+
+std::optional<PackRequest> decode_user(UserBits user, std::uint64_t num_elems,
+                                       unsigned user_bits) {
+  if ((user & 1) == 0) return std::nullopt;
+  const unsigned payload_bits = user_bits - 4;
+  PackRequest req;
+  req.indir = ((user >> 1) & 1) != 0;
+  req.num_elems = num_elems;
+  const std::uint64_t payload = (user >> 4) & ((UserBits{1} << payload_bits) - 1);
+  if (req.indir) {
+    req.index_bits = index_code_to_bits(static_cast<unsigned>((user >> 2) & 3));
+    req.index_base = payload;
+  } else {
+    // Sign-extend the stride payload.
+    std::uint64_t raw = payload;
+    if (raw & (std::uint64_t{1} << (payload_bits - 1))) {
+      raw |= ~((std::uint64_t{1} << payload_bits) - 1);
+    }
+    req.stride = static_cast<std::int64_t>(raw);
+  }
+  return req;
+}
+
+std::uint64_t stream_elems(unsigned beats, unsigned bus_bytes,
+                           unsigned elem_bytes, std::uint64_t total_elems) {
+  assert(elem_bytes > 0 && bus_bytes % elem_bytes == 0);
+  const std::uint64_t per_beat = bus_bytes / elem_bytes;
+  const std::uint64_t full = std::uint64_t{beats} * per_beat;
+  return full < total_elems ? full : total_elems;
+}
+
+}  // namespace axipack::axi

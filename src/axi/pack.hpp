@@ -1,0 +1,58 @@
+// Bit-level encoding of the AXI-Pack AR/AW user field (paper Fig. 1).
+//
+// Layout (LSB first), parameterized by the user-signal width:
+//
+//   bit 0        : pack   — extension active
+//   bit 1        : indir  — 0: strided burst, 1: indirect burst
+//   bits 2..3    : isize  — index size: 0 -> 8b, 1 -> 16b, 2 -> 32b
+//   bits 4..W-1  : strided : sign-extended element stride in bytes
+//                  indirect: index-array base address (zero-extended)
+//
+// The stream length in elements is carried redundantly alongside the AXI len
+// field in our model (AxiAx::pack->num_elems); on real hardware it is implied
+// by len and the element size, with the final beat padded. Encoding/decoding
+// here exists to pin down protocol-level compatibility: a request round-trips
+// through a fixed-width user bit vector exactly as it would through RTL
+// user wires, and non-pack traffic carries user == 0.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "axi/types.hpp"
+
+namespace axipack::axi {
+
+/// Default user width used by the evaluation systems (enough for a 48-bit
+/// index base plus the control bits).
+inline constexpr unsigned kDefaultUserBits = 52;
+
+/// Raw user vector; only the low `kDefaultUserBits` may be set.
+using UserBits = std::uint64_t;
+
+/// Encodes a PackRequest into user bits. Returns 0 for a plain AXI4 request
+/// (disengaged optional), preserving backward compatibility.
+/// Strides must fit in the signed payload field; index bases in the unsigned
+/// payload field. Violations are reported via the `ok` flag on decode-side
+/// checks and asserted here.
+UserBits encode_user(const std::optional<PackRequest>& pack,
+                     unsigned user_bits = kDefaultUserBits);
+
+/// Decodes user bits back into the optional PackRequest. `num_elems` is not
+/// part of the wire encoding; the caller supplies it from burst geometry
+/// (len, size, bus width) via stream_elems().
+std::optional<PackRequest> decode_user(UserBits user,
+                                       std::uint64_t num_elems,
+                                       unsigned user_bits = kDefaultUserBits);
+
+/// Number of elements a pack burst of `beats` beats carries on a
+/// `bus_bytes`-wide bus with `elem_bytes`-wide elements, when the stream has
+/// `total_elems` elements remaining (the last beat may be partial).
+std::uint64_t stream_elems(unsigned beats, unsigned bus_bytes,
+                           unsigned elem_bytes, std::uint64_t total_elems);
+
+/// Index size field codes.
+unsigned index_bits_to_code(unsigned index_bits);
+unsigned index_code_to_bits(unsigned code);
+
+}  // namespace axipack::axi

@@ -1,0 +1,136 @@
+#include "axi/protocol_checker.hpp"
+
+#include <cassert>
+
+#include "util/bits.hpp"
+
+namespace axipack::axi {
+
+void ProtocolChecker::violation(sim::Cycle now, std::string rule,
+                                std::string detail) {
+  violations_.push_back(ProtocolViolation{now, std::move(rule),
+                                          std::move(detail)});
+  assert(!assert_on_violation_ && "AXI protocol violation");
+}
+
+std::uint64_t ProtocolChecker::expected_beats(const AxiAx& ax) const {
+  if (!ax.pack.has_value()) return static_cast<std::uint64_t>(ax.len) + 1;
+  // Packed payload is tightly bus-aligned: beats = ceil(stream bytes / bus).
+  const std::uint64_t bytes = ax.pack->num_elems * ax.beat_bytes();
+  return util::ceil_div<std::uint64_t>(bytes, std::uint64_t{bus_bytes_});
+}
+
+void ProtocolChecker::check_pack_request(const AxiAx& ax, const char* chan,
+                                         sim::Cycle now) {
+  if (!ax.pack.has_value()) return;
+  const PackRequest& p = *ax.pack;
+  const unsigned es = ax.beat_bytes();
+  if (es < 4 || bus_bytes_ % es != 0) {
+    violation(now, std::string(chan) + ".pack.elem_size",
+              "element size " + std::to_string(es) +
+                  " does not divide bus width");
+  }
+  if (p.indir && p.index_bits != 8 && p.index_bits != 16 &&
+      p.index_bits != 32) {
+    violation(now, std::string(chan) + ".pack.index_size",
+              "index width " + std::to_string(p.index_bits));
+  }
+  if (static_cast<std::uint64_t>(ax.len) + 1 != expected_beats(ax)) {
+    violation(now, std::string(chan) + ".pack.len",
+              "len field " + std::to_string(ax.len) + " != stream geometry " +
+                  std::to_string(expected_beats(ax)) + " beats");
+  }
+}
+
+void ProtocolChecker::observe_ar(const AxiAr& ar, sim::Cycle now) {
+  check_pack_request(ar, "AR", now);
+  reads_[ar.id].push_back(ReadTxn{ar.id, expected_beats(ar), 0});
+}
+
+void ProtocolChecker::observe_aw(const AxiAw& aw, sim::Cycle now) {
+  check_pack_request(aw, "AW", now);
+  writes_.push_back(WriteTxn{aw.id, expected_beats(aw), 0, false});
+}
+
+void ProtocolChecker::observe_w(const AxiW& w, sim::Cycle now) {
+  // W data follows AW order (no WID in AXI4): beats belong to the oldest
+  // write burst that has not yet seen its last beat.
+  WriteTxn* txn = nullptr;
+  for (WriteTxn& t : writes_) {
+    if (!t.w_done) {
+      txn = &t;
+      break;
+    }
+  }
+  if (txn == nullptr) {
+    violation(now, "W.orphan", "W beat with no open write burst");
+    return;
+  }
+  ++txn->beats_seen;
+  if (w.last) {
+    if (txn->beats_seen != txn->beats_expected) {
+      violation(now, "W.last",
+                "wlast after " + std::to_string(txn->beats_seen) +
+                    " beats, expected " +
+                    std::to_string(txn->beats_expected));
+    }
+    txn->w_done = true;
+  } else if (txn->beats_seen >= txn->beats_expected) {
+    violation(now, "W.overrun",
+              "write burst exceeded " +
+                  std::to_string(txn->beats_expected) +
+                  " beats without wlast");
+    txn->w_done = true;  // resynchronize
+  }
+}
+
+void ProtocolChecker::observe_r(const AxiR& r, sim::Cycle now) {
+  auto it = reads_.find(r.id);
+  if (it == reads_.end() || it->second.empty()) {
+    violation(now, "R.orphan",
+              "R beat for id " + std::to_string(r.id) + " with no AR");
+    return;
+  }
+  // Per-ID responses return in request order; a burst must finish before
+  // the next burst of the same ID starts (AXI4 forbids same-ID interleave).
+  ReadTxn& txn = it->second.front();
+  ++txn.beats_seen;
+  if (r.last) {
+    if (txn.beats_seen != txn.beats_expected) {
+      violation(now, "R.last",
+                "rlast after " + std::to_string(txn.beats_seen) +
+                    " beats, expected " + std::to_string(txn.beats_expected));
+    }
+    it->second.pop_front();
+    if (it->second.empty()) reads_.erase(it);
+  } else if (txn.beats_seen >= txn.beats_expected) {
+    violation(now, "R.overrun",
+              "read burst exceeded " + std::to_string(txn.beats_expected) +
+                  " beats without rlast");
+    it->second.pop_front();
+    if (it->second.empty()) reads_.erase(it);
+  }
+}
+
+void ProtocolChecker::observe_b(const AxiB& b, sim::Cycle now) {
+  // Match the oldest write burst with this ID. The response may only come
+  // after the burst's last W beat.
+  for (auto it = writes_.begin(); it != writes_.end(); ++it) {
+    if (it->id != b.id) continue;
+    if (!it->w_done) {
+      violation(now, "B.early",
+                "B for id " + std::to_string(b.id) +
+                    " before its last W beat");
+    }
+    writes_.erase(it);
+    return;
+  }
+  violation(now, "B.orphan", "B for id " + std::to_string(b.id) +
+                                 " with no outstanding AW");
+}
+
+bool ProtocolChecker::drained() const {
+  return reads_.empty() && writes_.empty();
+}
+
+}  // namespace axipack::axi

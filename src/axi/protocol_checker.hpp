@@ -1,0 +1,86 @@
+// AXI(-Pack) protocol checker: a passive monitor that sits on an AxiLink
+// hop and verifies protocol invariants as traffic flows by — the simulation
+// counterpart of an RTL protocol-assertion IP. Violations are recorded (and
+// optionally assert-fail) so tests can wire a checker into any harness and
+// get protocol coverage for free.
+//
+// Checked rules:
+//   * R bursts return exactly len+1 beats per AR (pack bursts: the beat
+//     count implied by the element stream), with `last` on precisely the
+//     final beat;
+//   * R bursts for one ID do not interleave;
+//   * every B corresponds to exactly one earlier AW;
+//   * W beats never precede their AW beyond the current in-flight window,
+//     and each write burst carries exactly the expected beat count with
+//     `last` correctly placed;
+//   * pack requests are well-formed: element size divides the bus width,
+//     index size is 8/16/32, and the AXI len field matches the packed
+//     stream geometry.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "axi/types.hpp"
+#include "sim/kernel.hpp"
+
+namespace axipack::axi {
+
+/// One recorded protocol violation.
+struct ProtocolViolation {
+  sim::Cycle cycle = 0;
+  std::string rule;
+  std::string detail;
+};
+
+/// Passive observer; see file header. Attach via the callbacks of AxiLink
+/// (observe_* are called by the link as beats cross the monitored hop).
+class ProtocolChecker {
+ public:
+  explicit ProtocolChecker(unsigned bus_bytes, bool assert_on_violation = false)
+      : bus_bytes_(bus_bytes), assert_on_violation_(assert_on_violation) {}
+
+  void observe_ar(const AxiAr& ar, sim::Cycle now);
+  void observe_aw(const AxiAw& aw, sim::Cycle now);
+  void observe_w(const AxiW& w, sim::Cycle now);
+  void observe_r(const AxiR& r, sim::Cycle now);
+  void observe_b(const AxiB& b, sim::Cycle now);
+
+  const std::vector<ProtocolViolation>& violations() const {
+    return violations_;
+  }
+  bool clean() const { return violations_.empty(); }
+
+  /// True once every outstanding transaction has completed — call at the
+  /// end of a test to ensure nothing was left dangling.
+  bool drained() const;
+
+ private:
+  struct ReadTxn {
+    std::uint32_t id = 0;
+    std::uint64_t beats_expected = 0;
+    std::uint64_t beats_seen = 0;
+  };
+  struct WriteTxn {
+    std::uint32_t id = 0;
+    std::uint64_t beats_expected = 0;
+    std::uint64_t beats_seen = 0;
+    bool w_done = false;
+  };
+
+  void violation(sim::Cycle now, std::string rule, std::string detail);
+  std::uint64_t expected_beats(const AxiAx& ax) const;
+  void check_pack_request(const AxiAx& ax, const char* chan, sim::Cycle now);
+
+  unsigned bus_bytes_;
+  bool assert_on_violation_;
+  // Reads per ID: outstanding bursts, responses return in order per ID.
+  std::map<std::uint32_t, std::deque<ReadTxn>> reads_;
+  std::deque<WriteTxn> writes_;  ///< AW order; W data follows this order
+  std::vector<ProtocolViolation> violations_;
+};
+
+}  // namespace axipack::axi

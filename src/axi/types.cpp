@@ -1,0 +1,26 @@
+#include "axi/types.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace axipack::axi {
+
+void place_bytes(BeatBytes& beat, unsigned lane, const std::uint8_t* src,
+                 unsigned n) {
+  assert(lane + n <= kMaxBusBytes);
+  std::memcpy(beat.data() + lane, src, n);
+}
+
+void extract_bytes(const BeatBytes& beat, unsigned lane, std::uint8_t* dst,
+                   unsigned n) {
+  assert(lane + n <= kMaxBusBytes);
+  std::memcpy(dst, beat.data() + lane, n);
+}
+
+std::uint32_t strb_mask(unsigned lane, unsigned n) {
+  assert(lane + n <= 32);
+  const std::uint64_t mask = ((std::uint64_t{1} << n) - 1) << lane;
+  return static_cast<std::uint32_t>(mask);
+}
+
+}  // namespace axipack::axi

@@ -1,0 +1,121 @@
+// AXI4 channel payload types and the AXI-Pack request extension.
+//
+// We model AXI4 at beat granularity with its five independent channels:
+//   AR (read request), R (read data), AW (write request), W (write data),
+//   B (write response).
+// Each channel is a sim::Fifo of the corresponding beat struct; a pop from
+// the Fifo corresponds to a valid/ready handshake on the wire.
+//
+// AXI-Pack (the paper's contribution) rides in the AR/AW `user` field: a
+// `pack` bit enables packed-burst semantics, an `indir` bit selects indirect
+// (index-array) over strided addressing, and the remaining bits carry either
+// the element stride or the index base/size. See pack.hpp for the bit-level
+// user encoding.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sim/kernel.hpp"
+
+namespace axipack::axi {
+
+/// Widest supported data bus: 256 bit (the paper's largest configuration).
+inline constexpr unsigned kMaxBusBytes = 32;
+
+/// Raw bytes of one data-bus beat. Only the first `bus_bytes` lanes of a
+/// system's configured width are meaningful.
+using BeatBytes = std::array<std::uint8_t, kMaxBusBytes>;
+
+/// AXI4 burst type (AxBURST).
+enum class BurstType : std::uint8_t { fixed = 0, incr = 1, wrap = 2 };
+
+/// Measurement tag distinguishing index-vector traffic from element data so
+/// bus monitors can report the paper's "R utilization (no indices)" series.
+/// This is testbench metadata, not an architectural signal.
+enum class Traffic : std::uint8_t { data = 0, index = 1 };
+
+/// AXI-Pack request semantics carried in the AR/AW user field.
+struct PackRequest {
+  bool indir = false;           ///< false: strided burst, true: indirect burst
+  std::int64_t stride = 0;      ///< byte stride between elements (strided)
+  std::uint64_t index_base = 0; ///< address of the index array (indirect)
+  unsigned index_bits = 32;     ///< index element width: 8, 16, or 32
+  std::uint64_t num_elems = 0;  ///< stream length in elements for this burst
+
+  bool operator==(const PackRequest&) const = default;
+};
+
+/// Read/write request beat (AR and AW have identical shape in AXI4).
+struct AxiAx {
+  std::uint64_t addr = 0;
+  std::uint32_t id = 0;
+  std::uint16_t len = 0;   ///< beats - 1, per AXI4
+  std::uint8_t size = 0;   ///< log2(bytes); element size for pack bursts
+  BurstType burst = BurstType::incr;
+  Traffic traffic = Traffic::data;
+  std::optional<PackRequest> pack;  ///< engaged iff the `pack` user bit is set
+
+  unsigned beats() const { return static_cast<unsigned>(len) + 1; }
+  unsigned beat_bytes() const { return 1u << size; }
+};
+
+using AxiAr = AxiAx;
+using AxiAw = AxiAx;
+
+/// Read data beat.
+struct AxiR {
+  std::uint32_t id = 0;
+  BeatBytes data{};
+  bool last = false;
+  std::uint8_t resp = 0;             ///< 0 = OKAY
+  std::uint16_t useful_bytes = 0;    ///< payload bytes carried (measurement)
+  Traffic traffic = Traffic::data;
+};
+
+/// Write data beat. `strb` is a bitmask over byte lanes (bit i = lane i).
+struct AxiW {
+  BeatBytes data{};
+  std::uint32_t strb = 0;
+  bool last = false;
+  std::uint16_t useful_bytes = 0;    ///< payload bytes carried (measurement)
+};
+
+/// Write response beat.
+struct AxiB {
+  std::uint32_t id = 0;
+  std::uint8_t resp = 0;
+};
+
+/// One AXI port: the five channels, all owned here. A master pushes AR/AW/W
+/// and pops R/B; a slave does the opposite. Fifo depths of 2 sustain one
+/// handshake per cycle (register-slice semantics).
+struct AxiPort {
+  sim::Fifo<AxiAr> ar;
+  sim::Fifo<AxiR> r;
+  sim::Fifo<AxiAw> aw;
+  sim::Fifo<AxiW> w;
+  sim::Fifo<AxiB> b;
+
+  AxiPort(sim::Kernel& k, std::size_t depth = 2, const std::string& name = {})
+      : ar(k, depth, 1, name + ".ar"),
+        r(k, depth, 1, name + ".r"),
+        aw(k, depth, 1, name + ".aw"),
+        w(k, depth, 1, name + ".w"),
+        b(k, depth, 1, name + ".b") {}
+};
+
+/// Copies `n` bytes from `src` into beat lanes [lane, lane+n).
+void place_bytes(BeatBytes& beat, unsigned lane, const std::uint8_t* src,
+                 unsigned n);
+
+/// Extracts `n` bytes from beat lanes [lane, lane+n) into `dst`.
+void extract_bytes(const BeatBytes& beat, unsigned lane, std::uint8_t* dst,
+                   unsigned n);
+
+/// Strobe mask with `n` bits set starting at `lane`.
+std::uint32_t strb_mask(unsigned lane, unsigned n);
+
+}  // namespace axipack::axi

@@ -1,0 +1,162 @@
+#include "axi/width_converter.hpp"
+
+#include <cassert>
+
+#include "axi/burst.hpp"
+#include "util/bits.hpp"
+
+namespace axipack::axi {
+
+using util::ceil_div;
+using util::log2_exact;
+
+AxiWidthConverter::AxiWidthConverter(sim::Kernel& k, AxiPort& up,
+                                     unsigned up_bytes, AxiPort& down,
+                                     unsigned down_bytes)
+    : up_(up), down_(down), up_bytes_(up_bytes), down_bytes_(down_bytes) {
+  assert(up_bytes_ % down_bytes_ == 0 && up_bytes_ > down_bytes_);
+  k.add(*this);
+}
+
+unsigned AxiWidthConverter::sub_beats(unsigned useful) const {
+  return ceil_div(useful, down_bytes_);
+}
+
+AxiAx AxiWidthConverter::convert_ax(const AxiAx& ax) const {
+  AxiAx out = ax;
+  if (ax.pack.has_value()) {
+    // Re-pack: same element stream, beat count re-derived for the narrow bus.
+    const unsigned elem_bytes = ax.beat_bytes();
+    const std::uint64_t epb_dn = down_bytes_ / elem_bytes;
+    const std::uint64_t beats = ceil_div(ax.pack->num_elems, epb_dn);
+    assert(beats <= kMaxBurstBeats && "split across down-bursts unsupported");
+    out.len = static_cast<std::uint16_t>(beats - 1);
+  } else {
+    assert(ax.burst == BurstType::incr && ax.beat_bytes() == up_bytes_ &&
+           "only full-width INCR and pack bursts supported");
+    const unsigned beats = ax.beats() * ratio();
+    assert(beats <= kMaxBurstBeats && "split across down-bursts unsupported");
+    out.len = static_cast<std::uint16_t>(beats - 1);
+    out.size = static_cast<std::uint8_t>(log2_exact(down_bytes_));
+  }
+  return out;
+}
+
+void AxiWidthConverter::tick() {
+  // AR: forward converted request, remember read context for R assembly.
+  if (up_.ar.can_pop() && down_.ar.can_push()) {
+    const AxiAr& ar = up_.ar.front();
+    ReadCtx ctx;
+    ctx.id = ar.id;
+    ctx.traffic = ar.traffic;
+    ctx.up_beats = ar.beats();
+    if (ar.pack.has_value()) {
+      ctx.elems_left = ar.pack->num_elems;
+      ctx.elem_bytes = ar.beat_bytes();
+    }
+    down_.ar.push(convert_ax(ar));
+    up_.ar.pop();
+    reads_.push_back(ctx);
+  }
+
+  // R: merge narrow beats into wide beats.
+  if (!reads_.empty() && down_.r.can_pop() && up_.r.can_push()) {
+    ReadCtx& ctx = reads_.front();
+    AxiR sub = down_.r.pop();
+    if (ctx.filled == 0) {
+      ctx.acc = AxiR{};
+      ctx.acc.id = ctx.id;
+      ctx.acc.traffic = ctx.traffic;
+      if (ctx.elem_bytes != 0) {
+        const std::uint64_t epb_up = up_bytes_ / ctx.elem_bytes;
+        const auto useful = static_cast<unsigned>(
+            std::min<std::uint64_t>(ctx.elems_left, epb_up) * ctx.elem_bytes);
+        ctx.ratio_now = sub_beats(useful);
+        ctx.acc.useful_bytes = static_cast<std::uint16_t>(useful);
+      } else {
+        ctx.ratio_now = ratio();
+        ctx.acc.useful_bytes = static_cast<std::uint16_t>(up_bytes_);
+      }
+    }
+    place_bytes(ctx.acc.data, ctx.filled * down_bytes_, sub.data.data(),
+                down_bytes_);
+    ++ctx.filled;
+    if (ctx.filled == ctx.ratio_now) {
+      --ctx.up_beats;
+      if (ctx.elem_bytes != 0) {
+        const std::uint64_t epb_up = up_bytes_ / ctx.elem_bytes;
+        ctx.elems_left -= std::min<std::uint64_t>(ctx.elems_left, epb_up);
+      }
+      ctx.acc.last = ctx.up_beats == 0;
+      up_.r.push(ctx.acc);
+      ctx.filled = 0;
+      if (ctx.up_beats == 0) reads_.pop_front();
+    }
+  }
+
+  // AW: forward converted request, remember write context for W splitting.
+  if (up_.aw.can_pop() && down_.aw.can_push()) {
+    const AxiAw& aw = up_.aw.front();
+    WriteCtx ctx;
+    ctx.up_beats = aw.beats();
+    if (aw.pack.has_value()) {
+      ctx.elems_left = aw.pack->num_elems;
+      ctx.elem_bytes = aw.beat_bytes();
+    }
+    down_.aw.push(convert_ax(aw));
+    up_.aw.pop();
+    writes_.push_back(ctx);
+  }
+
+  // W: split wide beats into narrow beats, one narrow beat per cycle.
+  if (!writes_.empty() && down_.w.can_push()) {
+    WriteCtx& ctx = writes_.front();
+    if (!ctx.have_cur && up_.w.can_pop()) {
+      ctx.cur = up_.w.pop();
+      ctx.sent = 0;
+      ctx.have_cur = true;
+    }
+    if (ctx.have_cur) {
+      unsigned subs;
+      if (ctx.elem_bytes != 0) {
+        const std::uint64_t epb_up = up_bytes_ / ctx.elem_bytes;
+        const auto useful = static_cast<unsigned>(
+            std::min<std::uint64_t>(ctx.elems_left, epb_up) * ctx.elem_bytes);
+        subs = sub_beats(useful);
+      } else {
+        subs = ratio();
+      }
+      AxiW out;
+      extract_bytes(ctx.cur.data, ctx.sent * down_bytes_, out.data.data(),
+                    down_bytes_);
+      out.strb = (ctx.cur.strb >> (ctx.sent * down_bytes_)) &
+                 strb_mask(0, down_bytes_);
+      const unsigned carried = std::min(
+          down_bytes_,
+          ctx.cur.useful_bytes > ctx.sent * down_bytes_
+              ? static_cast<unsigned>(ctx.cur.useful_bytes) - ctx.sent * down_bytes_
+              : 0u);
+      out.useful_bytes = static_cast<std::uint16_t>(carried);
+      ++ctx.sent;
+      const bool beat_done = ctx.sent == subs;
+      if (beat_done) {
+        --ctx.up_beats;
+        if (ctx.elem_bytes != 0) {
+          const std::uint64_t epb_up = up_bytes_ / ctx.elem_bytes;
+          ctx.elems_left -= std::min<std::uint64_t>(ctx.elems_left, epb_up);
+        }
+        ctx.have_cur = false;
+      }
+      out.last = beat_done && ctx.up_beats == 0;
+      down_.w.push(out);
+      if (out.last) writes_.pop_front();
+    }
+  }
+
+  // B: one down burst per up burst, so pass through.
+  if (down_.b.can_pop() && up_.b.can_push()) {
+    up_.b.push(down_.b.pop());
+  }
+}
+
+}  // namespace axipack::axi

@@ -1,0 +1,68 @@
+// AXI data-width downsizer with AXI-Pack support.
+//
+// Demonstrates the paper's claim that burst-reshaping IPs "can easily be
+// extended to support AXI-Pack by re-packing bus-aligned data elements":
+// a wide-master/narrow-slave converter splits each wide beat into
+// wide/narrow sub-beats for regular full-width INCR bursts, and for pack
+// bursts simply re-derives the beat count from the element stream (packed
+// payload is bus-aligned on both sides, so repacking is a concatenation).
+//
+// Scope: full-width INCR bursts and pack bursts; FIXED/WRAP and narrow
+// regular bursts are not used by any evaluation system and are rejected.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "axi/types.hpp"
+#include "sim/kernel.hpp"
+
+namespace axipack::axi {
+
+class AxiWidthConverter final : public sim::Component {
+ public:
+  /// `up` is the wide master-side port (width `up_bytes`), `down` the narrow
+  /// slave-side port (width `down_bytes`); up_bytes must be a multiple of
+  /// down_bytes.
+  AxiWidthConverter(sim::Kernel& k, AxiPort& up, unsigned up_bytes,
+                    AxiPort& down, unsigned down_bytes);
+
+  void tick() override;
+
+ private:
+  struct ReadCtx {
+    std::uint32_t id = 0;
+    Traffic traffic = Traffic::data;
+    unsigned up_beats = 0;        ///< wide beats still to produce
+    unsigned ratio_now = 0;       ///< narrow beats composing current wide beat
+    std::uint64_t elems_left = 0; ///< pack: elements still to deliver
+    unsigned elem_bytes = 0;      ///< pack element size (0 = regular)
+    // Assembly state.
+    AxiR acc{};
+    unsigned filled = 0;  ///< narrow beats already merged into acc
+  };
+  struct WriteCtx {
+    unsigned up_beats = 0;
+    std::uint64_t elems_left = 0;
+    unsigned elem_bytes = 0;
+    // Split state.
+    AxiW cur{};
+    unsigned sent = 0;  ///< narrow beats already emitted from cur
+    bool have_cur = false;
+  };
+
+  unsigned ratio() const { return up_bytes_ / down_bytes_; }
+  /// Narrow beats needed for one wide beat carrying `useful` payload bytes.
+  unsigned sub_beats(unsigned useful) const;
+
+  AxiAx convert_ax(const AxiAx& ax) const;
+
+  AxiPort& up_;
+  AxiPort& down_;
+  unsigned up_bytes_;
+  unsigned down_bytes_;
+  std::deque<ReadCtx> reads_;
+  std::deque<WriteCtx> writes_;
+};
+
+}  // namespace axipack::axi

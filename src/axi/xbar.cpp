@@ -1,0 +1,147 @@
+#include "axi/xbar.hpp"
+
+#include <cassert>
+
+#include "util/bits.hpp"
+
+namespace axipack::axi {
+
+AxiXbar::AxiXbar(sim::Kernel& k, std::vector<AxiPort*> masters,
+                 std::vector<AxiPort*> slaves, std::vector<AddrRule> map)
+    : masters_(std::move(masters)),
+      slaves_(std::move(slaves)),
+      map_(std::move(map)),
+      id_shift_(masters_.size() > 1
+                    ? util::log2_ceil(masters_.size())
+                    : 1),
+      ar_rr_(slaves_.size(), 0),
+      aw_rr_(slaves_.size(), 0),
+      w_route_(masters_.size()),
+      w_order_(slaves_.size()),
+      r_lock_(masters_.size(), -1),
+      r_rr_(masters_.size(), 0),
+      b_rr_(masters_.size(), 0) {
+  assert(!masters_.empty() && !slaves_.empty());
+  k.add(*this);
+}
+
+unsigned AxiXbar::route(std::uint64_t addr) const {
+  for (const AddrRule& rule : map_) {
+    if (addr >= rule.base && addr < rule.base + rule.size) return rule.slave;
+  }
+  assert(false && "address not mapped");
+  return 0;
+}
+
+void AxiXbar::tick_ar() {
+  // Per-slave round-robin over masters whose head AR targets it.
+  for (unsigned s = 0; s < slaves_.size(); ++s) {
+    if (!slaves_[s]->ar.can_push()) continue;
+    const unsigned m0 = ar_rr_[s];
+    for (unsigned i = 0; i < masters_.size(); ++i) {
+      const unsigned m = (m0 + i) % masters_.size();
+      if (!masters_[m]->ar.can_pop()) continue;
+      if (route(masters_[m]->ar.front().addr) != s) continue;
+      AxiAr ar = masters_[m]->ar.pop();
+      ar.id = remap(ar.id, m);
+      slaves_[s]->ar.push(std::move(ar));
+      ar_rr_[s] = (m + 1) % masters_.size();
+      break;
+    }
+  }
+}
+
+void AxiXbar::tick_aw() {
+  for (unsigned s = 0; s < slaves_.size(); ++s) {
+    if (!slaves_[s]->aw.can_push()) continue;
+    const unsigned m0 = aw_rr_[s];
+    for (unsigned i = 0; i < masters_.size(); ++i) {
+      const unsigned m = (m0 + i) % masters_.size();
+      if (!masters_[m]->aw.can_pop()) continue;
+      if (route(masters_[m]->aw.front().addr) != s) continue;
+      AxiAw aw = masters_[m]->aw.pop();
+      aw.id = remap(aw.id, m);
+      slaves_[s]->aw.push(std::move(aw));
+      aw_rr_[s] = (m + 1) % masters_.size();
+      w_route_[m].push_back(s);
+      w_order_[s].push_back(m);
+      break;
+    }
+  }
+}
+
+void AxiXbar::tick_w() {
+  // Each slave accepts W beats from the master at the head of its AW
+  // acceptance order; each master sends W beats toward the slave at the head
+  // of its own AW issue order. A transfer happens when both agree.
+  for (unsigned s = 0; s < slaves_.size(); ++s) {
+    if (w_order_[s].empty() || !slaves_[s]->w.can_push()) continue;
+    const unsigned m = w_order_[s].front();
+    if (w_route_[m].empty() || w_route_[m].front() != s) continue;
+    if (!masters_[m]->w.can_pop()) continue;
+    AxiW beat = masters_[m]->w.pop();
+    const bool last = beat.last;
+    slaves_[s]->w.push(std::move(beat));
+    if (last) {
+      w_order_[s].pop_front();
+      w_route_[m].pop_front();
+    }
+  }
+}
+
+void AxiXbar::tick_r() {
+  // Per-master: stay locked to one slave for the duration of a burst so R
+  // beats of one (master, id) stream never interleave.
+  for (unsigned m = 0; m < masters_.size(); ++m) {
+    if (!masters_[m]->r.can_push()) continue;
+    if (r_lock_[m] < 0) {
+      const unsigned s0 = r_rr_[m];
+      for (unsigned i = 0; i < slaves_.size(); ++i) {
+        const unsigned s = (s0 + i) % slaves_.size();
+        if (slaves_[s]->r.can_pop() &&
+            master_of(slaves_[s]->r.front().id) == m) {
+          r_lock_[m] = static_cast<int>(s);
+          r_rr_[m] = (s + 1) % slaves_.size();
+          break;
+        }
+      }
+    }
+    if (r_lock_[m] < 0) continue;
+    const auto s = static_cast<unsigned>(r_lock_[m]);
+    if (!slaves_[s]->r.can_pop()) continue;
+    if (master_of(slaves_[s]->r.front().id) != m) continue;
+    AxiR beat = slaves_[s]->r.pop();
+    beat.id = unmap(beat.id);
+    const bool last = beat.last;
+    masters_[m]->r.push(std::move(beat));
+    if (last) r_lock_[m] = -1;
+  }
+}
+
+void AxiXbar::tick_b() {
+  for (unsigned m = 0; m < masters_.size(); ++m) {
+    if (!masters_[m]->b.can_push()) continue;
+    const unsigned s0 = b_rr_[m];
+    for (unsigned i = 0; i < slaves_.size(); ++i) {
+      const unsigned s = (s0 + i) % slaves_.size();
+      if (slaves_[s]->b.can_pop() &&
+          master_of(slaves_[s]->b.front().id) == m) {
+        AxiB b = slaves_[s]->b.pop();
+        b.id = unmap(b.id);
+        masters_[m]->b.push(b);
+        b_rr_[m] = (s + 1) % slaves_.size();
+        break;
+      }
+    }
+  }
+}
+
+void AxiXbar::tick() {
+  tick_ar();
+  tick_aw();
+  tick_w();
+  tick_r();
+  tick_b();
+}
+
+}  // namespace axipack::axi

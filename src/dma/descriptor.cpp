@@ -1,0 +1,122 @@
+#include "dma/descriptor.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace axipack::dma {
+namespace {
+
+/// Index width <-> 2-bit wire code (mirrors the AXI-Pack user encoding).
+unsigned index_code(unsigned bits) {
+  switch (bits) {
+    case 8: return 0;
+    case 16: return 1;
+    case 32: return 2;
+    default: assert(false && "index width must be 8, 16 or 32"); return 2;
+  }
+}
+
+unsigned code_index(unsigned code) {
+  static constexpr unsigned kBits[] = {8, 16, 32};
+  return code < 3 ? kBits[code] : 0;
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  std::memcpy(p, &v, sizeof v);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+/// Second 64-bit payload of one pattern (stride or index base).
+std::uint64_t pattern_arg(const Pattern& p) {
+  return p.kind == Pattern::Kind::strided
+             ? static_cast<std::uint64_t>(p.stride)
+             : p.index_base;
+}
+
+}  // namespace
+
+void write_descriptor(mem::BackingStore& store, std::uint64_t addr,
+                      const Descriptor& d) {
+  assert(addr % 8 == 0 && "descriptors must be 8-byte aligned");
+  assert(d.elem_bytes >= 4 && (d.elem_bytes & (d.elem_bytes - 1)) == 0);
+
+  std::uint8_t raw[kDescriptorBytes] = {};
+  const std::uint32_t flags =
+      (static_cast<std::uint32_t>(d.src.kind) << 0) |
+      (static_cast<std::uint32_t>(d.dst.kind) << 2) |
+      (static_cast<std::uint32_t>(util::log2_exact(d.elem_bytes)) << 4) |
+      (index_code(d.src.index_bits) << 8) |
+      (index_code(d.dst.index_bits) << 12);
+  std::memcpy(raw, &flags, 4);
+  put_u64(raw + 8, d.num_elems);
+  put_u64(raw + 16, d.src.addr);
+  put_u64(raw + 24, pattern_arg(d.src));
+  put_u64(raw + 32, d.dst.addr);
+  put_u64(raw + 40, pattern_arg(d.dst));
+  put_u64(raw + 48, d.next);
+  store.write(addr, raw, kDescriptorBytes);
+}
+
+std::optional<Descriptor> parse_descriptor(const std::uint8_t* bytes) {
+  std::uint32_t flags = 0;
+  std::memcpy(&flags, bytes, 4);
+  const unsigned src_kind = flags & 0x3;
+  const unsigned dst_kind = (flags >> 2) & 0x3;
+  const unsigned elem_log2 = (flags >> 4) & 0xf;
+  const unsigned src_icode = (flags >> 8) & 0xf;
+  const unsigned dst_icode = (flags >> 12) & 0xf;
+  if (src_kind > 2 || dst_kind > 2 || elem_log2 < 2 || elem_log2 > 5 ||
+      src_icode > 2 || dst_icode > 2) {
+    return std::nullopt;
+  }
+
+  Descriptor d;
+  d.elem_bytes = 1u << elem_log2;
+  d.num_elems = get_u64(bytes + 8);
+  d.next = get_u64(bytes + 48);
+
+  auto load_pattern = [&](unsigned kind, unsigned icode, std::uint64_t addr,
+                          std::uint64_t arg) {
+    Pattern p;
+    p.kind = static_cast<Pattern::Kind>(kind);
+    p.addr = addr;
+    if (p.kind == Pattern::Kind::strided) {
+      p.stride = static_cast<std::int64_t>(arg);
+    } else if (p.kind == Pattern::Kind::indirect) {
+      p.index_base = arg;
+      p.index_bits = code_index(icode);
+    }
+    return p;
+  };
+  d.src = load_pattern(src_kind, src_icode, get_u64(bytes + 16),
+                       get_u64(bytes + 24));
+  d.dst = load_pattern(dst_kind, dst_icode, get_u64(bytes + 32),
+                       get_u64(bytes + 40));
+  return d;
+}
+
+std::uint64_t build_chain(mem::BackingStore& store,
+                          const std::vector<Descriptor>& descs) {
+  assert(!descs.empty());
+  std::vector<std::uint64_t> addrs;
+  addrs.reserve(descs.size());
+  for (std::size_t i = 0; i < descs.size(); ++i) {
+    addrs.push_back(store.alloc(kDescriptorBytes, kDescriptorBytes));
+  }
+  for (std::size_t i = 0; i < descs.size(); ++i) {
+    Descriptor d = descs[i];
+    d.next = (i + 1 < descs.size()) ? addrs[i + 1] : 0;
+    write_descriptor(store, addrs[i], d);
+  }
+  return addrs.front();
+}
+
+}  // namespace axipack::dma

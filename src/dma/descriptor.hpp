@@ -1,0 +1,91 @@
+// DMA transfer descriptors for the AXI-Pack DMA engine.
+//
+// The paper's Related Work positions AXI-Pack as enabling ahead-of-time
+// layout transforms "by an AXI-Pack-capable direct memory access (DMA)
+// controller" (PLANAR-style data rearrangement). A descriptor names one
+// transfer: a source access pattern, a destination access pattern, an
+// element size and a stream length. Patterns may be contiguous, strided or
+// indirect; irregular patterns map to AXI-Pack bursts when the engine runs
+// in pack mode and to per-element narrow bursts otherwise (the baseline the
+// paper quantifies against).
+//
+// Descriptors can be programmed directly (register-style) or linked into
+// in-memory chains the engine fetches over its own AXI port; the wire
+// layout is defined here so tests, examples and the engine agree on it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/backing_store.hpp"
+
+namespace axipack::dma {
+
+/// One side (source or destination) of a DMA transfer.
+struct Pattern {
+  enum class Kind : std::uint8_t { contiguous = 0, strided = 1, indirect = 2 };
+
+  Kind kind = Kind::contiguous;
+  std::uint64_t addr = 0;        ///< start address / indirect element base
+  std::int64_t stride = 0;       ///< strided: byte distance between elements
+  std::uint64_t index_base = 0;  ///< indirect: address of the index array
+  unsigned index_bits = 32;      ///< indirect: index width (8, 16 or 32)
+
+  static Pattern contiguous(std::uint64_t addr) {
+    return Pattern{Kind::contiguous, addr, 0, 0, 32};
+  }
+  static Pattern strided(std::uint64_t addr, std::int64_t stride) {
+    return Pattern{Kind::strided, addr, stride, 0, 32};
+  }
+  /// Element i is read/written at `base + index[i] * elem_bytes`.
+  static Pattern indirect(std::uint64_t base, std::uint64_t index_base,
+                          unsigned index_bits = 32) {
+    return Pattern{Kind::indirect, base, 0, index_base, index_bits};
+  }
+
+  bool operator==(const Pattern&) const = default;
+};
+
+/// One DMA transfer: move `num_elems` elements of `elem_bytes` each from
+/// `src` to `dst`. `next` chains descriptors in memory (0 terminates).
+struct Descriptor {
+  Pattern src;
+  Pattern dst;
+  unsigned elem_bytes = 4;  ///< 4, 8, 16 or 32 (multiple of the 32-bit word)
+  std::uint64_t num_elems = 0;
+  std::uint64_t next = 0;  ///< address of the next in-memory descriptor
+
+  std::uint64_t total_bytes() const { return num_elems * elem_bytes; }
+
+  bool operator==(const Descriptor&) const = default;
+};
+
+/// In-memory descriptor wire format: 64 bytes, word layout
+///   w0  flags: [1:0] src kind, [3:2] dst kind, [7:4] log2(elem_bytes),
+///              [11:8] src index-size code, [15:12] dst index-size code
+///   w1  reserved (0)
+///   w2/w3    num_elems       (lo/hi)
+///   w4/w5    src.addr        (lo/hi)
+///   w6/w7    src stride or index_base (lo/hi, stride sign-extended)
+///   w8/w9    dst.addr        (lo/hi)
+///   w10/w11  dst stride or index_base (lo/hi)
+///   w12/w13  next            (lo/hi)
+///   w14/w15  reserved (0)
+inline constexpr std::uint64_t kDescriptorBytes = 64;
+
+/// Serializes `d` into the backing store at `addr` (64-byte aligned).
+void write_descriptor(mem::BackingStore& store, std::uint64_t addr,
+                      const Descriptor& d);
+
+/// Deserializes a descriptor from raw wire bytes (kDescriptorBytes long).
+/// Returns nullopt if the flags word is malformed (unknown kind/size codes).
+std::optional<Descriptor> parse_descriptor(const std::uint8_t* bytes);
+
+/// Convenience: builds a chain in memory from `descs`, linking each entry to
+/// the next and terminating the last. Returns the address of the head.
+/// Descriptor storage is bump-allocated from `store`.
+std::uint64_t build_chain(mem::BackingStore& store,
+                          const std::vector<Descriptor>& descs);
+
+}  // namespace axipack::dma

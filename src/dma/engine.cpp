@@ -1,0 +1,569 @@
+#include "dma/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "axi/burst.hpp"
+#include "util/bits.hpp"
+
+namespace axipack::dma {
+
+namespace {
+
+/// Words one element occupies.
+unsigned wpe(const Descriptor& d) { return d.elem_bytes / 4; }
+
+/// Bytes of one index entry.
+unsigned idx_bytes(const Pattern& p) { return p.index_bits / 8; }
+
+/// Burst plan for reading one side of `d` in pack/contiguous mode.
+std::vector<axi::AxiAr> plan_pattern_reads(const Pattern& p,
+                                           const Descriptor& d,
+                                           unsigned bus_bytes) {
+  switch (p.kind) {
+    case Pattern::Kind::contiguous:
+      return axi::split_contiguous(p.addr, d.total_bytes(), bus_bytes);
+    case Pattern::Kind::strided:
+      return axi::split_pack_strided(p.addr, p.stride, d.elem_bytes,
+                                     d.num_elems, bus_bytes);
+    case Pattern::Kind::indirect:
+      return axi::split_pack_indirect(p.addr, p.index_base, p.index_bits,
+                                      d.elem_bytes, d.num_elems, bus_bytes);
+  }
+  assert(false);
+  return {};
+}
+
+}  // namespace
+
+DmaEngine::DmaEngine(sim::Kernel& k, axi::AxiPort& port, const DmaConfig& cfg)
+    : port_(port), cfg_(cfg) {
+  assert(cfg_.bus_bytes % 4 == 0 && cfg_.bus_bytes <= axi::kMaxBusBytes);
+  k.add(*this);
+}
+
+void DmaEngine::push(const Descriptor& d) {
+  assert(d.elem_bytes >= 4 && d.elem_bytes % 4 == 0 &&
+         d.elem_bytes <= cfg_.bus_bytes);
+  queue_.push_back(PendingDesc{d, 0, false});
+}
+
+void DmaEngine::start_chain(std::uint64_t head) {
+  assert(head != 0);
+  queue_.push_back(PendingDesc{{}, head, true});
+}
+
+bool DmaEngine::idle() const {
+  return !transfer_active_ && !fetching_desc_ && queue_.empty();
+}
+
+std::uint64_t DmaEngine::elem_addr(const Pattern& p, std::uint64_t i,
+                                   bool is_src) const {
+  switch (p.kind) {
+    case Pattern::Kind::contiguous:
+      return p.addr + i * cur_.elem_bytes;
+    case Pattern::Kind::strided:
+      return p.addr + static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(i) * p.stride);
+    case Pattern::Kind::indirect: {
+      const auto& cache = is_src ? idx_src_ : idx_dst_;
+      assert(i < cache.size() && "index not staged yet");
+      return p.addr + cache[i] * cur_.elem_bytes;
+    }
+  }
+  assert(false);
+  return 0;
+}
+
+void DmaEngine::plan_index_fetch(const Pattern& p) {
+  const std::uint64_t bytes = cur_.num_elems * idx_bytes(p);
+  for (const axi::AxiAr& ar :
+       axi::split_contiguous(p.index_base, bytes, cfg_.bus_bytes,
+                             axi::Traffic::index)) {
+    PlannedRead pr;
+    pr.ar = ar;
+    pr.ar.id = cfg_.axi_id;
+    pr.kind = ReadKind::index;
+    // Payload accounting below relies on planned order, so compute the
+    // exact byte count this burst covers.
+    pr.payload_bytes = 0;  // filled after the loop from the tiling
+    planned_reads_.push_back(pr);
+  }
+  // split_contiguous tiles [index_base, index_base + bytes); recover each
+  // burst's extent from consecutive start addresses.
+  std::uint64_t end = p.index_base + bytes;
+  for (std::size_t i = planned_reads_.size(); i-- > 0;) {
+    PlannedRead& pr = planned_reads_[i];
+    if (pr.kind != ReadKind::index || pr.payload_bytes != 0) break;
+    pr.payload_bytes = end - pr.ar.addr;
+    end = pr.ar.addr;
+  }
+}
+
+void DmaEngine::begin_transfer(const Descriptor& d) {
+  assert(!transfer_active_);
+  cur_ = d;
+  transfer_active_ = true;
+  planned_reads_.clear();
+  next_read_ = 0;
+  planned_writes_.clear();
+  next_aw_ = 0;
+  w_burst_ = 0;
+  w_sent_bytes_ = 0;
+  w_cursor_ = 0;
+  idx_src_.clear();
+  idx_dst_.clear();
+  idx_raw_.clear();
+  needs_src_idx_ = false;
+  needs_dst_idx_ = false;
+
+  if (d.num_elems == 0) {
+    finish_transfer();
+    return;
+  }
+
+  // Narrow mode stages index arrays through the engine before the data
+  // phase, like a conventional gather/scatter DMA (and like the paper's
+  // BASE system fetching indices into the core).
+  if (!cfg_.use_pack) {
+    if (d.src.kind == Pattern::Kind::indirect) needs_src_idx_ = true;
+    if (d.dst.kind == Pattern::Kind::indirect) needs_dst_idx_ = true;
+    if (needs_src_idx_) {
+      idx_fetch_src_ = true;
+      plan_index_fetch(d.src);
+    } else if (needs_dst_idx_) {
+      idx_fetch_src_ = false;
+      plan_index_fetch(d.dst);
+    }
+  }
+
+  const bool src_irregular = d.src.kind != Pattern::Kind::contiguous;
+  const bool dst_irregular = d.dst.kind != Pattern::Kind::contiguous;
+
+  // Plan data reads. In narrow mode irregular sides use per-element bursts
+  // generated on the fly (planned lazily in tick_read once indices are in).
+  if (cfg_.use_pack || !src_irregular) {
+    for (const axi::AxiAr& ar :
+         plan_pattern_reads(d.src, d, cfg_.bus_bytes)) {
+      PlannedRead pr;
+      pr.ar = ar;
+      pr.ar.id = cfg_.axi_id;
+      pr.kind = ReadKind::data;
+      pr.payload_bytes = 0;
+      planned_reads_.push_back(pr);
+    }
+    // Recover per-burst payload from stream geometry.
+    if (!src_irregular) {
+      std::uint64_t end = d.src.addr + d.total_bytes();
+      for (std::size_t i = planned_reads_.size(); i-- > 0;) {
+        PlannedRead& pr = planned_reads_[i];
+        if (pr.kind != ReadKind::data) break;
+        pr.payload_bytes = end - pr.ar.addr;
+        end = pr.ar.addr;
+      }
+    } else {
+      for (PlannedRead& pr : planned_reads_) {
+        if (pr.kind == ReadKind::data) {
+          pr.payload_bytes = pr.ar.pack->num_elems * d.elem_bytes;
+        }
+      }
+    }
+  }
+
+  // Plan data writes symmetrically.
+  if (cfg_.use_pack || !dst_irregular) {
+    Pattern dst = d.dst;
+    switch (dst.kind) {
+      case Pattern::Kind::contiguous: {
+        for (const axi::AxiAr& ar :
+             axi::split_contiguous(dst.addr, d.total_bytes(),
+                                   cfg_.bus_bytes)) {
+          planned_writes_.push_back(PlannedWrite{ar, 0});
+        }
+        std::uint64_t end = dst.addr + d.total_bytes();
+        for (std::size_t i = planned_writes_.size(); i-- > 0;) {
+          PlannedWrite& pw = planned_writes_[i];
+          pw.payload_bytes = end - pw.aw.addr;
+          end = pw.aw.addr;
+        }
+        break;
+      }
+      case Pattern::Kind::strided:
+        for (const axi::AxiAr& ar :
+             axi::split_pack_strided(dst.addr, dst.stride, d.elem_bytes,
+                                     d.num_elems, cfg_.bus_bytes)) {
+          planned_writes_.push_back(
+              PlannedWrite{ar, ar.pack->num_elems * d.elem_bytes});
+        }
+        break;
+      case Pattern::Kind::indirect:
+        for (const axi::AxiAr& ar :
+             axi::split_pack_indirect(dst.addr, dst.index_base,
+                                      dst.index_bits, d.elem_bytes,
+                                      d.num_elems, cfg_.bus_bytes)) {
+          planned_writes_.push_back(
+              PlannedWrite{ar, ar.pack->num_elems * d.elem_bytes});
+        }
+        break;
+    }
+    for (PlannedWrite& pw : planned_writes_) pw.aw.id = cfg_.axi_id;
+  }
+}
+
+void DmaEngine::issue_next_read() {
+  if (!port_.ar.can_push()) return;
+  if (outstanding_reads_ >= cfg_.max_outstanding_reads) return;
+
+  const bool src_irregular = cur_.src.kind != Pattern::Kind::contiguous;
+  const bool lazy_narrow_src =
+      transfer_active_ && !cfg_.use_pack && src_irregular;
+
+  // Index and descriptor fetches, plus planned data bursts.
+  if (next_read_ < planned_reads_.size()) {
+    const PlannedRead& pr = planned_reads_[next_read_];
+    // Data reads wait until required indices are staged (narrow mode) —
+    // index bursts themselves always proceed.
+    if (pr.kind == ReadKind::data && !cfg_.use_pack &&
+        (needs_src_idx_ || needs_dst_idx_)) {
+      return;
+    }
+    const std::uint64_t words = util::ceil_div<std::uint64_t>(
+        pr.payload_bytes, 4);
+    if (pr.kind == ReadKind::data &&
+        reserved_words_ + words > cfg_.buffer_words && reserved_words_ > 0) {
+      return;  // no buffer headroom; a lone oversized burst may still go
+    }
+    port_.ar.push(pr.ar);
+    ++next_read_;
+    ++outstanding_reads_;
+    ++stats_.ar_bursts;
+    ActiveRead act;
+    act.kind = pr.kind;
+    act.packed = pr.ar.pack.has_value();
+    act.cursor = pr.ar.addr;
+    act.bytes_left = pr.payload_bytes;
+    active_reads_.push_back(act);
+    if (pr.kind == ReadKind::data) reserved_words_ += words;
+    return;
+  }
+
+  // Lazily generated per-element narrow reads (narrow-mode irregular src).
+  if (lazy_narrow_src && !(needs_src_idx_ || needs_dst_idx_)) {
+    if (rd_narrow_next_ >= cur_.num_elems) return;
+    const unsigned words = wpe(cur_);
+    if (reserved_words_ + words > cfg_.buffer_words && reserved_words_ > 0) {
+      return;
+    }
+    const std::uint64_t addr = elem_addr(cur_.src, rd_narrow_next_, true);
+    assert(addr % cur_.elem_bytes == 0 &&
+           "narrow-mode elements must be size-aligned");
+    axi::AxiAr ar;
+    ar.addr = addr;
+    ar.id = cfg_.axi_id;
+    ar.len = 0;
+    ar.size = static_cast<std::uint8_t>(util::log2_exact(cur_.elem_bytes));
+    ar.burst = axi::BurstType::incr;
+    port_.ar.push(ar);
+    ++rd_narrow_next_;
+    ++outstanding_reads_;
+    ++stats_.ar_bursts;
+    ActiveRead act;
+    act.kind = ReadKind::data;
+    act.packed = false;
+    act.cursor = addr;
+    act.bytes_left = cur_.elem_bytes;
+    active_reads_.push_back(act);
+    reserved_words_ += words;
+  }
+}
+
+void DmaEngine::consume_read_payload(const axi::AxiR& r, ActiveRead& act) {
+  // Extract this beat's payload bytes.
+  unsigned lane;
+  unsigned n;
+  if (act.packed) {
+    lane = 0;
+    n = static_cast<unsigned>(std::min<std::uint64_t>(
+        cfg_.bus_bytes, act.bytes_left));
+  } else {
+    lane = static_cast<unsigned>(act.cursor % cfg_.bus_bytes);
+    n = static_cast<unsigned>(std::min<std::uint64_t>(
+        cfg_.bus_bytes - lane, act.bytes_left));
+  }
+  assert(n % 4 == 0 && n > 0);
+  std::uint8_t raw[axi::kMaxBusBytes];
+  axi::extract_bytes(r.data, lane, raw, n);
+  act.cursor += n;
+  act.bytes_left -= n;
+
+  switch (act.kind) {
+    case ReadKind::data:
+      for (unsigned i = 0; i < n; i += 4) {
+        std::uint32_t w;
+        std::memcpy(&w, raw + i, 4);
+        buffer_.push_back(w);
+      }
+      break;
+    case ReadKind::index: {
+      idx_raw_.insert(idx_raw_.end(), raw, raw + n);
+      stats_.index_fetch_bytes += n;
+      break;
+    }
+    case ReadKind::descriptor:
+      desc_raw_.insert(desc_raw_.end(), raw, raw + n);
+      stats_.desc_fetch_bytes += n;
+      break;
+  }
+}
+
+void DmaEngine::tick_read() {
+  issue_next_read();
+
+  if (!port_.r.can_pop()) return;
+  assert(!active_reads_.empty() && "R beat with no outstanding read");
+  const axi::AxiR r = port_.r.pop();
+  ++stats_.r_beats;
+  ActiveRead& act = active_reads_.front();
+  consume_read_payload(r, act);
+  if (r.last) {
+    assert(act.bytes_left == 0 && "burst ended before payload complete");
+    const ReadKind kind = act.kind;
+    active_reads_.pop_front();
+    assert(outstanding_reads_ > 0);
+    --outstanding_reads_;
+
+    if (kind == ReadKind::index) {
+      // Completed all index bursts for the side being staged?
+      const bool more_idx_bursts =
+          next_read_ < planned_reads_.size() &&
+          planned_reads_[next_read_].kind == ReadKind::index;
+      const bool idx_inflight =
+          std::any_of(active_reads_.begin(), active_reads_.end(),
+                      [](const ActiveRead& a) {
+                        return a.kind == ReadKind::index;
+                      });
+      if (!more_idx_bursts && !idx_inflight) {
+        const Pattern& p = idx_fetch_src_ ? cur_.src : cur_.dst;
+        auto& cache = idx_fetch_src_ ? idx_src_ : idx_dst_;
+        const unsigned ib = idx_bytes(p);
+        cache.reserve(cur_.num_elems);
+        for (std::uint64_t i = 0; i < cur_.num_elems; ++i) {
+          std::uint64_t v = 0;
+          std::memcpy(&v, idx_raw_.data() + i * ib, ib);
+          cache.push_back(v);
+        }
+        idx_raw_.clear();
+        if (idx_fetch_src_) {
+          needs_src_idx_ = false;
+          if (needs_dst_idx_) {
+            idx_fetch_src_ = false;
+            plan_index_fetch(cur_.dst);
+          }
+        } else {
+          needs_dst_idx_ = false;
+        }
+      }
+    }
+  }
+}
+
+void DmaEngine::tick_write() {
+  // Collect write responses.
+  if (port_.b.can_pop()) {
+    port_.b.pop();
+    assert(outstanding_writes_ > 0);
+    --outstanding_writes_;
+  }
+  if (!transfer_active_) return;
+  if (!cfg_.use_pack && (needs_src_idx_ || needs_dst_idx_)) return;
+
+  const bool dst_irregular = cur_.dst.kind != Pattern::Kind::contiguous;
+  const bool narrow_dst = !cfg_.use_pack && dst_irregular;
+
+  if (!narrow_dst) {
+    // Planned bursts: AW strictly ahead of its W data, one beat per cycle.
+    if (next_aw_ < planned_writes_.size() &&
+        next_aw_ <= w_burst_ &&  // issue AW only as W catches up (bounded)
+        outstanding_writes_ < cfg_.max_outstanding_writes &&
+        port_.aw.can_push()) {
+      port_.aw.push(planned_writes_[next_aw_].aw);
+      ++next_aw_;
+      ++outstanding_writes_;
+      ++stats_.aw_bursts;
+    }
+    if (w_burst_ >= planned_writes_.size()) return;
+    if (w_burst_ >= next_aw_) return;  // W may not precede its AW
+    if (!port_.w.can_push()) return;
+    const PlannedWrite& pw = planned_writes_[w_burst_];
+
+    unsigned lane;
+    unsigned n;
+    const std::uint64_t left = pw.payload_bytes - w_sent_bytes_;
+    if (pw.aw.pack.has_value()) {
+      lane = 0;
+      n = static_cast<unsigned>(
+          std::min<std::uint64_t>(cfg_.bus_bytes, left));
+    } else {
+      if (w_sent_bytes_ == 0) w_cursor_ = pw.aw.addr;
+      lane = static_cast<unsigned>(w_cursor_ % cfg_.bus_bytes);
+      n = static_cast<unsigned>(
+          std::min<std::uint64_t>(cfg_.bus_bytes - lane, left));
+    }
+    assert(n % 4 == 0 && n > 0);
+    if (buffer_.size() < n / 4) return;  // data not staged yet
+
+    axi::AxiW w;
+    for (unsigned i = 0; i < n; i += 4) {
+      const std::uint32_t word = buffer_.front();
+      buffer_.pop_front();
+      axi::place_bytes(w.data, lane + i,
+                       reinterpret_cast<const std::uint8_t*>(&word), 4);
+    }
+    assert(reserved_words_ >= n / 4);
+    reserved_words_ -= n / 4;
+    w.strb = axi::strb_mask(lane, n);
+    w.useful_bytes = static_cast<std::uint16_t>(n);
+    w_sent_bytes_ += n;
+    w_cursor_ += n;
+    w.last = w_sent_bytes_ == pw.payload_bytes;
+    port_.w.push(w);
+    ++stats_.w_beats;
+    if (w.last) {
+      ++w_burst_;
+      w_sent_bytes_ = 0;
+    }
+  } else {
+    // Per-element narrow writes: one AW+W pair per element.
+    if (wr_narrow_next_ >= cur_.num_elems) return;
+    if (outstanding_writes_ >= cfg_.max_outstanding_writes) return;
+    if (!port_.aw.can_push() || !port_.w.can_push()) return;
+    const unsigned n = cur_.elem_bytes;
+    if (buffer_.size() < n / 4) return;
+
+    const std::uint64_t addr =
+        elem_addr(cur_.dst, wr_narrow_next_, false);
+    assert(addr % cur_.elem_bytes == 0 &&
+           "narrow-mode elements must be size-aligned");
+    axi::AxiAw aw;
+    aw.addr = addr;
+    aw.id = cfg_.axi_id;
+    aw.len = 0;
+    aw.size = static_cast<std::uint8_t>(util::log2_exact(n));
+    aw.burst = axi::BurstType::incr;
+    port_.aw.push(aw);
+    ++stats_.aw_bursts;
+
+    axi::AxiW w;
+    const unsigned lane = static_cast<unsigned>(addr % cfg_.bus_bytes);
+    for (unsigned i = 0; i < n; i += 4) {
+      const std::uint32_t word = buffer_.front();
+      buffer_.pop_front();
+      axi::place_bytes(w.data, lane + i,
+                       reinterpret_cast<const std::uint8_t*>(&word), 4);
+    }
+    assert(reserved_words_ >= n / 4);
+    reserved_words_ -= n / 4;
+    w.strb = axi::strb_mask(lane, n);
+    w.useful_bytes = static_cast<std::uint16_t>(n);
+    w.last = true;
+    port_.w.push(w);
+    ++stats_.w_beats;
+    ++outstanding_writes_;
+    ++wr_narrow_next_;
+  }
+}
+
+void DmaEngine::finish_transfer() {
+  stats_.bytes_moved += cur_.total_bytes();
+  ++stats_.descriptors_done;
+  transfer_active_ = false;
+  rd_narrow_next_ = 0;
+  wr_narrow_next_ = 0;
+  if (cur_.next != 0) {
+    queue_.push_front(PendingDesc{{}, cur_.next, true});
+  }
+}
+
+void DmaEngine::tick_start() {
+  if (transfer_active_ || fetching_desc_ || queue_.empty()) return;
+  PendingDesc& head = queue_.front();
+  if (!head.from_memory) {
+    const Descriptor d = head.desc;
+    queue_.pop_front();
+    begin_transfer(d);
+    return;
+  }
+  // Fetch the descriptor over the port (plain INCR reads).
+  fetching_desc_ = true;
+  desc_raw_.clear();
+  planned_reads_.clear();
+  next_read_ = 0;
+  for (const axi::AxiAr& ar : axi::split_contiguous(
+           head.addr, kDescriptorBytes, cfg_.bus_bytes)) {
+    PlannedRead pr;
+    pr.ar = ar;
+    pr.ar.id = cfg_.axi_id;
+    pr.kind = ReadKind::descriptor;
+    pr.payload_bytes = 0;
+    planned_reads_.push_back(pr);
+  }
+  std::uint64_t end = head.addr + kDescriptorBytes;
+  for (std::size_t i = planned_reads_.size(); i-- > 0;) {
+    planned_reads_[i].payload_bytes = end - planned_reads_[i].ar.addr;
+    end = planned_reads_[i].ar.addr;
+  }
+  queue_.pop_front();
+}
+
+void DmaEngine::tick() {
+  if (transfer_active_ || fetching_desc_ || !queue_.empty()) {
+    ++stats_.busy_cycles;
+  }
+  tick_start();
+
+  if (fetching_desc_) {
+    issue_next_read();
+    if (port_.r.can_pop()) {
+      const axi::AxiR r = port_.r.pop();
+      ++stats_.r_beats;
+      assert(!active_reads_.empty());
+      ActiveRead& act = active_reads_.front();
+      consume_read_payload(r, act);
+      if (r.last) {
+        active_reads_.pop_front();
+        --outstanding_reads_;
+        if (desc_raw_.size() == kDescriptorBytes) {
+          const auto d = parse_descriptor(desc_raw_.data());
+          assert(d.has_value() && "malformed in-memory descriptor");
+          fetching_desc_ = false;
+          begin_transfer(*d);
+        }
+      }
+    }
+    return;
+  }
+
+  if (!transfer_active_) return;
+  tick_read();
+  tick_write();
+
+  // Transfer completion check.
+  const bool reads_planned_done = next_read_ >= planned_reads_.size();
+  const bool src_irregular = cur_.src.kind != Pattern::Kind::contiguous;
+  const bool narrow_src = !cfg_.use_pack && src_irregular;
+  const bool reads_done =
+      reads_planned_done && active_reads_.empty() &&
+      (!narrow_src || rd_narrow_next_ >= cur_.num_elems);
+  const bool dst_irregular = cur_.dst.kind != Pattern::Kind::contiguous;
+  const bool narrow_dst = !cfg_.use_pack && dst_irregular;
+  const bool writes_done =
+      narrow_dst ? wr_narrow_next_ >= cur_.num_elems
+                 : w_burst_ >= planned_writes_.size();
+  if (reads_done && writes_done && outstanding_writes_ == 0) {
+    assert(buffer_.empty());
+    finish_transfer();
+  }
+}
+
+}  // namespace axipack::dma

@@ -1,0 +1,87 @@
+#include "energy/area_model.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "energy/tech.hpp"
+#include "util/bits.hpp"
+
+namespace axipack::energy {
+
+namespace {
+
+double area_at_1ghz(unsigned bus_bits) {
+  switch (bus_bits) {
+    case 64: return kAdapterArea64;
+    case 128: return kAdapterArea128;
+    case 256: return kAdapterArea256;
+    default: {
+      // Linear interpolation/extrapolation on width (the paper observes
+      // linear scaling).
+      const double slope = (kAdapterArea256 - kAdapterArea64) / (256.0 - 64.0);
+      return kAdapterArea64 + slope * (static_cast<double>(bus_bits) - 64.0);
+    }
+  }
+}
+
+}  // namespace
+
+double adapter_min_period_ps(unsigned bus_bits) {
+  switch (bus_bits) {
+    case 64: return kMinPeriod64;
+    case 128: return kMinPeriod128;
+    case 256: return kMinPeriod256;
+    default: {
+      const double slope = (kMinPeriod256 - kMinPeriod64) / (256.0 - 64.0);
+      return kMinPeriod64 + slope * (static_cast<double>(bus_bits) - 64.0);
+    }
+  }
+}
+
+std::optional<double> adapter_area_kge(unsigned bus_bits, double clock_ps) {
+  const double t_min = adapter_min_period_ps(bus_bits);
+  if (clock_ps < t_min) return std::nullopt;
+  const double a_1ghz = area_at_1ghz(bus_bits);
+  if (clock_ps >= 1000.0) {
+    // Relaxed clocks let synthesis downsize cells, asymptotically saving
+    // kLooseClockAreaSlack of the area.
+    const double relax = 1.0 - kLooseClockAreaSlack * (1.0 - 1000.0 / clock_ps);
+    return a_1ghz * relax;
+  }
+  // Tightening toward the minimum period upsizes cells superlinearly.
+  const double frac = (1000.0 - clock_ps) / (1000.0 - t_min);
+  return a_1ghz * (1.0 + kTightClockAreaPenalty * frac * frac);
+}
+
+AdapterBreakdown adapter_breakdown_kge(unsigned bus_bits) {
+  const double total = area_at_1ghz(bus_bits);
+  AdapterBreakdown b;
+  b.indirect_w = total * kFracIndirW;
+  b.indirect_r = total * kFracIndirR;
+  b.strided_w = total * kFracStrideW;
+  b.strided_r = total * kFracStrideR;
+  b.base_conv = total * kFracBaseConv;
+  b.mem_mux = total * kFracMemMux;
+  b.axi_demux = total * kFracAxiDemux;
+  return b;
+}
+
+XbarArea bank_xbar_area_kge(unsigned banks, unsigned ports) {
+  assert(banks > 0 && ports > 0);
+  const double port_scale = static_cast<double>(ports) / 8.0;
+  XbarArea a;
+  a.crossbar = (kXbarBase + kXbarPerBank * banks) * port_scale;
+  if (!util::is_pow2(banks)) {
+    // Each port needs a modulo unit for bank selection and a divider for
+    // the row address (paper Fig. 5c).
+    a.modulo = (kModBase + kModPerBank * banks) * port_scale;
+    a.divider = (kDivBase + kDivPerBank * banks) * port_scale;
+  }
+  return a;
+}
+
+double ara_area_kge(unsigned lanes) {
+  return kAraAreaKge8Lanes * static_cast<double>(lanes) / 8.0;
+}
+
+}  // namespace axipack::energy

@@ -1,0 +1,46 @@
+// Analytical area/timing model for the AXI-Pack adapter and bank crossbar,
+// reproducing paper Figs. 4a, 4b and 5c. See tech.hpp for calibration.
+#pragma once
+
+#include <optional>
+
+namespace axipack::energy {
+
+/// Minimum achievable clock period for the adapter at a bus width (ps).
+double adapter_min_period_ps(unsigned bus_bits);
+
+/// Adapter area in kGE when synthesized at `clock_ps`; nullopt if the
+/// period is below the minimum achievable for that width.
+std::optional<double> adapter_area_kge(unsigned bus_bits, double clock_ps);
+
+/// Per-block adapter area breakdown (Fig. 4b), at 1 GHz.
+struct AdapterBreakdown {
+  double indirect_w = 0;
+  double indirect_r = 0;
+  double strided_w = 0;
+  double strided_r = 0;
+  double base_conv = 0;
+  double mem_mux = 0;
+  double axi_demux = 0;
+
+  double total() const {
+    return indirect_w + indirect_r + strided_w + strided_r + base_conv +
+           mem_mux + axi_demux;
+  }
+};
+AdapterBreakdown adapter_breakdown_kge(unsigned bus_bits);
+
+/// Bank crossbar area split (Fig. 5c): modulo/divider only for non-pow2.
+struct XbarArea {
+  double crossbar = 0;
+  double modulo = 0;
+  double divider = 0;
+
+  double total() const { return crossbar + modulo + divider; }
+};
+XbarArea bank_xbar_area_kge(unsigned banks, unsigned ports = 8);
+
+/// Ara's approximate area (lane-dominated), for the adapter/Ara ratio.
+double ara_area_kge(unsigned lanes);
+
+}  // namespace axipack::energy

@@ -1,0 +1,51 @@
+#include "energy/power_model.hpp"
+
+#include "energy/tech.hpp"
+
+namespace axipack::energy {
+
+PowerEstimate estimate(const sys::SystemConfig& cfg,
+                       const sys::RunResult& result) {
+  const sim::Counters& a = result.activity;
+  // Bus beats scale in energy with bus width (wire count).
+  const double beat_scale = static_cast<double>(cfg.bus_bits) / 256.0;
+  double dynamic_pj = 0.0;
+  dynamic_pj += static_cast<double>(a.get("vfu.elems")) * kEnergyFmaPj;
+  dynamic_pj += static_cast<double>(result.bus.r_beats + result.bus.w_beats) *
+                kEnergyBusBeatPj * beat_scale;
+  dynamic_pj += static_cast<double>(result.bus.ar_handshakes +
+                                    result.bus.aw_handshakes) *
+                kEnergyReqPj;
+  dynamic_pj += static_cast<double>(result.bank_grants) * kEnergyBankWordPj;
+  dynamic_pj +=
+      static_cast<double>(a.get("proc.dispatches")) * kEnergyDispatchPj;
+  dynamic_pj +=
+      static_cast<double>(a.get("proc.scalar_cycles")) * kEnergyScalarCyclePj;
+  const std::uint64_t ideal_words = (a.get("ideal.read_bytes") +
+                                     a.get("ideal.write_bytes") +
+                                     a.get("ideal.index_bytes")) /
+                                    4;
+  dynamic_pj += static_cast<double>(ideal_words) * kEnergyIdealWordPj;
+
+  const double static_pj =
+      static_cast<double>(result.cycles) * kStaticPowerMw / kClockGhz;
+  const double total_pj = dynamic_pj + static_pj;
+  const double time_ns = static_cast<double>(result.cycles) / kClockGhz;
+
+  PowerEstimate est;
+  est.energy_uj = total_pj * 1e-6;
+  est.power_mw = time_ns > 0.0 ? total_pj / time_ns : 0.0;  // pJ/ns == mW
+  return est;
+}
+
+double efficiency_gain(const PowerEstimate& base_est,
+                       std::uint64_t base_cycles,
+                       const PowerEstimate& pack_est,
+                       std::uint64_t pack_cycles) {
+  (void)base_cycles;
+  (void)pack_cycles;
+  if (pack_est.energy_uj <= 0.0) return 0.0;
+  return base_est.energy_uj / pack_est.energy_uj;
+}
+
+}  // namespace axipack::energy

@@ -1,0 +1,26 @@
+// Event-based power/energy model reproducing paper Fig. 4c: per-benchmark
+// average power for BASE and PACK, and the energy-efficiency improvement
+// (same work, fewer cycles at mildly higher power).
+#pragma once
+
+#include "systems/config.hpp"
+#include "systems/system.hpp"
+
+namespace axipack::energy {
+
+struct PowerEstimate {
+  double power_mw = 0.0;   ///< average power over the run
+  double energy_uj = 0.0;  ///< total energy of the run
+};
+
+/// Estimates power/energy of a finished run from its activity counters.
+PowerEstimate estimate(const sys::SystemConfig& cfg,
+                       const sys::RunResult& result);
+
+/// Energy-efficiency improvement of `pack` over `base` for the same
+/// workload: (P_base * t_base) / (P_pack * t_pack).
+double efficiency_gain(const PowerEstimate& base_est, std::uint64_t base_cycles,
+                       const PowerEstimate& pack_est,
+                       std::uint64_t pack_cycles);
+
+}  // namespace axipack::energy

@@ -1,0 +1,49 @@
+// Functional byte-addressable memory image backing the timing models.
+//
+// All simulated data lives here: workload generators write inputs through
+// the host interface, the banked memory performs its word accesses against
+// it, and golden checks read results back. A simple bump allocator carves
+// out aligned regions for workload buffers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace axipack::mem {
+
+class BackingStore {
+ public:
+  /// Memory window [base, base+size). `base` is typically 0x8000'0000.
+  BackingStore(std::uint64_t base, std::uint64_t size);
+
+  std::uint64_t base() const { return base_; }
+  std::uint64_t size() const { return bytes_.size(); }
+  bool contains(std::uint64_t addr, std::uint64_t n = 1) const;
+
+  // Host (zero-time) access, used by generators, golden checks and the
+  // scalar-core functional model.
+  void write(std::uint64_t addr, const void* src, std::uint64_t n);
+  void read(std::uint64_t addr, void* dst, std::uint64_t n) const;
+
+  std::uint32_t read_u32(std::uint64_t addr) const;
+  void write_u32(std::uint64_t addr, std::uint32_t value);
+  float read_f32(std::uint64_t addr) const;
+  void write_f32(std::uint64_t addr, float value);
+
+  /// Word access with byte strobes (timing models use this).
+  void write_word(std::uint64_t addr, std::uint32_t wdata, std::uint8_t strb);
+
+  /// Bump-allocates `n` bytes aligned to `align`; never freed.
+  std::uint64_t alloc(std::uint64_t n, std::uint64_t align = 64);
+
+  /// Resets the allocator (contents are kept).
+  void reset_alloc() { next_ = base_; }
+
+ private:
+  std::uint64_t base_;
+  std::uint64_t next_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace axipack::mem

@@ -1,0 +1,6 @@
+#include "mem/bank.hpp"
+
+namespace axipack::mem {
+// BankMap is header-only; this TU compile-checks it.
+static_assert(sizeof(BankMap) > 0);
+}  // namespace axipack::mem

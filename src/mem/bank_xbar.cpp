@@ -1,0 +1,64 @@
+#include "mem/bank_xbar.hpp"
+
+#include <cassert>
+
+namespace axipack::mem {
+
+BankXbar::BankXbar(sim::Kernel& k, BackingStore& store,
+                   std::vector<WordPort*> ports, unsigned num_banks)
+    : store_(store),
+      ports_(std::move(ports)),
+      map_(num_banks),
+      bank_stats_(num_banks),
+      rr_(num_banks, 0) {
+  assert(num_banks > 0 && !ports_.empty());
+  k.add(*this);
+}
+
+void BankXbar::tick() {
+  // Gather the target bank of each port's head request.
+  const unsigned n = static_cast<unsigned>(ports_.size());
+  const unsigned m = map_.num_banks();
+  // contenders[b] = ports requesting bank b this cycle.
+  // (n and m are tiny — 8 and <=32 — so stack vectors are fine.)
+  std::vector<std::vector<unsigned>> contenders(m);
+  for (unsigned p = 0; p < n; ++p) {
+    WordPort& port = *ports_[p];
+    if (!port.req.can_pop()) continue;
+    if (!port.resp.can_push()) continue;  // response path backpressure
+    contenders[map_.bank_of(word_index(port.req.front().addr))].push_back(p);
+  }
+  for (unsigned b = 0; b < m; ++b) {
+    auto& list = contenders[b];
+    if (list.empty()) continue;
+    if (list.size() > 1) {
+      ++bank_stats_[b].conflict_cycles;
+      conflict_losses_ += list.size() - 1;
+    }
+    // Round-robin: pick the first contender at or after rr_[b].
+    unsigned chosen = list[0];
+    for (unsigned p : list) {
+      if (p >= rr_[b]) {
+        chosen = p;
+        break;
+      }
+    }
+    rr_[b] = (chosen + 1) % n;
+    WordPort& port = *ports_[chosen];
+    WordReq req = port.req.pop();
+    WordResp resp;
+    resp.tag = req.tag;
+    resp.was_write = req.write;
+    if (req.write) {
+      store_.write_word(req.addr, req.wdata, req.wstrb);
+      ++bank_stats_[b].writes;
+    } else {
+      resp.rdata = store_.read_u32(req.addr);
+      ++bank_stats_[b].reads;
+    }
+    port.resp.push(resp);
+    ++total_grants_;
+  }
+}
+
+}  // namespace axipack::mem

@@ -1,0 +1,41 @@
+// Banked on-chip SRAM: n word ports, m interleaved banks, fixed latency.
+// This is the memory endpoint behind the AXI-Pack adapter in the BASE and
+// PACK systems (paper: eight 32-bit word ports backed by 17 banks).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mem/backing_store.hpp"
+#include "mem/bank_xbar.hpp"
+#include "mem/word.hpp"
+#include "sim/kernel.hpp"
+
+namespace axipack::mem {
+
+struct BankedMemoryConfig {
+  unsigned num_ports = 8;
+  unsigned num_banks = 17;
+  sim::Cycle sram_latency = 1;   ///< cycles from grant to response visible
+  std::size_t req_depth = 2;     ///< per-port request FIFO depth
+  std::size_t resp_depth = 64;   ///< per-port response FIFO depth
+};
+
+class BankedMemory final : public WordMemory {
+ public:
+  BankedMemory(sim::Kernel& k, BackingStore& store,
+               const BankedMemoryConfig& cfg);
+
+  unsigned num_ports() const override {
+    return static_cast<unsigned>(ports_.size());
+  }
+  WordPort& port(unsigned i) override { return *ports_[i]; }
+
+  const BankXbar& xbar() const { return *xbar_; }
+
+ private:
+  std::vector<std::unique_ptr<WordPort>> ports_;
+  std::unique_ptr<BankXbar> xbar_;
+};
+
+}  // namespace axipack::mem

@@ -1,0 +1,39 @@
+// Conflict-free word memory: every port is served every cycle. Used as the
+// "ideal" bank count in the Fig. 5 sensitivity sweeps, giving the adapter an
+// upper bound unconstrained by banking.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mem/backing_store.hpp"
+#include "mem/word.hpp"
+#include "sim/kernel.hpp"
+
+namespace axipack::mem {
+
+struct IdealMemoryConfig {
+  unsigned num_ports = 8;
+  sim::Cycle latency = 1;
+  std::size_t req_depth = 2;
+  std::size_t resp_depth = 64;
+};
+
+class IdealMemory final : public WordMemory, public sim::Component {
+ public:
+  IdealMemory(sim::Kernel& k, BackingStore& store,
+              const IdealMemoryConfig& cfg);
+
+  unsigned num_ports() const override {
+    return static_cast<unsigned>(ports_.size());
+  }
+  WordPort& port(unsigned i) override { return *ports_[i]; }
+
+  void tick() override;
+
+ private:
+  BackingStore& store_;
+  std::vector<std::unique_ptr<WordPort>> ports_;
+};
+
+}  // namespace axipack::mem

@@ -1,0 +1,53 @@
+// Word-port interface between the AXI-Pack adapter and banked memory.
+//
+// The adapter converts bursts into sequences of W-bit word accesses issued on
+// n parallel ports (n = bus_width / word_width). Each port is a request FIFO
+// plus a response FIFO; the memory serves at most one request per bank per
+// cycle and returns responses after a fixed SRAM latency, so responses on a
+// given port always return in request order.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/kernel.hpp"
+
+namespace axipack::mem {
+
+/// Memory word width used by all evaluation systems (32-bit banks).
+inline constexpr unsigned kWordBytes = 4;
+
+/// One word access. `addr` is an absolute, word-aligned byte address.
+struct WordReq {
+  std::uint64_t addr = 0;
+  bool write = false;
+  std::uint32_t wdata = 0;
+  std::uint8_t wstrb = 0;  ///< low 4 bits; ignored for reads
+  std::uint32_t tag = 0;   ///< opaque to the memory, returned on the response
+};
+
+/// Response to a WordReq (writes are acknowledged too, for B generation).
+struct WordResp {
+  std::uint32_t rdata = 0;
+  std::uint32_t tag = 0;
+  bool was_write = false;
+};
+
+/// One request/response port pair. Owned by the memory.
+struct WordPort {
+  sim::Fifo<WordReq> req;
+  sim::Fifo<WordResp> resp;
+
+  WordPort(sim::Kernel& k, std::size_t req_depth, std::size_t resp_depth,
+           sim::Cycle resp_latency)
+      : req(k, req_depth, 1), resp(k, resp_depth, resp_latency) {}
+};
+
+/// Abstract n-port word memory (banked or ideal).
+class WordMemory {
+ public:
+  virtual ~WordMemory() = default;
+  virtual unsigned num_ports() const = 0;
+  virtual WordPort& port(unsigned i) = 0;
+};
+
+}  // namespace axipack::mem

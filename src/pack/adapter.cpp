@@ -1,0 +1,129 @@
+#include "pack/adapter.hpp"
+
+#include <cassert>
+
+namespace axipack::pack {
+
+AxiPackAdapter::AxiPackAdapter(sim::Kernel& k, axi::AxiPort& upstream,
+                               mem::WordMemory& memory,
+                               const AdapterConfig& cfg)
+    : up_(upstream) {
+  assert(memory.num_ports() == cfg.bus_bytes / 4 &&
+         "bank ports must match bus width (n = D/W)");
+  mux_ = std::make_unique<PortMux>(k, memory, kNumConvs, cfg.lane_fifo_depth,
+                                   cfg.resp_fifo_depth);
+  base_ = std::make_unique<BaseConverter>(k, mux_->lanes_of(kBase),
+                                          cfg.bus_bytes, cfg.queue_depth,
+                                          cfg.base_max_bursts,
+                                          cfg.r_out_depth);
+  strided_r_ = std::make_unique<StridedReadConverter>(
+      k, mux_->lanes_of(kStridedR), cfg.bus_bytes, cfg.queue_depth,
+      cfg.r_out_depth);
+  strided_w_ = std::make_unique<StridedWriteConverter>(
+      k, mux_->lanes_of(kStridedW), cfg.bus_bytes, cfg.queue_depth);
+  indirect_r_ = std::make_unique<IndirectReadConverter>(
+      k, mux_->lanes_of(kIndirectR), cfg.bus_bytes, cfg.queue_depth,
+      cfg.r_out_depth, cfg.idx_window_lines);
+  indirect_w_ = std::make_unique<IndirectWriteConverter>(
+      k, mux_->lanes_of(kIndirectW), cfg.bus_bytes, cfg.queue_depth, 4,
+      cfg.idx_window_lines);
+  k.add(*this);
+}
+
+Converter* AxiPackAdapter::classify_ar(const axi::AxiAr& ar) {
+  if (!ar.pack.has_value()) {
+    ++stats_.base_reads;
+    return base_.get();
+  }
+  if (ar.pack->indir) {
+    ++stats_.indirect_reads;
+    return indirect_r_.get();
+  }
+  ++stats_.strided_reads;
+  return strided_r_.get();
+}
+
+Converter* AxiPackAdapter::classify_aw(const axi::AxiAw& aw) {
+  if (!aw.pack.has_value()) {
+    ++stats_.base_writes;
+    return base_.get();
+  }
+  if (aw.pack->indir) {
+    ++stats_.indirect_writes;
+    return indirect_w_.get();
+  }
+  ++stats_.strided_writes;
+  return strided_w_.get();
+}
+
+void AxiPackAdapter::tick() {
+  // AR demux.
+  if (up_.ar.can_pop()) {
+    // Classify without consuming so a busy converter backpressures AR.
+    const axi::AxiAr& ar = up_.ar.front();
+    Converter* conv = ar.pack.has_value()
+                          ? (ar.pack->indir
+                                 ? static_cast<Converter*>(indirect_r_.get())
+                                 : static_cast<Converter*>(strided_r_.get()))
+                          : static_cast<Converter*>(base_.get());
+    if (conv->can_accept_ar()) {
+      classify_ar(ar);  // count it
+      conv->accept_ar(up_.ar.pop());
+      r_order_.push_back(conv);
+    }
+  }
+  // AW demux.
+  if (up_.aw.can_pop()) {
+    const axi::AxiAw& aw = up_.aw.front();
+    Converter* conv = aw.pack.has_value()
+                          ? (aw.pack->indir
+                                 ? static_cast<Converter*>(indirect_w_.get())
+                                 : static_cast<Converter*>(strided_w_.get()))
+                          : static_cast<Converter*>(base_.get());
+    if (conv->can_accept_aw()) {
+      classify_aw(aw);
+      conv->accept_aw(up_.aw.pop());
+      w_route_.push_back(conv);
+      b_order_.push_back(conv);
+    }
+  }
+  // W routing: beats go to the converter of the oldest W-pending AW.
+  if (!w_route_.empty() && up_.w.can_pop()) {
+    Converter* conv = w_route_.front();
+    if (conv->can_accept_w()) {
+      const axi::AxiW beat = up_.w.pop();
+      const bool last = beat.last;
+      conv->accept_w(beat);
+      if (last) w_route_.pop_front();
+    }
+  }
+  // R return in AR order.
+  if (!r_order_.empty() && up_.r.can_push()) {
+    Converter* conv = r_order_.front();
+    sim::Fifo<axi::AxiR>* out = conv->r_out();
+    assert(out != nullptr);
+    if (out->can_pop()) {
+      const axi::AxiR beat = out->pop();
+      up_.r.push(beat);
+      if (beat.last) r_order_.pop_front();
+    }
+  }
+  // B return in AW order.
+  if (!b_order_.empty() && up_.b.can_push()) {
+    Converter* conv = b_order_.front();
+    sim::Fifo<axi::AxiB>* out = conv->b_out();
+    assert(out != nullptr);
+    if (out->can_pop()) {
+      up_.b.push(out->pop());
+      b_order_.pop_front();
+    }
+  }
+}
+
+bool AxiPackAdapter::idle() const {
+  return r_order_.empty() && b_order_.empty() && w_route_.empty() &&
+         base_->idle() && strided_r_->idle() && strided_w_->idle() &&
+         indirect_r_->idle() && indirect_w_->idle();
+}
+
+}  // namespace axipack::pack

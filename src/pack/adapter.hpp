@@ -1,0 +1,89 @@
+// AXI-Pack adapter top level (paper Fig. 2b).
+//
+// The adapter is the memory controller bridging an AXI(-Pack) slave port to
+// a banked word memory. It demuxes incoming bursts by their pack/indir user
+// bits to one of five converters (base AXI4, strided R/W, indirect R/W),
+// routes W data in AW-acceptance order, arbitrates the converters onto the
+// n bank ports through the port mux, and returns R/B responses in request
+// order (AXI-compliant for the single-requester evaluation systems).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "axi/types.hpp"
+#include "mem/word.hpp"
+#include "pack/base_converter.hpp"
+#include "pack/converter.hpp"
+#include "pack/indirect_read.hpp"
+#include "pack/indirect_write.hpp"
+#include "pack/port_mux.hpp"
+#include "pack/strided_read.hpp"
+#include "pack/strided_write.hpp"
+#include "sim/kernel.hpp"
+
+namespace axipack::pack {
+
+struct AdapterConfig {
+  unsigned bus_bytes = 32;          ///< AXI data bus width (D)
+  unsigned queue_depth = 4;         ///< decoupling-queue depth (paper: 4)
+  std::size_t lane_fifo_depth = 2;  ///< converter->mux request FIFO depth
+  std::size_t resp_fifo_depth = 128;
+  std::size_t idx_window_lines = 4; ///< index prefetch window, in bus lines
+  std::size_t r_out_depth = 4;
+  std::size_t base_max_bursts = 64; ///< outstanding regular bursts
+};
+
+/// Burst counts by type, for diagnostics and the energy model.
+struct AdapterStats {
+  std::uint64_t base_reads = 0;
+  std::uint64_t base_writes = 0;
+  std::uint64_t strided_reads = 0;
+  std::uint64_t strided_writes = 0;
+  std::uint64_t indirect_reads = 0;
+  std::uint64_t indirect_writes = 0;
+};
+
+class AxiPackAdapter final : public sim::Component {
+ public:
+  /// `upstream` is the adapter's slave-side AXI port (the adapter pops
+  /// AR/AW/W and pushes R/B); `memory` provides the n word ports.
+  AxiPackAdapter(sim::Kernel& k, axi::AxiPort& upstream,
+                 mem::WordMemory& memory, const AdapterConfig& cfg);
+
+  void tick() override;
+
+  bool idle() const;
+  const AdapterStats& stats() const { return stats_; }
+  const PortMux& port_mux() const { return *mux_; }
+
+ private:
+  // Converter indices for the port mux.
+  enum Conv : unsigned {
+    kBase = 0,
+    kStridedR = 1,
+    kStridedW = 2,
+    kIndirectR = 3,
+    kIndirectW = 4,
+    kNumConvs = 5,
+  };
+
+  Converter* classify_ar(const axi::AxiAr& ar);
+  Converter* classify_aw(const axi::AxiAw& aw);
+
+  axi::AxiPort& up_;
+  std::unique_ptr<PortMux> mux_;
+  std::unique_ptr<BaseConverter> base_;
+  std::unique_ptr<StridedReadConverter> strided_r_;
+  std::unique_ptr<StridedWriteConverter> strided_w_;
+  std::unique_ptr<IndirectReadConverter> indirect_r_;
+  std::unique_ptr<IndirectWriteConverter> indirect_w_;
+
+  std::deque<Converter*> r_order_;  ///< AR acceptance order for R return
+  std::deque<Converter*> w_route_;  ///< AW acceptance order for W routing
+  std::deque<Converter*> b_order_;  ///< AW acceptance order for B return
+  AdapterStats stats_;
+};
+
+}  // namespace axipack::pack

@@ -1,0 +1,95 @@
+// Indirect read converter (paper Fig. 2d).
+//
+// Two stages share the n word-request ports through per-lane round-robin
+// arbitration:
+//
+//  * The *index stage* fetches the index array contiguously (whole bus
+//    lines), exactly like a strided-read request generator with stride ==
+//    word size. Fetched words pass through offsets extraction, which unpacks
+//    the 8/16/32-bit indices in stream order into an index window.
+//  * The *element stage* shifts each index by log2(element size), adds the
+//    element base address, and issues the word requests of the packed beats;
+//    the beat packer then assembles R beats as in the strided converter.
+//
+// The index window is bounded, which throttles index prefetch; the element
+// stage retires window entries once every word slot of an element has been
+// issued. Bus utilization of this converter is bounded by r/(r+1) with
+// r = elem_size/index_size, because every r data beats require one index
+// line through the same ports — the effect quantified in paper Fig. 5a.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "axi/types.hpp"
+#include "pack/converter.hpp"
+#include "sim/kernel.hpp"
+
+namespace axipack::pack {
+
+class IndirectReadConverter final : public Converter {
+ public:
+  IndirectReadConverter(sim::Kernel& k, std::vector<LaneIO> lanes,
+                        unsigned bus_bytes, unsigned queue_depth,
+                        std::size_t r_out_depth = 4,
+                        std::size_t idx_window_lines = 4);
+
+  bool can_accept_ar() const override;
+  void accept_ar(const axi::AxiAr& ar) override;
+  sim::Fifo<axi::AxiR>* r_out() override { return &r_out_; }
+  bool idle() const override { return bursts_.empty(); }
+
+  void tick() override;
+
+ private:
+  // Tag bit 0 distinguishes the two stages' responses on the shared lanes.
+  static constexpr std::uint32_t kIdxTag = 1;
+  static constexpr std::uint32_t kElemTag = 0;
+
+  struct Burst {
+    PackGeom geom;
+    std::uint64_t elem_base = 0;
+    std::uint64_t idx_base = 0;
+    unsigned idx_bytes = 4;  ///< bytes per index (1, 2 or 4)
+    std::uint32_t id = 0;
+    axi::Traffic traffic = axi::Traffic::data;
+
+    // ---- index stage ----
+    std::uint64_t idx_words_total = 0;     ///< words covering the index array
+    std::vector<std::uint64_t> idx_issue;  ///< per-lane idx line pointer
+    std::uint64_t idx_words_extracted = 0; ///< words fed through extraction
+    std::deque<std::uint64_t> idx_window;  ///< extracted indices, in order
+    std::uint64_t idx_window_base = 0;     ///< element index of window front
+
+    // ---- element stage ----
+    std::vector<std::uint64_t> elem_issue;  ///< per-lane beat pointer
+    std::uint64_t pack_beat = 0;
+  };
+
+  /// Smallest element-stage word slot not yet issued (all below are issued).
+  static std::uint64_t issue_frontier(const Burst& bu);
+
+  void drain_responses();
+  void tick_issue();
+  void tick_index_extract();
+  void tick_pack();
+  void retire_indices(Burst& bu);
+
+  std::vector<LaneIO> lanes_;
+  unsigned bus_bytes_;
+  unsigned lanes_n_;
+  Regulator idx_regulator_;
+  Regulator elem_regulator_;
+  sim::Fifo<axi::AxiR> r_out_;
+  std::deque<Burst> bursts_;
+  std::size_t max_bursts_ = 2;
+  std::size_t idx_window_lines_;
+  std::vector<bool> prefer_idx_;  ///< per-lane round-robin arbitration state
+  // Per-stage per-lane decoupling queues (responses routed by tag bit so the
+  // stages never head-of-line block each other).
+  std::vector<std::deque<mem::WordResp>> idx_q_;
+  std::vector<std::deque<mem::WordResp>> elem_q_;
+};
+
+}  // namespace axipack::pack

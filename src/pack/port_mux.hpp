@@ -1,0 +1,46 @@
+// Bank-port mux (paper Fig. 2b): shares the n physical word ports of the
+// banked memory among the adapter's converters. Requests arbitrate per lane
+// round-robin across converters; responses are routed back by the converter
+// id carried in the tag's top bits.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/word.hpp"
+#include "pack/converter.hpp"
+#include "sim/kernel.hpp"
+
+namespace axipack::pack {
+
+class PortMux final : public sim::Component {
+ public:
+  /// Tag bits reserved for the converter id (top of the 32-bit tag).
+  static constexpr unsigned kConvBits = 3;
+  static constexpr unsigned kConvShift = 32 - kConvBits;
+
+  PortMux(sim::Kernel& k, mem::WordMemory& memory, unsigned num_converters,
+          std::size_t lane_fifo_depth, std::size_t resp_fifo_depth);
+
+  /// Lane I/O bundle for converter `conv` (stable for the mux's lifetime).
+  std::vector<LaneIO> lanes_of(unsigned conv);
+
+  unsigned num_lanes() const { return lanes_; }
+
+  void tick() override;
+
+  std::uint64_t words_issued() const { return words_issued_; }
+
+ private:
+  mem::WordMemory& memory_;
+  unsigned lanes_;
+  unsigned convs_;
+  // fifos_[conv][lane]
+  std::vector<std::vector<std::unique_ptr<sim::Fifo<mem::WordReq>>>> req_;
+  std::vector<std::vector<std::unique_ptr<sim::Fifo<mem::WordResp>>>> resp_;
+  std::vector<unsigned> rr_;  ///< per-lane round-robin over converters
+  std::uint64_t words_issued_ = 0;
+};
+
+}  // namespace axipack::pack

@@ -1,0 +1,24 @@
+#include "sim/kernel.hpp"
+
+namespace axipack::sim {
+
+void Kernel::step() {
+  for (Component* c : components_) c->tick();
+  for (FifoBase* f : fifos_) f->commit();
+  ++cycle_;
+}
+
+void Kernel::run(Cycle n) {
+  for (Cycle i = 0; i < n; ++i) step();
+}
+
+bool Kernel::run_until(const std::function<bool()>& done, Cycle max_cycles) {
+  const Cycle deadline = cycle_ + max_cycles;
+  while (cycle_ < deadline) {
+    if (done()) return true;
+    step();
+  }
+  return done();
+}
+
+}  // namespace axipack::sim

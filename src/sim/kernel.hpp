@@ -1,0 +1,158 @@
+// Cycle-driven simulation kernel.
+//
+// Model of computation
+// --------------------
+// The simulated hardware is a set of Components connected by Fifo channels.
+// Each cycle the kernel calls tick() on every component (in registration
+// order) and then commit() on every channel. Channels have *registered*
+// semantics:
+//
+//  * an item pushed in cycle t becomes visible to poppers in cycle t+latency
+//    (latency >= 1, default 1, i.e. a register stage);
+//  * space freed by a pop in cycle t becomes usable by pushers in cycle t+1.
+//
+// Because pushes and pops within a cycle never observe each other, simulation
+// results are independent of component tick order — the same property a
+// synchronous netlist has. A depth-1 Fifo therefore sustains only one item
+// every two cycles (like a hardware FIFO without a skid buffer); use depth
+// >= 2 on full-throughput paths.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace axipack::sim {
+
+using Cycle = std::uint64_t;
+
+/// Anything the kernel ticks once per cycle.
+class Component {
+ public:
+  virtual ~Component() = default;
+  /// Advance one cycle: consume from input Fifos, produce into output Fifos.
+  virtual void tick() = 0;
+};
+
+/// Non-template channel base so the kernel can commit them generically.
+class FifoBase {
+ public:
+  virtual ~FifoBase() = default;
+  virtual void commit() = 0;
+};
+
+/// Owns the clock; ticks components, then commits channels.
+class Kernel {
+ public:
+  Cycle now() const { return cycle_; }
+
+  /// Registers a component (non-owning). Tick order = registration order.
+  void add(Component& c) { components_.push_back(&c); }
+  /// Registers a channel (non-owning).
+  void add(FifoBase& f) { fifos_.push_back(&f); }
+
+  /// Advances exactly one cycle.
+  void step();
+
+  /// Advances `n` cycles.
+  void run(Cycle n);
+
+  /// Runs until `done()` returns true or `max_cycles` elapse from now.
+  /// Returns true iff the predicate fired (i.e. no timeout).
+  bool run_until(const std::function<bool()>& done,
+                 Cycle max_cycles = 100'000'000);
+
+ private:
+  Cycle cycle_ = 0;
+  std::vector<Component*> components_;
+  std::vector<FifoBase*> fifos_;
+};
+
+/// Bounded FIFO channel with registered push/pop semantics (see file header).
+///
+/// `latency` models pipeline stages between producer and consumer: an item is
+/// poppable `latency` cycles after the push. Capacity counts *all* items in
+/// flight, including those still inside the latency window.
+template <typename T>
+class Fifo : public FifoBase {
+ public:
+  explicit Fifo(Kernel& k, std::size_t capacity, Cycle latency = 1,
+                std::string name = {})
+      : kernel_(&k),
+        capacity_(capacity),
+        latency_(latency),
+        name_(std::move(name)) {
+    assert(capacity_ > 0);
+    assert(latency_ >= 1);
+    k.add(*this);
+  }
+
+  Fifo(const Fifo&) = delete;
+  Fifo& operator=(const Fifo&) = delete;
+
+  /// True if a push is allowed this cycle. Space freed by pops this cycle is
+  /// NOT counted (it becomes available next cycle).
+  bool can_push() const {
+    return items_.size() + popped_this_cycle_ < capacity_;
+  }
+
+  void push(T item) {
+    assert(can_push());
+    items_.push_back(Slot{std::move(item), kernel_->now() + latency_});
+  }
+
+  /// True if the head item is visible this cycle.
+  bool can_pop() const {
+    return !items_.empty() && items_.front().visible_at <= kernel_->now();
+  }
+
+  const T& front() const {
+    assert(can_pop());
+    return items_.front().item;
+  }
+
+  T pop() {
+    assert(can_pop());
+    T item = std::move(items_.front().item);
+    items_.pop_front();
+    ++popped_this_cycle_;
+    return item;
+  }
+
+  /// Number of items currently stored (visible or not).
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  std::size_t capacity() const { return capacity_; }
+  const std::string& name() const { return name_; }
+
+  void commit() override { popped_this_cycle_ = 0; }
+
+ private:
+  struct Slot {
+    T item;
+    Cycle visible_at;
+  };
+
+  Kernel* kernel_;
+  std::size_t capacity_;
+  Cycle latency_;
+  std::string name_;
+  std::deque<Slot> items_;
+  std::size_t popped_this_cycle_ = 0;
+};
+
+/// Convenience: an effectively unbounded Fifo (for response paths whose
+/// occupancy is regulated elsewhere, e.g. by a request regulator).
+template <typename T>
+class UnboundedFifo : public Fifo<T> {
+ public:
+  explicit UnboundedFifo(Kernel& k, Cycle latency = 1, std::string name = {})
+      : Fifo<T>(k, std::numeric_limits<std::size_t>::max() / 2, latency,
+                std::move(name)) {}
+};
+
+}  // namespace axipack::sim

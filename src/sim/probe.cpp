@@ -1,0 +1,18 @@
+#include "sim/probe.hpp"
+
+namespace axipack::sim {
+
+std::uint64_t Counters::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? 0 : it->second;
+}
+
+Counters Counters::diff(const Counters& earlier) const {
+  Counters out;
+  for (const auto& [name, value] : values_) {
+    out.values_[name] = value - earlier.get(name);
+  }
+  return out;
+}
+
+}  // namespace axipack::sim

@@ -1,0 +1,33 @@
+// Lightweight activity counters for performance and energy accounting.
+//
+// Components increment named counters; the run harness snapshots them at
+// region boundaries so per-kernel utilization/energy can be computed without
+// resetting the simulator.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace axipack::sim {
+
+/// A bag of named monotonically increasing counters.
+class Counters {
+ public:
+  void add(const std::string& name, std::uint64_t delta = 1) {
+    values_[name] += delta;
+  }
+
+  /// Value of `name` (0 if never touched).
+  std::uint64_t get(const std::string& name) const;
+
+  /// this - other, counter-wise (other must be an earlier snapshot).
+  Counters diff(const Counters& earlier) const;
+
+  const std::map<std::string, std::uint64_t>& values() const { return values_; }
+
+ private:
+  std::map<std::string, std::uint64_t> values_;
+};
+
+}  // namespace axipack::sim

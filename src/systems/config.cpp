@@ -1,0 +1,40 @@
+#include "systems/config.hpp"
+
+#include <cassert>
+
+namespace axipack::sys {
+
+const char* system_name(SystemKind k) {
+  switch (k) {
+    case SystemKind::base: return "base";
+    case SystemKind::pack: return "pack";
+    case SystemKind::ideal: return "ideal";
+  }
+  return "?";
+}
+
+SystemConfig SystemConfig::make(SystemKind kind, unsigned bus_bits,
+                                unsigned banks) {
+  assert(bus_bits == 64 || bus_bits == 128 || bus_bits == 256);
+  SystemConfig cfg;
+  cfg.kind = kind;
+  cfg.bus_bits = bus_bits;
+  cfg.banks = banks;
+
+  cfg.vproc.mode = kind == SystemKind::base
+                       ? vproc::VlsuMode::base
+                       : (kind == SystemKind::pack ? vproc::VlsuMode::pack
+                                                   : vproc::VlsuMode::ideal);
+  cfg.vproc.lanes = cfg.lanes();
+  cfg.vproc.bus_bytes = cfg.bus_bytes();
+
+  cfg.adapter.bus_bytes = cfg.bus_bytes();
+  cfg.adapter.queue_depth = cfg.queue_depth;
+
+  cfg.bank.num_ports = cfg.bus_bytes() / 4;
+  cfg.bank.num_banks = banks;
+  cfg.bank.sram_latency = cfg.sram_latency;
+  return cfg;
+}
+
+}  // namespace axipack::sys

@@ -1,0 +1,50 @@
+// System configuration for the three evaluation SoCs (paper §III-A):
+//   BASE  — unmodified Ara over plain AXI4 to the banked memory
+//   PACK  — AXI-Pack-extended Ara, bus and controller
+//   IDEAL — Ara on an exclusive ideal memory, one port per lane
+//
+// All three share one processor and memory parameterization: eight lanes on
+// a 256-bit bus (scaled together when the bus width is swept, as in
+// Figs. 3d/3e), a 17-bank word memory, and decoupling queues of depth 4.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mem/banked_memory.hpp"
+#include "pack/adapter.hpp"
+#include "vproc/context.hpp"
+
+namespace axipack::sys {
+
+enum class SystemKind : std::uint8_t { base, pack, ideal };
+
+const char* system_name(SystemKind k);
+
+struct SystemConfig {
+  SystemKind kind = SystemKind::pack;
+  unsigned bus_bits = 256;  ///< 64, 128 or 256 (lanes scale with it)
+  unsigned banks = 17;      ///< paper's chosen bank count
+  std::uint64_t mem_base = 0x8000'0000ull;
+  std::uint64_t mem_size = 96ull << 20;
+  sim::Cycle sram_latency = 1;
+  // Adapter decoupling queues. The paper's RTL uses depth 4; our word path
+  // crosses two more registered FIFO hops each way (port mux request and
+  // response stages are combinational in the RTL), so depth 8 covers the
+  // same bank round trip the RTL's depth 4 does. See
+  // bench/ablation_queue_depth for the sensitivity.
+  unsigned queue_depth = 8;
+
+  vproc::VProcConfig vproc;      ///< derived by make()
+  pack::AdapterConfig adapter;   ///< derived by make()
+  mem::BankedMemoryConfig bank;  ///< derived by make()
+
+  unsigned bus_bytes() const { return bus_bits / 8; }
+  unsigned lanes() const { return bus_bits / 32; }
+
+  /// Builds a consistent configuration for a system kind / bus width.
+  static SystemConfig make(SystemKind kind, unsigned bus_bits = 256,
+                           unsigned banks = 17);
+};
+
+}  // namespace axipack::sys

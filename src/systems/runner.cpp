@@ -1,0 +1,37 @@
+#include "systems/runner.hpp"
+
+namespace axipack::sys {
+
+wl::WorkloadConfig default_workload(wl::KernelKind kernel, SystemKind system) {
+  wl::WorkloadConfig cfg;
+  cfg.kernel = kernel;
+  // Fastest dataflow per system (paper Figs. 3b/3c): contiguous row-wise on
+  // BASE, strided column-wise where strided streams are cheap.
+  cfg.dataflow = system == SystemKind::base ? wl::Dataflow::rowwise
+                                            : wl::Dataflow::colwise;
+  // In-memory indirection exists only with AXI-Pack.
+  cfg.in_memory_indices = system == SystemKind::pack;
+  if (wl::kernel_is_indirect(kernel)) {
+    cfg.n = 512;
+    cfg.nnz_per_row = 390;  // heart1-like density (paper §III-B)
+  } else {
+    cfg.n = 256;
+  }
+  return cfg;
+}
+
+RunResult run_workload(const SystemConfig& sys_cfg,
+                       const wl::WorkloadConfig& wl_cfg) {
+  System system(sys_cfg);
+  const wl::WorkloadInstance instance =
+      wl::build_workload(system.store(), wl_cfg);
+  return system.run(instance);
+}
+
+RunResult run_default(wl::KernelKind kernel, SystemKind kind,
+                      unsigned bus_bits, unsigned banks) {
+  const SystemConfig sys_cfg = SystemConfig::make(kind, bus_bits, banks);
+  return run_workload(sys_cfg, default_workload(kernel, kind));
+}
+
+}  // namespace axipack::sys

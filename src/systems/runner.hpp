@@ -1,0 +1,23 @@
+// One-call workload runner: builds a fresh system + workload and runs it.
+// This is the entry point the benches, tests and examples use.
+#pragma once
+
+#include "systems/system.hpp"
+#include "workloads/workloads.hpp"
+
+namespace axipack::sys {
+
+/// Applies the paper's methodology defaults for a (workload, system) pair:
+/// the fastest dataflow per system (row-wise on BASE, column-wise on
+/// PACK/IDEAL for gemv/trmv) and in-memory indices only on PACK.
+wl::WorkloadConfig default_workload(wl::KernelKind kernel, SystemKind system);
+
+/// Builds the system and workload, runs to completion, verifies.
+RunResult run_workload(const SystemConfig& sys_cfg,
+                       const wl::WorkloadConfig& wl_cfg);
+
+/// Convenience: run `kernel` with methodology defaults on `kind`.
+RunResult run_default(wl::KernelKind kernel, SystemKind kind,
+                      unsigned bus_bits = 256, unsigned banks = 17);
+
+}  // namespace axipack::sys

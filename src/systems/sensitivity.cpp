@@ -1,0 +1,140 @@
+#include "systems/sensitivity.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "axi/burst.hpp"
+#include "axi/types.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/banked_memory.hpp"
+#include "mem/ideal_memory.hpp"
+#include "pack/adapter.hpp"
+#include "sim/kernel.hpp"
+#include "util/rng.hpp"
+
+namespace axipack::sys {
+
+SensitivityResult measure_read_utilization(const SensitivityConfig& cfg) {
+  constexpr std::uint64_t kBase = 0x8000'0000ull;
+  const unsigned elem_bytes = cfg.elem_bits / 8;
+  const std::uint64_t epb = cfg.bus_bytes / elem_bytes;
+  const std::uint64_t elems_per_burst = epb * cfg.burst_beats;
+  const std::uint64_t total_elems = elems_per_burst * cfg.num_bursts;
+
+  sim::Kernel kernel;
+  // Size the data region to cover the whole stream.
+  const std::uint64_t span =
+      cfg.indirect
+          ? (1ull << 22)
+          : elems_per_burst * cfg.num_bursts *
+                    static_cast<std::uint64_t>(
+                        cfg.stride_elems < 0 ? -cfg.stride_elems
+                                             : cfg.stride_elems + 1) *
+                    elem_bytes +
+                (1u << 16);
+  mem::BackingStore store(kBase, span + (1ull << 22));
+
+  std::unique_ptr<mem::BankedMemory> banked;
+  std::unique_ptr<mem::IdealMemory> ideal;
+  mem::WordMemory* memory = nullptr;
+  if (cfg.banks == 0) {
+    mem::IdealMemoryConfig mc;
+    mc.num_ports = cfg.bus_bytes / 4;
+    ideal = std::make_unique<mem::IdealMemory>(kernel, store, mc);
+    memory = ideal.get();
+  } else {
+    mem::BankedMemoryConfig mc;
+    mc.num_ports = cfg.bus_bytes / 4;
+    mc.num_banks = cfg.banks;
+    mc.resp_depth = 256;
+    banked = std::make_unique<mem::BankedMemory>(kernel, store, mc);
+    memory = banked.get();
+  }
+
+  axi::AxiPort port(kernel, 2, "ideal-requestor");
+  pack::AdapterConfig ac;
+  ac.bus_bytes = cfg.bus_bytes;
+  ac.queue_depth = cfg.queue_depth;
+  ac.resp_fifo_depth = 512;
+  ac.idx_window_lines = cfg.idx_window_lines;
+  pack::AxiPackAdapter adapter(kernel, port, *memory, ac);
+
+  // Build the burst stream.
+  std::vector<axi::AxiAr> ars;
+  if (cfg.indirect) {
+    // Random indices over the table; index array placed past the table.
+    const std::uint64_t table_elems = (1ull << 20) / elem_bytes;
+    const std::uint64_t idx_base = kBase + (1ull << 21);
+    util::Rng rng(cfg.seed);
+    const unsigned ib = cfg.index_bits / 8;
+    std::vector<std::uint8_t> raw(total_elems * ib);
+    for (std::uint64_t i = 0; i < total_elems; ++i) {
+      const std::uint64_t max_idx =
+          std::min<std::uint64_t>(table_elems, 1ull << cfg.index_bits);
+      const std::uint64_t idx = rng.below(max_idx);
+      for (unsigned b = 0; b < ib; ++b) {
+        raw[i * ib + b] = static_cast<std::uint8_t>(idx >> (8 * b));
+      }
+    }
+    store.write(idx_base, raw.data(), raw.size());
+    ars = axi::split_pack_indirect(kBase, idx_base, cfg.index_bits,
+                                   elem_bytes, total_elems, cfg.bus_bytes);
+  } else {
+    const std::int64_t stride_bytes =
+        cfg.stride_elems * static_cast<std::int64_t>(elem_bytes);
+    const std::uint64_t start =
+        cfg.stride_elems >= 0
+            ? kBase
+            : kBase + static_cast<std::uint64_t>(-stride_bytes) * total_elems;
+    ars = axi::split_pack_strided(start, stride_bytes, elem_bytes, total_elems,
+                                  cfg.bus_bytes);
+  }
+
+  // Drive bursts back-to-back and count payload.
+  SensitivityResult result;
+  std::size_t next_ar = 0;
+  std::uint64_t beats_left = 0;
+  for (const auto& ar : ars) beats_left += ar.beats();
+  const std::uint64_t start_losses =
+      banked ? banked->xbar().total_conflict_losses() : 0;
+  kernel.run_until(
+      [&] {
+        if (next_ar < ars.size() && port.ar.can_push()) {
+          port.ar.push(ars[next_ar]);
+          ++next_ar;
+        }
+        while (port.r.can_pop()) {
+          const axi::AxiR beat = port.r.pop();
+          result.payload_bytes += beat.useful_bytes;
+          --beats_left;
+        }
+        return beats_left == 0;
+      },
+      50'000'000);
+  result.cycles = kernel.now();
+  result.r_util = static_cast<double>(result.payload_bytes) /
+                  (static_cast<double>(result.cycles) * cfg.bus_bytes);
+  if (banked) {
+    result.bank_conflict_losses =
+        banked->xbar().total_conflict_losses() - start_losses;
+  }
+  return result;
+}
+
+double strided_util_avg(unsigned elem_bits, unsigned banks,
+                        unsigned bus_bytes, unsigned max_stride) {
+  double sum = 0.0;
+  for (unsigned s = 0; s <= max_stride; ++s) {
+    SensitivityConfig cfg;
+    cfg.bus_bytes = bus_bytes;
+    cfg.banks = banks;
+    cfg.elem_bits = elem_bits;
+    cfg.indirect = false;
+    cfg.stride_elems = static_cast<std::int64_t>(s);
+    cfg.num_bursts = 4;  // short steady-state run per stride
+    sum += measure_read_utilization(cfg).r_util;
+  }
+  return sum / (max_stride + 1);
+}
+
+}  // namespace axipack::sys

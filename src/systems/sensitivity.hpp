@@ -1,0 +1,40 @@
+// Parameter-sensitivity harness (paper §III-E): an ideal requestor issues
+// continuous pack read bursts of length 256 at the adapter and measures
+// steady-state read-bus utilization, sweeping element size, index size and
+// bank count (Figs. 5a/5b). Decoupling queues are deepened to 32 "to avoid
+// bottlenecks unrelated to the analysis", as in the paper.
+#pragma once
+
+#include <cstdint>
+
+namespace axipack::sys {
+
+struct SensitivityConfig {
+  unsigned bus_bytes = 32;
+  unsigned banks = 17;        ///< 0 = ideal (conflict-free) memory
+  unsigned elem_bits = 32;    ///< 32..256
+  unsigned index_bits = 32;   ///< 8/16/32 (indirect only)
+  bool indirect = false;
+  std::int64_t stride_elems = 1;  ///< element stride (strided only)
+  unsigned queue_depth = 32;
+  unsigned idx_window_lines = 8;  ///< indirect index prefetch window
+  unsigned burst_beats = 256;
+  unsigned num_bursts = 8;
+  std::uint64_t seed = 1;
+};
+
+struct SensitivityResult {
+  double r_util = 0.0;
+  std::uint64_t cycles = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t bank_conflict_losses = 0;
+};
+
+/// Runs the configured read stream to completion and reports utilization.
+SensitivityResult measure_read_utilization(const SensitivityConfig& cfg);
+
+/// Fig. 5b datapoint: utilization averaged across element strides 0..63.
+double strided_util_avg(unsigned elem_bits, unsigned banks,
+                        unsigned bus_bytes = 32, unsigned max_stride = 63);
+
+}  // namespace axipack::sys

@@ -1,0 +1,91 @@
+#include "systems/system.hpp"
+
+namespace axipack::sys {
+
+System::System(const SystemConfig& cfg) : cfg_(cfg) {
+  store_ = std::make_unique<mem::BackingStore>(cfg.mem_base, cfg.mem_size);
+  if (cfg.kind != SystemKind::ideal) {
+    port_proc_ = std::make_unique<axi::AxiPort>(kernel_, 2, "proc");
+    port_mid_ = std::make_unique<axi::AxiPort>(kernel_, 2, "mid");
+    port_adapter_ = std::make_unique<axi::AxiPort>(kernel_, 2, "adapter");
+    xbar_ = std::make_unique<axi::AxiXbar>(
+        kernel_, std::vector<axi::AxiPort*>{port_proc_.get()},
+        std::vector<axi::AxiPort*>{port_mid_.get()},
+        std::vector<axi::AddrRule>{{cfg.mem_base, cfg.mem_size, 0}});
+    link_ = std::make_unique<axi::AxiLink>(kernel_, *port_mid_,
+                                           *port_adapter_);
+    checker_ = std::make_unique<axi::ProtocolChecker>(cfg.bus_bytes());
+    link_->attach_checker(checker_.get());
+    memory_ = std::make_unique<mem::BankedMemory>(kernel_, *store_, cfg.bank);
+    adapter_ = std::make_unique<pack::AxiPackAdapter>(
+        kernel_, *port_adapter_, *memory_, cfg.adapter);
+  }
+  proc_ = std::make_unique<vproc::Processor>(kernel_, cfg.vproc, *store_,
+                                             port_proc_.get());
+}
+
+RunResult System::run(const wl::WorkloadInstance& instance,
+                      sim::Cycle max_cycles) {
+  RunResult result;
+  const sim::Cycle start = kernel_.now();
+  const sim::Counters counters_start = proc_->counters();
+  const axi::BusStats bus_start = link_ ? link_->stats() : axi::BusStats{};
+  const std::uint64_t grants_start =
+      memory_ ? memory_->xbar().total_grants() : 0;
+  const std::uint64_t losses_start =
+      memory_ ? memory_->xbar().total_conflict_losses() : 0;
+
+  proc_->run(instance.program);
+  const bool finished = kernel_.run_until(
+      [&] {
+        return proc_->done() && (adapter_ == nullptr || adapter_->idle());
+      },
+      max_cycles);
+  result.cycles = kernel_.now() - start;
+  if (!finished) {
+    result.error = "timeout";
+    return result;
+  }
+
+  result.activity = proc_->counters().diff(counters_start);
+  const double bus_capacity =
+      static_cast<double>(result.cycles) * cfg_.bus_bytes();
+  if (link_) {
+    result.bus = link_->stats().diff(bus_start);
+    result.r_util = static_cast<double>(result.bus.r_payload_bytes) /
+                    bus_capacity;
+    result.r_util_no_idx =
+        static_cast<double>(result.bus.r_payload_bytes -
+                            result.bus.r_index_bytes) /
+        bus_capacity;
+    result.w_util = static_cast<double>(result.bus.w_payload_bytes) /
+                    bus_capacity;
+  } else {
+    // IDEAL: utilization of the exclusive per-lane ports.
+    const auto rd = result.activity.get("ideal.read_bytes");
+    const auto ix = result.activity.get("ideal.index_bytes");
+    const auto wr = result.activity.get("ideal.write_bytes");
+    result.r_util = static_cast<double>(rd + ix) / bus_capacity;
+    result.r_util_no_idx = static_cast<double>(rd) / bus_capacity;
+    result.w_util = static_cast<double>(wr) / bus_capacity;
+  }
+  if (memory_) {
+    result.bank_grants = memory_->xbar().total_grants() - grants_start;
+    result.bank_conflict_losses =
+        memory_->xbar().total_conflict_losses() - losses_start;
+  }
+  if (checker_) {
+    result.protocol_violations = checker_->violations().size();
+    if (result.protocol_violations > 0) {
+      result.correct = false;
+      result.error = "AXI protocol violation: " +
+                     checker_->violations().front().rule + " — " +
+                     checker_->violations().front().detail;
+      return result;
+    }
+  }
+  result.correct = instance.check(*store_, result.error);
+  return result;
+}
+
+}  // namespace axipack::sys

@@ -1,0 +1,66 @@
+// Assembles one evaluation SoC: vector processor -> AXI crossbar ->
+// monitored link -> AXI-Pack adapter -> banked memory (BASE/PACK), or the
+// processor on its exclusive ideal memory (IDEAL).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "axi/monitor.hpp"
+#include "axi/protocol_checker.hpp"
+#include "axi/xbar.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/banked_memory.hpp"
+#include "pack/adapter.hpp"
+#include "sim/kernel.hpp"
+#include "systems/config.hpp"
+#include "vproc/processor.hpp"
+#include "workloads/workloads.hpp"
+
+namespace axipack::sys {
+
+/// Measurements from one workload run.
+struct RunResult {
+  std::uint64_t cycles = 0;
+  double r_util = 0.0;         ///< read-bus utilization, incl. index traffic
+  double r_util_no_idx = 0.0;  ///< read-bus utilization, data only
+  double w_util = 0.0;
+  bool correct = false;
+  std::uint64_t protocol_violations = 0;  ///< AXI rule breaches on the link
+  std::string error;
+  sim::Counters activity;  ///< processor activity during the run
+  axi::BusStats bus;       ///< monitored link traffic during the run
+  std::uint64_t bank_grants = 0;
+  std::uint64_t bank_conflict_losses = 0;
+};
+
+class System {
+ public:
+  explicit System(const SystemConfig& cfg);
+
+  mem::BackingStore& store() { return *store_; }
+  const SystemConfig& config() const { return cfg_; }
+  vproc::Processor& processor() { return *proc_; }
+  sim::Kernel& kernel() { return kernel_; }
+
+  /// Runs one workload to completion and verifies it.
+  RunResult run(const wl::WorkloadInstance& instance,
+                sim::Cycle max_cycles = 200'000'000);
+
+ private:
+  SystemConfig cfg_;
+  sim::Kernel kernel_;
+  std::unique_ptr<mem::BackingStore> store_;
+  // AXI path (absent on IDEAL).
+  std::unique_ptr<axi::AxiPort> port_proc_;
+  std::unique_ptr<axi::AxiPort> port_mid_;
+  std::unique_ptr<axi::AxiPort> port_adapter_;
+  std::unique_ptr<axi::AxiXbar> xbar_;
+  std::unique_ptr<axi::AxiLink> link_;
+  std::unique_ptr<axi::ProtocolChecker> checker_;
+  std::unique_ptr<mem::BankedMemory> memory_;
+  std::unique_ptr<pack::AxiPackAdapter> adapter_;
+  std::unique_ptr<vproc::Processor> proc_;
+};
+
+}  // namespace axipack::sys

@@ -1,0 +1,11 @@
+#include "util/bits.hpp"
+
+// Header-only; this translation unit exists so the static library always has
+// at least one object per header group and the header is compile-checked.
+namespace axipack::util {
+static_assert(ceil_div(7, 2) == 4);
+static_assert(round_up(5, 4) == 8);
+static_assert(is_pow2(32) && !is_pow2(17));
+static_assert(log2_exact(256) == 8);
+static_assert(is_prime(17) && is_prime(31) && !is_prime(16));
+}  // namespace axipack::util

@@ -1,0 +1,41 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// We use our own xoshiro256** so that generated matrices/graphs are identical
+// across platforms and standard-library versions (std::mt19937 distributions
+// are not guaranteed reproducible across implementations).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace axipack::util {
+
+/// xoshiro256** by Blackman & Vigna; public-domain algorithm.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) (bound > 0).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform float in [0, 1).
+  float uniform();
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi);
+
+  /// k distinct values from [0, n), ascending. k <= n.
+  std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                        std::uint32_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace axipack::util

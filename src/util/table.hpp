@@ -1,0 +1,42 @@
+// Console table formatting used by the bench harnesses to print paper-style
+// rows (figure series) next to the published reference values.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace axipack::util {
+
+/// A simple right-aligned text table. Cells are strings; numeric helpers
+/// format with fixed precision so bench output lines up nicely.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add_* calls append cells to it.
+  Table& row();
+  Table& cell(std::string text);
+  Table& cell(double value, int precision = 2);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+  Table& cell(int value);
+
+  /// Renders with column separators and a header rule.
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `precision` decimals (fixed).
+std::string fmt(double value, int precision = 2);
+
+/// Format a ratio as a percentage string, e.g. 0.87 -> "87.0%".
+std::string fmt_pct(double ratio, int precision = 1);
+
+}  // namespace axipack::util

@@ -1,0 +1,147 @@
+// Shared execution state for the vector processor's units (VLSU load/store
+// units, VFU) and the sequencer: configuration, in-flight op tracking for
+// chaining and hazards, and activity counters for the energy model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "mem/backing_store.hpp"
+#include "sim/probe.hpp"
+#include "vproc/program.hpp"
+#include "vproc/vrf.hpp"
+
+namespace axipack::vproc {
+
+/// How the VLSU reaches memory. This is the only difference between the
+/// paper's three systems on the processor side.
+enum class VlsuMode : std::uint8_t {
+  base,   ///< plain AXI4: per-element narrow bursts for strided/indexed
+  pack,   ///< AXI-Pack bursts for strided/indexed accesses
+  ideal,  ///< exclusive ideal memory, one word port per lane
+};
+
+struct VProcConfig {
+  VlsuMode mode = VlsuMode::pack;
+  unsigned lanes = 8;         ///< elements/cycle compute and ideal-port width
+  unsigned bus_bytes = 32;    ///< AXI data width (D); lanes == bus_bytes/4
+  unsigned vlmax = 1024;      ///< max vector length in 32-bit elements
+  unsigned dispatch_cycles = 2;  ///< CVA6 -> Ara handshake per vector op
+
+  // Reduction phase 2 (inter-lane tree): base + per-level latency.
+  // Calibrated against Fig. 3a/3b: BASE row-wise gemv R-util ~37%.
+  unsigned redtree_base = 6;
+  unsigned redtree_per_level = 4;
+
+  unsigned max_outstanding_bursts = 16;  ///< load-unit AR window
+  unsigned store_max_outstanding_b = 16;
+  unsigned ideal_latency = 2;  ///< ideal-memory access latency
+
+  // Cycles per element for base-mode per-element *stores* (Ara's store path
+  // serializes address generation and data beats for narrow scattered
+  // writes). Calibrated against Fig. 3a/3d: ismt BASE slowdown.
+  unsigned base_store_elem_interval = 2;
+
+  // Every N-th received beat of a chained load stalls one extra cycle,
+  // modeling VRF port conflicts between VLSU writeback and the chained
+  // consumer's operand reads. Calibrated against Fig. 3a: PACK col-wise
+  // gemv R-util ~87%. 0 disables.
+  unsigned vrf_conflict_every = 8;
+
+  // Loads may start once prior stores have at most this many W beats left
+  // to send. This models the VLSU's decoupled address phase: the next
+  // read's AR overlaps the tail of the store's data phase so the R stream
+  // follows the W stream without a pipeline bubble — the behaviour that
+  // makes ismt's read-write alternation settle at the paper's 50% R-bus
+  // ceiling. Kernels keep consecutive iterations' footprints disjoint, as
+  // real Ara code must. Calibrated against Fig. 3a: ismt R-util ~50%.
+  unsigned store_load_runahead = 12;
+
+  std::size_t load_q = 4;   ///< load-unit op queue depth
+  std::size_t store_q = 4;  ///< store-unit op queue depth
+  std::size_t vfu_q = 4;    ///< VFU op queue depth
+};
+
+/// An issued, not-yet-retired vector instruction. `prod_elems` is the
+/// element-granular progress consumers chain on.
+struct InflightOp {
+  VecOp op;
+  std::uint64_t seq = 0;
+  std::uint64_t prod_elems = 0;  ///< elements of vd produced so far
+  bool done = false;
+  /// Producer of vd at issue time. Accumulating ops (vfmacc) read vd, so
+  /// they chain on this op's progress. Captured at issue — a later op may
+  /// take over producer_of[vd], which must not affect earlier consumers.
+  std::shared_ptr<InflightOp> vd_dep;
+};
+
+using OpRef = std::shared_ptr<InflightOp>;
+
+/// State shared by sequencer and units.
+struct ProcContext {
+  VProcConfig cfg;
+  Vrf vrf;
+  mem::BackingStore* store = nullptr;  ///< functional memory image
+  sim::Counters counters;
+
+  // Hazard tracking.
+  std::array<OpRef, 32> producer_of{};  ///< last writer of each vreg
+  std::array<int, 32> readers{};        ///< in-flight ops reading each vreg
+  unsigned loads_in_flight = 0;
+  unsigned stores_in_flight = 0;
+  // Stores that have not yet pushed all their W data. Loads stall on this
+  // (not on outstanding B responses): once write data has left the core it
+  // is ordered ahead of later reads at the memory ports, so Ara-style
+  // read-write ordering only serializes up to the last W beat.
+  unsigned stores_pending_w = 0;
+  // W beats prior stores still have to send (pack/base modes). Loads wait
+  // until this drops to cfg.store_load_runahead so their ARs overlap the
+  // store tail (see VProcConfig::store_load_runahead).
+  std::uint64_t store_w_beats_left = 0;
+
+  // Ideal-memory port budget, reset each cycle (words/cycle across both
+  // load and store units — "one port per lane").
+  unsigned ideal_budget = 0;
+  std::uint64_t ideal_busy_words = 0;  ///< total words moved (utilization)
+
+  explicit ProcContext(const VProcConfig& c)
+      : cfg(c), vrf(c.vlmax) {}
+
+  /// Elements of `reg` safe to read this cycle (vlmax if no live producer).
+  std::uint64_t avail_elems(int reg) const {
+    if (reg < 0) return cfg.vlmax;
+    const OpRef& p = producer_of[static_cast<unsigned>(reg)];
+    if (!p || p->done) return cfg.vlmax;
+    return p->prod_elems;
+  }
+
+  bool has_reader(int reg) const {
+    return reg >= 0 && readers[static_cast<unsigned>(reg)] > 0;
+  }
+
+  /// Called by a unit when an op fully completes: releases hazard state.
+  void retire(const OpRef& op) {
+    op->done = true;
+    op->vd_dep.reset();  // break chains of retired producers
+    auto release_reader = [&](int reg) {
+      if (reg >= 0) {
+        --readers[static_cast<unsigned>(reg)];
+      }
+    };
+    release_reader(op->op.vs1);
+    release_reader(op->op.vs2);
+    release_reader(op->op.vidx);
+    if (op->op.vd >= 0 &&
+        producer_of[static_cast<unsigned>(op->op.vd)] == op) {
+      producer_of[static_cast<unsigned>(op->op.vd)].reset();
+    }
+    if (is_load_op(op->op.kind)) {
+      --loads_in_flight;
+    } else if (is_store_op(op->op.kind)) {
+      --stores_in_flight;
+    }
+  }
+};
+
+}  // namespace axipack::vproc

@@ -1,0 +1,208 @@
+#include "vproc/program.hpp"
+
+namespace axipack::vproc {
+
+bool is_mem_op(OpKind k) {
+  switch (k) {
+    case OpKind::vle:
+    case OpKind::vse:
+    case OpKind::vlse:
+    case OpKind::vsse:
+    case OpKind::vluxei:
+    case OpKind::vsuxei:
+    case OpKind::vlimxei:
+    case OpKind::vsimxei:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_load_op(OpKind k) {
+  switch (k) {
+    case OpKind::vle:
+    case OpKind::vlse:
+    case OpKind::vluxei:
+    case OpKind::vlimxei:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_store_op(OpKind k) {
+  switch (k) {
+    case OpKind::vse:
+    case OpKind::vsse:
+    case OpKind::vsuxei:
+    case OpKind::vsimxei:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_reduction(OpKind k) {
+  return k == OpKind::vredsum || k == OpKind::vredmin;
+}
+
+VecOp op_scalar(std::uint32_t cycles) {
+  VecOp op;
+  op.kind = OpKind::scalar;
+  op.cycles = cycles;
+  return op;
+}
+
+VecOp op_fence() {
+  VecOp op;
+  op.kind = OpKind::fence;
+  return op;
+}
+
+VecOp op_vle(int vd, std::uint64_t addr, std::uint32_t vl,
+             axi::Traffic traffic) {
+  VecOp op;
+  op.kind = OpKind::vle;
+  op.vd = static_cast<std::int8_t>(vd);
+  op.addr = addr;
+  op.vl = vl;
+  op.traffic = traffic;
+  return op;
+}
+
+VecOp op_vse(int vs2, std::uint64_t addr, std::uint32_t vl) {
+  VecOp op;
+  op.kind = OpKind::vse;
+  op.vs2 = static_cast<std::int8_t>(vs2);
+  op.addr = addr;
+  op.vl = vl;
+  return op;
+}
+
+VecOp op_vlse(int vd, std::uint64_t addr, std::int64_t stride,
+              std::uint32_t vl) {
+  VecOp op;
+  op.kind = OpKind::vlse;
+  op.vd = static_cast<std::int8_t>(vd);
+  op.addr = addr;
+  op.stride = stride;
+  op.vl = vl;
+  return op;
+}
+
+VecOp op_vsse(int vs2, std::uint64_t addr, std::int64_t stride,
+              std::uint32_t vl) {
+  VecOp op;
+  op.kind = OpKind::vsse;
+  op.vs2 = static_cast<std::int8_t>(vs2);
+  op.addr = addr;
+  op.stride = stride;
+  op.vl = vl;
+  return op;
+}
+
+VecOp op_vluxei(int vd, std::uint64_t addr, int vidx, std::uint32_t vl) {
+  VecOp op;
+  op.kind = OpKind::vluxei;
+  op.vd = static_cast<std::int8_t>(vd);
+  op.vidx = static_cast<std::int8_t>(vidx);
+  op.addr = addr;
+  op.vl = vl;
+  return op;
+}
+
+VecOp op_vlimxei(int vd, std::uint64_t addr, std::uint64_t idx_addr,
+                 std::uint32_t vl) {
+  VecOp op;
+  op.kind = OpKind::vlimxei;
+  op.vd = static_cast<std::int8_t>(vd);
+  op.addr = addr;
+  op.idx_addr = idx_addr;
+  op.vl = vl;
+  return op;
+}
+
+VecOp op_vfmacc_vf(int vd, int vs2, float scalar, std::uint32_t vl) {
+  VecOp op;
+  op.kind = OpKind::vfmacc_vf;
+  op.vd = static_cast<std::int8_t>(vd);
+  op.vs2 = static_cast<std::int8_t>(vs2);
+  op.scalar_imm = scalar;
+  op.vl = vl;
+  return op;
+}
+
+VecOp op_vfmacc_vf_mem(int vd, int vs2, std::uint64_t scalar_addr,
+                       std::uint32_t vl) {
+  VecOp op = op_vfmacc_vf(vd, vs2, 0.0f, vl);
+  op.scalar_from_mem = true;
+  op.scalar_addr = scalar_addr;
+  return op;
+}
+
+VecOp op_vfmacc_vv(int vd, int vs1, int vs2, std::uint32_t vl) {
+  VecOp op;
+  op.kind = OpKind::vfmacc_vv;
+  op.vd = static_cast<std::int8_t>(vd);
+  op.vs1 = static_cast<std::int8_t>(vs1);
+  op.vs2 = static_cast<std::int8_t>(vs2);
+  op.vl = vl;
+  return op;
+}
+
+VecOp op_vfmul_vv(int vd, int vs1, int vs2, std::uint32_t vl) {
+  VecOp op = op_vfmacc_vv(vd, vs1, vs2, vl);
+  op.kind = OpKind::vfmul_vv;
+  return op;
+}
+
+VecOp op_vfadd_vf_mem(int vd, int vs2, std::uint64_t scalar_addr,
+                      std::uint32_t vl) {
+  VecOp op;
+  op.kind = OpKind::vfadd_vf;
+  op.vd = static_cast<std::int8_t>(vd);
+  op.vs2 = static_cast<std::int8_t>(vs2);
+  op.scalar_from_mem = true;
+  op.scalar_addr = scalar_addr;
+  op.vl = vl;
+  return op;
+}
+
+VecOp op_vbrd(int vd, float value, std::uint32_t vl) {
+  VecOp op;
+  op.kind = OpKind::vbrd;
+  op.vd = static_cast<std::int8_t>(vd);
+  op.scalar_imm = value;
+  op.vl = vl;
+  return op;
+}
+
+VecOp op_vslidedown(int vd, int vs2, std::uint32_t slide, std::uint32_t vl) {
+  VecOp op;
+  op.kind = OpKind::vslidedown;
+  op.vd = static_cast<std::int8_t>(vd);
+  op.vs2 = static_cast<std::int8_t>(vs2);
+  op.slide = slide;
+  op.vl = vl;
+  return op;
+}
+
+VecOp op_vredsum(int vs2, std::uint64_t store_addr, std::uint32_t vl) {
+  VecOp op;
+  op.kind = OpKind::vredsum;
+  op.vs2 = static_cast<std::int8_t>(vs2);
+  op.store_addr = store_addr;
+  op.vl = vl;
+  return op;
+}
+
+VecOp op_vredmin(int vs2, std::uint64_t store_addr, std::uint32_t vl) {
+  VecOp op;
+  op.kind = OpKind::vredmin;
+  op.vs2 = static_cast<std::int8_t>(vs2);
+  op.store_addr = store_addr;
+  op.vl = vl;
+  return op;
+}
+
+}  // namespace axipack::vproc

@@ -1,0 +1,134 @@
+// Vector program representation.
+//
+// Workload kernels are expressed as sequences of vector macro-ops modeled on
+// the RISC-V vector extension plus the paper's two new in-memory-indexed
+// instructions (vlimxei / vsimxei). The processor executes them with an
+// Ara-like timing model *and* full functional semantics: loads/stores move
+// real bytes between the vector register file and the simulated memory, and
+// arithmetic computes real FP32 values, so every run is checked against a
+// golden scalar reference.
+//
+// Scalar-core activity (loop bookkeeping, address generation, scalar loads
+// of e.g. x[j]) is modeled by `scalar` ops that consume issue cycles, with
+// the actual scalar value read functionally from memory at issue time. This
+// matches the paper's setup where CVA6's overhead shapes short-stream
+// performance but its memory traffic is negligible next to Ara's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "axi/types.hpp"
+
+namespace axipack::vproc {
+
+enum class OpKind : std::uint8_t {
+  // Memory ops.
+  vle,      ///< unit-stride load         vd <- mem[addr + 4i]
+  vse,      ///< unit-stride store        mem[addr + 4i] <- vs2
+  vlse,     ///< strided load             vd <- mem[addr + stride*i]
+  vsse,     ///< strided store            mem[addr + stride*i] <- vs2
+  vluxei,   ///< indexed load, core-side  vd <- mem[addr + 4*vidx[i]]
+  vsuxei,   ///< indexed store, core-side mem[addr + 4*vidx[i]] <- vs2
+  vlimxei,  ///< indexed load, in-memory indices (AXI-Pack; paper §II-B)
+  vsimxei,  ///< indexed store, in-memory indices
+  // Arithmetic (FP32).
+  vfmacc_vf,  ///< vd[i] += vs2[i] * scalar
+  vfmul_vf,   ///< vd[i]  = vs2[i] * scalar
+  vfadd_vf,   ///< vd[i]  = vs2[i] + scalar
+  vfmin_vf,   ///< vd[i]  = min(vs2[i], scalar)
+  vfmacc_vv,  ///< vd[i] += vs1[i] * vs2[i]
+  vfmul_vv,   ///< vd[i]  = vs1[i] * vs2[i]
+  vfadd_vv,   ///< vd[i]  = vs1[i] + vs2[i]
+  vfmin_vv,   ///< vd[i]  = min(vs1[i], vs2[i])
+  vbrd,       ///< vd[i]  = scalar (vfmv.v.f)
+  vslidedown, ///< vd[i]  = vs2[i + slide] (executed on the VFU; Ara's SLDU
+              ///< is modeled as VFU occupancy — see DESIGN.md)
+  // Reductions. The result is handed to the scalar core, which applies the
+  // optional post-op and stores it (functional; see file header).
+  vredsum,  ///< r = sum(vs2[0..vl))
+  vredmin,  ///< r = min(vs2[0..vl))
+  // Scalar-core bookkeeping: occupies the issue stage for `cycles`.
+  scalar,
+  // Full barrier: issue stalls until all units drain (sweep boundaries in
+  // iterative kernels, where reduction results feed the next sweep).
+  fence,
+};
+
+/// Is this op executed by the vector load/store unit?
+bool is_mem_op(OpKind k);
+bool is_load_op(OpKind k);
+bool is_store_op(OpKind k);
+bool is_reduction(OpKind k);
+
+struct VecOp {
+  OpKind kind = OpKind::scalar;
+  std::int8_t vd = -1;    ///< destination vreg
+  std::int8_t vs1 = -1;   ///< source 1
+  std::int8_t vs2 = -1;   ///< source 2 (also store data source)
+  std::int8_t vidx = -1;  ///< index vreg for vluxei/vsuxei
+  std::uint32_t vl = 0;   ///< vector length in elements
+
+  std::uint64_t addr = 0;      ///< memory base for loads/stores
+  std::int64_t stride = 0;     ///< byte stride (vlse/vsse)
+  std::uint64_t idx_addr = 0;  ///< index array base (vlimxei/vsimxei)
+
+  float scalar_imm = 0.0f;         ///< immediate scalar operand
+  bool scalar_from_mem = false;    ///< read the scalar from scalar_addr
+  std::uint64_t scalar_addr = 0;
+
+  // Reduction post-processing by the scalar core:
+  //   r' = post_scale * r + post_add;
+  //   if post_accumulate:    r' += mem[store_addr]   (chunked row sums)
+  //   if post_min_with_dest: r' = min(r', mem[store_addr])
+  //   mem[store_addr] = r'.
+  std::uint64_t store_addr = 0;  ///< 0 = discard result
+  float post_scale = 1.0f;
+  float post_add = 0.0f;
+  bool post_min_with_dest = false;
+  bool post_accumulate = false;
+
+  std::uint32_t slide = 0;  ///< vslidedown offset
+
+  std::uint32_t cycles = 0;  ///< scalar-op duration
+
+  axi::Traffic traffic = axi::Traffic::data;  ///< index loads tag ::index
+};
+
+/// A program plus a human-readable name (for traces and test output).
+struct VecProgram {
+  std::string name;
+  std::vector<VecOp> ops;
+
+  void push(const VecOp& op) { ops.push_back(op); }
+  std::size_t size() const { return ops.size(); }
+};
+
+// ---- small builder helpers used by the workload kernels ----
+
+VecOp op_scalar(std::uint32_t cycles);
+VecOp op_fence();
+VecOp op_vle(int vd, std::uint64_t addr, std::uint32_t vl,
+             axi::Traffic traffic = axi::Traffic::data);
+VecOp op_vse(int vs2, std::uint64_t addr, std::uint32_t vl);
+VecOp op_vlse(int vd, std::uint64_t addr, std::int64_t stride,
+              std::uint32_t vl);
+VecOp op_vsse(int vs2, std::uint64_t addr, std::int64_t stride,
+              std::uint32_t vl);
+VecOp op_vluxei(int vd, std::uint64_t addr, int vidx, std::uint32_t vl);
+VecOp op_vlimxei(int vd, std::uint64_t addr, std::uint64_t idx_addr,
+                 std::uint32_t vl);
+VecOp op_vfmacc_vf(int vd, int vs2, float scalar, std::uint32_t vl);
+VecOp op_vfmacc_vf_mem(int vd, int vs2, std::uint64_t scalar_addr,
+                       std::uint32_t vl);
+VecOp op_vfmacc_vv(int vd, int vs1, int vs2, std::uint32_t vl);
+VecOp op_vfmul_vv(int vd, int vs1, int vs2, std::uint32_t vl);
+VecOp op_vfadd_vf_mem(int vd, int vs2, std::uint64_t scalar_addr,
+                      std::uint32_t vl);
+VecOp op_vbrd(int vd, float value, std::uint32_t vl);
+VecOp op_vslidedown(int vd, int vs2, std::uint32_t slide, std::uint32_t vl);
+VecOp op_vredsum(int vs2, std::uint64_t store_addr, std::uint32_t vl);
+VecOp op_vredmin(int vs2, std::uint64_t store_addr, std::uint32_t vl);
+
+}  // namespace axipack::vproc

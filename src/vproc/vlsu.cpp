@@ -1,0 +1,479 @@
+#include "vproc/vlsu.hpp"
+
+#include <cassert>
+
+#include "axi/burst.hpp"
+#include "util/bits.hpp"
+
+namespace axipack::vproc {
+
+namespace {
+constexpr unsigned kElemBytes = 4;
+}
+
+// ---------------------------------------------------------------- LoadUnit
+
+void LoadUnit::accept(const OpRef& op) {
+  assert(can_accept());
+  Active a;
+  a.op = op;
+  const VecOp& v = op->op;
+  const unsigned bus = ctx_.cfg.bus_bytes;
+  if (ctx_.cfg.mode != VlsuMode::ideal) {
+    switch (v.kind) {
+      case OpKind::vle:
+        a.bursts = axi::split_contiguous(v.addr, std::uint64_t{v.vl} * 4, bus,
+                                         v.traffic);
+        break;
+      case OpKind::vlse:
+        if (ctx_.cfg.mode == VlsuMode::pack) {
+          a.bursts =
+              axi::split_pack_strided(v.addr, v.stride, kElemBytes, v.vl, bus);
+        }
+        break;  // base mode: per-element ARs generated on the fly
+      case OpKind::vlimxei:
+        assert(ctx_.cfg.mode == VlsuMode::pack &&
+               "vlimxei requires an AXI-Pack system");
+        a.bursts = axi::split_pack_indirect(v.addr, v.idx_addr, 32, kElemBytes,
+                                            v.vl, bus);
+        break;
+      case OpKind::vluxei:
+        break;  // per-element in both base and pack modes
+      default:
+        assert(false && "not a load op");
+    }
+  }
+  q_.push_back(std::move(a));
+}
+
+std::uint64_t LoadUnit::elem_addr(const Active& a, std::uint64_t i) const {
+  const VecOp& v = a.op->op;
+  switch (v.kind) {
+    case OpKind::vle:
+      return v.addr + 4 * i;
+    case OpKind::vlse:
+      return v.addr + static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(i) * v.stride);
+    case OpKind::vluxei: {
+      const std::uint64_t idx = ctx_.vrf.read_u32(v.vidx,
+                                                  static_cast<std::uint32_t>(i));
+      return v.addr + 4 * idx;
+    }
+    case OpKind::vlimxei: {
+      // Functional address for ideal mode; in pack mode the controller
+      // resolves indices, not the VLSU.
+      const std::uint64_t idx = ctx_.store->read_u32(v.idx_addr + 4 * i);
+      return v.addr + 4 * idx;
+    }
+    default:
+      assert(false);
+      return 0;
+  }
+}
+
+void LoadUnit::write_elem(const Active& a, std::uint64_t i,
+                          std::uint32_t value) {
+  ctx_.vrf.write_u32(a.op->op.vd, static_cast<std::uint32_t>(i), value);
+}
+
+void LoadUnit::tick_issue() {
+  // Strictly in op order: find the first op with outstanding requests.
+  for (Active& a : q_) {
+    const VecOp& v = a.op->op;
+    if (!a.bursts.empty()) {
+      if (a.next_burst >= a.bursts.size()) continue;
+      if (outstanding_bursts_ >= ctx_.cfg.max_outstanding_bursts) return;
+      if (!port_->ar.can_push()) return;
+      port_->ar.push(a.bursts[a.next_burst]);
+      ++a.next_burst;
+      ++outstanding_bursts_;
+      ctx_.counters.add("vlsu.ar");
+      return;
+    }
+    // Per-element narrow requests (base-mode strided / indexed).
+    if (a.elems_requested >= v.vl) continue;
+    if (outstanding_bursts_ >= ctx_.cfg.max_outstanding_bursts) return;
+    if (!port_->ar.can_push()) return;
+    if (v.kind == OpKind::vluxei &&
+        ctx_.avail_elems(v.vidx) <= a.elems_requested) {
+      return;  // index not yet available — preserve request order
+    }
+    axi::AxiAr ar;
+    ar.addr = elem_addr(a, a.elems_requested);
+    ar.len = 0;
+    ar.size = 2;  // one 32-bit element
+    ar.burst = axi::BurstType::incr;
+    ar.traffic = v.traffic;
+    port_->ar.push(ar);
+    ++a.elems_requested;
+    ++outstanding_bursts_;
+    ctx_.counters.add("vlsu.ar");
+    return;
+  }
+}
+
+void LoadUnit::tick_receive() {
+  if (!port_->r.can_pop()) return;
+  // The beat belongs to the first op that still expects data (single-ID AXI
+  // returns R bursts in AR order, and we issue ARs in op order).
+  for (Active& a : q_) {
+    const VecOp& v = a.op->op;
+    if (a.elems_rx >= v.vl) continue;
+    // VRF port conflict: when a chained consumer is live, every N-th
+    // writeback loses a cycle (see VProcConfig::vrf_conflict_every).
+    const unsigned every = ctx_.cfg.vrf_conflict_every;
+    if (every != 0 && ctx_.has_reader(v.vd) && !conflict_stall_ &&
+        (a.beats_rx + 1) % every == 0) {
+      conflict_stall_ = true;
+      return;
+    }
+    conflict_stall_ = false;
+    const axi::AxiR beat = port_->r.pop();
+    std::uint64_t cnt = 0;
+    unsigned lane = 0;
+    switch (v.kind) {
+      case OpKind::vle: {
+        const std::uint64_t cur = v.addr + 4 * a.elems_rx;
+        lane = static_cast<unsigned>(cur % ctx_.cfg.bus_bytes);
+        cnt = std::min<std::uint64_t>((ctx_.cfg.bus_bytes - lane) / 4,
+                                      v.vl - a.elems_rx);
+        break;
+      }
+      case OpKind::vlse:
+      case OpKind::vlimxei:
+        if (ctx_.cfg.mode == VlsuMode::pack) {
+          lane = 0;
+          cnt = beat.useful_bytes / 4;  // packed payload
+        } else {
+          lane = static_cast<unsigned>(elem_addr(a, a.elems_rx) %
+                                       ctx_.cfg.bus_bytes);
+          cnt = 1;
+        }
+        break;
+      case OpKind::vluxei:
+        lane = static_cast<unsigned>(elem_addr(a, a.elems_rx) %
+                                     ctx_.cfg.bus_bytes);
+        cnt = 1;
+        break;
+      default:
+        assert(false);
+    }
+    assert(cnt >= 1);
+    for (std::uint64_t e = 0; e < cnt; ++e) {
+      std::uint32_t value;
+      axi::extract_bytes(beat.data, lane + static_cast<unsigned>(4 * e),
+                         reinterpret_cast<std::uint8_t*>(&value), 4);
+      write_elem(a, a.elems_rx + e, value);
+    }
+    a.elems_rx += cnt;
+    ++a.beats_rx;
+    a.op->prod_elems = a.elems_rx;
+    ctx_.counters.add("vlsu.beats_rx");
+    ctx_.counters.add("vlsu.bytes_rx", cnt * 4);
+    if (beat.last) {
+      assert(outstanding_bursts_ > 0);
+      --outstanding_bursts_;
+    }
+    return;
+  }
+  assert(false && "R beat with no expecting load op");
+}
+
+void LoadUnit::tick_ideal() {
+  if (q_.empty()) return;
+  Active& a = q_.front();
+  const VecOp& v = a.op->op;
+  if (!a.started) {
+    a.started = true;
+    a.start_cycle = now_;
+  }
+  if (now_ < a.start_cycle + ctx_.cfg.ideal_latency) return;
+  std::uint64_t limit = v.vl;
+  if (v.kind == OpKind::vluxei) {
+    limit = std::min<std::uint64_t>(limit, ctx_.avail_elems(v.vidx));
+  }
+  std::uint64_t n = std::min<std::uint64_t>(
+      {static_cast<std::uint64_t>(ctx_.ideal_budget), limit - a.elems_rx});
+  for (std::uint64_t e = 0; e < n; ++e) {
+    const std::uint32_t value = ctx_.store->read_u32(elem_addr(a, a.elems_rx));
+    write_elem(a, a.elems_rx, value);
+    ++a.elems_rx;
+  }
+  ctx_.ideal_budget -= static_cast<unsigned>(n);
+  ctx_.ideal_busy_words += n;
+  a.op->prod_elems = a.elems_rx;
+  if (v.traffic == axi::Traffic::index) {
+    ctx_.counters.add("ideal.index_bytes", n * 4);
+  } else {
+    ctx_.counters.add("ideal.read_bytes", n * 4);
+  }
+}
+
+void LoadUnit::tick() {
+  if (ctx_.cfg.mode == VlsuMode::ideal) {
+    tick_ideal();
+  } else {
+    tick_issue();
+    tick_receive();
+  }
+  // Retire the front op once fully received.
+  while (!q_.empty() && q_.front().elems_rx >= q_.front().op->op.vl) {
+    ctx_.retire(q_.front().op);
+    q_.pop_front();
+  }
+  ++now_;
+}
+
+// --------------------------------------------------------------- StoreUnit
+
+void StoreUnit::accept(const OpRef& op) {
+  assert(can_accept());
+  Active a;
+  a.op = op;
+  const VecOp& v = op->op;
+  const unsigned bus = ctx_.cfg.bus_bytes;
+  if (ctx_.cfg.mode != VlsuMode::ideal) {
+    switch (v.kind) {
+      case OpKind::vse:
+        a.bursts = axi::split_contiguous(v.addr, std::uint64_t{v.vl} * 4, bus);
+        break;
+      case OpKind::vsse:
+        if (ctx_.cfg.mode == VlsuMode::pack) {
+          a.bursts =
+              axi::split_pack_strided(v.addr, v.stride, kElemBytes, v.vl, bus);
+        }
+        break;
+      case OpKind::vsimxei:
+        assert(ctx_.cfg.mode == VlsuMode::pack);
+        a.bursts = axi::split_pack_indirect(v.addr, v.idx_addr, 32, kElemBytes,
+                                            v.vl, bus);
+        break;
+      case OpKind::vsuxei:
+        break;
+      default:
+        assert(false && "not a store op");
+    }
+    // Publish this op's W-beat obligation for load-after-store ordering.
+    if (!a.bursts.empty()) {
+      for (const axi::AxiAw& aw : a.bursts) {
+        ctx_.store_w_beats_left += aw.beats();
+      }
+    } else {
+      ctx_.store_w_beats_left += v.vl;  // one narrow W beat per element
+    }
+  }
+  q_.push_back(std::move(a));
+}
+
+std::uint64_t StoreUnit::elem_addr(const Active& a, std::uint64_t i) const {
+  const VecOp& v = a.op->op;
+  switch (v.kind) {
+    case OpKind::vse:
+      return v.addr + 4 * i;
+    case OpKind::vsse:
+      return v.addr + static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(i) * v.stride);
+    case OpKind::vsuxei: {
+      const std::uint64_t idx = ctx_.vrf.read_u32(v.vidx,
+                                                  static_cast<std::uint32_t>(i));
+      return v.addr + 4 * idx;
+    }
+    case OpKind::vsimxei: {
+      const std::uint64_t idx = ctx_.store->read_u32(v.idx_addr + 4 * i);
+      return v.addr + 4 * idx;
+    }
+    default:
+      assert(false);
+      return 0;
+  }
+}
+
+std::uint32_t StoreUnit::read_elem(const Active& a, std::uint64_t i) const {
+  return ctx_.vrf.read_u32(a.op->op.vs2, static_cast<std::uint32_t>(i));
+}
+
+void StoreUnit::tick_issue_aw() {
+  for (Active& a : q_) {
+    const VecOp& v = a.op->op;
+    if (!a.bursts.empty()) {
+      if (a.next_burst >= a.bursts.size()) continue;
+      if (outstanding_b_ >= ctx_.cfg.store_max_outstanding_b) return;
+      if (!port_->aw.can_push()) return;
+      port_->aw.push(a.bursts[a.next_burst]);
+      ++a.next_burst;
+      ++outstanding_b_;
+      ctx_.counters.add("vlsu.aw");
+      return;
+    }
+    // Per-element narrow writes (base-mode strided / indexed stores), paced
+    // at base_store_elem_interval cycles per element.
+    if (a.next_burst >= v.vl) continue;
+    if (elem_issue_wait_ > 0) {
+      --elem_issue_wait_;
+      return;
+    }
+    if (outstanding_b_ >= ctx_.cfg.store_max_outstanding_b) return;
+    if (!port_->aw.can_push()) return;
+    if (v.kind == OpKind::vsuxei &&
+        ctx_.avail_elems(v.vidx) <= a.next_burst) {
+      return;
+    }
+    elem_issue_wait_ = ctx_.cfg.base_store_elem_interval > 0
+                           ? ctx_.cfg.base_store_elem_interval - 1
+                           : 0;
+    axi::AxiAw aw;
+    aw.addr = elem_addr(a, a.next_burst);
+    aw.len = 0;
+    aw.size = 2;
+    aw.burst = axi::BurstType::incr;
+    port_->aw.push(aw);
+    ++a.next_burst;
+    ++outstanding_b_;
+    ctx_.counters.add("vlsu.aw");
+    return;
+  }
+}
+
+void StoreUnit::tick_issue_w() {
+  // W data follows AW order; find the first op with unsent W beats.
+  for (Active& a : q_) {
+    const VecOp& v = a.op->op;
+    if (a.all_w_sent) continue;
+    if (!port_->w.can_push()) return;
+    axi::AxiW beat;
+    if (!a.bursts.empty()) {
+      if (a.w_burst >= a.next_burst) return;  // AW not yet issued
+      const axi::AxiAw& aw = a.bursts[a.w_burst];
+      std::uint64_t cnt;
+      unsigned lane;
+      if (aw.pack.has_value()) {
+        lane = 0;
+        const std::uint64_t epb = ctx_.cfg.bus_bytes / 4;
+        const std::uint64_t elems_before =
+            a.w_beat_in_burst * epb;  // within this burst
+        cnt = std::min<std::uint64_t>(epb,
+                                      aw.pack->num_elems - elems_before);
+      } else {
+        const std::uint64_t cur = v.addr + 4 * a.elems_tx;
+        lane = static_cast<unsigned>(cur % ctx_.cfg.bus_bytes);
+        cnt = std::min<std::uint64_t>((ctx_.cfg.bus_bytes - lane) / 4,
+                                      v.vl - a.elems_tx);
+      }
+      if (ctx_.avail_elems(v.vs2) < a.elems_tx + cnt) return;  // chain wait
+      for (std::uint64_t e = 0; e < cnt; ++e) {
+        const std::uint32_t value = read_elem(a, a.elems_tx + e);
+        axi::place_bytes(beat.data, lane + static_cast<unsigned>(4 * e),
+                         reinterpret_cast<const std::uint8_t*>(&value), 4);
+      }
+      beat.strb = axi::strb_mask(lane, static_cast<unsigned>(4 * cnt));
+      beat.useful_bytes = static_cast<std::uint16_t>(4 * cnt);
+      a.elems_tx += cnt;
+      ++a.w_beat_in_burst;
+      beat.last = a.w_beat_in_burst == aw.beats();
+      if (beat.last) {
+        ++a.w_burst;
+        a.w_beat_in_burst = 0;
+        if (a.w_burst == a.bursts.size()) {
+          a.all_w_sent = true;
+          --ctx_.stores_pending_w;
+        }
+      }
+    } else {
+      // Per-element store: one narrow W beat per AW.
+      if (a.elems_tx >= a.next_burst) return;  // wait for matching AW
+      if (ctx_.avail_elems(v.vs2) <= a.elems_tx) return;
+      const std::uint64_t cur = elem_addr(a, a.elems_tx);
+      const unsigned lane = static_cast<unsigned>(cur % ctx_.cfg.bus_bytes);
+      const std::uint32_t value = read_elem(a, a.elems_tx);
+      axi::place_bytes(beat.data, lane,
+                       reinterpret_cast<const std::uint8_t*>(&value), 4);
+      beat.strb = axi::strb_mask(lane, 4);
+      beat.useful_bytes = 4;
+      beat.last = true;
+      ++a.elems_tx;
+      if (a.elems_tx == v.vl) {
+        a.all_w_sent = true;
+        --ctx_.stores_pending_w;
+      }
+    }
+    a.op->prod_elems = a.elems_tx;  // stores "produce" consumed elements
+    port_->w.push(beat);
+    assert(ctx_.store_w_beats_left > 0);
+    --ctx_.store_w_beats_left;
+    ctx_.counters.add("vlsu.beats_tx");
+    ctx_.counters.add("vlsu.bytes_tx", beat.useful_bytes);
+    return;
+  }
+}
+
+void StoreUnit::tick_receive_b() {
+  if (!port_->b.can_pop()) return;
+  port_->b.pop();
+  assert(outstanding_b_ > 0);
+  --outstanding_b_;
+  for (Active& a : q_) {
+    const std::uint64_t expect =
+        a.bursts.empty() ? a.op->op.vl : a.bursts.size();
+    if (a.b_received < expect) {
+      ++a.b_received;
+      return;
+    }
+  }
+  assert(false && "B with no expecting store op");
+}
+
+void StoreUnit::tick_ideal() {
+  if (q_.empty()) return;
+  Active& a = q_.front();
+  const VecOp& v = a.op->op;
+  if (!a.started) {
+    a.started = true;
+    a.start_cycle = now_;
+  }
+  if (now_ < a.start_cycle + ctx_.cfg.ideal_latency) return;
+  std::uint64_t limit = std::min<std::uint64_t>(v.vl,
+                                                ctx_.avail_elems(v.vs2));
+  if (v.kind == OpKind::vsuxei) {
+    limit = std::min<std::uint64_t>(limit, ctx_.avail_elems(v.vidx));
+  }
+  const std::uint64_t n = std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(ctx_.ideal_budget),
+      limit > a.elems_tx ? limit - a.elems_tx : 0);
+  for (std::uint64_t e = 0; e < n; ++e) {
+    ctx_.store->write_u32(elem_addr(a, a.elems_tx), read_elem(a, a.elems_tx));
+    ++a.elems_tx;
+  }
+  ctx_.ideal_budget -= static_cast<unsigned>(n);
+  ctx_.ideal_busy_words += n;
+  ctx_.counters.add("ideal.write_bytes", n * 4);
+  if (a.elems_tx == v.vl && a.b_received == 0) {
+    a.b_received = 1;  // mark complete
+    --ctx_.stores_pending_w;
+  }
+}
+
+void StoreUnit::tick() {
+  if (ctx_.cfg.mode == VlsuMode::ideal) {
+    tick_ideal();
+    while (!q_.empty() && q_.front().elems_tx >= q_.front().op->op.vl &&
+           q_.front().b_received > 0) {
+      ctx_.retire(q_.front().op);
+      q_.pop_front();
+    }
+  } else {
+    tick_receive_b();
+    tick_issue_aw();
+    tick_issue_w();
+    while (!q_.empty()) {
+      Active& a = q_.front();
+      const std::uint64_t expect =
+          a.bursts.empty() ? a.op->op.vl : a.bursts.size();
+      if (!a.all_w_sent || a.b_received < expect) break;
+      ctx_.retire(a.op);
+      q_.pop_front();
+    }
+  }
+  ++now_;
+}
+
+}  // namespace axipack::vproc

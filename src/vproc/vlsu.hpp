@@ -1,0 +1,99 @@
+// Vector load-store unit: separate load and store units sharing the
+// processor's AXI master port (loads own AR/R, stores own AW/W/B), as in
+// Ara. Mode selects how strided/indexed accesses are realized:
+//
+//  * base  — one narrow single-beat burst per element (the inefficiency the
+//            paper quantifies; indexed ops read their indices from a vreg)
+//  * pack  — AXI-Pack strided/indirect bursts carrying the whole stream
+//  * ideal — per-lane ideal ports, any pattern at `lanes` elements/cycle
+//
+// Both units move real data between the VRF and memory and advance
+// element-granular progress so dependent ops chain.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "axi/types.hpp"
+#include "vproc/context.hpp"
+
+namespace axipack::vproc {
+
+class LoadUnit {
+ public:
+  LoadUnit(ProcContext& ctx, axi::AxiPort* port) : ctx_(ctx), port_(port) {}
+
+  bool can_accept() const { return q_.size() < ctx_.cfg.load_q; }
+  void accept(const OpRef& op);
+  bool idle() const { return q_.empty(); }
+
+  void tick();
+
+ private:
+  struct Active {
+    OpRef op;
+    std::vector<axi::AxiAr> bursts;  ///< precomputed (empty for on-the-fly)
+    std::size_t next_burst = 0;
+    std::uint64_t elems_requested = 0;  ///< base strided/indexed progress
+    std::uint64_t elems_rx = 0;
+    std::uint64_t beats_rx = 0;
+    std::uint64_t start_cycle = 0;  ///< ideal mode: when op became active
+    bool started = false;
+  };
+
+  void tick_issue();
+  void tick_receive();
+  void tick_ideal();
+  /// Element address for base-mode strided/indexed ops.
+  std::uint64_t elem_addr(const Active& a, std::uint64_t i) const;
+  void write_elem(const Active& a, std::uint64_t i, std::uint32_t value);
+
+  ProcContext& ctx_;
+  axi::AxiPort* port_;
+  std::deque<Active> q_;
+  unsigned outstanding_bursts_ = 0;
+  bool conflict_stall_ = false;
+  std::uint64_t now_ = 0;  ///< advanced once per tick (ideal-mode timing)
+};
+
+class StoreUnit {
+ public:
+  StoreUnit(ProcContext& ctx, axi::AxiPort* port) : ctx_(ctx), port_(port) {}
+
+  bool can_accept() const { return q_.size() < ctx_.cfg.store_q; }
+  void accept(const OpRef& op);
+  bool idle() const { return q_.empty(); }
+
+  void tick();
+
+ private:
+  struct Active {
+    OpRef op;
+    std::vector<axi::AxiAw> bursts;
+    std::size_t next_burst = 0;       ///< AW issue progress
+    std::size_t w_burst = 0;          ///< burst whose W data is being sent
+    std::uint64_t w_beat_in_burst = 0;
+    std::uint64_t elems_tx = 0;
+    unsigned b_received = 0;
+    std::uint64_t start_cycle = 0;
+    bool started = false;
+    bool all_w_sent = false;
+  };
+
+  void tick_issue_aw();
+  void tick_issue_w();
+  void tick_receive_b();
+  void tick_ideal();
+  std::uint64_t elem_addr(const Active& a, std::uint64_t i) const;
+  std::uint32_t read_elem(const Active& a, std::uint64_t i) const;
+
+  ProcContext& ctx_;
+  axi::AxiPort* port_;
+  std::deque<Active> q_;
+  unsigned outstanding_b_ = 0;
+  unsigned elem_issue_wait_ = 0;  ///< base-mode per-element store pacing
+  std::uint64_t now_ = 0;
+};
+
+}  // namespace axipack::vproc

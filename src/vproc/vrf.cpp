@@ -1,0 +1,5 @@
+#include "vproc/vrf.hpp"
+
+namespace axipack::vproc {
+static_assert(sizeof(Vrf) > 0);
+}  // namespace axipack::vproc

@@ -1,0 +1,55 @@
+// Vector register file: 32 registers of up to `vlmax` 32-bit elements.
+//
+// Register grouping (LMUL) is modeled as a per-op vector length rather than
+// architectural register aliasing: each named register can hold a full
+// grouped vector. This keeps kernels simple while preserving the data and
+// timing behaviour the paper measures (see DESIGN.md, simplifications).
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace axipack::vproc {
+
+class Vrf {
+ public:
+  explicit Vrf(unsigned vlmax) : vlmax_(vlmax) {
+    for (auto& reg : regs_) reg.assign(vlmax, 0);
+  }
+
+  unsigned vlmax() const { return vlmax_; }
+
+  std::uint32_t read_u32(int reg, std::uint32_t elem) const {
+    assert(valid(reg, elem));
+    return regs_[static_cast<unsigned>(reg)][elem];
+  }
+  void write_u32(int reg, std::uint32_t elem, std::uint32_t value) {
+    assert(valid(reg, elem));
+    regs_[static_cast<unsigned>(reg)][elem] = value;
+  }
+
+  float read_f32(int reg, std::uint32_t elem) const {
+    const std::uint32_t raw = read_u32(reg, elem);
+    float out;
+    std::memcpy(&out, &raw, sizeof out);
+    return out;
+  }
+  void write_f32(int reg, std::uint32_t elem, float value) {
+    std::uint32_t raw;
+    std::memcpy(&raw, &value, sizeof raw);
+    write_u32(reg, elem, raw);
+  }
+
+ private:
+  bool valid(int reg, std::uint32_t elem) const {
+    return reg >= 0 && reg < 32 && elem < vlmax_;
+  }
+
+  unsigned vlmax_;
+  std::array<std::vector<std::uint32_t>, 32> regs_;
+};
+
+}  // namespace axipack::vproc

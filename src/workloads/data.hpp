@@ -1,0 +1,85 @@
+// Workload data descriptors and generators.
+//
+// Generators place inputs into the simulated memory image (BackingStore) and
+// return descriptors with the addresses the kernels need. All randomness is
+// seeded, so runs are exactly reproducible.
+//
+// Substitution note (see DESIGN.md): the paper uses SuiteSparse matrices
+// (e.g. heart1, 390 average nonzeros/row) and real graphs; we synthesize CSR
+// matrices/graphs with matching statistical structure (row-length
+// distribution, random column indices), which drive the memory system the
+// same way.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/backing_store.hpp"
+#include "util/rng.hpp"
+
+namespace axipack::wl {
+
+/// Row-major dense FP32 matrix in simulated memory.
+struct DenseMatrix {
+  std::uint64_t addr = 0;
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+
+  std::uint64_t elem_addr(std::uint32_t r, std::uint32_t c) const {
+    return addr + 4ull * (std::uint64_t{r} * cols + c);
+  }
+  std::int64_t row_stride_bytes() const { return 4ll * cols; }
+};
+
+/// FP32 vector in simulated memory.
+struct DenseVector {
+  std::uint64_t addr = 0;
+  std::uint32_t len = 0;
+
+  std::uint64_t elem_addr(std::uint32_t i) const { return addr + 4ull * i; }
+};
+
+/// CSR FP32 sparse matrix: rowptr (u32, rows+1), colidx (u32), vals (f32).
+struct CsrMatrix {
+  std::uint64_t rowptr_addr = 0;
+  std::uint64_t colidx_addr = 0;
+  std::uint64_t vals_addr = 0;
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  std::uint64_t nnz = 0;
+  // Host-side copies for golden references and program generation.
+  std::vector<std::uint32_t> rowptr;
+  std::vector<std::uint32_t> colidx;
+  std::vector<float> vals;
+};
+
+/// Uniform random dense matrix.
+DenseMatrix gen_dense_matrix(mem::BackingStore& store, std::uint32_t rows,
+                             std::uint32_t cols, util::Rng& rng);
+
+/// Uniform random vector with values in [lo, hi).
+DenseVector gen_dense_vector(mem::BackingStore& store, std::uint32_t len,
+                             util::Rng& rng, float lo = -1.0f, float hi = 1.0f);
+
+/// Zero-initialized vector (outputs).
+DenseVector gen_zero_vector(mem::BackingStore& store, std::uint32_t len);
+
+/// Random CSR matrix: each row gets a row length drawn uniformly from
+/// [avg/2, 3*avg/2] (clamped to [1, cols]) with sorted distinct random
+/// column indices — matching the irregular gather pattern of SuiteSparse
+/// workloads at a configurable average nnz/row (the x-axis of Fig. 3e).
+CsrMatrix gen_csr_matrix(mem::BackingStore& store, std::uint32_t rows,
+                         std::uint32_t cols, std::uint32_t avg_nnz_per_row,
+                         util::Rng& rng);
+
+/// Random weighted digraph as a CSR matrix of *incoming* edges: row u lists
+/// predecessors of u with positive edge weights — the layout pagerank and
+/// sssp sweeps consume. Average in-degree `avg_degree`.
+CsrMatrix gen_graph_csr(mem::BackingStore& store, std::uint32_t nodes,
+                        std::uint32_t avg_degree, util::Rng& rng,
+                        bool row_stochastic);
+
+/// Shared by the CSR generators: writes host arrays into simulated memory.
+void place_csr(mem::BackingStore& store, CsrMatrix& m);
+
+}  // namespace axipack::wl

@@ -1,0 +1,39 @@
+#include <vector>
+
+#include "workloads/data.hpp"
+
+namespace axipack::wl {
+
+DenseMatrix gen_dense_matrix(mem::BackingStore& store, std::uint32_t rows,
+                             std::uint32_t cols, util::Rng& rng) {
+  DenseMatrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.addr = store.alloc(4ull * rows * cols, 64);
+  std::vector<float> host(std::size_t{rows} * cols);
+  for (auto& v : host) v = rng.uniform(-1.0f, 1.0f);
+  store.write(m.addr, host.data(), host.size() * 4);
+  return m;
+}
+
+DenseVector gen_dense_vector(mem::BackingStore& store, std::uint32_t len,
+                             util::Rng& rng, float lo, float hi) {
+  DenseVector v;
+  v.len = len;
+  v.addr = store.alloc(4ull * len, 64);
+  std::vector<float> host(len);
+  for (auto& x : host) x = rng.uniform(lo, hi);
+  store.write(v.addr, host.data(), host.size() * 4);
+  return v;
+}
+
+DenseVector gen_zero_vector(mem::BackingStore& store, std::uint32_t len) {
+  DenseVector v;
+  v.len = len;
+  v.addr = store.alloc(4ull * len, 64);
+  const std::vector<float> host(len, 0.0f);
+  store.write(v.addr, host.data(), host.size() * 4);
+  return v;
+}
+
+}  // namespace axipack::wl

@@ -1,0 +1,122 @@
+#include "workloads/golden.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace axipack::wl {
+
+void ref_transpose(std::vector<float>& a, std::uint32_t n) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      std::swap(a[std::size_t{i} * n + j], a[std::size_t{j} * n + i]);
+    }
+  }
+}
+
+std::vector<float> ref_gemv(const std::vector<float>& a,
+                            const std::vector<float>& x, std::uint32_t n) {
+  std::vector<float> y(n, 0.0f);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    float acc = 0.0f;
+    for (std::uint32_t j = 0; j < n; ++j) acc += a[std::size_t{i} * n + j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+std::vector<float> ref_trmv_upper(const std::vector<float>& a,
+                                  const std::vector<float>& x,
+                                  std::uint32_t n) {
+  std::vector<float> y(n, 0.0f);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    float acc = 0.0f;
+    for (std::uint32_t j = i; j < n; ++j) acc += a[std::size_t{i} * n + j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+std::vector<float> ref_spmv(const std::vector<std::uint32_t>& rowptr,
+                            const std::vector<std::uint32_t>& colidx,
+                            const std::vector<float>& vals,
+                            const std::vector<float>& x) {
+  const std::size_t rows = rowptr.size() - 1;
+  std::vector<float> y(rows, 0.0f);
+  for (std::size_t i = 0; i < rows; ++i) {
+    float acc = 0.0f;
+    for (std::uint32_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+      acc += vals[k] * x[colidx[k]];
+    }
+    y[i] = acc;
+  }
+  return y;
+}
+
+std::vector<float> ref_pagerank(const std::vector<std::uint32_t>& rowptr,
+                                const std::vector<std::uint32_t>& colidx,
+                                const std::vector<float>& vals,
+                                std::uint32_t nodes, std::uint32_t iters,
+                                float d) {
+  std::vector<float> r(nodes, 1.0f / static_cast<float>(nodes));
+  std::vector<float> r_new(nodes, 0.0f);
+  const float base = (1.0f - d) / static_cast<float>(nodes);
+  for (std::uint32_t it = 0; it < iters; ++it) {
+    for (std::uint32_t u = 0; u < nodes; ++u) {
+      float acc = 0.0f;
+      for (std::uint32_t k = rowptr[u]; k < rowptr[u + 1]; ++k) {
+        acc += vals[k] * r[colidx[k]];
+      }
+      r_new[u] = d * acc + base;
+    }
+    std::swap(r, r_new);
+  }
+  return r;
+}
+
+std::vector<float> ref_sssp(const std::vector<std::uint32_t>& rowptr,
+                            const std::vector<std::uint32_t>& colidx,
+                            const std::vector<float>& vals,
+                            std::uint32_t nodes, std::uint32_t sweeps,
+                            std::uint32_t source) {
+  constexpr float kInf = 1e30f;
+  std::vector<float> dist(nodes, kInf);
+  dist[source] = 0.0f;
+  std::vector<float> next(nodes);
+  for (std::uint32_t it = 0; it < sweeps; ++it) {
+    next = dist;  // Jacobi sweep: relax against the previous sweep's values
+    for (std::uint32_t u = 0; u < nodes; ++u) {
+      float best = kInf;
+      for (std::uint32_t k = rowptr[u]; k < rowptr[u + 1]; ++k) {
+        best = std::min(best, dist[colidx[k]] + vals[k]);
+      }
+      next[u] = std::min(next[u], best);
+    }
+    std::swap(dist, next);
+  }
+  return dist;
+}
+
+bool nearly_equal(const std::vector<float>& expect,
+                  const std::vector<float>& got, float rel_tol,
+                  std::string& msg) {
+  if (expect.size() != got.size()) {
+    msg = "size mismatch";
+    return false;
+  }
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    const float e = expect[i];
+    const float g = got[i];
+    const float scale = std::max({std::fabs(e), std::fabs(g), 1.0f});
+    if (std::fabs(e - g) > rel_tol * scale) {
+      std::ostringstream os;
+      os << "mismatch at [" << i << "]: expected " << e << ", got " << g;
+      msg = os.str();
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace axipack::wl

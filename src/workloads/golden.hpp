@@ -1,0 +1,52 @@
+// Golden scalar references for all benchmarks, plus tolerant comparison.
+// References use the same FP32 element operations as the vector model;
+// only summation order differs (reductions), so sum-based kernels compare
+// with a relative tolerance and order-independent kernels compare exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace axipack::wl {
+
+/// In-place transpose of a square row-major matrix.
+void ref_transpose(std::vector<float>& a, std::uint32_t n);
+
+/// y = A x (row-major dense).
+std::vector<float> ref_gemv(const std::vector<float>& a,
+                            const std::vector<float>& x, std::uint32_t n);
+
+/// y = U x with U the upper triangle of `a` (including diagonal).
+std::vector<float> ref_trmv_upper(const std::vector<float>& a,
+                                  const std::vector<float>& x,
+                                  std::uint32_t n);
+
+/// y = A x in CSR.
+std::vector<float> ref_spmv(const std::vector<std::uint32_t>& rowptr,
+                            const std::vector<std::uint32_t>& colidx,
+                            const std::vector<float>& vals,
+                            const std::vector<float>& x);
+
+/// `iters` Jacobi pagerank sweeps with damping `d` from uniform start.
+/// The CSR rows hold incoming edges with out-degree-normalized weights.
+std::vector<float> ref_pagerank(const std::vector<std::uint32_t>& rowptr,
+                                const std::vector<std::uint32_t>& colidx,
+                                const std::vector<float>& vals,
+                                std::uint32_t nodes, std::uint32_t iters,
+                                float d);
+
+/// `sweeps` Jacobi Bellman-Ford sweeps from `source`; CSR rows hold incoming
+/// edges with positive weights. Returns the distance vector.
+std::vector<float> ref_sssp(const std::vector<std::uint32_t>& rowptr,
+                            const std::vector<std::uint32_t>& colidx,
+                            const std::vector<float>& vals,
+                            std::uint32_t nodes, std::uint32_t sweeps,
+                            std::uint32_t source);
+
+/// Relative/absolute tolerant compare; fills `msg` on first mismatch.
+bool nearly_equal(const std::vector<float>& expect,
+                  const std::vector<float>& got, float rel_tol,
+                  std::string& msg);
+
+}  // namespace axipack::wl

@@ -1,0 +1,49 @@
+#include <algorithm>
+
+#include "workloads/data.hpp"
+
+namespace axipack::wl {
+
+CsrMatrix gen_graph_csr(mem::BackingStore& store, std::uint32_t nodes,
+                        std::uint32_t avg_degree, util::Rng& rng,
+                        bool row_stochastic) {
+  CsrMatrix m;
+  m.rows = nodes;
+  m.cols = nodes;
+  m.rowptr.assign(nodes + 1, 0);
+  // Skewed in-degree: most nodes near the average, a few hubs (power-law-ish
+  // tail), mimicking real graph datasets.
+  for (std::uint32_t u = 0; u < nodes; ++u) {
+    std::uint32_t deg;
+    const std::uint64_t roll = rng.below(100);
+    if (roll < 80) {
+      deg = static_cast<std::uint32_t>(
+          rng.range(1, std::max<std::int64_t>(1, 2 * avg_degree)));
+    } else {
+      deg = static_cast<std::uint32_t>(rng.range(
+          avg_degree, std::max<std::int64_t>(avg_degree, 4 * avg_degree)));
+    }
+    deg = std::min(deg, nodes);
+    const auto preds = rng.sample_without_replacement(nodes, deg);
+    for (std::uint32_t p : preds) {
+      m.colidx.push_back(p);
+      m.vals.push_back(rng.uniform(0.05f, 1.0f));  // positive edge weights
+    }
+    m.rowptr[u + 1] = static_cast<std::uint32_t>(m.colidx.size());
+  }
+  if (row_stochastic) {
+    // Pagerank wants out-degree-normalized weights: our rows hold incoming
+    // edges, so normalize each entry by its source node's out-degree.
+    std::vector<std::uint32_t> out_degree(nodes, 0);
+    for (std::uint32_t c : m.colidx) ++out_degree[c];
+    for (std::size_t k = 0; k < m.colidx.size(); ++k) {
+      m.vals[k] = 1.0f / static_cast<float>(std::max<std::uint32_t>(
+                             1, out_degree[m.colidx[k]]));
+    }
+  }
+  m.nnz = m.colidx.size();
+  place_csr(store, m);
+  return m;
+}
+
+}  // namespace axipack::wl

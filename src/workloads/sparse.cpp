@@ -1,0 +1,50 @@
+#include <algorithm>
+#include <cassert>
+
+#include "workloads/data.hpp"
+
+namespace axipack::wl {
+
+/// Writes the host-side CSR arrays into simulated memory and fills the
+/// descriptor addresses.
+void place_csr(mem::BackingStore& store, CsrMatrix& m) {
+  m.rowptr_addr = store.alloc(4ull * m.rowptr.size(), 64);
+  m.colidx_addr = store.alloc(4ull * std::max<std::size_t>(m.colidx.size(), 1), 64);
+  m.vals_addr = store.alloc(4ull * std::max<std::size_t>(m.vals.size(), 1), 64);
+  store.write(m.rowptr_addr, m.rowptr.data(), m.rowptr.size() * 4);
+  if (!m.colidx.empty()) {
+    store.write(m.colidx_addr, m.colidx.data(), m.colidx.size() * 4);
+    store.write(m.vals_addr, m.vals.data(), m.vals.size() * 4);
+  }
+}
+
+CsrMatrix gen_csr_matrix(mem::BackingStore& store, std::uint32_t rows,
+                         std::uint32_t cols, std::uint32_t avg_nnz_per_row,
+                         util::Rng& rng) {
+  assert(avg_nnz_per_row >= 1);
+  CsrMatrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.rowptr.assign(rows + 1, 0);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    // Row lengths vary around the average but can never exceed the column
+    // count (a row has at most `cols` distinct nonzeros).
+    const std::int64_t hi =
+        std::min<std::int64_t>(cols, avg_nnz_per_row + avg_nnz_per_row / 2);
+    const std::int64_t lo =
+        std::min<std::int64_t>(std::max<std::int64_t>(1, avg_nnz_per_row / 2),
+                               hi);
+    const auto len = static_cast<std::uint32_t>(rng.range(lo, hi));
+    const auto cols_of_row = rng.sample_without_replacement(cols, len);
+    for (std::uint32_t c : cols_of_row) {
+      m.colidx.push_back(c);
+      m.vals.push_back(rng.uniform(-1.0f, 1.0f));
+    }
+    m.rowptr[r + 1] = static_cast<std::uint32_t>(m.colidx.size());
+  }
+  m.nnz = m.colidx.size();
+  place_csr(store, m);
+  return m;
+}
+
+}  // namespace axipack::wl

@@ -1,0 +1,214 @@
+// AXI substrate tests: pack user encoding round-trips, burst splitting
+// rules (4 KiB / 256-beat), beat address math, link monitoring.
+#include <gtest/gtest.h>
+
+#include "axi/burst.hpp"
+#include "axi/monitor.hpp"
+#include "axi/pack.hpp"
+#include "axi/types.hpp"
+
+namespace axipack::axi {
+namespace {
+
+TEST(PackUser, PlainRequestEncodesToZero) {
+  EXPECT_EQ(encode_user(std::nullopt), 0u);
+  EXPECT_FALSE(decode_user(0, 0).has_value());
+}
+
+TEST(PackUser, StridedRoundTrip) {
+  PackRequest req;
+  req.indir = false;
+  req.stride = 1024;
+  req.num_elems = 77;
+  const UserBits u = encode_user(req);
+  const auto back = decode_user(u, 77);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_FALSE(back->indir);
+  EXPECT_EQ(back->stride, 1024);
+  EXPECT_EQ(back->num_elems, 77u);
+}
+
+TEST(PackUser, NegativeStrideRoundTrip) {
+  PackRequest req;
+  req.indir = false;
+  req.stride = -4096;
+  const UserBits u = encode_user(req);
+  const auto back = decode_user(u, 1);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->stride, -4096);
+}
+
+TEST(PackUser, IndirectRoundTrip) {
+  PackRequest req;
+  req.indir = true;
+  req.index_base = 0x8001'2340ull;
+  req.index_bits = 16;
+  const UserBits u = encode_user(req);
+  const auto back = decode_user(u, 10);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->indir);
+  EXPECT_EQ(back->index_base, 0x8001'2340ull);
+  EXPECT_EQ(back->index_bits, 16u);
+}
+
+TEST(PackUser, IndexSizeCodes) {
+  EXPECT_EQ(index_code_to_bits(index_bits_to_code(8)), 8u);
+  EXPECT_EQ(index_code_to_bits(index_bits_to_code(16)), 16u);
+  EXPECT_EQ(index_code_to_bits(index_bits_to_code(32)), 32u);
+}
+
+TEST(StreamElems, PartialLastBeat) {
+  // 10 elements of 4B on a 32B bus -> beat 0 has 8, beat 1 has 2.
+  EXPECT_EQ(stream_elems(2, 32, 4, 10), 10u);
+  EXPECT_EQ(stream_elems(1, 32, 4, 10), 8u);
+}
+
+TEST(SplitContiguous, RespectsBusAlignment) {
+  const auto bursts = split_contiguous(0x8000'0004, 64, 32);
+  ASSERT_FALSE(bursts.empty());
+  // First burst starts at the bus-aligned line containing the address.
+  EXPECT_EQ(bursts[0].addr, 0x8000'0000u);
+}
+
+TEST(SplitContiguous, Respects4KBoundary) {
+  // 8 KiB starting just below a 4 KiB boundary.
+  const auto bursts = split_contiguous(0x8000'0FE0, 8192, 32);
+  for (const auto& b : bursts) {
+    const std::uint64_t first = b.addr;
+    const std::uint64_t last = b.addr + std::uint64_t{b.beats()} * 32 - 1;
+    EXPECT_EQ(first / 4096, last / 4096)
+        << "burst crosses 4KiB boundary at " << std::hex << first;
+  }
+}
+
+TEST(SplitContiguous, Respects256BeatLimit) {
+  const auto bursts = split_contiguous(0x8000'0000, 1u << 20, 32);
+  for (const auto& b : bursts) {
+    EXPECT_LE(b.beats(), 256u);
+  }
+  // Total coverage.
+  std::uint64_t bytes = 0;
+  for (const auto& b : bursts) bytes += std::uint64_t{b.beats()} * 32;
+  EXPECT_GE(bytes, 1u << 20);
+}
+
+TEST(SplitContiguous, EmptyRange) {
+  EXPECT_TRUE(split_contiguous(0x8000'0000, 0, 32).empty());
+}
+
+TEST(SplitPackStrided, SingleBurstGeometry) {
+  const auto bursts = split_pack_strided(0x8000'0000, 1024, 4, 256, 32);
+  ASSERT_EQ(bursts.size(), 1u);
+  EXPECT_EQ(bursts[0].beats(), 32u);  // 256 elems / 8 per beat
+  ASSERT_TRUE(bursts[0].pack.has_value());
+  EXPECT_EQ(bursts[0].pack->num_elems, 256u);
+  EXPECT_EQ(bursts[0].pack->stride, 1024);
+  EXPECT_EQ(bursts[0].beat_bytes(), 4u);
+}
+
+TEST(SplitPackStrided, LongStreamSplitsAt256Beats) {
+  // 5000 elements of 4B on 32B bus: 8 elems/beat -> 625 beats -> 3 bursts.
+  const auto bursts = split_pack_strided(0x8000'0000, 8, 4, 5000, 32);
+  ASSERT_EQ(bursts.size(), 3u);
+  EXPECT_EQ(bursts[0].beats(), 256u);
+  EXPECT_EQ(bursts[0].pack->num_elems, 2048u);
+  // Second burst must start where the first left off.
+  EXPECT_EQ(bursts[1].addr, 0x8000'0000ull + 2048ull * 8);
+  std::uint64_t total = 0;
+  for (const auto& b : bursts) total += b.pack->num_elems;
+  EXPECT_EQ(total, 5000u);
+}
+
+TEST(SplitPackIndirect, IndexBaseAdvances) {
+  const auto bursts = split_pack_indirect(0x8000'0000, 0x8010'0000, 32, 4,
+                                          3000, 32);
+  ASSERT_EQ(bursts.size(), 2u);
+  EXPECT_EQ(bursts[0].pack->index_base, 0x8010'0000u);
+  EXPECT_EQ(bursts[1].pack->index_base, 0x8010'0000u + 2048u * 4);
+  EXPECT_TRUE(bursts[0].pack->indir);
+}
+
+TEST(BeatAddr, IncrAlignsAfterFirstBeat) {
+  AxiAr ar;
+  ar.addr = 0x8000'0004;
+  ar.size = 5;  // 32B
+  ar.len = 3;
+  ar.burst = BurstType::incr;
+  EXPECT_EQ(beat_addr(ar, 0), 0x8000'0004u);
+  EXPECT_EQ(beat_addr(ar, 1), 0x8000'0020u);
+  EXPECT_EQ(beat_addr(ar, 2), 0x8000'0040u);
+}
+
+TEST(BeatAddr, FixedRepeats) {
+  AxiAr ar;
+  ar.addr = 0x8000'0100;
+  ar.size = 2;
+  ar.len = 7;
+  ar.burst = BurstType::fixed;
+  for (unsigned i = 0; i < 8; ++i) EXPECT_EQ(beat_addr(ar, i), 0x8000'0100u);
+}
+
+TEST(BeatAddr, WrapWrapsInContainer) {
+  AxiAr ar;
+  ar.addr = 0x8000'0010;
+  ar.size = 2;  // 4B beats
+  ar.len = 7;   // 8 beats -> 32B container
+  ar.burst = BurstType::wrap;
+  EXPECT_EQ(beat_addr(ar, 0), 0x8000'0010u);
+  EXPECT_EQ(beat_addr(ar, 3), 0x8000'001Cu);
+  EXPECT_EQ(beat_addr(ar, 4), 0x8000'0000u);  // wrapped
+  EXPECT_EQ(beat_addr(ar, 7), 0x8000'000Cu);
+}
+
+TEST(ByteHelpers, PlaceExtractRoundTrip) {
+  BeatBytes beat{};
+  const std::uint32_t value = 0xDEADBEEF;
+  place_bytes(beat, 12, reinterpret_cast<const std::uint8_t*>(&value), 4);
+  std::uint32_t out = 0;
+  extract_bytes(beat, 12, reinterpret_cast<std::uint8_t*>(&out), 4);
+  EXPECT_EQ(out, value);
+}
+
+TEST(ByteHelpers, StrbMask) {
+  EXPECT_EQ(strb_mask(0, 4), 0xFu);
+  EXPECT_EQ(strb_mask(4, 4), 0xF0u);
+  EXPECT_EQ(strb_mask(0, 32), 0xFFFF'FFFFu);
+}
+
+TEST(AxiLink, ForwardsAndCounts) {
+  sim::Kernel k;
+  AxiPort up(k, 2, "up");
+  AxiPort down(k, 2, "down");
+  AxiLink link(k, up, down);
+
+  AxiAr ar;
+  ar.addr = 0x8000'0000;
+  up.ar.push(ar);
+  AxiR r;
+  r.useful_bytes = 32;
+  r.traffic = Traffic::index;
+  down.r.push(r);
+  k.run(3);
+
+  EXPECT_TRUE(down.ar.can_pop());
+  EXPECT_TRUE(up.r.can_pop());
+  EXPECT_EQ(link.stats().ar_handshakes, 1u);
+  EXPECT_EQ(link.stats().r_beats, 1u);
+  EXPECT_EQ(link.stats().r_payload_bytes, 32u);
+  EXPECT_EQ(link.stats().r_index_bytes, 32u);
+}
+
+TEST(AxiLink, StatsDiff) {
+  BusStats a;
+  a.r_beats = 10;
+  a.r_payload_bytes = 320;
+  BusStats b = a;
+  b.r_beats = 25;
+  b.r_payload_bytes = 800;
+  const BusStats d = b.diff(a);
+  EXPECT_EQ(d.r_beats, 15u);
+  EXPECT_EQ(d.r_payload_bytes, 480u);
+}
+
+}  // namespace
+}  // namespace axipack::axi

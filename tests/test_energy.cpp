@@ -1,0 +1,149 @@
+// Area/timing/power model tests: the analytical models must reproduce every
+// published calibration point and behave sanely between them.
+#include <gtest/gtest.h>
+
+#include "energy/area_model.hpp"
+#include "energy/power_model.hpp"
+#include "energy/tech.hpp"
+#include "systems/runner.hpp"
+
+namespace axipack::energy {
+namespace {
+
+TEST(AreaModel, MatchesPaperAt1GHz) {
+  EXPECT_DOUBLE_EQ(*adapter_area_kge(64, 1000.0), 69.0);
+  EXPECT_DOUBLE_EQ(*adapter_area_kge(128, 1000.0), 130.0);
+  EXPECT_DOUBLE_EQ(*adapter_area_kge(256, 1000.0), 257.0);
+}
+
+TEST(AreaModel, MinPeriodsMatchPaper) {
+  EXPECT_DOUBLE_EQ(adapter_min_period_ps(64), 787.0);
+  EXPECT_DOUBLE_EQ(adapter_min_period_ps(128), 800.0);
+  EXPECT_DOUBLE_EQ(adapter_min_period_ps(256), 839.0);
+}
+
+TEST(AreaModel, InfeasibleBelowMinPeriod) {
+  EXPECT_FALSE(adapter_area_kge(256, 800.0).has_value());
+  EXPECT_TRUE(adapter_area_kge(256, 839.0).has_value());
+}
+
+TEST(AreaModel, AreaMonotoneWithClockPressure) {
+  // Tightening the clock must never shrink area.
+  double prev = 1e9;
+  for (double clk = 840; clk <= 3000; clk += 20) {
+    const double area = *adapter_area_kge(256, clk);
+    EXPECT_LE(area, prev + 1e-9) << "at " << clk;
+    prev = area;
+  }
+  // Tight-clock penalty bounded (graceful scaling, paper: "small increases").
+  EXPECT_LT(*adapter_area_kge(256, 839.0), 257.0 * 1.2);
+}
+
+TEST(AreaModel, LinearInBusWidth) {
+  const double a64 = *adapter_area_kge(64, 1000);
+  const double a128 = *adapter_area_kge(128, 1000);
+  const double a256 = *adapter_area_kge(256, 1000);
+  // Ratios roughly 2x per doubling.
+  EXPECT_NEAR(a128 / a64, 2.0, 0.25);
+  EXPECT_NEAR(a256 / a128, 2.0, 0.25);
+}
+
+TEST(AreaModel, BreakdownMatchesPaperShares) {
+  const auto b = adapter_breakdown_kge(256);
+  EXPECT_NEAR(b.total(), 257.0, 2.0);
+  EXPECT_NEAR(b.indirect_w, 74.0, 2.0);
+  EXPECT_NEAR(b.indirect_r, 73.0, 2.0);
+  EXPECT_NEAR(b.strided_w, 37.0, 2.0);
+  EXPECT_NEAR(b.strided_r, 36.0, 2.0);
+  EXPECT_NEAR(b.base_conv, 26.0, 2.0);
+  // Indirect converters ~2x strided (two-stage design).
+  EXPECT_NEAR(b.indirect_r / b.strided_r, 2.0, 0.3);
+  // Read/write converters nearly equal (mirrored datapaths).
+  EXPECT_NEAR(b.strided_w / b.strided_r, 1.0, 0.1);
+}
+
+TEST(AreaModel, AdapterIsSmallFractionOfAra) {
+  const double ratio = *adapter_area_kge(256, 1000) / ara_area_kge(8);
+  EXPECT_NEAR(ratio, 0.062, 0.005);  // paper: 6.2%
+}
+
+TEST(XbarArea, Pow2HasNoModDiv) {
+  for (const unsigned banks : {8u, 16u, 32u}) {
+    const auto a = bank_xbar_area_kge(banks);
+    EXPECT_EQ(a.modulo, 0.0);
+    EXPECT_EQ(a.divider, 0.0);
+  }
+}
+
+TEST(XbarArea, PrimePaysModDivOverhead) {
+  for (const unsigned banks : {11u, 17u, 31u}) {
+    const auto a = bank_xbar_area_kge(banks);
+    EXPECT_GT(a.modulo, 0.0);
+    EXPECT_GT(a.divider, 0.0);
+  }
+}
+
+TEST(XbarArea, PrimeOverheadShrinksRelatively) {
+  // Paper: "prime-banked overheads decrease with increasing bank counts".
+  const auto a11 = bank_xbar_area_kge(11);
+  const auto a31 = bank_xbar_area_kge(31);
+  const double rel11 = (a11.modulo + a11.divider) / a11.total();
+  const double rel31 = (a31.modulo + a31.divider) / a31.total();
+  EXPECT_LT(rel31, rel11);
+}
+
+TEST(XbarArea, GrowsWithBanksAndPorts) {
+  EXPECT_LT(bank_xbar_area_kge(8).total(), bank_xbar_area_kge(32).total());
+  EXPECT_LT(bank_xbar_area_kge(17, 2).total(),
+            bank_xbar_area_kge(17, 8).total());
+}
+
+TEST(PowerModel, BasePowersInPaperBand) {
+  // Fig. 4c: benchmark powers land between ~90 and ~330 mW.
+  for (const auto kernel : {wl::KernelKind::ismt, wl::KernelKind::gemv,
+                            wl::KernelKind::spmv}) {
+    const auto cfg = sys::SystemConfig::make(sys::SystemKind::base);
+    const auto r = sys::run_workload(
+        cfg, sys::default_workload(kernel, sys::SystemKind::base));
+    const auto p = estimate(cfg, r);
+    EXPECT_GT(p.power_mw, 80.0) << wl::kernel_name(kernel);
+    EXPECT_LT(p.power_mw, 350.0) << wl::kernel_name(kernel);
+  }
+}
+
+TEST(PowerModel, PackPowerRisesModerately) {
+  // Paper: PACK increases power by at most ~31%.
+  for (const auto kernel : {wl::KernelKind::ismt, wl::KernelKind::gemv,
+                            wl::KernelKind::trmv, wl::KernelKind::spmv}) {
+    const auto base_cfg = sys::SystemConfig::make(sys::SystemKind::base);
+    const auto pack_cfg = sys::SystemConfig::make(sys::SystemKind::pack);
+    const auto base = sys::run_workload(
+        base_cfg, sys::default_workload(kernel, sys::SystemKind::base));
+    const auto pack = sys::run_workload(
+        pack_cfg, sys::default_workload(kernel, sys::SystemKind::pack));
+    const double ratio = estimate(pack_cfg, pack).power_mw /
+                         estimate(base_cfg, base).power_mw;
+    EXPECT_GT(ratio, 0.95) << wl::kernel_name(kernel);
+    EXPECT_LT(ratio, 1.45) << wl::kernel_name(kernel);
+  }
+}
+
+TEST(PowerModel, EfficiencyGainTracksSpeedup) {
+  const auto base_cfg = sys::SystemConfig::make(sys::SystemKind::base);
+  const auto pack_cfg = sys::SystemConfig::make(sys::SystemKind::pack);
+  const auto base = sys::run_workload(
+      base_cfg, sys::default_workload(wl::KernelKind::ismt,
+                                      sys::SystemKind::base));
+  const auto pack = sys::run_workload(
+      pack_cfg, sys::default_workload(wl::KernelKind::ismt,
+                                      sys::SystemKind::pack));
+  const double speedup = static_cast<double>(base.cycles) / pack.cycles;
+  const double gain = efficiency_gain(estimate(base_cfg, base), base.cycles,
+                                      estimate(pack_cfg, pack), pack.cycles);
+  EXPECT_GT(gain, 1.5);
+  // Energy efficiency is roughly speedup divided by the power increase.
+  EXPECT_NEAR(gain, speedup, speedup * 0.4);
+}
+
+}  // namespace
+}  // namespace axipack::energy

@@ -1,0 +1,139 @@
+// End-to-end integration: every workload runs on every system, results are
+// verified against golden references, and the paper's qualitative ordering
+// holds (PACK faster than BASE, close to IDEAL).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "systems/runner.hpp"
+
+namespace axipack {
+namespace {
+
+using sys::RunResult;
+using sys::run_default;
+using sys::SystemKind;
+using wl::KernelKind;
+
+/// Small problem sizes keep the full cross-product fast while still
+/// exercising every code path.
+wl::WorkloadConfig small_config(KernelKind kernel, SystemKind system) {
+  wl::WorkloadConfig cfg = sys::default_workload(kernel, system);
+  cfg.n = wl::kernel_is_indirect(kernel) ? 48 : 32;
+  cfg.nnz_per_row = 24;
+  return cfg;
+}
+
+class AllWorkloadsAllSystems
+    : public ::testing::TestWithParam<std::tuple<KernelKind, SystemKind>> {};
+
+TEST_P(AllWorkloadsAllSystems, ProducesCorrectResults) {
+  const auto [kernel, system] = GetParam();
+  const auto sys_cfg = sys::SystemConfig::make(system);
+  const auto result = sys::run_workload(sys_cfg, small_config(kernel, system));
+  EXPECT_TRUE(result.correct) << result.error;
+  EXPECT_GT(result.cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AllWorkloadsAllSystems,
+    ::testing::Combine(::testing::Values(KernelKind::ismt, KernelKind::gemv,
+                                         KernelKind::trmv, KernelKind::spmv,
+                                         KernelKind::prank, KernelKind::sssp),
+                       ::testing::Values(SystemKind::base, SystemKind::pack,
+                                         SystemKind::ideal)),
+    [](const auto& info) {
+      return std::string(wl::kernel_name(std::get<0>(info.param))) + "_" +
+             sys::system_name(std::get<1>(info.param));
+    });
+
+class DataflowsWork
+    : public ::testing::TestWithParam<std::tuple<KernelKind, wl::Dataflow,
+                                                 SystemKind>> {};
+
+TEST_P(DataflowsWork, BothDataflowsCorrect) {
+  const auto [kernel, dataflow, system] = GetParam();
+  auto cfg = small_config(kernel, system);
+  cfg.dataflow = dataflow;
+  const auto result =
+      sys::run_workload(sys::SystemConfig::make(system), cfg);
+  EXPECT_TRUE(result.correct) << result.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, DataflowsWork,
+    ::testing::Combine(::testing::Values(KernelKind::gemv, KernelKind::trmv),
+                       ::testing::Values(wl::Dataflow::rowwise,
+                                         wl::Dataflow::colwise),
+                       ::testing::Values(SystemKind::base, SystemKind::pack,
+                                         SystemKind::ideal)));
+
+TEST(BusWidths, AllWidthsCorrect) {
+  for (const unsigned bus : {64u, 128u, 256u}) {
+    for (const auto kind : {SystemKind::base, SystemKind::pack}) {
+      auto cfg = small_config(KernelKind::ismt, kind);
+      const auto result =
+          sys::run_workload(sys::SystemConfig::make(kind, bus), cfg);
+      EXPECT_TRUE(result.correct)
+          << "bus " << bus << " " << sys::system_name(kind) << ": "
+          << result.error;
+    }
+  }
+}
+
+TEST(BankCounts, AllCountsCorrect) {
+  for (const unsigned banks : {8u, 11u, 16u, 17u, 31u, 32u}) {
+    auto cfg = small_config(KernelKind::spmv, SystemKind::pack);
+    const auto result = sys::run_workload(
+        sys::SystemConfig::make(SystemKind::pack, 256, banks), cfg);
+    EXPECT_TRUE(result.correct) << "banks " << banks << ": " << result.error;
+  }
+}
+
+TEST(Ordering, PackBeatsBaseOnStrided) {
+  const auto base = run_default(KernelKind::ismt, SystemKind::base);
+  const auto pack = run_default(KernelKind::ismt, SystemKind::pack);
+  ASSERT_TRUE(base.correct) << base.error;
+  ASSERT_TRUE(pack.correct) << pack.error;
+  EXPECT_GT(static_cast<double>(base.cycles) / pack.cycles, 2.0);
+}
+
+TEST(Ordering, PackNearIdealOnGemv) {
+  const auto pack = run_default(KernelKind::gemv, SystemKind::pack);
+  const auto ideal = run_default(KernelKind::gemv, SystemKind::ideal);
+  ASSERT_TRUE(pack.correct && ideal.correct);
+  // PACK achieves ~97% of IDEAL on average in the paper; allow slack.
+  EXPECT_LT(static_cast<double>(pack.cycles) / ideal.cycles, 1.35);
+}
+
+TEST(Ordering, IndexTrafficOnlyOnBaseAndIdeal) {
+  auto cfg = small_config(KernelKind::spmv, SystemKind::base);
+  const auto base =
+      sys::run_workload(sys::SystemConfig::make(SystemKind::base), cfg);
+  EXPECT_GT(base.bus.r_index_bytes, 0u);
+
+  cfg = small_config(KernelKind::spmv, SystemKind::pack);
+  const auto pack =
+      sys::run_workload(sys::SystemConfig::make(SystemKind::pack), cfg);
+  EXPECT_EQ(pack.bus.r_index_bytes, 0u);
+}
+
+TEST(Determinism, RepeatRunsIdentical) {
+  const auto a = run_default(KernelKind::spmv, SystemKind::pack);
+  const auto b = run_default(KernelKind::spmv, SystemKind::pack);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.bus.r_payload_bytes, b.bus.r_payload_bytes);
+}
+
+TEST(Utilization, BoundedByOne) {
+  for (const auto kind :
+       {SystemKind::base, SystemKind::pack, SystemKind::ideal}) {
+    const auto r = run_default(KernelKind::gemv, kind);
+    EXPECT_GE(r.r_util, 0.0);
+    EXPECT_LE(r.r_util, 1.0);
+    EXPECT_LE(r.r_util_no_idx, r.r_util + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace axipack

@@ -1,0 +1,143 @@
+// Unit tests for util: bit math, RNG determinism, table formatting.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace axipack::util {
+namespace {
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(ceil_div<std::uint64_t>(1ull << 40, 3), ((1ull << 40) + 2) / 3);
+}
+
+TEST(Bits, RoundUpDown) {
+  EXPECT_EQ(round_up(0, 32), 0);
+  EXPECT_EQ(round_up(1, 32), 32);
+  EXPECT_EQ(round_up(32, 32), 32);
+  EXPECT_EQ(round_down(31, 32), 0);
+  EXPECT_EQ(round_down(33, 32), 32);
+  // Non-power-of-two alignments work too.
+  EXPECT_EQ(round_up(10, 17), 17);
+  EXPECT_EQ(round_down(35, 17), 34);
+}
+
+TEST(Bits, Pow2AndLog) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(17));
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(32), 5u);
+  EXPECT_EQ(log2_ceil(1), 0u);
+  EXPECT_EQ(log2_ceil(2), 1u);
+  EXPECT_EQ(log2_ceil(3), 2u);
+  EXPECT_EQ(log2_ceil(8), 3u);
+  EXPECT_EQ(log2_ceil(9), 4u);
+}
+
+TEST(Bits, Primality) {
+  // The paper's bank counts.
+  EXPECT_TRUE(is_prime(11));
+  EXPECT_TRUE(is_prime(17));
+  EXPECT_TRUE(is_prime(31));
+  EXPECT_FALSE(is_prime(8));
+  EXPECT_FALSE(is_prime(16));
+  EXPECT_FALSE(is_prime(32));
+  EXPECT_FALSE(is_prime(1));
+}
+
+TEST(Bits, AxSize) {
+  EXPECT_EQ(axsize_of_bytes(4), 2u);
+  EXPECT_EQ(bytes_of_axsize(5), 32u);
+  EXPECT_EQ(bytes_of_axsize(axsize_of_bytes(8)), 8u);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const float u = rng.uniform();
+    EXPECT_GE(u, 0.0f);
+    EXPECT_LT(u, 1.0f);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacement) {
+  Rng rng(11);
+  const auto s = rng.sample_without_replacement(100, 30);
+  ASSERT_EQ(s.size(), 30u);
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    EXPECT_LT(s[i - 1], s[i]);  // sorted and distinct
+  }
+  for (auto v : s) EXPECT_LT(v, 100u);
+}
+
+TEST(Rng, SampleFullRange) {
+  Rng rng(13);
+  const auto s = rng.sample_without_replacement(16, 16);
+  ASSERT_EQ(s.size(), 16u);
+  for (std::uint32_t i = 0; i < 16; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(Table, FormatsRows) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(1.5, 1);
+  t.row().cell("b").cell(std::uint64_t{42});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, PercentFormat) {
+  EXPECT_EQ(fmt_pct(0.87), "87.0%");
+  EXPECT_EQ(fmt_pct(0.395), "39.5%");
+  EXPECT_EQ(fmt(5.4, 1), "5.4");
+}
+
+}  // namespace
+}  // namespace axipack::util

@@ -1,0 +1,222 @@
+// Workload-layer unit tests: generators (determinism, CSR invariants,
+// graph structure), golden references, and program construction.
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hpp"
+#include "util/rng.hpp"
+#include "workloads/data.hpp"
+#include "workloads/golden.hpp"
+#include "workloads/workloads.hpp"
+
+namespace axipack::wl {
+namespace {
+
+constexpr std::uint64_t kBase = 0x8000'0000ull;
+
+TEST(Generators, DenseMatrixDeterministic) {
+  mem::BackingStore s1(kBase, 1 << 22);
+  mem::BackingStore s2(kBase, 1 << 22);
+  util::Rng r1(42);
+  util::Rng r2(42);
+  const auto m1 = gen_dense_matrix(s1, 16, 16, r1);
+  const auto m2 = gen_dense_matrix(s2, 16, 16, r2);
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(s1.read_u32(m1.addr + 4 * i), s2.read_u32(m2.addr + 4 * i));
+  }
+}
+
+TEST(Generators, CsrInvariants) {
+  mem::BackingStore store(kBase, 1 << 24);
+  util::Rng rng(7);
+  const auto m = gen_csr_matrix(store, 64, 64, 12, rng);
+  ASSERT_EQ(m.rowptr.size(), 65u);
+  EXPECT_EQ(m.rowptr[0], 0u);
+  EXPECT_EQ(m.rowptr[64], m.nnz);
+  for (std::uint32_t r = 0; r < 64; ++r) {
+    EXPECT_LE(m.rowptr[r], m.rowptr[r + 1]);
+    // Columns sorted and distinct within a row, in range.
+    for (std::uint32_t k = m.rowptr[r]; k + 1 < m.rowptr[r + 1]; ++k) {
+      EXPECT_LT(m.colidx[k], m.colidx[k + 1]);
+    }
+    for (std::uint32_t k = m.rowptr[r]; k < m.rowptr[r + 1]; ++k) {
+      EXPECT_LT(m.colidx[k], 64u);
+    }
+  }
+  // Average nnz/row within the generator's [avg/2, 3avg/2] band.
+  const double avg = static_cast<double>(m.nnz) / 64.0;
+  EXPECT_GE(avg, 6.0);
+  EXPECT_LE(avg, 18.0);
+}
+
+TEST(Generators, CsrInMemoryMatchesHostArrays) {
+  mem::BackingStore store(kBase, 1 << 24);
+  util::Rng rng(9);
+  const auto m = gen_csr_matrix(store, 32, 32, 8, rng);
+  for (std::size_t i = 0; i < m.rowptr.size(); ++i) {
+    EXPECT_EQ(store.read_u32(m.rowptr_addr + 4 * i), m.rowptr[i]);
+  }
+  for (std::size_t k = 0; k < m.colidx.size(); ++k) {
+    EXPECT_EQ(store.read_u32(m.colidx_addr + 4 * k), m.colidx[k]);
+    EXPECT_EQ(store.read_f32(m.vals_addr + 4 * k), m.vals[k]);
+  }
+}
+
+TEST(Generators, GraphHasMinDegreeOne) {
+  mem::BackingStore store(kBase, 1 << 24);
+  util::Rng rng(11);
+  const auto g = gen_graph_csr(store, 100, 8, rng, false);
+  for (std::uint32_t u = 0; u < 100; ++u) {
+    EXPECT_GE(g.rowptr[u + 1] - g.rowptr[u], 1u) << "node " << u;
+  }
+  for (float w : g.vals) EXPECT_GT(w, 0.0f);  // positive weights for sssp
+}
+
+TEST(Generators, StochasticGraphWeightsNormalized) {
+  mem::BackingStore store(kBase, 1 << 24);
+  util::Rng rng(13);
+  const auto g = gen_graph_csr(store, 80, 6, rng, true);
+  // Column sums of the normalized matrix equal 1 for nodes with out-edges
+  // (each source contributes 1/out_degree per outgoing edge).
+  std::vector<double> col_sum(80, 0.0);
+  std::vector<std::uint32_t> out_deg(80, 0);
+  for (std::uint32_t c : g.colidx) ++out_deg[c];
+  for (std::size_t k = 0; k < g.colidx.size(); ++k) {
+    col_sum[g.colidx[k]] += g.vals[k];
+  }
+  for (std::uint32_t v = 0; v < 80; ++v) {
+    if (out_deg[v] > 0) EXPECT_NEAR(col_sum[v], 1.0, 1e-4) << "node " << v;
+  }
+}
+
+TEST(Golden, TransposeIsInvolution) {
+  std::vector<float> a(16 * 16);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<float>(i);
+  std::vector<float> b = a;
+  ref_transpose(b, 16);
+  EXPECT_NE(a, b);
+  ref_transpose(b, 16);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Golden, GemvKnownValues) {
+  // 2x2: [1 2; 3 4] * [5, 6] = [17, 39]
+  const std::vector<float> a = {1, 2, 3, 4};
+  const std::vector<float> x = {5, 6};
+  const auto y = ref_gemv(a, x, 2);
+  EXPECT_FLOAT_EQ(y[0], 17.0f);
+  EXPECT_FLOAT_EQ(y[1], 39.0f);
+}
+
+TEST(Golden, TrmvUsesUpperTriangleOnly) {
+  const std::vector<float> a = {1, 2, 100, 4};  // lower element ignored
+  const std::vector<float> x = {1, 1};
+  const auto y = ref_trmv_upper(a, x, 2);
+  EXPECT_FLOAT_EQ(y[0], 3.0f);  // 1 + 2
+  EXPECT_FLOAT_EQ(y[1], 4.0f);  // only diagonal
+}
+
+TEST(Golden, SpmvMatchesDense) {
+  // CSR of [0 2; 3 0].
+  const std::vector<std::uint32_t> rowptr = {0, 1, 2};
+  const std::vector<std::uint32_t> colidx = {1, 0};
+  const std::vector<float> vals = {2, 3};
+  const std::vector<float> x = {10, 20};
+  const auto y = ref_spmv(rowptr, colidx, vals, x);
+  EXPECT_FLOAT_EQ(y[0], 40.0f);
+  EXPECT_FLOAT_EQ(y[1], 30.0f);
+}
+
+TEST(Golden, PagerankConservesMass) {
+  mem::BackingStore store(kBase, 1 << 24);
+  util::Rng rng(17);
+  const auto g = gen_graph_csr(store, 60, 5, rng, true);
+  const auto r = ref_pagerank(g.rowptr, g.colidx, g.vals, 60, 20, 0.85f);
+  double total = 0.0;
+  for (float v : r) {
+    EXPECT_GT(v, 0.0f);
+    total += v;
+  }
+  // Mass is approximately conserved for stochastic graphs.
+  EXPECT_NEAR(total, 1.0, 0.05);
+}
+
+TEST(Golden, SsspSourceZeroAndTriangleInequality) {
+  // Path graph 0 -> 1 -> 2 encoded as incoming-edge CSR.
+  const std::vector<std::uint32_t> rowptr = {0, 0, 1, 2};
+  const std::vector<std::uint32_t> colidx = {0, 1};
+  const std::vector<float> vals = {1.5f, 2.5f};
+  const auto d = ref_sssp(rowptr, colidx, vals, 3, 3, 0);
+  EXPECT_FLOAT_EQ(d[0], 0.0f);
+  EXPECT_FLOAT_EQ(d[1], 1.5f);
+  EXPECT_FLOAT_EQ(d[2], 4.0f);
+}
+
+TEST(Golden, SsspSweepsConverge) {
+  // More sweeps never increase any distance (monotone relaxation).
+  mem::BackingStore store(kBase, 1 << 24);
+  util::Rng rng(19);
+  const auto g = gen_graph_csr(store, 40, 4, rng, false);
+  const auto d2 = ref_sssp(g.rowptr, g.colidx, g.vals, 40, 2, 0);
+  const auto d5 = ref_sssp(g.rowptr, g.colidx, g.vals, 40, 5, 0);
+  for (std::uint32_t u = 0; u < 40; ++u) EXPECT_LE(d5[u], d2[u]);
+}
+
+TEST(Golden, NearlyEqualDetectsMismatch) {
+  std::string msg;
+  EXPECT_TRUE(nearly_equal({1.0f, 2.0f}, {1.0f, 2.00001f}, 1e-3f, msg));
+  EXPECT_FALSE(nearly_equal({1.0f, 2.0f}, {1.0f, 2.5f}, 1e-3f, msg));
+  EXPECT_NE(msg.find("mismatch"), std::string::npos);
+  EXPECT_FALSE(nearly_equal({1.0f}, {1.0f, 2.0f}, 1e-3f, msg));
+}
+
+TEST(Programs, PackSpmvUsesInMemoryIndices) {
+  mem::BackingStore store(kBase, 1 << 24);
+  WorkloadConfig cfg;
+  cfg.kernel = KernelKind::spmv;
+  cfg.n = 16;
+  cfg.nnz_per_row = 4;
+  cfg.in_memory_indices = true;
+  const auto inst = build_workload(store, cfg);
+  bool has_vlimxei = false;
+  bool has_vluxei = false;
+  for (const auto& op : inst.program.ops) {
+    has_vlimxei |= op.kind == vproc::OpKind::vlimxei;
+    has_vluxei |= op.kind == vproc::OpKind::vluxei;
+  }
+  EXPECT_TRUE(has_vlimxei);
+  EXPECT_FALSE(has_vluxei);
+}
+
+TEST(Programs, BaseSpmvFetchesIndicesIntoCore) {
+  mem::BackingStore store(kBase, 1 << 24);
+  WorkloadConfig cfg;
+  cfg.kernel = KernelKind::spmv;
+  cfg.n = 16;
+  cfg.nnz_per_row = 4;
+  cfg.in_memory_indices = false;
+  const auto inst = build_workload(store, cfg);
+  bool has_index_load = false;
+  bool has_vluxei = false;
+  for (const auto& op : inst.program.ops) {
+    has_index_load |= op.kind == vproc::OpKind::vle &&
+                      op.traffic == axi::Traffic::index;
+    has_vluxei |= op.kind == vproc::OpKind::vluxei;
+  }
+  EXPECT_TRUE(has_index_load);
+  EXPECT_TRUE(has_vluxei);
+}
+
+TEST(Programs, VlCappedByVlmax) {
+  mem::BackingStore store(kBase, 1 << 24);
+  WorkloadConfig cfg;
+  cfg.kernel = KernelKind::ismt;
+  cfg.n = 64;
+  cfg.vlmax = 16;  // force stripmining
+  const auto inst = build_workload(store, cfg);
+  for (const auto& op : inst.program.ops) {
+    EXPECT_LE(op.vl, 16u);
+  }
+}
+
+}  // namespace
+}  // namespace axipack::wl
