@@ -22,42 +22,31 @@
 #include "bench_common.hpp"
 #include "dma/descriptor.hpp"
 #include "dma/engine.hpp"
-#include "mem/banked_memory.hpp"
-#include "pack/adapter.hpp"
-#include "sim/kernel.hpp"
+#include "systems/scenario.hpp"
+#include "systems/system.hpp"
 
 namespace {
 
 using namespace axipack;
 
+/// DMA -> adapter -> 17-bank memory — the registry's
+/// "single-dma-{pack,narrow}" scenarios.
 struct Fabric {
-  sim::Kernel kernel;
-  mem::BackingStore store{0x8000'0000ull, 64ull << 20};
-  std::unique_ptr<axi::AxiPort> port;
-  std::unique_ptr<mem::BankedMemory> memory;
-  std::unique_ptr<pack::AxiPackAdapter> adapter;
-  std::unique_ptr<dma::DmaEngine> engine;
+  std::unique_ptr<sys::System> system;
+  mem::BackingStore& store;
+  dma::DmaEngine& engine;
 
-  explicit Fabric(bool use_pack) {
-    port = std::make_unique<axi::AxiPort>(kernel, 2, "dma");
-    mem::BankedMemoryConfig mc;
-    mc.num_ports = 8;
-    mc.num_banks = 17;
-    memory = std::make_unique<mem::BankedMemory>(kernel, store, mc);
-    pack::AdapterConfig ac;
-    adapter = std::make_unique<pack::AxiPackAdapter>(kernel, *port, *memory,
-                                                     ac);
-    dma::DmaConfig dc;
-    dc.use_pack = use_pack;
-    engine = std::make_unique<dma::DmaEngine>(kernel, *port, dc);
-  }
+  explicit Fabric(bool use_pack)
+      : system(sys::ScenarioRegistry::instance().build(
+            use_pack ? "single-dma-pack" : "single-dma-narrow")),
+        store(system->store()),
+        engine(system->dma(0)) {}
 
   std::uint64_t run_job(const dma::Descriptor& d) {
-    const std::uint64_t start = kernel.now();
-    engine->push(d);
-    kernel.run_until([&] { return engine->idle() && adapter->idle(); },
-                     50'000'000);
-    return kernel.now() - start;
+    const std::uint64_t start = system->kernel().now();
+    engine.push(d);
+    system->run_until_drained(50'000'000);
+    return system->kernel().now() - start;
   }
 };
 

@@ -28,9 +28,9 @@ void emit() {
                                           sys::SystemKind::pack);
     pack_cfg.n = n;
     const auto base = sys::run_workload(
-        sys::SystemConfig::make(sys::SystemKind::base), base_cfg);
+        sys::scenario_name(sys::SystemKind::base), base_cfg);
     const auto pack = sys::run_workload(
-        sys::SystemConfig::make(sys::SystemKind::pack), pack_cfg);
+        sys::scenario_name(sys::SystemKind::pack), pack_cfg);
     const bool ok = pack.cycles <= base.cycles && base.correct &&
                     pack.correct;
     all_ok &= ok;

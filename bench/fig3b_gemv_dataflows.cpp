@@ -19,7 +19,7 @@ void emit() {
                             sys::SystemKind::ideal}) {
       auto cfg = sys::default_workload(wl::KernelKind::gemv, kind);
       cfg.dataflow = df;
-      const auto r = sys::run_workload(sys::SystemConfig::make(kind), cfg);
+      const auto r = sys::run_workload(sys::scenario_name(kind), cfg);
       std::string note;
       if (df == wl::Dataflow::rowwise && kind == sys::SystemKind::base) {
         note = "R util ~37%";
@@ -46,7 +46,7 @@ void bm_gemv_col_pack(benchmark::State& state) {
                                      sys::SystemKind::pack);
     cfg.dataflow = wl::Dataflow::colwise;
     const auto r =
-        sys::run_workload(sys::SystemConfig::make(sys::SystemKind::pack), cfg);
+        sys::run_workload(sys::scenario_name(sys::SystemKind::pack), cfg);
     state.counters["sim_cycles"] = static_cast<double>(r.cycles);
   }
 }

@@ -19,9 +19,9 @@ double speedup_at(unsigned bus_bits, std::uint32_t n) {
                                         sys::SystemKind::pack);
   pack_cfg.n = n;
   const auto base = sys::run_workload(
-      sys::SystemConfig::make(sys::SystemKind::base, bus_bits), base_cfg);
+      sys::scenario_name(sys::SystemKind::base, bus_bits), base_cfg);
   const auto pack = sys::run_workload(
-      sys::SystemConfig::make(sys::SystemKind::pack, bus_bits), pack_cfg);
+      sys::scenario_name(sys::SystemKind::pack, bus_bits), pack_cfg);
   return static_cast<double>(base.cycles) / static_cast<double>(pack.cycles);
 }
 

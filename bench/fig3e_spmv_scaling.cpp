@@ -17,7 +17,7 @@ double speedup_at(unsigned bus_bits, std::uint32_t nnz) {
     cfg.nnz_per_row = nnz;
     // Keep total work bounded across the sweep.
     cfg.n = nnz >= 128 ? 256u : 512u;
-    return sys::run_workload(sys::SystemConfig::make(kind, bus_bits), cfg);
+    return sys::run_workload(sys::scenario_name(kind, bus_bits), cfg);
   };
   const auto base = mk(sys::SystemKind::base);
   const auto pack = mk(sys::SystemKind::pack);

@@ -26,14 +26,14 @@ void emit() {
   };
   double max_delta = 0.0;
   for (const auto& ref : refs) {
-    const auto base_cfg = sys::SystemConfig::make(sys::SystemKind::base);
-    const auto pack_cfg = sys::SystemConfig::make(sys::SystemKind::pack);
+    const auto base_cfg = sys::scenario_name(sys::SystemKind::base);
+    const auto pack_cfg = sys::scenario_name(sys::SystemKind::pack);
     const auto base = sys::run_workload(
         base_cfg, sys::default_workload(ref.kernel, sys::SystemKind::base));
     const auto pack = sys::run_workload(
         pack_cfg, sys::default_workload(ref.kernel, sys::SystemKind::pack));
-    const auto base_p = energy::estimate(base_cfg, base);
-    const auto pack_p = energy::estimate(pack_cfg, pack);
+    const auto base_p = energy::estimate(base);
+    const auto pack_p = energy::estimate(pack);
     const double delta = pack_p.power_mw / base_p.power_mw - 1.0;
     max_delta = std::max(max_delta, delta);
     table.row()

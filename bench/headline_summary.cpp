@@ -29,8 +29,8 @@ void emit() {
   double ratio_sum = 0.0;
   bool all_correct = true;
   for (const auto kernel : kernels) {
-    const auto base_cfg = sys::SystemConfig::make(sys::SystemKind::base);
-    const auto pack_cfg = sys::SystemConfig::make(sys::SystemKind::pack);
+    const auto base_cfg = sys::scenario_name(sys::SystemKind::base);
+    const auto pack_cfg = sys::scenario_name(sys::SystemKind::pack);
     const auto base = sys::run_workload(
         base_cfg, sys::default_workload(kernel, sys::SystemKind::base));
     const auto pack = sys::run_workload(
@@ -40,8 +40,8 @@ void emit() {
     all_correct = all_correct && base.correct && pack.correct && ideal.correct;
     const double speedup = static_cast<double>(base.cycles) / pack.cycles;
     const double eff = energy::efficiency_gain(
-        energy::estimate(base_cfg, base), base.cycles,
-        energy::estimate(pack_cfg, pack), pack.cycles);
+        energy::estimate(base), base.cycles,
+        energy::estimate(pack), pack.cycles);
     ratio_sum += static_cast<double>(ideal.cycles) / pack.cycles;
     if (wl::kernel_is_indirect(kernel)) {
       peak_indirect_speedup = std::max(peak_indirect_speedup, speedup);

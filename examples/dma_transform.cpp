@@ -19,45 +19,32 @@
 
 #include "dma/descriptor.hpp"
 #include "dma/engine.hpp"
-#include "mem/backing_store.hpp"
-#include "mem/banked_memory.hpp"
-#include "pack/adapter.hpp"
-#include "sim/kernel.hpp"
+#include "systems/scenario.hpp"
+#include "systems/system.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace axipack;
 
-/// Minimal single-master fabric: DMA -> adapter -> 17-bank memory.
+/// Minimal single-master fabric: DMA -> adapter -> 17-bank memory — the
+/// registry's "single-dma-{pack,narrow}" scenarios.
 struct Fabric {
-  sim::Kernel kernel;
-  mem::BackingStore store{0x8000'0000ull, 64ull << 20};
-  std::unique_ptr<axi::AxiPort> port;
-  std::unique_ptr<mem::BankedMemory> memory;
-  std::unique_ptr<pack::AxiPackAdapter> adapter;
-  std::unique_ptr<dma::DmaEngine> engine;
+  std::unique_ptr<sys::System> system;
+  mem::BackingStore& store;
+  dma::DmaEngine& engine;
 
-  explicit Fabric(bool use_pack) {
-    port = std::make_unique<axi::AxiPort>(kernel, 2, "dma");
-    mem::BankedMemoryConfig mc;
-    mc.num_ports = 8;
-    mc.num_banks = 17;
-    memory = std::make_unique<mem::BankedMemory>(kernel, store, mc);
-    pack::AdapterConfig ac;
-    adapter = std::make_unique<pack::AxiPackAdapter>(kernel, *port, *memory,
-                                                     ac);
-    dma::DmaConfig dc;
-    dc.use_pack = use_pack;
-    engine = std::make_unique<dma::DmaEngine>(kernel, *port, dc);
-  }
+  explicit Fabric(bool use_pack)
+      : system(sys::ScenarioRegistry::instance().build(
+            use_pack ? "single-dma-pack" : "single-dma-narrow")),
+        store(system->store()),
+        engine(system->dma(0)) {}
 
   std::uint64_t run() {
-    const std::uint64_t start = kernel.now();
-    const bool ok = kernel.run_until(
-        [&] { return engine->idle() && adapter->idle(); }, 50'000'000);
+    const std::uint64_t start = system->kernel().now();
+    const bool ok = system->run_until_drained(50'000'000);
     if (!ok) std::fprintf(stderr, "DMA did not drain!\n");
-    return kernel.now() - start;
+    return system->kernel().now() - start;
   }
 };
 
@@ -87,7 +74,7 @@ int main(int argc, char** argv) {
     d.dst = dma::Pattern::contiguous(dst);
     d.elem_bytes = 4;
     d.num_elems = n;
-    fab.engine->push(d);
+    fab.engine.push(d);
     const std::uint64_t cycles = fab.run();
     if (!use_pack) narrow_cycles = cycles;
 
@@ -96,7 +83,7 @@ int main(int argc, char** argv) {
       correct &= fab.store.read_f32(dst + 4 * i) ==
                  fab.store.read_f32(mat + 4 * 7 + i * std::uint64_t{n} * 4);
     }
-    const auto& s = fab.engine->stats();
+    const auto& s = fab.engine.stats();
     table.row()
         .cell(use_pack ? "AXI-Pack strided burst" : "per-element narrow")
         .cell(s.ar_bursts)
@@ -128,12 +115,12 @@ int main(int argc, char** argv) {
     d.num_elems = n;
     chain.push_back(d);
   }
-  fab.engine->start_chain(dma::build_chain(fab.store, chain));
+  fab.engine.start_chain(dma::build_chain(fab.store, chain));
   const std::uint64_t cycles = fab.run();
   std::printf("  %zu descriptors, %llu cycles total, %llu descriptor-fetch "
               "bytes on the bus\n",
               chain.size(), static_cast<unsigned long long>(cycles),
               static_cast<unsigned long long>(
-                  fab.engine->stats().desc_fetch_bytes));
+                  fab.engine.stats().desc_fetch_bytes));
   return 0;
 }

@@ -8,6 +8,9 @@
 // pipeline where the DMA stages the next layer's data while the core
 // computes the current one.
 //
+// The whole fabric — 2 masters -> crossbar -> monitored link -> AXI-Pack
+// adapter -> 17 banks — is one registry scenario: "dual-master-pack".
+//
 // Usage: multi_master [spmv_rows] [gather_dim]   (default 128 256)
 #include <cstdio>
 #include <cstdlib>
@@ -15,16 +18,11 @@
 #include <string>
 #include <vector>
 
-#include "axi/monitor.hpp"
-#include "axi/xbar.hpp"
 #include "dma/descriptor.hpp"
 #include "dma/engine.hpp"
-#include "mem/backing_store.hpp"
-#include "mem/banked_memory.hpp"
-#include "pack/adapter.hpp"
-#include "sim/kernel.hpp"
 #include "systems/runner.hpp"
-#include "vproc/processor.hpp"
+#include "systems/scenario.hpp"
+#include "systems/system.hpp"
 #include "workloads/workloads.hpp"
 
 int main(int argc, char** argv) {
@@ -34,27 +32,11 @@ int main(int argc, char** argv) {
   const std::uint32_t dim =
       argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 256;
 
-  // --- Fabric: 2 masters -> crossbar -> AXI-Pack adapter -> 17 banks.
-  sim::Kernel kernel;
-  mem::BackingStore store(0x8000'0000ull, 64ull << 20);
-  axi::AxiPort port_proc(kernel, 2, "proc");
-  axi::AxiPort port_dma(kernel, 2, "dma");
-  axi::AxiPort port_mid(kernel, 2, "mid");
-  axi::AxiPort port_mem(kernel, 2, "mem");
-  axi::AxiXbar xbar(kernel, {&port_proc, &port_dma}, {&port_mid},
-                    {{0x8000'0000ull, 64ull << 20, 0}});
-  axi::AxiLink link(kernel, port_mid, port_mem);
-  mem::BankedMemoryConfig mc;
-  mc.num_ports = 8;
-  mc.num_banks = 17;
-  mem::BankedMemory memory(kernel, store, mc);
-  pack::AdapterConfig ac;
-  pack::AxiPackAdapter adapter(kernel, port_mem, memory, ac);
+  // --- The registered dual-master scenario: vproc + DMA share the fabric.
+  auto system = sys::ScenarioRegistry::instance().build("dual-master-pack");
+  mem::BackingStore& store = system->store();
 
   // --- Master 0: vector processor running spmv with vlimxei.
-  vproc::VProcConfig vc;
-  vc.mode = vproc::VlsuMode::pack;
-  vproc::Processor proc(kernel, vc, store, &port_proc);
   auto wl_cfg = sys::default_workload(wl::KernelKind::spmv,
                                       sys::SystemKind::pack);
   wl_cfg.n = rows;
@@ -62,8 +44,7 @@ int main(int argc, char** argv) {
   const wl::WorkloadInstance inst = wl::build_workload(store, wl_cfg);
 
   // --- Master 1: DMA gathering eight matrix columns into contiguous tiles.
-  dma::DmaConfig dc;
-  dma::DmaEngine engine(kernel, port_dma, dc);
+  dma::DmaEngine& engine = system->dma(1);
   const std::uint64_t mat = store.alloc(std::uint64_t{dim} * dim * 4, 64);
   for (std::uint64_t i = 0; i < std::uint64_t{dim} * dim; ++i) {
     store.write_f32(mat + 4 * i, static_cast<float>(i % 997));
@@ -82,11 +63,8 @@ int main(int argc, char** argv) {
   engine.start_chain(dma::build_chain(store, chain));
 
   // --- Run both to completion.
-  proc.run(inst.program);
-  const bool ok = kernel.run_until(
-      [&] { return proc.done() && engine.idle() && adapter.idle(); },
-      100'000'000);
-  if (!ok) {
+  system->processor(0).run(inst.program);
+  if (!system->run_until_drained(100'000'000)) {
     std::fprintf(stderr, "system did not drain\n");
     return 1;
   }
@@ -101,19 +79,21 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto& bus = link.stats();
+  const axi::BusStats& bus = *system->bus_stats();
+  const pack::AdapterStats& astats = system->adapter().stats();
   std::printf("multi_master: spmv (%u rows) on the vector core + 8-column "
-              "gather DMA, one shared AXI-Pack adapter\n\n", rows);
+              "gather DMA, one shared AXI-Pack adapter\n"
+              "(scenario \"dual-master-pack\" from the registry)\n\n", rows);
   std::printf("  total cycles        : %llu\n",
-              static_cast<unsigned long long>(kernel.now()));
+              static_cast<unsigned long long>(system->kernel().now()));
   std::printf("  spmv result         : %s\n",
               spmv_ok ? "correct" : ("WRONG: " + msg).c_str());
   std::printf("  dma tiles           : %s\n",
               dma_ok ? "correct" : "WRONG DATA");
   std::printf("  adapter bursts      : base=%llu stridedR=%llu indirR=%llu\n",
-              static_cast<unsigned long long>(adapter.stats().base_reads),
-              static_cast<unsigned long long>(adapter.stats().strided_reads),
-              static_cast<unsigned long long>(adapter.stats().indirect_reads));
+              static_cast<unsigned long long>(astats.base_reads),
+              static_cast<unsigned long long>(astats.strided_reads),
+              static_cast<unsigned long long>(astats.indirect_reads));
   std::printf("  shared R bus        : %llu beats, %llu payload bytes\n",
               static_cast<unsigned long long>(bus.r_beats),
               static_cast<unsigned long long>(bus.r_payload_bytes));

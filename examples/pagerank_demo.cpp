@@ -33,9 +33,8 @@ int main(int argc, char** argv) {
     wl_cfg.n = nodes;
     wl_cfg.nnz_per_row = degree;
     wl_cfg.iterations = iters;
-    const auto sys_cfg = sys::SystemConfig::make(kind);
-    const auto result = sys::run_workload(sys_cfg, wl_cfg);
-    const auto power = energy::estimate(sys_cfg, result);
+    const auto result = sys::run_workload(sys::scenario_name(kind), wl_cfg);
+    const auto power = energy::estimate(result);
     if (kind == sys::SystemKind::base) {
       base_result = result;
       base_power = power;

@@ -9,22 +9,23 @@
 
 #include "axi/burst.hpp"
 #include "axi/types.hpp"
-#include "mem/backing_store.hpp"
-#include "mem/banked_memory.hpp"
-#include "pack/adapter.hpp"
-#include "sim/kernel.hpp"
+#include "systems/builder.hpp"
+#include "systems/system.hpp"
 
 int main() {
   using namespace axipack;
 
   // ---- assemble: port -> AXI-Pack adapter -> 17-bank word memory ----
-  sim::Kernel kernel;
-  mem::BackingStore store(0x8000'0000ull, 1 << 20);
-  axi::AxiPort port(kernel, 2, "host");
-  mem::BankedMemoryConfig mem_cfg;  // 8 ports, 17 banks (paper defaults)
-  mem::BankedMemory memory(kernel, store, mem_cfg);
-  pack::AdapterConfig adapter_cfg;  // 256-bit bus, queue depth 4
-  pack::AxiPackAdapter adapter(kernel, port, memory, adapter_cfg);
+  sys::SystemBuilder builder;
+  builder.bus_bits(256)                      // 8 word ports, 17 banks
+      .mem_region(0x8000'0000ull, 1 << 20)   // (paper defaults)
+      .queue_depth(4)
+      .monitor(false);                       // host port feeds the adapter
+  const sys::MasterId host = builder.attach_port("host");
+  auto system = builder.build();
+  sim::Kernel& kernel = system->kernel();
+  mem::BackingStore& store = system->store();
+  axi::AxiPort& port = system->master_port(host);
 
   // ---- data: the value at element i is just i (like Fig. 1's addresses) --
   for (std::uint32_t i = 0; i < 256; ++i) {

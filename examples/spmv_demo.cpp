@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
     wl_cfg.n = rows;
     wl_cfg.nnz_per_row = nnz;
     const auto result =
-        sys::run_workload(sys::SystemConfig::make(kind), wl_cfg);
+        sys::run_workload(sys::scenario_name(kind), wl_cfg);
     if (kind == sys::SystemKind::base) base_cycles = result.cycles;
     table.row()
         .cell(sys::system_name(kind))

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
     auto wl_cfg = sys::default_workload(wl::KernelKind::ismt, kind);
     wl_cfg.n = n;
     const auto result =
-        sys::run_workload(sys::SystemConfig::make(kind), wl_cfg);
+        sys::run_workload(sys::scenario_name(kind), wl_cfg);
     if (kind == sys::SystemKind::base) base_cycles = result.cycles;
     table.row()
         .cell(sys::system_name(kind))

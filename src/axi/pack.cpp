@@ -22,39 +22,62 @@ unsigned index_code_to_bits(unsigned code) {
   }
 }
 
+namespace {
+
+/// Mask with the low `bits` bits set; correct at the 64-bit boundary where
+/// a plain (1 << bits) - 1 would shift out of range.
+std::uint64_t low_mask(unsigned bits) {
+  return bits >= 64 ? ~std::uint64_t{0}
+                    : (std::uint64_t{1} << bits) - 1;
+}
+
+unsigned payload_bits_of(unsigned user_bits) {
+  assert(user_bits >= kMinUserBits && user_bits <= kMaxUserBits);
+  return user_bits - 4;
+}
+
+}  // namespace
+
+bool stride_fits_user(std::int64_t stride, unsigned user_bits) {
+  const unsigned payload_bits = payload_bits_of(user_bits);
+  const std::int64_t lo = -(std::int64_t{1} << (payload_bits - 1));
+  const std::int64_t hi = (std::int64_t{1} << (payload_bits - 1)) - 1;
+  return stride >= lo && stride <= hi;
+}
+
+bool index_base_fits_user(std::uint64_t index_base, unsigned user_bits) {
+  const unsigned payload_bits = payload_bits_of(user_bits);
+  return (index_base & ~low_mask(payload_bits)) == 0;
+}
+
 UserBits encode_user(const std::optional<PackRequest>& pack,
                      unsigned user_bits) {
   if (!pack.has_value()) return 0;
-  assert(user_bits >= 8 && user_bits <= 64);
-  const unsigned payload_bits = user_bits - 4;
+  const unsigned payload_bits = payload_bits_of(user_bits);
   UserBits u = 1;  // pack bit
   if (pack->indir) {
     u |= UserBits{1} << 1;
     u |= UserBits{index_bits_to_code(pack->index_bits)} << 2;
-    assert(payload_bits >= 64 ||
-           (pack->index_base >> payload_bits) == 0);
-    u |= (pack->index_base & ((UserBits{1} << payload_bits) - 1)) << 4;
+    assert(index_base_fits_user(pack->index_base, user_bits));
+    u |= (pack->index_base & low_mask(payload_bits)) << 4;
   } else {
-    // Sign check: stride must be representable in payload_bits signed bits.
-    const std::int64_t lo = -(std::int64_t{1} << (payload_bits - 1));
-    const std::int64_t hi = (std::int64_t{1} << (payload_bits - 1)) - 1;
-    assert(pack->stride >= lo && pack->stride <= hi);
-    (void)lo;
-    (void)hi;
+    assert(stride_fits_user(pack->stride, user_bits));
     const auto raw = static_cast<std::uint64_t>(pack->stride);
-    u |= (raw & ((UserBits{1} << payload_bits) - 1)) << 4;
+    u |= (raw & low_mask(payload_bits)) << 4;
   }
   return u;
 }
 
 std::optional<PackRequest> decode_user(UserBits user, std::uint64_t num_elems,
                                        unsigned user_bits) {
+  const unsigned payload_bits = payload_bits_of(user_bits);
+  // Only the low user_bits exist as wires; ignore anything above them.
+  user &= low_mask(user_bits);
   if ((user & 1) == 0) return std::nullopt;
-  const unsigned payload_bits = user_bits - 4;
   PackRequest req;
   req.indir = ((user >> 1) & 1) != 0;
   req.num_elems = num_elems;
-  const std::uint64_t payload = (user >> 4) & ((UserBits{1} << payload_bits) - 1);
+  const std::uint64_t payload = (user >> 4) & low_mask(payload_bits);
   if (req.indir) {
     req.index_bits = index_code_to_bits(static_cast<unsigned>((user >> 2) & 3));
     req.index_base = payload;
@@ -62,7 +85,7 @@ std::optional<PackRequest> decode_user(UserBits user, std::uint64_t num_elems,
     // Sign-extend the stride payload.
     std::uint64_t raw = payload;
     if (raw & (std::uint64_t{1} << (payload_bits - 1))) {
-      raw |= ~((std::uint64_t{1} << payload_bits) - 1);
+      raw |= ~low_mask(payload_bits);
     }
     req.stride = static_cast<std::int64_t>(raw);
   }

@@ -30,15 +30,34 @@ inline constexpr unsigned kDefaultUserBits = 52;
 /// Raw user vector; only the low `kDefaultUserBits` may be set.
 using UserBits = std::uint64_t;
 
+/// Supported user-signal widths: 4 control bits plus at least a nibble of
+/// payload, at most the 64-bit UserBits carrier.
+inline constexpr unsigned kMinUserBits = 8;
+inline constexpr unsigned kMaxUserBits = 64;
+
+/// True iff `stride` is representable in the signed payload field of a
+/// `user_bits`-wide user signal (two's complement, user_bits - 4 bits).
+bool stride_fits_user(std::int64_t stride,
+                      unsigned user_bits = kDefaultUserBits);
+
+/// True iff `index_base` is representable in the unsigned payload field of
+/// a `user_bits`-wide user signal (user_bits - 4 bits; 48-bit bases need
+/// user_bits >= 52, i.e. the default width).
+bool index_base_fits_user(std::uint64_t index_base,
+                          unsigned user_bits = kDefaultUserBits);
+
 /// Encodes a PackRequest into user bits. Returns 0 for a plain AXI4 request
 /// (disengaged optional), preserving backward compatibility.
-/// Strides must fit in the signed payload field; index bases in the unsigned
-/// payload field. Violations are reported via the `ok` flag on decode-side
-/// checks and asserted here.
+/// Strides must satisfy stride_fits_user and index bases
+/// index_base_fits_user (asserted); the full representable range —
+/// including the maximum-magnitude negative stride at the minimum user
+/// width and 48-bit index bases at the default width — round-trips exactly
+/// through decode_user.
 UserBits encode_user(const std::optional<PackRequest>& pack,
                      unsigned user_bits = kDefaultUserBits);
 
-/// Decodes user bits back into the optional PackRequest. `num_elems` is not
+/// Decodes user bits back into the optional PackRequest. Bits above
+/// `user_bits` have no wires on the bus and are ignored. `num_elems` is not
 /// part of the wire encoding; the caller supplies it from burst geometry
 /// (len, size, bus width) via stream_elems().
 std::optional<PackRequest> decode_user(UserBits user,

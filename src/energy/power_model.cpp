@@ -4,11 +4,10 @@
 
 namespace axipack::energy {
 
-PowerEstimate estimate(const sys::SystemConfig& cfg,
-                       const sys::RunResult& result) {
+PowerEstimate estimate(const sys::RunResult& result) {
   const sim::Counters& a = result.activity;
   // Bus beats scale in energy with bus width (wire count).
-  const double beat_scale = static_cast<double>(cfg.bus_bits) / 256.0;
+  const double beat_scale = static_cast<double>(result.bus_bits) / 256.0;
   double dynamic_pj = 0.0;
   dynamic_pj += static_cast<double>(a.get("vfu.elems")) * kEnergyFmaPj;
   dynamic_pj += static_cast<double>(result.bus.r_beats + result.bus.w_beats) *

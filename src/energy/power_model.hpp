@@ -3,7 +3,6 @@
 // (same work, fewer cycles at mildly higher power).
 #pragma once
 
-#include "systems/config.hpp"
 #include "systems/system.hpp"
 
 namespace axipack::energy {
@@ -13,9 +12,9 @@ struct PowerEstimate {
   double energy_uj = 0.0;  ///< total energy of the run
 };
 
-/// Estimates power/energy of a finished run from its activity counters.
-PowerEstimate estimate(const sys::SystemConfig& cfg,
-                       const sys::RunResult& result);
+/// Estimates power/energy of a finished run from its activity counters
+/// (the run records the bus width of the system that produced it).
+PowerEstimate estimate(const sys::RunResult& result);
 
 /// Energy-efficiency improvement of `pack` over `base` for the same
 /// workload: (P_base * t_base) / (P_pack * t_pack).

@@ -1,0 +1,105 @@
+// Pluggable memory-backend layer.
+//
+// A MemoryBackend owns the word-memory endpoint a system's AXI-Pack adapter
+// talks to and exposes backend-agnostic activity statistics, so systems can
+// swap the memory model (banked SRAM, conflict-free ideal, future
+// DRAM-timing models) without touching the fabric or the adapter. Backends
+// are created by name through the BackendRegistry, which ships with
+// "banked" and "ideal" and accepts project-local registrations.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/backing_store.hpp"
+#include "mem/banked_memory.hpp"
+#include "mem/ideal_memory.hpp"
+#include "mem/word.hpp"
+#include "sim/kernel.hpp"
+
+namespace axipack::mem {
+
+/// Backend-agnostic construction parameters. Fields a backend does not use
+/// (e.g. num_banks on "ideal") are ignored by it.
+struct MemoryBackendConfig {
+  std::string name = "banked";   ///< registry key
+  unsigned num_ports = 8;        ///< word ports (= bus_bytes / 4)
+  unsigned num_banks = 17;       ///< banked only
+  sim::Cycle latency = 1;        ///< access latency (SRAM or ideal)
+  std::size_t req_depth = 2;     ///< per-port request FIFO depth
+  std::size_t resp_depth = 64;   ///< per-port response FIFO depth
+};
+
+/// Activity counters every backend can report; backends without a concept
+/// of conflicts report zero losses.
+struct MemoryBackendStats {
+  std::uint64_t grants = 0;
+  std::uint64_t conflict_losses = 0;
+};
+
+/// One memory endpoint behind an adapter: the word memory plus uniform
+/// introspection. Owns the underlying memory model.
+class MemoryBackend {
+ public:
+  virtual ~MemoryBackend() = default;
+  virtual const std::string& name() const = 0;
+  virtual WordMemory& word_memory() = 0;
+  virtual MemoryBackendStats stats() const = 0;
+};
+
+/// The paper's banked on-chip SRAM (BASE/PACK endpoint).
+class BankedBackend final : public MemoryBackend {
+ public:
+  BankedBackend(sim::Kernel& k, BackingStore& store,
+                const MemoryBackendConfig& cfg);
+  const std::string& name() const override { return name_; }
+  WordMemory& word_memory() override { return *memory_; }
+  MemoryBackendStats stats() const override;
+  const BankedMemory& banked() const { return *memory_; }
+
+ private:
+  std::string name_ = "banked";
+  std::unique_ptr<BankedMemory> memory_;
+};
+
+/// Conflict-free word memory (the Fig. 5 "ideal bank count" endpoint).
+class IdealBackend final : public MemoryBackend {
+ public:
+  IdealBackend(sim::Kernel& k, BackingStore& store,
+               const MemoryBackendConfig& cfg);
+  const std::string& name() const override { return name_; }
+  WordMemory& word_memory() override { return *memory_; }
+  MemoryBackendStats stats() const override;
+
+ private:
+  std::string name_ = "ideal";
+  std::unique_ptr<IdealMemory> memory_;
+};
+
+using BackendFactory = std::function<std::unique_ptr<MemoryBackend>(
+    sim::Kernel&, BackingStore&, const MemoryBackendConfig&)>;
+
+/// Name -> factory map for memory backends. `instance()` comes pre-loaded
+/// with the built-in "banked" and "ideal" backends.
+class BackendRegistry {
+ public:
+  static BackendRegistry& instance();
+
+  /// Registers (or replaces) a factory under `name`.
+  void add(const std::string& name, BackendFactory factory);
+
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+  /// Builds the backend registered under `cfg.name`; asserts it exists.
+  std::unique_ptr<MemoryBackend> create(sim::Kernel& k, BackingStore& store,
+                                        const MemoryBackendConfig& cfg) const;
+
+ private:
+  BackendRegistry();
+  std::vector<std::pair<std::string, BackendFactory>> factories_;
+};
+
+}  // namespace axipack::mem

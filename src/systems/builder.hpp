@@ -1,0 +1,112 @@
+// SystemBuilder: fluent construction of evaluation SoCs.
+//
+// A system is a set of masters (vector processors, DMA engines, or raw
+// externally-driven AXI ports) attached to one memory endpoint — an
+// AXI-Pack adapter in front of a pluggable memory backend — through an
+// auto-wired fabric:
+//
+//   * >1 AXI master            -> crossbar between masters and the adapter
+//   * monitor(true) (default)  -> monitored link + protocol checker on the
+//                                 hop in front of the adapter
+//   * monitor(false), 1 master -> the master port feeds the adapter
+//                                 directly (the measurement fabrics used by
+//                                 the sensitivity harness and quickstart)
+//   * processors in VlsuMode::ideal take no AXI port; a system with no AXI
+//     masters builds no fabric at all (the paper's IDEAL SoC).
+//
+// Topology parameters (bus width, banks, queue depths) are set once on the
+// builder and propagated consistently into every component, replacing the
+// old fixed proc->xbar->link->adapter pipeline wired inside System.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dma/engine.hpp"
+#include "mem/backend.hpp"
+#include "pack/adapter.hpp"
+#include "sim/kernel.hpp"
+#include "vproc/context.hpp"
+
+namespace axipack::sys {
+
+class System;
+
+/// Handle to one attached master, returned by the attach_* calls and used
+/// to address the master on the built System.
+using MasterId = unsigned;
+
+class SystemBuilder {
+ public:
+  // ---- fabric-wide parameters ------------------------------------------
+  /// AXI data-bus width in bits (64, 128 or 256). Lane counts, word-port
+  /// counts and per-master widths are derived from it at build time.
+  SystemBuilder& bus_bits(unsigned bits);
+  /// Simulated memory window (base address and size in bytes).
+  SystemBuilder& mem_region(std::uint64_t base, std::uint64_t size);
+  /// Adapter decoupling-queue depth (see SystemConfig for the RTL mapping).
+  SystemBuilder& queue_depth(unsigned depth);
+  /// Monitored link + protocol checker in front of the adapter (default on).
+  SystemBuilder& monitor(bool on);
+
+  // ---- memory backend --------------------------------------------------
+  /// Selects a registered backend by name ("banked", "ideal", ...),
+  /// keeping the other backend parameters as previously set.
+  SystemBuilder& memory(const std::string& backend_name);
+  /// Full backend control; `num_ports` is still derived from the bus
+  /// width. Replaces the ENTIRE backend configuration, including any
+  /// earlier banks()/sram_latency() calls — call those afterwards to
+  /// override individual fields of `cfg`.
+  SystemBuilder& memory(const mem::MemoryBackendConfig& cfg);
+  SystemBuilder& banks(unsigned n);
+  SystemBuilder& sram_latency(sim::Cycle cycles);
+
+  // ---- adapter tuning --------------------------------------------------
+  /// Overrides the adapter configuration; `bus_bytes` is still derived from
+  /// the bus width. Also fixes the decoupling-queue depth (overrides
+  /// queue_depth()).
+  SystemBuilder& adapter(const pack::AdapterConfig& cfg);
+
+  // ---- masters ---------------------------------------------------------
+  /// Vector processor in the given VLSU mode; its lane count and bus width
+  /// are derived from the builder's bus. VlsuMode::ideal processors run on
+  /// their exclusive ideal memory and take no AXI port.
+  MasterId attach_processor(vproc::VlsuMode mode);
+  /// Vector processor with explicit tuning; lanes/bus_bytes still derived.
+  MasterId attach_processor(const vproc::VProcConfig& cfg);
+  /// AXI-Pack DMA engine; its bus width is derived from the builder's bus.
+  MasterId attach_dma(const dma::DmaConfig& cfg = {});
+  /// Raw master port driven by the caller (measurement harnesses).
+  MasterId attach_port(const std::string& name);
+
+  unsigned bus_bytes() const { return bus_bits_ / 8; }
+
+  /// Assembles the system. The builder can be reused (each build creates an
+  /// independent system).
+  std::unique_ptr<System> build() const;
+
+ private:
+  friend class System;
+
+  enum class MasterKind : std::uint8_t { processor, dma, port };
+
+  struct MasterSpec {
+    MasterKind kind = MasterKind::port;
+    vproc::VProcConfig proc;
+    dma::DmaConfig dma;
+    std::string name;
+  };
+
+  unsigned bus_bits_ = 256;
+  std::uint64_t mem_base_ = 0x8000'0000ull;
+  std::uint64_t mem_size_ = 96ull << 20;
+  unsigned queue_depth_ = 8;
+  bool monitor_ = true;
+  mem::MemoryBackendConfig mem_cfg_;
+  pack::AdapterConfig adapter_cfg_;
+  bool adapter_explicit_ = false;
+  std::vector<MasterSpec> masters_;
+};
+
+}  // namespace axipack::sys

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "systems/builder.hpp"
+
 namespace axipack::sys {
 
 const char* system_name(SystemKind k) {
@@ -20,21 +22,28 @@ SystemConfig SystemConfig::make(SystemKind kind, unsigned bus_bits,
   cfg.kind = kind;
   cfg.bus_bits = bus_bits;
   cfg.banks = banks;
-
-  cfg.vproc.mode = kind == SystemKind::base
-                       ? vproc::VlsuMode::base
-                       : (kind == SystemKind::pack ? vproc::VlsuMode::pack
-                                                   : vproc::VlsuMode::ideal);
-  cfg.vproc.lanes = cfg.lanes();
-  cfg.vproc.bus_bytes = cfg.bus_bytes();
-
-  cfg.adapter.bus_bytes = cfg.bus_bytes();
-  cfg.adapter.queue_depth = cfg.queue_depth;
-
-  cfg.bank.num_ports = cfg.bus_bytes() / 4;
-  cfg.bank.num_banks = banks;
-  cfg.bank.sram_latency = cfg.sram_latency;
   return cfg;
+}
+
+SystemBuilder SystemConfig::to_builder() const {
+  SystemBuilder b;
+  b.bus_bits(bus_bits)
+      .mem_region(mem_base, mem_size)
+      .banks(banks)
+      .sram_latency(sram_latency)
+      .queue_depth(queue_depth);
+  switch (kind) {
+    case SystemKind::base:
+      b.attach_processor(vproc::VlsuMode::base);
+      break;
+    case SystemKind::pack:
+      b.attach_processor(vproc::VlsuMode::pack);
+      break;
+    case SystemKind::ideal:
+      b.attach_processor(vproc::VlsuMode::ideal);
+      break;
+  }
+  return b;
 }
 
 }  // namespace axipack::sys

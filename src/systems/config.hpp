@@ -1,4 +1,4 @@
-// System configuration for the three evaluation SoCs (paper §III-A):
+// Parameterization of the paper's three evaluation SoCs (§III-A):
 //   BASE  — unmodified Ara over plain AXI4 to the banked memory
 //   PACK  — AXI-Pack-extended Ara, bus and controller
 //   IDEAL — Ara on an exclusive ideal memory, one port per lane
@@ -6,16 +6,19 @@
 // All three share one processor and memory parameterization: eight lanes on
 // a 256-bit bus (scaled together when the bus width is swept, as in
 // Figs. 3d/3e), a 17-bank word memory, and decoupling queues of depth 4.
+//
+// SystemConfig is a recipe, not a system: to_builder() expands it into a
+// SystemBuilder (builder.hpp), which is the only construction path.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
-#include "mem/banked_memory.hpp"
-#include "pack/adapter.hpp"
-#include "vproc/context.hpp"
+#include "sim/kernel.hpp"
 
 namespace axipack::sys {
+
+class SystemBuilder;
 
 enum class SystemKind : std::uint8_t { base, pack, ideal };
 
@@ -35,16 +38,16 @@ struct SystemConfig {
   // bench/ablation_queue_depth for the sensitivity.
   unsigned queue_depth = 8;
 
-  vproc::VProcConfig vproc;      ///< derived by make()
-  pack::AdapterConfig adapter;   ///< derived by make()
-  mem::BankedMemoryConfig bank;  ///< derived by make()
-
   unsigned bus_bytes() const { return bus_bits / 8; }
   unsigned lanes() const { return bus_bits / 32; }
 
   /// Builds a consistent configuration for a system kind / bus width.
   static SystemConfig make(SystemKind kind, unsigned bus_bits = 256,
                            unsigned banks = 17);
+
+  /// Expands the recipe into a builder (one processor master in the kind's
+  /// VLSU mode; banked memory and monitored link unless IDEAL).
+  SystemBuilder to_builder() const;
 };
 
 }  // namespace axipack::sys

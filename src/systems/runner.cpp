@@ -20,18 +20,24 @@ wl::WorkloadConfig default_workload(wl::KernelKind kernel, SystemKind system) {
   return cfg;
 }
 
-RunResult run_workload(const SystemConfig& sys_cfg,
+RunResult run_workload(const SystemBuilder& builder,
                        const wl::WorkloadConfig& wl_cfg) {
-  System system(sys_cfg);
+  std::unique_ptr<System> system = builder.build();
   const wl::WorkloadInstance instance =
-      wl::build_workload(system.store(), wl_cfg);
-  return system.run(instance);
+      wl::build_workload(system->store(), wl_cfg);
+  return system->run(instance);
+}
+
+RunResult run_workload(const std::string& scenario,
+                       const wl::WorkloadConfig& wl_cfg) {
+  return run_workload(ScenarioRegistry::instance().builder(scenario),
+                      wl_cfg);
 }
 
 RunResult run_default(wl::KernelKind kernel, SystemKind kind,
                       unsigned bus_bits, unsigned banks) {
-  const SystemConfig sys_cfg = SystemConfig::make(kind, bus_bits, banks);
-  return run_workload(sys_cfg, default_workload(kernel, kind));
+  return run_workload(scenario_name(kind, bus_bits, banks),
+                      default_workload(kernel, kind));
 }
 
 }  // namespace axipack::sys

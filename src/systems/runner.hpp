@@ -1,7 +1,11 @@
-// One-call workload runner: builds a fresh system + workload and runs it.
-// This is the entry point the benches, tests and examples use.
+// One-call workload runner: resolves a scenario (or an explicit builder),
+// builds a fresh system + workload and runs it. This is the entry point the
+// benches, tests and examples use.
 #pragma once
 
+#include <string>
+
+#include "systems/scenario.hpp"
 #include "systems/system.hpp"
 #include "workloads/workloads.hpp"
 
@@ -12,11 +16,16 @@ namespace axipack::sys {
 /// PACK/IDEAL for gemv/trmv) and in-memory indices only on PACK.
 wl::WorkloadConfig default_workload(wl::KernelKind kernel, SystemKind system);
 
-/// Builds the system and workload, runs to completion, verifies.
-RunResult run_workload(const SystemConfig& sys_cfg,
+/// Builds the system from an explicit builder, runs to completion, verifies.
+RunResult run_workload(const SystemBuilder& builder,
                        const wl::WorkloadConfig& wl_cfg);
 
-/// Convenience: run `kernel` with methodology defaults on `kind`.
+/// Builds the system from a scenario name, runs to completion, verifies.
+RunResult run_workload(const std::string& scenario,
+                       const wl::WorkloadConfig& wl_cfg);
+
+/// Convenience: run `kernel` with methodology defaults on the
+/// "{kind}-{bus_bits}-{banks}b" scenario.
 RunResult run_default(wl::KernelKind kernel, SystemKind kind,
                       unsigned bus_bits = 256, unsigned banks = 17);
 

@@ -1,0 +1,197 @@
+#include "systems/scenario.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "systems/system.hpp"
+
+namespace axipack::sys {
+
+namespace {
+
+SystemBuilder soc_builder(SystemKind kind, unsigned bus_bits,
+                          unsigned banks) {
+  return SystemConfig::make(kind, bus_bits, banks).to_builder();
+}
+
+/// Parses a decimal number from `s` starting at `pos`; advances `pos` past
+/// it. Disengaged if no digits are present or the value is implausibly
+/// large (guards against silent unsigned wrap-around accepting garbage
+/// names like "pack-256-4294967313b").
+std::optional<unsigned> parse_number(const std::string& s,
+                                     std::size_t& pos) {
+  constexpr unsigned kMaxValue = 1'000'000;
+  if (pos >= s.size() || s[pos] < '0' || s[pos] > '9') return std::nullopt;
+  std::uint64_t value = 0;
+  while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(s[pos] - '0');
+    if (value > kMaxValue) return std::nullopt;
+    ++pos;
+  }
+  return static_cast<unsigned>(value);
+}
+
+}  // namespace
+
+std::string scenario_name(SystemKind kind, unsigned bus_bits,
+                          unsigned banks) {
+  if (kind == SystemKind::ideal) {
+    return "ideal-" + std::to_string(bus_bits);
+  }
+  return std::string(system_name(kind)) + "-" + std::to_string(bus_bits) +
+         "-" + std::to_string(banks) + "b";
+}
+
+std::optional<SystemBuilder> parse_scenario(const std::string& name) {
+  SystemKind kind;
+  std::size_t pos;
+  if (name.rfind("base-", 0) == 0) {
+    kind = SystemKind::base;
+    pos = 5;
+  } else if (name.rfind("pack-", 0) == 0) {
+    kind = SystemKind::pack;
+    pos = 5;
+  } else if (name.rfind("ideal-", 0) == 0) {
+    kind = SystemKind::ideal;
+    pos = 6;
+  } else {
+    return std::nullopt;
+  }
+
+  const auto bus_bits = parse_number(name, pos);
+  if (!bus_bits ||
+      (*bus_bits != 64 && *bus_bits != 128 && *bus_bits != 256)) {
+    return std::nullopt;
+  }
+  if (kind == SystemKind::ideal) {
+    if (pos != name.size()) return std::nullopt;
+    return soc_builder(kind, *bus_bits, 17);
+  }
+  if (pos >= name.size() || name[pos] != '-') return std::nullopt;
+  ++pos;
+  const auto banks = parse_number(name, pos);
+  if (!banks || *banks == 0 || pos + 1 != name.size() || name[pos] != 'b') {
+    return std::nullopt;
+  }
+  return soc_builder(kind, *bus_bits, *banks);
+}
+
+ScenarioRegistry::ScenarioRegistry() {
+  // The paper's three SoCs at every swept bus width.
+  for (const unsigned bits : {256u, 128u, 64u}) {
+    for (const auto kind :
+         {SystemKind::base, SystemKind::pack, SystemKind::ideal}) {
+      const std::string name = scenario_name(kind, bits);
+      std::string desc =
+          std::string(system_name(kind)) + " SoC, " + std::to_string(bits) +
+          "-bit bus" +
+          (kind == SystemKind::ideal ? " (exclusive ideal memory)"
+                                     : ", 17-bank memory");
+      add({name, std::move(desc),
+           [kind, bits] { return soc_builder(kind, bits, 17); }});
+    }
+  }
+
+  add({"pack-256-idealmem",
+       "PACK pipeline over the conflict-free ideal memory backend",
+       [] {
+         SystemBuilder b = soc_builder(SystemKind::pack, 256, 17);
+         b.memory("ideal");
+         return b;
+       }});
+
+  add({"dual-master-pack",
+       "vector processor + AXI-Pack DMA engine sharing xbar and adapter",
+       [] {
+         SystemBuilder b;
+         b.bus_bits(256);
+         b.attach_processor(vproc::VlsuMode::pack);
+         b.attach_dma();
+         return b;
+       }});
+
+  // Bare single-DMA fabrics (no monitor hop) for layout-transform studies;
+  // "narrow" degrades the engine to conventional per-element bursts.
+  for (const bool use_pack : {true, false}) {
+    add({use_pack ? "single-dma-pack" : "single-dma-narrow",
+         use_pack ? "one AXI-Pack DMA engine straight into the adapter"
+                  : "one narrow-burst DMA engine straight into the adapter",
+         [use_pack] {
+           SystemBuilder b;
+           b.bus_bits(256)
+               .mem_region(0x8000'0000ull, 64ull << 20)
+               .queue_depth(4)
+               .monitor(false);
+           dma::DmaConfig dc;
+           dc.use_pack = use_pack;
+           b.attach_dma(dc);
+           return b;
+         }});
+  }
+
+  add({"dual-dma-pack", "two AXI-Pack DMA engines sharing the fabric", [] {
+         SystemBuilder b;
+         b.bus_bits(256);
+         b.attach_dma();
+         b.attach_dma();
+         return b;
+       }});
+
+  add({"quad-dma-pack", "four AXI-Pack DMA engines sharing the fabric", [] {
+         SystemBuilder b;
+         b.bus_bits(256);
+         for (int i = 0; i < 4; ++i) b.attach_dma();
+         return b;
+       }});
+}
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::add(Scenario scenario) {
+  for (auto& existing : scenarios_) {
+    if (existing.name == scenario.name) {
+      existing = std::move(scenario);
+      return;
+    }
+  }
+  scenarios_.push_back(std::move(scenario));
+}
+
+bool ScenarioRegistry::contains(const std::string& name) const {
+  return find(name) != nullptr || parse_scenario(name).has_value();
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(scenarios_.size());
+  for (const auto& s : scenarios_) out.push_back(s.name);
+  return out;
+}
+
+const Scenario* ScenarioRegistry::find(const std::string& name) const {
+  for (const auto& s : scenarios_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+SystemBuilder ScenarioRegistry::builder(const std::string& name) const {
+  if (const Scenario* s = find(name)) return s->recipe();
+  if (auto parsed = parse_scenario(name)) return *parsed;
+  // A typo'd scenario name must never yield a garbage topology: fail loudly
+  // even in assert-free builds.
+  std::fprintf(stderr, "unknown scenario \"%s\"; registered: ", name.c_str());
+  for (const auto& s : scenarios_) std::fprintf(stderr, "%s ", s.name.c_str());
+  std::fprintf(stderr, "\n");
+  std::abort();
+}
+
+std::unique_ptr<System> ScenarioRegistry::build(
+    const std::string& name) const {
+  return builder(name).build();
+}
+
+}  // namespace axipack::sys

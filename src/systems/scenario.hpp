@@ -1,0 +1,81 @@
+// ScenarioRegistry: named builder recipes for evaluation systems.
+//
+// Every SoC the benches, examples and tests run is a scenario: a name like
+// "pack-256-17b" or "dual-master-pack" mapped to a SystemBuilder recipe.
+// The registry ships with the paper's three SoCs across the swept bus
+// widths plus multi-master and ideal-backend variants, and accepts
+// project-local registrations for new topologies.
+//
+// Names of the parametric families are also *parsed*, so any point of the
+// paper's sweeps resolves without pre-registration:
+//
+//   {base|pack}-{64|128|256}-{N}b   e.g. pack-256-31b  (N = bank count)
+//   ideal-{64|128|256}              processor on exclusive ideal memory
+//
+// Fixed names:
+//
+//   pack-256-idealmem   PACK pipeline over the conflict-free "ideal"
+//                       memory backend (adapter upper bound)
+//   dual-master-pack    vector processor + DMA engine sharing the xbar,
+//                       link and AXI-Pack adapter
+//   dual-dma-pack       two DMA engines sharing the fabric
+//   quad-dma-pack       four DMA engines sharing the fabric
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "systems/builder.hpp"
+#include "systems/config.hpp"
+
+namespace axipack::sys {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  std::function<SystemBuilder()> recipe;
+};
+
+class ScenarioRegistry {
+ public:
+  /// Pre-loaded with the built-in scenarios described in the file header.
+  static ScenarioRegistry& instance();
+
+  /// Registers (or replaces) a scenario.
+  void add(Scenario scenario);
+
+  /// True if `name` resolves — registered, or parseable as a parametric
+  /// family member.
+  bool contains(const std::string& name) const;
+
+  /// All registered scenario names, in registration order (parametric
+  /// family members resolve via builder() even when not listed here).
+  std::vector<std::string> names() const;
+
+  /// Registered scenario metadata, or nullptr (parsed names have none).
+  const Scenario* find(const std::string& name) const;
+
+  /// Resolves `name` to its builder recipe; asserts the name resolves.
+  SystemBuilder builder(const std::string& name) const;
+
+  /// Convenience: builder(name).build().
+  std::unique_ptr<System> build(const std::string& name) const;
+
+ private:
+  ScenarioRegistry();
+  std::vector<Scenario> scenarios_;
+};
+
+/// Canonical scenario name for one of the paper's SoCs:
+/// "{kind}-{bus_bits}-{banks}b", or "ideal-{bus_bits}" for IDEAL.
+std::string scenario_name(SystemKind kind, unsigned bus_bits = 256,
+                          unsigned banks = 17);
+
+/// Parses a parametric-family name into a builder (see file header).
+/// Disengaged if the name does not match a family.
+std::optional<SystemBuilder> parse_scenario(const std::string& name);
+
+}  // namespace axipack::sys

@@ -5,11 +5,8 @@
 
 #include "axi/burst.hpp"
 #include "axi/types.hpp"
-#include "mem/backing_store.hpp"
-#include "mem/banked_memory.hpp"
-#include "mem/ideal_memory.hpp"
-#include "pack/adapter.hpp"
-#include "sim/kernel.hpp"
+#include "systems/builder.hpp"
+#include "systems/system.hpp"
 #include "util/rng.hpp"
 
 namespace axipack::sys {
@@ -21,7 +18,6 @@ SensitivityResult measure_read_utilization(const SensitivityConfig& cfg) {
   const std::uint64_t elems_per_burst = epb * cfg.burst_beats;
   const std::uint64_t total_elems = elems_per_burst * cfg.num_bursts;
 
-  sim::Kernel kernel;
   // Size the data region to cover the whole stream.
   const std::uint64_t span =
       cfg.indirect
@@ -32,32 +28,33 @@ SensitivityResult measure_read_utilization(const SensitivityConfig& cfg) {
                                              : cfg.stride_elems + 1) *
                     elem_bytes +
                 (1u << 16);
-  mem::BackingStore store(kBase, span + (1ull << 22));
 
-  std::unique_ptr<mem::BankedMemory> banked;
-  std::unique_ptr<mem::IdealMemory> ideal;
-  mem::WordMemory* memory = nullptr;
+  // Bare measurement fabric: one raw requestor port straight into the
+  // adapter (no xbar/link hops), banks == 0 selecting the ideal backend.
+  SystemBuilder builder;
+  builder.bus_bits(cfg.bus_bytes * 8)
+      .mem_region(kBase, span + (1ull << 22))
+      .monitor(false);
+  mem::MemoryBackendConfig mc;
   if (cfg.banks == 0) {
-    mem::IdealMemoryConfig mc;
-    mc.num_ports = cfg.bus_bytes / 4;
-    ideal = std::make_unique<mem::IdealMemory>(kernel, store, mc);
-    memory = ideal.get();
+    mc.name = "ideal";
   } else {
-    mem::BankedMemoryConfig mc;
-    mc.num_ports = cfg.bus_bytes / 4;
+    mc.name = "banked";
     mc.num_banks = cfg.banks;
     mc.resp_depth = 256;
-    banked = std::make_unique<mem::BankedMemory>(kernel, store, mc);
-    memory = banked.get();
   }
-
-  axi::AxiPort port(kernel, 2, "ideal-requestor");
+  builder.memory(mc);
   pack::AdapterConfig ac;
-  ac.bus_bytes = cfg.bus_bytes;
   ac.queue_depth = cfg.queue_depth;
   ac.resp_fifo_depth = 512;
   ac.idx_window_lines = cfg.idx_window_lines;
-  pack::AxiPackAdapter adapter(kernel, port, *memory, ac);
+  builder.adapter(ac);
+  const MasterId requestor = builder.attach_port("ideal-requestor");
+
+  std::unique_ptr<System> system = builder.build();
+  sim::Kernel& kernel = system->kernel();
+  mem::BackingStore& store = system->store();
+  axi::AxiPort& port = system->master_port(requestor);
 
   // Build the burst stream.
   std::vector<axi::AxiAr> ars;
@@ -96,7 +93,7 @@ SensitivityResult measure_read_utilization(const SensitivityConfig& cfg) {
   std::uint64_t beats_left = 0;
   for (const auto& ar : ars) beats_left += ar.beats();
   const std::uint64_t start_losses =
-      banked ? banked->xbar().total_conflict_losses() : 0;
+      system->memory_backend()->stats().conflict_losses;
   kernel.run_until(
       [&] {
         if (next_ar < ars.size() && port.ar.can_push()) {
@@ -114,10 +111,8 @@ SensitivityResult measure_read_utilization(const SensitivityConfig& cfg) {
   result.cycles = kernel.now();
   result.r_util = static_cast<double>(result.payload_bytes) /
                   (static_cast<double>(result.cycles) * cfg.bus_bytes);
-  if (banked) {
-    result.bank_conflict_losses =
-        banked->xbar().total_conflict_losses() - start_losses;
-  }
+  result.bank_conflict_losses =
+      system->memory_backend()->stats().conflict_losses - start_losses;
   return result;
 }
 

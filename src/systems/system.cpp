@@ -1,55 +1,245 @@
 #include "systems/system.hpp"
 
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
 namespace axipack::sys {
 
-System::System(const SystemConfig& cfg) : cfg_(cfg) {
-  store_ = std::make_unique<mem::BackingStore>(cfg.mem_base, cfg.mem_size);
-  if (cfg.kind != SystemKind::ideal) {
-    port_proc_ = std::make_unique<axi::AxiPort>(kernel_, 2, "proc");
-    port_mid_ = std::make_unique<axi::AxiPort>(kernel_, 2, "mid");
-    port_adapter_ = std::make_unique<axi::AxiPort>(kernel_, 2, "adapter");
-    xbar_ = std::make_unique<axi::AxiXbar>(
-        kernel_, std::vector<axi::AxiPort*>{port_proc_.get()},
-        std::vector<axi::AxiPort*>{port_mid_.get()},
-        std::vector<axi::AddrRule>{{cfg.mem_base, cfg.mem_size, 0}});
-    link_ = std::make_unique<axi::AxiLink>(kernel_, *port_mid_,
-                                           *port_adapter_);
-    checker_ = std::make_unique<axi::ProtocolChecker>(cfg.bus_bytes());
-    link_->attach_checker(checker_.get());
-    memory_ = std::make_unique<mem::BankedMemory>(kernel_, *store_, cfg.bank);
-    adapter_ = std::make_unique<pack::AxiPackAdapter>(
-        kernel_, *port_adapter_, *memory_, cfg.adapter);
+// ------------------------------------------------------------- builder
+
+SystemBuilder& SystemBuilder::bus_bits(unsigned bits) {
+  assert(bits == 64 || bits == 128 || bits == 256);
+  bus_bits_ = bits;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::mem_region(std::uint64_t base,
+                                         std::uint64_t size) {
+  mem_base_ = base;
+  mem_size_ = size;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::queue_depth(unsigned depth) {
+  queue_depth_ = depth;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::monitor(bool on) {
+  monitor_ = on;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::memory(const std::string& backend_name) {
+  assert(mem::BackendRegistry::instance().contains(backend_name));
+  mem_cfg_.name = backend_name;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::memory(const mem::MemoryBackendConfig& cfg) {
+  assert(mem::BackendRegistry::instance().contains(cfg.name));
+  mem_cfg_ = cfg;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::banks(unsigned n) {
+  mem_cfg_.num_banks = n;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::sram_latency(sim::Cycle cycles) {
+  mem_cfg_.latency = cycles;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::adapter(const pack::AdapterConfig& cfg) {
+  adapter_cfg_ = cfg;
+  adapter_explicit_ = true;
+  return *this;
+}
+
+MasterId SystemBuilder::attach_processor(vproc::VlsuMode mode) {
+  vproc::VProcConfig cfg;
+  cfg.mode = mode;
+  return attach_processor(cfg);
+}
+
+MasterId SystemBuilder::attach_processor(const vproc::VProcConfig& cfg) {
+  MasterSpec spec;
+  spec.kind = MasterKind::processor;
+  spec.proc = cfg;
+  spec.name = "proc" + std::to_string(masters_.size());
+  masters_.push_back(std::move(spec));
+  return static_cast<MasterId>(masters_.size() - 1);
+}
+
+MasterId SystemBuilder::attach_dma(const dma::DmaConfig& cfg) {
+  MasterSpec spec;
+  spec.kind = MasterKind::dma;
+  spec.dma = cfg;
+  spec.name = "dma" + std::to_string(masters_.size());
+  masters_.push_back(std::move(spec));
+  return static_cast<MasterId>(masters_.size() - 1);
+}
+
+MasterId SystemBuilder::attach_port(const std::string& name) {
+  MasterSpec spec;
+  spec.kind = MasterKind::port;
+  spec.name = name;
+  masters_.push_back(std::move(spec));
+  return static_cast<MasterId>(masters_.size() - 1);
+}
+
+std::unique_ptr<System> SystemBuilder::build() const {
+  return std::unique_ptr<System>(new System(*this));
+}
+
+// ------------------------------------------------------------- system
+
+System::System(const SystemBuilder& b) : bus_bytes_(b.bus_bits_ / 8) {
+  store_ = std::make_unique<mem::BackingStore>(b.mem_base_, b.mem_size_);
+
+  // Create one AXI port per fabric-attached master.
+  std::vector<axi::AxiPort*> fabric_ports;
+  for (const auto& spec : b.masters_) {
+    Master m;
+    m.kind = spec.kind;
+    m.name = spec.name;
+    const bool needs_port =
+        spec.kind != SystemBuilder::MasterKind::processor ||
+        spec.proc.mode != vproc::VlsuMode::ideal;
+    if (needs_port) {
+      m.port = std::make_unique<axi::AxiPort>(kernel_, 2, spec.name);
+      fabric_ports.push_back(m.port.get());
+    }
+    masters_.push_back(std::move(m));
   }
-  proc_ = std::make_unique<vproc::Processor>(kernel_, cfg.vproc, *store_,
-                                             port_proc_.get());
+
+  // Wire the fabric and the memory endpoint behind it.
+  if (!fabric_ports.empty()) {
+    axi::AxiPort* upstream = nullptr;  // port that feeds the adapter
+    if (b.monitor_) {
+      // masters -> xbar -> mid -> monitored link -> adapter.
+      port_mid_ = std::make_unique<axi::AxiPort>(kernel_, 2, "mid");
+      port_adapter_ = std::make_unique<axi::AxiPort>(kernel_, 2, "adapter");
+      xbar_ = std::make_unique<axi::AxiXbar>(
+          kernel_, fabric_ports,
+          std::vector<axi::AxiPort*>{port_mid_.get()},
+          std::vector<axi::AddrRule>{{b.mem_base_, b.mem_size_, 0}});
+      link_ = std::make_unique<axi::AxiLink>(kernel_, *port_mid_,
+                                             *port_adapter_);
+      checker_ = std::make_unique<axi::ProtocolChecker>(bus_bytes_);
+      link_->attach_checker(checker_.get());
+      upstream = port_adapter_.get();
+    } else if (fabric_ports.size() == 1) {
+      // Bare measurement fabric: the master port feeds the adapter.
+      upstream = fabric_ports.front();
+    } else {
+      // masters -> xbar -> adapter (no monitoring hop).
+      port_adapter_ = std::make_unique<axi::AxiPort>(kernel_, 2, "adapter");
+      xbar_ = std::make_unique<axi::AxiXbar>(
+          kernel_, fabric_ports,
+          std::vector<axi::AxiPort*>{port_adapter_.get()},
+          std::vector<axi::AddrRule>{{b.mem_base_, b.mem_size_, 0}});
+      upstream = port_adapter_.get();
+    }
+
+    mem::MemoryBackendConfig mc = b.mem_cfg_;
+    mc.num_ports = bus_bytes_ / mem::kWordBytes;
+    backend_ = mem::BackendRegistry::instance().create(kernel_, *store_, mc);
+
+    pack::AdapterConfig ac = b.adapter_cfg_;
+    if (!b.adapter_explicit_) ac.queue_depth = b.queue_depth_;
+    ac.bus_bytes = bus_bytes_;
+    adapter_ = std::make_unique<pack::AxiPackAdapter>(
+        kernel_, *upstream, backend_->word_memory(), ac);
+  }
+
+  // Instantiate the masters now that their ports exist.
+  for (std::size_t i = 0; i < masters_.size(); ++i) {
+    const auto& spec = b.masters_[i];
+    Master& m = masters_[i];
+    switch (spec.kind) {
+      case SystemBuilder::MasterKind::processor: {
+        vproc::VProcConfig vc = spec.proc;
+        vc.bus_bytes = bus_bytes_;
+        vc.lanes = bus_bytes_ / mem::kWordBytes;
+        m.proc = std::make_unique<vproc::Processor>(kernel_, vc, *store_,
+                                                    m.port.get());
+        break;
+      }
+      case SystemBuilder::MasterKind::dma: {
+        dma::DmaConfig dc = spec.dma;
+        dc.bus_bytes = bus_bytes_;
+        m.dma = std::make_unique<dma::DmaEngine>(kernel_, *m.port, dc);
+        break;
+      }
+      case SystemBuilder::MasterKind::port:
+        break;
+    }
+  }
+}
+
+vproc::Processor& System::processor(MasterId id) {
+  assert(id < masters_.size() && masters_[id].proc);
+  return *masters_[id].proc;
+}
+
+vproc::Processor& System::processor() {
+  for (auto& m : masters_) {
+    if (m.proc) return *m.proc;
+  }
+  // Must fail loudly even in assert-free builds: a DMA-only system has no
+  // processor to run a workload on.
+  std::fprintf(stderr, "System::processor(): no processor master attached\n");
+  std::abort();
+}
+
+dma::DmaEngine& System::dma(MasterId id) {
+  assert(id < masters_.size() && masters_[id].dma);
+  return *masters_[id].dma;
+}
+
+axi::AxiPort& System::master_port(MasterId id) {
+  assert(id < masters_.size() && masters_[id].port);
+  return *masters_[id].port;
+}
+
+bool System::drained() const {
+  for (const auto& m : masters_) {
+    if (m.proc && !m.proc->done()) return false;
+    if (m.dma && !m.dma->idle()) return false;
+  }
+  return adapter_ == nullptr || adapter_->idle();
+}
+
+bool System::run_until_drained(sim::Cycle max_cycles) {
+  return kernel_.run_until([this] { return drained(); }, max_cycles);
 }
 
 RunResult System::run(const wl::WorkloadInstance& instance,
                       sim::Cycle max_cycles) {
+  vproc::Processor& proc = processor();
   RunResult result;
+  result.bus_bits = bus_bytes_ * 8;
   const sim::Cycle start = kernel_.now();
-  const sim::Counters counters_start = proc_->counters();
+  const sim::Counters counters_start = proc.counters();
   const axi::BusStats bus_start = link_ ? link_->stats() : axi::BusStats{};
-  const std::uint64_t grants_start =
-      memory_ ? memory_->xbar().total_grants() : 0;
-  const std::uint64_t losses_start =
-      memory_ ? memory_->xbar().total_conflict_losses() : 0;
+  const mem::MemoryBackendStats mem_start =
+      backend_ ? backend_->stats() : mem::MemoryBackendStats{};
 
-  proc_->run(instance.program);
-  const bool finished = kernel_.run_until(
-      [&] {
-        return proc_->done() && (adapter_ == nullptr || adapter_->idle());
-      },
-      max_cycles);
+  proc.run(instance.program);
+  const bool finished = run_until_drained(max_cycles);
   result.cycles = kernel_.now() - start;
   if (!finished) {
     result.error = "timeout";
     return result;
   }
 
-  result.activity = proc_->counters().diff(counters_start);
+  result.activity = proc.counters().diff(counters_start);
   const double bus_capacity =
-      static_cast<double>(result.cycles) * cfg_.bus_bytes();
+      static_cast<double>(result.cycles) * bus_bytes_;
   if (link_) {
     result.bus = link_->stats().diff(bus_start);
     result.r_util = static_cast<double>(result.bus.r_payload_bytes) /
@@ -60,7 +250,7 @@ RunResult System::run(const wl::WorkloadInstance& instance,
         bus_capacity;
     result.w_util = static_cast<double>(result.bus.w_payload_bytes) /
                     bus_capacity;
-  } else {
+  } else if (!has_fabric()) {
     // IDEAL: utilization of the exclusive per-lane ports.
     const auto rd = result.activity.get("ideal.read_bytes");
     const auto ix = result.activity.get("ideal.index_bytes");
@@ -69,10 +259,13 @@ RunResult System::run(const wl::WorkloadInstance& instance,
     result.r_util_no_idx = static_cast<double>(rd) / bus_capacity;
     result.w_util = static_cast<double>(wr) / bus_capacity;
   }
-  if (memory_) {
-    result.bank_grants = memory_->xbar().total_grants() - grants_start;
+  // else: fabric built with monitor(false) — there is no monitored hop, so
+  // bus utilization is not measured and the fields stay 0.
+  if (backend_) {
+    const mem::MemoryBackendStats now = backend_->stats();
+    result.bank_grants = now.grants - mem_start.grants;
     result.bank_conflict_losses =
-        memory_->xbar().total_conflict_losses() - losses_start;
+        now.conflict_losses - mem_start.conflict_losses;
   }
   if (checker_) {
     result.protocol_violations = checker_->violations().size();

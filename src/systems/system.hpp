@@ -1,19 +1,23 @@
-// Assembles one evaluation SoC: vector processor -> AXI crossbar ->
-// monitored link -> AXI-Pack adapter -> banked memory (BASE/PACK), or the
-// processor on its exclusive ideal memory (IDEAL).
+// One assembled evaluation SoC. Systems are constructed exclusively by
+// SystemBuilder (see builder.hpp): any number of masters (vector
+// processors, DMA engines, raw ports) reach one AXI-Pack adapter and its
+// pluggable memory backend through an auto-wired crossbar/link fabric;
+// ideal-mode processors run on their exclusive ideal memory instead.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "axi/monitor.hpp"
 #include "axi/protocol_checker.hpp"
 #include "axi/xbar.hpp"
+#include "dma/engine.hpp"
+#include "mem/backend.hpp"
 #include "mem/backing_store.hpp"
-#include "mem/banked_memory.hpp"
 #include "pack/adapter.hpp"
 #include "sim/kernel.hpp"
-#include "systems/config.hpp"
+#include "systems/builder.hpp"
 #include "vproc/processor.hpp"
 #include "workloads/workloads.hpp"
 
@@ -21,6 +25,7 @@ namespace axipack::sys {
 
 /// Measurements from one workload run.
 struct RunResult {
+  unsigned bus_bits = 256;  ///< data-bus width of the system that ran
   std::uint64_t cycles = 0;
   double r_util = 0.0;         ///< read-bus utilization, incl. index traffic
   double r_util_no_idx = 0.0;  ///< read-bus utilization, data only
@@ -36,31 +41,70 @@ struct RunResult {
 
 class System {
  public:
-  explicit System(const SystemConfig& cfg);
-
   mem::BackingStore& store() { return *store_; }
-  const SystemConfig& config() const { return cfg_; }
-  vproc::Processor& processor() { return *proc_; }
   sim::Kernel& kernel() { return kernel_; }
+  unsigned bus_bytes() const { return bus_bytes_; }
 
-  /// Runs one workload to completion and verifies it.
+  // ---- masters ---------------------------------------------------------
+  unsigned num_masters() const {
+    return static_cast<unsigned>(masters_.size());
+  }
+  /// The processor attached as master `id` (asserts kind).
+  vproc::Processor& processor(MasterId id);
+  /// The first attached processor (asserts one exists).
+  vproc::Processor& processor();
+  /// The DMA engine attached as master `id` (asserts kind).
+  dma::DmaEngine& dma(MasterId id);
+  /// The AXI port of master `id` (asserts the master has one; raw ports
+  /// and fabric-attached processors/DMAs do).
+  axi::AxiPort& master_port(MasterId id);
+
+  // ---- fabric / endpoint -----------------------------------------------
+  bool has_fabric() const { return adapter_ != nullptr; }
+  pack::AxiPackAdapter& adapter() { return *adapter_; }
+  /// Memory backend behind the adapter; null on fabric-less (IDEAL) systems.
+  const mem::MemoryBackend* memory_backend() const { return backend_.get(); }
+  /// Monitored-link counters; null when built with monitor(false).
+  const axi::BusStats* bus_stats() const {
+    return link_ ? &link_->stats() : nullptr;
+  }
+
+  /// True when every master is quiescent (processors done, DMA engines
+  /// idle; raw ports are caller-driven and always count as quiescent) and
+  /// the adapter has drained.
+  bool drained() const;
+  /// Advances until drained() or the deadline; true iff drained.
+  bool run_until_drained(sim::Cycle max_cycles = 200'000'000);
+
+  /// Runs one workload on the first processor to completion (waiting for
+  /// every other master to drain too) and verifies it.
   RunResult run(const wl::WorkloadInstance& instance,
                 sim::Cycle max_cycles = 200'000'000);
 
  private:
-  SystemConfig cfg_;
+  friend class SystemBuilder;
+  explicit System(const SystemBuilder& b);
+
+  struct Master {
+    SystemBuilder::MasterKind kind;
+    std::string name;
+    std::unique_ptr<axi::AxiPort> port;      ///< null for ideal processors
+    std::unique_ptr<vproc::Processor> proc;  ///< kind == processor
+    std::unique_ptr<dma::DmaEngine> dma;     ///< kind == dma
+  };
+
+  unsigned bus_bytes_ = 32;
   sim::Kernel kernel_;
   std::unique_ptr<mem::BackingStore> store_;
-  // AXI path (absent on IDEAL).
-  std::unique_ptr<axi::AxiPort> port_proc_;
+  std::vector<Master> masters_;
+  // Fabric (absent when no master has an AXI port).
   std::unique_ptr<axi::AxiPort> port_mid_;
   std::unique_ptr<axi::AxiPort> port_adapter_;
   std::unique_ptr<axi::AxiXbar> xbar_;
   std::unique_ptr<axi::AxiLink> link_;
   std::unique_ptr<axi::ProtocolChecker> checker_;
-  std::unique_ptr<mem::BankedMemory> memory_;
+  std::unique_ptr<mem::MemoryBackend> backend_;
   std::unique_ptr<pack::AxiPackAdapter> adapter_;
-  std::unique_ptr<vproc::Processor> proc_;
 };
 
 }  // namespace axipack::sys

@@ -12,16 +12,14 @@
 
 #include "axi/types.hpp"
 #include "mem/backing_store.hpp"
-#include "mem/banked_memory.hpp"
-#include "mem/ideal_memory.hpp"
-#include "pack/adapter.hpp"
-#include "sim/kernel.hpp"
+#include "systems/builder.hpp"
+#include "systems/system.hpp"
 
 namespace axipack::testing {
 
 struct AdapterHarnessConfig {
   unsigned bus_bytes = 32;
-  unsigned banks = 17;       ///< 0 = ideal (conflict-free) memory
+  unsigned banks = 17;       ///< 0 = ideal (conflict-free) memory backend
   unsigned queue_depth = 4;
   std::uint64_t mem_base = 0x8000'0000ull;
   std::uint64_t mem_size = 16ull << 20;
@@ -29,33 +27,25 @@ struct AdapterHarnessConfig {
 
 class AdapterHarness {
  public:
-  explicit AdapterHarness(const AdapterHarnessConfig& cfg = {})
-      : cfg_(cfg), store_(cfg.mem_base, cfg.mem_size) {
-    port_ = std::make_unique<axi::AxiPort>(kernel_, 2, "tb");
+  explicit AdapterHarness(const AdapterHarnessConfig& cfg = {}) : cfg_(cfg) {
+    sys::SystemBuilder b;
+    b.bus_bits(cfg.bus_bytes * 8)
+        .mem_region(cfg.mem_base, cfg.mem_size)
+        .queue_depth(cfg.queue_depth)
+        .monitor(false);
     if (cfg.banks == 0) {
-      mem::IdealMemoryConfig mc;
-      mc.num_ports = cfg.bus_bytes / 4;
-      ideal_ = std::make_unique<mem::IdealMemory>(kernel_, store_, mc);
+      b.memory("ideal");
     } else {
-      mem::BankedMemoryConfig mc;
-      mc.num_ports = cfg.bus_bytes / 4;
-      mc.num_banks = cfg.banks;
-      banked_ = std::make_unique<mem::BankedMemory>(kernel_, store_, mc);
+      b.banks(cfg.banks);
     }
-    pack::AdapterConfig ac;
-    ac.bus_bytes = cfg.bus_bytes;
-    ac.queue_depth = cfg.queue_depth;
-    adapter_ = std::make_unique<pack::AxiPackAdapter>(
-        kernel_, *port_, cfg.banks == 0
-                             ? static_cast<mem::WordMemory&>(*ideal_)
-                             : static_cast<mem::WordMemory&>(*banked_),
-        ac);
+    tb_ = b.attach_port("tb");
+    system_ = b.build();
   }
 
-  mem::BackingStore& store() { return store_; }
-  sim::Kernel& kernel() { return kernel_; }
-  axi::AxiPort& port() { return *port_; }
-  pack::AxiPackAdapter& adapter() { return *adapter_; }
+  mem::BackingStore& store() { return system_->store(); }
+  sim::Kernel& kernel() { return system_->kernel(); }
+  axi::AxiPort& port() { return system_->master_port(tb_); }
+  pack::AxiPackAdapter& adapter() { return system_->adapter(); }
 
   /// Issues one read burst and collects all its beats. Returns the packed
   /// payload bytes (useful bytes of each beat, concatenated).
@@ -64,14 +54,14 @@ class AdapterHarness {
     std::vector<std::uint8_t> out;
     bool pushed = false;
     bool done = false;
-    const bool ok = kernel_.run_until(
+    const bool ok = kernel().run_until(
         [&] {
-          if (!pushed && port_->ar.can_push()) {
-            port_->ar.push(ar);
+          if (!pushed && port().ar.can_push()) {
+            port().ar.push(ar);
             pushed = true;
           }
-          while (port_->r.can_pop()) {
-            const axi::AxiR beat = port_->r.pop();
+          while (port().r.can_pop()) {
+            const axi::AxiR beat = port().r.pop();
             for (unsigned i = 0; i < beat.useful_bytes; ++i) {
               out.push_back(beat.data[i]);
             }
@@ -93,14 +83,14 @@ class AdapterHarness {
     std::vector<axi::AxiR> beats;
     bool pushed = false;
     bool done = false;
-    const bool ok = kernel_.run_until(
+    const bool ok = kernel().run_until(
         [&] {
-          if (!pushed && port_->ar.can_push()) {
-            port_->ar.push(ar);
+          if (!pushed && port().ar.can_push()) {
+            port().ar.push(ar);
             pushed = true;
           }
-          while (port_->r.can_pop()) {
-            beats.push_back(port_->r.pop());
+          while (port().r.can_pop()) {
+            beats.push_back(port().r.pop());
             if (beats.back().last) done = true;
           }
           return done;
@@ -119,20 +109,20 @@ class AdapterHarness {
     bool aw_pushed = false;
     unsigned sent = 0;
     bool done = false;
-    const bool ok = kernel_.run_until(
+    const bool ok = kernel().run_until(
         [&] {
-          if (!aw_pushed && port_->aw.can_push()) {
-            port_->aw.push(aw);
+          if (!aw_pushed && port().aw.can_push()) {
+            port().aw.push(aw);
             aw_pushed = true;
           }
-          if (aw_pushed && sent < aw.beats() && port_->w.can_push()) {
+          if (aw_pushed && sent < aw.beats() && port().w.can_push()) {
             axi::AxiW beat = make_beat(sent);
             beat.last = sent + 1 == aw.beats();
-            port_->w.push(beat);
+            port().w.push(beat);
             ++sent;
           }
-          if (port_->b.can_pop()) {
-            port_->b.pop();
+          if (port().b.can_pop()) {
+            port().b.pop();
             done = true;
           }
           return done;
@@ -151,13 +141,13 @@ class AdapterHarness {
     std::size_t sent = 0;
     unsigned beat_idx = 0;
     bool done = false;
-    const bool ok = kernel_.run_until(
+    const bool ok = kernel().run_until(
         [&] {
-          if (!aw_pushed && port_->aw.can_push()) {
-            port_->aw.push(aw);
+          if (!aw_pushed && port().aw.can_push()) {
+            port().aw.push(aw);
             aw_pushed = true;
           }
-          if (aw_pushed && sent < data.size() && port_->w.can_push()) {
+          if (aw_pushed && sent < data.size() && port().w.can_push()) {
             axi::AxiW beat;
             const std::size_t n =
                 std::min<std::size_t>(bytes_per_beat, data.size() - sent);
@@ -169,10 +159,10 @@ class AdapterHarness {
             sent += n;
             ++beat_idx;
             beat.last = beat_idx == aw.beats();
-            port_->w.push(beat);
+            port().w.push(beat);
           }
-          if (port_->b.can_pop()) {
-            port_->b.pop();
+          if (port().b.can_pop()) {
+            port().b.pop();
             done = true;
           }
           return done;
@@ -184,12 +174,8 @@ class AdapterHarness {
 
  private:
   AdapterHarnessConfig cfg_;
-  sim::Kernel kernel_;
-  mem::BackingStore store_;
-  std::unique_ptr<axi::AxiPort> port_;
-  std::unique_ptr<mem::BankedMemory> banked_;
-  std::unique_ptr<mem::IdealMemory> ideal_;
-  std::unique_ptr<pack::AxiPackAdapter> adapter_;
+  sys::MasterId tb_ = 0;
+  std::unique_ptr<sys::System> system_;
 };
 
 }  // namespace axipack::testing

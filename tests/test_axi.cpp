@@ -57,6 +57,77 @@ TEST(PackUser, IndexSizeCodes) {
   EXPECT_EQ(index_code_to_bits(index_bits_to_code(32)), 32u);
 }
 
+TEST(PackUser, ExtremeStridesRoundTripAtEveryWidth) {
+  // The full representable stride range must survive the wire encoding at
+  // every supported user width — including the maximum-magnitude negative
+  // stride (whose encoding occupies the topmost payload bit) at the
+  // minimum width, and the 64-bit carrier boundary at the maximum width.
+  for (unsigned w = kMinUserBits; w <= kMaxUserBits; w += 4) {
+    const unsigned payload_bits = w - 4;
+    const std::int64_t lo = -(std::int64_t{1} << (payload_bits - 1));
+    const std::int64_t hi = (std::int64_t{1} << (payload_bits - 1)) - 1;
+    for (const std::int64_t stride : {lo, lo + 1, std::int64_t{-1},
+                                      std::int64_t{0}, std::int64_t{1},
+                                      hi - 1, hi}) {
+      ASSERT_TRUE(stride_fits_user(stride, w)) << "w=" << w;
+      PackRequest req;
+      req.indir = false;
+      req.stride = stride;
+      req.num_elems = 9;
+      const auto back = decode_user(encode_user(req, w), 9, w);
+      ASSERT_TRUE(back.has_value()) << "w=" << w;
+      EXPECT_EQ(back->stride, stride) << "w=" << w;
+      EXPECT_FALSE(back->indir) << "w=" << w;
+    }
+    // One past the range must be reported as unrepresentable.
+    EXPECT_FALSE(stride_fits_user(lo - 1, w)) << "w=" << w;
+    EXPECT_FALSE(stride_fits_user(hi + 1, w)) << "w=" << w;
+  }
+}
+
+TEST(PackUser, FortyEightBitIndexBasesRoundTrip) {
+  // The default 52-bit user width exists precisely to carry a 48-bit index
+  // base; all-ones and high-bit-heavy bases must survive, with every index
+  // size code, at the default and wider widths.
+  for (const unsigned w : {kDefaultUserBits, 56u, 60u, kMaxUserBits}) {
+    for (const std::uint64_t base :
+         {(std::uint64_t{1} << 48) - 1,     // 48 ones
+          std::uint64_t{1} << 47,           // top bit only
+          std::uint64_t{0xFEDC'BA98'7654}}) {
+      for (const unsigned index_bits : {8u, 16u, 32u}) {
+        ASSERT_TRUE(index_base_fits_user(base, w)) << "w=" << w;
+        PackRequest req;
+        req.indir = true;
+        req.index_base = base;
+        req.index_bits = index_bits;
+        req.num_elems = 5;
+        const auto back = decode_user(encode_user(req, w), 5, w);
+        ASSERT_TRUE(back.has_value()) << "w=" << w;
+        EXPECT_TRUE(back->indir);
+        EXPECT_EQ(back->index_base, base) << "w=" << w;
+        EXPECT_EQ(back->index_bits, index_bits) << "w=" << w;
+      }
+    }
+  }
+  // A 48-bit base does not fit below the default width.
+  EXPECT_FALSE(index_base_fits_user((std::uint64_t{1} << 48) - 1, 48));
+  EXPECT_TRUE(index_base_fits_user((std::uint64_t{1} << 44) - 1, 48));
+}
+
+TEST(PackUser, DecodeIgnoresBitsAboveTheWireWidth) {
+  // A narrow user signal has no wires above user_bits: garbage there (e.g.
+  // from a wider struct field) must not corrupt the decoded request.
+  PackRequest req;
+  req.indir = false;
+  req.stride = -4;
+  const UserBits u = encode_user(req, kMinUserBits);
+  const UserBits dirty = u | (~std::uint64_t{0} << kMinUserBits);
+  const auto back = decode_user(dirty, 3, kMinUserBits);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->stride, -4);
+  EXPECT_EQ(back->num_elems, 3u);
+}
+
 TEST(StreamElems, PartialLastBeat) {
   // 10 elements of 4B on a 32B bus -> beat 0 has 8, beat 1 has 2.
   EXPECT_EQ(stream_elems(2, 32, 4, 10), 10u);

@@ -12,9 +12,8 @@
 #include "dma/descriptor.hpp"
 #include "dma/engine.hpp"
 #include "mem/backing_store.hpp"
-#include "mem/banked_memory.hpp"
-#include "pack/adapter.hpp"
-#include "sim/kernel.hpp"
+#include "systems/builder.hpp"
+#include "systems/system.hpp"
 
 namespace axipack {
 namespace {
@@ -114,25 +113,23 @@ TEST(DescriptorFormat, ChainLinksInOrder) {
 
 // ------------------------------------------------------------ end-to-end
 
-/// DMA engine -> AXI-Pack adapter -> banked memory.
+/// DMA engine -> AXI-Pack adapter -> banked memory (bare fabric, no
+/// monitor hop), assembled through SystemBuilder.
 class DmaHarness {
  public:
   explicit DmaHarness(bool use_pack, unsigned bus_bytes = 32,
                       unsigned banks = 17)
       : DmaHarness(make_config(use_pack, bus_bytes), banks) {}
 
-  explicit DmaHarness(const DmaConfig& dc, unsigned banks = 17)
-      : store_(kMemBase, 16 << 20) {
-    port_ = std::make_unique<axi::AxiPort>(kernel_, 2, "dma");
-    mem::BankedMemoryConfig mc;
-    mc.num_ports = dc.bus_bytes / 4;
-    mc.num_banks = banks;
-    memory_ = std::make_unique<mem::BankedMemory>(kernel_, store_, mc);
-    pack::AdapterConfig ac;
-    ac.bus_bytes = dc.bus_bytes;
-    adapter_ = std::make_unique<pack::AxiPackAdapter>(kernel_, *port_,
-                                                      *memory_, ac);
-    engine_ = std::make_unique<DmaEngine>(kernel_, *port_, dc);
+  explicit DmaHarness(const DmaConfig& dc, unsigned banks = 17) {
+    sys::SystemBuilder b;
+    b.bus_bits(dc.bus_bytes * 8)
+        .mem_region(kMemBase, 16 << 20)
+        .banks(banks)
+        .queue_depth(4)
+        .monitor(false);
+    b.attach_dma(dc);
+    system_ = b.build();
   }
 
   static DmaConfig make_config(bool use_pack, unsigned bus_bytes) {
@@ -142,25 +139,19 @@ class DmaHarness {
     return dc;
   }
 
-  mem::BackingStore& store() { return store_; }
-  DmaEngine& engine() { return *engine_; }
+  mem::BackingStore& store() { return system_->store(); }
+  DmaEngine& engine() { return system_->dma(0); }
 
   /// Runs until the engine and adapter drain; returns elapsed cycles.
   std::uint64_t run(std::uint64_t max_cycles = 1'000'000) {
-    const std::uint64_t start = kernel_.now();
-    const bool ok = kernel_.run_until(
-        [&] { return engine_->idle() && adapter_->idle(); }, max_cycles);
+    const std::uint64_t start = system_->kernel().now();
+    const bool ok = system_->run_until_drained(max_cycles);
     EXPECT_TRUE(ok) << "DMA did not drain";
-    return kernel_.now() - start;
+    return system_->kernel().now() - start;
   }
 
  private:
-  sim::Kernel kernel_;
-  mem::BackingStore store_;
-  std::unique_ptr<axi::AxiPort> port_;
-  std::unique_ptr<mem::BankedMemory> memory_;
-  std::unique_ptr<pack::AxiPackAdapter> adapter_;
-  std::unique_ptr<DmaEngine> engine_;
+  std::unique_ptr<sys::System> system_;
 };
 
 /// Fills [addr, addr + n*4) with distinct u32 values derived from `seed`.

@@ -102,10 +102,10 @@ TEST(PowerModel, BasePowersInPaperBand) {
   // Fig. 4c: benchmark powers land between ~90 and ~330 mW.
   for (const auto kernel : {wl::KernelKind::ismt, wl::KernelKind::gemv,
                             wl::KernelKind::spmv}) {
-    const auto cfg = sys::SystemConfig::make(sys::SystemKind::base);
     const auto r = sys::run_workload(
-        cfg, sys::default_workload(kernel, sys::SystemKind::base));
-    const auto p = estimate(cfg, r);
+        sys::scenario_name(sys::SystemKind::base),
+        sys::default_workload(kernel, sys::SystemKind::base));
+    const auto p = estimate(r);
     EXPECT_GT(p.power_mw, 80.0) << wl::kernel_name(kernel);
     EXPECT_LT(p.power_mw, 350.0) << wl::kernel_name(kernel);
   }
@@ -115,31 +115,31 @@ TEST(PowerModel, PackPowerRisesModerately) {
   // Paper: PACK increases power by at most ~31%.
   for (const auto kernel : {wl::KernelKind::ismt, wl::KernelKind::gemv,
                             wl::KernelKind::trmv, wl::KernelKind::spmv}) {
-    const auto base_cfg = sys::SystemConfig::make(sys::SystemKind::base);
-    const auto pack_cfg = sys::SystemConfig::make(sys::SystemKind::pack);
     const auto base = sys::run_workload(
-        base_cfg, sys::default_workload(kernel, sys::SystemKind::base));
+        sys::scenario_name(sys::SystemKind::base),
+        sys::default_workload(kernel, sys::SystemKind::base));
     const auto pack = sys::run_workload(
-        pack_cfg, sys::default_workload(kernel, sys::SystemKind::pack));
-    const double ratio = estimate(pack_cfg, pack).power_mw /
-                         estimate(base_cfg, base).power_mw;
+        sys::scenario_name(sys::SystemKind::pack),
+        sys::default_workload(kernel, sys::SystemKind::pack));
+    const double ratio =
+        estimate(pack).power_mw / estimate(base).power_mw;
     EXPECT_GT(ratio, 0.95) << wl::kernel_name(kernel);
     EXPECT_LT(ratio, 1.45) << wl::kernel_name(kernel);
   }
 }
 
 TEST(PowerModel, EfficiencyGainTracksSpeedup) {
-  const auto base_cfg = sys::SystemConfig::make(sys::SystemKind::base);
-  const auto pack_cfg = sys::SystemConfig::make(sys::SystemKind::pack);
   const auto base = sys::run_workload(
-      base_cfg, sys::default_workload(wl::KernelKind::ismt,
+      sys::scenario_name(sys::SystemKind::base),
+      sys::default_workload(wl::KernelKind::ismt,
                                       sys::SystemKind::base));
   const auto pack = sys::run_workload(
-      pack_cfg, sys::default_workload(wl::KernelKind::ismt,
+      sys::scenario_name(sys::SystemKind::pack),
+      sys::default_workload(wl::KernelKind::ismt,
                                       sys::SystemKind::pack));
   const double speedup = static_cast<double>(base.cycles) / pack.cycles;
-  const double gain = efficiency_gain(estimate(base_cfg, base), base.cycles,
-                                      estimate(pack_cfg, pack), pack.cycles);
+  const double gain = efficiency_gain(estimate(base), base.cycles,
+                                      estimate(pack), pack.cycles);
   EXPECT_GT(gain, 1.5);
   // Energy efficiency is roughly speedup divided by the power increase.
   EXPECT_NEAR(gain, speedup, speedup * 0.4);

@@ -3,22 +3,18 @@
 // "supports non-core requestors (e.g., accelerators) and systems with
 // multiple requestors and endpoints" — these tests exercise that end to end:
 // ID-based response routing, W-ordering across masters, fairness, and
-// correctness of concurrent irregular streams.
+// correctness of concurrent irregular streams. All fabrics are assembled
+// through SystemBuilder's master attach points.
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <vector>
 
-#include "axi/monitor.hpp"
-#include "axi/xbar.hpp"
 #include "dma/descriptor.hpp"
 #include "dma/engine.hpp"
-#include "mem/backing_store.hpp"
-#include "mem/banked_memory.hpp"
-#include "pack/adapter.hpp"
-#include "sim/kernel.hpp"
+#include "systems/builder.hpp"
 #include "systems/runner.hpp"
-#include "vproc/processor.hpp"
+#include "systems/system.hpp"
 #include "workloads/workloads.hpp"
 
 namespace axipack {
@@ -28,56 +24,24 @@ using dma::Descriptor;
 using dma::DmaConfig;
 using dma::DmaEngine;
 using dma::Pattern;
+using sys::MasterId;
+using sys::System;
+using sys::SystemBuilder;
 
 constexpr std::uint64_t kMemBase = 0x8000'0000ull;
 constexpr std::uint64_t kMemSize = 32ull << 20;
 
-/// N master ports -> crossbar -> monitored link -> AXI-Pack adapter ->
-/// banked memory. Masters are attached by the test.
-class MultiMasterFabric {
- public:
-  explicit MultiMasterFabric(unsigned num_masters, unsigned bus_bytes = 32,
-                             unsigned banks = 17)
-      : store_(kMemBase, kMemSize) {
-    for (unsigned i = 0; i < num_masters; ++i) {
-      masters_.push_back(std::make_unique<axi::AxiPort>(
-          kernel_, 2, "m" + std::to_string(i)));
-    }
-    mid_ = std::make_unique<axi::AxiPort>(kernel_, 2, "mid");
-    slave_ = std::make_unique<axi::AxiPort>(kernel_, 2, "slave");
-    std::vector<axi::AxiPort*> mports;
-    for (auto& m : masters_) mports.push_back(m.get());
-    xbar_ = std::make_unique<axi::AxiXbar>(
-        kernel_, mports, std::vector<axi::AxiPort*>{mid_.get()},
-        std::vector<axi::AddrRule>{{kMemBase, kMemSize, 0}});
-    link_ = std::make_unique<axi::AxiLink>(kernel_, *mid_, *slave_);
-    mem::BankedMemoryConfig mc;
-    mc.num_ports = bus_bytes / 4;
-    mc.num_banks = banks;
-    memory_ = std::make_unique<mem::BankedMemory>(kernel_, store_, mc);
-    pack::AdapterConfig ac;
-    ac.bus_bytes = bus_bytes;
-    adapter_ = std::make_unique<pack::AxiPackAdapter>(kernel_, *slave_,
-                                                      *memory_, ac);
-  }
-
-  sim::Kernel& kernel() { return kernel_; }
-  mem::BackingStore& store() { return store_; }
-  axi::AxiPort& master(unsigned i) { return *masters_[i]; }
-  pack::AxiPackAdapter& adapter() { return *adapter_; }
-  const axi::BusStats& bus() const { return link_->stats(); }
-
- private:
-  sim::Kernel kernel_;
-  mem::BackingStore store_;
-  std::vector<std::unique_ptr<axi::AxiPort>> masters_;
-  std::unique_ptr<axi::AxiPort> mid_;
-  std::unique_ptr<axi::AxiPort> slave_;
-  std::unique_ptr<axi::AxiXbar> xbar_;
-  std::unique_ptr<axi::AxiLink> link_;
-  std::unique_ptr<mem::BankedMemory> memory_;
-  std::unique_ptr<pack::AxiPackAdapter> adapter_;
-};
+/// N DMA masters -> crossbar -> monitored link -> AXI-Pack adapter ->
+/// banked memory, built through the SystemBuilder attach points.
+std::unique_ptr<System> make_dma_system(unsigned num_dmas,
+                                        bool use_pack = true) {
+  SystemBuilder b;
+  b.bus_bits(256).mem_region(kMemBase, kMemSize).banks(17);
+  DmaConfig dc;
+  dc.use_pack = use_pack;
+  for (unsigned i = 0; i < num_dmas; ++i) b.attach_dma(dc);
+  return b.build();
+}
 
 /// Standard strided gather job for a DMA master; returns expected dst words.
 struct GatherJob {
@@ -119,23 +83,16 @@ void expect_gathered(mem::BackingStore& store, const GatherJob& job,
 }
 
 TEST(MultiMaster, TwoDmaEnginesProduceCorrectStreams) {
-  MultiMasterFabric fab(2);
-  DmaConfig dc;
-  dc.use_pack = true;
-  DmaEngine dma0(fab.kernel(), fab.master(0), dc);
-  DmaEngine dma1(fab.kernel(), fab.master(1), dc);
+  auto system = make_dma_system(2);
 
-  const GatherJob job0 = make_gather(fab.store(), 512, 36, 0x1000);
-  const GatherJob job1 = make_gather(fab.store(), 512, 52, 0x2000);
-  push_gather(dma0, job0);
-  push_gather(dma1, job1);
+  const GatherJob job0 = make_gather(system->store(), 512, 36, 0x1000);
+  const GatherJob job1 = make_gather(system->store(), 512, 52, 0x2000);
+  push_gather(system->dma(0), job0);
+  push_gather(system->dma(1), job1);
 
-  const bool ok = fab.kernel().run_until(
-      [&] { return dma0.idle() && dma1.idle() && fab.adapter().idle(); },
-      1'000'000);
-  ASSERT_TRUE(ok);
-  expect_gathered(fab.store(), job0, 0x1000, "dma0");
-  expect_gathered(fab.store(), job1, 0x2000, "dma1");
+  ASSERT_TRUE(system->run_until_drained(1'000'000));
+  expect_gathered(system->store(), job0, 0x1000, "dma0");
+  expect_gathered(system->store(), job1, 0x2000, "dma1");
 }
 
 TEST(MultiMaster, ArbitrationIsFair) {
@@ -143,31 +100,23 @@ TEST(MultiMaster, ArbitrationIsFair) {
   // run — round-robin arbitration must not starve either requestor.
   std::uint64_t solo_cycles = 0;
   {
-    MultiMasterFabric fab(1);
-    DmaConfig dc;
-    DmaEngine dma(fab.kernel(), fab.master(0), dc);
-    const GatherJob job = make_gather(fab.store(), 1024, 36, 0x100);
-    push_gather(dma, job);
-    ASSERT_TRUE(fab.kernel().run_until(
-        [&] { return dma.idle() && fab.adapter().idle(); }, 1'000'000));
-    solo_cycles = fab.kernel().now();
+    auto solo = make_dma_system(1);
+    const GatherJob job = make_gather(solo->store(), 1024, 36, 0x100);
+    push_gather(solo->dma(0), job);
+    ASSERT_TRUE(solo->run_until_drained(1'000'000));
+    solo_cycles = solo->kernel().now();
   }
 
-  MultiMasterFabric fab(2);
-  DmaConfig dc;
-  DmaEngine dma0(fab.kernel(), fab.master(0), dc);
-  DmaEngine dma1(fab.kernel(), fab.master(1), dc);
-  const GatherJob job0 = make_gather(fab.store(), 1024, 36, 0x300);
-  const GatherJob job1 = make_gather(fab.store(), 1024, 36, 0x400);
-  push_gather(dma0, job0);
-  push_gather(dma1, job1);
-  ASSERT_TRUE(fab.kernel().run_until(
-      [&] { return dma0.idle() && dma1.idle() && fab.adapter().idle(); },
-      1'000'000));
-  const std::uint64_t both_cycles = fab.kernel().now();
+  auto system = make_dma_system(2);
+  const GatherJob job0 = make_gather(system->store(), 1024, 36, 0x300);
+  const GatherJob job1 = make_gather(system->store(), 1024, 36, 0x400);
+  push_gather(system->dma(0), job0);
+  push_gather(system->dma(1), job1);
+  ASSERT_TRUE(system->run_until_drained(1'000'000));
+  const std::uint64_t both_cycles = system->kernel().now();
 
-  expect_gathered(fab.store(), job0, 0x300, "dma0");
-  expect_gathered(fab.store(), job1, 0x400, "dma1");
+  expect_gathered(system->store(), job0, 0x300, "dma0");
+  expect_gathered(system->store(), job1, 0x400, "dma1");
   // Two equal jobs share the fabric: ideal is 2x solo; allow up to 3x for
   // arbitration and bank-conflict overheads, and require > 1x (sanity).
   EXPECT_LT(both_cycles, solo_cycles * 3);
@@ -177,23 +126,21 @@ TEST(MultiMaster, ArbitrationIsFair) {
 TEST(MultiMaster, ConcurrentIndirectStreamsStaySeparate) {
   // Two masters issue indirect gathers with different index arrays over the
   // same element table; ID-based response routing must keep them apart.
-  MultiMasterFabric fab(2);
-  DmaConfig dc;
-  DmaEngine dma0(fab.kernel(), fab.master(0), dc);
-  DmaEngine dma1(fab.kernel(), fab.master(1), dc);
+  auto system = make_dma_system(2);
+  mem::BackingStore& store = system->store();
 
   const std::uint64_t n = 256;
-  const std::uint64_t table = fab.store().alloc(1024 * 4, 64);
+  const std::uint64_t table = store.alloc(1024 * 4, 64);
   for (std::uint64_t i = 0; i < 1024; ++i) {
-    fab.store().write_u32(table + 4 * i, 0x5EED'0000u + std::uint32_t(i));
+    store.write_u32(table + 4 * i, 0x5EED'0000u + std::uint32_t(i));
   }
-  const std::uint64_t idx0 = fab.store().alloc(n * 4, 64);
-  const std::uint64_t idx1 = fab.store().alloc(n * 4, 64);
-  const std::uint64_t dst0 = fab.store().alloc(n * 4, 64);
-  const std::uint64_t dst1 = fab.store().alloc(n * 4, 64);
+  const std::uint64_t idx0 = store.alloc(n * 4, 64);
+  const std::uint64_t idx1 = store.alloc(n * 4, 64);
+  const std::uint64_t dst0 = store.alloc(n * 4, 64);
+  const std::uint64_t dst1 = store.alloc(n * 4, 64);
   for (std::uint64_t i = 0; i < n; ++i) {
-    fab.store().write_u32(idx0 + 4 * i, std::uint32_t((i * 13) % 1024));
-    fab.store().write_u32(idx1 + 4 * i, std::uint32_t((i * 29 + 7) % 1024));
+    store.write_u32(idx0 + 4 * i, std::uint32_t((i * 13) % 1024));
+    store.write_u32(idx1 + 4 * i, std::uint32_t((i * 29 + 7) % 1024));
   }
 
   auto push_indirect = [&](DmaEngine& e, std::uint64_t idx,
@@ -205,18 +152,16 @@ TEST(MultiMaster, ConcurrentIndirectStreamsStaySeparate) {
     d.num_elems = n;
     e.push(d);
   };
-  push_indirect(dma0, idx0, dst0);
-  push_indirect(dma1, idx1, dst1);
+  push_indirect(system->dma(0), idx0, dst0);
+  push_indirect(system->dma(1), idx1, dst1);
 
-  ASSERT_TRUE(fab.kernel().run_until(
-      [&] { return dma0.idle() && dma1.idle() && fab.adapter().idle(); },
-      1'000'000));
+  ASSERT_TRUE(system->run_until_drained(1'000'000));
   for (std::uint64_t i = 0; i < n; ++i) {
-    ASSERT_EQ(fab.store().read_u32(dst0 + 4 * i),
-              fab.store().read_u32(table + 4 * ((i * 13) % 1024)))
+    ASSERT_EQ(store.read_u32(dst0 + 4 * i),
+              store.read_u32(table + 4 * ((i * 13) % 1024)))
         << "dma0 element " << i;
-    ASSERT_EQ(fab.store().read_u32(dst1 + 4 * i),
-              fab.store().read_u32(table + 4 * ((i * 29 + 7) % 1024)))
+    ASSERT_EQ(store.read_u32(dst1 + 4 * i),
+              store.read_u32(table + 4 * ((i * 29 + 7) % 1024)))
         << "dma1 element " << i;
   }
 }
@@ -225,33 +170,26 @@ TEST(MultiMaster, VectorProcessorAndDmaCoexist) {
   // The vector processor runs ismt (strided loads+stores) while a DMA
   // engine gathers a disjoint region — both results must be exact, proving
   // pack-burst streams from different requestors interleave safely.
-  MultiMasterFabric fab(2);
-
-  vproc::VProcConfig vc;
-  vc.mode = vproc::VlsuMode::pack;
-  vproc::Processor proc(fab.kernel(), vc, fab.store(), &fab.master(0));
-
-  DmaConfig dc;
-  DmaEngine dma(fab.kernel(), fab.master(1), dc);
+  SystemBuilder b;
+  b.bus_bits(256).mem_region(kMemBase, kMemSize);
+  const MasterId proc_id = b.attach_processor(vproc::VlsuMode::pack);
+  const MasterId dma_id = b.attach_dma();
+  auto system = b.build();
 
   wl::WorkloadConfig wc = sys::default_workload(wl::KernelKind::ismt,
                                                 sys::SystemKind::pack);
   wc.n = 32;
-  const wl::WorkloadInstance inst = wl::build_workload(fab.store(), wc);
+  const wl::WorkloadInstance inst = wl::build_workload(system->store(), wc);
 
-  const GatherJob job = make_gather(fab.store(), 2048, 44, 0x7000);
-  push_gather(dma, job);
-  proc.run(inst.program);
+  const GatherJob job = make_gather(system->store(), 2048, 44, 0x7000);
+  push_gather(system->dma(dma_id), job);
+  system->processor(proc_id).run(inst.program);
 
-  ASSERT_TRUE(fab.kernel().run_until(
-      [&] {
-        return proc.done() && dma.idle() && fab.adapter().idle();
-      },
-      2'000'000));
+  ASSERT_TRUE(system->run_until_drained(2'000'000));
 
   std::string msg;
-  EXPECT_TRUE(inst.check(fab.store(), msg)) << msg;
-  expect_gathered(fab.store(), job, 0x7000, "dma");
+  EXPECT_TRUE(inst.check(system->store(), msg)) << msg;
+  expect_gathered(system->store(), job, 0x7000, "dma");
 }
 
 }  // namespace

@@ -1,0 +1,140 @@
+// Packed-stream geometry (pack::PackGeom) and request-regulator
+// (pack::Regulator) unit tests: the slot/lane/beat arithmetic every
+// converter relies on, with emphasis on partial final beats, and the
+// per-lane in-flight accounting that bounds decoupling-queue occupancy.
+#include <gtest/gtest.h>
+
+#include "pack/converter.hpp"
+
+namespace axipack::pack {
+namespace {
+
+TEST(PackGeom, ExactMultipleHasNoPartialBeat) {
+  // 32-byte bus, 4-byte elements: 8 slots per beat; 24 elements = 3 beats.
+  const PackGeom g = PackGeom::make(32, 4, 24);
+  EXPECT_EQ(g.lanes, 8u);
+  EXPECT_EQ(g.wpe, 1u);
+  EXPECT_EQ(g.total_words, 24u);
+  EXPECT_EQ(g.beats, 3u);
+  for (std::uint64_t b = 0; b < g.beats; ++b) {
+    EXPECT_EQ(g.valid_lanes(b), 8u) << "beat " << b;
+    EXPECT_EQ(g.beat_useful_bytes(b), 32u) << "beat " << b;
+  }
+}
+
+TEST(PackGeom, PartialFinalBeatGeometry) {
+  // 21 4-byte elements on 8 lanes: beats 0-1 full, beat 2 carries 5 slots.
+  const PackGeom g = PackGeom::make(32, 4, 21);
+  EXPECT_EQ(g.beats, 3u);
+  EXPECT_EQ(g.valid_lanes(0), 8u);
+  EXPECT_EQ(g.valid_lanes(1), 8u);
+  EXPECT_EQ(g.valid_lanes(2), 5u);
+  EXPECT_EQ(g.beat_useful_bytes(2), 20u);
+  // Beats past the stream carry nothing.
+  EXPECT_EQ(g.valid_lanes(3), 0u);
+  EXPECT_EQ(g.beat_useful_bytes(3), 0u);
+}
+
+TEST(PackGeom, SingleSlotFinalBeat) {
+  // 17 elements: final beat holds exactly one slot (the paper's worst-case
+  // padding, one useful word on a 32-byte beat).
+  const PackGeom g = PackGeom::make(32, 4, 17);
+  EXPECT_EQ(g.beats, 3u);
+  EXPECT_EQ(g.valid_lanes(2), 1u);
+  EXPECT_EQ(g.beat_useful_bytes(2), 4u);
+}
+
+TEST(PackGeom, WideElementsSpanLanes) {
+  // 16-byte elements on a 32-byte bus: wpe = 4, two elements per beat.
+  // 5 elements = 20 word slots = 2 full beats + 4 slots.
+  const PackGeom g = PackGeom::make(32, 16, 5);
+  EXPECT_EQ(g.wpe, 4u);
+  EXPECT_EQ(g.total_words, 20u);
+  EXPECT_EQ(g.beats, 3u);
+  EXPECT_EQ(g.valid_lanes(2), 4u);
+  EXPECT_EQ(g.beat_useful_bytes(2), 16u);
+  // Slot -> element/word mapping: slot 18 is element 4, word 2.
+  EXPECT_EQ(g.elem_of_slot(18), 4u);
+  EXPECT_EQ(g.word_in_elem(18), 2u);
+}
+
+TEST(PackGeom, NarrowBusPartialBeat) {
+  // 8-byte bus (64-bit), 4-byte elements: 2 lanes. 7 elements = 4 beats,
+  // last with one slot.
+  const PackGeom g = PackGeom::make(8, 4, 7);
+  EXPECT_EQ(g.lanes, 2u);
+  EXPECT_EQ(g.beats, 4u);
+  EXPECT_EQ(g.valid_lanes(3), 1u);
+  EXPECT_EQ(g.beat_useful_bytes(3), 4u);
+}
+
+TEST(PackGeom, SlotLaneMappingIsFixed) {
+  // Slot s is always served by lane s % lanes: the property that lets each
+  // lane run an independent request pointer.
+  const PackGeom g = PackGeom::make(32, 4, 40);
+  for (std::uint64_t beat = 0; beat < g.beats; ++beat) {
+    for (unsigned lane = 0; lane < g.lanes; ++lane) {
+      const std::uint64_t s = g.slot(beat, lane);
+      EXPECT_EQ(s % g.lanes, lane);
+      EXPECT_EQ(s / g.lanes, beat);
+    }
+  }
+}
+
+TEST(PackGeom, EmptyStream) {
+  const PackGeom g = PackGeom::make(32, 4, 0);
+  EXPECT_EQ(g.beats, 0u);
+  EXPECT_EQ(g.total_words, 0u);
+  EXPECT_EQ(g.valid_lanes(0), 0u);
+  EXPECT_EQ(g.beat_useful_bytes(0), 0u);
+  EXPECT_FALSE(g.slot_valid(0));
+}
+
+TEST(Regulator, BoundsPerLaneInFlight) {
+  Regulator reg(/*lanes=*/4, /*depth=*/3);
+  for (unsigned lane = 0; lane < 4; ++lane) {
+    EXPECT_EQ(reg.in_flight(lane), 0u);
+    EXPECT_TRUE(reg.can_issue(lane));
+  }
+  // Fill lane 1 to the depth limit.
+  for (unsigned i = 0; i < 3; ++i) {
+    ASSERT_TRUE(reg.can_issue(1)) << "issue " << i;
+    reg.on_issue(1);
+  }
+  EXPECT_EQ(reg.in_flight(1), 3u);
+  EXPECT_FALSE(reg.can_issue(1));
+  // Other lanes are accounted independently.
+  EXPECT_TRUE(reg.can_issue(0));
+  EXPECT_TRUE(reg.can_issue(2));
+  EXPECT_TRUE(reg.can_issue(3));
+  // Retiring one word frees exactly one slot.
+  reg.on_retire(1);
+  EXPECT_EQ(reg.in_flight(1), 2u);
+  EXPECT_TRUE(reg.can_issue(1));
+}
+
+TEST(Regulator, IssueRetireCyclesConserveCounts) {
+  Regulator reg(2, 2);
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    if (reg.can_issue(0)) reg.on_issue(0);
+    if (cycle % 2 == 1 && reg.in_flight(0) > 0) reg.on_retire(0);
+  }
+  // Steady state: occupancy never exceeded depth and ends within bounds.
+  EXPECT_LE(reg.in_flight(0), 2u);
+  // Lane 1 was never touched.
+  EXPECT_EQ(reg.in_flight(1), 0u);
+  EXPECT_TRUE(reg.can_issue(1));
+}
+
+TEST(Regulator, DepthOneSerializes) {
+  Regulator reg(1, 1);
+  EXPECT_TRUE(reg.can_issue(0));
+  reg.on_issue(0);
+  EXPECT_FALSE(reg.can_issue(0));
+  reg.on_retire(0);
+  EXPECT_TRUE(reg.can_issue(0));
+  EXPECT_EQ(reg.in_flight(0), 0u);
+}
+
+}  // namespace
+}  // namespace axipack::pack

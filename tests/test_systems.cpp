@@ -29,8 +29,8 @@ class AllWorkloadsAllSystems
 
 TEST_P(AllWorkloadsAllSystems, ProducesCorrectResults) {
   const auto [kernel, system] = GetParam();
-  const auto sys_cfg = sys::SystemConfig::make(system);
-  const auto result = sys::run_workload(sys_cfg, small_config(kernel, system));
+  const auto result =
+      sys::run_workload(sys::scenario_name(system), small_config(kernel, system));
   EXPECT_TRUE(result.correct) << result.error;
   EXPECT_GT(result.cycles, 0u);
 }
@@ -56,7 +56,7 @@ TEST_P(DataflowsWork, BothDataflowsCorrect) {
   auto cfg = small_config(kernel, system);
   cfg.dataflow = dataflow;
   const auto result =
-      sys::run_workload(sys::SystemConfig::make(system), cfg);
+      sys::run_workload(sys::scenario_name(system), cfg);
   EXPECT_TRUE(result.correct) << result.error;
 }
 
@@ -73,7 +73,7 @@ TEST(BusWidths, AllWidthsCorrect) {
     for (const auto kind : {SystemKind::base, SystemKind::pack}) {
       auto cfg = small_config(KernelKind::ismt, kind);
       const auto result =
-          sys::run_workload(sys::SystemConfig::make(kind, bus), cfg);
+          sys::run_workload(sys::scenario_name(kind, bus), cfg);
       EXPECT_TRUE(result.correct)
           << "bus " << bus << " " << sys::system_name(kind) << ": "
           << result.error;
@@ -85,7 +85,7 @@ TEST(BankCounts, AllCountsCorrect) {
   for (const unsigned banks : {8u, 11u, 16u, 17u, 31u, 32u}) {
     auto cfg = small_config(KernelKind::spmv, SystemKind::pack);
     const auto result = sys::run_workload(
-        sys::SystemConfig::make(SystemKind::pack, 256, banks), cfg);
+        sys::scenario_name(SystemKind::pack, 256, banks), cfg);
     EXPECT_TRUE(result.correct) << "banks " << banks << ": " << result.error;
   }
 }
@@ -109,12 +109,12 @@ TEST(Ordering, PackNearIdealOnGemv) {
 TEST(Ordering, IndexTrafficOnlyOnBaseAndIdeal) {
   auto cfg = small_config(KernelKind::spmv, SystemKind::base);
   const auto base =
-      sys::run_workload(sys::SystemConfig::make(SystemKind::base), cfg);
+      sys::run_workload(sys::scenario_name(SystemKind::base), cfg);
   EXPECT_GT(base.bus.r_index_bytes, 0u);
 
   cfg = small_config(KernelKind::spmv, SystemKind::pack);
   const auto pack =
-      sys::run_workload(sys::SystemConfig::make(SystemKind::pack), cfg);
+      sys::run_workload(sys::scenario_name(SystemKind::pack), cfg);
   EXPECT_EQ(pack.bus.r_index_bytes, 0u);
 }
 

@@ -2,24 +2,27 @@
 // chaining, hazards, reductions, and the in-memory-indexed instructions.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
+#include "systems/scenario.hpp"
 #include "systems/system.hpp"
 #include "workloads/workloads.hpp"
 
 namespace axipack {
 namespace {
 
-using sys::System;
-using sys::SystemConfig;
 using sys::SystemKind;
 using vproc::VecProgram;
 
-/// Builds a System, fills `words` u32 pattern at an allocated region, runs
-/// `program`, and returns the system for inspection.
+/// Builds a System via the scenario registry, fills `words` u32 pattern at
+/// an allocated region, runs `program`, and keeps the system for
+/// inspection.
 struct ProgramFixture {
   explicit ProgramFixture(SystemKind kind, unsigned bus_bits = 256)
-      : system(SystemConfig::make(kind, bus_bits)) {}
+      : system_ptr(sys::ScenarioRegistry::instance().build(
+            sys::scenario_name(kind, bus_bits))),
+        system(*system_ptr) {}
 
   sys::RunResult run(VecProgram program) {
     wl::WorkloadInstance instance;
@@ -30,7 +33,8 @@ struct ProgramFixture {
     return system.run(instance);
   }
 
-  System system;
+  std::unique_ptr<sys::System> system_ptr;
+  sys::System& system;
 };
 
 TEST(VprocTest, UnitLoadStoreRoundTrip) {
