@@ -12,12 +12,22 @@ using namespace axipack;
 void emit() {
   bench::figure_header("Fig. 3c", "trmv dataflows compared (n=256)");
   util::Table table({"system", "dataflow", "cycles", "R util", "paper"});
+  // All 6 points are independent systems: sweep them over the thread pool.
+  std::vector<sys::WorkloadJob> jobs;
   for (const auto df : {wl::Dataflow::rowwise, wl::Dataflow::colwise}) {
     for (const auto kind : {sys::SystemKind::base, sys::SystemKind::pack,
                             sys::SystemKind::ideal}) {
       auto cfg = sys::default_workload(wl::KernelKind::trmv, kind);
       cfg.dataflow = df;
-      const auto r = sys::run_workload(sys::scenario_name(kind), cfg);
+      jobs.push_back({sys::scenario_name(kind), cfg});
+    }
+  }
+  const auto results = sys::run_workloads(jobs);
+  std::size_t i = 0;
+  for (const auto df : {wl::Dataflow::rowwise, wl::Dataflow::colwise}) {
+    for (const auto kind : {sys::SystemKind::base, sys::SystemKind::pack,
+                            sys::SystemKind::ideal}) {
+      const auto& r = results[i++];
       std::string note;
       if (df == wl::Dataflow::rowwise && kind == sys::SystemKind::base) {
         note = "R util ~23%";

@@ -11,32 +11,44 @@ namespace {
 
 using namespace axipack;
 
+sys::WorkloadJob ismt_job(sys::SystemKind kind, unsigned bus_bits,
+                          std::uint32_t n) {
+  auto cfg = sys::default_workload(wl::KernelKind::ismt, kind);
+  cfg.n = n;
+  return {sys::scenario_name(kind, bus_bits), cfg};
+}
+
 double speedup_at(unsigned bus_bits, std::uint32_t n) {
-  auto base_cfg = sys::default_workload(wl::KernelKind::ismt,
-                                        sys::SystemKind::base);
-  base_cfg.n = n;
-  auto pack_cfg = sys::default_workload(wl::KernelKind::ismt,
-                                        sys::SystemKind::pack);
-  pack_cfg.n = n;
-  const auto base = sys::run_workload(
-      sys::scenario_name(sys::SystemKind::base, bus_bits), base_cfg);
-  const auto pack = sys::run_workload(
-      sys::scenario_name(sys::SystemKind::pack, bus_bits), pack_cfg);
-  return static_cast<double>(base.cycles) / static_cast<double>(pack.cycles);
+  const auto r = sys::run_workloads(
+      {ismt_job(sys::SystemKind::base, bus_bits, n),
+       ismt_job(sys::SystemKind::pack, bus_bits, n)});
+  return static_cast<double>(r[0].cycles) / static_cast<double>(r[1].cycles);
 }
 
 void emit() {
   bench::figure_header("Fig. 3d", "ismt PACK speedup scaling");
   const std::uint32_t dims[] = {8, 16, 32, 64, 128, 192, 256};
   util::Table table({"matrix dim", "64b bus", "128b bus", "256b bus"});
+  const unsigned buses[] = {64u, 128u, 256u};
+  // Whole surface (7 dims x 3 buses x base/pack) as one sweep.
+  std::vector<sys::WorkloadJob> jobs;
+  for (const auto n : dims) {
+    for (const unsigned bus : buses) {
+      jobs.push_back(ismt_job(sys::SystemKind::base, bus, n));
+      jobs.push_back(ismt_job(sys::SystemKind::pack, bus, n));
+    }
+  }
+  const auto results = sys::run_workloads(jobs);
   double last[3] = {0, 0, 0};
+  std::size_t j = 0;
   for (const auto n : dims) {
     table.row().cell(std::uint64_t{n});
-    int i = 0;
-    for (const unsigned bus : {64u, 128u, 256u}) {
-      last[i] = speedup_at(bus, n);
+    for (int i = 0; i < 3; ++i) {
+      const auto& base = results[j++];
+      const auto& pack = results[j++];
+      last[i] = static_cast<double>(base.cycles) /
+                static_cast<double>(pack.cycles);
       table.cell(last[i], 2);
-      ++i;
     }
   }
   table.print(std::cout);

@@ -11,31 +11,46 @@ namespace {
 
 using namespace axipack;
 
+sys::WorkloadJob spmv_job(sys::SystemKind kind, unsigned bus_bits,
+                          std::uint32_t nnz) {
+  auto cfg = sys::default_workload(wl::KernelKind::spmv, kind);
+  cfg.nnz_per_row = nnz;
+  // Keep total work bounded across the sweep.
+  cfg.n = nnz >= 128 ? 256u : 512u;
+  return {sys::scenario_name(kind, bus_bits), cfg};
+}
+
 double speedup_at(unsigned bus_bits, std::uint32_t nnz) {
-  auto mk = [&](sys::SystemKind kind) {
-    auto cfg = sys::default_workload(wl::KernelKind::spmv, kind);
-    cfg.nnz_per_row = nnz;
-    // Keep total work bounded across the sweep.
-    cfg.n = nnz >= 128 ? 256u : 512u;
-    return sys::run_workload(sys::scenario_name(kind, bus_bits), cfg);
-  };
-  const auto base = mk(sys::SystemKind::base);
-  const auto pack = mk(sys::SystemKind::pack);
-  return static_cast<double>(base.cycles) / static_cast<double>(pack.cycles);
+  const auto r = sys::run_workloads(
+      {spmv_job(sys::SystemKind::base, bus_bits, nnz),
+       spmv_job(sys::SystemKind::pack, bus_bits, nnz)});
+  return static_cast<double>(r[0].cycles) / static_cast<double>(r[1].cycles);
 }
 
 void emit() {
   bench::figure_header("Fig. 3e", "spmv PACK speedup scaling");
   const std::uint32_t nnzs[] = {2, 8, 24, 64, 128, 256, 390};
   util::Table table({"nnz/row", "64b bus", "128b bus", "256b bus"});
+  const unsigned buses[] = {64u, 128u, 256u};
+  // Whole surface (7 densities x 3 buses x base/pack) as one sweep.
+  std::vector<sys::WorkloadJob> jobs;
+  for (const auto nnz : nnzs) {
+    for (const unsigned bus : buses) {
+      jobs.push_back(spmv_job(sys::SystemKind::base, bus, nnz));
+      jobs.push_back(spmv_job(sys::SystemKind::pack, bus, nnz));
+    }
+  }
+  const auto results = sys::run_workloads(jobs);
   double last[3] = {0, 0, 0};
+  std::size_t j = 0;
   for (const auto nnz : nnzs) {
     table.row().cell(std::uint64_t{nnz});
-    int i = 0;
-    for (const unsigned bus : {64u, 128u, 256u}) {
-      last[i] = speedup_at(bus, nnz);
+    for (int i = 0; i < 3; ++i) {
+      const auto& base = results[j++];
+      const auto& pack = results[j++];
+      last[i] = static_cast<double>(base.cycles) /
+                static_cast<double>(pack.cycles);
       table.cell(last[i], 2);
-      ++i;
     }
   }
   table.print(std::cout);

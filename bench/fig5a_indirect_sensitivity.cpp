@@ -24,11 +24,9 @@ void emit() {
   const unsigned banks[] = {8, 11, 16, 17, 31, 32, 0};  // 0 = ideal
   util::Table table({"elem/idx", "r/(r+1)", "8", "11", "16", "17", "31", "32",
                      "ideal"});
+  // The whole (size pair, bank count) surface as one parallel sweep.
+  std::vector<sys::SensitivityConfig> cfgs;
   for (const auto& pair : pairs) {
-    const double r = static_cast<double>(pair.es) / pair.is;
-    table.row()
-        .cell(std::to_string(pair.es) + "/" + std::to_string(pair.is))
-        .cell(util::fmt_pct(r / (r + 1.0)));
     for (const unsigned b : banks) {
       sys::SensitivityConfig cfg;
       cfg.indirect = true;
@@ -36,8 +34,18 @@ void emit() {
       cfg.index_bits = pair.is;
       cfg.banks = b;
       cfg.num_bursts = 6;
-      const auto result = sys::measure_read_utilization(cfg);
-      table.cell(util::fmt_pct(result.r_util));
+      cfgs.push_back(cfg);
+    }
+  }
+  const auto results = sys::measure_read_utilization_many(cfgs);
+  std::size_t j = 0;
+  for (const auto& pair : pairs) {
+    const double r = static_cast<double>(pair.es) / pair.is;
+    table.row()
+        .cell(std::to_string(pair.es) + "/" + std::to_string(pair.is))
+        .cell(util::fmt_pct(r / (r + 1.0)));
+    for (std::size_t b = 0; b < std::size(banks); ++b) {
+      table.cell(util::fmt_pct(results[j++].r_util));
     }
   }
   table.print(std::cout);

@@ -28,15 +28,21 @@ void emit() {
   double peak_indirect_eff = 0.0;
   double ratio_sum = 0.0;
   bool all_correct = true;
+  // The 18 (kernel, system) points are independent: one sweep, thread pool.
+  std::vector<sys::WorkloadJob> jobs;
   for (const auto kernel : kernels) {
-    const auto base_cfg = sys::scenario_name(sys::SystemKind::base);
-    const auto pack_cfg = sys::scenario_name(sys::SystemKind::pack);
-    const auto base = sys::run_workload(
-        base_cfg, sys::default_workload(kernel, sys::SystemKind::base));
-    const auto pack = sys::run_workload(
-        pack_cfg, sys::default_workload(kernel, sys::SystemKind::pack));
-    const auto ideal =
-        sys::run_default(kernel, sys::SystemKind::ideal);
+    for (const auto kind : {sys::SystemKind::base, sys::SystemKind::pack,
+                            sys::SystemKind::ideal}) {
+      jobs.push_back({sys::scenario_name(kind),
+                      sys::default_workload(kernel, kind)});
+    }
+  }
+  const auto results = sys::run_workloads(jobs);
+  std::size_t j = 0;
+  for (const auto kernel : kernels) {
+    const auto& base = results[j++];
+    const auto& pack = results[j++];
+    const auto& ideal = results[j++];
     all_correct = all_correct && base.correct && pack.correct && ideal.correct;
     const double speedup = static_cast<double>(base.cycles) / pack.cycles;
     const double eff = energy::efficiency_gain(

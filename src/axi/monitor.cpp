@@ -20,6 +20,11 @@ BusStats BusStats::diff(const BusStats& earlier) const {
 AxiLink::AxiLink(sim::Kernel& k, AxiPort& upstream, AxiPort& downstream)
     : up_(upstream), down_(downstream), kernel_(k) {
   k.add(*this);
+  k.subscribe(*this, up_.ar);
+  k.subscribe(*this, up_.aw);
+  k.subscribe(*this, up_.w);
+  k.subscribe(*this, down_.r);
+  k.subscribe(*this, down_.b);
 }
 
 void AxiLink::tick() {

@@ -35,6 +35,9 @@ class AxiLink final : public sim::Component {
   AxiLink(sim::Kernel& k, AxiPort& upstream, AxiPort& downstream);
 
   void tick() override;
+  /// Pure forwarder: all pending work lives in the subscribed channel Fifos,
+  /// so the kernel's input-visibility check alone decides wakefulness.
+  bool quiescent() const override { return true; }
 
   const BusStats& stats() const { return stats_; }
 

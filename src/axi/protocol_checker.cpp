@@ -101,14 +101,12 @@ void ProtocolChecker::observe_r(const AxiR& r, sim::Cycle now) {
                 "rlast after " + std::to_string(txn.beats_seen) +
                     " beats, expected " + std::to_string(txn.beats_expected));
     }
-    it->second.pop_front();
-    if (it->second.empty()) reads_.erase(it);
+    it->second.pop_front();  // keep the (tiny) per-id queue cached
   } else if (txn.beats_seen >= txn.beats_expected) {
     violation(now, "R.overrun",
               "read burst exceeded " + std::to_string(txn.beats_expected) +
                   " beats without rlast");
     it->second.pop_front();
-    if (it->second.empty()) reads_.erase(it);
   }
 }
 
@@ -130,7 +128,12 @@ void ProtocolChecker::observe_b(const AxiB& b, sim::Cycle now) {
 }
 
 bool ProtocolChecker::drained() const {
-  return reads_.empty() && writes_.empty();
+  // Per-id read queues are kept cached when they drain (observe_r is hot);
+  // drained means no transaction is outstanding, not no queue exists.
+  for (const auto& [id, q] : reads_) {
+    if (!q.empty()) return false;
+  }
+  return writes_.empty();
 }
 
 }  // namespace axipack::axi

@@ -16,6 +16,11 @@ AxiWidthConverter::AxiWidthConverter(sim::Kernel& k, AxiPort& up,
     : up_(up), down_(down), up_bytes_(up_bytes), down_bytes_(down_bytes) {
   assert(up_bytes_ % down_bytes_ == 0 && up_bytes_ > down_bytes_);
   k.add(*this);
+  k.subscribe(*this, up_.ar);
+  k.subscribe(*this, up_.aw);
+  k.subscribe(*this, up_.w);
+  k.subscribe(*this, down_.r);
+  k.subscribe(*this, down_.b);
 }
 
 unsigned AxiWidthConverter::sub_beats(unsigned useful) const {

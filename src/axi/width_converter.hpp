@@ -28,6 +28,11 @@ class AxiWidthConverter final : public sim::Component {
                     AxiPort& down, unsigned down_bytes);
 
   void tick() override;
+  /// With no burst in flight, work can only start from a subscribed channel;
+  /// in-flight contexts (partial assembly/split) need ticking every cycle.
+  bool quiescent() const override {
+    return reads_.empty() && writes_.empty();
+  }
 
  private:
   struct ReadCtx {

@@ -23,6 +23,15 @@ AxiXbar::AxiXbar(sim::Kernel& k, std::vector<AxiPort*> masters,
       b_rr_(masters_.size(), 0) {
   assert(!masters_.empty() && !slaves_.empty());
   k.add(*this);
+  for (AxiPort* m : masters_) {
+    k.subscribe(*this, m->ar);
+    k.subscribe(*this, m->aw);
+    k.subscribe(*this, m->w);
+  }
+  for (AxiPort* s : slaves_) {
+    k.subscribe(*this, s->r);
+    k.subscribe(*this, s->b);
+  }
 }
 
 unsigned AxiXbar::route(std::uint64_t addr) const {
@@ -136,7 +145,49 @@ void AxiXbar::tick_b() {
   }
 }
 
+void AxiXbar::tick_1x1() {
+  AxiPort& m = *masters_[0];
+  AxiPort& s = *slaves_[0];
+  if (m.ar.can_pop() && s.ar.can_push()) {
+    AxiAr ar = m.ar.pop();
+    assert(route(ar.addr) == 0);
+    ar.id = remap(ar.id, 0);
+    s.ar.push(std::move(ar));
+  }
+  if (m.aw.can_pop() && s.aw.can_push()) {
+    AxiAw aw = m.aw.pop();
+    assert(route(aw.addr) == 0);
+    aw.id = remap(aw.id, 0);
+    s.aw.push(std::move(aw));
+    w_route_[0].push_back(0);
+    w_order_[0].push_back(0);
+  }
+  if (!w_order_[0].empty() && s.w.can_push() && m.w.can_pop()) {
+    AxiW beat = m.w.pop();
+    const bool last = beat.last;
+    s.w.push(std::move(beat));
+    if (last) {
+      w_order_[0].pop_front();
+      w_route_[0].pop_front();
+    }
+  }
+  if (m.r.can_push() && s.r.can_pop()) {
+    AxiR beat = s.r.pop();
+    beat.id = unmap(beat.id);
+    m.r.push(std::move(beat));
+  }
+  if (m.b.can_push() && s.b.can_pop()) {
+    AxiB b = s.b.pop();
+    b.id = unmap(b.id);
+    m.b.push(b);
+  }
+}
+
 void AxiXbar::tick() {
+  if (masters_.size() == 1 && slaves_.size() == 1) {
+    tick_1x1();
+    return;
+  }
   tick_ar();
   tick_aw();
   tick_w();

@@ -34,6 +34,9 @@ class AxiXbar final : public sim::Component {
           std::vector<AxiPort*> slaves, std::vector<AddrRule> map);
 
   void tick() override;
+  /// Pure forwarder: arbitration state only advances on channel traffic,
+  /// which is all carried by subscribed Fifos.
+  bool quiescent() const override { return true; }
 
   /// Slave index for an address; asserts the address is mapped.
   unsigned route(std::uint64_t addr) const;
@@ -53,6 +56,10 @@ class AxiXbar final : public sim::Component {
   void tick_w();
   void tick_r();
   void tick_b();
+  /// Degenerate 1x1 crossbar (the monitored single-master fabrics): same
+  /// grants and bookkeeping as the generic path without the arbitration
+  /// scans — this is the hot configuration of every paper system.
+  void tick_1x1();
 
   std::vector<AxiPort*> masters_;
   std::vector<AxiPort*> slaves_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <optional>
 
 #include "axi/burst.hpp"
 #include "util/bits.hpp"
@@ -41,17 +42,21 @@ DmaEngine::DmaEngine(sim::Kernel& k, axi::AxiPort& port, const DmaConfig& cfg)
     : port_(port), cfg_(cfg) {
   assert(cfg_.bus_bytes % 4 == 0 && cfg_.bus_bytes <= axi::kMaxBusBytes);
   k.add(*this);
+  k.subscribe(*this, port_.r);
+  k.subscribe(*this, port_.b);
 }
 
 void DmaEngine::push(const Descriptor& d) {
   assert(d.elem_bytes >= 4 && d.elem_bytes % 4 == 0 &&
          d.elem_bytes <= cfg_.bus_bytes);
   queue_.push_back(PendingDesc{d, 0, false});
+  wake_self();
 }
 
 void DmaEngine::start_chain(std::uint64_t head) {
   assert(head != 0);
   queue_.push_back(PendingDesc{{}, head, true});
+  wake_self();
 }
 
 bool DmaEngine::idle() const {
@@ -320,13 +325,13 @@ void DmaEngine::consume_read_payload(const axi::AxiR& r, ActiveRead& act) {
 void DmaEngine::tick_read() {
   issue_next_read();
 
-  if (!port_.r.can_pop()) return;
+  const std::optional<axi::AxiR> r = port_.r.try_pop();
+  if (!r) return;
   assert(!active_reads_.empty() && "R beat with no outstanding read");
-  const axi::AxiR r = port_.r.pop();
   ++stats_.r_beats;
   ActiveRead& act = active_reads_.front();
-  consume_read_payload(r, act);
-  if (r.last) {
+  consume_read_payload(*r, act);
+  if (r->last) {
     assert(act.bytes_left == 0 && "burst ended before payload complete");
     const ReadKind kind = act.kind;
     active_reads_.pop_front();
@@ -370,8 +375,7 @@ void DmaEngine::tick_read() {
 
 void DmaEngine::tick_write() {
   // Collect write responses.
-  if (port_.b.can_pop()) {
-    port_.b.pop();
+  if (port_.b.try_pop()) {
     assert(outstanding_writes_ > 0);
     --outstanding_writes_;
   }
@@ -524,13 +528,12 @@ void DmaEngine::tick() {
 
   if (fetching_desc_) {
     issue_next_read();
-    if (port_.r.can_pop()) {
-      const axi::AxiR r = port_.r.pop();
+    if (const std::optional<axi::AxiR> r = port_.r.try_pop()) {
       ++stats_.r_beats;
       assert(!active_reads_.empty());
       ActiveRead& act = active_reads_.front();
-      consume_read_payload(r, act);
-      if (r.last) {
+      consume_read_payload(*r, act);
+      if (r->last) {
         active_reads_.pop_front();
         --outstanding_reads_;
         if (desc_raw_.size() == kDescriptorBytes) {

@@ -74,6 +74,9 @@ class DmaEngine final : public sim::Component {
   const DmaConfig& config() const { return cfg_; }
 
   void tick() override;
+  /// idle() implies nothing is in flight (no descriptors, reads, writes or
+  /// fetches); only push()/start_chain() — which wake us — create work.
+  bool quiescent() const override { return idle(); }
 
  private:
   /// Source of the next descriptor to execute.

@@ -1,6 +1,7 @@
 #include "mem/backing_store.hpp"
 
 #include <cassert>
+#include <cstdio>
 #include <cstring>
 
 #include "util/bits.hpp"
@@ -8,21 +9,30 @@
 namespace axipack::mem {
 
 BackingStore::BackingStore(std::uint64_t base, std::uint64_t size)
-    : base_(base), next_(base), bytes_(size, 0) {}
+    : base_(base),
+      next_(base),
+      size_(size),
+      bytes_(static_cast<std::uint8_t*>(std::calloc(size, 1))) {
+  if (bytes_ == nullptr) {
+    std::fprintf(stderr, "BackingStore: cannot allocate %llu bytes\n",
+                 static_cast<unsigned long long>(size));
+    std::abort();
+  }
+}
 
 bool BackingStore::contains(std::uint64_t addr, std::uint64_t n) const {
-  return addr >= base_ && addr + n <= base_ + bytes_.size();
+  return addr >= base_ && addr + n <= base_ + size_;
 }
 
 void BackingStore::write(std::uint64_t addr, const void* src,
                          std::uint64_t n) {
   assert(contains(addr, n));
-  std::memcpy(bytes_.data() + (addr - base_), src, n);
+  std::memcpy(data() + (addr - base_), src, n);
 }
 
 void BackingStore::read(std::uint64_t addr, void* dst, std::uint64_t n) const {
   assert(contains(addr, n));
-  std::memcpy(dst, bytes_.data() + (addr - base_), n);
+  std::memcpy(dst, data() + (addr - base_), n);
 }
 
 std::uint32_t BackingStore::read_u32(std::uint64_t addr) const {
@@ -49,7 +59,7 @@ void BackingStore::write_word(std::uint64_t addr, std::uint32_t wdata,
                               std::uint8_t strb) {
   assert(addr % 4 == 0);
   assert(contains(addr, 4));
-  auto* p = bytes_.data() + (addr - base_);
+  auto* p = data() + (addr - base_);
   for (unsigned i = 0; i < 4; ++i) {
     if (strb & (1u << i)) p[i] = static_cast<std::uint8_t>(wdata >> (8 * i));
   }

@@ -7,18 +7,22 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <memory>
 #include <string>
-#include <vector>
 
 namespace axipack::mem {
 
 class BackingStore {
  public:
   /// Memory window [base, base+size). `base` is typically 0x8000'0000.
+  /// The image is allocated zeroed but lazily (calloc), so building a
+  /// system with a large window does not touch every page up front — this
+  /// keeps System construction cheap for parallel sweeps.
   BackingStore(std::uint64_t base, std::uint64_t size);
 
   std::uint64_t base() const { return base_; }
-  std::uint64_t size() const { return bytes_.size(); }
+  std::uint64_t size() const { return size_; }
   bool contains(std::uint64_t addr, std::uint64_t n = 1) const;
 
   // Host (zero-time) access, used by generators, golden checks and the
@@ -41,9 +45,17 @@ class BackingStore {
   void reset_alloc() { next_ = base_; }
 
  private:
+  struct FreeDeleter {
+    void operator()(std::uint8_t* p) const { std::free(p); }
+  };
+
+  std::uint8_t* data() { return bytes_.get(); }
+  const std::uint8_t* data() const { return bytes_.get(); }
+
   std::uint64_t base_;
   std::uint64_t next_;
-  std::vector<std::uint8_t> bytes_;
+  std::uint64_t size_;
+  std::unique_ptr<std::uint8_t[], FreeDeleter> bytes_;
 };
 
 }  // namespace axipack::mem

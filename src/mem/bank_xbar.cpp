@@ -4,45 +4,59 @@
 
 namespace axipack::mem {
 
+namespace {
+constexpr unsigned kNoBank = ~0u;
+}  // namespace
+
 BankXbar::BankXbar(sim::Kernel& k, BackingStore& store,
                    std::vector<WordPort*> ports, unsigned num_banks)
     : store_(store),
+      kernel_(k),
       ports_(std::move(ports)),
       map_(num_banks),
       bank_stats_(num_banks),
-      rr_(num_banks, 0) {
+      rr_(num_banks, 0),
+      head_bank_(ports_.size(), kNoBank) {
   assert(num_banks > 0 && !ports_.empty());
   k.add(*this);
+  for (WordPort* p : ports_) k.subscribe(*this, p->req);
 }
 
 void BankXbar::tick() {
-  // Gather the target bank of each port's head request.
   const unsigned n = static_cast<unsigned>(ports_.size());
-  const unsigned m = map_.num_banks();
-  // contenders[b] = ports requesting bank b this cycle.
-  // (n and m are tiny — 8 and <=32 — so stack vectors are fine.)
-  std::vector<std::vector<unsigned>> contenders(m);
+  const sim::Cycle now = kernel_.now();  // hoisted out of the fifo checks
+  // Gather the target bank of each port's head request.
+  unsigned active = 0;
   for (unsigned p = 0; p < n; ++p) {
     WordPort& port = *ports_[p];
-    if (!port.req.can_pop()) continue;
-    if (!port.resp.can_push()) continue;  // response path backpressure
-    contenders[map_.bank_of(word_index(port.req.front().addr))].push_back(p);
+    if (port.req.has_visible(now) && port.resp.can_push()) {
+      head_bank_[p] = map_.bank_of(word_index(port.req.front().addr));
+      ++active;
+    } else {
+      head_bank_[p] = kNoBank;  // no request, or response-path backpressure
+    }
   }
-  for (unsigned b = 0; b < m; ++b) {
-    auto& list = contenders[b];
-    if (list.empty()) continue;
-    if (list.size() > 1) {
+  if (active == 0) return;
+  // Each bank grants one contender, round-robin: the first contender (in
+  // port order) at or after rr_[b], else the first contender overall.
+  for (unsigned p = 0; p < n; ++p) {
+    const unsigned b = head_bank_[p];
+    if (b == kNoBank) continue;
+    unsigned count = 0;
+    unsigned first = kNoBank;
+    unsigned first_ge = kNoBank;
+    for (unsigned q = p; q < n; ++q) {
+      if (head_bank_[q] != b) continue;
+      ++count;
+      if (first == kNoBank) first = q;
+      if (first_ge == kNoBank && q >= rr_[b]) first_ge = q;
+      head_bank_[q] = kNoBank;  // consumed: bank b arbitrates once per cycle
+    }
+    if (count > 1) {
       ++bank_stats_[b].conflict_cycles;
-      conflict_losses_ += list.size() - 1;
+      conflict_losses_ += count - 1;
     }
-    // Round-robin: pick the first contender at or after rr_[b].
-    unsigned chosen = list[0];
-    for (unsigned p : list) {
-      if (p >= rr_[b]) {
-        chosen = p;
-        break;
-      }
-    }
+    const unsigned chosen = first_ge != kNoBank ? first_ge : first;
     rr_[b] = (chosen + 1) % n;
     WordPort& port = *ports_[chosen];
     WordReq req = port.req.pop();

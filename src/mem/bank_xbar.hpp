@@ -25,6 +25,10 @@ class BankXbar final : public sim::Component {
            std::vector<WordPort*> ports, unsigned num_banks);
 
   void tick() override;
+  /// Pure request server: a grant requires a visible head request on some
+  /// port Fifo (all subscribed); the SRAM latency lives on the response
+  /// Fifos, not in the crossbar.
+  bool quiescent() const override { return true; }
 
   const BankMap& map() const { return map_; }
   const std::vector<BankStats>& bank_stats() const { return bank_stats_; }
@@ -37,12 +41,16 @@ class BankXbar final : public sim::Component {
   }
 
   BackingStore& store_;
+  sim::Kernel& kernel_;
   std::vector<WordPort*> ports_;
   BankMap map_;
   std::vector<BankStats> bank_stats_;
   std::vector<unsigned> rr_;  ///< per-bank round-robin pointer
   std::uint64_t total_grants_ = 0;
   std::uint64_t conflict_losses_ = 0;
+  // Per-tick scratch, member-allocated once (the tick is hot and used to
+  // heap-allocate per-bank contender lists every cycle).
+  std::vector<unsigned> head_bank_;  ///< port -> target bank (or kNoBank)
 };
 
 }  // namespace axipack::mem

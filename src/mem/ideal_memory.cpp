@@ -11,6 +11,7 @@ IdealMemory::IdealMemory(sim::Kernel& k, BackingStore& store,
                                                 cfg.resp_depth, cfg.latency));
   }
   k.add(*this);
+  for (auto& port : ports_) k.subscribe(*this, port->req);
 }
 
 void IdealMemory::tick() {

@@ -30,6 +30,9 @@ class IdealMemory final : public WordMemory, public sim::Component {
   WordPort& port(unsigned i) override { return *ports_[i]; }
 
   void tick() override;
+  /// Pure request server: all pending work sits in subscribed request Fifos
+  /// (the latency lives on the response Fifos).
+  bool quiescent() const override { return true; }
 
  private:
   BackingStore& store_;

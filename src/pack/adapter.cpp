@@ -28,6 +28,15 @@ AxiPackAdapter::AxiPackAdapter(sim::Kernel& k, axi::AxiPort& upstream,
       k, mux_->lanes_of(kIndirectW), cfg.bus_bytes, cfg.queue_depth, 4,
       cfg.idx_window_lines);
   k.add(*this);
+  k.subscribe(*this, up_.ar);
+  k.subscribe(*this, up_.aw);
+  k.subscribe(*this, up_.w);
+  k.subscribe(*this, *base_->r_out());
+  k.subscribe(*this, *strided_r_->r_out());
+  k.subscribe(*this, *indirect_r_->r_out());
+  k.subscribe(*this, *base_->b_out());
+  k.subscribe(*this, *strided_w_->b_out());
+  k.subscribe(*this, *indirect_w_->b_out());
 }
 
 Converter* AxiPackAdapter::classify_ar(const axi::AxiAr& ar) {

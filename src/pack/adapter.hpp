@@ -53,6 +53,9 @@ class AxiPackAdapter final : public sim::Component {
                  mem::WordMemory& memory, const AdapterConfig& cfg);
 
   void tick() override;
+  /// Pure demux/mux: every action pops a subscribed Fifo (upstream AR/AW/W
+  /// or a converter's R/B output), so input visibility decides wakefulness.
+  bool quiescent() const override { return true; }
 
   bool idle() const;
   const AdapterStats& stats() const { return stats_; }

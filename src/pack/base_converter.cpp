@@ -13,6 +13,7 @@ BaseConverter::BaseConverter(sim::Kernel& k, std::vector<LaneIO> lanes,
                              std::size_t b_out_depth)
     : lanes_(std::move(lanes)),
       bus_bytes_(bus_bytes),
+      bus_mask_(bus_bytes - 1),
       regulator_(static_cast<unsigned>(lanes_.size()), queue_depth),
       r_out_(k, r_out_depth, 1),
       b_out_(k, b_out_depth, 1),
@@ -26,6 +27,7 @@ bool BaseConverter::can_accept_ar() const {
 
 void BaseConverter::accept_ar(const axi::AxiAr& ar) {
   assert(!ar.pack.has_value());
+  wake_self();
   reads_.push_back(ReadBurst{ar, 0, 0});
 }
 
@@ -35,6 +37,7 @@ bool BaseConverter::can_accept_aw() const {
 
 void BaseConverter::accept_aw(const axi::AxiAw& aw) {
   assert(!aw.pack.has_value());
+  wake_self();
   writes_.push_back(WriteBurst{aw, 0, 0, 0});
 }
 
@@ -43,7 +46,7 @@ BaseConverter::BeatPlan BaseConverter::plan_beat(const axi::AxiAx& ax,
   BeatPlan plan;
   const std::uint64_t addr = axi::beat_addr(ax, beat);
   const unsigned size_bytes = ax.beat_bytes();
-  plan.data_lane = static_cast<unsigned>(addr % bus_bytes_);
+  plan.data_lane = static_cast<unsigned>(addr & bus_mask_);
   plan.useful_bytes = size_bytes;
   if (size_bytes >= bus_bytes_) {
     // Full-width beat: fetch the whole aligned line. The first beat of an
@@ -60,36 +63,38 @@ BaseConverter::BeatPlan BaseConverter::plan_beat(const axi::AxiAx& ax,
     const std::uint64_t hi =
         util::round_up<std::uint64_t>(addr + size_bytes, 4);
     plan.word_addr = lo;
-    plan.first_lane = static_cast<unsigned>((lo % bus_bytes_) / 4);
+    plan.first_lane = static_cast<unsigned>((lo & bus_mask_) / 4);
     plan.words = static_cast<unsigned>((hi - lo) / 4);
   }
   return plan;
 }
 
 void BaseConverter::tick_issue() {
-  // One beat's worth of word requests per cycle: find the oldest burst with
-  // an unissued beat whose lanes all have space.
-  for (ReadBurst& burst : reads_) {
-    if (burst.issue_beat >= burst.ar.beats()) continue;
-    const BeatPlan plan = plan_beat(burst.ar, burst.issue_beat);
-    for (unsigned wi = 0; wi < plan.words; ++wi) {
-      const unsigned lane = plan.first_lane + wi;
-      if (!regulator_.can_issue(lane) || !lanes_[lane].req->can_push()) {
-        return;  // preserve per-lane order: do not skip ahead
-      }
-    }
-    for (unsigned wi = 0; wi < plan.words; ++wi) {
-      const unsigned lane = plan.first_lane + wi;
-      mem::WordReq req;
-      req.addr = plan.word_addr + 4ull * wi;
-      req.write = false;
-      req.tag = lane;
-      lanes_[lane].req->push(req);
-      regulator_.on_issue(lane);
-    }
-    ++burst.issue_beat;
-    return;  // at most one beat per cycle
+  // One beat's worth of word requests per cycle for the oldest burst with
+  // an unissued beat (issue is strictly in burst order).
+  while (issue_cursor_ < reads_.size() &&
+         reads_[issue_cursor_].issue_beat >= reads_[issue_cursor_].ar.beats()) {
+    ++issue_cursor_;
   }
+  if (issue_cursor_ >= reads_.size()) return;
+  ReadBurst& burst = reads_[issue_cursor_];
+  const BeatPlan plan = plan_beat(burst.ar, burst.issue_beat);
+  for (unsigned wi = 0; wi < plan.words; ++wi) {
+    const unsigned lane = plan.first_lane + wi;
+    if (!regulator_.can_issue(lane) || !lanes_[lane].req->can_push()) {
+      return;  // preserve per-lane order: do not skip ahead
+    }
+  }
+  for (unsigned wi = 0; wi < plan.words; ++wi) {
+    const unsigned lane = plan.first_lane + wi;
+    mem::WordReq req;
+    req.addr = plan.word_addr + 4ull * wi;
+    req.write = false;
+    req.tag = lane;
+    lanes_[lane].req->push(req);
+    regulator_.on_issue(lane);
+  }
+  ++burst.issue_beat;  // at most one beat per cycle
 }
 
 void BaseConverter::tick_pack() {
@@ -121,7 +126,10 @@ void BaseConverter::tick_pack() {
   ++burst.pack_beat;
   beat.last = burst.pack_beat == burst.ar.beats();
   r_out_.push(beat);
-  if (beat.last) reads_.pop_front();
+  if (beat.last) {
+    reads_.pop_front();
+    if (issue_cursor_ > 0) --issue_cursor_;
+  }
 }
 
 bool BaseConverter::can_accept_w() const {

@@ -71,10 +71,15 @@ class BaseConverter final : public Converter {
 
   std::vector<LaneIO> lanes_;
   unsigned bus_bytes_;
+  unsigned bus_mask_;  ///< bus_bytes - 1 (bus widths are powers of two)
   Regulator regulator_;
   sim::Fifo<axi::AxiR> r_out_;
   sim::Fifo<axi::AxiB> b_out_;
   std::deque<ReadBurst> reads_;
+  /// Index of the first read burst that may still have unissued beats.
+  /// Issue is strictly front-to-back, so everything before it is fully
+  /// issued — this keeps tick_issue O(1) with many outstanding bursts.
+  std::size_t issue_cursor_ = 0;
   std::deque<WriteBurst> writes_;
   std::size_t max_bursts_;
 };

@@ -129,6 +129,11 @@ class Converter : public sim::Component {
 
   /// True when no burst is in flight (used for drain checks in tests).
   virtual bool idle() const = 0;
+
+  /// Converters receive work through accept_*() calls (which wake them),
+  /// not through Fifo pops, so an idle converter can always sleep; while a
+  /// burst is in flight every cycle may issue requests or pack responses.
+  bool quiescent() const override { return idle(); }
 };
 
 }  // namespace axipack::pack

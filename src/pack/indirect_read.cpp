@@ -32,11 +32,13 @@ bool IndirectReadConverter::can_accept_ar() const {
 
 void IndirectReadConverter::accept_ar(const axi::AxiAr& ar) {
   assert(ar.pack.has_value() && ar.pack->indir);
+  wake_self();
   Burst bu;
   bu.geom = PackGeom::make(bus_bytes_, ar.beat_bytes(), ar.pack->num_elems);
   bu.elem_base = ar.addr;
   bu.idx_base = ar.pack->index_base;
   bu.idx_bytes = ar.pack->index_bits / 8;
+  bu.elem_shift = util::log2_exact(bu.geom.elem_bytes);
   assert(bu.idx_base % 4 == 0 && "index array must be word-aligned");
   bu.id = ar.id;
   bu.traffic = ar.traffic;
@@ -110,7 +112,7 @@ void IndirectReadConverter::tick_issue() {
         const std::uint64_t off = elem - bu.idx_window_base;
         if (off >= bu.idx_window.size()) break;  // index not fetched yet
         const std::uint64_t index = bu.idx_window[off];
-        elem_addr = bu.elem_base + (index << util::log2_exact(bu.geom.elem_bytes)) +
+        elem_addr = bu.elem_base + (index << bu.elem_shift) +
                     4ull * bu.geom.word_in_elem(slot);
         elem_burst = &bu;
         break;

@@ -51,7 +51,8 @@ class IndirectReadConverter final : public Converter {
     PackGeom geom;
     std::uint64_t elem_base = 0;
     std::uint64_t idx_base = 0;
-    unsigned idx_bytes = 4;  ///< bytes per index (1, 2 or 4)
+    unsigned idx_bytes = 4;   ///< bytes per index (1, 2 or 4)
+    unsigned elem_shift = 2;  ///< log2(elem_bytes), cached for the hot issue
     std::uint32_t id = 0;
     axi::Traffic traffic = axi::Traffic::data;
 

@@ -30,6 +30,7 @@ bool IndirectWriteConverter::can_accept_aw() const {
 
 void IndirectWriteConverter::accept_aw(const axi::AxiAw& aw) {
   assert(aw.pack.has_value() && aw.pack->indir);
+  wake_self();
   Burst bu;
   bu.geom = PackGeom::make(bus_bytes_, aw.beat_bytes(), aw.pack->num_elems);
   bu.elem_base = aw.addr;

@@ -7,57 +7,69 @@ namespace axipack::pack {
 PortMux::PortMux(sim::Kernel& k, mem::WordMemory& memory,
                  unsigned num_converters, std::size_t lane_fifo_depth,
                  std::size_t resp_fifo_depth)
-    : memory_(memory), lanes_(memory.num_ports()), convs_(num_converters) {
+    : memory_(memory),
+      kernel_(k),
+      lanes_(memory.num_ports()),
+      convs_(num_converters) {
   assert(convs_ > 0 && convs_ < (1u << kConvBits));
-  req_.resize(convs_);
-  resp_.resize(convs_);
-  for (unsigned c = 0; c < convs_; ++c) {
-    for (unsigned l = 0; l < lanes_; ++l) {
-      req_[c].push_back(std::make_unique<sim::Fifo<mem::WordReq>>(
+  req_flat_.reserve(std::size_t{convs_} * lanes_);
+  resp_flat_.reserve(std::size_t{convs_} * lanes_);
+  for (unsigned l = 0; l < lanes_; ++l) {
+    for (unsigned c = 0; c < convs_; ++c) {
+      req_flat_.push_back(std::make_unique<sim::Fifo<mem::WordReq>>(
           k, lane_fifo_depth, 1));
-      resp_[c].push_back(std::make_unique<sim::Fifo<mem::WordResp>>(
+      resp_flat_.push_back(std::make_unique<sim::Fifo<mem::WordResp>>(
           k, resp_fifo_depth, 1));
     }
   }
   rr_.assign(lanes_, 0);
+  ports_.reserve(lanes_);
+  for (unsigned l = 0; l < lanes_; ++l) ports_.push_back(&memory_.port(l));
   k.add(*this);
+  for (auto& f : req_flat_) k.subscribe(*this, *f);
+  for (unsigned l = 0; l < lanes_; ++l) {
+    k.subscribe(*this, memory_.port(l).resp);
+  }
 }
 
 std::vector<LaneIO> PortMux::lanes_of(unsigned conv) {
   assert(conv < convs_);
   std::vector<LaneIO> out(lanes_);
   for (unsigned l = 0; l < lanes_; ++l) {
-    out[l].req = req_[conv][l].get();
-    out[l].resp = resp_[conv][l].get();
+    out[l].req = &req(conv, l);
+    out[l].resp = &resp(conv, l);
   }
   return out;
 }
 
 void PortMux::tick() {
+  const sim::Cycle now = kernel_.now();  // hoisted out of the fifo checks
   for (unsigned l = 0; l < lanes_; ++l) {
-    mem::WordPort& port = memory_.port(l);
+    mem::WordPort& port = *ports_[l];
     // Requests: round-robin over converters with a pending request.
     if (port.req.can_push()) {
+      unsigned c = rr_[l];
       for (unsigned i = 0; i < convs_; ++i) {
-        const unsigned c = (rr_[l] + i) % convs_;
-        if (!req_[c][l]->can_pop()) continue;
-        mem::WordReq r = req_[c][l]->pop();
-        assert((r.tag >> kConvShift) == 0 && "tag collides with conv field");
-        r.tag |= c << kConvShift;
-        port.req.push(r);
-        rr_[l] = (c + 1) % convs_;
-        ++words_issued_;
-        break;
+        if (req(c, l).has_visible(now)) {
+          mem::WordReq r = req(c, l).pop();
+          assert((r.tag >> kConvShift) == 0 && "tag collides with conv field");
+          r.tag |= c << kConvShift;
+          port.req.push(r);
+          rr_[l] = c + 1 == convs_ ? 0 : c + 1;
+          ++words_issued_;
+          break;
+        }
+        c = c + 1 == convs_ ? 0 : c + 1;
       }
     }
     // Responses: route by converter id in the tag.
-    if (port.resp.can_pop()) {
+    if (port.resp.has_visible(now)) {
       const unsigned c = port.resp.front().tag >> kConvShift;
       assert(c < convs_);
-      if (resp_[c][l]->can_push()) {
+      if (resp(c, l).can_push()) {
         mem::WordResp r = port.resp.pop();
         r.tag &= (1u << kConvShift) - 1u;
-        resp_[c][l]->push(r);
+        resp(c, l).push(r);
       }
     }
   }

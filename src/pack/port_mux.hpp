@@ -29,16 +29,29 @@ class PortMux final : public sim::Component {
   unsigned num_lanes() const { return lanes_; }
 
   void tick() override;
+  /// Pure forwarder between the converters' lane Fifos and the memory
+  /// ports; all pending work is visible in subscribed Fifos.
+  bool quiescent() const override { return true; }
 
   std::uint64_t words_issued() const { return words_issued_; }
 
  private:
+  sim::Fifo<mem::WordReq>& req(unsigned conv, unsigned lane) {
+    return *req_flat_[lane * convs_ + conv];
+  }
+  sim::Fifo<mem::WordResp>& resp(unsigned conv, unsigned lane) {
+    return *resp_flat_[lane * convs_ + conv];
+  }
+
   mem::WordMemory& memory_;
+  sim::Kernel& kernel_;
   unsigned lanes_;
   unsigned convs_;
-  // fifos_[conv][lane]
-  std::vector<std::vector<std::unique_ptr<sim::Fifo<mem::WordReq>>>> req_;
-  std::vector<std::vector<std::unique_ptr<sim::Fifo<mem::WordResp>>>> resp_;
+  std::vector<mem::WordPort*> ports_;  ///< cached, port(l) is virtual
+  // Flat lane-major [lane * convs + conv] fifo arrays: the hot tick scans
+  // all converters of one lane, so keep that scan contiguous in memory.
+  std::vector<std::unique_ptr<sim::Fifo<mem::WordReq>>> req_flat_;
+  std::vector<std::unique_ptr<sim::Fifo<mem::WordResp>>> resp_flat_;
   std::vector<unsigned> rr_;  ///< per-lane round-robin over converters
   std::uint64_t words_issued_ = 0;
 };

@@ -22,6 +22,7 @@ bool StridedReadConverter::can_accept_ar() const {
 
 void StridedReadConverter::accept_ar(const axi::AxiAr& ar) {
   assert(ar.pack.has_value() && !ar.pack->indir);
+  wake_self();
   Burst bu;
   bu.geom = PackGeom::make(bus_bytes_, ar.beat_bytes(), ar.pack->num_elems);
   bu.base = ar.addr;

@@ -22,6 +22,7 @@ bool StridedWriteConverter::can_accept_aw() const {
 
 void StridedWriteConverter::accept_aw(const axi::AxiAw& aw) {
   assert(aw.pack.has_value() && !aw.pack->indir);
+  wake_self();
   Burst bu;
   bu.geom = PackGeom::make(bus_bytes_, aw.beat_bytes(), aw.pack->num_elems);
   bu.base = aw.addr;
@@ -75,8 +76,7 @@ void StridedWriteConverter::tick() {
   // Collect write acknowledgements (one per lane per cycle); they arrive in
   // issue order, so each belongs to the oldest burst still missing acks.
   for (unsigned l = 0; l < lanes_.size(); ++l) {
-    if (!lanes_[l].resp->can_pop()) continue;
-    lanes_[l].resp->pop();
+    if (!lanes_[l].resp->try_pop()) continue;
     regulator_.on_retire(l);
     for (Burst& bu : bursts_) {
       if (bu.acks < bu.geom.total_words) {

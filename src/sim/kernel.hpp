@@ -1,11 +1,11 @@
-// Cycle-driven simulation kernel.
+// Cycle-driven simulation kernel with activity gating.
 //
 // Model of computation
 // --------------------
 // The simulated hardware is a set of Components connected by Fifo channels.
-// Each cycle the kernel calls tick() on every component (in registration
-// order) and then commit() on every channel. Channels have *registered*
-// semantics:
+// Each cycle the kernel calls tick() on every *awake* component (in
+// registration order) and then commit() on every channel touched this cycle.
+// Channels have *registered* semantics:
 //
 //  * an item pushed in cycle t becomes visible to poppers in cycle t+latency
 //    (latency >= 1, default 1, i.e. a register stage);
@@ -16,19 +16,60 @@
 // synchronous netlist has. A depth-1 Fifo therefore sustains only one item
 // every two cycles (like a hardware FIFO without a skid buffer); use depth
 // >= 2 on full-throughput paths.
+//
+// Activity gating (the quiescence protocol)
+// -----------------------------------------
+// Ticking every component and committing every Fifo each cycle is wasted
+// work when most of the fabric is idle, so the kernel gates both:
+//
+//  * Fifos need no end-of-cycle commit walk at all: the pop count that
+//    delays freed space to the next cycle is kept per-Fifo together with
+//    the cycle it was observed in, so it lapses lazily instead of being
+//    reset by a per-channel commit() call every cycle.
+//  * A component that (a) returns true from quiescent() and (b) has no
+//    *visible* item in any Fifo it subscribed to is put to sleep and not
+//    ticked again until it is woken — by an item becoming visible on a
+//    subscribed Fifo, or by an explicit Kernel::wake() (see below).
+//  * When every component is asleep and only Fifo latency timers are
+//    pending, run()/run_until() fast-forward the clock to the next
+//    scheduled wake-up instead of stepping through dead cycles.
+//
+// Gating is cycle-identical to naive full-netlist ticking *provided*
+// components keep the protocol:
+//
+//  1. quiescent() must return true only when tick() would be a no-op now
+//     and on every future cycle until new input arrives. Any internal
+//     pending state — in-flight bursts, countdown timers, data waiting to
+//     be pushed into a full output Fifo — means "not quiescent".
+//  2. A component must subscribe() to every Fifo it pops from (or whose
+//     visible data can otherwise re-activate it).
+//  3. Any non-tick entry point that creates new work for a component
+//     (Processor::run, DmaEngine::push, Converter::accept_ar, ...) must
+//     call wake_self() / Kernel::wake().
+//
+// The default quiescent() returns false, so unconverted components are
+// simply ticked every cycle, exactly as before. set_gating(false) restores
+// the naive kernel wholesale (used by the equivalence tests and as the
+// perf-harness baseline).
 #pragma once
 
 #include <cassert>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <limits>
+#include <memory>
+#include <optional>
+#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace axipack::sim {
 
 using Cycle = std::uint64_t;
+
+class Kernel;
+class FifoBase;
 
 /// Anything the kernel ticks once per cycle.
 class Component {
@@ -36,13 +77,54 @@ class Component {
   virtual ~Component() = default;
   /// Advance one cycle: consume from input Fifos, produce into output Fifos.
   virtual void tick() = 0;
+  /// Activity hook: true iff tick() is a no-op now and stays one until new
+  /// input arrives (see the quiescence protocol in the file header).
+  virtual bool quiescent() const { return false; }
+
+ protected:
+  /// Marks this component runnable again; call from any non-tick entry
+  /// point that hands it new work. Safe before registration (no-op).
+  void wake_self();
+
+ private:
+  friend class Kernel;
+  Kernel* kernel_ = nullptr;
+  std::uint32_t comp_id_ = 0;
 };
 
-/// Non-template channel base so the kernel can commit them generically.
+/// Non-template channel base so the kernel can track occupancy/visibility
+/// without virtual dispatch.
 class FifoBase {
  public:
   virtual ~FifoBase() = default;
-  virtual void commit() = 0;
+
+  /// True if a visible (poppable) item exists at cycle `now`.
+  bool has_visible(Cycle now) const {
+    return size_ > 0 && head_visible_ <= now;
+  }
+
+ protected:
+  // Called by Fifo<T>; defined inline after Kernel.
+  void notify_push(Cycle visible_at);
+
+  std::size_t size_ = 0;       ///< items stored (visible or in flight)
+  Cycle head_visible_ = 0;     ///< visible_at of the head item (if size_>0)
+  Kernel* kernel_ = nullptr;
+
+ private:
+  friend class Kernel;
+  /// Subscribers currently asleep. Pushes only notify the kernel when this
+  /// is nonzero, so the steady-state (all consumers awake) push pays one
+  /// integer test; the count is maintained at sleep/wake transitions.
+  std::uint32_t asleep_subscribers_ = 0;
+  std::vector<std::uint32_t> subscribers_;   ///< component ids to wake on push
+};
+
+/// Completion + duration of a bounded run (see Kernel::run_until).
+struct RunStatus {
+  bool completed = false;  ///< the predicate fired before the deadline
+  Cycle cycles = 0;        ///< cycles consumed by this call
+  operator bool() const { return completed; }  // NOLINT: drop-in for bool
 };
 
 /// Owns the clock; ticks components, then commits channels.
@@ -51,43 +133,154 @@ class Kernel {
   Cycle now() const { return cycle_; }
 
   /// Registers a component (non-owning). Tick order = registration order.
-  void add(Component& c) { components_.push_back(&c); }
-  /// Registers a channel (non-owning).
-  void add(FifoBase& f) { fifos_.push_back(&f); }
+  void add(Component& c);
+  /// Binds a channel to this kernel's clock (non-owning; no per-channel
+  /// state is kept — commit walks are gone, visibility is per item).
+  void add(FifoBase& f);
+
+  /// Declares that `c` consumes from `f`: a sleeping `c` is woken when an
+  /// item pushed into `f` becomes visible. Both must be registered here.
+  void subscribe(Component& c, FifoBase& f);
+
+  /// Marks `c` runnable (idempotent). See Component::wake_self().
+  void wake(Component& c);
+
+  /// Disables/enables activity gating. With gating off the kernel ticks
+  /// every component and commits every Fifo each cycle (the naive, pre-
+  /// gating behaviour); results are cycle-identical either way.
+  void set_gating(bool on);
+  bool gating() const { return gating_; }
 
   /// Advances exactly one cycle.
   void step();
 
-  /// Advances `n` cycles.
+  /// Advances `n` cycles (fast-forwarding through fully-asleep stretches).
   void run(Cycle n);
 
+  /// How the run_until predicate interacts with the simulation.
+  enum class PredKind {
+    /// The predicate may drive the system (push/pop ports); it is invoked
+    /// once per cycle and idle fast-forward is disabled.
+    driving,
+    /// The predicate only observes simulator state; its value can change
+    /// only when a component runs, so fully-asleep stretches are skipped.
+    pure,
+  };
+
   /// Runs until `done()` returns true or `max_cycles` elapse from now.
-  /// Returns true iff the predicate fired (i.e. no timeout).
-  bool run_until(const std::function<bool()>& done,
-                 Cycle max_cycles = 100'000'000);
+  /// `done` is evaluated before the first step and after every step — never
+  /// twice for the same cycle. Returns completion plus cycles consumed.
+  RunStatus run_until(const std::function<bool()>& done,
+                      Cycle max_cycles = 100'000'000,
+                      PredKind kind = PredKind::driving);
 
  private:
+  friend class Component;
+  friend class FifoBase;
+
+  static constexpr Cycle kNever = std::numeric_limits<Cycle>::max();
+
+  void wake_id(std::uint32_t id) {
+    if (awake_[id]) return;
+    awake_[id] = 1;
+    ++awake_count_;
+    next_wake_[id] = kNever;
+    sleep_backoff_[id] = 0;
+    sleep_check_at_[id] = 0;
+    for (FifoBase* f : subs_[id]) --f->asleep_subscribers_;
+  }
+
+  /// Schedules a timed wake for a sleeping component, deduplicated: a wake
+  /// at or before `t` is already pending, or the component re-schedules
+  /// from its subscriptions when it goes back to sleep after that wake.
+  void schedule_wake(std::uint32_t id, Cycle t) {
+    if (awake_[id] || next_wake_[id] <= t) return;
+    wakes_.emplace(t, id);
+    next_wake_[id] = t;
+  }
+
+  /// Processes timed wake-ups due at the current cycle.
+  void service_wakes() {
+    while (!wakes_.empty() && wakes_.top().first <= cycle_) {
+      wake_id(wakes_.top().second);
+      wakes_.pop();
+    }
+  }
+
+  /// Sleeps component `i` if the protocol allows; schedules its next timed
+  /// wake from the pending (not-yet-visible) items on its subscriptions.
+  void try_sleep(std::uint32_t i);
+
+  /// Backs off the next sleep attempt after a failed one (1, 2, 4, ...
+  /// up to kMaxSleepBackoff cycles). Purely an overhead bound; a component
+  /// that stays awake longer just no-op-ticks like the naive kernel.
+  static constexpr Cycle kMaxSleepBackoff = 64;
+  /// Minimum nap length worth the sleep/wake bookkeeping.
+  static constexpr Cycle kMinSleepCycles = 8;
+  void defer_sleep_check(std::uint32_t i) {
+    const Cycle b = sleep_backoff_[i];
+    sleep_backoff_[i] = b == 0 ? 1 : (b < kMaxSleepBackoff ? b * 2 : b);
+    sleep_check_at_[i] = cycle_ + 1 + sleep_backoff_[i];
+  }
+
+  /// On-push notification from a subscribed Fifo.
+  void on_push(const std::vector<std::uint32_t>& subscribers,
+               Cycle visible_at) {
+    for (const std::uint32_t id : subscribers) {
+      schedule_wake(id, visible_at);
+    }
+  }
+
+  /// If everyone is asleep, jumps the clock to the next scheduled wake (or
+  /// `limit`) and returns true; returns false if any component is runnable.
+  bool fast_forward(Cycle limit);
+
   Cycle cycle_ = 0;
+  bool gating_ = true;
   std::vector<Component*> components_;
-  std::vector<FifoBase*> fifos_;
+  std::vector<std::uint8_t> awake_;               ///< parallel to components_
+  std::vector<Cycle> next_wake_;                  ///< earliest pending wake
+  std::vector<std::size_t> sub_hint_;             ///< try_sleep scan start
+  std::vector<Cycle> sleep_check_at_;             ///< next sleep attempt
+  std::vector<Cycle> sleep_backoff_;              ///< current backoff length
+  std::size_t awake_count_ = 0;
+  std::vector<std::vector<FifoBase*>> subs_;      ///< per-component inputs
+  std::priority_queue<std::pair<Cycle, std::uint32_t>,
+                      std::vector<std::pair<Cycle, std::uint32_t>>,
+                      std::greater<>>
+      wakes_;
 };
+
+inline void Component::wake_self() {
+  if (kernel_ != nullptr) kernel_->wake(*this);
+}
+
+inline void FifoBase::notify_push(Cycle visible_at) {
+  if (asleep_subscribers_ != 0) {
+    kernel_->on_push(subscribers_, visible_at);
+  }
+}
 
 /// Bounded FIFO channel with registered push/pop semantics (see file header).
 ///
 /// `latency` models pipeline stages between producer and consumer: an item is
 /// poppable `latency` cycles after the push. Capacity counts *all* items in
 /// flight, including those still inside the latency window.
+///
+/// Storage is a power-of-two ring buffer, so steady-state pushes never
+/// allocate; it starts small and doubles (amortized O(1)) only while the
+/// high-water mark is still growing toward `capacity`.
 template <typename T>
 class Fifo : public FifoBase {
  public:
   explicit Fifo(Kernel& k, std::size_t capacity, Cycle latency = 1,
                 std::string name = {})
-      : kernel_(&k),
-        capacity_(capacity),
-        latency_(latency),
-        name_(std::move(name)) {
+      : capacity_(capacity), latency_(latency), name_(std::move(name)) {
     assert(capacity_ > 0);
     assert(latency_ >= 1);
+    storage_ = round_up_pow2(capacity_ < kInitialStorage ? capacity_
+                                                         : kInitialStorage);
+    ring_ = std::make_unique<Slot[]>(storage_);
     k.add(*this);
   }
 
@@ -97,53 +290,111 @@ class Fifo : public FifoBase {
   /// True if a push is allowed this cycle. Space freed by pops this cycle is
   /// NOT counted (it becomes available next cycle).
   bool can_push() const {
-    return items_.size() + popped_this_cycle_ < capacity_;
+    return size_ + popped_this_cycle() < capacity_;
   }
 
   void push(T item) {
     assert(can_push());
-    items_.push_back(Slot{std::move(item), kernel_->now() + latency_});
+    if (size_ == storage_) grow();
+    const Cycle visible_at = now_() + latency_;
+    Slot& s = ring_[(head_ + size_) & (storage_ - 1)];
+    s.item = std::move(item);
+    s.visible_at = visible_at;
+    if (size_ == 0) head_visible_ = visible_at;
+    ++size_;
+    notify_push(visible_at);
+  }
+
+  /// push() iff can_push(); returns whether the item was accepted.
+  bool try_push(T item) {
+    if (!can_push()) return false;
+    push(std::move(item));
+    return true;
   }
 
   /// True if the head item is visible this cycle.
-  bool can_pop() const {
-    return !items_.empty() && items_.front().visible_at <= kernel_->now();
-  }
+  bool can_pop() const { return has_visible(now_()); }
 
   const T& front() const {
     assert(can_pop());
-    return items_.front().item;
+    return ring_[head_].item;
   }
 
   T pop() {
     assert(can_pop());
-    T item = std::move(items_.front().item);
-    items_.pop_front();
-    ++popped_this_cycle_;
+    T item = std::move(ring_[head_].item);
+    head_ = (head_ + 1) & (storage_ - 1);
+    --size_;
+    head_visible_ = size_ > 0 ? ring_[head_].visible_at : 0;
+    const Cycle now = now_();
+    if (last_pop_cycle_ == now) {
+      ++pops_at_last_cycle_;
+    } else {
+      last_pop_cycle_ = now;
+      pops_at_last_cycle_ = 1;
+    }
     return item;
   }
 
+  /// pop() iff can_pop(); disengaged when nothing is visible.
+  std::optional<T> try_pop() {
+    if (!can_pop()) return std::nullopt;
+    return pop();
+  }
+
   /// Number of items currently stored (visible or not).
-  std::size_t size() const { return items_.size(); }
-  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
   std::size_t capacity() const { return capacity_; }
   const std::string& name() const { return name_; }
 
-  void commit() override { popped_this_cycle_ = 0; }
-
  private:
+  static constexpr std::size_t kInitialStorage = 8;
+
   struct Slot {
     T item;
     Cycle visible_at;
   };
 
-  Kernel* kernel_;
+  static std::size_t round_up_pow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  Cycle now_() const;  // defined below (needs Kernel)
+
+  /// Space freed by a pop only becomes pushable the next cycle; the count
+  /// lapses lazily when the clock moves on (no per-cycle commit walk).
+  std::size_t popped_this_cycle() const {
+    return last_pop_cycle_ == now_() ? pops_at_last_cycle_ : 0;
+  }
+
+  void grow() {
+    const std::size_t bigger = storage_ * 2;
+    auto fresh = std::make_unique<Slot[]>(bigger);
+    for (std::size_t i = 0; i < size_; ++i) {
+      fresh[i] = std::move(ring_[(head_ + i) & (storage_ - 1)]);
+    }
+    ring_ = std::move(fresh);
+    storage_ = bigger;
+    head_ = 0;
+  }
+
   std::size_t capacity_;
   Cycle latency_;
   std::string name_;
-  std::deque<Slot> items_;
-  std::size_t popped_this_cycle_ = 0;
+  std::unique_ptr<Slot[]> ring_;
+  std::size_t storage_ = 0;  ///< allocated slots (power of two)
+  std::size_t head_ = 0;
+  Cycle last_pop_cycle_ = std::numeric_limits<Cycle>::max();
+  std::size_t pops_at_last_cycle_ = 0;
 };
+
+template <typename T>
+inline Cycle Fifo<T>::now_() const {
+  return kernel_->now();
+}
 
 /// Convenience: an effectively unbounded Fifo (for response paths whose
 /// occupancy is regulated elsewhere, e.g. by a request regulator).

@@ -2,7 +2,7 @@
 
 namespace axipack::sim {
 
-std::uint64_t Counters::get(const std::string& name) const {
+std::uint64_t Counters::get(std::string_view name) const {
   const auto it = values_.find(name);
   return it == values_.end() ? 0 : it->second;
 }

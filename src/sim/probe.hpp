@@ -8,26 +8,47 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 
 namespace axipack::sim {
 
 /// A bag of named monotonically increasing counters.
+///
+/// add() is on simulation hot paths (once or twice per bus beat), so
+/// lookups are transparent (heterogeneous) — incrementing an existing
+/// counter never materializes a std::string.
 class Counters {
  public:
-  void add(const std::string& name, std::uint64_t delta = 1) {
-    values_[name] += delta;
+  void add(std::string_view name, std::uint64_t delta = 1) {
+    const auto it = values_.find(name);
+    if (it != values_.end()) {
+      it->second += delta;
+    } else {
+      values_.emplace(std::string(name), delta);
+    }
+  }
+
+  /// Stable pointer to a counter's slot (created at 0 if new). Node-based
+  /// storage keeps the pointer valid for the Counters' lifetime; hot paths
+  /// cache it and increment directly instead of looking the name up.
+  std::uint64_t* handle(std::string_view name) {
+    const auto it = values_.find(name);
+    if (it != values_.end()) return &it->second;
+    return &values_.emplace(std::string(name), 0).first->second;
   }
 
   /// Value of `name` (0 if never touched).
-  std::uint64_t get(const std::string& name) const;
+  std::uint64_t get(std::string_view name) const;
 
   /// this - other, counter-wise (other must be an earlier snapshot).
   Counters diff(const Counters& earlier) const;
 
-  const std::map<std::string, std::uint64_t>& values() const { return values_; }
+  const std::map<std::string, std::uint64_t, std::less<>>& values() const {
+    return values_;
+  }
 
  private:
-  std::map<std::string, std::uint64_t> values_;
+  std::map<std::string, std::uint64_t, std::less<>> values_;
 };
 
 }  // namespace axipack::sim

@@ -49,6 +49,10 @@ class SystemBuilder {
   SystemBuilder& queue_depth(unsigned depth);
   /// Monitored link + protocol checker in front of the adapter (default on).
   SystemBuilder& monitor(bool on);
+  /// Builds the system on a naive (ungated) kernel: every component ticks
+  /// every cycle. Results are cycle-identical to the default gated kernel;
+  /// used by the equivalence tests and as the perf-harness baseline.
+  SystemBuilder& naive_kernel(bool on);
 
   // ---- memory backend --------------------------------------------------
   /// Selects a registered backend by name ("banked", "ideal", ...),
@@ -103,6 +107,7 @@ class SystemBuilder {
   std::uint64_t mem_size_ = 96ull << 20;
   unsigned queue_depth_ = 8;
   bool monitor_ = true;
+  bool naive_kernel_ = false;
   mem::MemoryBackendConfig mem_cfg_;
   pack::AdapterConfig adapter_cfg_;
   bool adapter_explicit_ = false;

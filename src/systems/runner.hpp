@@ -29,4 +29,17 @@ RunResult run_workload(const std::string& scenario,
 RunResult run_default(wl::KernelKind kernel, SystemKind kind,
                       unsigned bus_bits = 256, unsigned banks = 17);
 
+/// One point of a workload sweep.
+struct WorkloadJob {
+  std::string scenario;
+  wl::WorkloadConfig cfg;
+  bool naive_kernel = false;  ///< run this point on the ungated kernel
+};
+
+/// Runs every job (each an independent system + workload) on a SweepRunner
+/// thread pool; results come back in job order. `threads` = 0 picks the
+/// default (AXIPACK_THREADS or hardware concurrency); 1 forces serial.
+std::vector<RunResult> run_workloads(const std::vector<WorkloadJob>& jobs,
+                                     unsigned threads = 0);
+
 }  // namespace axipack::sys

@@ -6,10 +6,52 @@
 #include "axi/burst.hpp"
 #include "axi/types.hpp"
 #include "systems/builder.hpp"
+#include "systems/sweep.hpp"
 #include "systems/system.hpp"
 #include "util/rng.hpp"
 
 namespace axipack::sys {
+
+namespace {
+
+/// The ideal requestor of §III-E as a gate-safe component: pushes the
+/// prepared AR stream (one request per cycle, as AR-channel handshaking
+/// allows) and drains/accounts R beats. Quiescent once all requests are
+/// out — from then on only R traffic (subscribed) re-activates it.
+class StreamRequestor final : public sim::Component {
+ public:
+  StreamRequestor(sim::Kernel& k, axi::AxiPort& port,
+                  std::vector<axi::AxiAr> ars)
+      : port_(port), ars_(std::move(ars)) {
+    for (const axi::AxiAr& ar : ars_) beats_left_ += ar.beats();
+    k.add(*this);
+    k.subscribe(*this, port_.r);
+  }
+
+  void tick() override {
+    if (next_ar_ < ars_.size() && port_.ar.try_push(ars_[next_ar_])) {
+      ++next_ar_;
+    }
+    while (const auto beat = port_.r.try_pop()) {
+      payload_bytes_ += beat->useful_bytes;
+      --beats_left_;
+    }
+  }
+
+  bool quiescent() const override { return next_ar_ >= ars_.size(); }
+
+  bool done() const { return beats_left_ == 0; }
+  std::uint64_t payload_bytes() const { return payload_bytes_; }
+
+ private:
+  axi::AxiPort& port_;
+  std::vector<axi::AxiAr> ars_;
+  std::size_t next_ar_ = 0;
+  std::uint64_t beats_left_ = 0;
+  std::uint64_t payload_bytes_ = 0;
+};
+
+}  // namespace
 
 SensitivityResult measure_read_utilization(const SensitivityConfig& cfg) {
   constexpr std::uint64_t kBase = 0x8000'0000ull;
@@ -34,7 +76,8 @@ SensitivityResult measure_read_utilization(const SensitivityConfig& cfg) {
   SystemBuilder builder;
   builder.bus_bits(cfg.bus_bytes * 8)
       .mem_region(kBase, span + (1ull << 22))
-      .monitor(false);
+      .monitor(false)
+      .naive_kernel(cfg.naive_kernel);
   mem::MemoryBackendConfig mc;
   if (cfg.banks == 0) {
     mc.name = "ideal";
@@ -87,38 +130,35 @@ SensitivityResult measure_read_utilization(const SensitivityConfig& cfg) {
                                   cfg.bus_bytes);
   }
 
-  // Drive bursts back-to-back and count payload.
+  // Drive bursts back-to-back through the requestor component; the done
+  // predicate is a pure observation, so idle stretches fast-forward.
+  StreamRequestor driver(kernel, port, std::move(ars));
+  kernel.run_until([&] { return driver.done(); }, 50'000'000,
+                   sim::Kernel::PredKind::pure);
+
   SensitivityResult result;
-  std::size_t next_ar = 0;
-  std::uint64_t beats_left = 0;
-  for (const auto& ar : ars) beats_left += ar.beats();
-  const std::uint64_t start_losses =
-      system->memory_backend()->stats().conflict_losses;
-  kernel.run_until(
-      [&] {
-        if (next_ar < ars.size() && port.ar.can_push()) {
-          port.ar.push(ars[next_ar]);
-          ++next_ar;
-        }
-        while (port.r.can_pop()) {
-          const axi::AxiR beat = port.r.pop();
-          result.payload_bytes += beat.useful_bytes;
-          --beats_left;
-        }
-        return beats_left == 0;
-      },
-      50'000'000);
+  result.payload_bytes = driver.payload_bytes();
   result.cycles = kernel.now();
   result.r_util = static_cast<double>(result.payload_bytes) /
                   (static_cast<double>(result.cycles) * cfg.bus_bytes);
   result.bank_conflict_losses =
-      system->memory_backend()->stats().conflict_losses - start_losses;
+      system->memory_backend()->stats().conflict_losses;
   return result;
+}
+
+std::vector<SensitivityResult> measure_read_utilization_many(
+    const std::vector<SensitivityConfig>& cfgs, unsigned threads) {
+  std::vector<SensitivityResult> results(cfgs.size());
+  SweepRunner(threads).run_indexed(cfgs.size(), [&](std::size_t i) {
+    results[i] = measure_read_utilization(cfgs[i]);
+  });
+  return results;
 }
 
 double strided_util_avg(unsigned elem_bits, unsigned banks,
                         unsigned bus_bytes, unsigned max_stride) {
-  double sum = 0.0;
+  std::vector<SensitivityConfig> cfgs;
+  cfgs.reserve(max_stride + 1);
   for (unsigned s = 0; s <= max_stride; ++s) {
     SensitivityConfig cfg;
     cfg.bus_bytes = bus_bytes;
@@ -127,7 +167,11 @@ double strided_util_avg(unsigned elem_bits, unsigned banks,
     cfg.indirect = false;
     cfg.stride_elems = static_cast<std::int64_t>(s);
     cfg.num_bursts = 4;  // short steady-state run per stride
-    sum += measure_read_utilization(cfg).r_util;
+    cfgs.push_back(cfg);
+  }
+  double sum = 0.0;
+  for (const SensitivityResult& r : measure_read_utilization_many(cfgs)) {
+    sum += r.r_util;
   }
   return sum / (max_stride + 1);
 }

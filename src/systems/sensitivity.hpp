@@ -3,9 +3,15 @@
 // steady-state read-bus utilization, sweeping element size, index size and
 // bank count (Figs. 5a/5b). Decoupling queues are deepened to 32 "to avoid
 // bottlenecks unrelated to the analysis", as in the paper.
+//
+// The requestor is a sim::Component (not a run_until side effect), so the
+// gated kernel treats it like any other master and the sweep points run
+// unattended; multi-point entry points fan the independent points out over
+// a SweepRunner thread pool.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace axipack::sys {
 
@@ -21,6 +27,7 @@ struct SensitivityConfig {
   unsigned burst_beats = 256;
   unsigned num_bursts = 8;
   std::uint64_t seed = 1;
+  bool naive_kernel = false;  ///< equivalence testing: disable gating
 };
 
 struct SensitivityResult {
@@ -33,7 +40,13 @@ struct SensitivityResult {
 /// Runs the configured read stream to completion and reports utilization.
 SensitivityResult measure_read_utilization(const SensitivityConfig& cfg);
 
-/// Fig. 5b datapoint: utilization averaged across element strides 0..63.
+/// Sweep variant: measures every point on a SweepRunner thread pool
+/// (`threads` = 0 -> default pool size); results in input order.
+std::vector<SensitivityResult> measure_read_utilization_many(
+    const std::vector<SensitivityConfig>& cfgs, unsigned threads = 0);
+
+/// Fig. 5b datapoint: utilization averaged across element strides 0..63,
+/// with the per-stride runs spread over the thread pool.
 double strided_util_avg(unsigned elem_bits, unsigned banks,
                         unsigned bus_bytes = 32, unsigned max_stride = 63);
 

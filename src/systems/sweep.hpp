@@ -1,0 +1,86 @@
+// SweepRunner: a thread pool over independent simulations.
+//
+// Every figure-level sweep (fig3b-fig3e, the Fig. 5 sensitivity surfaces,
+// headline_summary) is N independent (system, workload) points; each point
+// builds its own Kernel/System/BackingStore, so points share no mutable
+// state and parallelize trivially. SweepRunner::map runs a vector of such
+// jobs across worker threads and returns the results in job order.
+//
+// Thread-safety contract: a job must not touch global mutable state. The
+// process-wide registries (ScenarioRegistry, BackendRegistry) are
+// initialized before the workers start and only read afterwards.
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace axipack::sys {
+
+class SweepRunner {
+ public:
+  /// `threads` = 0 picks the default: the AXIPACK_THREADS environment
+  /// variable if set, else std::thread::hardware_concurrency().
+  explicit SweepRunner(unsigned threads = 0)
+      : threads_(threads != 0 ? threads : default_threads()) {}
+
+  unsigned threads() const { return threads_; }
+
+  /// Hardware/environment default worker count (>= 1).
+  static unsigned default_threads() {
+    if (const char* env = std::getenv("AXIPACK_THREADS")) {
+      const long n = std::strtol(env, nullptr, 10);
+      if (n > 0) return static_cast<unsigned>(n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+  }
+
+  /// Runs all jobs on the pool and returns their results in job order.
+  /// Rethrows the first job exception (remaining jobs still complete).
+  template <typename R>
+  std::vector<R> map(const std::vector<std::function<R()>>& jobs) const {
+    std::vector<R> results(jobs.size());
+    run_indexed(jobs.size(), [&](std::size_t i) { results[i] = jobs[i](); });
+    return results;
+  }
+
+  /// Index-space variant: invokes `body(i)` for i in [0, n) on the pool.
+  void run_indexed(std::size_t n,
+                   const std::function<void(std::size_t)>& body) const {
+    if (n == 0) return;
+    const unsigned workers =
+        static_cast<unsigned>(n < threads_ ? n : threads_);
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < n; ++i) body(i);
+      return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    const auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= n) return;
+        try {
+          body(i);
+        } catch (...) {
+          if (!failed.exchange(true)) error = std::current_exception();
+        }
+      }
+    };
+    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+    if (failed.load()) std::rethrow_exception(error);
+  }
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace axipack::sys

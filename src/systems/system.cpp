@@ -31,6 +31,11 @@ SystemBuilder& SystemBuilder::monitor(bool on) {
   return *this;
 }
 
+SystemBuilder& SystemBuilder::naive_kernel(bool on) {
+  naive_kernel_ = on;
+  return *this;
+}
+
 SystemBuilder& SystemBuilder::memory(const std::string& backend_name) {
   assert(mem::BackendRegistry::instance().contains(backend_name));
   mem_cfg_.name = backend_name;
@@ -98,6 +103,7 @@ std::unique_ptr<System> SystemBuilder::build() const {
 // ------------------------------------------------------------- system
 
 System::System(const SystemBuilder& b) : bus_bytes_(b.bus_bits_ / 8) {
+  kernel_.set_gating(!b.naive_kernel_);
   store_ = std::make_unique<mem::BackingStore>(b.mem_base_, b.mem_size_);
 
   // Create one AXI port per fabric-attached master.
@@ -214,8 +220,11 @@ bool System::drained() const {
   return adapter_ == nullptr || adapter_->idle();
 }
 
-bool System::run_until_drained(sim::Cycle max_cycles) {
-  return kernel_.run_until([this] { return drained(); }, max_cycles);
+sim::RunStatus System::run_until_drained(sim::Cycle max_cycles) {
+  // drained() only observes simulator state, so the kernel may fast-forward
+  // through fully-asleep stretches between evaluations.
+  return kernel_.run_until([this] { return drained(); }, max_cycles,
+                           sim::Kernel::PredKind::pure);
 }
 
 RunResult System::run(const wl::WorkloadInstance& instance,
@@ -230,7 +239,7 @@ RunResult System::run(const wl::WorkloadInstance& instance,
       backend_ ? backend_->stats() : mem::MemoryBackendStats{};
 
   proc.run(instance.program);
-  const bool finished = run_until_drained(max_cycles);
+  const sim::RunStatus finished = run_until_drained(max_cycles);
   result.cycles = kernel_.now() - start;
   if (!finished) {
     result.error = "timeout";

@@ -49,6 +49,13 @@ class System {
   unsigned num_masters() const {
     return static_cast<unsigned>(masters_.size());
   }
+  /// Master-kind introspection (generic drivers, equivalence tests).
+  bool is_processor(MasterId id) const {
+    return id < masters_.size() && masters_[id].proc != nullptr;
+  }
+  bool is_dma(MasterId id) const {
+    return id < masters_.size() && masters_[id].dma != nullptr;
+  }
   /// The processor attached as master `id` (asserts kind).
   vproc::Processor& processor(MasterId id);
   /// The first attached processor (asserts one exists).
@@ -73,8 +80,9 @@ class System {
   /// idle; raw ports are caller-driven and always count as quiescent) and
   /// the adapter has drained.
   bool drained() const;
-  /// Advances until drained() or the deadline; true iff drained.
-  bool run_until_drained(sim::Cycle max_cycles = 200'000'000);
+  /// Advances until drained() or the deadline; truthy iff drained, and
+  /// carries the cycles consumed (sim::RunStatus converts to bool).
+  sim::RunStatus run_until_drained(sim::Cycle max_cycles = 200'000'000);
 
   /// Runs one workload on the first processor to completion (waiting for
   /// every other master to drain too) and verifies it.

@@ -63,14 +63,25 @@ float Rng::uniform(float lo, float hi) { return lo + (hi - lo) * uniform(); }
 std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
                                                            std::uint32_t k) {
   assert(k <= n);
-  // Floyd's algorithm: O(k) expected insertions.
+  // Floyd's algorithm: O(k) expected insertions. Membership goes through a
+  // bitmap so dense samples (k ~ n) stay O(k), not O(k^2); the draw
+  // sequence — and therefore the sampled set — is unchanged.
   std::vector<std::uint32_t> out;
   out.reserve(k);
+  std::vector<std::uint64_t> taken((n + 63) / 64, 0);
+  const auto test_and_set = [&taken](std::uint32_t v) {
+    std::uint64_t& word = taken[v >> 6];
+    const std::uint64_t bit = 1ull << (v & 63);
+    const bool was = (word & bit) != 0;
+    word |= bit;
+    return was;
+  };
   for (std::uint32_t j = n - k; j < n; ++j) {
     const auto t = static_cast<std::uint32_t>(below(j + 1));
-    if (std::find(out.begin(), out.end(), t) == out.end()) {
+    if (!test_and_set(t)) {
       out.push_back(t);
     } else {
+      test_and_set(j);
       out.push_back(j);
     }
   }

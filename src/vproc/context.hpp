@@ -85,6 +85,20 @@ struct ProcContext {
   mem::BackingStore* store = nullptr;  ///< functional memory image
   sim::Counters counters;
 
+  /// Cached counter slots for per-beat/per-element increments (hot paths).
+  struct Hot {
+    std::uint64_t* vlsu_ar;
+    std::uint64_t* vlsu_aw;
+    std::uint64_t* vlsu_beats_rx;
+    std::uint64_t* vlsu_bytes_rx;
+    std::uint64_t* vlsu_beats_tx;
+    std::uint64_t* vlsu_bytes_tx;
+    std::uint64_t* vfu_elems;
+    std::uint64_t* ideal_read_bytes;
+    std::uint64_t* ideal_index_bytes;
+    std::uint64_t* ideal_write_bytes;
+  } hot{};
+
   // Hazard tracking.
   std::array<OpRef, 32> producer_of{};  ///< last writer of each vreg
   std::array<int, 32> readers{};        ///< in-flight ops reading each vreg
@@ -105,8 +119,18 @@ struct ProcContext {
   unsigned ideal_budget = 0;
   std::uint64_t ideal_busy_words = 0;  ///< total words moved (utilization)
 
-  explicit ProcContext(const VProcConfig& c)
-      : cfg(c), vrf(c.vlmax) {}
+  explicit ProcContext(const VProcConfig& c) : cfg(c), vrf(c.vlmax) {
+    hot.vlsu_ar = counters.handle("vlsu.ar");
+    hot.vlsu_aw = counters.handle("vlsu.aw");
+    hot.vlsu_beats_rx = counters.handle("vlsu.beats_rx");
+    hot.vlsu_bytes_rx = counters.handle("vlsu.bytes_rx");
+    hot.vlsu_beats_tx = counters.handle("vlsu.beats_tx");
+    hot.vlsu_bytes_tx = counters.handle("vlsu.bytes_tx");
+    hot.vfu_elems = counters.handle("vfu.elems");
+    hot.ideal_read_bytes = counters.handle("ideal.read_bytes");
+    hot.ideal_index_bytes = counters.handle("ideal.index_bytes");
+    hot.ideal_write_bytes = counters.handle("ideal.write_bytes");
+  }
 
   /// Elements of `reg` safe to read this cycle (vlmax if no live producer).
   std::uint64_t avail_elems(int reg) const {

@@ -13,6 +13,10 @@ Processor::Processor(sim::Kernel& k, const VProcConfig& cfg,
   ctx_.store = &store;
   assert(cfg.mode == VlsuMode::ideal || port != nullptr);
   k.add(*this);
+  if (port != nullptr) {
+    k.subscribe(*this, port->r);
+    k.subscribe(*this, port->b);
+  }
 }
 
 void Processor::run(const VecProgram& program) {
@@ -21,6 +25,7 @@ void Processor::run(const VecProgram& program) {
   pc_ = 0;
   scalar_wait_ = 0;
   dispatch_wait_ = 0;
+  wake_self();
 }
 
 bool Processor::done() const {

@@ -37,6 +37,9 @@ class Processor final : public sim::Component {
   bool done() const;
 
   void tick() override;
+  /// Idle iff the program has drained: done() implies every unit's tick is
+  /// a no-op until run() hands over the next program (which wakes us).
+  bool quiescent() const override { return done(); }
 
   ProcContext& context() { return ctx_; }
   const sim::Counters& counters() const { return ctx_.counters; }

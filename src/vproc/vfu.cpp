@@ -75,7 +75,7 @@ void Vfu::execute_elems(Active& a, std::uint64_t count) {
   }
   a.done += count;
   if (a.op->op.vd >= 0) a.op->prod_elems = a.done;
-  ctx_.counters.add("vfu.elems", count);
+  *ctx_.hot.vfu_elems += count;
 }
 
 void Vfu::finish_reduction(Active& a) {

@@ -83,11 +83,10 @@ void LoadUnit::tick_issue() {
     if (!a.bursts.empty()) {
       if (a.next_burst >= a.bursts.size()) continue;
       if (outstanding_bursts_ >= ctx_.cfg.max_outstanding_bursts) return;
-      if (!port_->ar.can_push()) return;
-      port_->ar.push(a.bursts[a.next_burst]);
+      if (!port_->ar.try_push(a.bursts[a.next_burst])) return;
       ++a.next_burst;
       ++outstanding_bursts_;
-      ctx_.counters.add("vlsu.ar");
+      ++*ctx_.hot.vlsu_ar;
       return;
     }
     // Per-element narrow requests (base-mode strided / indexed).
@@ -107,7 +106,7 @@ void LoadUnit::tick_issue() {
     port_->ar.push(ar);
     ++a.elems_requested;
     ++outstanding_bursts_;
-    ctx_.counters.add("vlsu.ar");
+    ++*ctx_.hot.vlsu_ar;
     return;
   }
 }
@@ -134,7 +133,7 @@ void LoadUnit::tick_receive() {
     switch (v.kind) {
       case OpKind::vle: {
         const std::uint64_t cur = v.addr + 4 * a.elems_rx;
-        lane = static_cast<unsigned>(cur % ctx_.cfg.bus_bytes);
+        lane = static_cast<unsigned>(cur & (ctx_.cfg.bus_bytes - 1));
         cnt = std::min<std::uint64_t>((ctx_.cfg.bus_bytes - lane) / 4,
                                       v.vl - a.elems_rx);
         break;
@@ -145,14 +144,14 @@ void LoadUnit::tick_receive() {
           lane = 0;
           cnt = beat.useful_bytes / 4;  // packed payload
         } else {
-          lane = static_cast<unsigned>(elem_addr(a, a.elems_rx) %
-                                       ctx_.cfg.bus_bytes);
+          lane = static_cast<unsigned>(elem_addr(a, a.elems_rx) &
+                                       (ctx_.cfg.bus_bytes - 1));
           cnt = 1;
         }
         break;
       case OpKind::vluxei:
-        lane = static_cast<unsigned>(elem_addr(a, a.elems_rx) %
-                                     ctx_.cfg.bus_bytes);
+        lane = static_cast<unsigned>(elem_addr(a, a.elems_rx) &
+                                     (ctx_.cfg.bus_bytes - 1));
         cnt = 1;
         break;
       default:
@@ -168,8 +167,8 @@ void LoadUnit::tick_receive() {
     a.elems_rx += cnt;
     ++a.beats_rx;
     a.op->prod_elems = a.elems_rx;
-    ctx_.counters.add("vlsu.beats_rx");
-    ctx_.counters.add("vlsu.bytes_rx", cnt * 4);
+    ++*ctx_.hot.vlsu_beats_rx;
+    *ctx_.hot.vlsu_bytes_rx += cnt * 4;
     if (beat.last) {
       assert(outstanding_bursts_ > 0);
       --outstanding_bursts_;
@@ -203,9 +202,9 @@ void LoadUnit::tick_ideal() {
   ctx_.ideal_busy_words += n;
   a.op->prod_elems = a.elems_rx;
   if (v.traffic == axi::Traffic::index) {
-    ctx_.counters.add("ideal.index_bytes", n * 4);
+    *ctx_.hot.ideal_index_bytes += n * 4;
   } else {
-    ctx_.counters.add("ideal.read_bytes", n * 4);
+    *ctx_.hot.ideal_read_bytes += n * 4;
   }
 }
 
@@ -298,11 +297,10 @@ void StoreUnit::tick_issue_aw() {
     if (!a.bursts.empty()) {
       if (a.next_burst >= a.bursts.size()) continue;
       if (outstanding_b_ >= ctx_.cfg.store_max_outstanding_b) return;
-      if (!port_->aw.can_push()) return;
-      port_->aw.push(a.bursts[a.next_burst]);
+      if (!port_->aw.try_push(a.bursts[a.next_burst])) return;
       ++a.next_burst;
       ++outstanding_b_;
-      ctx_.counters.add("vlsu.aw");
+      ++*ctx_.hot.vlsu_aw;
       return;
     }
     // Per-element narrow writes (base-mode strided / indexed stores), paced
@@ -329,7 +327,7 @@ void StoreUnit::tick_issue_aw() {
     port_->aw.push(aw);
     ++a.next_burst;
     ++outstanding_b_;
-    ctx_.counters.add("vlsu.aw");
+    ++*ctx_.hot.vlsu_aw;
     return;
   }
 }
@@ -355,7 +353,7 @@ void StoreUnit::tick_issue_w() {
                                       aw.pack->num_elems - elems_before);
       } else {
         const std::uint64_t cur = v.addr + 4 * a.elems_tx;
-        lane = static_cast<unsigned>(cur % ctx_.cfg.bus_bytes);
+        lane = static_cast<unsigned>(cur & (ctx_.cfg.bus_bytes - 1));
         cnt = std::min<std::uint64_t>((ctx_.cfg.bus_bytes - lane) / 4,
                                       v.vl - a.elems_tx);
       }
@@ -383,7 +381,7 @@ void StoreUnit::tick_issue_w() {
       if (a.elems_tx >= a.next_burst) return;  // wait for matching AW
       if (ctx_.avail_elems(v.vs2) <= a.elems_tx) return;
       const std::uint64_t cur = elem_addr(a, a.elems_tx);
-      const unsigned lane = static_cast<unsigned>(cur % ctx_.cfg.bus_bytes);
+      const unsigned lane = static_cast<unsigned>(cur & (ctx_.cfg.bus_bytes - 1));
       const std::uint32_t value = read_elem(a, a.elems_tx);
       axi::place_bytes(beat.data, lane,
                        reinterpret_cast<const std::uint8_t*>(&value), 4);
@@ -400,15 +398,14 @@ void StoreUnit::tick_issue_w() {
     port_->w.push(beat);
     assert(ctx_.store_w_beats_left > 0);
     --ctx_.store_w_beats_left;
-    ctx_.counters.add("vlsu.beats_tx");
-    ctx_.counters.add("vlsu.bytes_tx", beat.useful_bytes);
+    ++*ctx_.hot.vlsu_beats_tx;
+    *ctx_.hot.vlsu_bytes_tx += beat.useful_bytes;
     return;
   }
 }
 
 void StoreUnit::tick_receive_b() {
-  if (!port_->b.can_pop()) return;
-  port_->b.pop();
+  if (!port_->b.try_pop()) return;
   assert(outstanding_b_ > 0);
   --outstanding_b_;
   for (Active& a : q_) {
@@ -445,7 +442,7 @@ void StoreUnit::tick_ideal() {
   }
   ctx_.ideal_budget -= static_cast<unsigned>(n);
   ctx_.ideal_busy_words += n;
-  ctx_.counters.add("ideal.write_bytes", n * 4);
+  *ctx_.hot.ideal_write_bytes += n * 4;
   if (a.elems_tx == v.vl && a.b_received == 0) {
     a.b_received = 1;  // mark complete
     --ctx_.stores_pending_w;
