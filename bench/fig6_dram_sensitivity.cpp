@@ -1,0 +1,116 @@
+// Fig. 6 (extension): packed-bus utilization over the DRAM backend as a
+// function of row-buffer locality and address-mapping policy.
+//
+// The paper evaluates AXI-Pack against on-chip banked SRAM; this sweep
+// re-runs the strided (ismt) and indirect (spmv) headline kernels on the
+// BASE and PACK SoCs over the cycle-level "dram" backend, sweeping the
+// row-buffer size (which moves the achieved row-hit ratio) under both
+// address-mapping policies.
+//
+// Measured shape (and the point of the figure): PACK's utilization and
+// speedup track the row-hit ratio — on strided kernels its wide packed
+// beats monetize large row buffers (speedup grows with row size, most
+// visibly under row-interleaved mapping where BASE serializes on one
+// bank), while on indirect kernels PACK's fine-grained index/gather
+// interleaving ping-pongs banks between regions and thrashes row buffers
+// that BASE's coarser per-region bursts keep warm. That thrash is the
+// experimental case for near-memory *index coalescing* (the authors'
+// follow-up work) on top of bus packing.
+//
+// All (system, workload, timing) points are independent: one SweepRunner
+// pass over the full grid.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mem/dram_timing.hpp"
+#include "systems/runner.hpp"
+#include "systems/scenario.hpp"
+#include "systems/sweep.hpp"
+
+namespace {
+
+using namespace axipack;
+
+struct Point {
+  sys::RunResult base;
+  sys::RunResult pack;
+};
+
+sys::RunResult run_one(sys::SystemKind kind, const mem::DramTimingConfig& t,
+                       wl::KernelKind kernel) {
+  sys::SystemBuilder b = sys::ScenarioRegistry::instance().builder(
+      sys::scenario_name(kind));
+  b.memory("dram").dram_timing(t);
+  auto cfg = sys::default_workload(kernel, kind);
+  cfg.n = 192;
+  cfg.nnz_per_row = 64;
+  return sys::run_workload(b, cfg);
+}
+
+void emit() {
+  bench::figure_header(
+      "Fig. 6", "DRAM row-buffer sensitivity (base-dram vs pack-dram)");
+  const unsigned row_words[] = {32, 64, 128, 256, 512};
+  const mem::DramMapping mappings[] = {mem::DramMapping::permuted,
+                                       mem::DramMapping::bank_interleaved,
+                                       mem::DramMapping::row_interleaved};
+  const wl::KernelKind kernels[] = {wl::KernelKind::ismt,
+                                    wl::KernelKind::spmv};
+
+  // Build the full independent job grid, then one thread-pool pass.
+  std::vector<std::function<Point()>> jobs;
+  for (const auto kernel : kernels) {
+    for (const auto mapping : mappings) {
+      for (const unsigned rw : row_words) {
+        jobs.push_back([kernel, mapping, rw] {
+          mem::DramTimingConfig t;
+          t.mapping = mapping;
+          t.row_words = rw;
+          Point p;
+          p.base = run_one(sys::SystemKind::base, t, kernel);
+          p.pack = run_one(sys::SystemKind::pack, t, kernel);
+          return p;
+        });
+      }
+    }
+  }
+  const std::vector<Point> points = sys::SweepRunner().map(jobs);
+
+  std::size_t j = 0;
+  bool all_correct = true;
+  for (const auto kernel : kernels) {
+    for (const auto mapping : mappings) {
+      std::printf("%s, %s mapping:\n", wl::kernel_name(kernel),
+                  mem::dram_mapping_name(mapping));
+      util::Table table({"row words", "pack hit%", "base hit%", "pack R-util",
+                         "base R-util", "speedup", "refresh stalls"});
+      for (const unsigned rw : row_words) {
+        const Point& p = points[j++];
+        all_correct = all_correct && p.base.correct && p.pack.correct;
+        table.row()
+            .cell(std::to_string(rw))
+            .cell(util::fmt_pct(p.pack.row_hit_ratio()))
+            .cell(util::fmt_pct(p.base.row_hit_ratio()))
+            .cell(util::fmt_pct(p.pack.r_util))
+            .cell(util::fmt_pct(p.base.r_util))
+            .cell(util::fmt(static_cast<double>(p.base.cycles) /
+                                static_cast<double>(p.pack.cycles),
+                            2) +
+                  "x")
+            .cell(std::to_string(p.pack.refresh_stall_cycles));
+      }
+      table.print(std::cout);
+      std::printf("\n");
+    }
+  }
+  std::printf("shape: PACK utilization/speedup track the row-hit ratio — "
+              "strided kernels monetize large rows, indirect kernels thrash "
+              "row buffers (the case for near-memory index coalescing)\n");
+  std::printf("all workloads verified: %s\n\n", all_correct ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return axipack::bench::run_bench_main(argc, argv, emit);
+}

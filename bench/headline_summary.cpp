@@ -28,12 +28,20 @@ void emit() {
   double peak_indirect_eff = 0.0;
   double ratio_sum = 0.0;
   bool all_correct = true;
-  // The 18 (kernel, system) points are independent: one sweep, thread pool.
+  // The 18 SRAM (kernel, system) points plus the 12 DRAM-endpoint points
+  // are independent: one sweep, thread pool.
   std::vector<sys::WorkloadJob> jobs;
   for (const auto kernel : kernels) {
     for (const auto kind : {sys::SystemKind::base, sys::SystemKind::pack,
                             sys::SystemKind::ideal}) {
       jobs.push_back({sys::scenario_name(kind),
+                      sys::default_workload(kernel, kind)});
+    }
+  }
+  const std::size_t dram_jobs_begin = jobs.size();
+  for (const auto kernel : kernels) {
+    for (const auto kind : {sys::SystemKind::base, sys::SystemKind::pack}) {
+      jobs.push_back({std::string(sys::system_name(kind)) + "-dram",
                       sys::default_workload(kernel, kind)});
     }
   }
@@ -83,6 +91,29 @@ void emit() {
       all_correct ? "yes" : "NO");
   table.print(std::cout);
   std::printf("\n");
+
+  // Same kernels over the cycle-level DRAM backend: where the packed bus
+  // meets row buffers and refresh instead of SRAM banks.
+  std::printf("DRAM endpoint (base-dram vs pack-dram, default timing):\n");
+  util::Table dram_table({"kernel", "speedup", "pack hit%", "base hit%",
+                          "pack R-util", "refresh stalls"});
+  bool dram_correct = true;
+  std::size_t d = dram_jobs_begin;
+  for (const auto kernel : kernels) {
+    const auto& base = results[d++];
+    const auto& pack = results[d++];
+    dram_correct = dram_correct && base.correct && pack.correct;
+    dram_table.row()
+        .cell(wl::kernel_name(kernel))
+        .cell(util::fmt(static_cast<double>(base.cycles) / pack.cycles, 2) +
+              "x")
+        .cell(util::fmt_pct(pack.row_hit_ratio()))
+        .cell(util::fmt_pct(base.row_hit_ratio()))
+        .cell(util::fmt_pct(pack.r_util))
+        .cell(std::to_string(pack.refresh_stall_cycles));
+  }
+  dram_table.print(std::cout);
+  std::printf("dram workloads verified: %s\n\n", dram_correct ? "yes" : "NO");
 }
 
 }  // namespace

@@ -23,6 +23,27 @@ MemoryBackendStats BankedBackend::stats() const {
   return s;
 }
 
+DramBackend::DramBackend(sim::Kernel& k, BackingStore& store,
+                         const MemoryBackendConfig& cfg) {
+  DramMemoryConfig mc;
+  mc.num_ports = cfg.num_ports;
+  mc.req_depth = cfg.req_depth;
+  mc.resp_depth = cfg.resp_depth;
+  mc.timing = cfg.dram;
+  memory_ = std::make_unique<DramMemory>(k, store, mc);
+}
+
+MemoryBackendStats DramBackend::stats() const {
+  const DramStats& d = memory_->stats();
+  MemoryBackendStats s;
+  s.grants = d.grants;
+  s.conflict_losses = d.conflict_losses;
+  s.row_hits = d.row_hits;
+  s.row_misses = d.row_misses;
+  s.refresh_stall_cycles = d.refresh_stall_cycles;
+  return s;
+}
+
 IdealBackend::IdealBackend(sim::Kernel& k, BackingStore& store,
                            const MemoryBackendConfig& cfg) {
   IdealMemoryConfig mc;
@@ -47,6 +68,10 @@ BackendRegistry::BackendRegistry() {
   add("ideal", [](sim::Kernel& k, BackingStore& store,
                   const MemoryBackendConfig& cfg) {
     return std::unique_ptr<MemoryBackend>(new IdealBackend(k, store, cfg));
+  });
+  add("dram", [](sim::Kernel& k, BackingStore& store,
+                 const MemoryBackendConfig& cfg) {
+    return std::unique_ptr<MemoryBackend>(new DramBackend(k, store, cfg));
   });
 }
 

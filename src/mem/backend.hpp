@@ -2,10 +2,10 @@
 //
 // A MemoryBackend owns the word-memory endpoint a system's AXI-Pack adapter
 // talks to and exposes backend-agnostic activity statistics, so systems can
-// swap the memory model (banked SRAM, conflict-free ideal, future
-// DRAM-timing models) without touching the fabric or the adapter. Backends
-// are created by name through the BackendRegistry, which ships with
-// "banked" and "ideal" and accepts project-local registrations.
+// swap the memory model without touching the fabric or the adapter.
+// Backends are created by name through the BackendRegistry, which ships
+// with "banked" (the paper's on-chip SRAM), "ideal" (conflict-free) and
+// "dram" (cycle-level DRAM timing) and accepts project-local registrations.
 #pragma once
 
 #include <functional>
@@ -15,6 +15,7 @@
 
 #include "mem/backing_store.hpp"
 #include "mem/banked_memory.hpp"
+#include "mem/dram_memory.hpp"
 #include "mem/ideal_memory.hpp"
 #include "mem/word.hpp"
 #include "sim/kernel.hpp"
@@ -22,7 +23,8 @@
 namespace axipack::mem {
 
 /// Backend-agnostic construction parameters. Fields a backend does not use
-/// (e.g. num_banks on "ideal") are ignored by it.
+/// (e.g. num_banks on "ideal", the dram timing block on "banked") are
+/// ignored by it.
 struct MemoryBackendConfig {
   std::string name = "banked";   ///< registry key
   unsigned num_ports = 8;        ///< word ports (= bus_bytes / 4)
@@ -30,13 +32,26 @@ struct MemoryBackendConfig {
   sim::Cycle latency = 1;        ///< access latency (SRAM or ideal)
   std::size_t req_depth = 2;     ///< per-port request FIFO depth
   std::size_t resp_depth = 64;   ///< per-port response FIFO depth
+  /// "dram" only: bank organization, address-mapping policy and the core
+  /// timing set. The derived data latencies are
+  ///   row hit   tCAS                 (open-row column access)
+  ///   closed    tRCD + tCAS          (activate first, e.g. after refresh)
+  ///   row miss  tRP + tRCD + tCAS    (precharge, activate, then access)
+  /// and every tREFI cycles an all-bank refresh blocks activates for tRFC
+  /// (tREFI = 0 disables refresh). See dram_timing.hpp for the field-level
+  /// documentation and defaults.
+  DramTimingConfig dram;
 };
 
 /// Activity counters every backend can report; backends without a concept
-/// of conflicts report zero losses.
+/// of conflicts (or of row buffers) report zeros for the fields they do not
+/// track.
 struct MemoryBackendStats {
   std::uint64_t grants = 0;
   std::uint64_t conflict_losses = 0;
+  std::uint64_t row_hits = 0;             ///< dram only
+  std::uint64_t row_misses = 0;           ///< dram only (activates)
+  std::uint64_t refresh_stall_cycles = 0; ///< dram only
 };
 
 /// One memory endpoint behind an adapter: the word memory plus uniform
@@ -62,6 +77,22 @@ class BankedBackend final : public MemoryBackend {
  private:
   std::string name_ = "banked";
   std::unique_ptr<BankedMemory> memory_;
+};
+
+/// Cycle-level DRAM timing model (off-chip endpoint; see dram_memory.hpp).
+class DramBackend final : public MemoryBackend {
+ public:
+  DramBackend(sim::Kernel& k, BackingStore& store,
+              const MemoryBackendConfig& cfg);
+  const std::string& name() const override { return name_; }
+  WordMemory& word_memory() override { return *memory_; }
+  MemoryBackendStats stats() const override;
+  DramMemory& dram() { return *memory_; }
+  const DramMemory& dram() const { return *memory_; }
+
+ private:
+  std::string name_ = "dram";
+  std::unique_ptr<DramMemory> memory_;
 };
 
 /// Conflict-free word memory (the Fig. 5 "ideal bank count" endpoint).

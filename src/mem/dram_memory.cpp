@@ -1,0 +1,234 @@
+#include "mem/dram_memory.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace axipack::mem {
+
+namespace {
+constexpr unsigned kNoBank = ~0u;
+}  // namespace
+
+const char* dram_mapping_name(DramMapping m) {
+  switch (m) {
+    case DramMapping::row_interleaved:
+      return "row-interleaved";
+    case DramMapping::bank_interleaved:
+      return "bank-interleaved";
+    case DramMapping::permuted:
+      return "permuted";
+  }
+  return "?";
+}
+
+DramMemory::DramMemory(sim::Kernel& k, BackingStore& store,
+                       const DramMemoryConfig& cfg)
+    : store_(store),
+      kernel_(k),
+      cfg_(cfg),
+      map_(cfg.timing.num_banks(), cfg.timing.row_words, cfg.timing.mapping),
+      banks_(cfg.timing.num_banks()),
+      rr_(cfg.timing.num_banks(), 0),
+      head_bank_(cfg.num_ports, kNoBank) {
+  assert(cfg.num_ports > 0);
+  assert(cfg.timing.num_banks() > 0 && cfg.timing.row_words > 0);
+  // The response channel needs at least one register stage.
+  assert(cfg.timing.tCAS >= 1 && cfg.timing.tCCD >= 1);
+  // Refresh liveness (tREFI == 0 disables refresh): between the end of one
+  // window and the start of the next there must be room for a full
+  // precharge-activate-column sequence, or every row cycle is deferred
+  // forever and the simulation hangs. A silent hang in assert-free builds
+  // is worse than an abort, so validate unconditionally.
+  const DramTimingConfig& t = cfg.timing;
+  if (t.tREFI != 0 && t.tRFC + t.tRP + t.tRCD >= t.tREFI) {
+    std::fprintf(stderr,
+                 "DramMemory: refresh interval tREFI=%llu leaves no room for "
+                 "a row cycle (tRFC=%llu + tRP=%llu + tRCD=%llu must be < "
+                 "tREFI)\n",
+                 static_cast<unsigned long long>(t.tREFI),
+                 static_cast<unsigned long long>(t.tRFC),
+                 static_cast<unsigned long long>(t.tRP),
+                 static_cast<unsigned long long>(t.tRCD));
+    std::abort();
+  }
+  ports_.reserve(cfg.num_ports);
+  for (unsigned i = 0; i < cfg.num_ports; ++i) {
+    // Response latency is per item (Fifo::push_in), so the channel's own
+    // latency parameter is the 1-cycle floor.
+    ports_.push_back(std::make_unique<WordPort>(k, cfg.req_depth,
+                                                cfg.resp_depth, 1));
+  }
+  k.add(*this);
+  for (auto& port : ports_) k.subscribe(*this, port->req);
+}
+
+void DramMemory::refresh_update(BankState& b, sim::Cycle now) {
+  const sim::Cycle trefi = cfg_.timing.tREFI;
+  if (trefi == 0) return;  // refresh disabled
+  const std::uint64_t epoch = now / trefi;
+  if (epoch == b.refresh_epoch) return;
+  // One or more all-bank refreshes started since this bank was last
+  // considered: the row buffer is precharged, and no activate may issue
+  // before the end of the latest window.
+  b.refresh_epoch = epoch;
+  b.row_open = false;
+  const sim::Cycle window_end = epoch * trefi + cfg_.timing.tRFC;
+  b.next_act = std::max(b.next_act, window_end);
+  b.refresh_block_until = window_end;
+}
+
+void DramMemory::grant(unsigned port_idx, unsigned bank_idx,
+                       DramGrant::Kind kind, sim::Cycle now) {
+  const DramTimingConfig& t = cfg_.timing;
+  BankState& bank = banks_[bank_idx];
+  WordPort& port = *ports_[port_idx];
+  WordReq req = port.req.pop();
+  const std::uint64_t row = map_.row_of(word_index(req.addr));
+
+  sim::Cycle col_time = now;   // cycle the column command issues
+  sim::Cycle data_delay = 0;   // grant -> response visibility
+  switch (kind) {
+    case DramGrant::Kind::hit:
+      data_delay = t.row_hit_latency();
+      ++stats_.row_hits;
+      break;
+    case DramGrant::Kind::closed:
+      // Activate now, column command after tRCD.
+      col_time = now + t.tRCD;
+      data_delay = t.closed_latency();
+      bank.act_at = now;
+      ++stats_.row_misses;
+      break;
+    case DramGrant::Kind::miss:
+      // Precharge now, activate after tRP, column after tRCD more.
+      col_time = now + t.tRP + t.tRCD;
+      data_delay = t.row_miss_latency();
+      bank.act_at = now + t.tRP;
+      ++stats_.row_misses;
+      break;
+  }
+  bank.row_open = true;
+  bank.open_row = row;
+  bank.next_col = col_time + t.tCCD;
+
+  WordResp resp;
+  resp.tag = req.tag;
+  resp.was_write = req.write;
+  if (req.write) {
+    store_.write_word(req.addr, req.wdata, req.wstrb);
+  } else {
+    resp.rdata = store_.read_u32(req.addr);
+  }
+  port.resp.push_in(resp, data_delay);
+  ++stats_.grants;
+  if (trace_ != nullptr) {
+    trace_->push_back({now, now + data_delay, port_idx, bank_idx, row,
+                       req.write, kind});
+  }
+}
+
+void DramMemory::tick() {
+  const unsigned n = static_cast<unsigned>(ports_.size());
+  const sim::Cycle now = kernel_.now();
+  // Gather the target bank of each port's head request.
+  unsigned active = 0;
+  for (unsigned p = 0; p < n; ++p) {
+    WordPort& port = *ports_[p];
+    if (port.req.has_visible(now) && port.resp.can_push()) {
+      head_bank_[p] = map_.bank_of(word_index(port.req.front().addr));
+      ++active;
+    } else {
+      head_bank_[p] = kNoBank;  // no request, or response-path backpressure
+    }
+  }
+  if (active == 0) return;
+
+  // Per-bank FR-FCFS-lite: among this bank's contenders, grant a *timing-
+  // legal* row hit first, else a timing-legal miss/closed access; ties
+  // break round-robin by port index (first contender at or after rr_[b]).
+  for (unsigned p = 0; p < n; ++p) {
+    const unsigned b = head_bank_[p];
+    if (b == kNoBank) continue;
+    BankState& bank = banks_[b];
+    refresh_update(bank, now);
+
+    const DramTimingConfig& t = cfg_.timing;
+    // An activate/column sequence must complete before the next refresh
+    // window opens — a controller never starts a row cycle it would have
+    // to interrupt for refresh.
+    const sim::Cycle no_col_from =
+        t.tREFI == 0 ? std::numeric_limits<sim::Cycle>::max()
+                     : (now / t.tREFI + 1) * t.tREFI;
+    bool refresh_deferred = false;
+    unsigned contenders = 0;
+    unsigned hit_first = kNoBank, hit_first_ge = kNoBank;
+    unsigned other_first = kNoBank, other_first_ge = kNoBank;
+    DramGrant::Kind other_kind = DramGrant::Kind::closed;
+    for (unsigned q = p; q < n; ++q) {
+      if (head_bank_[q] != b) continue;
+      ++contenders;
+      head_bank_[q] = kNoBank;  // consumed: bank b arbitrates once per cycle
+      const std::uint64_t row =
+          map_.row_of(word_index(ports_[q]->req.front().addr));
+      if (bank.row_open && bank.open_row == row) {
+        // Row hit: the column command issues immediately.
+        if (now < bank.next_col) continue;
+        if (hit_first == kNoBank) hit_first = q;
+        if (hit_first_ge == kNoBank && q >= rr_[b]) hit_first_ge = q;
+      } else if (!bank.row_open) {
+        // Closed bank: activate must be legal, and the column command it
+        // leads to must respect the bank's column spacing and finish
+        // before the next refresh window.
+        if (now + t.tRCD >= no_col_from) {
+          refresh_deferred = true;
+          continue;
+        }
+        if (now < bank.next_act || now + t.tRCD < bank.next_col) continue;
+        if (other_first == kNoBank) other_first = q;
+        if (other_first_ge == kNoBank && q >= rr_[b]) other_first_ge = q;
+        other_kind = DramGrant::Kind::closed;
+      } else {
+        // Row conflict: precharge is legal only tRAS after the activate
+        // that opened the current row, and the full precharge-activate-
+        // column sequence must clear the next refresh window.
+        if (now + t.tRP + t.tRCD >= no_col_from) {
+          refresh_deferred = true;
+          continue;
+        }
+        if (now < bank.act_at + t.tRAS || now < bank.next_act ||
+            now + t.tRP + t.tRCD < bank.next_col) {
+          continue;
+        }
+        if (other_first == kNoBank) other_first = q;
+        if (other_first_ge == kNoBank && q >= rr_[b]) other_first_ge = q;
+        other_kind = DramGrant::Kind::miss;
+      }
+    }
+
+    unsigned chosen = kNoBank;
+    DramGrant::Kind kind = DramGrant::Kind::hit;
+    if (hit_first != kNoBank) {
+      chosen = hit_first_ge != kNoBank ? hit_first_ge : hit_first;
+    } else if (other_first != kNoBank) {
+      chosen = other_first_ge != kNoBank ? other_first_ge : other_first;
+      kind = other_kind;
+    }
+    if (chosen == kNoBank) {
+      // Contenders exist but none is timing-legal this cycle; attribute
+      // the stall to refresh when the bank sits inside (or right behind)
+      // a refresh window, or deferred a row cycle to clear the next one.
+      if (now < bank.refresh_block_until || refresh_deferred) {
+        ++stats_.refresh_stall_cycles;
+      }
+      continue;
+    }
+    if (contenders > 1) stats_.conflict_losses += contenders - 1;
+    rr_[b] = (chosen + 1) % n;
+    grant(chosen, b, kind, now);
+  }
+}
+
+}  // namespace axipack::mem

@@ -1,0 +1,128 @@
+// Cycle-level DRAM timing model behind the word-port interface.
+//
+// DramMemory is the third memory endpoint (after banked SRAM and the ideal
+// conflict-free memory): n word ports in front of bank_groups x banks, each
+// bank with an open-row buffer, scheduled by a per-bank FR-FCFS-lite policy
+// (grantable row hits beat row misses; ties break round-robin by port, like
+// the SRAM crossbar). Accesses obey tRCD/tCAS/tRP/tRAS/tCCD and an all-bank
+// periodic refresh (tREFI/tRFC).
+//
+// Like BankXbar, the component is a *pure request server*: every grant
+// decision is a deterministic function of the visible port heads, the
+// current cycle and per-bank state that itself only changes on grants.
+// Timing is enforced lazily — banks keep "earliest next activate / next
+// column" cycles and refresh windows are derived arithmetically from the
+// clock — so nothing ever needs to tick while no request is pending, which
+// keeps the quiescence protocol trivially correct (quiescent() == true,
+// wake = request visibility). Variable access latency (hit vs miss) rides
+// on the response Fifo's per-item visibility (Fifo::push_in), so per-port
+// response order still equals request order, the property the adapter's
+// beat packers rely on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/backing_store.hpp"
+#include "mem/dram_timing.hpp"
+#include "mem/word.hpp"
+#include "sim/kernel.hpp"
+
+namespace axipack::mem {
+
+struct DramMemoryConfig {
+  unsigned num_ports = 8;
+  std::size_t req_depth = 2;   ///< per-port request FIFO depth
+  std::size_t resp_depth = 64; ///< per-port response FIFO depth
+  DramTimingConfig timing;
+};
+
+/// Activity counters of the DRAM model.
+struct DramStats {
+  std::uint64_t grants = 0;
+  std::uint64_t conflict_losses = 0;  ///< same-cycle same-bank contenders not granted
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;  ///< activates (open-row conflict or closed bank)
+  std::uint64_t refresh_stall_cycles = 0;  ///< bank-cycles head requests waited on refresh
+
+  double row_hit_ratio() const {
+    const std::uint64_t total = row_hits + row_misses;
+    return total == 0 ? 0.0 : static_cast<double>(row_hits) / total;
+  }
+};
+
+/// One granted access, recorded when a trace sink is attached (tests).
+struct DramGrant {
+  sim::Cycle cycle = 0;    ///< command-issue (grant) cycle
+  sim::Cycle data_at = 0;  ///< cycle the response becomes visible
+  unsigned port = 0;
+  unsigned bank = 0;
+  std::uint64_t row = 0;
+  bool write = false;
+  enum class Kind : std::uint8_t { hit, closed, miss } kind = Kind::hit;
+};
+
+class DramMemory final : public WordMemory, public sim::Component {
+ public:
+  DramMemory(sim::Kernel& k, BackingStore& store,
+             const DramMemoryConfig& cfg);
+
+  unsigned num_ports() const override {
+    return static_cast<unsigned>(ports_.size());
+  }
+  WordPort& port(unsigned i) override { return *ports_[i]; }
+
+  void tick() override;
+  /// Pure request server (see file header): all pending work is visible in
+  /// subscribed request Fifos, all timing state is evaluated lazily.
+  bool quiescent() const override { return true; }
+
+  const DramAddressMap& map() const { return map_; }
+  const DramTimingConfig& timing() const { return cfg_.timing; }
+  const DramStats& stats() const { return stats_; }
+
+  /// Attaches (or detaches, with nullptr) a per-grant trace sink. Test-only
+  /// observability; no recording when unset.
+  void set_trace(std::vector<DramGrant>* sink) { trace_ = sink; }
+
+ private:
+  struct BankState {
+    bool row_open = false;
+    std::uint64_t open_row = 0;
+    std::uint64_t refresh_epoch = 0;   ///< last tREFI epoch applied
+    sim::Cycle act_at = 0;             ///< cycle of the last activate
+    sim::Cycle next_act = 0;           ///< earliest next activate
+    sim::Cycle next_col = 0;           ///< earliest next column command
+    sim::Cycle refresh_block_until = 0;  ///< end of the last refresh window
+  };
+
+  std::uint64_t word_index(std::uint64_t addr) const {
+    return (addr - store_.base()) / kWordBytes;
+  }
+
+  /// Lazily applies any refresh windows that started since the bank was
+  /// last considered: the row is closed and activates are pushed past the
+  /// window's end.
+  void refresh_update(BankState& b, sim::Cycle now);
+
+  /// Serves `req` on bank `b` at cycle `now` (timing already validated):
+  /// performs the store access, pushes the response with the access's data
+  /// latency and updates bank/group timing state.
+  void grant(unsigned port_idx, unsigned bank_idx, DramGrant::Kind kind,
+             sim::Cycle now);
+
+  BackingStore& store_;
+  sim::Kernel& kernel_;
+  DramMemoryConfig cfg_;
+  DramAddressMap map_;
+  std::vector<std::unique_ptr<WordPort>> ports_;
+  std::vector<BankState> banks_;
+  std::vector<unsigned> rr_;  ///< per-bank round-robin pointer
+  DramStats stats_;
+  std::vector<DramGrant>* trace_ = nullptr;
+  // Per-tick scratch (hot path, allocated once).
+  std::vector<unsigned> head_bank_;  ///< port -> target bank (or kNoBank)
+};
+
+}  // namespace axipack::mem

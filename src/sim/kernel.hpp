@@ -293,10 +293,19 @@ class Fifo : public FifoBase {
     return size_ + popped_this_cycle() < capacity_;
   }
 
-  void push(T item) {
+  void push(T item) { push_in(std::move(item), latency_); }
+
+  /// push() with a per-item latency override: the item becomes visible
+  /// `delay` cycles from now (delay >= 1) instead of after the channel's
+  /// construction-time latency. Delivery order is still FIFO — an item
+  /// pushed behind a slower one waits for it — which is exactly the
+  /// in-order-per-port contract variable-latency memories (DRAM row hits
+  /// vs misses) need from their response channels.
+  void push_in(T item, Cycle delay) {
     assert(can_push());
+    assert(delay >= 1);
     if (size_ == storage_) grow();
-    const Cycle visible_at = now_() + latency_;
+    const Cycle visible_at = now_() + delay;
     Slot& s = ring_[(head_ + size_) & (storage_ - 1)];
     s.item = std::move(item);
     s.visible_at = visible_at;

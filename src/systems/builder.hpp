@@ -65,6 +65,10 @@ class SystemBuilder {
   SystemBuilder& memory(const mem::MemoryBackendConfig& cfg);
   SystemBuilder& banks(unsigned n);
   SystemBuilder& sram_latency(sim::Cycle cycles);
+  /// Overrides the "dram" backend's bank organization, mapping policy and
+  /// timing set (ignored by the other backends). Does not change which
+  /// backend is selected — pair with memory("dram").
+  SystemBuilder& dram_timing(const mem::DramTimingConfig& t);
 
   // ---- adapter tuning --------------------------------------------------
   /// Overrides the adapter configuration; `bus_bytes` is still derived from

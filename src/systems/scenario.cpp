@@ -69,6 +69,12 @@ std::optional<SystemBuilder> parse_scenario(const std::string& name) {
   }
   if (pos >= name.size() || name[pos] != '-') return std::nullopt;
   ++pos;
+  if (name.compare(pos, std::string::npos, "dram") == 0) {
+    // "{base|pack}-{bits}-dram": the paper SoC over the DRAM backend.
+    SystemBuilder b = soc_builder(kind, *bus_bits, 17);
+    b.memory("dram");
+    return b;
+  }
   const auto banks = parse_number(name, pos);
   if (!banks || *banks == 0 || pos + 1 != name.size() || name[pos] != 'b') {
     return std::nullopt;
@@ -90,6 +96,20 @@ ScenarioRegistry::ScenarioRegistry() {
       add({name, std::move(desc),
            [kind, bits] { return soc_builder(kind, bits, 17); }});
     }
+  }
+
+  // The paper SoCs in front of the cycle-level DRAM backend: where packing
+  // meets row buffers instead of SRAM banks.
+  for (const auto kind : {SystemKind::base, SystemKind::pack}) {
+    const std::string name = std::string(system_name(kind)) + "-dram";
+    add({name,
+         std::string(system_name(kind)) +
+             " SoC, 256-bit bus, cycle-level DRAM memory backend",
+         [kind] {
+           SystemBuilder b = soc_builder(kind, 256, 17);
+           b.memory("dram");
+           return b;
+         }});
   }
 
   add({"pack-256-idealmem",

@@ -10,10 +10,13 @@
 // paper's sweeps resolves without pre-registration:
 //
 //   {base|pack}-{64|128|256}-{N}b   e.g. pack-256-31b  (N = bank count)
+//   {base|pack}-{64|128|256}-dram   same SoC over the DRAM timing backend
 //   ideal-{64|128|256}              processor on exclusive ideal memory
 //
 // Fixed names:
 //
+//   base-dram           BASE SoC over the cycle-level "dram" backend
+//   pack-dram           PACK SoC over the cycle-level "dram" backend
 //   pack-256-idealmem   PACK pipeline over the conflict-free "ideal"
 //                       memory backend (adapter upper bound)
 //   dual-master-pack    vector processor + DMA engine sharing the xbar,

@@ -58,6 +58,11 @@ SystemBuilder& SystemBuilder::sram_latency(sim::Cycle cycles) {
   return *this;
 }
 
+SystemBuilder& SystemBuilder::dram_timing(const mem::DramTimingConfig& t) {
+  mem_cfg_.dram = t;
+  return *this;
+}
+
 SystemBuilder& SystemBuilder::adapter(const pack::AdapterConfig& cfg) {
   adapter_cfg_ = cfg;
   adapter_explicit_ = true;
@@ -275,6 +280,10 @@ RunResult System::run(const wl::WorkloadInstance& instance,
     result.bank_grants = now.grants - mem_start.grants;
     result.bank_conflict_losses =
         now.conflict_losses - mem_start.conflict_losses;
+    result.row_hits = now.row_hits - mem_start.row_hits;
+    result.row_misses = now.row_misses - mem_start.row_misses;
+    result.refresh_stall_cycles =
+        now.refresh_stall_cycles - mem_start.refresh_stall_cycles;
   }
   if (checker_) {
     result.protocol_violations = checker_->violations().size();

@@ -37,6 +37,17 @@ struct RunResult {
   axi::BusStats bus;       ///< monitored link traffic during the run
   std::uint64_t bank_grants = 0;
   std::uint64_t bank_conflict_losses = 0;
+  // Row-buffer behaviour of the "dram" backend (zero elsewhere).
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+  std::uint64_t refresh_stall_cycles = 0;
+
+  /// Fraction of dram accesses served from the open row (0 when the run
+  /// did not touch a dram backend).
+  double row_hit_ratio() const {
+    const std::uint64_t total = row_hits + row_misses;
+    return total == 0 ? 0.0 : static_cast<double>(row_hits) / total;
+  }
 };
 
 class System {

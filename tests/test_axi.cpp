@@ -1,6 +1,6 @@
 // AXI substrate tests: pack user encoding round-trips, burst splitting
 // rules (4 KiB / 256-beat), beat address math, link monitoring.
-#include <gtest/gtest.h>
+#include "test_common.hpp"
 
 #include "axi/burst.hpp"
 #include "axi/monitor.hpp"

@@ -1,0 +1,531 @@
+// Shared test harness for every test binary in tests/.
+//
+// A self-contained, dependency-free replacement for the googletest subset
+// this repo uses, so the suite builds anywhere the library builds (no
+// find_package(GTest), no system packages — the ASan/UBSan CI job and the
+// tier-1 build share one toolchain requirement). One header provides:
+//
+//   * TEST / TEST_F / TEST_P + INSTANTIATE_TEST_SUITE_P with
+//     testing::Values / testing::Combine / testing::Bool generators;
+//   * EXPECT_* / ASSERT_* comparison, boolean and floating-point macros
+//     with value printing and `<< "context"` message streaming;
+//   * a runner (main() is defined here — each test binary is one TU) that
+//     prints per-test pass/fail with failure file:line locations, counts
+//     executed assertions, and exits non-zero when anything failed;
+//   * `--filter=SUBSTR` and `--list` for local debugging.
+//
+// Fatal ASSERT_* macros return from the *current function*, exactly like
+// googletest: use them in void helpers or directly in test bodies.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace axitest {
+
+// ------------------------------------------------------------ value printing
+
+template <typename T, typename = void>
+struct is_streamable : std::false_type {};
+template <typename T>
+struct is_streamable<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                             << std::declval<const T&>())>>
+    : std::true_type {};
+
+template <typename T>
+void print_value(std::ostream& os, const T& v) {
+  if constexpr (std::is_same_v<T, bool>) {
+    os << (v ? "true" : "false");
+  } else if constexpr (std::is_enum_v<T>) {
+    os << static_cast<long long>(static_cast<std::underlying_type_t<T>>(v));
+  } else if constexpr (std::is_integral_v<T>) {
+    if constexpr (sizeof(T) == 1) {
+      os << +v;  // print char-sized integers numerically
+    } else {
+      os << v;
+    }
+  } else if constexpr (is_streamable<T>::value) {
+    os << v;
+  } else {
+    os << "<" << sizeof(T) << "-byte value>";
+  }
+}
+
+// ------------------------------------------------------------ global state
+
+struct RunState {
+  std::uint64_t assertions = 0;  ///< assertion macros executed
+  bool current_failed = false;
+  std::vector<std::string> failures;  ///< names of failed tests
+};
+
+inline RunState& state() {
+  static RunState s;
+  return s;
+}
+
+// ------------------------------------------------------------ failure plumbing
+
+/// Accumulates the user's `<< "context"` stream on a failing assertion.
+class Message {
+ public:
+  template <typename T>
+  Message& operator<<(const T& v) {
+    print_value(ss_, v);
+    return *this;
+  }
+  std::string str() const { return ss_.str(); }
+
+ private:
+  std::ostringstream ss_;
+};
+
+/// Reports one failure; the assignment operator exists so the macros can
+/// splice the user's streamed message in (`helper = Message() << ...`).
+class AssertHelper {
+ public:
+  AssertHelper(const char* file, int line, std::string summary)
+      : file_(file), line_(line), summary_(std::move(summary)) {}
+
+  void operator=(const Message& m) const {
+    state().current_failed = true;
+    std::printf("%s:%d: Failure\n%s%s%s\n", file_, line_, summary_.c_str(),
+                m.str().empty() ? "" : "\n", m.str().c_str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::string summary_;
+};
+
+/// Outcome of one evaluated check: truthy when it passed, otherwise carries
+/// the pre-rendered failure summary.
+struct CheckResult {
+  bool passed;
+  std::string summary;
+  explicit operator bool() const { return passed; }
+};
+
+// ------------------------------------------------------------ comparisons
+
+/// Integral comparisons across signedness use the value-correct std::cmp_*
+/// helpers (avoids -Wsign-compare and surprises); everything else uses the
+/// plain operator.
+template <typename T>
+inline constexpr bool is_cmp_int =
+    std::is_integral_v<T> && !std::is_same_v<T, bool> &&
+    !std::is_same_v<T, char> && !std::is_same_v<T, wchar_t> &&
+    !std::is_same_v<T, char16_t> && !std::is_same_v<T, char32_t>;
+
+template <typename A, typename B>
+inline constexpr bool use_cmp_int =
+    is_cmp_int<A> && is_cmp_int<B> &&
+    std::is_signed_v<A> != std::is_signed_v<B>;
+
+#define AXITEST_DEFINE_OP_(Name, op, cmp_fn)                        \
+  struct Name {                                                     \
+    static constexpr const char* text = #op;                        \
+    template <typename A, typename B>                               \
+    bool operator()(const A& a, const B& b) const {                 \
+      if constexpr (use_cmp_int<A, B>) return std::cmp_fn(a, b);    \
+      else return a op b;                                           \
+    }                                                               \
+  };
+AXITEST_DEFINE_OP_(OpEq, ==, cmp_equal)
+AXITEST_DEFINE_OP_(OpNe, !=, cmp_not_equal)
+AXITEST_DEFINE_OP_(OpLt, <, cmp_less)
+AXITEST_DEFINE_OP_(OpLe, <=, cmp_less_equal)
+AXITEST_DEFINE_OP_(OpGt, >, cmp_greater)
+AXITEST_DEFINE_OP_(OpGe, >=, cmp_greater_equal)
+#undef AXITEST_DEFINE_OP_
+
+template <typename Op, typename A, typename B>
+CheckResult check_cmp(const A& a, const B& b, const char* atxt,
+                      const char* btxt) {
+  ++state().assertions;
+  if (Op{}(a, b)) return {true, {}};
+  std::ostringstream ss;
+  ss << "Expected: (" << atxt << ") " << Op::text << " (" << btxt
+     << "), actual: ";
+  print_value(ss, a);
+  ss << " vs ";
+  print_value(ss, b);
+  return {false, ss.str()};
+}
+
+template <typename T>
+CheckResult check_bool(const T& value, const char* txt, bool expected) {
+  ++state().assertions;
+  if (static_cast<bool>(value) == expected) return {true, {}};
+  std::ostringstream ss;
+  ss << "Value of: " << txt << "\n  Actual: " << (expected ? "false" : "true")
+     << "\nExpected: " << (expected ? "true" : "false");
+  return {false, ss.str()};
+}
+
+inline CheckResult check_near(double a, double b, double tol,
+                              const char* atxt, const char* btxt) {
+  ++state().assertions;
+  if (std::fabs(a - b) <= tol) return {true, {}};
+  std::ostringstream ss;
+  ss << "The difference between " << atxt << " and " << btxt << " is "
+     << std::fabs(a - b) << ", which exceeds " << tol << " (" << a << " vs "
+     << b << ")";
+  return {false, ss.str()};
+}
+
+/// 4-ULP almost-equality on the biased (monotone) bit representation, the
+/// same definition googletest uses.
+template <typename F, typename Bits>
+bool almost_equal(F a, F b) {
+  if (std::isnan(a) || std::isnan(b)) return false;
+  constexpr Bits sign_bit = Bits{1} << (sizeof(F) * 8 - 1);
+  const auto biased = [](F f) {
+    Bits bits;
+    std::memcpy(&bits, &f, sizeof(F));
+    return (bits & sign_bit) ? ~bits + 1 : bits | sign_bit;
+  };
+  const Bits x = biased(a);
+  const Bits y = biased(b);
+  return (x >= y ? x - y : y - x) <= 4;
+}
+
+template <typename F, typename Bits>
+CheckResult check_float_eq(F a, F b, const char* atxt, const char* btxt) {
+  ++state().assertions;
+  if (almost_equal<F, Bits>(a, b)) return {true, {}};
+  std::ostringstream ss;
+  ss << "Expected near-equality of " << atxt << " and " << btxt << ", actual: "
+     << a << " vs " << b;
+  return {false, ss.str()};
+}
+
+// ------------------------------------------------------------ registration
+
+struct TestCase {
+  std::string name;
+  std::function<void()> body;
+};
+
+inline std::vector<TestCase>& registry() {
+  static std::vector<TestCase> tests;
+  return tests;
+}
+
+inline bool register_test(std::string name, std::function<void()> body) {
+  registry().push_back({std::move(name), std::move(body)});
+  return true;
+}
+
+/// Fixture base (the ::testing::Test shim). SetUp/TearDown are public so
+/// the runner can drive any fixture polymorphically.
+class Test {
+ public:
+  virtual ~Test() = default;
+  virtual void SetUp() {}
+  virtual void TearDown() {}
+};
+
+template <typename T>
+class TestWithParam : public Test {
+ public:
+  using ParamType = T;
+  const T& GetParam() const { return param_; }
+  /// Runner hook: installs the parameter before TestBody runs.
+  void InstallParam(const T& p) { param_ = p; }
+
+ private:
+  T param_;
+};
+
+/// Per-fixture list of TEST_P bodies awaiting INSTANTIATE_TEST_SUITE_P.
+/// TEST_P registers into it; INSTANTIATE (textually later in the same TU,
+/// so after it in static-init order) crosses patterns with parameters.
+template <typename Fixture>
+struct ParamPatterns {
+  struct Pattern {
+    const char* name;
+    std::function<void(const typename Fixture::ParamType&)> run;
+  };
+  static std::vector<Pattern>& get() {
+    static std::vector<Pattern> patterns;
+    return patterns;
+  }
+};
+
+template <typename Fixture>
+bool register_pattern(
+    const char* name,
+    std::function<void(const typename Fixture::ParamType&)> run) {
+  ParamPatterns<Fixture>::get().push_back({name, std::move(run)});
+  return true;
+}
+
+// ------------------------------------------------------------ generators
+
+template <typename... A>
+struct ValuesGen {
+  std::tuple<A...> items;
+  template <typename T>
+  std::vector<T> get() const {
+    std::vector<T> out;
+    out.reserve(sizeof...(A));
+    std::apply(
+        [&](const A&... a) { (out.push_back(static_cast<T>(a)), ...); },
+        items);
+    return out;
+  }
+};
+
+template <typename... A>
+ValuesGen<std::decay_t<A>...> Values(A&&... a) {
+  return {std::tuple<std::decay_t<A>...>(std::forward<A>(a)...)};
+}
+
+struct BoolGen {
+  template <typename T>
+  std::vector<T> get() const {
+    return {static_cast<T>(false), static_cast<T>(true)};
+  }
+};
+inline BoolGen Bool() { return {}; }
+
+template <std::size_t I, typename T, typename Lists>
+void cartesian_fill(std::vector<T>& out, const Lists& lists, T& current) {
+  if constexpr (I == std::tuple_size_v<Lists>) {
+    out.push_back(current);
+  } else {
+    for (const auto& v : std::get<I>(lists)) {
+      std::get<I>(current) = v;
+      cartesian_fill<I + 1>(out, lists, current);
+    }
+  }
+}
+
+template <typename... G>
+struct CombineGen {
+  std::tuple<G...> gens;
+
+  template <typename T>
+  std::vector<T> get() const {
+    return get_impl<T>(std::make_index_sequence<sizeof...(G)>{});
+  }
+
+ private:
+  template <typename T, std::size_t... I>
+  std::vector<T> get_impl(std::index_sequence<I...>) const {
+    auto lists = std::make_tuple(
+        std::get<I>(gens).template get<std::tuple_element_t<I, T>>()...);
+    std::vector<T> out;
+    T current{};
+    cartesian_fill<0>(out, lists, current);
+    return out;
+  }
+};
+
+template <typename... G>
+CombineGen<std::decay_t<G>...> Combine(G&&... g) {
+  return {std::tuple<std::decay_t<G>...>(std::forward<G>(g)...)};
+}
+
+/// What the optional INSTANTIATE name-generator lambda receives.
+template <typename T>
+struct TestParamInfo {
+  T param;
+  std::size_t index;
+};
+
+template <typename Fixture, typename Gen, typename Namer>
+bool instantiate(const char* prefix, const char* fixture, const Gen& gen,
+                 const Namer& namer) {
+  if (ParamPatterns<Fixture>::get().empty()) {
+    // Unlike a silent no-op (parameterized tests vanishing with a green
+    // run), surface the misuse as a failing test: INSTANTIATE must come
+    // textually after its TEST_P bodies.
+    register_test(
+        std::string(prefix) + "/" + fixture + ".MisorderedInstantiation",
+        [msg = std::string("INSTANTIATE_TEST_SUITE_P(") + prefix + ", " +
+               fixture + ", ...) matched no TEST_P bodies — it must appear "
+               "after the TEST_P definitions in the same file"] {
+          AssertHelper("tests/test_common.hpp", 0, msg) = Message();
+        });
+    return false;
+  }
+  const auto values = gen.template get<typename Fixture::ParamType>();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::string suffix =
+        namer(TestParamInfo<typename Fixture::ParamType>{values[i], i});
+    for (const auto& pattern : ParamPatterns<Fixture>::get()) {
+      register_test(std::string(prefix) + "/" + fixture + "." + pattern.name +
+                        "/" + suffix,
+                    [run = pattern.run, v = values[i]] { run(v); });
+    }
+  }
+  return true;
+}
+
+template <typename Fixture, typename Gen>
+bool instantiate(const char* prefix, const char* fixture, const Gen& gen) {
+  return instantiate<Fixture>(
+      prefix, fixture, gen,
+      [](const auto& info) { return std::to_string(info.index); });
+}
+
+// ------------------------------------------------------------ runner
+
+inline int run_all_tests(int argc, char** argv) {
+  std::string filter;
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--filter=", 9) == 0) {
+      filter = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      list_only = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--filter=SUBSTR] [--list]\n", argv[0]);
+      return 2;
+    }
+  }
+  auto& tests = registry();
+  if (list_only) {
+    for (const auto& t : tests) std::printf("%s\n", t.name.c_str());
+    return 0;
+  }
+  std::uint64_t ran = 0;
+  for (const auto& t : tests) {
+    if (!filter.empty() && t.name.find(filter) == std::string::npos) continue;
+    std::printf("[ RUN      ] %s\n", t.name.c_str());
+    state().current_failed = false;
+    t.body();
+    ++ran;
+    if (state().current_failed) {
+      state().failures.push_back(t.name);
+      std::printf("[  FAILED  ] %s\n", t.name.c_str());
+    } else {
+      std::printf("[       OK ] %s\n", t.name.c_str());
+    }
+  }
+  auto& st = state();
+  std::printf("\n%llu/%llu tests passed, %llu assertions executed\n",
+              static_cast<unsigned long long>(ran - st.failures.size()),
+              static_cast<unsigned long long>(ran),
+              static_cast<unsigned long long>(st.assertions));
+  if (ran == 0 && !filter.empty()) {
+    std::printf("FAILED: filter \"%s\" matched no tests\n", filter.c_str());
+    return 1;
+  }
+  for (const auto& name : st.failures) {
+    std::printf("FAILED: %s\n", name.c_str());
+  }
+  return st.failures.empty() ? 0 : 1;
+}
+
+}  // namespace axitest
+
+// gtest-compatible spellings used across tests/.
+namespace testing {
+using ::axitest::Bool;
+using ::axitest::Combine;
+using ::axitest::Test;
+using ::axitest::TestWithParam;
+using ::axitest::Values;
+}  // namespace testing
+
+// ------------------------------------------------------------ macros
+
+/// Hardens the `if`-based macros against dangling-else ambiguity.
+#define AXITEST_BLOCK_ switch (0) case 0: default:  // NOLINT
+
+#define AXITEST_CHECK_(result_expr, fatal_kw)                                \
+  AXITEST_BLOCK_                                                             \
+  if (const ::axitest::CheckResult axitest_result_ = (result_expr))          \
+    ;                                                                        \
+  else                                                                       \
+    fatal_kw ::axitest::AssertHelper(__FILE__, __LINE__,                     \
+                                     axitest_result_.summary) =              \
+        ::axitest::Message()
+
+#define EXPECT_TRUE(c) AXITEST_CHECK_(::axitest::check_bool((c), #c, true), )
+#define EXPECT_FALSE(c) AXITEST_CHECK_(::axitest::check_bool((c), #c, false), )
+#define ASSERT_TRUE(c) \
+  AXITEST_CHECK_(::axitest::check_bool((c), #c, true), return)
+#define ASSERT_FALSE(c) \
+  AXITEST_CHECK_(::axitest::check_bool((c), #c, false), return)
+
+#define AXITEST_CMP_(Op, a, b, fatal_kw) \
+  AXITEST_CHECK_(::axitest::check_cmp<::axitest::Op>((a), (b), #a, #b), \
+                 fatal_kw)
+#define EXPECT_EQ(a, b) AXITEST_CMP_(OpEq, a, b, )
+#define EXPECT_NE(a, b) AXITEST_CMP_(OpNe, a, b, )
+#define EXPECT_LT(a, b) AXITEST_CMP_(OpLt, a, b, )
+#define EXPECT_LE(a, b) AXITEST_CMP_(OpLe, a, b, )
+#define EXPECT_GT(a, b) AXITEST_CMP_(OpGt, a, b, )
+#define EXPECT_GE(a, b) AXITEST_CMP_(OpGe, a, b, )
+#define ASSERT_EQ(a, b) AXITEST_CMP_(OpEq, a, b, return)
+#define ASSERT_NE(a, b) AXITEST_CMP_(OpNe, a, b, return)
+
+#define EXPECT_NEAR(a, b, tol) \
+  AXITEST_CHECK_(::axitest::check_near((a), (b), (tol), #a, #b), )
+#define EXPECT_FLOAT_EQ(a, b)                                             \
+  AXITEST_CHECK_(                                                         \
+      (::axitest::check_float_eq<float, std::uint32_t>((a), (b), #a, #b)), )
+#define EXPECT_DOUBLE_EQ(a, b)                                              \
+  AXITEST_CHECK_(                                                           \
+      (::axitest::check_float_eq<double, std::uint64_t>((a), (b), #a, #b)), )
+
+#define TEST(Suite, Name)                                                  \
+  static void axitest_##Suite##_##Name##_body();                           \
+  static const bool axitest_##Suite##_##Name##_registered =                \
+      ::axitest::register_test(#Suite "." #Name,                           \
+                               &axitest_##Suite##_##Name##_body);          \
+  static void axitest_##Suite##_##Name##_body()
+
+#define TEST_F(Fixture, Name)                                              \
+  class AxitestFixture_##Fixture##_##Name : public Fixture {               \
+   public:                                                                 \
+    void TestBody();                                                       \
+  };                                                                       \
+  static const bool axitest_f_##Fixture##_##Name##_registered =            \
+      ::axitest::register_test(#Fixture "." #Name, [] {                    \
+        AxitestFixture_##Fixture##_##Name t;                               \
+        t.SetUp();                                                         \
+        t.TestBody();                                                      \
+        t.TearDown();                                                      \
+      });                                                                  \
+  void AxitestFixture_##Fixture##_##Name::TestBody()
+
+#define TEST_P(Fixture, Name)                                              \
+  class AxitestParam_##Fixture##_##Name : public Fixture {                 \
+   public:                                                                 \
+    void TestBody();                                                       \
+  };                                                                       \
+  static const bool axitest_p_##Fixture##_##Name##_registered =            \
+      ::axitest::register_pattern<Fixture>(                                \
+          #Name, [](const Fixture::ParamType& p) {                         \
+            AxitestParam_##Fixture##_##Name t;                             \
+            t.InstallParam(p);                                             \
+            t.SetUp();                                                     \
+            t.TestBody();                                                  \
+            t.TearDown();                                                  \
+          });                                                              \
+  void AxitestParam_##Fixture##_##Name::TestBody()
+
+#define INSTANTIATE_TEST_SUITE_P(Prefix, Fixture, ...)                     \
+  static const bool axitest_i_##Prefix##_##Fixture##_registered =          \
+      ::axitest::instantiate<Fixture>(#Prefix, #Fixture, __VA_ARGS__)
+
+// Each test binary is a single translation unit; the harness supplies its
+// entry point (define AXITEST_NO_MAIN first to opt out).
+#ifndef AXITEST_NO_MAIN
+int main(int argc, char** argv) { return ::axitest::run_all_tests(argc, argv); }
+#endif

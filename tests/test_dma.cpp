@@ -1,7 +1,7 @@
 // DMA engine tests: descriptor wire format, gather/scatter correctness in
 // pack and narrow modes, in-memory descriptor chains, streaming overlap,
 // and the "pack never slower" property.
-#include <gtest/gtest.h>
+#include "test_common.hpp"
 
 #include <cstring>
 #include <memory>

@@ -1,0 +1,395 @@
+// DRAM timing-model tests: address-mapping policies, timing-constraint
+// legality (every granted command sequence respects tRCD/tCAS/tRP/tRAS/tCCD
+// and the refresh windows), refresh-window guarantees, row-hit/miss stat
+// accounting, and in-order variable-latency responses.
+#include "test_common.hpp"
+
+#include <map>
+#include <set>
+#include <memory>
+#include <vector>
+
+#include "mem/backing_store.hpp"
+#include "mem/dram_memory.hpp"
+#include "mem/dram_timing.hpp"
+#include "util/rng.hpp"
+#include "word_driver.hpp"
+
+namespace axipack::mem {
+namespace {
+
+constexpr std::uint64_t kBase = 0x8000'0000ull;
+
+// ---------------------------------------------------------------- mapping
+
+TEST(DramAddressMap, RowInterleavedFillsARowBeforeSwitchingBanks) {
+  // 4 banks x 8-word rows: words 0..7 -> bank 0 row 0, words 8..15 ->
+  // bank 1 row 0, ..., words 32..39 -> bank 0 row 1.
+  DramAddressMap map(4, 8, DramMapping::row_interleaved);
+  for (std::uint64_t w = 0; w < 8; ++w) {
+    EXPECT_EQ(map.bank_of(w), 0u) << "word " << w;
+    EXPECT_EQ(map.row_of(w), 0u);
+    EXPECT_EQ(map.column_of(w), static_cast<unsigned>(w));
+  }
+  EXPECT_EQ(map.bank_of(8), 1u);
+  EXPECT_EQ(map.bank_of(31), 3u);
+  EXPECT_EQ(map.bank_of(32), 0u);
+  EXPECT_EQ(map.row_of(32), 1u);
+  EXPECT_EQ(map.column_of(33), 1u);
+}
+
+TEST(DramAddressMap, BankInterleavedRotatesBanksPerWord) {
+  // 4 banks x 8-word rows: consecutive words rotate across banks; each
+  // bank's row fills every 4th word.
+  DramAddressMap map(4, 8, DramMapping::bank_interleaved);
+  for (std::uint64_t w = 0; w < 16; ++w) {
+    EXPECT_EQ(map.bank_of(w), static_cast<unsigned>(w % 4)) << "word " << w;
+  }
+  EXPECT_EQ(map.row_of(0), 0u);
+  EXPECT_EQ(map.column_of(4), 1u);   // second in-row word of bank 0
+  EXPECT_EQ(map.row_of(31), 0u);     // 31/4 = 7 < 8 -> still row 0
+  EXPECT_EQ(map.row_of(32), 1u);     // 32/4 = 8 -> row 1
+}
+
+TEST(DramAddressMap, PoliciesCoverAllBanks) {
+  for (const auto policy :
+       {DramMapping::row_interleaved, DramMapping::bank_interleaved,
+        DramMapping::permuted}) {
+    DramAddressMap map(16, 32, policy);
+    std::vector<bool> seen(16, false);
+    for (std::uint64_t w = 0; w < 16 * 32; ++w) seen[map.bank_of(w)] = true;
+    for (unsigned b = 0; b < 16; ++b) {
+      EXPECT_TRUE(seen[b]) << dram_mapping_name(policy) << " bank " << b;
+    }
+  }
+}
+
+TEST(DramAddressMap, PermutedCoversEveryBankPerAlignedBlock) {
+  // Within one aligned 16-word block the fold's upper terms are constant,
+  // so a wide sequential beat still engages every bank exactly once.
+  DramAddressMap map(16, 512, DramMapping::permuted);
+  for (std::uint64_t block = 0; block < 64; ++block) {
+    std::set<unsigned> banks;
+    for (std::uint64_t w = 0; w < 16; ++w) {
+      banks.insert(map.bank_of(block * 16 + w));
+    }
+    EXPECT_EQ(banks.size(), 16u) << "block " << block;
+  }
+}
+
+TEST(DramAddressMap, PermutedBreaksPowerOfTwoStridePathology) {
+  // The DRAM analogue of the paper's Fig. 5b prime-bank argument: plain
+  // bank interleaving collapses power-of-two word strides onto one bank;
+  // XOR folding spreads them out. (DRAM bank counts are powers of two, so
+  // the SRAM trick of a prime bank count is not available.)
+  DramAddressMap plain(16, 512, DramMapping::bank_interleaved);
+  DramAddressMap permuted(16, 512, DramMapping::permuted);
+  for (const std::uint64_t stride : {16ull, 256ull, 4096ull}) {
+    std::set<unsigned> plain_banks;
+    std::set<unsigned> permuted_banks;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      plain_banks.insert(plain.bank_of(i * stride));
+      permuted_banks.insert(permuted.bank_of(i * stride));
+    }
+    EXPECT_EQ(plain_banks.size(), 1u) << "stride " << stride;
+    EXPECT_GE(permuted_banks.size(), 8u) << "stride " << stride;
+  }
+}
+
+// ---------------------------------------------------------------- harness
+
+/// Small driving harness around the shared replay loop (word_driver.hpp):
+/// enqueue per-port requests, then run() until every response arrived.
+struct DramHarness {
+  explicit DramHarness(const DramMemoryConfig& cfg)
+      : store(kBase, 1 << 22), mem(kernel, store, cfg) {
+    mem.set_trace(&trace);
+    pending.resize(cfg.num_ports);
+    for (std::uint32_t i = 0; i < (1u << 16); ++i) {
+      store.write_u32(kBase + 4ull * i, i * 2654435761u);
+    }
+  }
+
+  void enqueue(unsigned port, std::uint64_t addr, bool write = false,
+               std::uint32_t wdata = 0) {
+    WordReq req;
+    req.addr = addr;
+    req.write = write;
+    req.wdata = wdata;
+    req.wstrb = 0xF;
+    req.tag = static_cast<std::uint32_t>(pending[port].size());
+    pending[port].push_back(req);
+  }
+
+  /// Runs until every enqueued request has a response. Returns false on
+  /// deadline (a scheduler deadlock).
+  bool run(sim::Cycle max_cycles = 2'000'000) {
+    return testutil::replay_word_requests(kernel, mem, pending, responses,
+                                          max_cycles);
+  }
+
+  sim::Kernel kernel;
+  BackingStore store;
+  DramMemory mem;
+  std::vector<DramGrant> trace;
+  std::vector<std::vector<WordReq>> pending;
+  std::vector<std::vector<WordResp>> responses;
+};
+
+/// Strict, easily-distinguishable timing set for the legality checks.
+DramMemoryConfig strict_cfg() {
+  DramMemoryConfig cfg;
+  cfg.num_ports = 4;
+  cfg.timing.bank_groups = 2;
+  cfg.timing.banks_per_group = 2;
+  cfg.timing.row_words = 16;
+  cfg.timing.tRCD = 5;
+  cfg.timing.tCAS = 4;
+  cfg.timing.tRP = 6;
+  cfg.timing.tRAS = 20;
+  cfg.timing.tCCD = 3;
+  cfg.timing.tREFI = 400;
+  cfg.timing.tRFC = 60;
+  return cfg;
+}
+
+/// Validates every timing rule a grant trace can violate; `what` labels
+/// failures. All command times are reconstructed from the grant records:
+/// hit -> column at grant; closed -> activate at grant, column tRCD later;
+/// miss -> precharge at grant, activate tRP later, column tRCD after that.
+void check_trace_legality(const std::vector<DramGrant>& trace,
+                          const DramTimingConfig& t, const char* what) {
+  struct BankView {
+    bool seen = false;
+    std::uint64_t open_row = 0;
+    sim::Cycle act_at = 0;
+    sim::Cycle last_col = 0;
+    sim::Cycle last_grant = 0;
+  };
+  std::map<unsigned, BankView> banks;
+  const auto in_refresh_window = [&](sim::Cycle c) {
+    return t.tREFI != 0 && c >= t.tREFI && (c % t.tREFI) < t.tRFC;
+  };
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const DramGrant& g = trace[i];
+    BankView& b = banks[g.bank];
+    sim::Cycle act = 0;
+    sim::Cycle col = 0;
+    switch (g.kind) {
+      case DramGrant::Kind::hit:
+        col = g.cycle;
+        ASSERT_TRUE(b.seen) << what << ": grant " << i
+                            << " hits a never-opened bank";
+        EXPECT_EQ(b.open_row, g.row) << what << ": grant " << i;
+        // A refresh between the opening grant and this one would have
+        // closed the row.
+        if (t.tREFI != 0) {
+          EXPECT_EQ(g.cycle / t.tREFI, b.last_grant / t.tREFI)
+              << what << ": grant " << i << " hit across a refresh";
+        }
+        break;
+      case DramGrant::Kind::closed:
+        act = g.cycle;
+        col = g.cycle + t.tRCD;
+        break;
+      case DramGrant::Kind::miss:
+        act = g.cycle + t.tRP;
+        col = g.cycle + t.tRP + t.tRCD;
+        ASSERT_TRUE(b.seen) << what << ": grant " << i
+                            << " misses a never-opened bank";
+        EXPECT_NE(b.open_row, g.row) << what << ": grant " << i;
+        // Precharge legality: tRAS since the activate that opened the row.
+        EXPECT_GE(g.cycle, b.act_at + t.tRAS) << what << ": grant " << i;
+        break;
+    }
+    EXPECT_EQ(g.data_at, col + t.tCAS) << what << ": grant " << i;
+    if (b.seen) {
+      EXPECT_GE(col, b.last_col + t.tCCD)
+          << what << ": grant " << i << " violates tCCD on bank " << g.bank;
+    }
+    if (g.kind != DramGrant::Kind::hit) {
+      EXPECT_FALSE(in_refresh_window(act))
+          << what << ": grant " << i << " activates inside a refresh window";
+      // tRCD held between this activate and its column command.
+      EXPECT_EQ(col, act + t.tRCD) << what << ": grant " << i;
+      b.act_at = act;
+      b.open_row = g.row;
+    }
+    EXPECT_FALSE(in_refresh_window(col))
+        << what << ": grant " << i << " issues a column inside a refresh";
+    b.last_col = col;
+    b.last_grant = g.cycle;
+    b.seen = true;
+  }
+}
+
+// ---------------------------------------------------------------- legality
+
+TEST(DramTiming, RandomTrafficObeysAllConstraints) {
+  for (const auto policy :
+       {DramMapping::row_interleaved, DramMapping::bank_interleaved,
+        DramMapping::permuted}) {
+    DramMemoryConfig cfg = strict_cfg();
+    cfg.timing.mapping = policy;
+    DramHarness h(cfg);
+    util::Rng rng(7 + static_cast<std::uint64_t>(policy));
+    // A small region (few rows per bank) maximizes hit/miss/conflict mix.
+    for (int i = 0; i < 600; ++i) {
+      const unsigned port = static_cast<unsigned>(rng.below(cfg.num_ports));
+      const std::uint64_t word = rng.below(4 * 16 * 6);  // ~6 rows per bank
+      const bool write = rng.below(4) == 0;
+      h.enqueue(port, kBase + 4 * word, write,
+                static_cast<std::uint32_t>(rng.next()));
+    }
+    ASSERT_TRUE(h.run()) << dram_mapping_name(policy);
+    ASSERT_EQ(h.trace.size(), 600u);
+    check_trace_legality(h.trace, cfg.timing, dram_mapping_name(policy));
+  }
+}
+
+TEST(DramTiming, SameBankStreamRespectsTccd) {
+  DramMemoryConfig cfg = strict_cfg();
+  cfg.timing.mapping = DramMapping::row_interleaved;
+  cfg.timing.tREFI = 0;  // isolate tCCD from refresh noise
+  DramHarness h(cfg);
+  // 32 accesses inside one 16-word row: row-interleaved, all in bank 0.
+  for (int i = 0; i < 32; ++i) h.enqueue(0, kBase + 4ull * (i % 16));
+  ASSERT_TRUE(h.run());
+  ASSERT_EQ(h.trace.size(), 32u);
+  for (std::size_t i = 1; i < h.trace.size(); ++i) {
+    EXPECT_EQ(h.trace[i].bank, h.trace[0].bank);
+    const sim::Cycle col_prev =
+        h.trace[i - 1].data_at - cfg.timing.tCAS;
+    const sim::Cycle col = h.trace[i].data_at - cfg.timing.tCAS;
+    EXPECT_GE(col, col_prev + cfg.timing.tCCD) << "grant " << i;
+  }
+}
+
+TEST(DramTiming, RefreshClosesRowsAndStallsTraffic) {
+  DramMemoryConfig cfg = strict_cfg();
+  cfg.timing.mapping = DramMapping::row_interleaved;
+  DramHarness h(cfg);
+  // Saturate one bank for several refresh intervals.
+  for (int i = 0; i < 900; ++i) h.enqueue(0, kBase + 4ull * (i % 16));
+  ASSERT_TRUE(h.run());
+  check_trace_legality(h.trace, cfg.timing, "refresh stream");
+  // The stream crossed refresh windows: some accesses re-opened the row
+  // behind a refresh (closed kind, not the first), and stall cycles were
+  // attributed.
+  std::uint64_t closed = 0;
+  for (const auto& g : h.trace) {
+    if (g.kind == DramGrant::Kind::closed) ++closed;
+  }
+  EXPECT_GT(closed, 1u);
+  EXPECT_GT(h.mem.stats().refresh_stall_cycles, 0u);
+  // No grant's data returns inside the window either (the sequence is
+  // scheduled entirely before or after it).
+  for (const auto& g : h.trace) {
+    const sim::Cycle col = g.data_at - cfg.timing.tCAS;
+    EXPECT_FALSE(col >= cfg.timing.tREFI &&
+                 (col % cfg.timing.tREFI) < cfg.timing.tRFC)
+        << "column command inside refresh window";
+  }
+}
+
+TEST(DramTiming, DisabledRefreshNeverStalls) {
+  DramMemoryConfig cfg = strict_cfg();
+  cfg.timing.mapping = DramMapping::row_interleaved;  // one bank, one row
+  cfg.timing.tREFI = 0;
+  DramHarness h(cfg);
+  for (int i = 0; i < 900; ++i) h.enqueue(0, kBase + 4ull * (i % 16));
+  ASSERT_TRUE(h.run());
+  EXPECT_EQ(h.mem.stats().refresh_stall_cycles, 0u);
+  // One activate to open the row, everything else streams as hits.
+  EXPECT_EQ(h.mem.stats().row_misses, 1u);
+  EXPECT_EQ(h.mem.stats().row_hits, 899u);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(DramStats, HitsPlusMissesEqualsGrantsAndMatchTrace) {
+  DramMemoryConfig cfg = strict_cfg();
+  DramHarness h(cfg);
+  util::Rng rng(99);
+  for (int i = 0; i < 400; ++i) {
+    h.enqueue(static_cast<unsigned>(rng.below(cfg.num_ports)),
+              kBase + 4 * rng.below(1024), rng.below(3) == 0,
+              static_cast<std::uint32_t>(rng.next()));
+  }
+  ASSERT_TRUE(h.run());
+  const DramStats& s = h.mem.stats();
+  EXPECT_EQ(s.grants, 400u);
+  EXPECT_EQ(s.row_hits + s.row_misses, s.grants);
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (const auto& g : h.trace) {
+    if (g.kind == DramGrant::Kind::hit) {
+      ++hits;
+    } else {
+      ++misses;
+    }
+  }
+  EXPECT_EQ(s.row_hits, hits);
+  EXPECT_EQ(s.row_misses, misses);
+  EXPECT_GT(s.row_hits, 0u);
+  EXPECT_GT(s.row_misses, 0u);
+}
+
+TEST(DramStats, MappingPolicyShapesRowHitRatio) {
+  // One long sequential stream on one port: row-interleaved keeps one bank
+  // streaming its row (high hit ratio); bank-interleaved touches every
+  // bank but still walks each bank's row in order — both should be hit-
+  // heavy, and *neither* may disagree with the trace-derived ratio.
+  for (const auto policy :
+       {DramMapping::row_interleaved, DramMapping::bank_interleaved}) {
+    DramMemoryConfig cfg = strict_cfg();
+    cfg.timing.mapping = policy;
+    cfg.timing.tREFI = 0;
+    DramHarness h(cfg);
+    for (int i = 0; i < 512; ++i) h.enqueue(0, kBase + 4ull * i);
+    ASSERT_TRUE(h.run()) << dram_mapping_name(policy);
+    const DramStats& s = h.mem.stats();
+    // Row-interleaved: one activate per 16-word row = 32 misses.
+    // Bank-interleaved: one activate per bank per 64-word span = 32 too
+    // (4 banks x 16-word rows cover 64 words).
+    EXPECT_EQ(s.row_misses, 512u / cfg.timing.row_words);
+    EXPECT_GT(s.row_hit_ratio(), 0.9) << dram_mapping_name(policy);
+  }
+}
+
+// ---------------------------------------------------------------- ordering
+
+TEST(DramOrdering, VariableLatencyResponsesStayInRequestOrder) {
+  DramMemoryConfig cfg = strict_cfg();
+  cfg.timing.tREFI = 0;
+  // Port 0 alternates rows within one bank (row-interleaved): latencies
+  // differ between hits and misses, response order must not.
+  cfg.timing.mapping = DramMapping::row_interleaved;
+  DramHarness h(cfg);
+  for (int i = 0; i < 24; ++i) {
+    const std::uint64_t row = static_cast<std::uint64_t>(i % 3);
+    h.enqueue(0, kBase + 4ull * (row * 16 + static_cast<std::uint64_t>(i)));
+  }
+  ASSERT_TRUE(h.run());
+  ASSERT_EQ(h.responses[0].size(), 24u);
+  for (std::uint32_t i = 0; i < 24; ++i) {
+    EXPECT_EQ(h.responses[0][i].tag, i) << "response " << i;
+  }
+}
+
+TEST(DramOrdering, ReadsReturnStoreContentsAndWritesLand) {
+  DramMemoryConfig cfg = strict_cfg();
+  DramHarness h(cfg);
+  h.enqueue(0, kBase + 4 * 100);                       // read original
+  h.enqueue(0, kBase + 4 * 100, true, 0xDEADBEEF);     // overwrite
+  h.enqueue(0, kBase + 4 * 100);                       // read back
+  ASSERT_TRUE(h.run());
+  ASSERT_EQ(h.responses[0].size(), 3u);
+  EXPECT_EQ(h.responses[0][0].rdata, 100u * 2654435761u);
+  EXPECT_TRUE(h.responses[0][1].was_write);
+  EXPECT_EQ(h.responses[0][2].rdata, 0xDEADBEEFu);
+  EXPECT_EQ(h.store.read_u32(kBase + 4 * 100), 0xDEADBEEFu);
+}
+
+}  // namespace
+}  // namespace axipack::mem

@@ -1,6 +1,6 @@
 // Area/timing/power model tests: the analytical models must reproduce every
 // published calibration point and behave sanely between them.
-#include <gtest/gtest.h>
+#include "test_common.hpp"
 
 #include "energy/area_model.hpp"
 #include "energy/power_model.hpp"

@@ -1,6 +1,6 @@
 // Interconnect IP tests: AXI crossbar routing/ordering with multiple
 // masters and slaves, and the width converter's regular + pack re-packing.
-#include <gtest/gtest.h>
+#include "test_common.hpp"
 
 #include <cstring>
 #include <memory>

@@ -4,7 +4,7 @@
 // ticked every cycle) for every registered scenario and for the sensitivity
 // harness — cycle counts, utilizations, bus/bank statistics, everything a
 // figure could be built from.
-#include <gtest/gtest.h>
+#include "test_common.hpp"
 
 #include <cstdint>
 #include <string>
@@ -30,6 +30,9 @@ struct Snapshot {
   std::uint64_t protocol_violations = 0;
   std::uint64_t bank_grants = 0;
   std::uint64_t bank_conflict_losses = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+  std::uint64_t refresh_stall_cycles = 0;
   std::uint64_t r_beats = 0;
   std::uint64_t r_payload_bytes = 0;
   std::uint64_t w_beats = 0;
@@ -46,6 +49,9 @@ struct Snapshot {
     s.protocol_violations = r.protocol_violations;
     s.bank_grants = r.bank_grants;
     s.bank_conflict_losses = r.bank_conflict_losses;
+    s.row_hits = r.row_hits;
+    s.row_misses = r.row_misses;
+    s.refresh_stall_cycles = r.refresh_stall_cycles;
     s.r_beats = r.bus.r_beats;
     s.r_payload_bytes = r.bus.r_payload_bytes;
     s.w_beats = r.bus.w_beats;
@@ -63,6 +69,9 @@ void expect_identical(const Snapshot& naive, const Snapshot& gated,
   EXPECT_EQ(naive.protocol_violations, gated.protocol_violations) << what;
   EXPECT_EQ(naive.bank_grants, gated.bank_grants) << what;
   EXPECT_EQ(naive.bank_conflict_losses, gated.bank_conflict_losses) << what;
+  EXPECT_EQ(naive.row_hits, gated.row_hits) << what;
+  EXPECT_EQ(naive.row_misses, gated.row_misses) << what;
+  EXPECT_EQ(naive.refresh_stall_cycles, gated.refresh_stall_cycles) << what;
   EXPECT_EQ(naive.r_beats, gated.r_beats) << what;
   EXPECT_EQ(naive.r_payload_bytes, gated.r_payload_bytes) << what;
   EXPECT_EQ(naive.w_beats, gated.w_beats) << what;
@@ -148,13 +157,24 @@ TEST(KernelEquivalence, EveryRegisteredScenario) {
 }
 
 TEST(KernelEquivalence, ParametricFamilyMembers) {
-  // Parsed (not pre-registered) family points, covering the narrow buses.
+  // Parsed (not pre-registered) family points, covering the narrow buses
+  // and the DRAM backend (base-dram/pack-dram themselves are registered and
+  // already covered by EveryRegisteredScenario).
   for (const std::string name :
-       {"base-64-9b", "pack-64-9b", "pack-128-31b", "ideal-128"}) {
+       {"base-64-9b", "pack-64-9b", "pack-128-31b", "ideal-128",
+        "pack-64-dram", "base-128-dram"}) {
     const Snapshot naive = drive_scenario(name, /*naive=*/true);
     const Snapshot gated = drive_scenario(name, /*naive=*/false);
     expect_identical(naive, gated, name);
   }
+}
+
+TEST(KernelEquivalence, DramRowStatsAreExercised) {
+  // Guard against the dram equivalence checks passing vacuously: the gated
+  // run of a dram scenario must actually accumulate row-buffer activity.
+  const Snapshot gated = drive_scenario("pack-dram", /*naive=*/false);
+  EXPECT_GT(gated.row_hits + gated.row_misses, 0u);
+  EXPECT_EQ(gated.row_hits + gated.row_misses, gated.bank_grants);
 }
 
 TEST(KernelEquivalence, EveryHeadlineWorkloadKind) {

@@ -1,6 +1,6 @@
 // Banked-memory tests: backing store semantics, interleaved bank mapping,
 // conflict arbitration, fixed-latency ordering, ideal memory.
-#include <gtest/gtest.h>
+#include "test_common.hpp"
 
 #include <memory>
 #include <set>

@@ -5,7 +5,7 @@
 // ID-based response routing, W-ordering across masters, fairness, and
 // correctness of concurrent irregular streams. All fabrics are assembled
 // through SystemBuilder's master attach points.
-#include <gtest/gtest.h>
+#include "test_common.hpp"
 
 #include <memory>
 #include <vector>

@@ -2,7 +2,7 @@
 // (regular bursts, strided gather/scatter, indirect gather/scatter with all
 // index sizes), ordering across converters, and randomized property sweeps
 // comparing packed payloads against reference gathers.
-#include <gtest/gtest.h>
+#include "test_common.hpp"
 
 #include <algorithm>
 #include <cstring>

@@ -2,7 +2,7 @@
 // (pack::Regulator) unit tests: the slot/lane/beat arithmetic every
 // converter relies on, with emphasis on partial final beats, and the
 // per-lane in-flight accounting that bounds decoupling-queue occupancy.
-#include <gtest/gtest.h>
+#include "test_common.hpp"
 
 #include "pack/converter.hpp"
 

@@ -3,7 +3,7 @@
 // checker, and backpressure injection (a randomly stalling consumer) — the
 // simulation analogue of RTL verification with protocol assertions and
 // randomized ready signals.
-#include <gtest/gtest.h>
+#include "test_common.hpp"
 
 #include <cstring>
 #include <memory>

@@ -1,7 +1,7 @@
 // ScenarioRegistry and SystemBuilder topology tests: every registered
 // scenario must build, parametric names must parse, memory backends must be
 // pluggable, and the dual-master scenario's run results must be exact.
-#include <gtest/gtest.h>
+#include "test_common.hpp"
 
 #include <algorithm>
 #include <memory>
@@ -98,7 +98,41 @@ TEST(MemoryBackends, RegistryListsBuiltins) {
   auto& reg = mem::BackendRegistry::instance();
   EXPECT_TRUE(reg.contains("banked"));
   EXPECT_TRUE(reg.contains("ideal"));
-  EXPECT_FALSE(reg.contains("dram"));
+  EXPECT_TRUE(reg.contains("dram"));
+  EXPECT_FALSE(reg.contains("hbm3-someday"));
+}
+
+TEST(MemoryBackends, DramScenariosRunEndToEnd) {
+  // base-dram / pack-dram resolve through the registry, execute a real
+  // workload over the DRAM timing model, and report row-buffer stats.
+  auto& reg = ScenarioRegistry::instance();
+  ASSERT_TRUE(reg.contains("base-dram"));
+  ASSERT_TRUE(reg.contains("pack-dram"));
+  for (const auto kind : {SystemKind::base, SystemKind::pack}) {
+    const std::string name = std::string(system_name(kind)) + "-dram";
+    auto cfg = sys::default_workload(wl::KernelKind::ismt, kind);
+    cfg.n = 64;
+    const auto r = sys::run_workload(name, cfg);
+    EXPECT_TRUE(r.correct) << name << ": " << r.error;
+    EXPECT_GT(r.row_hits + r.row_misses, 0u) << name;
+    EXPECT_EQ(r.row_hits + r.row_misses, r.bank_grants) << name;
+    EXPECT_GT(r.row_hit_ratio(), 0.0) << name;
+  }
+}
+
+TEST(MemoryBackends, DramParametricFamilyParses) {
+  auto& reg = ScenarioRegistry::instance();
+  EXPECT_TRUE(reg.contains("pack-128-dram"));
+  EXPECT_TRUE(reg.contains("base-64-dram"));
+  EXPECT_FALSE(reg.contains("pack-96-dram"));   // bus width not swept
+  EXPECT_FALSE(reg.contains("ideal-256-dram"));  // ideal has no fabric
+  EXPECT_FALSE(reg.contains("pack-256-dramm"));
+  auto cfg = sys::default_workload(wl::KernelKind::gemv, SystemKind::pack);
+  cfg.n = 48;
+  const auto r = sys::run_workload("pack-128-dram", cfg);
+  EXPECT_TRUE(r.correct) << r.error;
+  EXPECT_EQ(r.bus_bits, 128u);
+  EXPECT_GT(r.row_hits, 0u);
 }
 
 TEST(MemoryBackends, IdealBackendRemovesBankConflicts) {

@@ -2,7 +2,7 @@
 // downstream (bus modeling, bank conflicts) relies on these properties —
 // plus the ring-buffer storage (randomized against a reference deque
 // model) and the activity-gating machinery (sleep/wake, fast-forward).
-#include <gtest/gtest.h>
+#include "test_common.hpp"
 
 #include <deque>
 

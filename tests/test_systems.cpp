@@ -1,7 +1,7 @@
 // End-to-end integration: every workload runs on every system, results are
 // verified against golden references, and the paper's qualitative ordering
 // holds (PACK faster than BASE, close to IDEAL).
-#include <gtest/gtest.h>
+#include "test_common.hpp"
 
 #include <tuple>
 

@@ -1,5 +1,5 @@
 // Unit tests for util: bit math, RNG determinism, table formatting.
-#include <gtest/gtest.h>
+#include "test_common.hpp"
 
 #include <set>
 #include <sstream>

@@ -1,6 +1,6 @@
 // Vector processor tests: functional data movement through each VLSU mode,
 // chaining, hazards, reductions, and the in-memory-indexed instructions.
-#include <gtest/gtest.h>
+#include "test_common.hpp"
 
 #include <memory>
 #include <vector>

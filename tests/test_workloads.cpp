@@ -1,6 +1,6 @@
 // Workload-layer unit tests: generators (determinism, CSR invariants,
 // graph structure), golden references, and program construction.
-#include <gtest/gtest.h>
+#include "test_common.hpp"
 
 #include "mem/backing_store.hpp"
 #include "util/rng.hpp"
@@ -84,7 +84,9 @@ TEST(Generators, StochasticGraphWeightsNormalized) {
     col_sum[g.colidx[k]] += g.vals[k];
   }
   for (std::uint32_t v = 0; v < 80; ++v) {
-    if (out_deg[v] > 0) EXPECT_NEAR(col_sum[v], 1.0, 1e-4) << "node " << v;
+    if (out_deg[v] > 0) {
+      EXPECT_NEAR(col_sum[v], 1.0, 1e-4) << "node " << v;
+    }
   }
 }
 

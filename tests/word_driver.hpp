@@ -1,0 +1,46 @@
+// Shared word-port drive loop for memory-model tests (test_dram,
+// test_differential): replays per-port request lists against any
+// WordMemory as fast as backpressure allows and collects every response
+// in arrival order.
+#pragma once
+
+#include <vector>
+
+#include "mem/word.hpp"
+#include "sim/kernel.hpp"
+
+namespace axipack::mem::testutil {
+
+/// Pushes each port's pending requests whenever its request Fifo accepts,
+/// drains all responses into `responses[port]`, and steps `kernel` until
+/// every request has been answered or `max_cycles` elapse. `responses` is
+/// reset on entry. Returns true when fully drained (false = a scheduler
+/// deadlock or an unreasonably slow configuration).
+inline bool replay_word_requests(
+    sim::Kernel& kernel, WordMemory& mem,
+    const std::vector<std::vector<WordReq>>& reqs,
+    std::vector<std::vector<WordResp>>& responses, sim::Cycle max_cycles) {
+  const unsigned ports = mem.num_ports();
+  std::vector<std::size_t> next(ports, 0);
+  std::size_t outstanding = 0;
+  for (const auto& q : reqs) outstanding += q.size();
+  responses.assign(ports, {});
+  const sim::Cycle deadline = kernel.now() + max_cycles;
+  while (outstanding > 0 && kernel.now() < deadline) {
+    for (unsigned p = 0; p < ports; ++p) {
+      WordPort& port = mem.port(p);
+      if (next[p] < reqs[p].size() && port.req.can_push()) {
+        port.req.push(reqs[p][next[p]]);
+        ++next[p];
+      }
+      while (port.resp.can_pop()) {
+        responses[p].push_back(port.resp.pop());
+        --outstanding;
+      }
+    }
+    kernel.step();
+  }
+  return outstanding == 0;
+}
+
+}  // namespace axipack::mem::testutil

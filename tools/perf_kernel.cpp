@@ -19,6 +19,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -59,13 +60,18 @@ struct SetResult {
   std::vector<sys::RunResult> runs;
 };
 
+/// The six paper kernels, in job order — headline_jobs, dram_jobs, and the
+/// JSON emitters all index into this one list so the labels cannot drift.
+constexpr wl::KernelKind kKernels[] = {wl::KernelKind::ismt,
+                                       wl::KernelKind::gemv,
+                                       wl::KernelKind::trmv,
+                                       wl::KernelKind::spmv,
+                                       wl::KernelKind::prank,
+                                       wl::KernelKind::sssp};
+
 std::vector<sys::WorkloadJob> headline_jobs(bool naive) {
-  const wl::KernelKind kernels[] = {wl::KernelKind::ismt, wl::KernelKind::gemv,
-                                    wl::KernelKind::trmv, wl::KernelKind::spmv,
-                                    wl::KernelKind::prank,
-                                    wl::KernelKind::sssp};
   std::vector<sys::WorkloadJob> jobs;
-  for (const auto kernel : kernels) {
+  for (const auto kernel : kKernels) {
     for (const auto kind : {sys::SystemKind::base, sys::SystemKind::pack,
                             sys::SystemKind::ideal}) {
       auto cfg = sys::default_workload(kernel, kind);
@@ -76,11 +82,29 @@ std::vector<sys::WorkloadJob> headline_jobs(bool naive) {
   return jobs;
 }
 
-/// Runs the set `repeats` times and keeps the fastest wall-clock pass.
-SetResult run_set(bool naive, unsigned threads, unsigned repeats) {
+/// The same six kernels over the cycle-level DRAM backend (base-dram /
+/// pack-dram): a deeper-pipeline, refresh-bearing scenario set that
+/// stresses the kernel's wake scheduling differently than the SRAM SoCs.
+std::vector<sys::WorkloadJob> dram_jobs(bool naive) {
+  std::vector<sys::WorkloadJob> jobs;
+  for (const auto kernel : kKernels) {
+    for (const auto kind : {sys::SystemKind::base, sys::SystemKind::pack}) {
+      auto cfg = sys::default_workload(kernel, kind);
+      cfg.seed = kPerfSeed;
+      jobs.push_back(
+          {std::string(sys::system_name(kind)) + "-dram", cfg, naive});
+    }
+  }
+  return jobs;
+}
+
+/// Runs a job set `repeats` times and keeps the fastest wall-clock pass.
+SetResult run_jobs(const std::function<std::vector<sys::WorkloadJob>(bool)>&
+                       make_jobs,
+                   bool naive, unsigned threads, unsigned repeats) {
   SetResult best;
   for (unsigned rep = 0; rep < repeats; ++rep) {
-    const auto jobs = headline_jobs(naive);
+    const auto jobs = make_jobs(naive);
     const auto t0 = Clock::now();
     auto results = sys::run_workloads(jobs, threads);
     const double wall = ms_since(t0);
@@ -98,6 +122,10 @@ SetResult run_set(bool naive, unsigned threads, unsigned repeats) {
     }
   }
   return best;
+}
+
+SetResult run_set(bool naive, unsigned threads, unsigned repeats) {
+  return run_jobs(headline_jobs, naive, threads, repeats);
 }
 
 }  // namespace
@@ -154,12 +182,28 @@ int main(int argc, char** argv) {
     }
   }
 
+  // 4) The DRAM-endpoint set (base-dram / pack-dram), naive vs gated.
+  const SetResult dram_naive =
+      run_jobs(dram_jobs, /*naive=*/true, /*threads=*/1, repeats);
+  const SetResult dram_gated =
+      run_jobs(dram_jobs, /*naive=*/false, /*threads=*/1, repeats);
+  std::printf("  dram naive     : %8.1f ms  (%llu sim cycles)\n",
+              dram_naive.wall_ms,
+              static_cast<unsigned long long>(dram_naive.cycles));
+  std::printf("  dram gated     : %8.1f ms\n", dram_gated.wall_ms);
+
   // Cycle-identity across configurations is the hard constraint.
   bool identical = naive.cycles == gated.cycles;
   for (std::size_t i = 0; identical && i < naive.runs.size(); ++i) {
     identical = naive.runs[i].cycles == gated.runs[i].cycles;
   }
-  const bool all_correct = naive.correct && gated.correct;
+  bool dram_identical = dram_naive.cycles == dram_gated.cycles;
+  for (std::size_t i = 0; dram_identical && i < dram_naive.runs.size(); ++i) {
+    dram_identical = dram_naive.runs[i].cycles == dram_gated.runs[i].cycles;
+  }
+  identical = identical && dram_identical;
+  const bool all_correct = naive.correct && gated.correct &&
+                           dram_naive.correct && dram_gated.correct;
 
   const double speedup_gated = naive.wall_ms / gated.wall_ms;
   const double speedup_total = naive.wall_ms / parallel_ms;
@@ -198,6 +242,12 @@ int main(int argc, char** argv) {
                speedup_gated);
   std::fprintf(f, "  \"speedup_gated_parallel_vs_naive\": %.3f,\n",
                speedup_total);
+  std::fprintf(f, "  \"dram_naive_serial_ms\": %.2f,\n", dram_naive.wall_ms);
+  std::fprintf(f, "  \"dram_gated_serial_ms\": %.2f,\n", dram_gated.wall_ms);
+  std::fprintf(f, "  \"dram_sim_cycles_total\": %llu,\n",
+               static_cast<unsigned long long>(dram_gated.cycles));
+  std::fprintf(f, "  \"dram_cycle_identical\": %s,\n",
+               dram_identical ? "true" : "false");
   std::fprintf(f, "  \"sim_cycles_total\": %llu,\n",
                static_cast<unsigned long long>(gated.cycles));
   std::fprintf(f, "  \"sim_cycles_per_sec_gated_serial\": %.0f,\n",
@@ -213,20 +263,30 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "],\n");
   std::fprintf(f, "  \"scenarios\": [\n");
-  const wl::KernelKind kernels[] = {wl::KernelKind::ismt, wl::KernelKind::gemv,
-                                    wl::KernelKind::trmv, wl::KernelKind::spmv,
-                                    wl::KernelKind::prank,
-                                    wl::KernelKind::sssp};
   const auto jobs = headline_jobs(false);
   for (std::size_t i = 0; i < gated.runs.size(); ++i) {
     const auto& r = gated.runs[i];
     std::fprintf(f,
                  "    {\"scenario\": \"%s\", \"kernel\": \"%s\", "
                  "\"cycles\": %llu, \"correct\": %s}%s\n",
-                 jobs[i].scenario.c_str(), wl::kernel_name(kernels[i / 3]),
+                 jobs[i].scenario.c_str(), wl::kernel_name(kKernels[i / 3]),
                  static_cast<unsigned long long>(r.cycles),
                  r.correct ? "true" : "false",
                  i + 1 == gated.runs.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"dram_scenarios\": [\n");
+  const auto djobs = dram_jobs(false);
+  for (std::size_t i = 0; i < dram_gated.runs.size(); ++i) {
+    const auto& r = dram_gated.runs[i];
+    std::fprintf(f,
+                 "    {\"scenario\": \"%s\", \"kernel\": \"%s\", "
+                 "\"cycles\": %llu, \"row_hit_ratio\": %.4f, "
+                 "\"correct\": %s}%s\n",
+                 djobs[i].scenario.c_str(), wl::kernel_name(kKernels[i / 2]),
+                 static_cast<unsigned long long>(r.cycles),
+                 r.row_hit_ratio(), r.correct ? "true" : "false",
+                 i + 1 == dram_gated.runs.size() ? "" : ",");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
