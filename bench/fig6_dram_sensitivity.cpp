@@ -11,11 +11,12 @@
 // speedup track the row-hit ratio — on strided kernels its wide packed
 // beats monetize large row buffers (speedup grows with row size, most
 // visibly under row-interleaved mapping where BASE serializes on one
-// bank), while on indirect kernels PACK's fine-grained index/gather
-// interleaving ping-pongs banks between regions and thrashes row buffers
-// that BASE's coarser per-region bursts keep warm. That thrash is the
-// experimental case for near-memory *index coalescing* (the authors'
-// follow-up work) on top of bus packing.
+// bank). On indirect kernels PACK's fine-grained index/gather interleaving
+// used to ping-pong banks between regions and thrash row buffers (the
+// PR-3 "DRAM finding"); the row-aware batching scheduler (the default —
+// see bench/fig7_row_batching for its sensitivity) coalesces same-row
+// requests across the per-port lookahead windows, so PACK now beats BASE
+// across the grid. Disable it with sched_window 1 to reproduce the thrash.
 //
 // All (system, workload, timing) points are independent: one SweepRunner
 // pass over the full grid.
@@ -104,8 +105,8 @@ void emit() {
     }
   }
   std::printf("shape: PACK utilization/speedup track the row-hit ratio — "
-              "strided kernels monetize large rows, indirect kernels thrash "
-              "row buffers (the case for near-memory index coalescing)\n");
+              "strided kernels monetize large rows; row-aware batching "
+              "(fig7) keeps indirect kernels from thrashing row buffers\n");
   std::printf("all workloads verified: %s\n\n", all_correct ? "yes" : "NO");
 }
 

@@ -1,0 +1,104 @@
+// Fig. 7 (extension): row-aware request batching in the DRAM scheduler —
+// sched-window x starvation-cap sensitivity over strided and indirect
+// kernels.
+//
+// PR 3 exposed the DRAM finding: with head-only FR-FCFS scheduling, PACK's
+// fine-grained index/gather interleaving ping-pongs every bank between two
+// rows and loses to BASE on the "dram" backend. This sweep runs the three
+// headline kernel shapes (ismt = strided read/write mix, gemv = strided
+// column walk, spmv = indirect gather) on pack-dram across the batching
+// scheduler's two knobs:
+//
+//   * sched_window — how many visible requests per port the scheduler may
+//     inspect and (reads, plus hazard-free same-row writes) reorder;
+//     window 1 is the PR-3 head-only scheduler;
+//   * starve_cap   — the deferral budget a timing-legal row miss spends
+//     before it beats pending same-row work.
+//
+// Measured shape: the window does the heavy lifting (row-hit ratio and
+// utilization climb steeply from w1 to w32 on the interleaved kernels,
+// with the base-dram reference overtaken well before the default), while
+// the cap is a fairness bound with little throughput effect at sane
+// values. All points are independent: one SweepRunner pass.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "systems/runner.hpp"
+#include "systems/scenario.hpp"
+#include "systems/sweep.hpp"
+
+namespace {
+
+using namespace axipack;
+
+void emit() {
+  bench::figure_header(
+      "Fig. 7", "DRAM row-batching sensitivity (sched window x starve cap)");
+  const std::size_t windows[] = {1, 4, 8, 16, 32};
+  const sim::Cycle caps[] = {16, 48, 128};
+  const wl::KernelKind kernels[] = {wl::KernelKind::ismt,
+                                    wl::KernelKind::gemv,
+                                    wl::KernelKind::spmv};
+
+  // Job grid: per kernel one base-dram reference plus the window x cap
+  // pack-dram points (window 1 ignores the cap — run it once).
+  std::vector<sys::WorkloadJob> jobs;
+  for (const auto kernel : kernels) {
+    jobs.push_back({"base-dram",
+                    sys::default_workload(kernel, sys::SystemKind::base)});
+    for (const std::size_t w : windows) {
+      for (const sim::Cycle c : caps) {
+        if (w == 1 && c != caps[0]) continue;  // cap is moot at window 1
+        jobs.push_back(
+            {"pack-256-dram-w" + std::to_string(w) + "-c" +
+                 std::to_string(c),
+             sys::default_workload(kernel, sys::SystemKind::pack)});
+      }
+    }
+  }
+  const auto results = sys::run_workloads(jobs);
+
+  std::size_t j = 0;
+  bool all_correct = true;
+  for (const auto kernel : kernels) {
+    const sys::RunResult& base = results[j++];
+    all_correct = all_correct && base.correct;
+    std::printf("%s (base-dram reference: %llu cycles, hit %s, R-util %s):\n",
+                wl::kernel_name(kernel),
+                static_cast<unsigned long long>(base.cycles),
+                util::fmt_pct(base.row_hit_ratio()).c_str(),
+                util::fmt_pct(base.r_util).c_str());
+    util::Table table({"window", "cap", "hit%", "R-util", "speedup vs base",
+                       "batch defers", "starved grants"});
+    for (const std::size_t w : windows) {
+      for (const sim::Cycle c : caps) {
+        if (w == 1 && c != caps[0]) continue;
+        const sys::RunResult& r = results[j++];
+        all_correct = all_correct && r.correct;
+        table.row()
+            .cell(std::to_string(w))
+            .cell(w == 1 ? "-" : std::to_string(c))
+            .cell(util::fmt_pct(r.row_hit_ratio()))
+            .cell(util::fmt_pct(r.r_util))
+            .cell(util::fmt(static_cast<double>(base.cycles) /
+                                static_cast<double>(r.cycles),
+                            2) +
+                  "x")
+            .cell(std::to_string(r.row_batch_defer_cycles))
+            .cell(std::to_string(r.row_starved_grants));
+      }
+    }
+    table.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf("shape: hit ratio and utilization climb with the window "
+              "(w1 = PR-3 head-only scheduling); the starvation cap is a "
+              "fairness bound, nearly throughput-neutral at sane values\n");
+  std::printf("all workloads verified: %s\n\n", all_correct ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return axipack::bench::run_bench_main(argc, argv, emit);
+}

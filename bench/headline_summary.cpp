@@ -38,12 +38,19 @@ void emit() {
                       sys::default_workload(kernel, kind)});
     }
   }
+  // DRAM-recovery set: every kernel on base-dram, on pack-dram with the
+  // head-only scheduler ("-w1", the PR-3 behaviour that lost to BASE), and
+  // on pack-dram with row-aware batching (the default) — all three over the
+  // same latency-tolerant converter queues, so the delta isolates the
+  // scheduler.
   const std::size_t dram_jobs_begin = jobs.size();
   for (const auto kernel : kernels) {
-    for (const auto kind : {sys::SystemKind::base, sys::SystemKind::pack}) {
-      jobs.push_back({std::string(sys::system_name(kind)) + "-dram",
-                      sys::default_workload(kernel, kind)});
-    }
+    jobs.push_back({"base-dram",
+                    sys::default_workload(kernel, sys::SystemKind::base)});
+    jobs.push_back({"pack-256-dram-w1",
+                    sys::default_workload(kernel, sys::SystemKind::pack)});
+    jobs.push_back({"pack-dram",
+                    sys::default_workload(kernel, sys::SystemKind::pack)});
   }
   const auto results = sys::run_workloads(jobs);
   std::size_t j = 0;
@@ -93,24 +100,33 @@ void emit() {
   std::printf("\n");
 
   // Same kernels over the cycle-level DRAM backend: where the packed bus
-  // meets row buffers and refresh instead of SRAM banks.
-  std::printf("DRAM endpoint (base-dram vs pack-dram, default timing):\n");
-  util::Table dram_table({"kernel", "speedup", "pack hit%", "base hit%",
-                          "pack R-util", "refresh stalls"});
+  // meets row buffers and refresh instead of SRAM banks. The recovery
+  // columns show the PR-3 finding (head-only scheduling loses to BASE) and
+  // its reversal by row-aware batching.
+  std::printf("DRAM endpoint recovery (base-dram vs pack-dram, default "
+              "timing; w1 = head-only scheduler, batched = sched_window "
+              "default):\n");
+  util::Table dram_table({"kernel", "speedup w1", "speedup batched",
+                          "pack hit% w1", "pack hit% batched", "base hit%",
+                          "batch defers"});
   bool dram_correct = true;
   std::size_t d = dram_jobs_begin;
   for (const auto kernel : kernels) {
     const auto& base = results[d++];
+    const auto& w1 = results[d++];
     const auto& pack = results[d++];
-    dram_correct = dram_correct && base.correct && pack.correct;
+    dram_correct =
+        dram_correct && base.correct && w1.correct && pack.correct;
     dram_table.row()
         .cell(wl::kernel_name(kernel))
+        .cell(util::fmt(static_cast<double>(base.cycles) / w1.cycles, 2) +
+              "x")
         .cell(util::fmt(static_cast<double>(base.cycles) / pack.cycles, 2) +
               "x")
+        .cell(util::fmt_pct(w1.row_hit_ratio()))
         .cell(util::fmt_pct(pack.row_hit_ratio()))
         .cell(util::fmt_pct(base.row_hit_ratio()))
-        .cell(util::fmt_pct(pack.r_util))
-        .cell(std::to_string(pack.refresh_stall_cycles));
+        .cell(std::to_string(pack.row_batch_defer_cycles));
   }
   dram_table.print(std::cout);
   std::printf("dram workloads verified: %s\n\n", dram_correct ? "yes" : "NO");

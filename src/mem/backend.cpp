@@ -29,6 +29,8 @@ DramBackend::DramBackend(sim::Kernel& k, BackingStore& store,
   mc.num_ports = cfg.num_ports;
   mc.req_depth = cfg.req_depth;
   mc.resp_depth = cfg.resp_depth;
+  mc.sched_window = cfg.dram_sched_window;
+  mc.starve_cap = cfg.dram_starve_cap;
   mc.timing = cfg.dram;
   memory_ = std::make_unique<DramMemory>(k, store, mc);
 }
@@ -41,6 +43,8 @@ MemoryBackendStats DramBackend::stats() const {
   s.row_hits = d.row_hits;
   s.row_misses = d.row_misses;
   s.refresh_stall_cycles = d.refresh_stall_cycles;
+  s.row_batch_defer_cycles = d.batch_defer_cycles;
+  s.row_starved_grants = d.starved_grants;
   return s;
 }
 

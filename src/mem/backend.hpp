@@ -41,6 +41,13 @@ struct MemoryBackendConfig {
   /// (tREFI = 0 disables refresh). See dram_timing.hpp for the field-level
   /// documentation and defaults.
   DramTimingConfig dram;
+  /// "dram" only: row-aware batching scheduler. The per-port lookahead
+  /// window (1 = head-only, no batching) and the starvation cap bounding
+  /// how long a timing-legal row miss may be deferred for pending same-row
+  /// requests (0 = no batching). See DramMemoryConfig; the effective
+  /// window is bounded by req_depth, so deepen both together.
+  std::size_t dram_sched_window = 32;
+  sim::Cycle dram_starve_cap = 48;
 };
 
 /// Activity counters every backend can report; backends without a concept
@@ -52,6 +59,8 @@ struct MemoryBackendStats {
   std::uint64_t row_hits = 0;             ///< dram only
   std::uint64_t row_misses = 0;           ///< dram only (activates)
   std::uint64_t refresh_stall_cycles = 0; ///< dram only
+  std::uint64_t row_batch_defer_cycles = 0;  ///< dram only (row batching)
+  std::uint64_t row_starved_grants = 0;      ///< dram only (cap overrides)
 };
 
 /// One memory endpoint behind an adapter: the word memory plus uniform

@@ -9,7 +9,16 @@
 namespace axipack::mem {
 
 namespace {
-constexpr unsigned kNoBank = ~0u;
+constexpr unsigned kNone = ~0u;
+
+/// Round-robin tie-break: first candidate at or after `start`, else the
+/// first overall. `cands` is in ascending port order and non-empty.
+unsigned pick_rr(const std::vector<unsigned>& cands, unsigned start) {
+  for (const unsigned c : cands) {
+    if (c >= start) return c;
+  }
+  return cands.front();
+}
 }  // namespace
 
 const char* dram_mapping_name(DramMapping m) {
@@ -32,11 +41,32 @@ DramMemory::DramMemory(sim::Kernel& k, BackingStore& store,
       map_(cfg.timing.num_banks(), cfg.timing.row_words, cfg.timing.mapping),
       banks_(cfg.timing.num_banks()),
       rr_(cfg.timing.num_banks(), 0),
-      head_bank_(cfg.num_ports, kNoBank) {
+      rob_(cfg.num_ports),
+      cand_entry_(cfg.num_ports * cfg.timing.num_banks(), 0),
+      cand_hit_(cfg.num_ports * cfg.timing.num_banks(), 0),
+      same_row_pending_(cfg.timing.num_banks(), 0),
+      granted_this_cycle_(cfg.num_ports, 0) {
   assert(cfg.num_ports > 0);
   assert(cfg.timing.num_banks() > 0 && cfg.timing.row_words > 0);
   // The response channel needs at least one register stage.
   assert(cfg.timing.tCAS >= 1 && cfg.timing.tCCD >= 1);
+  // Config validation happens unconditionally (not just via assert): a
+  // zero-capacity FIFO or a zero-wide scheduler window is a configuration
+  // error that must fail loudly instead of being silently clamped or
+  // corrupting the Fifo invariants in assert-free builds.
+  if (cfg.req_depth == 0 || cfg.resp_depth == 0) {
+    std::fprintf(stderr,
+                 "DramMemory: req_depth=%zu / resp_depth=%zu must be >= 1 "
+                 "(per-port FIFOs cannot have zero capacity)\n",
+                 cfg.req_depth, cfg.resp_depth);
+    std::abort();
+  }
+  if (cfg.sched_window == 0) {
+    std::fprintf(stderr,
+                 "DramMemory: sched_window must be >= 1 (use 1 for head-only "
+                 "scheduling, not 0)\n");
+    std::abort();
+  }
   // Refresh liveness (tREFI == 0 disables refresh): between the end of one
   // window and the start of the next there must be room for a full
   // precharge-activate-column sequence, or every row cycle is deferred
@@ -80,16 +110,33 @@ void DramMemory::refresh_update(BankState& b, sim::Cycle now) {
   b.refresh_block_until = window_end;
 }
 
-void DramMemory::grant(unsigned port_idx, unsigned bank_idx,
-                       DramGrant::Kind kind, sim::Cycle now) {
+void DramMemory::release_responses(sim::Cycle now) {
+  const unsigned n = static_cast<unsigned>(ports_.size());
+  for (unsigned p = 0; p < n; ++p) {
+    std::deque<PendingEntry>& rob = rob_[p];
+    WordPort& port = *ports_[p];
+    while (!rob.empty() && rob.front().granted && port.resp.can_push()) {
+      const PendingEntry e = rob.front();
+      rob.pop_front();
+      port.req.pop();
+      // Remaining data latency; already-ready responses held back by
+      // in-order release still need the 1-cycle register floor.
+      const sim::Cycle delay = e.ready_at > now ? e.ready_at - now : 1;
+      port.resp.push_in(e.resp, delay);
+    }
+  }
+}
+
+void DramMemory::grant(unsigned port_idx, std::size_t entry,
+                       unsigned bank_idx, DramGrant::Kind kind,
+                       sim::Cycle now) {
   const DramTimingConfig& t = cfg_.timing;
   BankState& bank = banks_[bank_idx];
-  WordPort& port = *ports_[port_idx];
-  WordReq req = port.req.pop();
-  const std::uint64_t row = map_.row_of(word_index(req.addr));
+  const WordReq& req = ports_[port_idx]->req.peek(entry);
+  const std::uint64_t row = rob_[port_idx][entry].row;
 
   sim::Cycle col_time = now;   // cycle the column command issues
-  sim::Cycle data_delay = 0;   // grant -> response visibility
+  sim::Cycle data_delay = 0;   // grant -> data ready
   switch (kind) {
     case DramGrant::Kind::hit:
       data_delay = t.row_hit_latency();
@@ -113,16 +160,20 @@ void DramMemory::grant(unsigned port_idx, unsigned bank_idx,
   bank.row_open = true;
   bank.open_row = row;
   bank.next_col = col_time + t.tCCD;
+  bank.last_grant_at = now;
+  bank.granted_ever = true;
 
-  WordResp resp;
-  resp.tag = req.tag;
-  resp.was_write = req.write;
+  PendingEntry& pe = rob_[port_idx][entry];
+  pe.granted = true;
+  pe.ready_at = now + data_delay;
+  pe.resp.tag = req.tag;
+  pe.resp.was_write = req.write;
   if (req.write) {
     store_.write_word(req.addr, req.wdata, req.wstrb);
   } else {
-    resp.rdata = store_.read_u32(req.addr);
+    pe.resp.rdata = store_.read_u32(req.addr);
   }
-  port.resp.push_in(resp, data_delay);
+  granted_this_cycle_[port_idx] = 1;
   ++stats_.grants;
   if (trace_ != nullptr) {
     trace_->push_back({now, now + data_delay, port_idx, bank_idx, row,
@@ -132,30 +183,144 @@ void DramMemory::grant(unsigned port_idx, unsigned bank_idx,
 
 void DramMemory::tick() {
   const unsigned n = static_cast<unsigned>(ports_.size());
+  const unsigned num_banks = static_cast<unsigned>(banks_.size());
   const sim::Cycle now = kernel_.now();
-  // Gather the target bank of each port's head request.
-  unsigned active = 0;
+  const DramTimingConfig& t = cfg_.timing;
+
+  // In-order release first: frees window slots whose grants completed.
+  release_responses(now);
+
+  // Refresh is applied lazily but uniformly before any open-row state is
+  // read this cycle, so candidate classification and the batching veto see
+  // post-refresh rows.
+  for (BankState& bank : banks_) refresh_update(bank, now);
+
+  // ---- candidate discovery --------------------------------------------
+  // For each port, scan the first sched_window visible entries. The head
+  // is always eligible; a deeper entry is eligible when granting it cannot
+  // disturb an actively streamed row: it *hits* the open row of its bank
+  // ("first-ready" in FR-FCFS terms), or its bank is closed, or its bank
+  // has gone cold (no grant within the keep-alive window). Reordering
+  // misses onto warm rows would let different ports' stream phases spread
+  // and thrash the very locality the batching protects; reordering onto
+  // idle banks only relieves head-of-line blocking behind a hot bank.
+  // Program order per port is preserved for data by exact word-level
+  // dependencies: a read may not pass a pending write to the same word,
+  // and a write may not pass any pending access to the same word —
+  // accesses to different words commute (the response stream carries no
+  // data for writes, and reads of distinct words are independent). Each
+  // port offers each bank at most one entry, preferring an open-row hit.
+  // Ungranted same-row entries — eligible or not, backpressured or not —
+  // anchor the batching veto.
+  const sim::Cycle keepalive = t.tRP + t.tRCD;
+  std::fill(cand_entry_.begin(), cand_entry_.end(), 0u);
+  std::fill(same_row_pending_.begin(), same_row_pending_.end(), 0);
+  std::fill(granted_this_cycle_.begin(), granted_this_cycle_.end(), 0);
+  bool any_candidate = false;
   for (unsigned p = 0; p < n; ++p) {
     WordPort& port = *ports_[p];
-    if (port.req.has_visible(now) && port.resp.can_push()) {
-      head_bank_[p] = map_.bank_of(word_index(port.req.front().addr));
-      ++active;
-    } else {
-      head_bank_[p] = kNoBank;  // no request, or response-path backpressure
+    const std::size_t limit =
+        std::min(cfg_.sched_window, port.req.visible_count(now));
+    if (limit == 0) continue;
+    std::deque<PendingEntry>& rob = rob_[p];
+    while (rob.size() < limit) {
+      // Decode once on entry: requests are immutable once enqueued, so the
+      // per-tick rescans below touch only cached fields.
+      const WordReq& rq = port.req.peek(rob.size());
+      PendingEntry e;
+      e.write = rq.write;
+      e.word = word_index(rq.addr);
+      e.bank = map_.bank_of(e.word);
+      e.row = map_.row_of(e.word);
+      rob.push_back(e);
+    }
+    // Response-path backpressure never blocks granting: a granted entry
+    // waits in the release stage (bounded by the window) until the
+    // response FIFO has room, so a backpressured port keeps scheduling —
+    // and its pending entries keep anchoring the veto — instead of
+    // wedging behind its own out-of-order grants. (Gating grants on
+    // response occupancy deadlocks when a deep grant fills the budget the
+    // older head needs to release first.)
+    // Words of the ungranted entries scanned so far, for the word-level
+    // program-order hazards: a read may not pass a pending same-word
+    // write, a write may not pass any pending same-word access.
+    std::vector<std::uint64_t>& words = words_scratch_;
+    std::vector<std::uint64_t>& write_words = write_words_scratch_;
+    words.clear();
+    write_words.clear();
+    for (std::size_t i = 0; i < limit; ++i) {
+      PendingEntry& e = rob[i];
+      if (e.granted) continue;  // served, awaiting in-order release
+      const unsigned b = e.bank;
+      const bool hits_open_row =
+          banks_[b].row_open && banks_[b].open_row == e.row;
+      if (hits_open_row) same_row_pending_[b] = 1;
+      bool eligible;
+      if (i == 0) {
+        eligible = true;
+      } else if (!e.write) {
+        // Deep reads only where they cannot disturb a streamed row: a hit,
+        // a closed bank, or a bank gone cold.
+        const bool bank_undisturbed =
+            hits_open_row || !banks_[b].row_open ||
+            !(banks_[b].granted_ever &&
+              now - banks_[b].last_grant_at <= keepalive);
+        eligible = bank_undisturbed;
+        if (eligible && !write_words.empty()) {
+          for (const std::uint64_t w : write_words) {
+            if (w == e.word) {
+              eligible = false;
+              break;
+            }
+          }
+        }
+      } else {
+        // Deep writes are held to open-row hits (opening a row for a
+        // write the stream has moved past is never worth it).
+        eligible = hits_open_row;
+        if (eligible) {
+          for (const std::uint64_t w : words) {
+            if (w == e.word) {
+              eligible = false;
+              break;
+            }
+          }
+        }
+      }
+      words.push_back(e.word);
+      if (e.write) write_words.push_back(e.word);
+      if (!eligible) continue;
+      const std::size_t slot =
+          static_cast<std::size_t>(p) * num_banks + b;
+      if (cand_entry_[slot] == 0) {
+        cand_entry_[slot] = static_cast<std::uint32_t>(i) + 1;
+        cand_hit_[slot] = hits_open_row;
+        any_candidate = true;
+      } else if (hits_open_row && !cand_hit_[slot]) {
+        cand_entry_[slot] = static_cast<std::uint32_t>(i) + 1;
+        cand_hit_[slot] = 1;
+      }
     }
   }
-  if (active == 0) return;
+  if (!any_candidate) return;
 
-  // Per-bank FR-FCFS-lite: among this bank's contenders, grant a *timing-
-  // legal* row hit first, else a timing-legal miss/closed access; ties
-  // break round-robin by port index (first contender at or after rr_[b]).
-  for (unsigned p = 0; p < n; ++p) {
-    const unsigned b = head_bank_[p];
-    if (b == kNoBank) continue;
+  // ---- per-bank FR-FCFS ------------------------------------------------
+  // Among each bank's contenders, grant a *timing-legal* row hit first,
+  // else a timing-legal miss/closed access (subject to the row-batching
+  // veto); ties break round-robin by port index. A port is granted at most
+  // once per cycle.
+  for (unsigned b = 0; b < num_banks; ++b) {
+    std::vector<unsigned>& contenders = contender_scratch_;
+    contenders.clear();
+    for (unsigned p = 0; p < n; ++p) {
+      if (granted_this_cycle_[p]) continue;
+      if (cand_entry_[static_cast<std::size_t>(p) * num_banks + b] != 0) {
+        contenders.push_back(p);
+      }
+    }
+    if (contenders.empty()) continue;
     BankState& bank = banks_[b];
-    refresh_update(bank, now);
 
-    const DramTimingConfig& t = cfg_.timing;
     // An activate/column sequence must complete before the next refresh
     // window opens — a controller never starts a row cycle it would have
     // to interrupt for refresh.
@@ -163,21 +328,16 @@ void DramMemory::tick() {
         t.tREFI == 0 ? std::numeric_limits<sim::Cycle>::max()
                      : (now / t.tREFI + 1) * t.tREFI;
     bool refresh_deferred = false;
-    unsigned contenders = 0;
-    unsigned hit_first = kNoBank, hit_first_ge = kNoBank;
-    unsigned other_first = kNoBank, other_first_ge = kNoBank;
-    DramGrant::Kind other_kind = DramGrant::Kind::closed;
-    for (unsigned q = p; q < n; ++q) {
-      if (head_bank_[q] != b) continue;
-      ++contenders;
-      head_bank_[q] = kNoBank;  // consumed: bank b arbitrates once per cycle
-      const std::uint64_t row =
-          map_.row_of(word_index(ports_[q]->req.front().addr));
-      if (bank.row_open && bank.open_row == row) {
+    unsigned hit_first = kNone, hit_first_ge = kNone;
+    std::vector<unsigned>& legal_other = pick_scratch_;
+    legal_other.clear();  // timing-legal closed/miss contenders, port order
+    for (const unsigned q : contenders) {
+      const std::size_t slot = static_cast<std::size_t>(q) * num_banks + b;
+      if (cand_hit_[slot]) {
         // Row hit: the column command issues immediately.
         if (now < bank.next_col) continue;
-        if (hit_first == kNoBank) hit_first = q;
-        if (hit_first_ge == kNoBank && q >= rr_[b]) hit_first_ge = q;
+        if (hit_first == kNone) hit_first = q;
+        if (hit_first_ge == kNone && q >= rr_[b]) hit_first_ge = q;
       } else if (!bank.row_open) {
         // Closed bank: activate must be legal, and the column command it
         // leads to must respect the bank's column spacing and finish
@@ -187,9 +347,7 @@ void DramMemory::tick() {
           continue;
         }
         if (now < bank.next_act || now + t.tRCD < bank.next_col) continue;
-        if (other_first == kNoBank) other_first = q;
-        if (other_first_ge == kNoBank && q >= rr_[b]) other_first_ge = q;
-        other_kind = DramGrant::Kind::closed;
+        legal_other.push_back(q);
       } else {
         // Row conflict: precharge is legal only tRAS after the activate
         // that opened the current row, and the full precharge-activate-
@@ -202,21 +360,84 @@ void DramMemory::tick() {
             now + t.tRP + t.tRCD < bank.next_col) {
           continue;
         }
-        if (other_first == kNoBank) other_first = q;
-        if (other_first_ge == kNoBank && q >= rr_[b]) other_first_ge = q;
-        other_kind = DramGrant::Kind::miss;
+        legal_other.push_back(q);
       }
     }
 
-    unsigned chosen = kNoBank;
-    DramGrant::Kind kind = DramGrant::Kind::hit;
-    if (hit_first != kNoBank) {
-      chosen = hit_first_ge != kNoBank ? hit_first_ge : hit_first;
-    } else if (other_first != kNoBank) {
-      chosen = other_first_ge != kNoBank ? other_first_ge : other_first;
-      kind = other_kind;
+    // All legal non-hit contenders share one kind: the bank is either
+    // closed (activate only) or holds a conflicting row (full row cycle).
+    const DramGrant::Kind other_kind =
+        bank.row_open ? DramGrant::Kind::miss : DramGrant::Kind::closed;
+    // Starvation cap: a timing-legal row miss spends one cycle of its
+    // deferral budget every cycle it is passed over — whether by the
+    // batching veto or by hit-priority — and wins unconditionally once the
+    // budget is gone. Misses eventually beat any hit stream.
+    std::vector<unsigned>& starved = starved_scratch_;
+    starved.clear();
+    if (batching_enabled() && other_kind == DramGrant::Kind::miss) {
+      for (const unsigned q : legal_other) {
+        const std::size_t entry =
+            cand_entry_[static_cast<std::size_t>(q) * num_banks + b] - 1;
+        if (rob_[q][entry].defer_cycles >= cfg_.starve_cap) {
+          starved.push_back(q);
+        }
+      }
     }
-    if (chosen == kNoBank) {
+
+    unsigned chosen = kNone;
+    DramGrant::Kind kind = DramGrant::Kind::hit;
+    if (!starved.empty()) {
+      chosen = pick_rr(starved, rr_[b]);
+      kind = other_kind;
+      ++stats_.starved_grants;
+    } else if (hit_first != kNone) {
+      chosen = hit_first_ge != kNone ? hit_first_ge : hit_first;
+      if (batching_enabled()) {
+        // Legal misses passed over by this hit pay from their budget.
+        for (const unsigned q : legal_other) {
+          const std::size_t entry =
+              cand_entry_[static_cast<std::size_t>(q) * num_banks + b] - 1;
+          ++rob_[q][entry].defer_cycles;
+        }
+      }
+    } else if (!legal_other.empty()) {
+      kind = other_kind;
+      const bool row_warm =
+          bank.granted_ever && now - bank.last_grant_at <= keepalive;
+      const bool veto = kind == DramGrant::Kind::miss && batching_enabled() &&
+                        same_row_pending_[b] != 0 && row_warm;
+      std::vector<unsigned>& exempt_writes = exempt_scratch_;
+      exempt_writes.clear();
+      if (veto) {
+        // Write misses are exempt from the veto: a write is near the head
+        // of its port by construction, so deferring one stalls the whole
+        // port (everything behind it is blocked by program order), which
+        // costs far more than the row it would close. Only the writes
+        // themselves are granted through the veto — read misses at the
+        // same bank stay deferred.
+        for (const unsigned q : legal_other) {
+          const std::size_t entry =
+              cand_entry_[static_cast<std::size_t>(q) * num_banks + b] - 1;
+          if (rob_[q][entry].write) exempt_writes.push_back(q);
+        }
+      }
+      if (!veto) {
+        chosen = pick_rr(legal_other, rr_[b]);
+      } else if (!exempt_writes.empty()) {
+        chosen = pick_rr(exempt_writes, rr_[b]);
+      } else {
+        // Every legal miss spends one cycle of its budget and the open
+        // row survives for the pending same-row work.
+        for (const unsigned q : legal_other) {
+          const std::size_t entry =
+              cand_entry_[static_cast<std::size_t>(q) * num_banks + b] - 1;
+          ++rob_[q][entry].defer_cycles;
+        }
+        ++stats_.batch_defer_cycles;
+        continue;
+      }
+    }
+    if (chosen == kNone) {
       // Contenders exist but none is timing-legal this cycle; attribute
       // the stall to refresh when the bank sits inside (or right behind)
       // a refresh window, or deferred a row cycle to clear the next one.
@@ -225,10 +446,18 @@ void DramMemory::tick() {
       }
       continue;
     }
-    if (contenders > 1) stats_.conflict_losses += contenders - 1;
+    if (contenders.size() > 1) {
+      stats_.conflict_losses += contenders.size() - 1;
+    }
     rr_[b] = (chosen + 1) % n;
-    grant(chosen, b, kind, now);
+    grant(chosen,
+          cand_entry_[static_cast<std::size_t>(chosen) * num_banks + b] - 1,
+          b, kind, now);
   }
+
+  // Grants made this cycle whose entry sits at a port's head release now,
+  // matching the head-only scheduler's response timing exactly.
+  release_responses(now);
 }
 
 }  // namespace axipack::mem

@@ -2,25 +2,64 @@
 //
 // DramMemory is the third memory endpoint (after banked SRAM and the ideal
 // conflict-free memory): n word ports in front of bank_groups x banks, each
-// bank with an open-row buffer, scheduled by a per-bank FR-FCFS-lite policy
+// bank with an open-row buffer, scheduled by a per-bank FR-FCFS policy
 // (grantable row hits beat row misses; ties break round-robin by port, like
 // the SRAM crossbar). Accesses obey tRCD/tCAS/tRP/tRAS/tCCD and an all-bank
 // periodic refresh (tREFI/tRFC).
 //
+// Row-aware request batching (the sched_window scheduler)
+// -------------------------------------------------------
+// The fine-grained index/gather interleaving of the pack converters puts
+// requests to *different* rows back to back in one port's queue; a head-only
+// scheduler then ping-pongs every bank between two rows (~50% hit ratio).
+// The scheduler therefore looks past the heads, into the first
+// `sched_window` visible requests of every port:
+//
+//  * Reads may be granted out of order within a port's window when that
+//    cannot disturb an actively streamed row (they hit the open row, or
+//    their bank is closed or has gone cold); writes reorder only as
+//    open-row hits. Per-port program order for *data* is enforced at word
+//    granularity: a read never passes a still-pending write to the same
+//    word, and a write never passes any still-pending access to the same
+//    word (nor another pending write, reordered or not, to it — the
+//    hazard scan covers every older ungranted entry).
+//  * Before a timing-legal row miss closes an open row, it is vetoed while
+//    any port still has an ungranted same-row request in its window
+//    (pending hits first). Two bounds keep this live and fair: a
+//    *starvation cap* — every window entry accrues a deferral budget of
+//    `starve_cap` cycles (counted only on cycles it was otherwise
+//    grantable); once spent, the miss wins regardless — and a *row
+//    keep-alive window* — the veto only holds while the bank was granted
+//    within the last tRP + tRCD cycles, so if the pending same-row work is
+//    itself stuck (behind a same-word hazard, or beyond another port's
+//    grantable window) the row goes cold and the miss proceeds.
+//  * Responses are re-serialized: a granted request's response waits in a
+//    per-port in-order release stage until every older request of that
+//    port has been granted and released, then enters the response Fifo
+//    with its remaining data latency via Fifo::push_in (per-item
+//    visibility, FIFO delivery) — per-port response order still equals
+//    request order, the property the adapter's beat packers rely on.
+//
+// sched_window == 1 restores strict head-only in-order scheduling (the
+// plain FR-FCFS-lite policy of PR 3, though not cycle-identically: grants
+// are no longer gated on response-FIFO occupancy — the release stage
+// parks responses instead, the blocked-vs-empty backpressure fix);
+// starve_cap == 0 keeps the out-of-order window but never defers a miss.
+// The effective lookahead is bounded by what the request FIFOs hold, so
+// pair a deep window with a matching DramMemoryConfig::req_depth.
+//
 // Like BankXbar, the component is a *pure request server*: every grant
-// decision is a deterministic function of the visible port heads, the
-// current cycle and per-bank state that itself only changes on grants.
-// Timing is enforced lazily — banks keep "earliest next activate / next
-// column" cycles and refresh windows are derived arithmetically from the
-// clock — so nothing ever needs to tick while no request is pending, which
-// keeps the quiescence protocol trivially correct (quiescent() == true,
-// wake = request visibility). Variable access latency (hit vs miss) rides
-// on the response Fifo's per-item visibility (Fifo::push_in), so per-port
-// response order still equals request order, the property the adapter's
-// beat packers rely on.
+// decision is a deterministic function of the visible request FIFOs, the
+// current cycle, and per-bank/per-entry state that only changes on ticks
+// with visible requests. A granted-but-unreleased request stays in its
+// request Fifo until release, so all pending work — including the release
+// stage's — keeps the component awake through request visibility alone;
+// quiescent() == true stays trivially correct, and nothing ever needs to
+// tick while no request is pending.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -35,6 +74,14 @@ struct DramMemoryConfig {
   unsigned num_ports = 8;
   std::size_t req_depth = 2;   ///< per-port request FIFO depth
   std::size_t resp_depth = 64; ///< per-port response FIFO depth
+  /// Row-aware batching lookahead: visible requests per port the scheduler
+  /// may inspect (and reorder reads within), including the head. 1 =
+  /// head-only in-order scheduling (no batching). The effective window is
+  /// bounded by req_depth.
+  std::size_t sched_window = 32;
+  /// Max cycles a timing-legal row miss may be deferred in favour of
+  /// pending same-row requests before it wins anyway. 0 never defers.
+  sim::Cycle starve_cap = 48;
   DramTimingConfig timing;
 };
 
@@ -44,7 +91,13 @@ struct DramStats {
   std::uint64_t conflict_losses = 0;  ///< same-cycle same-bank contenders not granted
   std::uint64_t row_hits = 0;
   std::uint64_t row_misses = 0;  ///< activates (open-row conflict or closed bank)
-  std::uint64_t refresh_stall_cycles = 0;  ///< bank-cycles head requests waited on refresh
+  std::uint64_t refresh_stall_cycles = 0;  ///< bank-cycles requests waited on refresh
+  /// Bank-cycles a timing-legal row miss was deferred to batch pending
+  /// same-row requests on the open row (row-aware scheduling at work).
+  std::uint64_t batch_defer_cycles = 0;
+  /// Misses granted by the starvation cap while same-row work was still
+  /// pending (the batching veto was overridden for fairness).
+  std::uint64_t starved_grants = 0;
 
   double row_hit_ratio() const {
     const std::uint64_t total = row_hits + row_misses;
@@ -53,9 +106,12 @@ struct DramStats {
 };
 
 /// One granted access, recorded when a trace sink is attached (tests).
+/// `cycle`/`data_at` describe the *command* timing (grant and data-ready
+/// cycles); delivery into the response FIFO can be later when the in-order
+/// release stage holds a response for an older one.
 struct DramGrant {
   sim::Cycle cycle = 0;    ///< command-issue (grant) cycle
-  sim::Cycle data_at = 0;  ///< cycle the response becomes visible
+  sim::Cycle data_at = 0;  ///< cycle the data is ready (col + tCAS)
   unsigned port = 0;
   unsigned bank = 0;
   std::uint64_t row = 0;
@@ -74,13 +130,18 @@ class DramMemory final : public WordMemory, public sim::Component {
   WordPort& port(unsigned i) override { return *ports_[i]; }
 
   void tick() override;
-  /// Pure request server (see file header): all pending work is visible in
-  /// subscribed request Fifos, all timing state is evaluated lazily.
+  /// Pure request server (see file header): all pending work — including
+  /// granted responses awaiting in-order release — is anchored by visible
+  /// entries in subscribed request Fifos, and all timing state is
+  /// evaluated lazily.
   bool quiescent() const override { return true; }
 
   const DramAddressMap& map() const { return map_; }
   const DramTimingConfig& timing() const { return cfg_.timing; }
   const DramStats& stats() const { return stats_; }
+  bool batching_enabled() const {
+    return cfg_.sched_window > 1 && cfg_.starve_cap > 0;
+  }
 
   /// Attaches (or detaches, with nullptr) a per-grant trace sink. Test-only
   /// observability; no recording when unset.
@@ -95,6 +156,24 @@ class DramMemory final : public WordMemory, public sim::Component {
     sim::Cycle next_act = 0;           ///< earliest next activate
     sim::Cycle next_col = 0;           ///< earliest next column command
     sim::Cycle refresh_block_until = 0;  ///< end of the last refresh window
+    sim::Cycle last_grant_at = 0;        ///< row keep-alive anchor
+    bool granted_ever = false;           ///< last_grant_at is meaningful
+  };
+
+  /// Scheduler-side state of one request-FIFO entry; rob_[p][i] parallels
+  /// the i-th item (from the head) of port p's request Fifo. The address
+  /// decomposition is cached at entry (requests are immutable once
+  /// enqueued), and granted entries keep their computed response here
+  /// until the in-order release stage pops both together.
+  struct PendingEntry {
+    bool granted = false;
+    bool write = false;           ///< cached from the request
+    unsigned bank = 0;            ///< cached map_.bank_of
+    sim::Cycle defer_cycles = 0;  ///< starvation budget spent while vetoed
+    sim::Cycle ready_at = 0;      ///< data-ready cycle of the granted access
+    std::uint64_t word = 0;       ///< cached word index
+    std::uint64_t row = 0;        ///< cached map_.row_of
+    WordResp resp;
   };
 
   std::uint64_t word_index(std::uint64_t addr) const {
@@ -106,11 +185,16 @@ class DramMemory final : public WordMemory, public sim::Component {
   /// window's end.
   void refresh_update(BankState& b, sim::Cycle now);
 
-  /// Serves `req` on bank `b` at cycle `now` (timing already validated):
-  /// performs the store access, pushes the response with the access's data
-  /// latency and updates bank/group timing state.
-  void grant(unsigned port_idx, unsigned bank_idx, DramGrant::Kind kind,
-             sim::Cycle now);
+  /// Pops granted heads off each port, pushing their responses (with the
+  /// remaining data latency) into the response FIFO in request order.
+  void release_responses(sim::Cycle now);
+
+  /// Serves entry `entry` of port `port_idx` on bank `bank_idx` at cycle
+  /// `now` (timing already validated): performs the store access, stores
+  /// the response in the entry for in-order release and updates bank
+  /// timing state.
+  void grant(unsigned port_idx, std::size_t entry, unsigned bank_idx,
+             DramGrant::Kind kind, sim::Cycle now);
 
   BackingStore& store_;
   sim::Kernel& kernel_;
@@ -119,10 +203,21 @@ class DramMemory final : public WordMemory, public sim::Component {
   std::vector<std::unique_ptr<WordPort>> ports_;
   std::vector<BankState> banks_;
   std::vector<unsigned> rr_;  ///< per-bank round-robin pointer
+  std::vector<std::deque<PendingEntry>> rob_;       ///< per-port entry state
   DramStats stats_;
   std::vector<DramGrant>* trace_ = nullptr;
-  // Per-tick scratch (hot path, allocated once).
-  std::vector<unsigned> head_bank_;  ///< port -> target bank (or kNoBank)
+  // Per-tick scratch (hot path, allocated once). cand_* are [port][bank]
+  // flattened: the window entry each port offers each bank this cycle.
+  std::vector<std::uint32_t> cand_entry_;  ///< entry index + 1 (0 = none)
+  std::vector<std::uint8_t> cand_hit_;     ///< candidate targets the open row
+  std::vector<std::uint8_t> same_row_pending_;  ///< per-bank veto anchor
+  std::vector<std::uint8_t> granted_this_cycle_;  ///< per-port grant latch
+  std::vector<unsigned> contender_scratch_;
+  std::vector<unsigned> pick_scratch_;
+  std::vector<unsigned> starved_scratch_;
+  std::vector<unsigned> exempt_scratch_;
+  std::vector<std::uint64_t> words_scratch_;        ///< hazard-scan helpers
+  std::vector<std::uint64_t> write_words_scratch_;
 };
 
 }  // namespace axipack::mem

@@ -18,15 +18,16 @@ AxiPackAdapter::AxiPackAdapter(sim::Kernel& k, axi::AxiPort& upstream,
                                           cfg.r_out_depth);
   strided_r_ = std::make_unique<StridedReadConverter>(
       k, mux_->lanes_of(kStridedR), cfg.bus_bytes, cfg.queue_depth,
-      cfg.r_out_depth);
+      cfg.r_out_depth, cfg.pack_max_bursts);
   strided_w_ = std::make_unique<StridedWriteConverter>(
-      k, mux_->lanes_of(kStridedW), cfg.bus_bytes, cfg.queue_depth);
+      k, mux_->lanes_of(kStridedW), cfg.bus_bytes, cfg.queue_depth, 4,
+      cfg.pack_max_bursts);
   indirect_r_ = std::make_unique<IndirectReadConverter>(
       k, mux_->lanes_of(kIndirectR), cfg.bus_bytes, cfg.queue_depth,
-      cfg.r_out_depth, cfg.idx_window_lines);
+      cfg.r_out_depth, cfg.idx_window_lines, cfg.pack_max_bursts);
   indirect_w_ = std::make_unique<IndirectWriteConverter>(
       k, mux_->lanes_of(kIndirectW), cfg.bus_bytes, cfg.queue_depth, 4,
-      cfg.idx_window_lines);
+      cfg.idx_window_lines, cfg.pack_max_bursts);
   k.add(*this);
   k.subscribe(*this, up_.ar);
   k.subscribe(*this, up_.aw);

@@ -33,7 +33,8 @@ class IndirectReadConverter final : public Converter {
   IndirectReadConverter(sim::Kernel& k, std::vector<LaneIO> lanes,
                         unsigned bus_bytes, unsigned queue_depth,
                         std::size_t r_out_depth = 4,
-                        std::size_t idx_window_lines = 4);
+                        std::size_t idx_window_lines = 4,
+                        std::size_t max_bursts = 2);
 
   bool can_accept_ar() const override;
   void accept_ar(const axi::AxiAr& ar) override;
@@ -84,7 +85,7 @@ class IndirectReadConverter final : public Converter {
   Regulator elem_regulator_;
   sim::Fifo<axi::AxiR> r_out_;
   std::deque<Burst> bursts_;
-  std::size_t max_bursts_ = 2;
+  std::size_t max_bursts_;
   std::size_t idx_window_lines_;
   std::vector<bool> prefer_idx_;  ///< per-lane round-robin arbitration state
   // Per-stage per-lane decoupling queues (responses routed by tag bit so the

@@ -11,13 +11,15 @@ IndirectWriteConverter::IndirectWriteConverter(sim::Kernel& k,
                                                unsigned bus_bytes,
                                                unsigned queue_depth,
                                                std::size_t b_out_depth,
-                                               std::size_t idx_window_lines)
+                                               std::size_t idx_window_lines,
+                                               std::size_t max_bursts)
     : lanes_(std::move(lanes)),
       bus_bytes_(bus_bytes),
       lanes_n_(static_cast<unsigned>(lanes_.size())),
       idx_regulator_(lanes_n_, queue_depth),
       elem_regulator_(lanes_n_, queue_depth),
       b_out_(k, b_out_depth, 1),
+      max_bursts_(max_bursts),
       idx_window_lines_(idx_window_lines),
       prefer_idx_(lanes_n_, true),
       idx_q_(lanes_n_) {

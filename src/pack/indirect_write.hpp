@@ -18,7 +18,8 @@ class IndirectWriteConverter final : public Converter {
   IndirectWriteConverter(sim::Kernel& k, std::vector<LaneIO> lanes,
                          unsigned bus_bytes, unsigned queue_depth,
                          std::size_t b_out_depth = 4,
-                         std::size_t idx_window_lines = 4);
+                         std::size_t idx_window_lines = 4,
+                         std::size_t max_bursts = 2);
 
   bool can_accept_aw() const override;
   void accept_aw(const axi::AxiAw& aw) override;
@@ -64,7 +65,7 @@ class IndirectWriteConverter final : public Converter {
   Regulator elem_regulator_;
   sim::Fifo<axi::AxiB> b_out_;
   std::deque<Burst> bursts_;
-  std::size_t max_bursts_ = 2;
+  std::size_t max_bursts_;
   std::size_t idx_window_lines_;
   std::vector<bool> prefer_idx_;
   std::vector<std::deque<mem::WordResp>> idx_q_;

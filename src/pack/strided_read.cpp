@@ -8,11 +8,13 @@ StridedReadConverter::StridedReadConverter(sim::Kernel& k,
                                            std::vector<LaneIO> lanes,
                                            unsigned bus_bytes,
                                            unsigned queue_depth,
-                                           std::size_t r_out_depth)
+                                           std::size_t r_out_depth,
+                                           std::size_t max_bursts)
     : lanes_(std::move(lanes)),
       bus_bytes_(bus_bytes),
       regulator_(static_cast<unsigned>(lanes_.size()), queue_depth),
-      r_out_(k, r_out_depth, 1) {
+      r_out_(k, r_out_depth, 1),
+      max_bursts_(max_bursts) {
   k.add(*this);
 }
 

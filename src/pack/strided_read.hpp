@@ -24,7 +24,8 @@ class StridedReadConverter final : public Converter {
  public:
   StridedReadConverter(sim::Kernel& k, std::vector<LaneIO> lanes,
                        unsigned bus_bytes, unsigned queue_depth,
-                       std::size_t r_out_depth = 4);
+                       std::size_t r_out_depth = 4,
+                       std::size_t max_bursts = 2);
 
   bool can_accept_ar() const override;
   void accept_ar(const axi::AxiAr& ar) override;
@@ -66,7 +67,7 @@ class StridedReadConverter final : public Converter {
   Regulator regulator_;
   sim::Fifo<axi::AxiR> r_out_;
   std::deque<Burst> bursts_;
-  std::size_t max_bursts_ = 2;
+  std::size_t max_bursts_;
   std::uint64_t beats_packed_ = 0;
 };
 

@@ -18,7 +18,8 @@ class StridedWriteConverter final : public Converter {
  public:
   StridedWriteConverter(sim::Kernel& k, std::vector<LaneIO> lanes,
                         unsigned bus_bytes, unsigned queue_depth,
-                        std::size_t b_out_depth = 4);
+                        std::size_t b_out_depth = 4,
+                        std::size_t max_bursts = 2);
 
   bool can_accept_aw() const override;
   void accept_aw(const axi::AxiAw& aw) override;
@@ -56,7 +57,7 @@ class StridedWriteConverter final : public Converter {
   Regulator regulator_;
   sim::Fifo<axi::AxiB> b_out_;
   std::deque<Burst> bursts_;
-  std::size_t max_bursts_ = 2;
+  std::size_t max_bursts_;
 };
 
 }  // namespace axipack::pack

@@ -351,6 +351,29 @@ class Fifo : public FifoBase {
     return pop();
   }
 
+  /// Read-only access to the i-th stored item counted from the head
+  /// (peek(0) == front()). Does not consume; `i` must be < size(). Callers
+  /// that care about visibility bound `i` by visible_count() — lookahead
+  /// schedulers (the DRAM row-batching window) peek past the head without
+  /// disturbing FIFO order.
+  const T& peek(std::size_t i) const {
+    assert(i < size_);
+    return ring_[(head_ + i) & (storage_ - 1)].item;
+  }
+
+  /// Number of items visible (poppable, in FIFO order) at cycle `now`.
+  /// Delivery is FIFO even under per-item latency (push_in), so the visible
+  /// items are exactly the longest head prefix whose every member has
+  /// visible_at <= now; the scan stops at the first in-flight item.
+  std::size_t visible_count(Cycle now) const {
+    std::size_t n = 0;
+    while (n < size_ &&
+           ring_[(head_ + n) & (storage_ - 1)].visible_at <= now) {
+      ++n;
+    }
+    return n;
+  }
+
   /// Number of items currently stored (visible or not).
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }

@@ -69,6 +69,15 @@ class SystemBuilder {
   /// timing set (ignored by the other backends). Does not change which
   /// backend is selected — pair with memory("dram").
   SystemBuilder& dram_timing(const mem::DramTimingConfig& t);
+  /// "dram" only: row-aware batching scheduler — per-port lookahead window
+  /// (1 = head-only scheduling) and starvation cap in cycles (0 disables
+  /// batching too). Window 0 is rejected loudly.
+  SystemBuilder& dram_sched(std::size_t window, sim::Cycle starve_cap);
+  /// Explicit per-port memory FIFO depths (all backends). Zero depths are
+  /// rejected loudly; setting these disables the DRAM backend's automatic
+  /// latency-matched deepening at build time.
+  SystemBuilder& mem_queue_depths(std::size_t req_depth,
+                                  std::size_t resp_depth);
 
   // ---- adapter tuning --------------------------------------------------
   /// Overrides the adapter configuration; `bus_bytes` is still derived from
@@ -113,6 +122,7 @@ class SystemBuilder {
   bool monitor_ = true;
   bool naive_kernel_ = false;
   mem::MemoryBackendConfig mem_cfg_;
+  bool mem_depths_explicit_ = false;
   pack::AdapterConfig adapter_cfg_;
   bool adapter_explicit_ = false;
   std::vector<MasterSpec> masters_;

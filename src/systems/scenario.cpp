@@ -69,10 +69,50 @@ std::optional<SystemBuilder> parse_scenario(const std::string& name) {
   }
   if (pos >= name.size() || name[pos] != '-') return std::nullopt;
   ++pos;
-  if (name.compare(pos, std::string::npos, "dram") == 0) {
-    // "{base|pack}-{bits}-dram": the paper SoC over the DRAM backend.
+  if (name.compare(pos, 4, "dram") == 0) {
+    // "{base|pack}-{bits}-dram[-w{W}][-c{C}][-q{Q}]": the paper SoC over
+    // the DRAM backend, with optional row-batching scheduler knobs —
+    // w = per-port lookahead window (1 = head-only, no batching),
+    // c = starvation cap in cycles (0 = no batching),
+    // q = per-port memory request-FIFO depth (response depth keeps its
+    // default). Knobs may appear in any order, each at most once.
+    pos += 4;
     SystemBuilder b = soc_builder(kind, *bus_bits, 17);
     b.memory("dram");
+    std::size_t window = 0, cap = 0, req_depth = 0;  // 0 = not given
+    bool have_w = false, have_c = false, have_q = false;
+    while (pos != name.size()) {
+      if (name[pos] != '-' || pos + 2 >= name.size()) return std::nullopt;
+      const char knob = name[pos + 1];
+      pos += 2;
+      const auto value = parse_number(name, pos);
+      if (!value) return std::nullopt;
+      switch (knob) {
+        case 'w':
+          if (have_w || *value == 0) return std::nullopt;
+          window = *value;
+          have_w = true;
+          break;
+        case 'c':
+          if (have_c) return std::nullopt;
+          cap = *value;
+          have_c = true;
+          break;
+        case 'q':
+          if (have_q || *value == 0) return std::nullopt;
+          req_depth = *value;
+          have_q = true;
+          break;
+        default:
+          return std::nullopt;
+      }
+    }
+    mem::MemoryBackendConfig defaults;
+    if (have_w || have_c) {
+      b.dram_sched(have_w ? window : defaults.dram_sched_window,
+                   have_c ? cap : defaults.dram_starve_cap);
+    }
+    if (have_q) b.mem_queue_depths(req_depth, defaults.resp_depth);
     return b;
   }
   const auto banks = parse_number(name, pos);

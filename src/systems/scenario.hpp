@@ -11,6 +11,13 @@
 //
 //   {base|pack}-{64|128|256}-{N}b   e.g. pack-256-31b  (N = bank count)
 //   {base|pack}-{64|128|256}-dram   same SoC over the DRAM timing backend
+//     ...-dram[-w{W}][-c{C}][-q{Q}] with optional row-batching scheduler
+//                                   knobs: W = per-port lookahead window
+//                                   (1 = head-only), C = starvation cap in
+//                                   cycles (0 = no batching), Q = per-port
+//                                   memory request-FIFO depth; e.g.
+//                                   pack-256-dram-w1 (no batching) or
+//                                   pack-256-dram-w16-c128-q32
 //   ideal-{64|128|256}              processor on exclusive ideal memory
 //
 // Fixed names:

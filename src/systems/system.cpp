@@ -45,6 +45,9 @@ SystemBuilder& SystemBuilder::memory(const std::string& backend_name) {
 SystemBuilder& SystemBuilder::memory(const mem::MemoryBackendConfig& cfg) {
   assert(mem::BackendRegistry::instance().contains(cfg.name));
   mem_cfg_ = cfg;
+  // A full backend config is the caller taking complete control, including
+  // of the FIFO depths: no automatic DRAM deepening on top of it.
+  mem_depths_explicit_ = true;
   return *this;
 }
 
@@ -60,6 +63,38 @@ SystemBuilder& SystemBuilder::sram_latency(sim::Cycle cycles) {
 
 SystemBuilder& SystemBuilder::dram_timing(const mem::DramTimingConfig& t) {
   mem_cfg_.dram = t;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::dram_sched(std::size_t window,
+                                         sim::Cycle starve_cap) {
+  // Bad values fail loudly here (not just deep inside DramMemory): a zero
+  // window is always a config error — use window 1 / cap 0 to disable
+  // batching explicitly.
+  if (window == 0) {
+    std::fprintf(stderr,
+                 "SystemBuilder::dram_sched: window must be >= 1 (got 0); "
+                 "use window=1 or starve_cap=0 to disable batching\n");
+    std::abort();
+  }
+  mem_cfg_.dram_sched_window = window;
+  mem_cfg_.dram_starve_cap = starve_cap;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::mem_queue_depths(std::size_t req_depth,
+                                               std::size_t resp_depth) {
+  if (req_depth == 0 || resp_depth == 0) {
+    std::fprintf(stderr,
+                 "SystemBuilder::mem_queue_depths: req_depth=%zu / "
+                 "resp_depth=%zu must be >= 1 (zero-capacity FIFOs cannot "
+                 "carry traffic)\n",
+                 req_depth, resp_depth);
+    std::abort();
+  }
+  mem_cfg_.req_depth = req_depth;
+  mem_cfg_.resp_depth = resp_depth;
+  mem_depths_explicit_ = true;
   return *this;
 }
 
@@ -158,10 +193,37 @@ System::System(const SystemBuilder& b) : bus_bytes_(b.bus_bits_ / 8) {
 
     mem::MemoryBackendConfig mc = b.mem_cfg_;
     mc.num_ports = bus_bytes_ / mem::kWordBytes;
+    if (mc.name == "dram" && !b.mem_depths_explicit_) {
+      // The row-batching scheduler can only batch what it can see: give
+      // the per-port request FIFOs at least a full default lookahead
+      // window of depth (a fixed floor, so window sweeps below it compare
+      // schedulers over identical FIFOs, not FIFO sizes), and track
+      // larger windows so an explicit -w64 sweep point is not silently
+      // bounded by the FIFO.
+      mc.req_depth = std::max(
+          mc.req_depth, std::max<std::size_t>(32, mc.dram_sched_window));
+    }
     backend_ = mem::BackendRegistry::instance().create(kernel_, *store_, mc);
 
     pack::AdapterConfig ac = b.adapter_cfg_;
-    if (!b.adapter_explicit_) ac.queue_depth = b.queue_depth_;
+    if (!b.adapter_explicit_) {
+      ac.queue_depth = b.queue_depth_;
+      if (mc.name == "dram") {
+        // Latency-tolerant converter queues: the SRAM-sized defaults
+        // serialize on the DRAM access latency (a row miss costs
+        // tRP + tRCD + tCAS instead of 1 cycle), so scale the per-lane
+        // in-flight budget to cover a full miss round trip, keep more
+        // bursts outstanding across AR boundaries, and let index prefetch
+        // run far enough ahead that gather requests are already queued
+        // when the scheduler looks for same-row work.
+        const sim::Cycle miss = mc.dram.row_miss_latency();
+        ac.queue_depth =
+            std::max<unsigned>(ac.queue_depth, static_cast<unsigned>(miss));
+        ac.lane_fifo_depth = std::max<std::size_t>(ac.lane_fifo_depth, 4);
+        ac.idx_window_lines = std::max<std::size_t>(ac.idx_window_lines, 16);
+        ac.pack_max_bursts = std::max<std::size_t>(ac.pack_max_bursts, 4);
+      }
+    }
     ac.bus_bytes = bus_bytes_;
     adapter_ = std::make_unique<pack::AxiPackAdapter>(
         kernel_, *upstream, backend_->word_memory(), ac);
@@ -284,6 +346,10 @@ RunResult System::run(const wl::WorkloadInstance& instance,
     result.row_misses = now.row_misses - mem_start.row_misses;
     result.refresh_stall_cycles =
         now.refresh_stall_cycles - mem_start.refresh_stall_cycles;
+    result.row_batch_defer_cycles =
+        now.row_batch_defer_cycles - mem_start.row_batch_defer_cycles;
+    result.row_starved_grants =
+        now.row_starved_grants - mem_start.row_starved_grants;
   }
   if (checker_) {
     result.protocol_violations = checker_->violations().size();

@@ -41,6 +41,8 @@ struct RunResult {
   std::uint64_t row_hits = 0;
   std::uint64_t row_misses = 0;
   std::uint64_t refresh_stall_cycles = 0;
+  std::uint64_t row_batch_defer_cycles = 0;  ///< row-batching deferrals
+  std::uint64_t row_starved_grants = 0;      ///< starvation-cap overrides
 
   /// Fraction of dram accesses served from the open row (0 when the run
   /// did not touch a dram backend).

@@ -33,6 +33,8 @@ struct Snapshot {
   std::uint64_t row_hits = 0;
   std::uint64_t row_misses = 0;
   std::uint64_t refresh_stall_cycles = 0;
+  std::uint64_t row_batch_defer_cycles = 0;
+  std::uint64_t row_starved_grants = 0;
   std::uint64_t r_beats = 0;
   std::uint64_t r_payload_bytes = 0;
   std::uint64_t w_beats = 0;
@@ -52,6 +54,8 @@ struct Snapshot {
     s.row_hits = r.row_hits;
     s.row_misses = r.row_misses;
     s.refresh_stall_cycles = r.refresh_stall_cycles;
+    s.row_batch_defer_cycles = r.row_batch_defer_cycles;
+    s.row_starved_grants = r.row_starved_grants;
     s.r_beats = r.bus.r_beats;
     s.r_payload_bytes = r.bus.r_payload_bytes;
     s.w_beats = r.bus.w_beats;
@@ -72,6 +76,9 @@ void expect_identical(const Snapshot& naive, const Snapshot& gated,
   EXPECT_EQ(naive.row_hits, gated.row_hits) << what;
   EXPECT_EQ(naive.row_misses, gated.row_misses) << what;
   EXPECT_EQ(naive.refresh_stall_cycles, gated.refresh_stall_cycles) << what;
+  EXPECT_EQ(naive.row_batch_defer_cycles, gated.row_batch_defer_cycles)
+      << what;
+  EXPECT_EQ(naive.row_starved_grants, gated.row_starved_grants) << what;
   EXPECT_EQ(naive.r_beats, gated.r_beats) << what;
   EXPECT_EQ(naive.r_payload_bytes, gated.r_payload_bytes) << what;
   EXPECT_EQ(naive.w_beats, gated.w_beats) << what;
@@ -162,7 +169,13 @@ TEST(KernelEquivalence, ParametricFamilyMembers) {
   // already covered by EveryRegisteredScenario).
   for (const std::string name :
        {"base-64-9b", "pack-64-9b", "pack-128-31b", "ideal-128",
-        "pack-64-dram", "base-128-dram"}) {
+        "pack-64-dram", "base-128-dram",
+        // Row-batching scheduler family: head-only, small window with a
+        // tight cap, full window with the veto disabled, and an explicit
+        // memory-FIFO depth — the gated kernel must stay cycle-identical
+        // at every sched-window setting.
+        "pack-256-dram-w1", "pack-64-dram-w8-c16", "pack-128-dram-w32-c0",
+        "base-64-dram-w16-q48"}) {
     const Snapshot naive = drive_scenario(name, /*naive=*/true);
     const Snapshot gated = drive_scenario(name, /*naive=*/false);
     expect_identical(naive, gated, name);

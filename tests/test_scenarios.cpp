@@ -135,6 +135,43 @@ TEST(MemoryBackends, DramParametricFamilyParses) {
   EXPECT_GT(r.row_hits, 0u);
 }
 
+TEST(MemoryBackends, DramSchedulerKnobSuffixesParse) {
+  auto& reg = ScenarioRegistry::instance();
+  // Window / cap / request-depth knobs, in any order, each at most once.
+  EXPECT_TRUE(reg.contains("pack-256-dram-w1"));
+  EXPECT_TRUE(reg.contains("pack-256-dram-w16-c128"));
+  EXPECT_TRUE(reg.contains("base-128-dram-c0"));
+  EXPECT_TRUE(reg.contains("pack-64-dram-q32"));
+  EXPECT_TRUE(reg.contains("pack-256-dram-c16-w8"));   // order-free
+  EXPECT_TRUE(reg.contains("pack-256-dram-w32-c48-q64"));
+  // Malformed: unknown knob, missing value, zero window/depth, duplicates.
+  EXPECT_FALSE(reg.contains("pack-256-dram-x4"));
+  EXPECT_FALSE(reg.contains("pack-256-dram-w"));
+  EXPECT_FALSE(reg.contains("pack-256-dram-w0"));
+  EXPECT_FALSE(reg.contains("pack-256-dram-q0"));
+  EXPECT_FALSE(reg.contains("pack-256-dram-w4-w8"));
+  EXPECT_FALSE(reg.contains("pack-256-dram-w4c8"));
+  EXPECT_FALSE(reg.contains("pack-256-dram-"));
+}
+
+TEST(MemoryBackends, SchedWindowScenarioRunsAndShiftsHitRatio) {
+  // The parsed knobs must actually reach the scheduler: an indirect
+  // workload on the head-only scheduler thrashes rows; the batched default
+  // recovers them (the PR-3 DRAM finding and its fix, in miniature).
+  // Large enough that the index/value/x regions span several DRAM rows per
+  // bank (smaller sets fit one row-span and never thrash).
+  auto cfg = sys::default_workload(wl::KernelKind::spmv, SystemKind::pack);
+  cfg.n = 192;
+  cfg.nnz_per_row = 64;
+  const auto plain = sys::run_workload("pack-256-dram-w1", cfg);
+  const auto batched = sys::run_workload("pack-256-dram", cfg);
+  ASSERT_TRUE(plain.correct) << plain.error;
+  ASSERT_TRUE(batched.correct) << batched.error;
+  EXPECT_GT(batched.row_hit_ratio(), plain.row_hit_ratio() + 0.1)
+      << "sched window had no effect on the indirect-kernel hit ratio";
+  EXPECT_EQ(plain.row_batch_defer_cycles, 0u);  // w1 = batching disabled
+}
+
 TEST(MemoryBackends, IdealBackendRemovesBankConflicts) {
   // Same PACK pipeline, banked vs ideal backend: the ideal backend must
   // report no conflict losses and never be slower.

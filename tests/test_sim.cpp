@@ -93,6 +93,43 @@ TEST(Fifo, FifoOrderPreserved) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(f.pop(), i);
 }
 
+TEST(Fifo, PeekReadsPastTheHeadWithoutConsuming) {
+  Kernel k;
+  Fifo<int> f(k, 8);
+  for (int i = 0; i < 5; ++i) f.push(10 + i);
+  k.step();
+  ASSERT_EQ(f.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(f.peek(i), 10 + static_cast<int>(i));
+  }
+  EXPECT_EQ(f.front(), 10);  // nothing consumed
+  EXPECT_EQ(f.pop(), 10);
+  EXPECT_EQ(f.peek(0), 11);  // peek tracks the head after pops
+}
+
+TEST(Fifo, VisibleCountIsTheVisibleHeadPrefix) {
+  Kernel k;
+  Fifo<int> f(k, 8);
+  EXPECT_EQ(f.visible_count(k.now()), 0u);
+  f.push(1);
+  f.push(2);
+  EXPECT_EQ(f.visible_count(k.now()), 0u);  // registered: next cycle
+  k.step();
+  EXPECT_EQ(f.visible_count(k.now()), 2u);
+  // A slow item gates everything pushed behind it (FIFO delivery), even
+  // items whose own latency has already elapsed.
+  f.push_in(3, 5);
+  f.push_in(4, 1);
+  k.step();
+  EXPECT_EQ(f.visible_count(k.now()), 2u);
+  k.run(4);
+  EXPECT_EQ(f.visible_count(k.now()), 4u);
+  // Pops shrink the visible prefix from the front.
+  f.pop();
+  EXPECT_EQ(f.visible_count(k.now()), 3u);
+  EXPECT_EQ(f.peek(2), 4);
+}
+
 TEST(Fifo, TryPushTryPop) {
   Kernel k;
   Fifo<int> f(k, 2);

@@ -98,6 +98,29 @@ std::vector<sys::WorkloadJob> dram_jobs(bool naive) {
   return jobs;
 }
 
+/// The strided kernels on the row-batching pack-dram scheduler (the
+/// default). Their row-hit ratios are the regression canary for the
+/// batching scheduler: perf_kernel (and with it CI) fails when any drops
+/// below the recorded floor.
+constexpr wl::KernelKind kStridedKernels[] = {wl::KernelKind::ismt,
+                                              wl::KernelKind::gemv,
+                                              wl::KernelKind::trmv};
+/// Recorded floor for the pack-dram strided row-hit ratio at seed 42.
+/// Measured at this PR: ismt 0.71, gemv 0.50, trmv 0.66 (the head-only
+/// scheduler bottomed out at 0.29 on trmv); the floor sits under the
+/// weakest point with a small margin for workload-generator drift.
+constexpr double kPackDramStridedHitFloor = 0.45;
+
+std::vector<sys::WorkloadJob> dram_batched_jobs() {
+  std::vector<sys::WorkloadJob> jobs;
+  for (const auto kernel : kStridedKernels) {
+    auto cfg = sys::default_workload(kernel, sys::SystemKind::pack);
+    cfg.seed = kPerfSeed;
+    jobs.push_back({"pack-dram", cfg, /*naive=*/false});
+  }
+  return jobs;
+}
+
 /// Runs a job set `repeats` times and keeps the fastest wall-clock pass.
 SetResult run_jobs(const std::function<std::vector<sys::WorkloadJob>(bool)>&
                        make_jobs,
@@ -192,6 +215,21 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(dram_naive.cycles));
   std::printf("  dram gated     : %8.1f ms\n", dram_gated.wall_ms);
 
+  // 5) The dram_batched strided sweep: row-hit-ratio floor check.
+  const auto batched_results = sys::run_workloads(dram_batched_jobs(), 1);
+  double min_hit = 1.0;
+  bool batched_correct = true;
+  for (const auto& r : batched_results) {
+    min_hit = std::min(min_hit, r.row_hit_ratio());
+    batched_correct = batched_correct && r.correct;
+  }
+  const bool hit_floor_ok = batched_correct &&
+                            min_hit >= kPackDramStridedHitFloor;
+  std::printf("  dram batched strided row-hit ratio: min %.3f "
+              "(floor %.2f) — %s\n",
+              min_hit, kPackDramStridedHitFloor,
+              hit_floor_ok ? "ok" : "REGRESSION");
+
   // Cycle-identity across configurations is the hard constraint.
   bool identical = naive.cycles == gated.cycles;
   for (std::size_t i = 0; identical && i < naive.runs.size(); ++i) {
@@ -275,6 +313,25 @@ int main(int argc, char** argv) {
                  i + 1 == gated.runs.size() ? "" : ",");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"dram_batched\": {\n");
+  std::fprintf(f, "    \"row_hit_floor\": %.2f,\n", kPackDramStridedHitFloor);
+  std::fprintf(f, "    \"min_row_hit_ratio\": %.4f,\n", min_hit);
+  std::fprintf(f, "    \"pass\": %s,\n", hit_floor_ok ? "true" : "false");
+  std::fprintf(f, "    \"scenarios\": [\n");
+  for (std::size_t i = 0; i < batched_results.size(); ++i) {
+    const auto& r = batched_results[i];
+    std::fprintf(f,
+                 "      {\"scenario\": \"pack-dram\", \"kernel\": \"%s\", "
+                 "\"cycles\": %llu, \"row_hit_ratio\": %.4f, "
+                 "\"batch_defer_cycles\": %llu, \"correct\": %s}%s\n",
+                 wl::kernel_name(kStridedKernels[i]),
+                 static_cast<unsigned long long>(r.cycles),
+                 r.row_hit_ratio(),
+                 static_cast<unsigned long long>(r.row_batch_defer_cycles),
+                 r.correct ? "true" : "false",
+                 i + 1 == batched_results.size() ? "" : ",");
+  }
+  std::fprintf(f, "    ]\n  },\n");
   std::fprintf(f, "  \"dram_scenarios\": [\n");
   const auto djobs = dram_jobs(false);
   for (std::size_t i = 0; i < dram_gated.runs.size(); ++i) {
@@ -292,5 +349,5 @@ int main(int argc, char** argv) {
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 
-  return (identical && all_correct) ? 0 : 1;
+  return (identical && all_correct && hit_floor_ok) ? 0 : 1;
 }
