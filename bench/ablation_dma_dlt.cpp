@@ -17,6 +17,10 @@
 // quantifies when a DLT pass is worth it — with AXI-Pack's packed strided
 // bursts the answer is "almost never" for bank-friendly strides, which is
 // the paper's argument for protocol-level packing.
+//
+// Each (stride, operation) cost is one grid point: an independent
+// single-DMA fabric running one descriptor, verified against the expected
+// sink image.
 #include <memory>
 
 #include "bench_common.hpp"
@@ -29,139 +33,120 @@ namespace {
 
 using namespace axipack;
 
-/// DMA -> adapter -> 17-bank memory — the registry's
-/// "single-dma-{pack,narrow}" scenarios.
-struct Fabric {
-  std::unique_ptr<sys::System> system;
-  mem::BackingStore& store;
-  dma::DmaEngine& engine;
+enum class DltOp { contig, strided_pack, gather_pack, gather_narrow };
 
-  explicit Fabric(bool use_pack)
-      : system(sys::ScenarioRegistry::instance().build(
-            use_pack ? "single-dma-pack" : "single-dma-narrow")),
-        store(system->store()),
-        engine(system->dma(0)) {}
-
-  std::uint64_t run_job(const dma::Descriptor& d) {
-    const std::uint64_t start = system->kernel().now();
-    engine.push(d);
-    system->run_until_drained(50'000'000);
-    return system->kernel().now() - start;
-  }
-};
-
-constexpr std::uint64_t kElems = 1024;
-
-/// Per-stride single-pass costs.
-struct Costs {
-  std::uint64_t contig = 0;   ///< contiguous pass
-  std::uint64_t strided = 0;  ///< strided pass, pack burst
-  std::uint64_t gather = 0;   ///< DLT gather, pack DMA
-  std::uint64_t narrow = 0;   ///< DLT gather, narrow (per-element) DMA
-};
-
-Costs measure(std::int64_t stride) {
-  Costs c;
-  // Pack-mode fabric covers the contiguous pass, the on-the-fly strided
-  // pass, and the pack-DMA gather.
-  Fabric fab(true);
-  const std::uint64_t src =
-      fab.store.alloc(kElems * static_cast<std::uint64_t>(stride) + 64, 64);
-  const std::uint64_t staging = fab.store.alloc(kElems * 4, 64);
-  const std::uint64_t sink = fab.store.alloc(kElems * 4, 64);
-  for (std::uint64_t i = 0; i < kElems; ++i) {
-    fab.store.write_u32(src + i * static_cast<std::uint64_t>(stride),
-                        std::uint32_t(i));
-  }
-
-  dma::Descriptor strided_pass;
-  strided_pass.src = dma::Pattern::strided(src, stride);
-  strided_pass.dst = dma::Pattern::contiguous(sink);
-  strided_pass.elem_bytes = 4;
-  strided_pass.num_elems = kElems;
-  c.strided = fab.run_job(strided_pass);
-
-  dma::Descriptor dlt = strided_pass;
-  dlt.dst = dma::Pattern::contiguous(staging);
-  c.gather = fab.run_job(dlt);
-
-  dma::Descriptor contig_pass;
-  contig_pass.src = dma::Pattern::contiguous(staging);
-  contig_pass.dst = dma::Pattern::contiguous(sink);
-  contig_pass.elem_bytes = 4;
-  contig_pass.num_elems = kElems;
-  c.contig = fab.run_job(contig_pass);
-
-  // Separate fabric for the conventional narrow-burst gather engine.
-  Fabric nf(false);
-  const std::uint64_t nsrc =
-      nf.store.alloc(kElems * static_cast<std::uint64_t>(stride) + 64, 64);
-  const std::uint64_t ndst = nf.store.alloc(kElems * 4, 64);
-  for (std::uint64_t i = 0; i < kElems; ++i) {
-    nf.store.write_u32(nsrc + i * static_cast<std::uint64_t>(stride),
-                       std::uint32_t(i));
-  }
-  dma::Descriptor narrow_gather;
-  narrow_gather.src = dma::Pattern::strided(nsrc, stride);
-  narrow_gather.dst = dma::Pattern::contiguous(ndst);
-  narrow_gather.elem_bytes = 4;
-  narrow_gather.num_elems = kElems;
-  c.narrow = nf.run_job(narrow_gather);
-  return c;
+sys::AxisValue op_value(const char* label, DltOp op) {
+  return sys::AxisValue::shaped(label, [op](sys::PointDraft& d) {
+    d.params["op"] = static_cast<double>(static_cast<int>(op));
+  });
 }
 
-void emit() {
+/// Runs one DMA pass on a fresh single-DMA fabric and verifies the
+/// destination holds the 0..n-1 element sequence.
+sys::PointResult run_dlt_point(const sys::GridPoint& p) {
+  const auto op = static_cast<DltOp>(static_cast<int>(p.param("op")));
+  const auto stride = static_cast<std::int64_t>(p.param("stride"));
+  const std::uint64_t elems = p.quick ? 256 : 1024;
+
+  const bool use_pack = op != DltOp::gather_narrow;
+  std::unique_ptr<sys::System> system =
+      sys::ScenarioRegistry::instance().build(
+          use_pack ? "single-dma-pack" : "single-dma-narrow");
+  mem::BackingStore& store = system->store();
+  dma::DmaEngine& engine = system->dma(0);
+
+  const std::uint64_t src =
+      store.alloc(elems * static_cast<std::uint64_t>(stride) + 64, 64);
+  const std::uint64_t dst = store.alloc(elems * 4, 64);
+  dma::Descriptor d;
+  if (op == DltOp::contig) {
+    // The post-DLT pass: stream the already-contiguous staging buffer.
+    for (std::uint64_t i = 0; i < elems; ++i) {
+      store.write_u32(src + i * 4, std::uint32_t(i));
+    }
+    d.src = dma::Pattern::contiguous(src);
+  } else {
+    for (std::uint64_t i = 0; i < elems; ++i) {
+      store.write_u32(src + i * static_cast<std::uint64_t>(stride),
+                      std::uint32_t(i));
+    }
+    d.src = dma::Pattern::strided(src, stride);
+  }
+  d.dst = dma::Pattern::contiguous(dst);
+  d.elem_bytes = 4;
+  d.num_elems = elems;
+
+  const std::uint64_t start = system->kernel().now();
+  engine.push(d);
+  const bool drained = bool(system->run_until_drained(50'000'000));
+  sys::PointResult out;
+  out.run.bus_bits = 256;
+  out.run.cycles = system->kernel().now() - start;
+  out.run.correct = drained;
+  for (std::uint64_t i = 0; drained && i < elems; ++i) {
+    if (store.read_u32(dst + i * 4) != std::uint32_t(i)) {
+      out.run.correct = false;
+      out.run.error = "sink mismatch";
+    }
+  }
+  return out;
+}
+
+void emit(bench::BenchContext& ctx) {
   bench::figure_header("Ablation",
                        "DLT (ahead-of-time DMA) vs on-the-fly packing");
-
   // Stride 40 B (10 words) is coprime with the 17 banks — the common case.
   // Stride 68 B (17 words) puts every element in the same bank — the
   // pathology where even packed bursts serialize at one word per cycle.
-  for (const std::int64_t stride : {std::int64_t{40}, std::int64_t{68}}) {
-    const Costs c = measure(stride);
-    std::printf("single-pass costs (%llu elements, stride %lld B%s):\n",
-                static_cast<unsigned long long>(kElems),
-                static_cast<long long>(stride),
-                stride == 68 ? " — same-bank pathology on 17 banks" : "");
-    util::Table costs({"operation", "cycles", "vs contiguous"});
-    costs.row().cell("contiguous pass").cell(c.contig).cell(1.0, 2);
-    costs.row()
-        .cell("strided pass (pack burst)")
-        .cell(c.strided)
-        .cell(static_cast<double>(c.strided) / c.contig, 2);
-    costs.row()
-        .cell("DLT gather (pack DMA)")
-        .cell(c.gather)
-        .cell(static_cast<double>(c.gather) / c.contig, 2);
-    costs.row()
-        .cell("DLT gather (narrow DMA)")
-        .cell(c.narrow)
-        .cell(static_cast<double>(c.narrow) / c.contig, 2);
-    costs.print(std::cout);
+  const auto& results = ctx.run(
+      sys::ExperimentSpec("ablation-dma-dlt")
+          .param_axis("stride", "stride", {40, 68})
+          .axis("operation",
+                {op_value("contiguous pass", DltOp::contig),
+                 op_value("strided pass (pack burst)", DltOp::strided_pack),
+                 op_value("DLT gather (pack DMA)", DltOp::gather_pack),
+                 op_value("DLT gather (narrow DMA)", DltOp::gather_narrow)})
+          .baseline("operation", "contiguous pass")
+          .runner(run_dlt_point));
 
-    std::printf("\ntotal cost over R reuse passes:\n");
+  for (const char* stride : {"40", "68"}) {
+    const auto* contig =
+        results.find({{"stride", stride}, {"operation", "contiguous pass"}});
+    const auto* fly = results.find(
+        {{"stride", stride}, {"operation", "strided pass (pack burst)"}});
+    const auto* gather = results.find(
+        {{"stride", stride}, {"operation", "DLT gather (pack DMA)"}});
+    const auto* narrow = results.find(
+        {{"stride", stride}, {"operation", "DLT gather (narrow DMA)"}});
+    if (!contig || !fly || !gather || !narrow) continue;
+    std::printf("\ntotal cost over R reuse passes (stride %s B%s):\n",
+                stride,
+                std::string(stride) == "68"
+                    ? " — same-bank pathology on 17 banks"
+                    : "");
     util::Table table({"reuses", "on-the-fly (pack)",
                        "DLT+contig (pack DMA)", "DLT+contig (narrow DMA)",
                        "best"});
     for (const unsigned reuses : {1u, 2u, 4u, 8u, 16u}) {
-      const std::uint64_t fly = c.strided * reuses;
-      const std::uint64_t dlt_pack = c.gather + c.contig * reuses;
-      const std::uint64_t dlt_narrow = c.narrow + c.contig * reuses;
-      const char* best = fly <= dlt_pack && fly <= dlt_narrow
+      const std::uint64_t fly_cost = fly->run.cycles * reuses;
+      const std::uint64_t dlt_pack =
+          gather->run.cycles + contig->run.cycles * reuses;
+      const std::uint64_t dlt_narrow =
+          narrow->run.cycles + contig->run.cycles * reuses;
+      const char* best = fly_cost <= dlt_pack && fly_cost <= dlt_narrow
                              ? "on-the-fly"
                          : dlt_pack <= dlt_narrow ? "DLT (pack)"
                                                   : "DLT (narrow)";
       table.row()
           .cell(std::to_string(reuses))
-          .cell(fly)
+          .cell(fly_cost)
           .cell(dlt_pack)
           .cell(dlt_narrow)
           .cell(best);
     }
     table.print(std::cout);
-    std::printf("\n");
   }
-  std::printf("design takeaway: with bank-friendly strides the packed "
+  std::printf("\ndesign takeaway: with bank-friendly strides the packed "
               "on-the-fly stream is nearly\ncontiguous-fast and a DLT pass "
               "only pays off under reuse; in the same-bank pathology\nthe "
               "gather amortizes after two passes. Either way the AXI-Pack "

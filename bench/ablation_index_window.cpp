@@ -16,31 +16,33 @@ namespace {
 
 using namespace axipack;
 
-void emit() {
+sys::AxisValue memory_value(unsigned banks) {
+  return sys::AxisValue::shaped(
+      banks == 0 ? "ideal" : std::to_string(banks) + "b",
+      [banks](sys::PointDraft& d) { d.params["banks"] = banks; });
+}
+
+void emit(bench::BenchContext& ctx) {
   bench::figure_header("Ablation",
                        "indirect index-window size (bus lines of indices)");
-  util::Table table({"window", "32/32 17b", "32/8 17b", "32/32 ideal",
-                     "32/8 ideal"});
-  for (const unsigned lines : {1u, 2u, 4u, 8u, 16u, 32u}) {
-    table.row().cell(std::to_string(lines));
-    for (const unsigned idx_bits : {32u, 8u}) {
-      sys::SensitivityConfig cfg;
-      cfg.indirect = true;
-      cfg.index_bits = idx_bits;
-      cfg.idx_window_lines = lines;
-      cfg.banks = 17;
-      table.cell(util::fmt_pct(sys::measure_read_utilization(cfg).r_util));
-    }
-    for (const unsigned idx_bits : {32u, 8u}) {
-      sys::SensitivityConfig cfg;
-      cfg.indirect = true;
-      cfg.index_bits = idx_bits;
-      cfg.idx_window_lines = lines;
-      cfg.banks = 0;  // conflict-free ideal memory
-      table.cell(util::fmt_pct(sys::measure_read_utilization(cfg).r_util));
-    }
-  }
-  table.print(std::cout);
+  ctx.run(
+      sys::ExperimentSpec("ablation-index-window")
+          .param_axis("window", "window_lines", {1, 2, 4, 8, 16, 32})
+          .param_axis("index_bits", "index_bits", {32, 8})
+          .axis("memory", {memory_value(17), memory_value(0)})
+          .runner([](const sys::GridPoint& p) {
+            sys::SensitivityConfig cfg;
+            cfg.indirect = true;
+            cfg.index_bits = static_cast<unsigned>(p.param("index_bits"));
+            cfg.idx_window_lines =
+                static_cast<unsigned>(p.param("window_lines"));
+            cfg.banks = static_cast<unsigned>(p.param("banks"));
+            if (p.quick) cfg.num_bursts = 2;
+            sys::PointResult out;
+            out.metrics["r_util"] =
+                sys::measure_read_utilization(cfg).r_util;
+            return out;
+          }));
   std::printf("\ndesign takeaway: the window needs to cover the per-lane "
               "run-ahead the decoupling\nqueues allow; small indices pack "
               "more entries per line, so 8-bit indices saturate\nwith fewer "

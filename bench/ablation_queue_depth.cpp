@@ -16,46 +16,51 @@ namespace {
 
 using namespace axipack;
 
-void emit() {
+// Stride 17 equals the bank count — the pathological case prime-banked
+// memories still serialize; deeper queues hide part of the stall. "avg"
+// averages strides 1..16.
+sys::AxisValue stream_value(const char* label) {
+  return sys::AxisValue::shaped(
+      label, [](sys::PointDraft&) {});
+}
+
+void emit(bench::BenchContext& ctx) {
   bench::figure_header("Ablation", "decoupling-queue depth (paper: 4 in "
                        "system runs, 32 in sensitivity runs)");
-  util::Table table({"depth", "strided s=1", "strided s=17", "strided avg",
-                     "indirect 32/32", "indirect 32/8"});
-  for (const unsigned depth : {1u, 2u, 4u, 8u, 16u, 32u}) {
-    sys::SensitivityConfig cfg;
-    cfg.queue_depth = depth;
-
-    cfg.indirect = false;
-    cfg.stride_elems = 1;
-    const double unit = sys::measure_read_utilization(cfg).r_util;
-    // Stride equal to the bank count is the pathological case prime-banked
-    // memories still serialize; deeper queues hide part of the stall.
-    cfg.stride_elems = 17;
-    const double worst = sys::measure_read_utilization(cfg).r_util;
-
-    double avg = 0.0;
-    const int kStrides = 16;
-    for (int s = 1; s <= kStrides; ++s) {
-      cfg.stride_elems = s;
-      avg += sys::measure_read_utilization(cfg).r_util;
-    }
-    avg /= kStrides;
-
-    cfg.indirect = true;
-    cfg.index_bits = 32;
-    const double ind32 = sys::measure_read_utilization(cfg).r_util;
-    cfg.index_bits = 8;
-    const double ind8 = sys::measure_read_utilization(cfg).r_util;
-
-    table.row()
-        .cell(std::to_string(depth))
-        .cell(util::fmt_pct(unit))
-        .cell(util::fmt_pct(worst))
-        .cell(util::fmt_pct(avg))
-        .cell(util::fmt_pct(ind32))
-        .cell(util::fmt_pct(ind8));
-  }
-  table.print(std::cout);
+  ctx.run(
+      sys::ExperimentSpec("ablation-queue-depth")
+          .param_axis("depth", "depth", {1, 2, 4, 8, 16, 32})
+          .axis("stream", {stream_value("strided s=1"),
+                           stream_value("strided s=17"),
+                           stream_value("strided avg"),
+                           stream_value("indirect 32/32"),
+                           stream_value("indirect 32/8")})
+          .runner([](const sys::GridPoint& p) {
+            sys::SensitivityConfig cfg;
+            cfg.queue_depth = static_cast<unsigned>(p.param("depth"));
+            if (p.quick) cfg.num_bursts = 2;
+            const std::string& stream = p.coord("stream");
+            sys::PointResult out;
+            double util = 0.0;
+            if (stream == "strided avg") {
+              const int kStrides = p.quick ? 4 : 16;
+              for (int s = 1; s <= kStrides; ++s) {
+                cfg.stride_elems = s;
+                util += sys::measure_read_utilization(cfg).r_util;
+              }
+              util /= kStrides;
+            } else {
+              if (stream.rfind("indirect", 0) == 0) {
+                cfg.indirect = true;
+                cfg.index_bits = stream == "indirect 32/8" ? 8 : 32;
+              } else {
+                cfg.stride_elems = stream == "strided s=17" ? 17 : 1;
+              }
+              util = sys::measure_read_utilization(cfg).r_util;
+            }
+            out.metrics["r_util"] = util;
+            return out;
+          }));
   std::printf("\ndesign takeaway: depth 4 recovers most of the strided "
               "utilization on 17 banks;\nrandom-index indirect streams keep "
               "gaining from deeper queues, which is why the\npaper's "

@@ -7,41 +7,35 @@
 // stay >= 1.0 at every point, approaching 1.0 only where the per-iteration
 // scalar overhead dominates both systems equally.
 #include "bench_common.hpp"
-#include "systems/runner.hpp"
 
 namespace {
 
 using namespace axipack;
 
-void emit() {
+sys::AxisValue stream_value(std::uint32_t n) {
+  return sys::AxisValue::config(std::to_string(n),
+                                [n](wl::WorkloadConfig& c) { c.n = n; });
+}
+
+void emit(bench::BenchContext& ctx) {
   bench::figure_header("Ablation", "short streams (pack is never slower)");
-  util::Table table({"stream elems", "base cycles", "pack cycles", "speedup",
-                     "pack>=base?"});
-  bool all_ok = true;
-  for (const std::uint32_t n : {2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
-    // ismt streams have length ~n; use it as the short-stream proxy with
-    // everything else (overheads, memory) held constant.
-    auto base_cfg = sys::default_workload(wl::KernelKind::ismt,
-                                          sys::SystemKind::base);
-    base_cfg.n = n;
-    auto pack_cfg = sys::default_workload(wl::KernelKind::ismt,
-                                          sys::SystemKind::pack);
-    pack_cfg.n = n;
-    const auto base = sys::run_workload(
-        sys::scenario_name(sys::SystemKind::base), base_cfg);
-    const auto pack = sys::run_workload(
-        sys::scenario_name(sys::SystemKind::pack), pack_cfg);
-    const bool ok = pack.cycles <= base.cycles && base.correct &&
-                    pack.correct;
-    all_ok &= ok;
-    table.row()
-        .cell(std::to_string(n))
-        .cell(base.cycles)
-        .cell(pack.cycles)
-        .cell(static_cast<double>(base.cycles) / pack.cycles, 2)
-        .cell(ok ? "yes" : "NO");
+  // ismt streams have length ~n; use it as the short-stream proxy with
+  // everything else (overheads, memory) held constant.
+  const auto& results = ctx.run(
+      sys::ExperimentSpec("ablation-short-streams")
+          .kernels_axis({wl::KernelKind::ismt})
+          .axis("stream elems",
+                {stream_value(2), stream_value(4), stream_value(8),
+                 stream_value(16), stream_value(32), stream_value(64),
+                 stream_value(128), stream_value(256)})
+          .systems_axis({sys::SystemKind::base, sys::SystemKind::pack})
+          .baseline("system", "base"));
+  bool all_ok = results.all_correct();
+  for (const sys::ResultRow& row : results.rows()) {
+    if (row.coord("system") == "pack" && row.speedup) {
+      all_ok = all_ok && *row.speedup >= 1.0;
+    }
   }
-  table.print(std::cout);
   std::printf("\npaper claim %s: request bundling folds the whole stream "
               "into one burst, so\nshort streams cost one request either "
               "way while PACK still packs the data beats.\n\n",

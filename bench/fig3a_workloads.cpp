@@ -5,7 +5,6 @@
 // 2.4x (spmv) indirect; bus utilizations up to 87% (gemv) / 39% (sssp);
 // PACK reaches ~97% of IDEAL on average.
 #include "bench_common.hpp"
-#include "systems/runner.hpp"
 
 namespace {
 
@@ -29,40 +28,46 @@ const PaperRef kPaper[] = {
     {wl::KernelKind::sssp, 2.1, 2.2, 0.39},
 };
 
-void emit() {
+void emit(bench::BenchContext& ctx) {
   bench::figure_header("Fig. 3a", "speedups and R-bus utilizations");
-  util::Table table({"workload", "base cyc", "pack cyc", "ideal cyc",
-                     "pack speedup", "ideal speedup", "pack R util",
-                     "R util w/o idx", "pack/ideal", "paper speedup",
-                     "paper R util", "ok"});
+  const auto& results = ctx.run(
+      sys::ExperimentSpec("fig3a")
+          .kernels_axis({wl::KernelKind::ismt, wl::KernelKind::gemv,
+                         wl::KernelKind::trmv, wl::KernelKind::spmv,
+                         wl::KernelKind::prank, wl::KernelKind::sssp})
+          .systems_axis({sys::SystemKind::base, sys::SystemKind::pack,
+                         sys::SystemKind::ideal})
+          .baseline("system", "base"));
+
   double frac_sum = 0.0;
+  int frac_count = 0;
   for (const PaperRef& ref : kPaper) {
-    const auto base = sys::run_default(ref.kernel, sys::SystemKind::base);
-    const auto pack = sys::run_default(ref.kernel, sys::SystemKind::pack);
-    const auto ideal = sys::run_default(ref.kernel, sys::SystemKind::ideal);
-    const double pack_speedup =
-        static_cast<double>(base.cycles) / pack.cycles;
-    const double ideal_speedup =
-        static_cast<double>(base.cycles) / ideal.cycles;
-    frac_sum += static_cast<double>(ideal.cycles) / pack.cycles;
-    table.row()
-        .cell(wl::kernel_name(ref.kernel))
-        .cell(base.cycles)
-        .cell(pack.cycles)
-        .cell(ideal.cycles)
-        .cell(pack_speedup, 2)
-        .cell(ideal_speedup, 2)
-        .cell(util::fmt_pct(pack.r_util))
-        .cell(util::fmt_pct(pack.r_util_no_idx))
-        .cell(util::fmt_pct(static_cast<double>(ideal.cycles) / pack.cycles))
-        .cell(ref.pack_speedup, 1)
-        .cell(util::fmt_pct(ref.pack_r_util))
-        .cell(base.correct && pack.correct && ideal.correct ? "yes" : "NO");
+    const auto* pack =
+        results.find({{"kernel", wl::kernel_name(ref.kernel)},
+                      {"system", "pack"}});
+    const auto* ideal =
+        results.find({{"kernel", wl::kernel_name(ref.kernel)},
+                      {"system", "ideal"}});
+    if (pack == nullptr || ideal == nullptr) continue;
+    frac_sum += static_cast<double>(ideal->run.cycles) / pack->run.cycles;
+    ++frac_count;
+    std::printf("%-5s paper: pack %.1fx / ideal %.1fx / R-util %s  —  "
+                "measured: pack %s / ideal %s / R-util %s\n",
+                wl::kernel_name(ref.kernel), ref.pack_speedup,
+                ref.ideal_speedup, util::fmt_pct(ref.pack_r_util).c_str(),
+                pack->speedup ? (util::fmt(*pack->speedup, 2) + "x").c_str()
+                              : "-",
+                ideal->speedup
+                    ? (util::fmt(*ideal->speedup, 2) + "x").c_str()
+                    : "-",
+                util::fmt_pct(pack->run.r_util).c_str());
   }
-  table.print(std::cout);
-  std::printf("\nPACK reaches %.1f%% of IDEAL on average "
-              "(paper: 97%%)\n\n",
-              frac_sum / 6.0 * 100.0);
+  if (frac_count > 0) {
+    std::printf("\nPACK reaches %.1f%% of IDEAL on average (paper: 97%%)\n",
+                frac_sum / frac_count * 100.0);
+  }
+  std::printf("all workloads verified: %s\n\n",
+              results.all_correct() ? "yes" : "NO");
 }
 
 void bm_fig3a_pack_spmv(benchmark::State& state) {

@@ -5,55 +5,31 @@
 // utilization on PACK and are fastest overall on PACK/IDEAL, while on BASE
 // the per-element strided cost makes column-wise the worst option.
 #include "bench_common.hpp"
-#include "systems/runner.hpp"
 
 namespace {
 
 using namespace axipack;
 
-void emit() {
+void emit(bench::BenchContext& ctx) {
   bench::figure_header("Fig. 3b", "gemv dataflows compared (n=256)");
-  util::Table table({"system", "dataflow", "cycles", "R util", "paper"});
-  // All 6 points are independent systems: sweep them over the thread pool.
-  std::vector<sys::WorkloadJob> jobs;
-  for (const auto df : {wl::Dataflow::rowwise, wl::Dataflow::colwise}) {
-    for (const auto kind : {sys::SystemKind::base, sys::SystemKind::pack,
-                            sys::SystemKind::ideal}) {
-      auto cfg = sys::default_workload(wl::KernelKind::gemv, kind);
-      cfg.dataflow = df;
-      jobs.push_back({sys::scenario_name(kind), cfg});
-    }
-  }
-  const auto results = sys::run_workloads(jobs);
-  std::size_t i = 0;
-  for (const auto df : {wl::Dataflow::rowwise, wl::Dataflow::colwise}) {
-    for (const auto kind : {sys::SystemKind::base, sys::SystemKind::pack,
-                            sys::SystemKind::ideal}) {
-      const auto& r = results[i++];
-      std::string note;
-      if (df == wl::Dataflow::rowwise && kind == sys::SystemKind::base) {
-        note = "R util ~37%";
-      } else if (df == wl::Dataflow::colwise &&
-                 kind == sys::SystemKind::pack) {
-        note = "R util ~87%";
-      }
-      table.row()
-          .cell(sys::system_name(kind))
-          .cell(df == wl::Dataflow::rowwise ? "row-wise" : "col-wise")
-          .cell(r.cycles)
-          .cell(util::fmt_pct(r.r_util))
-          .cell(note);
-    }
-  }
-  table.print(std::cout);
-  std::printf("\npaper shape: col-wise slowest on BASE, fastest on "
+  ctx.run(
+      sys::ExperimentSpec("fig3b")
+          .kernels_axis({wl::KernelKind::gemv})
+          .axis("dataflow",
+                {sys::AxisValue::dataflow(wl::Dataflow::rowwise),
+                 sys::AxisValue::dataflow(wl::Dataflow::colwise)})
+          .systems_axis({sys::SystemKind::base, sys::SystemKind::pack,
+                         sys::SystemKind::ideal}));
+  std::printf("\npaper: BASE row-wise R util ~37%%, PACK col-wise R util "
+              "~87%%\n");
+  std::printf("paper shape: col-wise slowest on BASE, fastest on "
               "PACK/IDEAL; row-wise nearly\nidentical across systems\n\n");
 }
 
 void bm_gemv_col_pack(benchmark::State& state) {
   for (auto _ : state) {
-    auto cfg = sys::default_workload(wl::KernelKind::gemv,
-                                     sys::SystemKind::pack);
+    auto cfg = sys::plan_workload(wl::KernelKind::gemv,
+                                  sys::scenario_name(sys::SystemKind::pack));
     cfg.dataflow = wl::Dataflow::colwise;
     const auto r =
         sys::run_workload(sys::scenario_name(sys::SystemKind::pack), cfg);

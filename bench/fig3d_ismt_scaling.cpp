@@ -5,63 +5,52 @@
 // 1.9x / 3.2x / 5.4x for 64/128/256-bit buses; short matrices are
 // bottlenecked by row-iteration overhead; AXI-Pack never slows down.
 #include "bench_common.hpp"
-#include "systems/runner.hpp"
 
 namespace {
 
 using namespace axipack;
 
-sys::WorkloadJob ismt_job(sys::SystemKind kind, unsigned bus_bits,
-                          std::uint32_t n) {
-  auto cfg = sys::default_workload(wl::KernelKind::ismt, kind);
-  cfg.n = n;
-  return {sys::scenario_name(kind, bus_bits), cfg};
+sys::AxisValue dim_value(std::uint32_t n) {
+  return sys::AxisValue::config(std::to_string(n),
+                                [n](wl::WorkloadConfig& c) { c.n = n; });
 }
 
-double speedup_at(unsigned bus_bits, std::uint32_t n) {
-  const auto r = sys::run_workloads(
-      {ismt_job(sys::SystemKind::base, bus_bits, n),
-       ismt_job(sys::SystemKind::pack, bus_bits, n)});
-  return static_cast<double>(r[0].cycles) / static_cast<double>(r[1].cycles);
-}
-
-void emit() {
+void emit(bench::BenchContext& ctx) {
   bench::figure_header("Fig. 3d", "ismt PACK speedup scaling");
-  const std::uint32_t dims[] = {8, 16, 32, 64, 128, 192, 256};
-  util::Table table({"matrix dim", "64b bus", "128b bus", "256b bus"});
-  const unsigned buses[] = {64u, 128u, 256u};
-  // Whole surface (7 dims x 3 buses x base/pack) as one sweep.
-  std::vector<sys::WorkloadJob> jobs;
-  for (const auto n : dims) {
-    for (const unsigned bus : buses) {
-      jobs.push_back(ismt_job(sys::SystemKind::base, bus, n));
-      jobs.push_back(ismt_job(sys::SystemKind::pack, bus, n));
-    }
+  const auto& results = ctx.run(
+      sys::ExperimentSpec("fig3d")
+          .kernels_axis({wl::KernelKind::ismt})
+          .axis("dim", {dim_value(8), dim_value(16), dim_value(32),
+                        dim_value(64), dim_value(128), dim_value(192),
+                        dim_value(256)})
+          .axis("bus", {sys::AxisValue::bus_bits(64),
+                        sys::AxisValue::bus_bits(128),
+                        sys::AxisValue::bus_bits(256)})
+          .systems_axis({sys::SystemKind::base, sys::SystemKind::pack})
+          .baseline("system", "base"));
+
+  double converged[3] = {0, 0, 0};
+  const char* buses[] = {"64", "128", "256"};
+  for (int i = 0; i < 3; ++i) {
+    const auto* row = results.find(
+        {{"dim", "256"}, {"bus", buses[i]}, {"system", "pack"}});
+    if (row != nullptr && row->speedup) converged[i] = *row->speedup;
   }
-  const auto results = sys::run_workloads(jobs);
-  double last[3] = {0, 0, 0};
-  std::size_t j = 0;
-  for (const auto n : dims) {
-    table.row().cell(std::uint64_t{n});
-    for (int i = 0; i < 3; ++i) {
-      const auto& base = results[j++];
-      const auto& pack = results[j++];
-      last[i] = static_cast<double>(base.cycles) /
-                static_cast<double>(pack.cycles);
-      table.cell(last[i], 2);
-    }
-  }
-  table.print(std::cout);
   std::printf("\npaper: converged speedups ~1.9x / 3.2x / 5.4x  —  "
               "measured at n=256: %.1fx / %.1fx / %.1fx\n",
-              last[0], last[1], last[2]);
+              converged[0], converged[1], converged[2]);
   std::printf("paper: AXI-Pack never causes a slowdown (speedup >= 1 even "
               "at n=8)\n\n");
 }
 
 void bm_ismt_256(benchmark::State& state) {
   for (auto _ : state) {
-    benchmark::DoNotOptimize(speedup_at(256, 128));
+    auto cfg = sys::plan_workload(
+        wl::KernelKind::ismt, sys::scenario_name(sys::SystemKind::pack, 256));
+    cfg.n = 128;
+    const auto r = sys::run_workload(
+        sys::scenario_name(sys::SystemKind::pack, 256), cfg);
+    state.counters["sim_cycles"] = static_cast<double>(r.cycles);
   }
 }
 BENCHMARK(bm_ismt_256)->Unit(benchmark::kMillisecond)->Iterations(1);

@@ -5,63 +5,51 @@
 // bit; the nonzeros per row set stream length per row iteration, so the
 // scaling mirrors Fig. 3d.
 #include "bench_common.hpp"
-#include "systems/runner.hpp"
 
 namespace {
 
 using namespace axipack;
 
-sys::WorkloadJob spmv_job(sys::SystemKind kind, unsigned bus_bits,
-                          std::uint32_t nnz) {
-  auto cfg = sys::default_workload(wl::KernelKind::spmv, kind);
-  cfg.nnz_per_row = nnz;
-  // Keep total work bounded across the sweep.
-  cfg.n = nnz >= 128 ? 256u : 512u;
-  return {sys::scenario_name(kind, bus_bits), cfg};
+sys::AxisValue nnz_value(std::uint32_t nnz) {
+  return sys::AxisValue::config(std::to_string(nnz),
+                                [nnz](wl::WorkloadConfig& c) {
+                                  c.nnz_per_row = nnz;
+                                  // Keep total work bounded across the sweep.
+                                  c.n = nnz >= 128 ? 256u : 512u;
+                                });
 }
 
-double speedup_at(unsigned bus_bits, std::uint32_t nnz) {
-  const auto r = sys::run_workloads(
-      {spmv_job(sys::SystemKind::base, bus_bits, nnz),
-       spmv_job(sys::SystemKind::pack, bus_bits, nnz)});
-  return static_cast<double>(r[0].cycles) / static_cast<double>(r[1].cycles);
-}
-
-void emit() {
+void emit(bench::BenchContext& ctx) {
   bench::figure_header("Fig. 3e", "spmv PACK speedup scaling");
-  const std::uint32_t nnzs[] = {2, 8, 24, 64, 128, 256, 390};
-  util::Table table({"nnz/row", "64b bus", "128b bus", "256b bus"});
-  const unsigned buses[] = {64u, 128u, 256u};
-  // Whole surface (7 densities x 3 buses x base/pack) as one sweep.
-  std::vector<sys::WorkloadJob> jobs;
-  for (const auto nnz : nnzs) {
-    for (const unsigned bus : buses) {
-      jobs.push_back(spmv_job(sys::SystemKind::base, bus, nnz));
-      jobs.push_back(spmv_job(sys::SystemKind::pack, bus, nnz));
-    }
+  const auto& results = ctx.run(
+      sys::ExperimentSpec("fig3e")
+          .kernels_axis({wl::KernelKind::spmv})
+          .axis("nnz/row", {nnz_value(2), nnz_value(8), nnz_value(24),
+                            nnz_value(64), nnz_value(128), nnz_value(256),
+                            nnz_value(390)})
+          .axis("bus", {sys::AxisValue::bus_bits(64),
+                        sys::AxisValue::bus_bits(128),
+                        sys::AxisValue::bus_bits(256)})
+          .systems_axis({sys::SystemKind::base, sys::SystemKind::pack})
+          .baseline("system", "base"));
+
+  double converged[3] = {0, 0, 0};
+  const char* buses[] = {"64", "128", "256"};
+  for (int i = 0; i < 3; ++i) {
+    const auto* row = results.find(
+        {{"nnz/row", "390"}, {"bus", buses[i]}, {"system", "pack"}});
+    if (row != nullptr && row->speedup) converged[i] = *row->speedup;
   }
-  const auto results = sys::run_workloads(jobs);
-  double last[3] = {0, 0, 0};
-  std::size_t j = 0;
-  for (const auto nnz : nnzs) {
-    table.row().cell(std::uint64_t{nnz});
-    for (int i = 0; i < 3; ++i) {
-      const auto& base = results[j++];
-      const auto& pack = results[j++];
-      last[i] = static_cast<double>(base.cycles) /
-                static_cast<double>(pack.cycles);
-      table.cell(last[i], 2);
-    }
-  }
-  table.print(std::cout);
   std::printf("\npaper: converged speedups ~1.4x / 1.8x / 2.4x  —  "
               "measured at nnz=390: %.1fx / %.1fx / %.1fx\n\n",
-              last[0], last[1], last[2]);
+              converged[0], converged[1], converged[2]);
 }
 
 void bm_spmv_390(benchmark::State& state) {
   for (auto _ : state) {
-    benchmark::DoNotOptimize(speedup_at(256, 390));
+    const auto r = sys::run_default(wl::KernelKind::spmv,
+                                    sys::SystemKind::pack);
+    state.counters["sim_cycles"] = static_cast<double>(r.cycles);
   }
 }
 BENCHMARK(bm_spmv_390)->Unit(benchmark::kMillisecond)->Iterations(1);

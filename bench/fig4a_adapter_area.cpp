@@ -9,18 +9,22 @@ namespace {
 
 using namespace axipack;
 
-void emit() {
+void emit(bench::BenchContext& ctx) {
   bench::figure_header("Fig. 4a", "adapter area vs minimum clock");
-  util::Table table({"clock (ps)", "64b (kGE)", "128b (kGE)", "256b (kGE)"});
-  for (const double clk : {800.0, 839.0, 900.0, 1000.0, 1250.0, 1500.0,
-                           2000.0, 2500.0, 3000.0}) {
-    table.row().cell(clk, 0);
-    for (const unsigned bus : {64u, 128u, 256u}) {
-      const auto area = energy::adapter_area_kge(bus, clk);
-      table.cell(area.has_value() ? util::fmt(*area, 1) : std::string("—"));
-    }
-  }
-  table.print(std::cout);
+  ctx.run(
+      sys::ExperimentSpec("fig4a")
+          .param_axis("clock_ps", "clock_ps",
+                      {800, 839, 900, 1000, 1250, 1500, 2000, 2500, 3000})
+          .param_axis("bus_bits", "bus_bits", {64, 128, 256})
+          .runner([](const sys::GridPoint& p) {
+            sys::PointResult out;
+            const auto area = energy::adapter_area_kge(
+                static_cast<unsigned>(p.param("bus_bits")),
+                p.param("clock_ps"));
+            // Infeasible below the minimum period: no area metric.
+            if (area.has_value()) out.metrics["kge"] = *area;
+            return out;
+          }));
   std::printf("\nminimum periods: %.0f / %.0f / %.0f ps "
               "(paper: 787 / 800 / 839 ps)\n",
               energy::adapter_min_period_ps(64),

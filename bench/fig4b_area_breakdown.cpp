@@ -11,41 +11,59 @@ namespace {
 
 using namespace axipack;
 
-void emit() {
+struct BlockRef {
+  const char* name;
+  double paper_kge;
+  double paper_share;
+};
+
+const BlockRef kBlocks[] = {
+    {"indirect W converter", 74, 0.29}, {"indirect R converter", 73, 0.28},
+    {"strided W converter", 37, 0.14},  {"strided R converter", 36, 0.14},
+    {"base AXI4 converter", 26, 0.10},  {"memory mux", 9, 0.03},
+    {"AXI demux", 3, 0.01},             {"total", 258, 1.00},
+};
+
+double block_kge(const energy::AdapterBreakdown& b, const std::string& name) {
+  if (name == "indirect W converter") return b.indirect_w;
+  if (name == "indirect R converter") return b.indirect_r;
+  if (name == "strided W converter") return b.strided_w;
+  if (name == "strided R converter") return b.strided_r;
+  if (name == "base AXI4 converter") return b.base_conv;
+  if (name == "memory mux") return b.mem_mux;
+  if (name == "AXI demux") return b.axi_demux;
+  return b.total();
+}
+
+void emit(bench::BenchContext& ctx) {
   bench::figure_header("Fig. 4b", "adapter area breakdown (256-bit)");
-  const auto b = energy::adapter_breakdown_kge(256);
-  const double total = b.total();
-  util::Table table({"block", "kGE", "share", "paper kGE", "paper share"});
-  const struct {
-    const char* name;
-    double kge;
-    double paper_kge;
-    const char* paper_share;
-  } rows[] = {
-      {"indirect W converter", b.indirect_w, 74, "29%"},
-      {"indirect R converter", b.indirect_r, 73, "28%"},
-      {"strided W converter", b.strided_w, 37, "14%"},
-      {"strided R converter", b.strided_r, 36, "14%"},
-      {"base AXI4 converter", b.base_conv, 26, "10%"},
-      {"memory mux", b.mem_mux, 9, "3%"},
-      {"AXI demux", b.axi_demux, 3, "1%"},
-  };
-  for (const auto& row : rows) {
-    table.row()
-        .cell(row.name)
-        .cell(row.kge, 1)
-        .cell(util::fmt_pct(row.kge / total))
-        .cell(row.paper_kge, 0)
-        .cell(row.paper_share);
+  std::vector<sys::AxisValue> blocks;
+  for (const BlockRef& ref : kBlocks) {
+    blocks.push_back(sys::AxisValue::shaped(ref.name, {}));
   }
-  table.row().cell("total").cell(total, 1).cell("100%").cell(258.0, 0).cell(
-      "100%");
-  table.print(std::cout);
+  ctx.run(
+      sys::ExperimentSpec("fig4b")
+          .axis("block", std::move(blocks))
+          .runner([](const sys::GridPoint& p) {
+            const auto b = energy::adapter_breakdown_kge(256);
+            const std::string& name = p.coord("block");
+            sys::PointResult out;
+            out.metrics["kge"] = block_kge(b, name);
+            out.metrics["share"] = block_kge(b, name) / b.total();
+            for (const BlockRef& ref : kBlocks) {
+              if (name == ref.name) {
+                out.metrics["paper_kge"] = ref.paper_kge;
+                out.metrics["paper_share"] = ref.paper_share;
+              }
+            }
+            return out;
+          }));
+  const auto b = energy::adapter_breakdown_kge(256);
   std::printf("\nindirect/strided converter size ratio: %.2f "
               "(paper: ~2x, due to the two-stage design)\n",
               b.indirect_r / b.strided_r);
   std::printf("adapter / Ara area: %.1f%% (paper: 6.2%%)\n\n",
-              total / energy::ara_area_kge(8) * 100.0);
+              b.total() / energy::ara_area_kge(8) * 100.0);
 }
 
 }  // namespace

@@ -4,49 +4,60 @@
 // Paper reference: BASE powers in the 100-300 mW band; PACK power rises at
 // most 31% (trmv); energy efficiency improves up to 5.3x (ismt) on strided
 // and 2.1x (sssp) on indirect workloads.
+#include <algorithm>
+
 #include "bench_common.hpp"
 #include "energy/power_model.hpp"
-#include "systems/runner.hpp"
 
 namespace {
 
 using namespace axipack;
 
-void emit() {
+struct PaperRef {
+  wl::KernelKind kernel;
+  double gain;
+};
+
+const PaperRef kPaper[] = {
+    {wl::KernelKind::ismt, 5.3}, {wl::KernelKind::gemv, 2.3},
+    {wl::KernelKind::trmv, 1.9}, {wl::KernelKind::spmv, 2.0},
+    {wl::KernelKind::prank, 1.9}, {wl::KernelKind::sssp, 2.1},
+};
+
+void emit(bench::BenchContext& ctx) {
   bench::figure_header("Fig. 4c", "benchmark power and energy efficiency");
-  util::Table table({"workload", "base mW", "pack mW", "power delta",
-                     "energy eff. gain", "paper gain"});
-  const struct {
-    wl::KernelKind kernel;
-    double paper_gain;
-  } refs[] = {
-      {wl::KernelKind::ismt, 5.3}, {wl::KernelKind::gemv, 2.3},
-      {wl::KernelKind::trmv, 1.9}, {wl::KernelKind::spmv, 2.0},
-      {wl::KernelKind::prank, 1.9}, {wl::KernelKind::sssp, 2.1},
-  };
+  auto spec =
+      sys::ExperimentSpec("fig4c")
+          .kernels_axis({wl::KernelKind::ismt, wl::KernelKind::gemv,
+                         wl::KernelKind::trmv, wl::KernelKind::spmv,
+                         wl::KernelKind::prank, wl::KernelKind::sssp})
+          .systems_axis({sys::SystemKind::base, sys::SystemKind::pack})
+          .baseline("system", "base");
+  sys::ResultSet results = ctx.prepare(spec).run();
+
+  // Enrich each row with the power model; PACK rows additionally get the
+  // energy-efficiency gain over their BASE partner and the paper's value.
   double max_delta = 0.0;
-  for (const auto& ref : refs) {
-    const auto base_cfg = sys::scenario_name(sys::SystemKind::base);
-    const auto pack_cfg = sys::scenario_name(sys::SystemKind::pack);
-    const auto base = sys::run_workload(
-        base_cfg, sys::default_workload(ref.kernel, sys::SystemKind::base));
-    const auto pack = sys::run_workload(
-        pack_cfg, sys::default_workload(ref.kernel, sys::SystemKind::pack));
-    const auto base_p = energy::estimate(base);
-    const auto pack_p = energy::estimate(pack);
-    const double delta = pack_p.power_mw / base_p.power_mw - 1.0;
+  for (sys::ResultRow& row : results.mutable_rows()) {
+    const auto power = energy::estimate(row.run);
+    row.metrics["power_mw"] = power.power_mw;
+    if (row.coord("system") != "pack") continue;
+    const auto* base = results.find(
+        {{"kernel", row.coord("kernel")}, {"system", "base"}});
+    if (base == nullptr || base->run.cycles == 0) continue;
+    const auto base_power = energy::estimate(base->run);
+    const double delta = power.power_mw / base_power.power_mw - 1.0;
     max_delta = std::max(max_delta, delta);
-    table.row()
-        .cell(wl::kernel_name(ref.kernel))
-        .cell(base_p.power_mw, 1)
-        .cell(pack_p.power_mw, 1)
-        .cell(util::fmt_pct(delta))
-        .cell(energy::efficiency_gain(base_p, base.cycles, pack_p,
-                                      pack.cycles),
-              2)
-        .cell(ref.paper_gain, 1);
+    row.metrics["power_delta"] = delta;
+    row.metrics["energy_eff_gain"] = energy::efficiency_gain(
+        base_power, base->run.cycles, power, row.run.cycles);
+    for (const PaperRef& ref : kPaper) {
+      if (row.coord("kernel") == wl::kernel_name(ref.kernel)) {
+        row.metrics["paper_gain"] = ref.gain;
+      }
+    }
   }
-  table.print(std::cout);
+  ctx.report(std::move(results));
   std::printf("\nmax PACK power increase: %.0f%% (paper: at most 31%%, "
               "trmv)\n\n",
               max_delta * 100.0);

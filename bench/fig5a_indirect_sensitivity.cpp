@@ -8,47 +8,53 @@
 // counts bring no inherent advantage for random accesses.
 #include "bench_common.hpp"
 #include "systems/sensitivity.hpp"
-#include "util/bits.hpp"
 
 namespace {
 
 using namespace axipack;
 
-void emit() {
+sys::AxisValue size_pair(unsigned es, unsigned is) {
+  return sys::AxisValue::shaped(
+      std::to_string(es) + "/" + std::to_string(is),
+      [es, is](sys::PointDraft& d) {
+        d.params["elem_bits"] = es;
+        d.params["index_bits"] = is;
+      });
+}
+
+sys::AxisValue banks_value(unsigned banks) {
+  return sys::AxisValue::shaped(
+      banks == 0 ? "ideal" : std::to_string(banks),
+      [banks](sys::PointDraft& d) { d.params["banks"] = banks; });
+}
+
+void emit(bench::BenchContext& ctx) {
   bench::figure_header("Fig. 5a", "indirect read utilization sensitivity");
   // The paper's size pairs, ordered by the ratio r = es/is.
-  const struct {
-    unsigned es, is;
-  } pairs[] = {{32, 32},  {32, 16}, {64, 32},  {32, 8},  {64, 16}, {128, 32},
-               {64, 8},   {128, 16}, {256, 32}, {128, 8}, {256, 16}, {256, 8}};
-  const unsigned banks[] = {8, 11, 16, 17, 31, 32, 0};  // 0 = ideal
-  util::Table table({"elem/idx", "r/(r+1)", "8", "11", "16", "17", "31", "32",
-                     "ideal"});
-  // The whole (size pair, bank count) surface as one parallel sweep.
-  std::vector<sys::SensitivityConfig> cfgs;
-  for (const auto& pair : pairs) {
-    for (const unsigned b : banks) {
-      sys::SensitivityConfig cfg;
-      cfg.indirect = true;
-      cfg.elem_bits = pair.es;
-      cfg.index_bits = pair.is;
-      cfg.banks = b;
-      cfg.num_bursts = 6;
-      cfgs.push_back(cfg);
-    }
-  }
-  const auto results = sys::measure_read_utilization_many(cfgs);
-  std::size_t j = 0;
-  for (const auto& pair : pairs) {
-    const double r = static_cast<double>(pair.es) / pair.is;
-    table.row()
-        .cell(std::to_string(pair.es) + "/" + std::to_string(pair.is))
-        .cell(util::fmt_pct(r / (r + 1.0)));
-    for (std::size_t b = 0; b < std::size(banks); ++b) {
-      table.cell(util::fmt_pct(results[j++].r_util));
-    }
-  }
-  table.print(std::cout);
+  ctx.run(
+      sys::ExperimentSpec("fig5a")
+          .axis("elem/idx",
+                {size_pair(32, 32), size_pair(32, 16), size_pair(64, 32),
+                 size_pair(32, 8), size_pair(64, 16), size_pair(128, 32),
+                 size_pair(64, 8), size_pair(128, 16), size_pair(256, 32),
+                 size_pair(128, 8), size_pair(256, 16), size_pair(256, 8)})
+          .axis("banks", {banks_value(8), banks_value(11), banks_value(16),
+                          banks_value(17), banks_value(31), banks_value(32),
+                          banks_value(0)})
+          .runner([](const sys::GridPoint& p) {
+            sys::SensitivityConfig cfg;
+            cfg.indirect = true;
+            cfg.elem_bits = static_cast<unsigned>(p.param("elem_bits"));
+            cfg.index_bits = static_cast<unsigned>(p.param("index_bits"));
+            cfg.banks = static_cast<unsigned>(p.param("banks"));
+            cfg.num_bursts = p.quick ? 2 : 6;
+            sys::PointResult out;
+            out.metrics["r_util"] =
+                sys::measure_read_utilization(cfg).r_util;
+            const double r = p.param("elem_bits") / p.param("index_bits");
+            out.metrics["bound"] = r / (r + 1.0);
+            return out;
+          }));
   std::printf("\npaper shape: monotone in bank count; bounded by r/(r+1); "
               "larger elements or\nsmaller indices push utilization beyond "
               "the workload results of Fig. 3a\n\n");

@@ -12,28 +12,40 @@ namespace {
 
 using namespace axipack;
 
-void emit() {
+void emit(bench::BenchContext& ctx) {
   bench::figure_header("Fig. 5b",
                        "strided read utilization (avg over strides 0..63)");
-  const unsigned banks[] = {8, 11, 16, 17, 31, 32};
-  util::Table table({"elem size", "8", "11", "16", "17", "31", "32"});
+  auto spec =
+      sys::ExperimentSpec("fig5b")
+          .param_axis("elem_bits", "elem_bits", {32, 64, 128, 256})
+          .param_axis("banks", "banks", {8, 11, 16, 17, 31, 32})
+          .runner([](const sys::GridPoint& p) {
+            sys::PointResult out;
+            out.metrics["r_util_avg"] = sys::strided_util_avg(
+                static_cast<unsigned>(p.param("elem_bits")),
+                static_cast<unsigned>(p.param("banks")),
+                /*bus_bytes=*/32,
+                /*max_stride=*/p.quick ? 15 : 63);
+            return out;
+          });
+  // strided_util_avg fans its per-stride runs over its own thread pool,
+  // so the outer grid stays serial — pinned after prepare() so a --threads
+  // flag cannot reintroduce nested pools.
+  ctx.prepare(spec);
+  spec.threads(1);
+  const auto& results = ctx.report(spec.run());
   double util17_sum = 0.0;
   int util17_count = 0;
-  for (const unsigned es : {32u, 64u, 128u, 256u}) {
-    table.row().cell(std::to_string(es) + "b");
-    for (const unsigned b : banks) {
-      const double util = sys::strided_util_avg(es, b);
-      if (b == 17) {
-        util17_sum += util;
-        ++util17_count;
-      }
-      table.cell(util::fmt_pct(util));
-    }
+  for (const sys::ResultRow& row : results.rows()) {
+    if (row.coord("banks") != "17") continue;
+    util17_sum += row.metrics.at("r_util_avg");
+    ++util17_count;
   }
-  table.print(std::cout);
-  std::printf("\n17-bank average across element sizes: %.1f%% "
-              "(paper: ~95%% of ideal on strided reads)\n",
-              util17_sum / util17_count * 100.0);
+  if (util17_count > 0) {
+    std::printf("\n17-bank average across element sizes: %.1f%% "
+                "(paper: ~95%% of ideal on strided reads)\n",
+                util17_sum / util17_count * 100.0);
+  }
   std::printf("paper shape: prime counts beat power-of-two; utilization "
               "rises with banks and element size\n\n");
 }

@@ -12,21 +12,22 @@ namespace {
 
 using namespace axipack;
 
-void emit() {
+void emit(bench::BenchContext& ctx) {
   bench::figure_header("Fig. 5c", "bank crossbar area");
-  util::Table table({"banks", "crossbar kGE", "modulo kGE", "divider kGE",
-                     "total kGE", "prime"});
-  for (const unsigned banks : {8u, 11u, 16u, 17u, 31u, 32u}) {
-    const auto a = energy::bank_xbar_area_kge(banks);
-    table.row()
-        .cell(std::uint64_t{banks})
-        .cell(a.crossbar, 1)
-        .cell(a.modulo, 1)
-        .cell(a.divider, 1)
-        .cell(a.total(), 1)
-        .cell(util::is_prime(banks) ? "yes" : "no");
-  }
-  table.print(std::cout);
+  ctx.run(
+      sys::ExperimentSpec("fig5c")
+          .param_axis("banks", "banks", {8, 11, 16, 17, 31, 32})
+          .runner([](const sys::GridPoint& p) {
+            const unsigned banks = static_cast<unsigned>(p.param("banks"));
+            const auto a = energy::bank_xbar_area_kge(banks);
+            sys::PointResult out;
+            out.metrics["crossbar_kge"] = a.crossbar;
+            out.metrics["modulo_kge"] = a.modulo;
+            out.metrics["divider_kge"] = a.divider;
+            out.metrics["total_kge"] = a.total();
+            out.metrics["prime"] = util::is_prime(banks) ? 1.0 : 0.0;
+            return out;
+          }));
   const auto a17 = energy::bank_xbar_area_kge(17);
   const auto a16 = energy::bank_xbar_area_kge(16);
   std::printf("\nprime overhead at 17 banks: %.0f%% over the pure crossbar "

@@ -17,97 +17,61 @@
 // see bench/fig7_row_batching for its sensitivity) coalesces same-row
 // requests across the per-port lookahead windows, so PACK now beats BASE
 // across the grid. Disable it with sched_window 1 to reproduce the thrash.
-//
-// All (system, workload, timing) points are independent: one SweepRunner
-// pass over the full grid.
-#include <vector>
-
 #include "bench_common.hpp"
 #include "mem/dram_timing.hpp"
-#include "systems/runner.hpp"
-#include "systems/scenario.hpp"
-#include "systems/sweep.hpp"
 
 namespace {
 
 using namespace axipack;
 
-struct Point {
-  sys::RunResult base;
-  sys::RunResult pack;
-};
-
-sys::RunResult run_one(sys::SystemKind kind, const mem::DramTimingConfig& t,
-                       wl::KernelKind kernel) {
-  sys::SystemBuilder b = sys::ScenarioRegistry::instance().builder(
-      sys::scenario_name(kind));
-  b.memory("dram").dram_timing(t);
-  auto cfg = sys::default_workload(kernel, kind);
-  cfg.n = 192;
-  cfg.nnz_per_row = 64;
-  return sys::run_workload(b, cfg);
+sys::AxisValue mapping_value(mem::DramMapping mapping) {
+  return sys::AxisValue::shaped(
+      mem::dram_mapping_name(mapping), [mapping](sys::PointDraft& d) {
+        d.params["mapping"] = static_cast<double>(static_cast<int>(mapping));
+      });
 }
 
-void emit() {
-  bench::figure_header(
-      "Fig. 6", "DRAM row-buffer sensitivity (base-dram vs pack-dram)");
-  const unsigned row_words[] = {32, 64, 128, 256, 512};
-  const mem::DramMapping mappings[] = {mem::DramMapping::permuted,
-                                       mem::DramMapping::bank_interleaved,
-                                       mem::DramMapping::row_interleaved};
-  const wl::KernelKind kernels[] = {wl::KernelKind::ismt,
-                                    wl::KernelKind::spmv};
-
-  // Build the full independent job grid, then one thread-pool pass.
-  std::vector<std::function<Point()>> jobs;
-  for (const auto kernel : kernels) {
-    for (const auto mapping : mappings) {
-      for (const unsigned rw : row_words) {
-        jobs.push_back([kernel, mapping, rw] {
+/// System axis value that also retargets the SoC onto the "dram" backend
+/// with the timing the earlier axes parameterized.
+sys::AxisValue dram_system(sys::SystemKind kind) {
+  return sys::AxisValue::shaped(
+      sys::system_name(kind), [kind](sys::PointDraft& d) {
+        d.kind = kind;
+        const auto mapping = static_cast<mem::DramMapping>(
+            static_cast<int>(d.param("mapping")));
+        const unsigned rw = static_cast<unsigned>(d.param("row_words"));
+        d.builder_patches.push_back([mapping, rw](sys::SystemBuilder& b) {
           mem::DramTimingConfig t;
           t.mapping = mapping;
           t.row_words = rw;
-          Point p;
-          p.base = run_one(sys::SystemKind::base, t, kernel);
-          p.pack = run_one(sys::SystemKind::pack, t, kernel);
-          return p;
+          b.memory("dram").dram_timing(t);
         });
-      }
-    }
-  }
-  const std::vector<Point> points = sys::SweepRunner().map(jobs);
+      });
+}
 
-  std::size_t j = 0;
-  bool all_correct = true;
-  for (const auto kernel : kernels) {
-    for (const auto mapping : mappings) {
-      std::printf("%s, %s mapping:\n", wl::kernel_name(kernel),
-                  mem::dram_mapping_name(mapping));
-      util::Table table({"row words", "pack hit%", "base hit%", "pack R-util",
-                         "base R-util", "speedup", "refresh stalls"});
-      for (const unsigned rw : row_words) {
-        const Point& p = points[j++];
-        all_correct = all_correct && p.base.correct && p.pack.correct;
-        table.row()
-            .cell(std::to_string(rw))
-            .cell(util::fmt_pct(p.pack.row_hit_ratio()))
-            .cell(util::fmt_pct(p.base.row_hit_ratio()))
-            .cell(util::fmt_pct(p.pack.r_util))
-            .cell(util::fmt_pct(p.base.r_util))
-            .cell(util::fmt(static_cast<double>(p.base.cycles) /
-                                static_cast<double>(p.pack.cycles),
-                            2) +
-                  "x")
-            .cell(std::to_string(p.pack.refresh_stall_cycles));
-      }
-      table.print(std::cout);
-      std::printf("\n");
-    }
-  }
-  std::printf("shape: PACK utilization/speedup track the row-hit ratio — "
+void emit(bench::BenchContext& ctx) {
+  bench::figure_header(
+      "Fig. 6", "DRAM row-buffer sensitivity (base-dram vs pack-dram)");
+  const auto& results = ctx.run(
+      sys::ExperimentSpec("fig6")
+          .kernels_axis({wl::KernelKind::ismt, wl::KernelKind::spmv})
+          .axis("mapping",
+                {mapping_value(mem::DramMapping::permuted),
+                 mapping_value(mem::DramMapping::bank_interleaved),
+                 mapping_value(mem::DramMapping::row_interleaved)})
+          .param_axis("row_words", "row_words", {32, 64, 128, 256, 512})
+          .axis("system", {dram_system(sys::SystemKind::base),
+                           dram_system(sys::SystemKind::pack)})
+          .baseline("system", "base")
+          .configure([](wl::WorkloadConfig& c) {
+            c.n = 192;
+            c.nnz_per_row = 64;
+          }));
+  std::printf("\nshape: PACK utilization/speedup track the row-hit ratio — "
               "strided kernels monetize large rows; row-aware batching "
               "(fig7) keeps indirect kernels from thrashing row buffers\n");
-  std::printf("all workloads verified: %s\n\n", all_correct ? "yes" : "NO");
+  std::printf("all workloads verified: %s\n\n",
+              results.all_correct() ? "yes" : "NO");
 }
 
 }  // namespace

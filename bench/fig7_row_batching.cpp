@@ -6,8 +6,8 @@
 // fine-grained index/gather interleaving ping-pongs every bank between two
 // rows and loses to BASE on the "dram" backend. This sweep runs the three
 // headline kernel shapes (ismt = strided read/write mix, gemv = strided
-// column walk, spmv = indirect gather) on pack-dram across the batching
-// scheduler's two knobs:
+// column walk on the pack side, spmv = indirect gather) on pack-dram
+// across the batching scheduler's two knobs:
 //
 //   * sched_window — how many visible requests per port the scheduler may
 //     inspect and (reads, plus hazard-free same-row writes) reorder;
@@ -15,86 +15,62 @@
 //   * starve_cap   — the deferral budget a timing-legal row miss spends
 //     before it beats pending same-row work.
 //
+// Note the pack points pin the column-wise dataflow: the backend-aware
+// planner (plan_workload) picks row-wise gemv on "dram" precisely because
+// column strides thrash rows — this figure measures how much of that
+// thrash the scheduler can absorb, so it overrides the planner on the
+// pack side while the base-dram reference keeps its planned row-wise
+// streams (the toughest reference, as in the PR-4 recovery table).
+//
 // Measured shape: the window does the heavy lifting (row-hit ratio and
 // utilization climb steeply from w1 to w32 on the interleaved kernels,
 // with the base-dram reference overtaken well before the default), while
 // the cap is a fairness bound with little throughput effect at sane
-// values. All points are independent: one SweepRunner pass.
-#include <vector>
-
+// values.
 #include "bench_common.hpp"
-#include "systems/runner.hpp"
-#include "systems/scenario.hpp"
-#include "systems/sweep.hpp"
 
 namespace {
 
 using namespace axipack;
 
-void emit() {
+void emit(bench::BenchContext& ctx) {
   bench::figure_header(
       "Fig. 7", "DRAM row-batching sensitivity (sched window x starve cap)");
   const std::size_t windows[] = {1, 4, 8, 16, 32};
   const sim::Cycle caps[] = {16, 48, 128};
-  const wl::KernelKind kernels[] = {wl::KernelKind::ismt,
-                                    wl::KernelKind::gemv,
-                                    wl::KernelKind::spmv};
 
-  // Job grid: per kernel one base-dram reference plus the window x cap
-  // pack-dram points (window 1 ignores the cap — run it once).
-  std::vector<sys::WorkloadJob> jobs;
-  for (const auto kernel : kernels) {
-    jobs.push_back({"base-dram",
-                    sys::default_workload(kernel, sys::SystemKind::base)});
-    for (const std::size_t w : windows) {
-      for (const sim::Cycle c : caps) {
-        if (w == 1 && c != caps[0]) continue;  // cap is moot at window 1
-        jobs.push_back(
-            {"pack-256-dram-w" + std::to_string(w) + "-c" +
-                 std::to_string(c),
-             sys::default_workload(kernel, sys::SystemKind::pack)});
-      }
+  // One flattened scheduler axis: the base-dram reference (baseline) plus
+  // every pack window x cap point (window 1 ignores the cap — one value).
+  std::vector<sys::AxisValue> sched;
+  sched.push_back(sys::AxisValue::scenario("base-dram"));
+  for (const std::size_t w : windows) {
+    for (const sim::Cycle c : caps) {
+      if (w == 1 && c != caps[0]) continue;  // cap is moot at window 1
+      sys::AxisValue v = sys::AxisValue::scenario(
+          "pack-256-dram-w" + std::to_string(w) + "-c" + std::to_string(c));
+      v.label = w == 1 ? "pack-w1"
+                       : "pack-w" + std::to_string(w) + "-c" +
+                             std::to_string(c);
+      // Pin the column walk the scheduler has to absorb (gemv/trmv only;
+      // ismt/spmv ignore the dataflow field).
+      v.patch = [](wl::WorkloadConfig& c) {
+        c.dataflow = wl::Dataflow::colwise;
+      };
+      sched.push_back(std::move(v));
     }
   }
-  const auto results = sys::run_workloads(jobs);
 
-  std::size_t j = 0;
-  bool all_correct = true;
-  for (const auto kernel : kernels) {
-    const sys::RunResult& base = results[j++];
-    all_correct = all_correct && base.correct;
-    std::printf("%s (base-dram reference: %llu cycles, hit %s, R-util %s):\n",
-                wl::kernel_name(kernel),
-                static_cast<unsigned long long>(base.cycles),
-                util::fmt_pct(base.row_hit_ratio()).c_str(),
-                util::fmt_pct(base.r_util).c_str());
-    util::Table table({"window", "cap", "hit%", "R-util", "speedup vs base",
-                       "batch defers", "starved grants"});
-    for (const std::size_t w : windows) {
-      for (const sim::Cycle c : caps) {
-        if (w == 1 && c != caps[0]) continue;
-        const sys::RunResult& r = results[j++];
-        all_correct = all_correct && r.correct;
-        table.row()
-            .cell(std::to_string(w))
-            .cell(w == 1 ? "-" : std::to_string(c))
-            .cell(util::fmt_pct(r.row_hit_ratio()))
-            .cell(util::fmt_pct(r.r_util))
-            .cell(util::fmt(static_cast<double>(base.cycles) /
-                                static_cast<double>(r.cycles),
-                            2) +
-                  "x")
-            .cell(std::to_string(r.row_batch_defer_cycles))
-            .cell(std::to_string(r.row_starved_grants));
-      }
-    }
-    table.print(std::cout);
-    std::printf("\n");
-  }
-  std::printf("shape: hit ratio and utilization climb with the window "
+  const auto& results = ctx.run(
+      sys::ExperimentSpec("fig7")
+          .kernels_axis({wl::KernelKind::ismt, wl::KernelKind::gemv,
+                         wl::KernelKind::spmv})
+          .axis("sched", std::move(sched))
+          .baseline("sched", "base-dram"));
+  std::printf("\nshape: hit ratio and utilization climb with the window "
               "(w1 = PR-3 head-only scheduling); the starvation cap is a "
               "fairness bound, nearly throughput-neutral at sane values\n");
-  std::printf("all workloads verified: %s\n\n", all_correct ? "yes" : "NO");
+  std::printf("all workloads verified: %s\n\n",
+              results.all_correct() ? "yes" : "NO");
 }
 
 }  // namespace

@@ -5,78 +5,72 @@
 //   * PACK ~97% of IDEAL on average
 //   * energy efficiency up to 5.3x strided / 2.1x indirect
 //   * 256-bit adapter = 6.2% of Ara's area
+//
+// Plus the DRAM-endpoint table: every kernel on base-dram, on pack-dram
+// with the head-only scheduler ("pack-w1", the PR-3 behaviour that lost to
+// BASE), and on pack-dram with row-aware batching (the default). With the
+// backend-aware planner, gemv/trmv run row-wise on pack-dram and no longer
+// thrash rows (the former ~0.3x/~0.6x ROADMAP residual).
+#include <algorithm>
+
 #include "bench_common.hpp"
 #include "energy/area_model.hpp"
 #include "energy/power_model.hpp"
-#include "systems/runner.hpp"
 
 namespace {
 
 using namespace axipack;
 
-void emit() {
+const wl::KernelKind kKernels[] = {wl::KernelKind::ismt, wl::KernelKind::gemv,
+                                   wl::KernelKind::trmv, wl::KernelKind::spmv,
+                                   wl::KernelKind::prank,
+                                   wl::KernelKind::sssp};
+
+void emit(bench::BenchContext& ctx) {
   bench::figure_header("Headline", "paper-vs-measured summary");
-  const wl::KernelKind kernels[] = {wl::KernelKind::ismt, wl::KernelKind::gemv,
-                                    wl::KernelKind::trmv, wl::KernelKind::spmv,
-                                    wl::KernelKind::prank,
-                                    wl::KernelKind::sssp};
-  double peak_strided_speedup = 0.0;
-  double peak_indirect_speedup = 0.0;
-  double peak_strided_util = 0.0;
-  double peak_indirect_util = 0.0;
-  double peak_strided_eff = 0.0;
-  double peak_indirect_eff = 0.0;
+  const std::vector<wl::KernelKind> kernels(std::begin(kKernels),
+                                            std::end(kKernels));
+
+  // The 18 SRAM (kernel, system) points.
+  std::printf("SRAM SoC grid:\n");
+  const auto& sram = ctx.run(
+      sys::ExperimentSpec("headline-sram")
+          .kernels_axis(kernels)
+          .systems_axis({sys::SystemKind::base, sys::SystemKind::pack,
+                         sys::SystemKind::ideal})
+          .baseline("system", "base"));
+
+  double peak_strided_speedup = 0.0, peak_indirect_speedup = 0.0;
+  double peak_strided_util = 0.0, peak_indirect_util = 0.0;
+  double peak_strided_eff = 0.0, peak_indirect_eff = 0.0;
   double ratio_sum = 0.0;
-  bool all_correct = true;
-  // The 18 SRAM (kernel, system) points plus the 12 DRAM-endpoint points
-  // are independent: one sweep, thread pool.
-  std::vector<sys::WorkloadJob> jobs;
-  for (const auto kernel : kernels) {
-    for (const auto kind : {sys::SystemKind::base, sys::SystemKind::pack,
-                            sys::SystemKind::ideal}) {
-      jobs.push_back({sys::scenario_name(kind),
-                      sys::default_workload(kernel, kind)});
-    }
-  }
-  // DRAM-recovery set: every kernel on base-dram, on pack-dram with the
-  // head-only scheduler ("-w1", the PR-3 behaviour that lost to BASE), and
-  // on pack-dram with row-aware batching (the default) — all three over the
-  // same latency-tolerant converter queues, so the delta isolates the
-  // scheduler.
-  const std::size_t dram_jobs_begin = jobs.size();
-  for (const auto kernel : kernels) {
-    jobs.push_back({"base-dram",
-                    sys::default_workload(kernel, sys::SystemKind::base)});
-    jobs.push_back({"pack-256-dram-w1",
-                    sys::default_workload(kernel, sys::SystemKind::pack)});
-    jobs.push_back({"pack-dram",
-                    sys::default_workload(kernel, sys::SystemKind::pack)});
-  }
-  const auto results = sys::run_workloads(jobs);
-  std::size_t j = 0;
-  for (const auto kernel : kernels) {
-    const auto& base = results[j++];
-    const auto& pack = results[j++];
-    const auto& ideal = results[j++];
-    all_correct = all_correct && base.correct && pack.correct && ideal.correct;
-    const double speedup = static_cast<double>(base.cycles) / pack.cycles;
+  int ratio_count = 0;
+  for (const auto kernel : kKernels) {
+    const char* name = wl::kernel_name(kernel);
+    const auto* base = sram.find({{"kernel", name}, {"system", "base"}});
+    const auto* pack = sram.find({{"kernel", name}, {"system", "pack"}});
+    const auto* ideal = sram.find({{"kernel", name}, {"system", "ideal"}});
+    if (!base || !pack || !ideal || pack->run.cycles == 0) continue;
+    const double speedup = pack->speedup.value_or(0.0);
     const double eff = energy::efficiency_gain(
-        energy::estimate(base), base.cycles,
-        energy::estimate(pack), pack.cycles);
-    ratio_sum += static_cast<double>(ideal.cycles) / pack.cycles;
+        energy::estimate(base->run), base->run.cycles,
+        energy::estimate(pack->run), pack->run.cycles);
+    ratio_sum += static_cast<double>(ideal->run.cycles) / pack->run.cycles;
+    ++ratio_count;
     if (wl::kernel_is_indirect(kernel)) {
       peak_indirect_speedup = std::max(peak_indirect_speedup, speedup);
-      peak_indirect_util = std::max(peak_indirect_util, pack.r_util);
+      peak_indirect_util = std::max(peak_indirect_util, pack->run.r_util);
       peak_indirect_eff = std::max(peak_indirect_eff, eff);
     } else {
       peak_strided_speedup = std::max(peak_strided_speedup, speedup);
-      peak_strided_util = std::max(peak_strided_util, pack.r_util);
+      peak_strided_util = std::max(peak_strided_util, pack->run.r_util);
       peak_strided_eff = std::max(peak_strided_eff, eff);
     }
   }
   const double adapter_ratio =
       *energy::adapter_area_kge(256, 1000) / energy::ara_area_kge(8);
 
+  std::printf("\n");
   util::Table table({"claim", "paper", "measured"});
   table.row().cell("peak strided speedup").cell("5.4x").cell(
       util::fmt(peak_strided_speedup, 2) + "x");
@@ -87,7 +81,8 @@ void emit() {
   table.row().cell("peak indirect R-bus utilization").cell("39%").cell(
       util::fmt_pct(peak_indirect_util));
   table.row().cell("PACK vs IDEAL performance").cell("97%").cell(
-      util::fmt_pct(ratio_sum / 6.0));
+      ratio_count ? util::fmt_pct(ratio_sum / ratio_count)
+                  : std::string("-"));
   table.row().cell("peak strided energy-eff. gain").cell("5.3x").cell(
       util::fmt(peak_strided_eff, 2) + "x");
   table.row().cell("peak indirect energy-eff. gain").cell("2.1x").cell(
@@ -95,41 +90,29 @@ void emit() {
   table.row().cell("adapter area / Ara area").cell("6.2%").cell(
       util::fmt_pct(adapter_ratio));
   table.row().cell("all workloads verified").cell("-").cell(
-      all_correct ? "yes" : "NO");
+      sram.all_correct() ? "yes" : "NO");
   table.print(std::cout);
   std::printf("\n");
 
   // Same kernels over the cycle-level DRAM backend: where the packed bus
-  // meets row buffers and refresh instead of SRAM banks. The recovery
-  // columns show the PR-3 finding (head-only scheduling loses to BASE) and
-  // its reversal by row-aware batching.
-  std::printf("DRAM endpoint recovery (base-dram vs pack-dram, default "
-              "timing; w1 = head-only scheduler, batched = sched_window "
-              "default):\n");
-  util::Table dram_table({"kernel", "speedup w1", "speedup batched",
-                          "pack hit% w1", "pack hit% batched", "base hit%",
-                          "batch defers"});
-  bool dram_correct = true;
-  std::size_t d = dram_jobs_begin;
-  for (const auto kernel : kernels) {
-    const auto& base = results[d++];
-    const auto& w1 = results[d++];
-    const auto& pack = results[d++];
-    dram_correct =
-        dram_correct && base.correct && w1.correct && pack.correct;
-    dram_table.row()
-        .cell(wl::kernel_name(kernel))
-        .cell(util::fmt(static_cast<double>(base.cycles) / w1.cycles, 2) +
-              "x")
-        .cell(util::fmt(static_cast<double>(base.cycles) / pack.cycles, 2) +
-              "x")
-        .cell(util::fmt_pct(w1.row_hit_ratio()))
-        .cell(util::fmt_pct(pack.row_hit_ratio()))
-        .cell(util::fmt_pct(base.row_hit_ratio()))
-        .cell(std::to_string(pack.row_batch_defer_cycles));
-  }
-  dram_table.print(std::cout);
-  std::printf("dram workloads verified: %s\n\n", dram_correct ? "yes" : "NO");
+  // meets row buffers and refresh instead of SRAM banks. pack-w1 is the
+  // PR-3 head-only scheduler; pack-batched the row-aware default. The
+  // planner picks row-wise gemv/trmv on pack-dram (backend-aware), so the
+  // strided kernels now match BASE's ~99% open-row hits.
+  std::printf("DRAM endpoint recovery (baseline base-dram; w1 = head-only "
+              "scheduler, batched = sched_window default):\n");
+  auto w1 = sys::AxisValue::scenario("pack-256-dram-w1");
+  w1.label = "pack-w1";
+  auto batched = sys::AxisValue::scenario("pack-dram");
+  batched.label = "pack-batched";
+  const auto& dram = ctx.run(
+      sys::ExperimentSpec("headline-dram")
+          .kernels_axis(kernels)
+          .axis("endpoint", {sys::AxisValue::scenario("base-dram"),
+                             std::move(w1), std::move(batched)})
+          .baseline("endpoint", "base-dram"));
+  std::printf("dram workloads verified: %s\n\n",
+              dram.all_correct() ? "yes" : "NO");
 }
 
 }  // namespace

@@ -37,8 +37,8 @@ int main(int argc, char** argv) {
   mem::BackingStore& store = system->store();
 
   // --- Master 0: vector processor running spmv with vlimxei.
-  auto wl_cfg = sys::default_workload(wl::KernelKind::spmv,
-                                      sys::SystemKind::pack);
+  auto wl_cfg = sys::plan_workload(
+      wl::KernelKind::spmv, sys::scenario_name(sys::SystemKind::pack));
   wl_cfg.n = rows;
   wl_cfg.nnz_per_row = std::min(rows, 64u);
   const wl::WorkloadInstance inst = wl::build_workload(store, wl_cfg);

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   sys::RunResult base_result;
   energy::PowerEstimate base_power;
   for (const auto kind : {sys::SystemKind::base, sys::SystemKind::pack}) {
-    auto wl_cfg = sys::default_workload(wl::KernelKind::prank, kind);
+    auto wl_cfg = sys::plan_workload(wl::KernelKind::prank, sys::scenario_name(kind));
     wl_cfg.n = nodes;
     wl_cfg.nnz_per_row = degree;
     wl_cfg.iterations = iters;

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   std::uint64_t base_cycles = 0;
   for (const auto kind : {sys::SystemKind::base, sys::SystemKind::pack,
                           sys::SystemKind::ideal}) {
-    auto wl_cfg = sys::default_workload(wl::KernelKind::spmv, kind);
+    auto wl_cfg = sys::plan_workload(wl::KernelKind::spmv, sys::scenario_name(kind));
     wl_cfg.n = rows;
     wl_cfg.nnz_per_row = nnz;
     const auto result =

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   std::uint64_t base_cycles = 0;
   for (const auto kind : {sys::SystemKind::base, sys::SystemKind::pack,
                           sys::SystemKind::ideal}) {
-    auto wl_cfg = sys::default_workload(wl::KernelKind::ismt, kind);
+    auto wl_cfg = sys::plan_workload(wl::KernelKind::ismt, sys::scenario_name(kind));
     wl_cfg.n = n;
     const auto result =
         sys::run_workload(sys::scenario_name(kind), wl_cfg);

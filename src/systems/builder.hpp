@@ -20,6 +20,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -98,6 +99,21 @@ class SystemBuilder {
   MasterId attach_port(const std::string& name);
 
   unsigned bus_bytes() const { return bus_bits_ / 8; }
+
+  // ---- planning introspection ------------------------------------------
+  // Read-only views the workload planner (plan_workload) uses to pick the
+  // methodology-fastest variant for the system this builder describes.
+  /// Registry key of the memory backend the built system will use
+  /// ("banked", "ideal", "dram", ...).
+  const std::string& memory_backend_name() const { return mem_cfg_.name; }
+  /// VLSU mode of the first attached processor master — the one
+  /// System::run drives — or disengaged when no processor is attached.
+  std::optional<vproc::VlsuMode> primary_vlsu_mode() const {
+    for (const MasterSpec& m : masters_) {
+      if (m.kind == MasterKind::processor) return m.proc.mode;
+    }
+    return std::nullopt;
+  }
 
   /// Assembles the system. The builder can be reused (each build creates an
   /// independent system).

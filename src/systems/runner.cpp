@@ -5,15 +5,23 @@
 
 namespace axipack::sys {
 
-wl::WorkloadConfig default_workload(wl::KernelKind kernel, SystemKind system) {
+wl::WorkloadConfig plan_workload(wl::KernelKind kernel,
+                                 const SystemBuilder& builder) {
   wl::WorkloadConfig cfg;
   cfg.kernel = kernel;
-  // Fastest dataflow per system (paper Figs. 3b/3c): contiguous row-wise on
-  // BASE, strided column-wise where strided streams are cheap.
-  cfg.dataflow = system == SystemKind::base ? wl::Dataflow::rowwise
-                                            : wl::Dataflow::colwise;
-  // In-memory indirection exists only with AXI-Pack.
-  cfg.in_memory_indices = system == SystemKind::pack;
+  const vproc::VlsuMode mode =
+      builder.primary_vlsu_mode().value_or(vproc::VlsuMode::pack);
+  // Fastest dataflow per (system, backend): contiguous row-wise on BASE;
+  // strided column-wise where strided streams are cheap (PACK/IDEAL on
+  // SRAM-like backends); row-wise again for PACK over "dram", whose column
+  // strides thrash row buffers (see the header).
+  const bool dram = builder.memory_backend_name() == "dram";
+  cfg.dataflow = mode == vproc::VlsuMode::base ||
+                         (mode == vproc::VlsuMode::pack && dram)
+                     ? wl::Dataflow::rowwise
+                     : wl::Dataflow::colwise;
+  // In-memory indirection exists only with an AXI-Pack VLSU.
+  cfg.in_memory_indices = mode == vproc::VlsuMode::pack;
   if (wl::kernel_is_indirect(kernel)) {
     cfg.n = 512;
     cfg.nnz_per_row = 390;  // heart1-like density (paper §III-B)
@@ -21,6 +29,12 @@ wl::WorkloadConfig default_workload(wl::KernelKind kernel, SystemKind system) {
     cfg.n = 256;
   }
   return cfg;
+}
+
+wl::WorkloadConfig plan_workload(wl::KernelKind kernel,
+                                 const std::string& scenario) {
+  return plan_workload(kernel,
+                       ScenarioRegistry::instance().builder(scenario));
 }
 
 RunResult run_workload(const SystemBuilder& builder,
@@ -39,8 +53,9 @@ RunResult run_workload(const std::string& scenario,
 
 RunResult run_default(wl::KernelKind kernel, SystemKind kind,
                       unsigned bus_bits, unsigned banks) {
-  return run_workload(scenario_name(kind, bus_bits, banks),
-                      default_workload(kernel, kind));
+  const SystemBuilder builder = ScenarioRegistry::instance().builder(
+      scenario_name(kind, bus_bits, banks));
+  return run_workload(builder, plan_workload(kernel, builder));
 }
 
 std::vector<RunResult> run_workloads(const std::vector<WorkloadJob>& jobs,
@@ -51,6 +66,7 @@ std::vector<RunResult> run_workloads(const std::vector<WorkloadJob>& jobs,
   builders.reserve(jobs.size());
   for (const WorkloadJob& job : jobs) {
     SystemBuilder b = ScenarioRegistry::instance().builder(job.scenario);
+    if (job.builder_patch) job.builder_patch(b);
     if (job.naive_kernel) b.naive_kernel(true);
     builders.push_back(std::move(b));
   }

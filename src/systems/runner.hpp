@@ -1,8 +1,21 @@
-// One-call workload runner: resolves a scenario (or an explicit builder),
-// builds a fresh system + workload and runs it. This is the entry point the
-// benches, tests and examples use.
+// Workload planning and one-call running.
+//
+// Two layers build on this file:
+//
+//   * plan_workload — the paper's methodology, made backend-aware: given a
+//     kernel and the SystemBuilder that will run it, pick the fastest
+//     workload variant for that (kernel, system, memory backend) triple.
+//   * run_workload / run_workloads — resolve a scenario (or take an
+//     explicit builder), build a fresh system + workload, run to
+//     completion and verify; the plural form fans independent jobs out
+//     over a SweepRunner thread pool.
+//
+// Grid-shaped evaluations (scenario × kernel × knob sweeps with baseline
+// joins and table/CSV/JSON emission) should use the declarative layer in
+// systems/experiment.hpp, which expands to the WorkloadJobs defined here.
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "systems/scenario.hpp"
@@ -11,10 +24,27 @@
 
 namespace axipack::sys {
 
-/// Applies the paper's methodology defaults for a (workload, system) pair:
-/// the fastest dataflow per system (row-wise on BASE, column-wise on
-/// PACK/IDEAL for gemv/trmv) and in-memory indices only on PACK.
-wl::WorkloadConfig default_workload(wl::KernelKind kernel, SystemKind system);
+/// Applies the paper's methodology for a (kernel, system) pair — run the
+/// fastest variant per system — with the PR-5 extension that the choice
+/// sees the *resolved memory backend*, not just the system kind:
+///
+///   * BASE always streams row-wise (contiguous bursts are all it has).
+///   * PACK/IDEAL gemv/trmv run column-wise on SRAM-like backends, where
+///     strided streams are cheap (paper Figs. 3b/3c).
+///   * PACK on the "dram" backend runs gemv/trmv row-wise: column strides
+///     hop DRAM rows faster than any scheduler window can re-localize
+///     them, while row-wise streams hit the open row at ~99% — the
+///     ROADMAP "residual DRAM gap" this rule closes.
+///   * In-memory indirection only exists with an AXI-Pack VLSU.
+///
+/// Builders without a processor master plan as PACK (the adapter is still
+/// the endpoint; DMA-driven studies override the config anyway).
+wl::WorkloadConfig plan_workload(wl::KernelKind kernel,
+                                 const SystemBuilder& builder);
+
+/// Convenience: plans against the named scenario's registered builder.
+wl::WorkloadConfig plan_workload(wl::KernelKind kernel,
+                                 const std::string& scenario);
 
 /// Builds the system from an explicit builder, runs to completion, verifies.
 RunResult run_workload(const SystemBuilder& builder,
@@ -24,7 +54,7 @@ RunResult run_workload(const SystemBuilder& builder,
 RunResult run_workload(const std::string& scenario,
                        const wl::WorkloadConfig& wl_cfg);
 
-/// Convenience: run `kernel` with methodology defaults on the
+/// Convenience: run `kernel` with the planned methodology config on the
 /// "{kind}-{bus_bits}-{banks}b" scenario.
 RunResult run_default(wl::KernelKind kernel, SystemKind kind,
                       unsigned bus_bits = 256, unsigned banks = 17);
@@ -34,6 +64,10 @@ struct WorkloadJob {
   std::string scenario;
   wl::WorkloadConfig cfg;
   bool naive_kernel = false;  ///< run this point on the ungated kernel
+  /// Optional builder tweak applied after the scenario resolves (timing
+  /// overrides, knob sweeps — anything the scenario-name grammar cannot
+  /// express).
+  std::function<void(SystemBuilder&)> builder_patch;
 };
 
 /// Runs every job (each an independent system + workload) on a SweepRunner

@@ -30,6 +30,11 @@
 //                       link and AXI-Pack adapter
 //   dual-dma-pack       two DMA engines sharing the fabric
 //   quad-dma-pack       four DMA engines sharing the fabric
+//
+// Scenario names are the scenario axis of the declarative experiment
+// layer (systems/experiment.hpp) and the input to the backend-aware
+// workload planner (plan_workload in systems/runner.hpp), which resolves
+// a name to its builder and inspects the resulting memory backend.
 #pragma once
 
 #include <functional>

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/json.hpp"
+
 namespace axipack::sys {
 
 // ------------------------------------------------------------- builder
@@ -363,6 +365,29 @@ RunResult System::run(const wl::WorkloadInstance& instance,
   }
   result.correct = instance.check(*store_, result.error);
   return result;
+}
+
+std::string RunResult::to_json() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("bus_bits").value(bus_bits);
+  w.key("cycles").value(cycles);
+  w.key("r_util").value(r_util);
+  w.key("r_util_no_idx").value(r_util_no_idx);
+  w.key("w_util").value(w_util);
+  w.key("correct").value(correct);
+  w.key("protocol_violations").value(protocol_violations);
+  w.key("bank_grants").value(bank_grants);
+  w.key("bank_conflict_losses").value(bank_conflict_losses);
+  w.key("row_hits").value(row_hits);
+  w.key("row_misses").value(row_misses);
+  w.key("row_hit_ratio").value(row_hit_ratio());
+  w.key("refresh_stall_cycles").value(refresh_stall_cycles);
+  w.key("row_batch_defer_cycles").value(row_batch_defer_cycles);
+  w.key("row_starved_grants").value(row_starved_grants);
+  if (!error.empty()) w.key("error").value(error);
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace axipack::sys

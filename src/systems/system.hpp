@@ -50,6 +50,11 @@ struct RunResult {
     const std::uint64_t total = row_hits + row_misses;
     return total == 0 ? 0.0 : static_cast<double>(row_hits) / total;
   }
+
+  /// Renders the measurements as one JSON object (no trailing newline) —
+  /// the shared fragment the experiment JSON emitter and perf_kernel embed
+  /// in their artifacts.
+  std::string to_json() const;
 };
 
 class System {

@@ -1,0 +1,145 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace axipack::util {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  return buf;
+}
+
+void JsonWriter::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already placed the comma and the colon follows it
+  }
+  if (!stack_.empty() && counts_nonempty_.back() == '1') out_ << ", ";
+  if (!counts_nonempty_.empty()) counts_nonempty_.back() = '1';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ << "{";
+  stack_ += '{';
+  counts_nonempty_ += '0';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  stack_.pop_back();
+  counts_nonempty_.pop_back();
+  out_ << "}";
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ << "[";
+  stack_ += '[';
+  counts_nonempty_ += '0';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  stack_.pop_back();
+  counts_nonempty_.pop_back();
+  out_ << "]";
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (!counts_nonempty_.empty() && counts_nonempty_.back() == '1') {
+    out_ << ", ";
+  }
+  if (!counts_nonempty_.empty()) counts_nonempty_.back() = '1';
+  out_ << '"' << json_escape(name) << "\": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_value();
+  out_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) {
+  return value(std::string(v));
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  out_ << json_number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) {
+  before_value();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(unsigned v) {
+  before_value();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ << "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(const std::string& json_fragment) {
+  before_value();
+  out_ << json_fragment;
+  return *this;
+}
+
+}  // namespace axipack::util

@@ -104,7 +104,7 @@ TEST(PowerModel, BasePowersInPaperBand) {
                             wl::KernelKind::spmv}) {
     const auto r = sys::run_workload(
         sys::scenario_name(sys::SystemKind::base),
-        sys::default_workload(kernel, sys::SystemKind::base));
+        sys::plan_workload(kernel, sys::scenario_name(sys::SystemKind::base)));
     const auto p = estimate(r);
     EXPECT_GT(p.power_mw, 80.0) << wl::kernel_name(kernel);
     EXPECT_LT(p.power_mw, 350.0) << wl::kernel_name(kernel);
@@ -117,10 +117,10 @@ TEST(PowerModel, PackPowerRisesModerately) {
                             wl::KernelKind::trmv, wl::KernelKind::spmv}) {
     const auto base = sys::run_workload(
         sys::scenario_name(sys::SystemKind::base),
-        sys::default_workload(kernel, sys::SystemKind::base));
+        sys::plan_workload(kernel, sys::scenario_name(sys::SystemKind::base)));
     const auto pack = sys::run_workload(
         sys::scenario_name(sys::SystemKind::pack),
-        sys::default_workload(kernel, sys::SystemKind::pack));
+        sys::plan_workload(kernel, sys::scenario_name(sys::SystemKind::pack)));
     const double ratio =
         estimate(pack).power_mw / estimate(base).power_mw;
     EXPECT_GT(ratio, 0.95) << wl::kernel_name(kernel);
@@ -131,12 +131,12 @@ TEST(PowerModel, PackPowerRisesModerately) {
 TEST(PowerModel, EfficiencyGainTracksSpeedup) {
   const auto base = sys::run_workload(
       sys::scenario_name(sys::SystemKind::base),
-      sys::default_workload(wl::KernelKind::ismt,
-                                      sys::SystemKind::base));
+      sys::plan_workload(wl::KernelKind::ismt,
+                         sys::scenario_name(sys::SystemKind::base)));
   const auto pack = sys::run_workload(
       sys::scenario_name(sys::SystemKind::pack),
-      sys::default_workload(wl::KernelKind::ismt,
-                                      sys::SystemKind::pack));
+      sys::plan_workload(wl::KernelKind::ismt,
+                         sys::scenario_name(sys::SystemKind::pack)));
   const double speedup = static_cast<double>(base.cycles) / pack.cycles;
   const double gain = efficiency_gain(estimate(base), base.cycles,
                                       estimate(pack), pack.cycles);

@@ -86,12 +86,6 @@ void expect_identical(const Snapshot& naive, const Snapshot& gated,
   EXPECT_EQ(naive.dma_busy_cycles, gated.dma_busy_cycles) << what;
 }
 
-sys::SystemKind kind_of(const std::string& scenario) {
-  if (scenario.rfind("base-", 0) == 0) return sys::SystemKind::base;
-  if (scenario.rfind("ideal-", 0) == 0) return sys::SystemKind::ideal;
-  return sys::SystemKind::pack;  // pack-*, dual-master-pack, *-idealmem
-}
-
 /// Drives one scenario to completion under the requested kernel mode:
 /// processor masters run a small gemv, DMA masters move a strided stream.
 Snapshot drive_scenario(const std::string& name, bool naive) {
@@ -129,7 +123,7 @@ Snapshot drive_scenario(const std::string& name, bool naive) {
     has_proc = has_proc || system->is_processor(id);
   }
   if (has_proc) {
-    auto cfg = sys::default_workload(wl::KernelKind::gemv, kind_of(name));
+    auto cfg = sys::plan_workload(wl::KernelKind::gemv, name);
     cfg.n = 96;  // small but multi-op: issue, chaining, loads and stores
     const wl::WorkloadInstance instance =
         wl::build_workload(system->store(), cfg);
@@ -197,7 +191,7 @@ TEST(KernelEquivalence, EveryHeadlineWorkloadKind) {
                                     wl::KernelKind::prank,
                                     wl::KernelKind::sssp};
   for (const auto kernel : kernels) {
-    auto cfg = sys::default_workload(kernel, sys::SystemKind::pack);
+    auto cfg = sys::plan_workload(kernel, sys::scenario_name(sys::SystemKind::pack));
     if (wl::kernel_is_indirect(kernel)) {
       cfg.n = 128;
       cfg.nnz_per_row = 48;
@@ -205,9 +199,14 @@ TEST(KernelEquivalence, EveryHeadlineWorkloadKind) {
       cfg.n = 96;
     }
     const std::string scenario = sys::scenario_name(sys::SystemKind::pack);
-    const auto results = sys::run_workloads(
-        {{scenario, cfg, /*naive=*/true}, {scenario, cfg, /*naive=*/false}},
-        /*threads=*/1);
+    sys::WorkloadJob naive_job;
+    naive_job.scenario = scenario;
+    naive_job.cfg = cfg;
+    naive_job.naive_kernel = true;
+    sys::WorkloadJob gated_job = naive_job;
+    gated_job.naive_kernel = false;
+    const auto results =
+        sys::run_workloads({naive_job, gated_job}, /*threads=*/1);
     expect_identical(Snapshot::of(results[0]), Snapshot::of(results[1]),
                      std::string(wl::kernel_name(kernel)));
   }

@@ -176,8 +176,8 @@ TEST(MultiMaster, VectorProcessorAndDmaCoexist) {
   const MasterId dma_id = b.attach_dma();
   auto system = b.build();
 
-  wl::WorkloadConfig wc = sys::default_workload(wl::KernelKind::ismt,
-                                                sys::SystemKind::pack);
+  wl::WorkloadConfig wc = sys::plan_workload(
+      wl::KernelKind::ismt, sys::scenario_name(sys::SystemKind::pack));
   wc.n = 32;
   const wl::WorkloadInstance inst = wl::build_workload(system->store(), wc);
 

@@ -60,7 +60,7 @@ TEST(ScenarioRegistry, ParsesParametricBankCounts) {
   // resolves it, and the resulting system runs correctly.
   EXPECT_EQ(ScenarioRegistry::instance().find("pack-256-31b"), nullptr);
   ASSERT_TRUE(ScenarioRegistry::instance().contains("pack-256-31b"));
-  auto cfg = sys::default_workload(wl::KernelKind::spmv, SystemKind::pack);
+  auto cfg = sys::plan_workload(wl::KernelKind::spmv, "pack-256-31b");
   cfg.n = 48;
   cfg.nnz_per_row = 24;
   const auto result = sys::run_workload("pack-256-31b", cfg);
@@ -88,7 +88,7 @@ TEST(ScenarioRegistry, CustomScenariosCanBeRegistered) {
          return b;
        }});
   ASSERT_TRUE(ScenarioRegistry::instance().contains("test-tiny-pack"));
-  auto cfg = sys::default_workload(wl::KernelKind::ismt, SystemKind::pack);
+  auto cfg = sys::plan_workload(wl::KernelKind::ismt, "test-tiny-pack");
   cfg.n = 32;
   const auto result = sys::run_workload("test-tiny-pack", cfg);
   EXPECT_TRUE(result.correct) << result.error;
@@ -110,7 +110,7 @@ TEST(MemoryBackends, DramScenariosRunEndToEnd) {
   ASSERT_TRUE(reg.contains("pack-dram"));
   for (const auto kind : {SystemKind::base, SystemKind::pack}) {
     const std::string name = std::string(system_name(kind)) + "-dram";
-    auto cfg = sys::default_workload(wl::KernelKind::ismt, kind);
+    auto cfg = sys::plan_workload(wl::KernelKind::ismt, name);
     cfg.n = 64;
     const auto r = sys::run_workload(name, cfg);
     EXPECT_TRUE(r.correct) << name << ": " << r.error;
@@ -127,7 +127,7 @@ TEST(MemoryBackends, DramParametricFamilyParses) {
   EXPECT_FALSE(reg.contains("pack-96-dram"));   // bus width not swept
   EXPECT_FALSE(reg.contains("ideal-256-dram"));  // ideal has no fabric
   EXPECT_FALSE(reg.contains("pack-256-dramm"));
-  auto cfg = sys::default_workload(wl::KernelKind::gemv, SystemKind::pack);
+  auto cfg = sys::plan_workload(wl::KernelKind::gemv, "pack-128-dram");
   cfg.n = 48;
   const auto r = sys::run_workload("pack-128-dram", cfg);
   EXPECT_TRUE(r.correct) << r.error;
@@ -160,7 +160,7 @@ TEST(MemoryBackends, SchedWindowScenarioRunsAndShiftsHitRatio) {
   // recovers them (the PR-3 DRAM finding and its fix, in miniature).
   // Large enough that the index/value/x regions span several DRAM rows per
   // bank (smaller sets fit one row-span and never thrash).
-  auto cfg = sys::default_workload(wl::KernelKind::spmv, SystemKind::pack);
+  auto cfg = sys::plan_workload(wl::KernelKind::spmv, "pack-256-dram-w1");
   cfg.n = 192;
   cfg.nnz_per_row = 64;
   const auto plain = sys::run_workload("pack-256-dram-w1", cfg);
@@ -175,7 +175,7 @@ TEST(MemoryBackends, SchedWindowScenarioRunsAndShiftsHitRatio) {
 TEST(MemoryBackends, IdealBackendRemovesBankConflicts) {
   // Same PACK pipeline, banked vs ideal backend: the ideal backend must
   // report no conflict losses and never be slower.
-  auto cfg = sys::default_workload(wl::KernelKind::spmv, SystemKind::pack);
+  auto cfg = sys::plan_workload(wl::KernelKind::spmv, "pack-256-17b");
   cfg.n = 64;
   cfg.nnz_per_row = 32;
   const auto banked = sys::run_workload("pack-256-17b", cfg);
@@ -195,7 +195,7 @@ TEST(DualMasterScenario, RunResultsAreExact) {
   ASSERT_EQ(system->num_masters(), 2u);
   mem::BackingStore& store = system->store();
 
-  auto wc = sys::default_workload(wl::KernelKind::ismt, SystemKind::pack);
+  auto wc = sys::plan_workload(wl::KernelKind::ismt, "dual-master-pack");
   wc.n = 32;
   const wl::WorkloadInstance inst = wl::build_workload(store, wc);
 

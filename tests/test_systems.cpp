@@ -18,7 +18,7 @@ using wl::KernelKind;
 /// Small problem sizes keep the full cross-product fast while still
 /// exercising every code path.
 wl::WorkloadConfig small_config(KernelKind kernel, SystemKind system) {
-  wl::WorkloadConfig cfg = sys::default_workload(kernel, system);
+  wl::WorkloadConfig cfg = sys::plan_workload(kernel, sys::scenario_name(system));
   cfg.n = wl::kernel_is_indirect(kernel) ? 48 : 32;
   cfg.nnz_per_row = 24;
   return cfg;

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Validates the JSON artifacts the bench binaries emit with --json.
+
+Checks, per file:
+  * the document parses and has the {"bench", "quick", "experiments"} keys;
+  * every experiment carries a name, a non-empty axes list and points;
+  * every point's coords object has exactly one entry per declared axis,
+    and its label is one of the axis's declared values;
+  * every point embeds a "run" object with the RunResult core fields.
+
+Usage: check_bench_json.py FILE.json [FILE.json ...]
+Exits non-zero on the first malformed artifact.
+"""
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+RUN_FIELDS = {"cycles", "r_util", "correct", "row_hit_ratio"}
+
+
+def check_file(path):
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(path, f"does not parse: {e}")
+    for key in ("bench", "quick", "experiments"):
+        if key not in doc:
+            fail(path, f"missing top-level key {key!r}")
+    if not isinstance(doc["experiments"], list):
+        fail(path, '"experiments" is not a list')
+    for exp in doc["experiments"]:
+        name = exp.get("experiment")
+        if not name:
+            fail(path, "experiment without a name")
+        axes = exp.get("axes")
+        if not axes:
+            fail(path, f"{name}: no axes")
+        axis_values = {}
+        for axis in axes:
+            if not axis.get("name") or not axis.get("values"):
+                fail(path, f"{name}: malformed axis {axis!r}")
+            axis_values[axis["name"]] = set(axis["values"])
+        points = exp.get("points")
+        if points is None:
+            fail(path, f"{name}: no points list")
+        if not points:
+            # --filter can legitimately empty a grid, but an unfiltered
+            # smoke run must produce points.
+            fail(path, f"{name}: empty points list")
+        for point in points:
+            coords = point.get("coords")
+            if coords is None:
+                fail(path, f"{name}: point without coords")
+            if set(coords) != set(axis_values):
+                fail(path,
+                     f"{name}: coords keys {sorted(coords)} != axes "
+                     f"{sorted(axis_values)}")
+            for axis, label in coords.items():
+                if label not in axis_values[axis]:
+                    fail(path,
+                         f"{name}: coord {axis}={label!r} not a declared "
+                         f"axis value")
+            run = point.get("run")
+            if not isinstance(run, dict) or not RUN_FIELDS <= set(run):
+                fail(path, f"{name}: point run object missing core fields")
+    n_exp = len(doc["experiments"])
+    n_pts = sum(len(e["points"]) for e in doc["experiments"])
+    print(f"{path}: ok ({doc['bench']}, {n_exp} experiment(s), "
+          f"{n_pts} point(s))")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    for path in sys.argv[1:]:
+        check_file(path)
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,7 @@
 #include "systems/runner.hpp"
 #include "systems/scenario.hpp"
 #include "systems/sweep.hpp"
+#include "util/json.hpp"
 #include "workloads/workloads.hpp"
 
 namespace {
@@ -74,9 +75,12 @@ std::vector<sys::WorkloadJob> headline_jobs(bool naive) {
   for (const auto kernel : kKernels) {
     for (const auto kind : {sys::SystemKind::base, sys::SystemKind::pack,
                             sys::SystemKind::ideal}) {
-      auto cfg = sys::default_workload(kernel, kind);
-      cfg.seed = kPerfSeed;
-      jobs.push_back({sys::scenario_name(kind), cfg, naive});
+      sys::WorkloadJob job;
+      job.scenario = sys::scenario_name(kind);
+      job.cfg = sys::plan_workload(kernel, job.scenario);
+      job.cfg.seed = kPerfSeed;
+      job.naive_kernel = naive;
+      jobs.push_back(std::move(job));
     }
   }
   return jobs;
@@ -85,14 +89,18 @@ std::vector<sys::WorkloadJob> headline_jobs(bool naive) {
 /// The same six kernels over the cycle-level DRAM backend (base-dram /
 /// pack-dram): a deeper-pipeline, refresh-bearing scenario set that
 /// stresses the kernel's wake scheduling differently than the SRAM SoCs.
+/// plan_workload sees the "dram" backend here, so PACK gemv/trmv run
+/// row-wise (the backend-aware methodology choice).
 std::vector<sys::WorkloadJob> dram_jobs(bool naive) {
   std::vector<sys::WorkloadJob> jobs;
   for (const auto kernel : kKernels) {
     for (const auto kind : {sys::SystemKind::base, sys::SystemKind::pack}) {
-      auto cfg = sys::default_workload(kernel, kind);
-      cfg.seed = kPerfSeed;
-      jobs.push_back(
-          {std::string(sys::system_name(kind)) + "-dram", cfg, naive});
+      sys::WorkloadJob job;
+      job.scenario = std::string(sys::system_name(kind)) + "-dram";
+      job.cfg = sys::plan_workload(kernel, job.scenario);
+      job.cfg.seed = kPerfSeed;
+      job.naive_kernel = naive;
+      jobs.push_back(std::move(job));
     }
   }
   return jobs;
@@ -100,23 +108,35 @@ std::vector<sys::WorkloadJob> dram_jobs(bool naive) {
 
 /// The strided kernels on the row-batching pack-dram scheduler (the
 /// default). Their row-hit ratios are the regression canary for the
-/// batching scheduler: perf_kernel (and with it CI) fails when any drops
-/// below the recorded floor.
+/// batching scheduler: the column-wise dataflow is pinned (as in fig7),
+/// because the backend-aware planner would otherwise pick row-wise
+/// gemv/trmv whose free open-row hits mask a broken scheduler.
 constexpr wl::KernelKind kStridedKernels[] = {wl::KernelKind::ismt,
                                               wl::KernelKind::gemv,
                                               wl::KernelKind::trmv};
-/// Recorded floor for the pack-dram strided row-hit ratio at seed 42.
-/// Measured at this PR: ismt 0.71, gemv 0.50, trmv 0.66 (the head-only
-/// scheduler bottomed out at 0.29 on trmv); the floor sits under the
-/// weakest point with a small margin for workload-generator drift.
+/// Recorded floor for the pack-dram strided row-hit ratio at seed 42 with
+/// the column-wise pin: ismt 0.71, gemv 0.50, trmv 0.66 (head-only
+/// scheduling bottomed out at 0.29 on trmv); the floor sits under the
+/// weakest point with a margin for workload-generator drift.
 constexpr double kPackDramStridedHitFloor = 0.45;
+/// Recorded floors for the *planned* (backend-aware, row-wise) pack-dram
+/// gemv/trmv at seed 42 — the PR-5 residual fix. The PR-4 residual ran
+/// them at 0.27x/0.61x vs base-dram with ~51%/66% hits; the row-wise plan
+/// restores BASE parity (measured 1.00x at 99.7%/99.4% open-row hits).
+constexpr double kPackDramGemvTrmvSpeedupFloor = 0.95;
+constexpr double kPackDramPlannedHitFloor = 0.95;
 
 std::vector<sys::WorkloadJob> dram_batched_jobs() {
   std::vector<sys::WorkloadJob> jobs;
   for (const auto kernel : kStridedKernels) {
-    auto cfg = sys::default_workload(kernel, sys::SystemKind::pack);
-    cfg.seed = kPerfSeed;
-    jobs.push_back({"pack-dram", cfg, /*naive=*/false});
+    sys::WorkloadJob job;
+    job.scenario = "pack-dram";
+    job.cfg = sys::plan_workload(kernel, job.scenario);
+    // Pin the column walk the scheduler has to absorb (gemv/trmv; ismt
+    // ignores the dataflow field).
+    job.cfg.dataflow = wl::Dataflow::colwise;
+    job.cfg.seed = kPerfSeed;
+    jobs.push_back(std::move(job));
   }
   return jobs;
 }
@@ -230,6 +250,33 @@ int main(int argc, char** argv) {
               min_hit, kPackDramStridedHitFloor,
               hit_floor_ok ? "ok" : "REGRESSION");
 
+  // 6) Backend-aware-plan floors: planned (row-wise) pack-dram gemv/trmv
+  // must stay at BASE parity and open-row hit rates (the PR-4 residual
+  // ran them at 0.27x/0.61x with ~51%/66% hits).
+  double min_dram_speedup = 1e9;
+  double min_planned_hit = 1.0;
+  for (std::size_t k = 0; k < std::size(kKernels); ++k) {
+    if (kKernels[k] != wl::KernelKind::gemv &&
+        kKernels[k] != wl::KernelKind::trmv) {
+      continue;
+    }
+    const auto& base = dram_gated.runs[k * 2];
+    const auto& pack = dram_gated.runs[k * 2 + 1];
+    if (pack.cycles == 0) continue;
+    min_dram_speedup =
+        std::min(min_dram_speedup,
+                 static_cast<double>(base.cycles) / pack.cycles);
+    min_planned_hit = std::min(min_planned_hit, pack.row_hit_ratio());
+  }
+  const bool dram_speedup_ok =
+      min_dram_speedup >= kPackDramGemvTrmvSpeedupFloor &&
+      min_planned_hit >= kPackDramPlannedHitFloor;
+  std::printf("  pack-dram gemv/trmv (planned row-wise): min speedup "
+              "%.3fx (floor %.2fx), min hit %.3f (floor %.2f) — %s\n",
+              min_dram_speedup, kPackDramGemvTrmvSpeedupFloor,
+              min_planned_hit, kPackDramPlannedHitFloor,
+              dram_speedup_ok ? "ok" : "REGRESSION");
+
   // Cycle-identity across configurations is the hard constraint.
   bool identical = naive.cycles == gated.cycles;
   for (std::size_t i = 0; identical && i < naive.runs.size(); ++i) {
@@ -250,104 +297,102 @@ int main(int argc, char** argv) {
   std::printf("  cycle-identical: %s, all workloads verified: %s\n",
               identical ? "yes" : "NO", all_correct ? "yes" : "NO");
 
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("kernel");
+  w.key("scenario_set").value("headline_summary");
+  w.key("seed").value(kPerfSeed);
+  w.key("jobs").value(static_cast<std::uint64_t>(naive.runs.size()));
+  w.key("repeats").value(repeats);
+  w.key("hardware_threads").value(hw);
+  w.key("pre_pr_equiv_naive_serial_ms").value(naive.wall_ms);
+  w.key("pre_pr_reference").begin_object();
+  w.key("commit").value(kPrePrCommit);
+  w.key("wall_ms").value(kPrePrWallMsReference);
+  w.key("new_kernel_wall_ms").value(kNewWallMsAtReference);
+  w.key("speedup").value(kPrePrWallMsReference / kNewWallMsAtReference);
+  w.key("static_reference").value(true);
+  w.key("measured").value(
+      "development machine, interleaved, serial, 1 core; not re-measured "
+      "at runtime — track the *_ms fields above for regressions");
+  w.end_object();
+  w.key("gated_serial_ms").value(gated.wall_ms);
+  w.key("gated_parallel_ms").value(parallel_ms);
+  w.key("speedup_gated_serial_vs_naive").value(speedup_gated);
+  w.key("speedup_gated_parallel_vs_naive").value(speedup_total);
+  w.key("dram_naive_serial_ms").value(dram_naive.wall_ms);
+  w.key("dram_gated_serial_ms").value(dram_gated.wall_ms);
+  w.key("dram_sim_cycles_total").value(dram_gated.cycles);
+  w.key("dram_cycle_identical").value(dram_identical);
+  w.key("sim_cycles_total").value(gated.cycles);
+  w.key("sim_cycles_per_sec_gated_serial")
+      .value(static_cast<double>(gated.cycles) / (gated.wall_ms / 1000.0));
+  w.key("cycle_identical_naive_vs_gated").value(identical);
+  w.key("all_workloads_verified").value(all_correct);
+  w.key("thread_scaling").begin_array();
+  for (const ScalePoint& point : scaling) {
+    w.begin_object();
+    w.key("threads").value(point.threads);
+    w.key("wall_ms").value(point.wall_ms);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("scenarios").begin_array();
+  {
+    const auto jobs = headline_jobs(false);
+    for (std::size_t i = 0; i < gated.runs.size(); ++i) {
+      w.begin_object();
+      w.key("scenario").value(jobs[i].scenario);
+      w.key("kernel").value(wl::kernel_name(kKernels[i / 3]));
+      w.key("run").raw(gated.runs[i].to_json());
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.key("dram_batched").begin_object();
+  w.key("row_hit_floor").value(kPackDramStridedHitFloor);
+  w.key("min_row_hit_ratio").value(min_hit);
+  w.key("pass").value(hit_floor_ok);
+  w.key("gemv_trmv_speedup_floor").value(kPackDramGemvTrmvSpeedupFloor);
+  w.key("min_gemv_trmv_speedup").value(min_dram_speedup);
+  w.key("planned_hit_floor").value(kPackDramPlannedHitFloor);
+  w.key("min_planned_hit_ratio").value(min_planned_hit);
+  w.key("speedup_pass").value(dram_speedup_ok);
+  w.key("scenarios").begin_array();
+  for (std::size_t i = 0; i < batched_results.size(); ++i) {
+    w.begin_object();
+    w.key("scenario").value("pack-dram");
+    w.key("kernel").value(wl::kernel_name(kStridedKernels[i]));
+    w.key("run").raw(batched_results[i].to_json());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.key("dram_scenarios").begin_array();
+  {
+    const auto djobs = dram_jobs(false);
+    for (std::size_t i = 0; i < dram_gated.runs.size(); ++i) {
+      w.begin_object();
+      w.key("scenario").value(djobs[i].scenario);
+      w.key("kernel").value(wl::kernel_name(kKernels[i / 2]));
+      w.key("run").raw(dram_gated.runs[i].to_json());
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"kernel\",\n");
-  std::fprintf(f, "  \"scenario_set\": \"headline_summary\",\n");
-  std::fprintf(f, "  \"seed\": %llu,\n",
-               static_cast<unsigned long long>(kPerfSeed));
-  std::fprintf(f, "  \"jobs\": %zu,\n", naive.runs.size());
-  std::fprintf(f, "  \"repeats\": %u,\n", repeats);
-  std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
-  std::fprintf(f, "  \"pre_pr_equiv_naive_serial_ms\": %.2f,\n",
-               naive.wall_ms);
-  std::fprintf(f, "  \"pre_pr_reference\": {\"commit\": \"%s\", "
-               "\"wall_ms\": %.1f, \"new_kernel_wall_ms\": %.1f, "
-               "\"speedup\": %.2f, \"static_reference\": true, "
-               "\"measured\": "
-               "\"development machine, interleaved, serial, 1 core; not "
-               "re-measured at runtime — track the *_ms fields above for "
-               "regressions\"},\n",
-               kPrePrCommit, kPrePrWallMsReference, kNewWallMsAtReference,
-               kPrePrWallMsReference / kNewWallMsAtReference);
-  std::fprintf(f, "  \"gated_serial_ms\": %.2f,\n", gated.wall_ms);
-  std::fprintf(f, "  \"gated_parallel_ms\": %.2f,\n", parallel_ms);
-  std::fprintf(f, "  \"speedup_gated_serial_vs_naive\": %.3f,\n",
-               speedup_gated);
-  std::fprintf(f, "  \"speedup_gated_parallel_vs_naive\": %.3f,\n",
-               speedup_total);
-  std::fprintf(f, "  \"dram_naive_serial_ms\": %.2f,\n", dram_naive.wall_ms);
-  std::fprintf(f, "  \"dram_gated_serial_ms\": %.2f,\n", dram_gated.wall_ms);
-  std::fprintf(f, "  \"dram_sim_cycles_total\": %llu,\n",
-               static_cast<unsigned long long>(dram_gated.cycles));
-  std::fprintf(f, "  \"dram_cycle_identical\": %s,\n",
-               dram_identical ? "true" : "false");
-  std::fprintf(f, "  \"sim_cycles_total\": %llu,\n",
-               static_cast<unsigned long long>(gated.cycles));
-  std::fprintf(f, "  \"sim_cycles_per_sec_gated_serial\": %.0f,\n",
-               static_cast<double>(gated.cycles) / (gated.wall_ms / 1000.0));
-  std::fprintf(f, "  \"cycle_identical_naive_vs_gated\": %s,\n",
-               identical ? "true" : "false");
-  std::fprintf(f, "  \"all_workloads_verified\": %s,\n",
-               all_correct ? "true" : "false");
-  std::fprintf(f, "  \"thread_scaling\": [");
-  for (std::size_t i = 0; i < scaling.size(); ++i) {
-    std::fprintf(f, "%s{\"threads\": %u, \"wall_ms\": %.2f}",
-                 i == 0 ? "" : ", ", scaling[i].threads, scaling[i].wall_ms);
-  }
-  std::fprintf(f, "],\n");
-  std::fprintf(f, "  \"scenarios\": [\n");
-  const auto jobs = headline_jobs(false);
-  for (std::size_t i = 0; i < gated.runs.size(); ++i) {
-    const auto& r = gated.runs[i];
-    std::fprintf(f,
-                 "    {\"scenario\": \"%s\", \"kernel\": \"%s\", "
-                 "\"cycles\": %llu, \"correct\": %s}%s\n",
-                 jobs[i].scenario.c_str(), wl::kernel_name(kKernels[i / 3]),
-                 static_cast<unsigned long long>(r.cycles),
-                 r.correct ? "true" : "false",
-                 i + 1 == gated.runs.size() ? "" : ",");
-  }
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"dram_batched\": {\n");
-  std::fprintf(f, "    \"row_hit_floor\": %.2f,\n", kPackDramStridedHitFloor);
-  std::fprintf(f, "    \"min_row_hit_ratio\": %.4f,\n", min_hit);
-  std::fprintf(f, "    \"pass\": %s,\n", hit_floor_ok ? "true" : "false");
-  std::fprintf(f, "    \"scenarios\": [\n");
-  for (std::size_t i = 0; i < batched_results.size(); ++i) {
-    const auto& r = batched_results[i];
-    std::fprintf(f,
-                 "      {\"scenario\": \"pack-dram\", \"kernel\": \"%s\", "
-                 "\"cycles\": %llu, \"row_hit_ratio\": %.4f, "
-                 "\"batch_defer_cycles\": %llu, \"correct\": %s}%s\n",
-                 wl::kernel_name(kStridedKernels[i]),
-                 static_cast<unsigned long long>(r.cycles),
-                 r.row_hit_ratio(),
-                 static_cast<unsigned long long>(r.row_batch_defer_cycles),
-                 r.correct ? "true" : "false",
-                 i + 1 == batched_results.size() ? "" : ",");
-  }
-  std::fprintf(f, "    ]\n  },\n");
-  std::fprintf(f, "  \"dram_scenarios\": [\n");
-  const auto djobs = dram_jobs(false);
-  for (std::size_t i = 0; i < dram_gated.runs.size(); ++i) {
-    const auto& r = dram_gated.runs[i];
-    std::fprintf(f,
-                 "    {\"scenario\": \"%s\", \"kernel\": \"%s\", "
-                 "\"cycles\": %llu, \"row_hit_ratio\": %.4f, "
-                 "\"correct\": %s}%s\n",
-                 djobs[i].scenario.c_str(), wl::kernel_name(kKernels[i / 2]),
-                 static_cast<unsigned long long>(r.cycles),
-                 r.row_hit_ratio(), r.correct ? "true" : "false",
-                 i + 1 == dram_gated.runs.size() ? "" : ",");
-  }
-  std::fprintf(f, "  ]\n}\n");
+  const std::string doc = w.str();
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fputc('\n', f);
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 
-  return (identical && all_correct && hit_floor_ok) ? 0 : 1;
+  return (identical && all_correct && hit_floor_ok && dram_speedup_ok) ? 0
+                                                                       : 1;
 }
