@@ -28,6 +28,15 @@ sys::AxisValue banks_value(unsigned banks) {
       [banks](sys::PointDraft& d) { d.params["banks"] = banks; });
 }
 
+/// Index coalescing unit on/off (entries 0 disables it in the harness).
+sys::AxisValue coalesce_value(std::size_t entries) {
+  return sys::AxisValue::shaped(
+      entries == 0 ? "off" : "x" + std::to_string(entries),
+      [entries](sys::PointDraft& d) {
+        d.params["coalesce_entries"] = static_cast<double>(entries);
+      });
+}
+
 void emit(bench::BenchContext& ctx) {
   bench::figure_header("Fig. 5a", "indirect read utilization sensitivity");
   // The paper's size pairs, ordered by the ratio r = es/is.
@@ -41,12 +50,15 @@ void emit(bench::BenchContext& ctx) {
           .axis("banks", {banks_value(8), banks_value(11), banks_value(16),
                           banks_value(17), banks_value(31), banks_value(32),
                           banks_value(0)})
+          .axis("coalesce", {coalesce_value(0), coalesce_value(32)})
           .runner([](const sys::GridPoint& p) {
             sys::SensitivityConfig cfg;
             cfg.indirect = true;
             cfg.elem_bits = static_cast<unsigned>(p.param("elem_bits"));
             cfg.index_bits = static_cast<unsigned>(p.param("index_bits"));
             cfg.banks = static_cast<unsigned>(p.param("banks"));
+            cfg.coalesce_entries =
+                static_cast<std::size_t>(p.param("coalesce_entries"));
             cfg.num_bursts = p.quick ? 2 : 6;
             sys::PointResult out;
             out.metrics["r_util"] =

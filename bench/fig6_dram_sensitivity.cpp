@@ -32,20 +32,25 @@ sys::AxisValue mapping_value(mem::DramMapping mapping) {
 }
 
 /// System axis value that also retargets the SoC onto the "dram" backend
-/// with the timing the earlier axes parameterized.
-sys::AxisValue dram_system(sys::SystemKind kind) {
+/// with the timing the earlier axes parameterized. `coalesce` additionally
+/// enables the index coalescing unit (pack only; default entries/window).
+sys::AxisValue dram_system(sys::SystemKind kind, bool coalesce = false,
+                           const char* label = nullptr) {
   return sys::AxisValue::shaped(
-      sys::system_name(kind), [kind](sys::PointDraft& d) {
+      label != nullptr ? label : sys::system_name(kind),
+      [kind, coalesce](sys::PointDraft& d) {
         d.kind = kind;
         const auto mapping = static_cast<mem::DramMapping>(
             static_cast<int>(d.param("mapping")));
         const unsigned rw = static_cast<unsigned>(d.param("row_words"));
-        d.builder_patches.push_back([mapping, rw](sys::SystemBuilder& b) {
-          mem::DramTimingConfig t;
-          t.mapping = mapping;
-          t.row_words = rw;
-          b.memory("dram").dram_timing(t);
-        });
+        d.builder_patches.push_back(
+            [mapping, rw, coalesce](sys::SystemBuilder& b) {
+              mem::DramTimingConfig t;
+              t.mapping = mapping;
+              t.row_words = rw;
+              b.memory("dram").dram_timing(t);
+              if (coalesce) b.coalescer(true);
+            });
       });
 }
 
@@ -60,8 +65,11 @@ void emit(bench::BenchContext& ctx) {
                  mapping_value(mem::DramMapping::bank_interleaved),
                  mapping_value(mem::DramMapping::row_interleaved)})
           .param_axis("row_words", "row_words", {32, 64, 128, 256, 512})
-          .axis("system", {dram_system(sys::SystemKind::base),
-                           dram_system(sys::SystemKind::pack)})
+          .axis("system",
+                {dram_system(sys::SystemKind::base),
+                 dram_system(sys::SystemKind::pack),
+                 dram_system(sys::SystemKind::pack, /*coalesce=*/true,
+                             "pack-co")})
           .baseline("system", "base")
           .configure([](wl::WorkloadConfig& c) {
             c.n = 192;

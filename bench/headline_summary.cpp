@@ -100,16 +100,20 @@ void emit(bench::BenchContext& ctx) {
   // planner picks row-wise gemv/trmv on pack-dram (backend-aware), so the
   // strided kernels now match BASE's ~99% open-row hits.
   std::printf("DRAM endpoint recovery (baseline base-dram; w1 = head-only "
-              "scheduler, batched = sched_window default):\n");
+              "scheduler, batched = sched_window default, coalesce = "
+              "batched + index coalescing unit):\n");
   auto w1 = sys::AxisValue::scenario("pack-256-dram-w1");
   w1.label = "pack-w1";
   auto batched = sys::AxisValue::scenario("pack-dram");
   batched.label = "pack-batched";
+  auto coalesced = sys::AxisValue::scenario("pack-dram-coalesce");
+  coalesced.label = "pack-coalesce";
   const auto& dram = ctx.run(
       sys::ExperimentSpec("headline-dram")
           .kernels_axis(kernels)
-          .axis("endpoint", {sys::AxisValue::scenario("base-dram"),
-                             std::move(w1), std::move(batched)})
+          .axis("endpoint",
+                {sys::AxisValue::scenario("base-dram"), std::move(w1),
+                 std::move(batched), std::move(coalesced)})
           .baseline("endpoint", "base-dram"));
   std::printf("dram workloads verified: %s\n\n",
               dram.all_correct() ? "yes" : "NO");

@@ -10,21 +10,72 @@ AxiPackAdapter::AxiPackAdapter(sim::Kernel& k, axi::AxiPort& upstream,
     : up_(upstream) {
   assert(memory.num_ports() == cfg.bus_bytes / 4 &&
          "bank ports must match bus width (n = D/W)");
-  mux_ = std::make_unique<PortMux>(k, memory, kNumConvs, cfg.lane_fifo_depth,
-                                   cfg.resp_fifo_depth);
-  base_ = std::make_unique<BaseConverter>(k, mux_->lanes_of(kBase),
-                                          cfg.bus_bytes, cfg.queue_depth,
-                                          cfg.base_max_bursts,
-                                          cfg.r_out_depth);
-  strided_r_ = std::make_unique<StridedReadConverter>(
-      k, mux_->lanes_of(kStridedR), cfg.bus_bytes, cfg.queue_depth,
-      cfg.r_out_depth, cfg.pack_max_bursts);
+  mux_ = std::make_unique<PortMux>(
+      k, memory, cfg.coalesce_enable ? kNumConvsCoalesced : kNumConvs,
+      cfg.lane_fifo_depth, cfg.resp_fifo_depth);
+  if (cfg.coalesce_enable) {
+    CoalescerConfig cc;
+    cc.entries = cfg.coalesce_entries;
+    cc.window = cfg.coalesce_window;
+    cc.lane_fifo_depth = cfg.lane_fifo_depth;
+    cc.resp_fifo_depth = cfg.resp_fifo_depth;
+    coalescer_ = std::make_unique<Coalescer>(k, mux_->lanes_of(kIndirectR),
+                                             cc);
+    // The index, strided-read and base stages get their own units on their
+    // own mux slots: those streams have little to merge, but the
+    // bank-partitioned issue means each DRAM bank receives its entire
+    // traffic through one port — so the sticky mux quantum's per-port
+    // single-stream runs are per-bank single-row runs at the scheduler,
+    // instead of every bank seeing every stream interleaved from all
+    // ports (which forces a row swap per stream switch). The base unit
+    // also carries the channel's writes as pass-through entries (see
+    // coalescer.hpp for the same-word ordering discipline).
+    coalescer_idx_ = std::make_unique<Coalescer>(
+        k, mux_->lanes_of(kIndirectRIdx), cc);
+    coalescer_str_ = std::make_unique<Coalescer>(
+        k, mux_->lanes_of(kStridedR), cc);
+    coalescer_base_ = std::make_unique<Coalescer>(
+        k, mux_->lanes_of(kBase), cc);
+    mux_->set_sticky_quantum(cfg.coalesce_arb_quantum,
+                             cfg.coalesce_arb_patience);
+    // Coherence point: every converter's write stream is granted at the
+    // mux, so snooping grants there keeps retained read words honest.
+    mux_->set_write_snoop([ce = coalescer_.get(), ci = coalescer_idx_.get(),
+                           cs = coalescer_str_.get(),
+                           cb = coalescer_base_.get()](std::uint64_t addr) {
+      ce->invalidate(addr);
+      ci->invalidate(addr);
+      cs->invalidate(addr);
+      cb->invalidate(addr);
+    });
+    base_ = std::make_unique<BaseConverter>(
+        k, coalescer_base_->upstream_lanes(), cfg.bus_bytes, cfg.queue_depth,
+        cfg.base_max_bursts, cfg.r_out_depth);
+    strided_r_ = std::make_unique<StridedReadConverter>(
+        k, coalescer_str_->upstream_lanes(), cfg.bus_bytes, cfg.queue_depth,
+        cfg.r_out_depth, cfg.pack_max_bursts);
+  } else {
+    base_ = std::make_unique<BaseConverter>(k, mux_->lanes_of(kBase),
+                                            cfg.bus_bytes, cfg.queue_depth,
+                                            cfg.base_max_bursts,
+                                            cfg.r_out_depth);
+    strided_r_ = std::make_unique<StridedReadConverter>(
+        k, mux_->lanes_of(kStridedR), cfg.bus_bytes, cfg.queue_depth,
+        cfg.r_out_depth, cfg.pack_max_bursts);
+  }
   strided_w_ = std::make_unique<StridedWriteConverter>(
       k, mux_->lanes_of(kStridedW), cfg.bus_bytes, cfg.queue_depth, 4,
       cfg.pack_max_bursts);
-  indirect_r_ = std::make_unique<IndirectReadConverter>(
-      k, mux_->lanes_of(kIndirectR), cfg.bus_bytes, cfg.queue_depth,
-      cfg.r_out_depth, cfg.idx_window_lines, cfg.pack_max_bursts);
+  if (cfg.coalesce_enable) {
+    indirect_r_ = std::make_unique<IndirectReadConverter>(
+        k, coalescer_->upstream_lanes(), cfg.bus_bytes, cfg.queue_depth,
+        cfg.r_out_depth, cfg.idx_window_lines, cfg.pack_max_bursts,
+        coalescer_idx_->upstream_lanes());
+  } else {
+    indirect_r_ = std::make_unique<IndirectReadConverter>(
+        k, mux_->lanes_of(kIndirectR), cfg.bus_bytes, cfg.queue_depth,
+        cfg.r_out_depth, cfg.idx_window_lines, cfg.pack_max_bursts);
+  }
   indirect_w_ = std::make_unique<IndirectWriteConverter>(
       k, mux_->lanes_of(kIndirectW), cfg.bus_bytes, cfg.queue_depth, 4,
       cfg.idx_window_lines, cfg.pack_max_bursts);
@@ -133,7 +184,11 @@ void AxiPackAdapter::tick() {
 bool AxiPackAdapter::idle() const {
   return r_order_.empty() && b_order_.empty() && w_route_.empty() &&
          base_->idle() && strided_r_->idle() && strided_w_->idle() &&
-         indirect_r_->idle() && indirect_w_->idle();
+         indirect_r_->idle() && indirect_w_->idle() &&
+         (coalescer_ == nullptr || coalescer_->idle()) &&
+         (coalescer_idx_ == nullptr || coalescer_idx_->idle()) &&
+         (coalescer_str_ == nullptr || coalescer_str_->idle()) &&
+         (coalescer_base_ == nullptr || coalescer_base_->idle());
 }
 
 }  // namespace axipack::pack

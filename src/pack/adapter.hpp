@@ -8,13 +8,16 @@
 // order (AXI-compliant for the single-requester evaluation systems).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <utility>
 
 #include "axi/types.hpp"
 #include "mem/word.hpp"
 #include "pack/base_converter.hpp"
+#include "pack/coalescer.hpp"
 #include "pack/converter.hpp"
 #include "pack/indirect_read.hpp"
 #include "pack/indirect_write.hpp"
@@ -38,6 +41,27 @@ struct AdapterConfig {
   /// request generation never drains at burst boundaries (SystemBuilder
   /// raises it automatically for the "dram" backend).
   std::size_t pack_max_bursts = 2;
+  /// Near-memory index coalescing unit on the indirect read path. Enabling
+  /// it interposes an MSHR-style pending table plus a row/bank grouping
+  /// window between the indirect read converter's element stage and the
+  /// port mux, and moves the index stage onto its own parallel mux slot.
+  bool coalesce_enable = false;
+  /// Pending-table capacity. 512 retains a full gather vector's worth of
+  /// element words, so cross-row duplicate columns merge instead of
+  /// refetching (the indirect kernels' reuse is across rows, not within
+  /// one — see fig8 for the working-set threshold).
+  std::size_t coalesce_entries = 512;
+  std::size_t coalesce_window = 16;  ///< grouping-window lookahead
+  /// Sticky burst quantum of the port-mux arbitration while coalescing is
+  /// on (0 = plain round-robin): a granted converter keeps its lane for up
+  /// to this many back-to-back words, so the bank-partitioned streams
+  /// reach the DRAM as long single-row runs instead of per-cycle
+  /// interleave.
+  std::size_t coalesce_arb_quantum = 64;
+  /// Cycles the sticky holder may ride out a production bubble while a
+  /// competitor waits, before yielding its lane. A short idle port is
+  /// cheaper than the row swap (tRP+tRCD) a stream switch costs.
+  sim::Cycle coalesce_arb_patience = 32;
 };
 
 /// Burst counts by type, for diagnostics and the energy model.
@@ -66,8 +90,45 @@ class AxiPackAdapter final : public sim::Component {
   const AdapterStats& stats() const { return stats_; }
   const PortMux& port_mux() const { return *mux_; }
 
+  /// Element-stage coalescing unit, or nullptr when the path is disabled.
+  const Coalescer* coalescer() const { return coalescer_.get(); }
+  /// Aggregate counters over both coalescing units (element + index
+  /// stage); all-zero when the path is disabled. Counts sum; peak
+  /// occupancy is the larger unit's (the tables are independent).
+  CoalescerStats coalescer_stats() const {
+    CoalescerStats s = coalescer_ ? coalescer_->stats() : CoalescerStats{};
+    for (const Coalescer* u : {coalescer_idx_.get(), coalescer_str_.get(),
+                               coalescer_base_.get()}) {
+      if (u == nullptr) continue;
+      const CoalescerStats& i = u->stats();
+      s.merged += i.merged;
+      s.unique += i.unique;
+      s.row_groups += i.row_groups;
+      s.peak_pending = std::max(s.peak_pending, i.peak_pending);
+    }
+    return s;
+  }
+  /// Combined word-level issue counts of the two indirect converters.
+  IndirectWordStats indirect_word_stats() const {
+    IndirectWordStats s = indirect_r_->word_stats();
+    s.idx_words += indirect_w_->word_stats().idx_words;
+    s.elem_words += indirect_w_->word_stats().elem_words;
+    return s;
+  }
+  /// Installs the locality key (DRAM bank/row decomposition) used by both
+  /// coalescing units' partitioning and grouping. No-op when the path is
+  /// disabled; must be called before any indirect traffic flows.
+  void set_indirect_locality(Coalescer::LocalityKeyFn fn) {
+    if (coalescer_idx_) coalescer_idx_->set_locality_key(fn);
+    if (coalescer_str_) coalescer_str_->set_locality_key(fn);
+    if (coalescer_base_) coalescer_base_->set_locality_key(fn);
+    if (coalescer_) coalescer_->set_locality_key(std::move(fn));
+  }
+
  private:
-  // Converter indices for the port mux.
+  // Converter indices for the port mux. The coalesced adapter adds a sixth
+  // slot so the indirect index stage issues in parallel with the (now
+  // coalesced) element stage instead of sharing its lanes.
   enum Conv : unsigned {
     kBase = 0,
     kStridedR = 1,
@@ -75,6 +136,8 @@ class AxiPackAdapter final : public sim::Component {
     kIndirectR = 3,
     kIndirectW = 4,
     kNumConvs = 5,
+    kIndirectRIdx = 5,       ///< index-stage slot (coalesced adapter only)
+    kNumConvsCoalesced = 6,
   };
 
   Converter* classify_ar(const axi::AxiAr& ar);
@@ -82,6 +145,10 @@ class AxiPackAdapter final : public sim::Component {
 
   axi::AxiPort& up_;
   std::unique_ptr<PortMux> mux_;
+  std::unique_ptr<Coalescer> coalescer_;      ///< element stage (null = off)
+  std::unique_ptr<Coalescer> coalescer_idx_;  ///< index stage (null = off)
+  std::unique_ptr<Coalescer> coalescer_str_;  ///< strided-read stage
+  std::unique_ptr<Coalescer> coalescer_base_;  ///< base channel (r+w)
   std::unique_ptr<BaseConverter> base_;
   std::unique_ptr<StridedReadConverter> strided_r_;
   std::unique_ptr<StridedWriteConverter> strided_w_;

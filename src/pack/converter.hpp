@@ -36,6 +36,15 @@ struct LaneIO {
   sim::Fifo<mem::WordResp>* resp = nullptr;
 };
 
+/// Word-level issue counters of the indirect converters. Duplicate indices
+/// fan one burst out to repeated element words; counting *words requested*
+/// separately from memory words issued (the port mux / coalescer view)
+/// keeps merged requests from being double-counted as issued traffic.
+struct IndirectWordStats {
+  std::uint64_t idx_words = 0;   ///< index-array words fetched
+  std::uint64_t elem_words = 0;  ///< element words requested by the lanes
+};
+
 /// Bounds the number of word requests in flight per lane (issued but not yet
 /// consumed by the beat packer / response handler) to the decoupling-queue
 /// depth — paper Fig. 2c "req regu".

@@ -13,8 +13,10 @@ IndirectReadConverter::IndirectReadConverter(sim::Kernel& k,
                                              unsigned queue_depth,
                                              std::size_t r_out_depth,
                                              std::size_t idx_window_lines,
-                                             std::size_t max_bursts)
+                                             std::size_t max_bursts,
+                                             std::vector<LaneIO> idx_lanes)
     : lanes_(std::move(lanes)),
+      idx_lanes_(std::move(idx_lanes)),
       bus_bytes_(bus_bytes),
       lanes_n_(static_cast<unsigned>(lanes_.size())),
       idx_regulator_(lanes_n_, queue_depth),
@@ -25,6 +27,7 @@ IndirectReadConverter::IndirectReadConverter(sim::Kernel& k,
       prefer_idx_(lanes_n_, true),
       idx_q_(lanes_n_),
       elem_q_(lanes_n_) {
+  assert(idx_lanes_.empty() || idx_lanes_.size() == lanes_.size());
   k.add(*this);
 }
 
@@ -60,6 +63,18 @@ std::uint64_t IndirectReadConverter::issue_frontier(const Burst& bu) {
 }
 
 void IndirectReadConverter::drain_responses() {
+  // Split lanes: each stage drains its own bundle (no routing needed).
+  if (!idx_lanes_.empty()) {
+    for (unsigned l = 0; l < lanes_n_; ++l) {
+      if (idx_lanes_[l].resp->can_pop()) {
+        idx_q_[l].push_back(idx_lanes_[l].resp->pop());
+      }
+      if (lanes_[l].resp->can_pop()) {
+        elem_q_[l].push_back(lanes_[l].resp->pop());
+      }
+    }
+    return;
+  }
   // Route shared-lane responses into per-stage queues (the RTL's separate
   // decoupling queues); this removes head-of-line blocking between stages.
   for (unsigned l = 0; l < lanes_n_; ++l) {
@@ -74,13 +89,18 @@ void IndirectReadConverter::drain_responses() {
 }
 
 void IndirectReadConverter::tick_issue() {
+  const bool split = !idx_lanes_.empty();
   for (unsigned l = 0; l < lanes_n_; ++l) {
-    if (!lanes_[l].req->can_push()) continue;
+    sim::Fifo<mem::WordReq>& idx_req =
+        split ? *idx_lanes_[l].req : *lanes_[l].req;
+    const bool idx_space = idx_req.can_push();
+    const bool elem_space = lanes_[l].req->can_push();
+    if (!idx_space && !elem_space) continue;
 
     // Index-stage candidate: first burst with an unissued index word on this
     // lane whose extracted indices still fit the window.
     Burst* idx_burst = nullptr;
-    if (idx_regulator_.can_issue(l)) {
+    if (idx_space && idx_regulator_.can_issue(l)) {
       for (Burst& bu : bursts_) {
         const std::uint64_t word = bu.idx_issue[l] * lanes_n_ + l;
         if (word >= bu.idx_words_total) continue;
@@ -105,7 +125,7 @@ void IndirectReadConverter::tick_issue() {
     // lane whose index is already in the window.
     Burst* elem_burst = nullptr;
     std::uint64_t elem_addr = 0;
-    if (elem_regulator_.can_issue(l)) {
+    if (elem_space && elem_regulator_.can_issue(l)) {
       for (Burst& bu : bursts_) {
         const std::uint64_t slot = bu.elem_issue[l] * lanes_n_ + l;
         if (!bu.geom.slot_valid(slot)) continue;
@@ -122,27 +142,37 @@ void IndirectReadConverter::tick_issue() {
     }
 
     if (idx_burst == nullptr && elem_burst == nullptr) continue;
+    // Split lanes: the stages do not share a request FIFO, so both
+    // candidates issue this cycle. Shared lanes: round-robin for the one
+    // request slot.
     const bool pick_idx =
-        elem_burst == nullptr || (idx_burst != nullptr && prefer_idx_[l]);
-    if (idx_burst != nullptr && elem_burst != nullptr) {
+        split || elem_burst == nullptr ||
+        (idx_burst != nullptr && prefer_idx_[l]);
+    const bool pick_elem = split ? elem_burst != nullptr : !pick_idx;
+    if (!split && idx_burst != nullptr && elem_burst != nullptr) {
       prefer_idx_[l] = !prefer_idx_[l];  // round-robin between the stages
     }
-    mem::WordReq req;
-    req.write = false;
-    if (pick_idx) {
+    if (pick_idx && idx_burst != nullptr) {
       Burst& bu = *idx_burst;
+      mem::WordReq req;
+      req.write = false;
       req.addr = bu.idx_base + 4ull * (bu.idx_issue[l] * lanes_n_ + l);
       req.tag = kIdxTag;
-      lanes_[l].req->push(req);
+      idx_req.push(req);
       idx_regulator_.on_issue(l);
       ++bu.idx_issue[l];
-    } else {
+      ++word_stats_.idx_words;
+    }
+    if (pick_elem && elem_burst != nullptr) {
       Burst& bu = *elem_burst;
+      mem::WordReq req;
+      req.write = false;
       req.addr = elem_addr;
       req.tag = kElemTag;
       lanes_[l].req->push(req);
       elem_regulator_.on_issue(l);
       ++bu.elem_issue[l];
+      ++word_stats_.elem_words;
     }
   }
 }

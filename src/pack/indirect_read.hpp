@@ -30,16 +30,29 @@ namespace axipack::pack {
 
 class IndirectReadConverter final : public Converter {
  public:
+  /// `idx_lanes` non-empty splits the two stages onto separate lane
+  /// bundles: the index stage issues on `idx_lanes`, the element stage on
+  /// `lanes`, and both may issue on the same lane number in one cycle
+  /// (the coalesced adapter's parallel index lanes — the stages then only
+  /// compete at the port mux, not for a shared request FIFO). Empty keeps
+  /// the shared-lane round-robin of the plain adapter.
   IndirectReadConverter(sim::Kernel& k, std::vector<LaneIO> lanes,
                         unsigned bus_bytes, unsigned queue_depth,
                         std::size_t r_out_depth = 4,
                         std::size_t idx_window_lines = 4,
-                        std::size_t max_bursts = 2);
+                        std::size_t max_bursts = 2,
+                        std::vector<LaneIO> idx_lanes = {});
 
   bool can_accept_ar() const override;
   void accept_ar(const axi::AxiAr& ar) override;
   sim::Fifo<axi::AxiR>* r_out() override { return &r_out_; }
   bool idle() const override { return bursts_.empty(); }
+
+  /// Word-level issue counts (fan-out accounting): `elem_words` counts
+  /// element words *requested* by the lanes — what the burst fans out to —
+  /// not words issued to memory; with the coalescer in the path the two
+  /// differ by exactly its merged count.
+  const IndirectWordStats& word_stats() const { return word_stats_; }
 
   void tick() override;
 
@@ -79,8 +92,10 @@ class IndirectReadConverter final : public Converter {
   void retire_indices(Burst& bu);
 
   std::vector<LaneIO> lanes_;
+  std::vector<LaneIO> idx_lanes_;  ///< empty = index shares `lanes_`
   unsigned bus_bytes_;
   unsigned lanes_n_;
+  IndirectWordStats word_stats_;
   Regulator idx_regulator_;
   Regulator elem_regulator_;
   sim::Fifo<axi::AxiR> r_out_;

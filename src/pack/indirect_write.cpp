@@ -95,6 +95,7 @@ void IndirectWriteConverter::accept_w(const axi::AxiW& w) {
     req.tag = kElemTag;
     lanes_[l].req->push(req);
     elem_regulator_.on_issue(l);
+    ++word_stats_.elem_words;
   }
   ++bu->unpack_beat;
   retire_indices(*bu);
@@ -145,6 +146,7 @@ void IndirectWriteConverter::tick_index_issue() {
       lanes_[l].req->push(req);
       idx_regulator_.on_issue(l);
       ++bu.idx_issue[l];
+      ++word_stats_.idx_words;
       break;
     }
   }

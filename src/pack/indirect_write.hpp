@@ -28,6 +28,10 @@ class IndirectWriteConverter final : public Converter {
   sim::Fifo<axi::AxiB>* b_out() override { return &b_out_; }
   bool idle() const override { return bursts_.empty(); }
 
+  /// Word-level issue counts (fan-out accounting): idx reads vs element
+  /// words scattered — see IndirectWordStats.
+  const IndirectWordStats& word_stats() const { return word_stats_; }
+
   void tick() override;
 
  private:
@@ -61,6 +65,7 @@ class IndirectWriteConverter final : public Converter {
   std::vector<LaneIO> lanes_;
   unsigned bus_bytes_;
   unsigned lanes_n_;
+  IndirectWordStats word_stats_;
   Regulator idx_regulator_;
   Regulator elem_regulator_;
   sim::Fifo<axi::AxiB> b_out_;

@@ -23,6 +23,9 @@ PortMux::PortMux(sim::Kernel& k, mem::WordMemory& memory,
     }
   }
   rr_.assign(lanes_, 0);
+  sticky_credit_.assign(lanes_, 0);
+  sticky_conv_.assign(lanes_, 0);
+  sticky_hold_since_.assign(lanes_, kNoHold);
   ports_.reserve(lanes_);
   for (unsigned l = 0; l < lanes_; ++l) ports_.push_back(&memory_.port(l));
   k.add(*this);
@@ -46,16 +49,59 @@ void PortMux::tick() {
   const sim::Cycle now = kernel_.now();  // hoisted out of the fifo checks
   for (unsigned l = 0; l < lanes_; ++l) {
     mem::WordPort& port = *ports_[l];
-    // Requests: round-robin over converters with a pending request.
+    // Requests: round-robin over converters with a pending request. With a
+    // sticky quantum, the last-granted converter keeps the lane while it
+    // has requests and credit; a holder in a short production bubble still
+    // holds the lane (denying competitors) for up to `patience` cycles,
+    // after which — or once the credit is spent — the round-robin scan
+    // takes over and re-arms the credit.
     if (port.req.can_push()) {
-      unsigned c = rr_[l];
-      for (unsigned i = 0; i < convs_; ++i) {
+      unsigned c;
+      unsigned scan = convs_;
+      bool hold = false;
+      if (sticky_credit_[l] > 0 && req(sticky_conv_[l], l).has_visible(now)) {
+        c = sticky_conv_[l];
+        scan = 1;
+        sticky_hold_since_[l] = kNoHold;
+      } else {
+        c = rr_[l];
+        if (sticky_credit_[l] > 0 && sticky_patience_ > 0) {
+          // Only denied competitors start or age the hold, so lanes where
+          // nothing is pending carry no hold state (keeps gated and naive
+          // kernel scheduling cycle-identical).
+          bool competitor = false;
+          for (unsigned k = 0; k < convs_; ++k) {
+            if (k != sticky_conv_[l] && req(k, l).has_visible(now)) {
+              competitor = true;
+              break;
+            }
+          }
+          if (competitor) {
+            if (sticky_hold_since_[l] == kNoHold) sticky_hold_since_[l] = now;
+            if (now - sticky_hold_since_[l] < sticky_patience_) {
+              hold = true;
+            } else {
+              sticky_hold_since_[l] = kNoHold;
+              sticky_credit_[l] = 0;  // bubble outlasted patience: yield
+            }
+          }
+        }
+      }
+      for (unsigned i = 0; !hold && i < scan; ++i) {
         if (req(c, l).has_visible(now)) {
           mem::WordReq r = req(c, l).pop();
           assert((r.tag >> kConvShift) == 0 && "tag collides with conv field");
           r.tag |= c << kConvShift;
+          if (r.write && write_snoop_) write_snoop_(r.addr);
           port.req.push(r);
           rr_[l] = c + 1 == convs_ ? 0 : c + 1;
+          if (sticky_quantum_ > 0) {
+            sticky_credit_[l] = c == sticky_conv_[l] && sticky_credit_[l] > 0
+                                    ? sticky_credit_[l] - 1
+                                    : sticky_quantum_ - 1;
+            sticky_conv_[l] = c;
+            sticky_hold_since_[l] = kNoHold;
+          }
           ++words_issued_;
           break;
         }

@@ -5,7 +5,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "mem/word.hpp"
@@ -35,6 +37,31 @@ class PortMux final : public sim::Component {
 
   std::uint64_t words_issued() const { return words_issued_; }
 
+  /// Called with the address of every write request the moment it is
+  /// granted onto a memory port, before the write enters the port FIFO.
+  /// The index coalescer uses this to invalidate retained read data (its
+  /// coherence point is this mux: all of the adapter's write streams are
+  /// granted here).
+  void set_write_snoop(std::function<void(std::uint64_t)> fn) {
+    write_snoop_ = std::move(fn);
+  }
+
+  /// Sticky (burst-quantum) arbitration: once a converter is granted, it
+  /// keeps its lane for up to `quantum` back-to-back grants while it has
+  /// requests, before round-robin moves on. Each lane then emits long
+  /// single-stream runs — which are single-row runs at the DRAM, since the
+  /// coalescing units partition their streams by bank — instead of
+  /// fine-grained stream interleave that forces a row swap per grant.
+  /// `patience` rides out the holder's production bubbles: while it has
+  /// credit but no visible request, competing converters are denied for up
+  /// to that many consecutive cycles before round-robin takes over (a
+  /// short idle port is cheaper than a row swap; bounded, so liveness is
+  /// unaffected). quantum 0 (default) is plain per-cycle round-robin.
+  void set_sticky_quantum(std::size_t quantum, sim::Cycle patience = 0) {
+    sticky_quantum_ = quantum;
+    sticky_patience_ = patience;
+  }
+
  private:
   sim::Fifo<mem::WordReq>& req(unsigned conv, unsigned lane) {
     return *req_flat_[lane * convs_ + conv];
@@ -53,6 +80,16 @@ class PortMux final : public sim::Component {
   std::vector<std::unique_ptr<sim::Fifo<mem::WordReq>>> req_flat_;
   std::vector<std::unique_ptr<sim::Fifo<mem::WordResp>>> resp_flat_;
   std::vector<unsigned> rr_;  ///< per-lane round-robin over converters
+  std::size_t sticky_quantum_ = 0;      ///< 0 = plain round-robin
+  sim::Cycle sticky_patience_ = 0;      ///< bubble-ride-out, in cycles
+  std::vector<std::size_t> sticky_credit_;  ///< per-lane remaining quantum
+  std::vector<unsigned> sticky_conv_;       ///< per-lane current holder
+  /// Cycle the holder's current production bubble started denying a
+  /// competitor (kNoHold = not holding). Stamped with cycle numbers, not
+  /// tick counts, so gated and naive scheduling stay cycle-identical.
+  static constexpr sim::Cycle kNoHold = ~sim::Cycle{0};
+  std::vector<sim::Cycle> sticky_hold_since_;
+  std::function<void(std::uint64_t)> write_snoop_;
   std::uint64_t words_issued_ = 0;
 };
 

@@ -85,6 +85,14 @@ class SystemBuilder {
   /// the bus width. Also fixes the decoupling-queue depth (overrides
   /// queue_depth()).
   SystemBuilder& adapter(const pack::AdapterConfig& cfg);
+  /// Near-memory index coalescing unit on the indirect read path: an
+  /// MSHR-style pending table of `entries` slots plus a row/bank grouping
+  /// window of `window` requests, with the index stage moved onto parallel
+  /// lanes. Zero entries/window with enable=true are rejected loudly.
+  /// Unlike adapter(), this composes with the backend-derived adapter
+  /// defaults (deep queues for "dram") instead of replacing them.
+  SystemBuilder& coalescer(bool enable, std::size_t entries = 512,
+                           std::size_t window = 16);
 
   // ---- masters ---------------------------------------------------------
   /// Vector processor in the given VLSU mode; its lane count and bus width
@@ -141,6 +149,10 @@ class SystemBuilder {
   bool mem_depths_explicit_ = false;
   pack::AdapterConfig adapter_cfg_;
   bool adapter_explicit_ = false;
+  bool coalesce_set_ = false;
+  bool coalesce_enable_ = false;
+  std::size_t coalesce_entries_ = 512;
+  std::size_t coalesce_window_ = 16;
   std::vector<MasterSpec> masters_;
 };
 

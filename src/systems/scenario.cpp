@@ -70,17 +70,22 @@ std::optional<SystemBuilder> parse_scenario(const std::string& name) {
   if (pos >= name.size() || name[pos] != '-') return std::nullopt;
   ++pos;
   if (name.compare(pos, 4, "dram") == 0) {
-    // "{base|pack}-{bits}-dram[-w{W}][-c{C}][-q{Q}]": the paper SoC over
-    // the DRAM backend, with optional row-batching scheduler knobs —
-    // w = per-port lookahead window (1 = head-only, no batching),
-    // c = starvation cap in cycles (0 = no batching),
+    // "{base|pack}-{bits}-dram[-w{W}][-c{C}][-q{Q}][-x{E}][-g{G}]": the
+    // paper SoC over the DRAM backend, with optional knobs —
+    // w = row-batching per-port lookahead window (1 = head-only),
+    // c = row-batching starvation cap in cycles (0 = no batching),
     // q = per-port memory request-FIFO depth (response depth keeps its
-    // default). Knobs may appear in any order, each at most once.
+    //     default),
+    // x = index-coalescer pending-table entries (enables the unit),
+    // g = index-coalescer grouping-window lookahead (enables the unit).
+    // Knobs may appear in any order, each at most once.
     pos += 4;
     SystemBuilder b = soc_builder(kind, *bus_bits, 17);
     b.memory("dram");
     std::size_t window = 0, cap = 0, req_depth = 0;  // 0 = not given
+    std::size_t co_entries = 0, co_window = 0;
     bool have_w = false, have_c = false, have_q = false;
+    bool have_x = false, have_g = false;
     while (pos != name.size()) {
       if (name[pos] != '-' || pos + 2 >= name.size()) return std::nullopt;
       const char knob = name[pos + 1];
@@ -103,6 +108,16 @@ std::optional<SystemBuilder> parse_scenario(const std::string& name) {
           req_depth = *value;
           have_q = true;
           break;
+        case 'x':
+          if (have_x || *value == 0) return std::nullopt;
+          co_entries = *value;
+          have_x = true;
+          break;
+        case 'g':
+          if (have_g || *value == 0) return std::nullopt;
+          co_window = *value;
+          have_g = true;
+          break;
         default:
           return std::nullopt;
       }
@@ -113,6 +128,11 @@ std::optional<SystemBuilder> parse_scenario(const std::string& name) {
                    have_c ? cap : defaults.dram_starve_cap);
     }
     if (have_q) b.mem_queue_depths(req_depth, defaults.resp_depth);
+    if (have_x || have_g) {
+      pack::AdapterConfig ad;
+      b.coalescer(true, have_x ? co_entries : ad.coalesce_entries,
+                  have_g ? co_window : ad.coalesce_window);
+    }
     return b;
   }
   const auto banks = parse_number(name, pos);
@@ -151,6 +171,16 @@ ScenarioRegistry::ScenarioRegistry() {
            return b;
          }});
   }
+
+  add({"pack-dram-coalesce",
+       "PACK SoC, 256-bit bus, DRAM backend, index coalescing unit enabled "
+       "(default entries/window; parametric: pack-256-dram-x{E}-g{G})",
+       [] {
+         SystemBuilder b = soc_builder(SystemKind::pack, 256, 17);
+         b.memory("dram");
+         b.coalescer(true);
+         return b;
+       }});
 
   add({"pack-256-idealmem",
        "PACK pipeline over the conflict-free ideal memory backend",

@@ -91,6 +91,11 @@ SensitivityResult measure_read_utilization(const SensitivityConfig& cfg) {
   ac.queue_depth = cfg.queue_depth;
   ac.resp_fifo_depth = 512;
   ac.idx_window_lines = cfg.idx_window_lines;
+  if (cfg.coalesce_entries > 0) {
+    ac.coalesce_enable = true;
+    ac.coalesce_entries = cfg.coalesce_entries;
+    ac.coalesce_window = cfg.coalesce_window;
+  }
   builder.adapter(ac);
   const MasterId requestor = builder.attach_port("ideal-requestor");
 

@@ -24,6 +24,10 @@ struct SensitivityConfig {
   std::int64_t stride_elems = 1;  ///< element stride (strided only)
   unsigned queue_depth = 32;
   unsigned idx_window_lines = 8;  ///< indirect index prefetch window
+  /// >0 enables the index coalescing unit with this pending-table size
+  /// (indirect only; 0 keeps the plain shared-lane indirect path).
+  std::size_t coalesce_entries = 0;
+  std::size_t coalesce_window = 16;  ///< grouping window when enabled
   unsigned burst_beats = 256;
   unsigned num_bursts = 8;
   std::uint64_t seed = 1;

@@ -106,6 +106,24 @@ SystemBuilder& SystemBuilder::adapter(const pack::AdapterConfig& cfg) {
   return *this;
 }
 
+SystemBuilder& SystemBuilder::coalescer(bool enable, std::size_t entries,
+                                        std::size_t window) {
+  // Bad values fail loudly here, like dram_sched(): a zero-entry table or
+  // zero-lookahead window cannot carry traffic — disable the unit instead.
+  if (enable && (entries == 0 || window == 0)) {
+    std::fprintf(stderr,
+                 "SystemBuilder::coalescer: entries=%zu / window=%zu must "
+                 "be >= 1 when enabling; use coalescer(false) to disable\n",
+                 entries, window);
+    std::abort();
+  }
+  coalesce_set_ = true;
+  coalesce_enable_ = enable;
+  coalesce_entries_ = entries;
+  coalesce_window_ = window;
+  return *this;
+}
+
 MasterId SystemBuilder::attach_processor(vproc::VlsuMode mode) {
   vproc::VProcConfig cfg;
   cfg.mode = mode;
@@ -226,9 +244,29 @@ System::System(const SystemBuilder& b) : bus_bytes_(b.bus_bits_ / 8) {
         ac.pack_max_bursts = std::max<std::size_t>(ac.pack_max_bursts, 4);
       }
     }
+    // coalescer() composes with (rather than replaces) the defaults above,
+    // so coalesced DRAM systems keep the latency-matched deep queues.
+    if (b.coalesce_set_) {
+      ac.coalesce_enable = b.coalesce_enable_;
+      ac.coalesce_entries = b.coalesce_entries_;
+      ac.coalesce_window = b.coalesce_window_;
+    }
     ac.bus_bytes = bus_bytes_;
     adapter_ = std::make_unique<pack::AxiPackAdapter>(
         kernel_, *upstream, backend_->word_memory(), ac);
+    if (ac.coalesce_enable && mc.name == "dram") {
+      // Give the grouping window the backend's real bank/row decomposition
+      // instead of the coarse address-granule default.
+      if (auto* db = dynamic_cast<mem::DramBackend*>(backend_.get())) {
+        const mem::DramAddressMap* map = &db->dram().map();
+        const std::uint64_t base = b.mem_base_;
+        adapter_->set_indirect_locality([map, base](std::uint64_t addr) {
+          const std::uint64_t w = (addr - base) / mem::kWordBytes;
+          return (static_cast<std::uint64_t>(map->bank_of(w)) << 48) |
+                 map->row_of(w);
+        });
+      }
+    }
   }
 
   // Instantiate the masters now that their ports exist.
@@ -306,6 +344,10 @@ RunResult System::run(const wl::WorkloadInstance& instance,
   const axi::BusStats bus_start = link_ ? link_->stats() : axi::BusStats{};
   const mem::MemoryBackendStats mem_start =
       backend_ ? backend_->stats() : mem::MemoryBackendStats{};
+  const pack::CoalescerStats co_start =
+      adapter_ ? adapter_->coalescer_stats() : pack::CoalescerStats{};
+  const pack::IndirectWordStats iw_start =
+      adapter_ ? adapter_->indirect_word_stats() : pack::IndirectWordStats{};
 
   proc.run(instance.program);
   const sim::RunStatus finished = run_until_drained(max_cycles);
@@ -353,6 +395,18 @@ RunResult System::run(const wl::WorkloadInstance& instance,
     result.row_starved_grants =
         now.row_starved_grants - mem_start.row_starved_grants;
   }
+  if (adapter_) {
+    const pack::CoalescerStats co = adapter_->coalescer_stats();
+    result.coalesce_merged = co.merged - co_start.merged;
+    result.coalesce_unique = co.unique - co_start.unique;
+    // Peak occupancy is a high-water mark, not a counter: report the
+    // lifetime peak rather than a meaningless difference.
+    result.coalesce_peak_pending = co.peak_pending;
+    result.coalesce_row_groups = co.row_groups - co_start.row_groups;
+    const pack::IndirectWordStats iw = adapter_->indirect_word_stats();
+    result.indirect_idx_words = iw.idx_words - iw_start.idx_words;
+    result.indirect_elem_words = iw.elem_words - iw_start.elem_words;
+  }
   if (checker_) {
     result.protocol_violations = checker_->violations().size();
     if (result.protocol_violations > 0) {
@@ -385,6 +439,12 @@ std::string RunResult::to_json() const {
   w.key("refresh_stall_cycles").value(refresh_stall_cycles);
   w.key("row_batch_defer_cycles").value(row_batch_defer_cycles);
   w.key("row_starved_grants").value(row_starved_grants);
+  w.key("coalesce_merged").value(coalesce_merged);
+  w.key("coalesce_unique").value(coalesce_unique);
+  w.key("coalesce_peak_pending").value(coalesce_peak_pending);
+  w.key("coalesce_row_groups").value(coalesce_row_groups);
+  w.key("indirect_idx_words").value(indirect_idx_words);
+  w.key("indirect_elem_words").value(indirect_elem_words);
   if (!error.empty()) w.key("error").value(error);
   w.end_object();
   return w.str();

@@ -43,6 +43,21 @@ struct RunResult {
   std::uint64_t refresh_stall_cycles = 0;
   std::uint64_t row_batch_defer_cycles = 0;  ///< row-batching deferrals
   std::uint64_t row_starved_grants = 0;      ///< starvation-cap overrides
+  // Coalescing-stage activity, aggregated over the adapter's four units
+  // (element, index, strided-read, base channel); zero when the stage is
+  // disabled. `unique` counts words actually fetched from memory, `merged`
+  // counts requests served from a live or retained entry (or forwarded
+  // from a queued full-word store) without a fetch.
+  std::uint64_t coalesce_merged = 0;   ///< requests folded into live entries
+  std::uint64_t coalesce_unique = 0;   ///< unique words fetched
+  std::uint64_t coalesce_peak_pending = 0;  ///< max pending-table occupancy
+  std::uint64_t coalesce_row_groups = 0;    ///< locality groups opened
+  // Indirect converter word-level issue counts (fan-out accounting): words
+  // *requested* by the gather/scatter lanes; with the coalescing stage on,
+  // every element word is counted once there as unique or merged, so
+  // coalesce_unique + coalesce_merged >= indirect_elem_words.
+  std::uint64_t indirect_idx_words = 0;
+  std::uint64_t indirect_elem_words = 0;
 
   /// Fraction of dram accesses served from the open row (0 when the run
   /// did not touch a dram backend).

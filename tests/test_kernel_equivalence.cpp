@@ -38,6 +38,12 @@ struct Snapshot {
   std::uint64_t r_beats = 0;
   std::uint64_t r_payload_bytes = 0;
   std::uint64_t w_beats = 0;
+  std::uint64_t coalesce_merged = 0;
+  std::uint64_t coalesce_unique = 0;
+  std::uint64_t coalesce_peak_pending = 0;
+  std::uint64_t coalesce_row_groups = 0;
+  std::uint64_t indirect_idx_words = 0;
+  std::uint64_t indirect_elem_words = 0;
   std::uint64_t dma_bytes_moved = 0;
   std::uint64_t dma_busy_cycles = 0;
 
@@ -59,6 +65,12 @@ struct Snapshot {
     s.r_beats = r.bus.r_beats;
     s.r_payload_bytes = r.bus.r_payload_bytes;
     s.w_beats = r.bus.w_beats;
+    s.coalesce_merged = r.coalesce_merged;
+    s.coalesce_unique = r.coalesce_unique;
+    s.coalesce_peak_pending = r.coalesce_peak_pending;
+    s.coalesce_row_groups = r.coalesce_row_groups;
+    s.indirect_idx_words = r.indirect_idx_words;
+    s.indirect_elem_words = r.indirect_elem_words;
     return s;
   }
 };
@@ -82,6 +94,13 @@ void expect_identical(const Snapshot& naive, const Snapshot& gated,
   EXPECT_EQ(naive.r_beats, gated.r_beats) << what;
   EXPECT_EQ(naive.r_payload_bytes, gated.r_payload_bytes) << what;
   EXPECT_EQ(naive.w_beats, gated.w_beats) << what;
+  EXPECT_EQ(naive.coalesce_merged, gated.coalesce_merged) << what;
+  EXPECT_EQ(naive.coalesce_unique, gated.coalesce_unique) << what;
+  EXPECT_EQ(naive.coalesce_peak_pending, gated.coalesce_peak_pending)
+      << what;
+  EXPECT_EQ(naive.coalesce_row_groups, gated.coalesce_row_groups) << what;
+  EXPECT_EQ(naive.indirect_idx_words, gated.indirect_idx_words) << what;
+  EXPECT_EQ(naive.indirect_elem_words, gated.indirect_elem_words) << what;
   EXPECT_EQ(naive.dma_bytes_moved, gated.dma_bytes_moved) << what;
   EXPECT_EQ(naive.dma_busy_cycles, gated.dma_busy_cycles) << what;
 }
@@ -169,10 +188,46 @@ TEST(KernelEquivalence, ParametricFamilyMembers) {
         // memory-FIFO depth — the gated kernel must stay cycle-identical
         // at every sched-window setting.
         "pack-256-dram-w1", "pack-64-dram-w8-c16", "pack-128-dram-w32-c0",
-        "base-64-dram-w16-q48"}) {
+        "base-64-dram-w16-q48",
+        // Index-coalescer family: small and large pending tables, head-only
+        // and deep grouping windows, and a knob mix on a narrow bus — the
+        // gated kernel must stay cycle-identical with the coalescer's
+        // merge/fan-out/reorder machinery in the loop (and the coalescer
+        // stats themselves must be bit-identical).
+        "pack-256-dram-x16", "pack-64-dram-x8-g4",
+        "pack-128-dram-x32-g16-w8"}) {
     const Snapshot naive = drive_scenario(name, /*naive=*/true);
     const Snapshot gated = drive_scenario(name, /*naive=*/false);
     expect_identical(naive, gated, name);
+  }
+}
+
+TEST(KernelEquivalence, CoalescedIndirectKernels) {
+  // The parametric sweep above drives gemv, which never enters the
+  // indirect path — run real gather kernels through coalesced scenarios so
+  // the pending table, fan-out and grouping window are actually in the
+  // loop, and require the coalescer to have merged something (non-vacuous).
+  for (const std::string scenario :
+       {std::string("pack-dram-coalesce"), std::string("pack-64-dram-x8-g4")}) {
+    for (const auto kernel : {wl::KernelKind::spmv, wl::KernelKind::sssp}) {
+      auto cfg = sys::plan_workload(kernel, scenario);
+      cfg.n = 96;
+      cfg.nnz_per_row = 24;
+      sys::WorkloadJob naive_job;
+      naive_job.scenario = scenario;
+      naive_job.cfg = cfg;
+      naive_job.naive_kernel = true;
+      sys::WorkloadJob gated_job = naive_job;
+      gated_job.naive_kernel = false;
+      const auto results =
+          sys::run_workloads({naive_job, gated_job}, /*threads=*/1);
+      const Snapshot naive = Snapshot::of(results[0]);
+      const Snapshot gated = Snapshot::of(results[1]);
+      expect_identical(naive, gated,
+                       scenario + " " + wl::kernel_name(kernel));
+      EXPECT_GT(gated.coalesce_unique, 0u) << scenario;
+      EXPECT_GT(gated.coalesce_merged, 0u) << scenario;
+    }
   }
 }
 

@@ -145,7 +145,7 @@ TEST(MemoryBackends, DramSchedulerKnobSuffixesParse) {
   EXPECT_TRUE(reg.contains("pack-256-dram-c16-w8"));   // order-free
   EXPECT_TRUE(reg.contains("pack-256-dram-w32-c48-q64"));
   // Malformed: unknown knob, missing value, zero window/depth, duplicates.
-  EXPECT_FALSE(reg.contains("pack-256-dram-x4"));
+  EXPECT_FALSE(reg.contains("pack-256-dram-z4"));
   EXPECT_FALSE(reg.contains("pack-256-dram-w"));
   EXPECT_FALSE(reg.contains("pack-256-dram-w0"));
   EXPECT_FALSE(reg.contains("pack-256-dram-q0"));

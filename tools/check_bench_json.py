@@ -20,7 +20,9 @@ def fail(path, msg):
     sys.exit(1)
 
 
-RUN_FIELDS = {"cycles", "r_util", "correct", "row_hit_ratio"}
+RUN_FIELDS = {"cycles", "r_util", "correct", "row_hit_ratio",
+              "coalesce_merged", "coalesce_unique", "coalesce_peak_pending",
+              "coalesce_row_groups"}
 
 
 def check_file(path):
@@ -69,6 +71,19 @@ def check_file(path):
             run = point.get("run")
             if not isinstance(run, dict) or not RUN_FIELDS <= set(run):
                 fail(path, f"{name}: point run object missing core fields")
+        # The coalescer sweep must actually exercise the unit: every point
+        # off the baseline carries coalescer activity, the baseline none.
+        if "coalesce" in axis_values:
+            for point in points:
+                run = point["run"]
+                if point["coords"]["coalesce"] == "off":
+                    if run["coalesce_unique"] != 0:
+                        fail(path, f"{name}: baseline point reports "
+                                   f"coalescer activity")
+                elif run["coalesce_unique"] == 0:
+                    fail(path,
+                         f"{name}: coalesced point "
+                         f"{point['coords']} saw no coalescer traffic")
     n_exp = len(doc["experiments"])
     n_pts = sum(len(e["points"]) for e in doc["experiments"])
     print(f"{path}: ok ({doc['bench']}, {n_exp} experiment(s), "

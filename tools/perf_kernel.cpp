@@ -126,6 +126,30 @@ constexpr double kPackDramStridedHitFloor = 0.45;
 constexpr double kPackDramGemvTrmvSpeedupFloor = 0.95;
 constexpr double kPackDramPlannedHitFloor = 0.95;
 
+/// The indirect kernels on the coalesced pack-dram path ("pack-dram-coalesce":
+/// row-aware batching plus the index coalescing unit at default entries /
+/// window). Their row-hit ratio is the regression canary for the coalescer:
+/// with the element stream folded into the pending table, the DRAM scheduler
+/// mostly sees the sequential index stream, and the open-row hit rate must
+/// sit at or above the base-dram level (~0.95 at seed 42). The floor leaves
+/// margin for workload-generator drift.
+constexpr wl::KernelKind kIndirectKernels[] = {wl::KernelKind::spmv,
+                                               wl::KernelKind::prank,
+                                               wl::KernelKind::sssp};
+constexpr double kCoalescedHitFloor = 0.90;
+
+std::vector<sys::WorkloadJob> dram_coalesced_jobs() {
+  std::vector<sys::WorkloadJob> jobs;
+  for (const auto kernel : kIndirectKernels) {
+    sys::WorkloadJob job;
+    job.scenario = "pack-dram-coalesce";
+    job.cfg = sys::plan_workload(kernel, job.scenario);
+    job.cfg.seed = kPerfSeed;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
 std::vector<sys::WorkloadJob> dram_batched_jobs() {
   std::vector<sys::WorkloadJob> jobs;
   for (const auto kernel : kStridedKernels) {
@@ -202,30 +226,7 @@ int main(int argc, char** argv) {
   const SetResult gated = run_set(/*naive=*/false, /*threads=*/1, repeats);
   std::printf("  gated serial   : %8.1f ms\n", gated.wall_ms);
 
-  // 3) Gated kernel, SweepRunner-parallel + thread-scaling series.
-  struct ScalePoint {
-    unsigned threads;
-    double wall_ms;
-  };
-  std::vector<ScalePoint> scaling;
-  scaling.push_back({1, gated.wall_ms});  // t=1 already measured above
-  double parallel_ms = gated.wall_ms;
-  for (unsigned t = 2; t <= hw; t *= 2) {
-    const SetResult r = run_set(/*naive=*/false, t, repeats);
-    scaling.push_back({t, r.wall_ms});
-    parallel_ms = std::min(parallel_ms, r.wall_ms);
-    std::printf("  gated %2u thread%s: %8.1f ms\n", t, t == 1 ? " " : "s",
-                r.wall_ms);
-    if (t != hw && t * 2 > hw) {
-      const SetResult rh = run_set(/*naive=*/false, hw, repeats);
-      scaling.push_back({hw, rh.wall_ms});
-      parallel_ms = std::min(parallel_ms, rh.wall_ms);
-      std::printf("  gated %2u threads: %8.1f ms\n", hw, rh.wall_ms);
-      break;
-    }
-  }
-
-  // 4) The DRAM-endpoint set (base-dram / pack-dram), naive vs gated.
+  // 3) The DRAM-endpoint set (base-dram / pack-dram), naive vs gated.
   const SetResult dram_naive =
       run_jobs(dram_jobs, /*naive=*/true, /*threads=*/1, repeats);
   const SetResult dram_gated =
@@ -234,6 +235,30 @@ int main(int argc, char** argv) {
               dram_naive.wall_ms,
               static_cast<unsigned long long>(dram_naive.cycles));
   std::printf("  dram gated     : %8.1f ms\n", dram_gated.wall_ms);
+
+  // 4) Thread scaling at fixed 2/4/8 threads for BOTH scenario sets, so
+  // the recorded series is comparable across machines (SweepRunner simply
+  // oversubscribes when the host has fewer cores — that flattening is
+  // itself the datapoint). The host width is run too when it extends the
+  // series.
+  struct ScalePoint {
+    unsigned threads;
+    double wall_ms;
+    double dram_wall_ms;
+  };
+  std::vector<ScalePoint> scaling;
+  scaling.push_back({1, gated.wall_ms, dram_gated.wall_ms});
+  double parallel_ms = gated.wall_ms;
+  std::vector<unsigned> widths = {2, 4, 8};
+  if (hw > 8) widths.push_back(hw);
+  for (const unsigned t : widths) {
+    const SetResult r = run_set(/*naive=*/false, t, repeats);
+    const SetResult rd = run_jobs(dram_jobs, /*naive=*/false, t, repeats);
+    scaling.push_back({t, r.wall_ms, rd.wall_ms});
+    parallel_ms = std::min(parallel_ms, r.wall_ms);
+    std::printf("  gated %2u threads: %8.1f ms  (dram %8.1f ms)\n", t,
+                r.wall_ms, rd.wall_ms);
+  }
 
   // 5) The dram_batched strided sweep: row-hit-ratio floor check.
   const auto batched_results = sys::run_workloads(dram_batched_jobs(), 1);
@@ -276,6 +301,31 @@ int main(int argc, char** argv) {
               min_dram_speedup, kPackDramGemvTrmvSpeedupFloor,
               min_planned_hit, kPackDramPlannedHitFloor,
               dram_speedup_ok ? "ok" : "REGRESSION");
+
+  // 7) The coalesced indirect set: spmv/prank/sssp on pack-dram-coalesce.
+  // The index coalescing unit must keep the open-row hit rate at or above
+  // the floor; the speedups vs base-dram are recorded alongside.
+  const auto coalesced_results = sys::run_workloads(dram_coalesced_jobs(), 1);
+  double min_coalesced_hit = 1.0;
+  bool coalesced_correct = true;
+  std::vector<double> coalesced_speedups;
+  for (std::size_t i = 0; i < coalesced_results.size(); ++i) {
+    const auto& r = coalesced_results[i];
+    min_coalesced_hit = std::min(min_coalesced_hit, r.row_hit_ratio());
+    coalesced_correct = coalesced_correct && r.correct && r.coalesce_unique > 0;
+    // base-dram runs sit at even offsets of the dram set, in kKernels
+    // order; the indirect kernels are its last three entries.
+    const auto& base = dram_gated.runs[(3 + i) * 2];
+    coalesced_speedups.push_back(
+        r.cycles ? static_cast<double>(base.cycles) / r.cycles : 0.0);
+  }
+  const bool coalesced_ok =
+      coalesced_correct && min_coalesced_hit >= kCoalescedHitFloor;
+  std::printf("  pack-dram-coalesce indirect: min row-hit %.3f (floor "
+              "%.2f), speedups vs base-dram %.2fx/%.2fx/%.2fx — %s\n",
+              min_coalesced_hit, kCoalescedHitFloor, coalesced_speedups[0],
+              coalesced_speedups[1], coalesced_speedups[2],
+              coalesced_ok ? "ok" : "REGRESSION");
 
   // Cycle-identity across configurations is the hard constraint.
   bool identical = naive.cycles == gated.cycles;
@@ -334,6 +384,7 @@ int main(int argc, char** argv) {
     w.begin_object();
     w.key("threads").value(point.threads);
     w.key("wall_ms").value(point.wall_ms);
+    w.key("dram_wall_ms").value(point.dram_wall_ms);
     w.end_object();
   }
   w.end_array();
@@ -368,6 +419,23 @@ int main(int argc, char** argv) {
   }
   w.end_array();
   w.end_object();
+  w.key("dram_coalesced").begin_object();
+  w.key("hit_floor").value(kCoalescedHitFloor);
+  w.key("min_row_hit_ratio").value(min_coalesced_hit);
+  w.key("pass").value(coalesced_ok);
+  w.key("speedups_vs_base_dram").begin_array();
+  for (const double s : coalesced_speedups) w.value(s);
+  w.end_array();
+  w.key("scenarios").begin_array();
+  for (std::size_t i = 0; i < coalesced_results.size(); ++i) {
+    w.begin_object();
+    w.key("scenario").value("pack-dram-coalesce");
+    w.key("kernel").value(wl::kernel_name(kIndirectKernels[i]));
+    w.key("run").raw(coalesced_results[i].to_json());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
   w.key("dram_scenarios").begin_array();
   {
     const auto djobs = dram_jobs(false);
@@ -393,6 +461,8 @@ int main(int argc, char** argv) {
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 
-  return (identical && all_correct && hit_floor_ok && dram_speedup_ok) ? 0
-                                                                       : 1;
+  return (identical && all_correct && hit_floor_ok && dram_speedup_ok &&
+          coalesced_ok)
+             ? 0
+             : 1;
 }
