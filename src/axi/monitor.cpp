@@ -46,8 +46,45 @@ void AxiLink::tick() {
     stats_.w_payload_bytes += beat.useful_bytes;
     down_.w.push(std::move(beat));
   }
-  if (down_.r.can_pop() && up_.r.can_push()) {
+  if (down_.b.can_pop() && up_.b.can_push()) {
+    if (checker_ != nullptr) checker_->observe_b(down_.b.front(), now);
+    up_.b.push(down_.b.pop());
+    ++stats_.b_handshakes;
+  }
+  if (r_discarding_ && down_.r.can_pop()) {
+    // Tail of a truncated burst: swallow silently (not forwarded, not
+    // counted, not shown to the checker) until the real last beat.
+    if (down_.r.pop().last) r_discarding_ = false;
+  } else if (down_.r.can_pop() && up_.r.can_push() &&
+             now >= r_stall_until_) {
+    if (faults_ != nullptr && !r_fault_decided_) {
+      r_fault_decided_ = true;
+      sim::Cycle stall_len = 0;
+      r_fault_ = faults_->next_link_r(&stall_len, &r_flip_bit_);
+      if (r_fault_ == sim::LinkFault::stall) {
+        // Hold the head beat; it is delivered clean once the stall lapses
+        // (r_fault_decided_ stays set, so no second draw for this beat).
+        r_stall_until_ = now + stall_len;
+        r_fault_ = sim::LinkFault::none;
+        return;
+      }
+    }
     AxiR beat = down_.r.pop();
+    if (r_fault_ == sim::LinkFault::flip) {
+      const unsigned bits =
+          beat.useful_bytes > 0 ? beat.useful_bytes * 8u : 8u;
+      const unsigned bit = r_flip_bit_ % bits;
+      beat.data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      beat.resp = worst_resp(beat.resp, kRespSlvErr);
+    } else if (r_fault_ == sim::LinkFault::truncate) {
+      beat.resp = worst_resp(beat.resp, kRespSlvErr);
+      if (!beat.last) {
+        beat.last = true;
+        r_discarding_ = true;
+      }
+    }
+    r_fault_ = sim::LinkFault::none;
+    r_fault_decided_ = false;
     if (checker_ != nullptr) checker_->observe_r(beat, now);
     ++stats_.r_beats;
     stats_.r_payload_bytes += beat.useful_bytes;
@@ -55,11 +92,6 @@ void AxiLink::tick() {
       stats_.r_index_bytes += beat.useful_bytes;
     }
     up_.r.push(std::move(beat));
-  }
-  if (down_.b.can_pop() && up_.b.can_push()) {
-    if (checker_ != nullptr) checker_->observe_b(down_.b.front(), now);
-    up_.b.push(down_.b.pop());
-    ++stats_.b_handshakes;
   }
 }
 

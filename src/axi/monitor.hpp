@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "axi/types.hpp"
+#include "sim/fault.hpp"
 #include "sim/kernel.hpp"
 
 namespace axipack::axi {
@@ -45,12 +46,27 @@ class AxiLink final : public sim::Component {
   /// this hop (non-owning; pass nullptr to detach).
   void attach_checker(ProtocolChecker* checker) { checker_ = checker; }
 
+  /// Attaches the system fault plan (nullptr = fault-free). R beats crossing
+  /// the hop may then be bit-flipped (SLVERR), truncated (an error beat with
+  /// last set; the rest of the real burst is swallowed so master-side burst
+  /// accounting stays exact), or stalled a few cycles.
+  void set_fault_plan(sim::FaultPlan* plan) { faults_ = plan; }
+
  private:
   AxiPort& up_;
   AxiPort& down_;
   BusStats stats_;
   ProtocolChecker* checker_ = nullptr;
   sim::Kernel& kernel_;
+  sim::FaultPlan* faults_ = nullptr;
+  // R-path fault state. All of it advances only while a visible beat sits
+  // in down_.r, so quiescent() == true stays protocol-correct: a stalled or
+  // discarding link always has its input beat visible and is kept awake.
+  bool r_discarding_ = false;    ///< swallowing a truncated burst's tail
+  bool r_fault_decided_ = false; ///< head beat's fault already drawn
+  sim::LinkFault r_fault_ = sim::LinkFault::none;
+  unsigned r_flip_bit_ = 0;
+  sim::Cycle r_stall_until_ = 0;
 };
 
 }  // namespace axipack::axi

@@ -32,6 +32,24 @@ using BeatBytes = std::array<std::uint8_t, kMaxBusBytes>;
 /// AXI4 burst type (AxBURST).
 enum class BurstType : std::uint8_t { fixed = 0, incr = 1, wrap = 2 };
 
+// AXI4 response codes (xRESP). EXOKAY is listed for completeness; nothing
+// in this model issues exclusive accesses. Semantics here:
+//   SLVERR — the slave detected a (possibly transient) error: corrupt or
+//            lost data, an uncorrectable memory fault. Retryable.
+//   DECERR — no slave decodes the address. Permanent; masters fail the
+//            operation without retrying.
+inline constexpr std::uint8_t kRespOkay = 0;
+inline constexpr std::uint8_t kRespExokay = 1;
+inline constexpr std::uint8_t kRespSlvErr = 2;
+inline constexpr std::uint8_t kRespDecErr = 3;
+
+/// Worst-of merge for resp codes: OKAY < EXOKAY < SLVERR < DECERR happens
+/// to be the numeric order, so accumulating the max keeps the most severe
+/// code when beats or sub-beats combine (width converter, pack beats).
+inline std::uint8_t worst_resp(std::uint8_t a, std::uint8_t b) {
+  return a > b ? a : b;
+}
+
 /// Measurement tag distinguishing index-vector traffic from element data so
 /// bus monitors can report the paper's "R utilization (no indices)" series.
 /// This is testbench metadata, not an architectural signal.

@@ -85,6 +85,8 @@ void AxiWidthConverter::tick() {
     }
     place_bytes(ctx.acc.data, ctx.filled * down_bytes_, sub.data.data(),
                 down_bytes_);
+    // A wide beat is as bad as its worst narrow sub-beat.
+    ctx.acc.resp = worst_resp(ctx.acc.resp, sub.resp);
     ++ctx.filled;
     if (ctx.filled == ctx.ratio_now) {
       --ctx.up_beats;

@@ -20,7 +20,10 @@ AxiXbar::AxiXbar(sim::Kernel& k, std::vector<AxiPort*> masters,
       w_order_(slaves_.size()),
       r_lock_(masters_.size(), -1),
       r_rr_(masters_.size(), 0),
-      b_rr_(masters_.size(), 0) {
+      b_rr_(masters_.size(), 0),
+      err_r_(masters_.size()),
+      err_b_(masters_.size()),
+      sink_ids_(masters_.size()) {
   assert(!masters_.empty() && !slaves_.empty());
   k.add(*this);
   for (AxiPort* m : masters_) {
@@ -35,11 +38,61 @@ AxiXbar::AxiXbar(sim::Kernel& k, std::vector<AxiPort*> masters,
 }
 
 unsigned AxiXbar::route(std::uint64_t addr) const {
+  const unsigned s = route_or_none(addr);
+  assert(s != kNoSlave && "address not mapped");
+  return s;
+}
+
+unsigned AxiXbar::route_or_none(std::uint64_t addr) const {
   for (const AddrRule& rule : map_) {
     if (addr >= rule.base && addr < rule.base + rule.size) return rule.slave;
   }
-  assert(false && "address not mapped");
-  return 0;
+  return kNoSlave;
+}
+
+void AxiXbar::tick_errors() {
+  for (unsigned m = 0; m < masters_.size(); ++m) {
+    // Capture requests nothing decodes. The id is kept master-side (never
+    // remapped): the response is synthesized here, not routed back.
+    if (masters_[m]->ar.can_pop() &&
+        route_or_none(masters_[m]->ar.front().addr) == kNoSlave) {
+      err_r_[m].push_back(masters_[m]->ar.pop().id);
+    }
+    if (masters_[m]->aw.can_pop() &&
+        route_or_none(masters_[m]->aw.front().addr) == kNoSlave) {
+      sink_ids_[m].push_back(masters_[m]->aw.pop().id);
+      w_route_[m].push_back(kWSink);
+    }
+    // Swallow the W data owed by an unmapped AW (in AW issue order, like
+    // any other W routing); its B fires once the last beat is gone.
+    if (!w_route_[m].empty() && w_route_[m].front() == kWSink &&
+        masters_[m]->w.can_pop()) {
+      if (masters_[m]->w.pop().last) {
+        w_route_[m].pop_front();
+        err_b_[m].push_back(sink_ids_[m].front());
+        sink_ids_[m].pop_front();
+      }
+    }
+    // Emit pending error responses. The R error is a single beat with last
+    // set — an error-terminated burst — kept out of the middle of a locked
+    // data burst; masters attribute beats by id, so the short burst
+    // resolves cleanly against its own request.
+    if (!err_r_[m].empty() && r_lock_[m] < 0 && masters_[m]->r.can_push()) {
+      AxiR beat;
+      beat.id = err_r_[m].front();
+      beat.resp = kRespDecErr;
+      beat.last = true;
+      masters_[m]->r.push(beat);
+      err_r_[m].pop_front();
+    }
+    if (!err_b_[m].empty() && masters_[m]->b.can_push()) {
+      AxiB b;
+      b.id = err_b_[m].front();
+      b.resp = kRespDecErr;
+      masters_[m]->b.push(b);
+      err_b_[m].pop_front();
+    }
+  }
 }
 
 void AxiXbar::tick_ar() {
@@ -162,7 +215,8 @@ void AxiXbar::tick_1x1() {
     w_route_[0].push_back(0);
     w_order_[0].push_back(0);
   }
-  if (!w_order_[0].empty() && s.w.can_push() && m.w.can_pop()) {
+  if (!w_route_[0].empty() && w_route_[0].front() != kWSink &&
+      s.w.can_push() && m.w.can_pop()) {
     AxiW beat = m.w.pop();
     const bool last = beat.last;
     s.w.push(std::move(beat));
@@ -184,6 +238,7 @@ void AxiXbar::tick_1x1() {
 }
 
 void AxiXbar::tick() {
+  tick_errors();
   if (masters_.size() == 1 && slaves_.size() == 1) {
     tick_1x1();
     return;

@@ -34,12 +34,25 @@ class AxiXbar final : public sim::Component {
           std::vector<AxiPort*> slaves, std::vector<AddrRule> map);
 
   void tick() override;
-  /// Pure forwarder: arbitration state only advances on channel traffic,
-  /// which is all carried by subscribed Fifos.
-  bool quiescent() const override { return true; }
+  /// Pure forwarder except for synthesized error responses: arbitration
+  /// state only advances on channel traffic (all carried by subscribed
+  /// Fifos), but a pending DECERR burst drains without further input, so
+  /// the crossbar stays awake until its error queues are empty.
+  bool quiescent() const override {
+    for (const auto& q : err_r_) {
+      if (!q.empty()) return false;
+    }
+    for (const auto& q : err_b_) {
+      if (!q.empty()) return false;
+    }
+    return true;
+  }
 
   /// Slave index for an address; asserts the address is mapped.
   unsigned route(std::uint64_t addr) const;
+  /// Slave index for an address, or kNoSlave when nothing decodes it.
+  static constexpr unsigned kNoSlave = ~0u;
+  unsigned route_or_none(std::uint64_t addr) const;
 
  private:
   // ID remap: id' = (id << id_shift_) | master_index.
@@ -51,6 +64,12 @@ class AxiXbar final : public sim::Component {
   }
   std::uint32_t unmap(std::uint32_t id) const { return id >> id_shift_; }
 
+  /// Unmapped-address handling (AXI DECERR): consumes AR/AW heads no rule
+  /// decodes, swallows the W beats owed by an unmapped AW, and synthesizes
+  /// the error responses — a single R beat with last set (an
+  /// error-terminated burst, the same shape a truncated link burst has) and
+  /// a DECERR B. Runs for the generic and the 1x1 fabric alike.
+  void tick_errors();
   void tick_ar();
   void tick_aw();
   void tick_w();
@@ -70,6 +89,8 @@ class AxiXbar final : public sim::Component {
   std::vector<unsigned> ar_rr_;
   std::vector<unsigned> aw_rr_;
   // Per-master: slaves whose W data is still owed, in AW issue order.
+  // kWSink entries mark unmapped AWs whose W beats are swallowed.
+  static constexpr unsigned kWSink = ~0u;
   std::vector<std::deque<unsigned>> w_route_;
   // Per-slave: masters whose W data is expected, in AW acceptance order.
   std::vector<std::deque<unsigned>> w_order_;
@@ -77,6 +98,14 @@ class AxiXbar final : public sim::Component {
   std::vector<int> r_lock_;
   std::vector<unsigned> r_rr_;
   std::vector<unsigned> b_rr_;
+  // Pending synthesized DECERR responses, per master: read ids awaiting
+  // their error-terminated R beat, write ids awaiting their B (pushed only
+  // once the unmapped AW's W beats have all been swallowed).
+  std::vector<std::deque<std::uint32_t>> err_r_;
+  std::vector<std::deque<std::uint32_t>> err_b_;
+  // Per-master ids of unmapped AWs still owed W data (aligned with the
+  // kWSink entries in w_route_).
+  std::vector<std::deque<std::uint32_t>> sink_ids_;
 };
 
 }  // namespace axipack::axi

@@ -217,6 +217,7 @@ void DmaEngine::begin_transfer(const Descriptor& d) {
 }
 
 void DmaEngine::issue_next_read() {
+  if (fault_ || retry_pending_) return;  // drain before replaying
   if (!port_.ar.can_push()) return;
   if (outstanding_reads_ >= cfg_.max_outstanding_reads) return;
 
@@ -243,6 +244,7 @@ void DmaEngine::issue_next_read() {
     ++next_read_;
     ++outstanding_reads_;
     ++stats_.ar_bursts;
+    last_progress_ = now_;
     ActiveRead act;
     act.kind = pr.kind;
     act.packed = pr.ar.pack.has_value();
@@ -273,6 +275,7 @@ void DmaEngine::issue_next_read() {
     ++rd_narrow_next_;
     ++outstanding_reads_;
     ++stats_.ar_bursts;
+    last_progress_ = now_;
     ActiveRead act;
     act.kind = ReadKind::data;
     act.packed = false;
@@ -284,6 +287,31 @@ void DmaEngine::issue_next_read() {
 }
 
 void DmaEngine::consume_read_payload(const axi::AxiR& r, ActiveRead& act) {
+  // An errored beat poisons the whole attempt: its payload (and everything
+  // staged after it) is untrustworthy, but accounting proceeds normally so
+  // the attempt drains cleanly before the replay/fail decision.
+  if (r.resp != axi::kRespOkay) note_fault(r.resp);
+
+  const auto stash = [&](const std::uint8_t* raw, unsigned n) {
+    switch (act.kind) {
+      case ReadKind::data:
+        for (unsigned i = 0; i < n; i += 4) {
+          std::uint32_t w;
+          std::memcpy(&w, raw + i, 4);
+          buffer_.push_back(w);
+        }
+        break;
+      case ReadKind::index:
+        idx_raw_.insert(idx_raw_.end(), raw, raw + n);
+        stats_.index_fetch_bytes += n;
+        break;
+      case ReadKind::descriptor:
+        desc_raw_.insert(desc_raw_.end(), raw, raw + n);
+        stats_.desc_fetch_bytes += n;
+        break;
+    }
+  };
+
   // Extract this beat's payload bytes.
   unsigned lane;
   unsigned n;
@@ -301,24 +329,22 @@ void DmaEngine::consume_read_payload(const axi::AxiR& r, ActiveRead& act) {
   axi::extract_bytes(r.data, lane, raw, n);
   act.cursor += n;
   act.bytes_left -= n;
+  stash(raw, n);
 
-  switch (act.kind) {
-    case ReadKind::data:
-      for (unsigned i = 0; i < n; i += 4) {
-        std::uint32_t w;
-        std::memcpy(&w, raw + i, 4);
-        buffer_.push_back(w);
-      }
-      break;
-    case ReadKind::index: {
-      idx_raw_.insert(idx_raw_.end(), raw, raw + n);
-      stats_.index_fetch_bytes += n;
-      break;
+  // A truncated burst (error-terminated early `last`) delivers fewer bytes
+  // than planned. Zero-fill the remainder so every downstream byte-count
+  // invariant (staging buffer, index and descriptor assembly) holds; the
+  // fault flag already condemns the data.
+  if (r.last && act.bytes_left > 0) {
+    note_fault(axi::kRespSlvErr);
+    const std::uint8_t zeros[axi::kMaxBusBytes] = {};
+    while (act.bytes_left > 0) {
+      const unsigned z = static_cast<unsigned>(std::min<std::uint64_t>(
+          sizeof zeros, act.bytes_left));
+      act.cursor += z;
+      act.bytes_left -= z;
+      stash(zeros, z);
     }
-    case ReadKind::descriptor:
-      desc_raw_.insert(desc_raw_.end(), raw, raw + n);
-      stats_.desc_fetch_bytes += n;
-      break;
   }
 }
 
@@ -329,6 +355,7 @@ void DmaEngine::tick_read() {
   if (!r) return;
   assert(!active_reads_.empty() && "R beat with no outstanding read");
   ++stats_.r_beats;
+  last_progress_ = now_;
   ActiveRead& act = active_reads_.front();
   consume_read_payload(*r, act);
   if (r->last) {
@@ -375,9 +402,11 @@ void DmaEngine::tick_read() {
 
 void DmaEngine::tick_write() {
   // Collect write responses.
-  if (port_.b.try_pop()) {
+  if (const std::optional<axi::AxiB> b = port_.b.try_pop()) {
     assert(outstanding_writes_ > 0);
     --outstanding_writes_;
+    last_progress_ = now_;
+    if (b->resp != axi::kRespOkay) note_fault(b->resp);
   }
   if (!transfer_active_) return;
   if (!cfg_.use_pack && (needs_src_idx_ || needs_dst_idx_)) return;
@@ -387,7 +416,7 @@ void DmaEngine::tick_write() {
 
   if (!narrow_dst) {
     // Planned bursts: AW strictly ahead of its W data, one beat per cycle.
-    if (next_aw_ < planned_writes_.size() &&
+    if (!fault_ && next_aw_ < planned_writes_.size() &&
         next_aw_ <= w_burst_ &&  // issue AW only as W catches up (bounded)
         outstanding_writes_ < cfg_.max_outstanding_writes &&
         port_.aw.can_push()) {
@@ -395,6 +424,7 @@ void DmaEngine::tick_write() {
       ++next_aw_;
       ++outstanding_writes_;
       ++stats_.aw_bursts;
+      last_progress_ = now_;
     }
     if (w_burst_ >= planned_writes_.size()) return;
     if (w_burst_ >= next_aw_) return;  // W may not precede its AW
@@ -415,18 +445,25 @@ void DmaEngine::tick_write() {
           std::min<std::uint64_t>(cfg_.bus_bytes - lane, left));
     }
     assert(n % 4 == 0 && n > 0);
-    if (buffer_.size() < n / 4) return;  // data not staged yet
 
     axi::AxiW w;
-    for (unsigned i = 0; i < n; i += 4) {
-      const std::uint32_t word = buffer_.front();
-      buffer_.pop_front();
-      axi::place_bytes(w.data, lane + i,
-                       reinterpret_cast<const std::uint8_t*>(&word), 4);
+    if (fault_) {
+      // Aborting: the slave is still owed this AW's full beat count, but
+      // the staging buffer may never fill again. Drain with null strobes —
+      // a replay (or the error completion) owns the destination bytes.
+      w.strb = 0;
+    } else {
+      if (buffer_.size() < n / 4) return;  // data not staged yet
+      for (unsigned i = 0; i < n; i += 4) {
+        const std::uint32_t word = buffer_.front();
+        buffer_.pop_front();
+        axi::place_bytes(w.data, lane + i,
+                         reinterpret_cast<const std::uint8_t*>(&word), 4);
+      }
+      assert(reserved_words_ >= n / 4);
+      reserved_words_ -= n / 4;
+      w.strb = axi::strb_mask(lane, n);
     }
-    assert(reserved_words_ >= n / 4);
-    reserved_words_ -= n / 4;
-    w.strb = axi::strb_mask(lane, n);
     w.useful_bytes = static_cast<std::uint16_t>(n);
     w_sent_bytes_ += n;
     w_cursor_ += n;
@@ -439,6 +476,7 @@ void DmaEngine::tick_write() {
     }
   } else {
     // Per-element narrow writes: one AW+W pair per element.
+    if (fault_) return;  // AW+W go out atomically: nothing is ever owed
     if (wr_narrow_next_ >= cur_.num_elems) return;
     if (outstanding_writes_ >= cfg_.max_outstanding_writes) return;
     if (!port_.aw.can_push() || !port_.w.can_push()) return;
@@ -475,6 +513,92 @@ void DmaEngine::tick_write() {
     ++stats_.w_beats;
     ++outstanding_writes_;
     ++wr_narrow_next_;
+    last_progress_ = now_;
+  }
+}
+
+void DmaEngine::tick_timeout() {
+  const sim::RetryConfig& rc = cfg_.retry;
+  if (!rc.enabled() || rc.timeout_cycles == 0) return;
+  const bool inflight = !active_reads_.empty() || outstanding_writes_ > 0 ||
+                        w_burst_ < next_aw_;
+  if (!inflight) return;
+  if (now_ <= last_progress_ + rc.timeout_cycles) return;
+  ++retry_stats_.timeouts;
+  note_fault(axi::kRespSlvErr);
+  last_progress_ = now_;  // one expiry per stall; the drain then resolves
+}
+
+void DmaEngine::note_fault(std::uint8_t resp) {
+  fault_ = true;
+  if (resp == axi::kRespDecErr) fatal_ = true;
+}
+
+bool DmaEngine::fault_drained() const {
+  return active_reads_.empty() && outstanding_writes_ == 0 &&
+         w_burst_ >= next_aw_;
+}
+
+void DmaEngine::reset_transfer() {
+  transfer_active_ = false;
+  planned_reads_.clear();
+  next_read_ = 0;
+  active_reads_.clear();
+  planned_writes_.clear();
+  next_aw_ = 0;
+  w_burst_ = 0;
+  w_sent_bytes_ = 0;
+  w_cursor_ = 0;
+  rd_narrow_next_ = 0;
+  wr_narrow_next_ = 0;
+  buffer_.clear();
+  reserved_words_ = 0;
+  idx_src_.clear();
+  idx_dst_.clear();
+  idx_raw_.clear();
+  needs_src_idx_ = false;
+  needs_dst_idx_ = false;
+}
+
+void DmaEngine::resolve_fault() {
+  assert(fault_ && fault_drained());
+  ++attempts_;
+  const sim::RetryConfig& rc = cfg_.retry;
+  // Breaker input: a failed attempt of a transfer whose irregular side rode
+  // AXI-Pack bursts. Past the threshold the engine degrades to narrow
+  // per-element bursts for everything that follows, replay included —
+  // correct, just slow.
+  if (transfer_active_ && cfg_.use_pack &&
+      (cur_.src.kind != Pattern::Kind::contiguous ||
+       cur_.dst.kind != Pattern::Kind::contiguous)) {
+    ++pack_fault_attempts_;
+    if (!retry_stats_.degraded && rc.breaker_threshold != 0 &&
+        pack_fault_attempts_ >= rc.breaker_threshold) {
+      retry_stats_.degraded = true;
+      cfg_.use_pack = false;
+    }
+  }
+  fault_ = false;
+  if (fatal_ || !rc.enabled() || attempts_ >= rc.max_attempts) {
+    // Error completion: record it and terminate the chain (cur_.next is
+    // not followed; a descriptor fetch in progress is abandoned).
+    ++retry_stats_.failed_ops;
+    ++stats_.error_descriptors;
+    fatal_ = false;
+    attempts_ = 0;
+    if (fetching_desc_) {
+      fetching_desc_ = false;
+      desc_raw_.clear();
+      planned_reads_.clear();
+      next_read_ = 0;
+    } else {
+      reset_transfer();
+    }
+  } else {
+    ++retry_stats_.retries;
+    const unsigned shift = std::min(attempts_ - 1, 16u);
+    backoff_until_ = now_ + (rc.backoff << shift);
+    retry_pending_ = true;
   }
 }
 
@@ -482,6 +606,7 @@ void DmaEngine::finish_transfer() {
   stats_.bytes_moved += cur_.total_bytes();
   ++stats_.descriptors_done;
   transfer_active_ = false;
+  attempts_ = 0;
   rd_narrow_next_ = 0;
   wr_narrow_next_ = 0;
   if (cur_.next != 0) {
@@ -500,11 +625,17 @@ void DmaEngine::tick_start() {
   }
   // Fetch the descriptor over the port (plain INCR reads).
   fetching_desc_ = true;
+  plan_desc_fetch(head.addr);
+  queue_.pop_front();
+}
+
+void DmaEngine::plan_desc_fetch(std::uint64_t addr) {
+  desc_addr_ = addr;
   desc_raw_.clear();
   planned_reads_.clear();
   next_read_ = 0;
-  for (const axi::AxiAr& ar : axi::split_contiguous(
-           head.addr, kDescriptorBytes, cfg_.bus_bytes)) {
+  for (const axi::AxiAr& ar :
+       axi::split_contiguous(addr, kDescriptorBytes, cfg_.bus_bytes)) {
     PlannedRead pr;
     pr.ar = ar;
     pr.ar.id = cfg_.axi_id;
@@ -512,36 +643,69 @@ void DmaEngine::tick_start() {
     pr.payload_bytes = 0;
     planned_reads_.push_back(pr);
   }
-  std::uint64_t end = head.addr + kDescriptorBytes;
+  std::uint64_t end = addr + kDescriptorBytes;
   for (std::size_t i = planned_reads_.size(); i-- > 0;) {
     planned_reads_[i].payload_bytes = end - planned_reads_[i].ar.addr;
     end = planned_reads_[i].ar.addr;
   }
-  queue_.pop_front();
 }
 
 void DmaEngine::tick() {
+  ++now_;
   if (transfer_active_ || fetching_desc_ || !queue_.empty()) {
     ++stats_.busy_cycles;
   }
+
+  // Backoff between failed attempts: replay once the window closes.
+  if (retry_pending_) {
+    if (now_ < backoff_until_) return;
+    retry_pending_ = false;
+    last_progress_ = now_;
+    if (fetching_desc_) {
+      plan_desc_fetch(desc_addr_);
+    } else {
+      const Descriptor d = cur_;
+      reset_transfer();
+      begin_transfer(d);
+    }
+    return;
+  }
+
   tick_start();
 
   if (fetching_desc_) {
     issue_next_read();
     if (const std::optional<axi::AxiR> r = port_.r.try_pop()) {
       ++stats_.r_beats;
+      last_progress_ = now_;
       assert(!active_reads_.empty());
       ActiveRead& act = active_reads_.front();
       consume_read_payload(*r, act);
       if (r->last) {
         active_reads_.pop_front();
+        assert(outstanding_reads_ > 0);
         --outstanding_reads_;
-        if (desc_raw_.size() == kDescriptorBytes) {
-          const auto d = parse_descriptor(desc_raw_.data());
-          assert(d.has_value() && "malformed in-memory descriptor");
-          fetching_desc_ = false;
-          begin_transfer(*d);
-        }
+      }
+    }
+    tick_timeout();
+    if (fault_) {
+      if (fault_drained()) resolve_fault();
+      return;
+    }
+    if (desc_raw_.size() == kDescriptorBytes && active_reads_.empty()) {
+      const auto d = parse_descriptor(desc_raw_.data());
+      fetching_desc_ = false;
+      attempts_ = 0;
+      desc_raw_.clear();
+      if (!d.has_value()) {
+        // Malformed chain entry: error completion, chain terminated. A
+        // register-programmed chain head that points at garbage lands
+        // here too — no UB, just a recorded failure.
+        ++stats_.malformed_descriptors;
+        ++stats_.error_descriptors;
+        ++retry_stats_.failed_ops;
+      } else {
+        begin_transfer(*d);
       }
     }
     return;
@@ -550,6 +714,12 @@ void DmaEngine::tick() {
   if (!transfer_active_) return;
   tick_read();
   tick_write();
+  tick_timeout();
+
+  if (fault_) {
+    if (fault_drained()) resolve_fault();
+    return;
+  }
 
   // Transfer completion check.
   const bool reads_planned_done = next_read_ >= planned_reads_.size();

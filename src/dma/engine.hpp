@@ -29,6 +29,7 @@
 
 #include "axi/types.hpp"
 #include "dma/descriptor.hpp"
+#include "sim/fault.hpp"
 #include "sim/kernel.hpp"
 
 namespace axipack::dma {
@@ -40,6 +41,10 @@ struct DmaConfig {
   unsigned max_outstanding_writes = 8;  ///< AWs awaiting B
   std::size_t buffer_words = 4096;      ///< staging buffer capacity (words)
   std::uint32_t axi_id = 0xD;           ///< AXI ID for all engine traffic
+  /// Fault handling: bounded per-descriptor retry with backoff, a progress
+  /// watchdog, and pack->narrow degradation past the breaker threshold.
+  /// Disabled (max_attempts == 0) an errored response fails the descriptor.
+  sim::RetryConfig retry;
 };
 
 /// Aggregate activity counters (for tests, benches and the energy model).
@@ -53,6 +58,11 @@ struct DmaStats {
   std::uint64_t index_fetch_bytes = 0;  ///< narrow-mode index staging traffic
   std::uint64_t desc_fetch_bytes = 0;
   sim::Cycle busy_cycles = 0;  ///< cycles with any work in flight
+  /// Descriptors completed with an error (retries exhausted, fatal
+  /// response, or a malformed in-memory descriptor). An error completion
+  /// terminates its chain.
+  std::uint64_t error_descriptors = 0;
+  std::uint64_t malformed_descriptors = 0;
 };
 
 class DmaEngine final : public sim::Component {
@@ -71,6 +81,7 @@ class DmaEngine final : public sim::Component {
   bool idle() const;
 
   const DmaStats& stats() const { return stats_; }
+  const sim::RetryStats& retry_stats() const { return retry_stats_; }
   const DmaConfig& config() const { return cfg_; }
 
   void tick() override;
@@ -115,11 +126,23 @@ class DmaEngine final : public sim::Component {
   void tick_start();    ///< begin next descriptor / descriptor fetch
   void tick_read();     ///< AR issue + R receive
   void tick_write();    ///< AW/W issue + B receive
+  void tick_timeout();  ///< progress watchdog
   void finish_transfer();
 
   void begin_transfer(const Descriptor& d);
   void plan_index_fetch(const Pattern& p);
+  void plan_desc_fetch(std::uint64_t addr);
   void consume_read_payload(const axi::AxiR& r, ActiveRead& act);
+
+  // Fault handling. A detected fault (error response, truncated burst,
+  // watchdog expiry) freezes new request issue; in-flight responses drain
+  // (owed W beats go out with null strobes), then the descriptor is either
+  // replayed from scratch after backoff or completed with an error that
+  // terminates its chain. Clean runs never enter any of these paths.
+  void note_fault(std::uint8_t resp);
+  bool fault_drained() const;  ///< nothing of the failed attempt in flight
+  void resolve_fault();        ///< decide retry vs. error completion
+  void reset_transfer();       ///< clear all per-transfer progress state
 
   /// Issues the next planned read if outstanding/buffer limits allow.
   void issue_next_read();
@@ -160,6 +183,18 @@ class DmaEngine final : public sim::Component {
   // Descriptor fetch state.
   bool fetching_desc_ = false;
   std::vector<std::uint8_t> desc_raw_;
+  std::uint64_t desc_addr_ = 0;  ///< chain address being fetched (for retry)
+
+  // Fault-handling state (all inert in fault-free runs).
+  bool fault_ = false;          ///< current attempt is poisoned
+  bool fatal_ = false;          ///< DECERR seen: never retried
+  bool retry_pending_ = false;  ///< drained; replay after backoff_until_
+  unsigned attempts_ = 0;       ///< failed attempts of the current activity
+  std::uint64_t backoff_until_ = 0;
+  std::uint64_t pack_fault_attempts_ = 0;  ///< breaker input
+  std::uint64_t now_ = 0;            ///< ticks while busy (relative time)
+  std::uint64_t last_progress_ = 0;  ///< watchdog reference point
+  sim::RetryStats retry_stats_;
 
   std::deque<PendingDesc> queue_;
   axi::AxiPort& port_;

@@ -169,9 +169,26 @@ void DramMemory::grant(unsigned port_idx, std::size_t entry,
   pe.resp.tag = req.tag;
   pe.resp.was_write = req.write;
   if (req.write) {
-    store_.write_word(req.addr, req.wdata, req.wstrb);
+    // A faulted write is dropped before reaching the array (the retry
+    // rewrites it); memory is never silently corrupted.
+    if (faults_ != nullptr && faults_->next_dram_write()) {
+      pe.resp.error = true;
+    } else {
+      store_.write_word(req.addr, req.wdata, req.wstrb);
+    }
   } else {
     pe.resp.rdata = store_.read_u32(req.addr);
+    if (faults_ != nullptr) {
+      bool correctable = false;
+      unsigned bit = 0;
+      if (faults_->next_dram_read(&correctable, &bit) && !correctable) {
+        // Uncorrectable: poison the returned data and flag the response.
+        // Correctable faults are fixed by ECC in place — counted by the
+        // plan, invisible on the port.
+        pe.resp.rdata ^= 1u << bit;
+        pe.resp.error = true;
+      }
+    }
   }
   granted_this_cycle_[port_idx] = 1;
   ++stats_.grants;

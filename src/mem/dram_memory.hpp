@@ -66,6 +66,7 @@
 #include "mem/backing_store.hpp"
 #include "mem/dram_timing.hpp"
 #include "mem/word.hpp"
+#include "sim/fault.hpp"
 #include "sim/kernel.hpp"
 
 namespace axipack::mem {
@@ -147,6 +148,11 @@ class DramMemory final : public WordMemory, public sim::Component {
   /// observability; no recording when unset.
   void set_trace(std::vector<DramGrant>* sink) { trace_ = sink; }
 
+  /// Attaches the system fault plan (nullptr = fault-free). Consulted once
+  /// per granted access: reads may come back ECC-corrected or poisoned,
+  /// writes may be dropped with an error response.
+  void set_fault_plan(sim::FaultPlan* plan) { faults_ = plan; }
+
  private:
   struct BankState {
     bool row_open = false;
@@ -206,6 +212,7 @@ class DramMemory final : public WordMemory, public sim::Component {
   std::vector<std::deque<PendingEntry>> rob_;       ///< per-port entry state
   DramStats stats_;
   std::vector<DramGrant>* trace_ = nullptr;
+  sim::FaultPlan* faults_ = nullptr;
   // Per-tick scratch (hot path, allocated once). cand_* are [port][bank]
   // flattened: the window entry each port offers each bank this cycle.
   std::vector<std::uint32_t> cand_entry_;  ///< entry index + 1 (0 = none)

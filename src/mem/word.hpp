@@ -30,6 +30,10 @@ struct WordResp {
   std::uint32_t rdata = 0;
   std::uint32_t tag = 0;
   bool was_write = false;
+  /// The access faulted: a read returned poisoned data (uncorrectable), a
+  /// write was dropped before reaching the array. Converters surface this
+  /// as SLVERR on the owning burst's R/B response.
+  bool error = false;
 };
 
 /// One request/response port pair. Owned by the memory.

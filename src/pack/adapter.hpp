@@ -125,6 +125,13 @@ class AxiPackAdapter final : public sim::Component {
     if (coalescer_) coalescer_->set_locality_key(std::move(fn));
   }
 
+  /// Attaches the system fault plan to the pack-beat assembly points
+  /// (nullptr = fault-free).
+  void set_fault_plan(sim::FaultPlan* plan) {
+    strided_r_->set_fault_plan(plan);
+    indirect_r_->set_fault_plan(plan);
+  }
+
  private:
   // Converter indices for the port mux. The coalesced adapter adds a sixth
   // slot so the indirect index stage issues in parallel with the (now

@@ -120,6 +120,7 @@ void BaseConverter::tick_pack() {
     const mem::WordResp resp = lanes_[lane].resp->pop();
     assert(!resp.was_write);
     regulator_.on_retire(lane);
+    if (resp.error) beat.resp = axi::worst_resp(beat.resp, axi::kRespSlvErr);
     axi::place_bytes(beat.data, 4 * lane,
                      reinterpret_cast<const std::uint8_t*>(&resp.rdata), 4);
   }
@@ -176,12 +177,13 @@ void BaseConverter::collect_acks() {
     // Reads and writes share the lane response queues; only consume write
     // acks here (read data is consumed by the packer in order).
     if (!lanes_[l].resp->front().was_write) continue;
-    lanes_[l].resp->pop();
+    const bool err = lanes_[l].resp->pop().error;
     regulator_.on_retire(l);
     for (WriteBurst& burst : writes_) {
       if (burst.acks < burst.words_issued ||
           burst.unpack_beat < burst.aw.beats()) {
         ++burst.acks;
+        burst.err |= err;
         break;
       }
     }
@@ -192,6 +194,7 @@ void BaseConverter::collect_acks() {
         burst.acks == burst.words_issued && b_out_.can_push()) {
       axi::AxiB b;
       b.id = burst.aw.id;
+      if (burst.err) b.resp = axi::kRespSlvErr;
       b_out_.push(b);
       writes_.pop_front();
     }

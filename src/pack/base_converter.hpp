@@ -61,6 +61,7 @@ class BaseConverter final : public Converter {
     unsigned unpack_beat = 0;
     std::uint64_t words_issued = 0;
     std::uint64_t acks = 0;
+    bool err = false;  ///< any word ack errored -> B reports SLVERR
   };
 
   BeatPlan plan_beat(const axi::AxiAx& ax, unsigned beat) const;

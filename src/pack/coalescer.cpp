@@ -81,15 +81,19 @@ void Coalescer::drain_downstream() {
       Waiter& w = lane_q[static_cast<std::size_t>(ref.seq - head)];
       w.rdata = resp.rdata;
       w.ready = true;
+      w.error = resp.error;
     }
     e.waiters.clear();
     --live_;
     // Retain the word to serve later duplicates — unless it was a write
-    // (pass-through, nothing to serve) or a snooped write de-registered
+    // (pass-through, nothing to serve), a snooped write de-registered
     // the entry while the fetch was in flight (the data may predate the
-    // store, so it must not outlive this fan-out).
+    // store, so it must not outlive this fan-out), or the fill errored
+    // (a corrupt word must error every merged waiter now and never be
+    // served silently to a later request).
     const auto reg = lookup_.find(e.addr);
-    if (!e.write && reg != lookup_.end() && reg->second == resp.tag) {
+    if (!e.write && !resp.error && reg != lookup_.end() &&
+        reg->second == resp.tag) {
       e.rdata = resp.rdata;
       e.filled = true;
       retained_q_.push_back({resp.tag, e.addr});
@@ -112,6 +116,7 @@ void Coalescer::release_upstream() {
     resp.rdata = w.rdata;
     resp.tag = w.tag;
     resp.was_write = w.was_write;
+    resp.error = w.error;
     up_resp_[l]->push(resp);
     waiters_[l].pop_front();
     --total_waiters_;

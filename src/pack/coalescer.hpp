@@ -165,6 +165,7 @@ class Coalescer final : public sim::Component {
     std::uint32_t rdata = 0;
     bool was_write = false;  ///< release as a write ack
     bool ready = false;
+    bool error = false;  ///< errored fill: propagated to every waiter
   };
 
   void drain_downstream();

@@ -195,10 +195,17 @@ void IndirectReadConverter::tick_index_extract() {
     const std::uint64_t w = bu.idx_words_extracted;
     const unsigned lane = static_cast<unsigned>(w % lanes_n_);
     if (idx_q_[lane].empty()) return;
-    const mem::WordResp resp = idx_q_[lane].front();
+    mem::WordResp resp = idx_q_[lane].front();
     idx_q_[lane].pop_front();
     idx_regulator_.on_retire(lane);
     ++bu.idx_words_extracted;
+    if (resp.error) {
+      // A corrupt index would fan out to an arbitrary (possibly unmapped)
+      // element address. Substitute index 0 — always in-region and aligned —
+      // and poison the burst so every remaining beat reports the error.
+      resp.rdata = 0;
+      bu.err = true;
+    }
     // Unpack the indices contained in this word.
     const std::uint64_t first_idx = w * 4 / bu.idx_bytes;
     const std::uint64_t ipw = 4 / bu.idx_bytes;
@@ -247,12 +254,23 @@ void IndirectReadConverter::tick_pack() {
   beat.traffic = bu.traffic;
   beat.useful_bytes =
       static_cast<std::uint16_t>(bu.geom.beat_useful_bytes(bu.pack_beat));
+  if (bu.err) beat.resp = axi::worst_resp(beat.resp, axi::kRespSlvErr);
   for (unsigned l = 0; l < valid; ++l) {
     const mem::WordResp resp = elem_q_[l].front();
     elem_q_[l].pop_front();
     elem_regulator_.on_retire(l);
+    if (resp.error) beat.resp = axi::worst_resp(beat.resp, axi::kRespSlvErr);
     axi::place_bytes(beat.data, 4 * l,
                      reinterpret_cast<const std::uint8_t*>(&resp.rdata), 4);
+  }
+  if (faults_ != nullptr) {
+    unsigned bit = 0;
+    if (faults_->next_pack_beat(sim::FaultSite::pack_indirect, &bit)) {
+      const unsigned bits = beat.useful_bytes > 0 ? beat.useful_bytes * 8u : 8u;
+      const unsigned b = bit % bits;
+      beat.data[b / 8] ^= static_cast<std::uint8_t>(1u << (b % 8));
+      beat.resp = axi::worst_resp(beat.resp, axi::kRespSlvErr);
+    }
   }
   ++bu.pack_beat;
   beat.last = bu.pack_beat == bu.geom.beats;

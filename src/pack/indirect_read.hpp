@@ -24,6 +24,7 @@
 
 #include "axi/types.hpp"
 #include "pack/converter.hpp"
+#include "sim/fault.hpp"
 #include "sim/kernel.hpp"
 
 namespace axipack::pack {
@@ -54,6 +55,10 @@ class IndirectReadConverter final : public Converter {
   /// differ by exactly its merged count.
   const IndirectWordStats& word_stats() const { return word_stats_; }
 
+  /// Attaches the system fault plan (nullptr = fault-free): packed beats
+  /// leaving this converter may be bit-corrupted (delivered as SLVERR).
+  void set_fault_plan(sim::FaultPlan* plan) { faults_ = plan; }
+
   void tick() override;
 
  private:
@@ -69,6 +74,9 @@ class IndirectReadConverter final : public Converter {
     unsigned elem_shift = 2;  ///< log2(elem_bytes), cached for the hot issue
     std::uint32_t id = 0;
     axi::Traffic traffic = axi::Traffic::data;
+    // Sticky: an errored index word poisons the rest of the burst (the
+    // substituted index keeps addresses in-region, but the data is wrong).
+    bool err = false;
 
     // ---- index stage ----
     std::uint64_t idx_words_total = 0;     ///< words covering the index array
@@ -107,6 +115,7 @@ class IndirectReadConverter final : public Converter {
   // stages never head-of-line block each other).
   std::vector<std::deque<mem::WordResp>> idx_q_;
   std::vector<std::deque<mem::WordResp>> elem_q_;
+  sim::FaultPlan* faults_ = nullptr;
 };
 
 }  // namespace axipack::pack

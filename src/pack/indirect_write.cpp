@@ -89,7 +89,7 @@ void IndirectWriteConverter::accept_w(const axi::AxiW& w) {
                (index << util::log2_exact(bu->geom.elem_bytes)) +
                4ull * bu->geom.word_in_elem(slot);
     req.write = true;
-    req.wstrb = 0xF;
+    req.wstrb = bu->err ? 0x0 : 0xF;
     axi::extract_bytes(w.data, 4 * l,
                        reinterpret_cast<std::uint8_t*>(&req.wdata), 4);
     req.tag = kElemTag;
@@ -110,11 +110,12 @@ void IndirectWriteConverter::drain_responses() {
       idx_q_[l].push_back(lanes_[l].resp->pop());
     } else {
       // Write acknowledgement: count it toward the oldest incomplete burst.
-      lanes_[l].resp->pop();
+      const bool err = lanes_[l].resp->pop().error;
       elem_regulator_.on_retire(l);
       for (Burst& bu : bursts_) {
         if (bu.acks < bu.geom.total_words) {
           ++bu.acks;
+          bu.err |= err;
           break;
         }
       }
@@ -166,10 +167,16 @@ void IndirectWriteConverter::tick_index_extract() {
     const std::uint64_t w = bu.idx_words_extracted;
     const unsigned lane = static_cast<unsigned>(w % lanes_n_);
     if (idx_q_[lane].empty()) return;
-    const mem::WordResp resp = idx_q_[lane].front();
+    mem::WordResp resp = idx_q_[lane].front();
     idx_q_[lane].pop_front();
     idx_regulator_.on_retire(lane);
     ++bu.idx_words_extracted;
+    if (resp.error) {
+      // Substitute index 0 (in-region) and poison the burst; accept_w
+      // masks the strobes of every write issued from here on.
+      resp.rdata = 0;
+      bu.err = true;
+    }
     const std::uint64_t first_idx = w * 4 / bu.idx_bytes;
     const std::uint64_t ipw = 4 / bu.idx_bytes;
     for (std::uint64_t i = 0; i < ipw; ++i) {
@@ -208,6 +215,7 @@ void IndirectWriteConverter::tick() {
         b_out_.can_push()) {
       axi::AxiB b;
       b.id = bu.id;
+      if (bu.err) b.resp = axi::kRespSlvErr;
       b_out_.push(b);
       bursts_.pop_front();
     }

@@ -53,6 +53,11 @@ class IndirectWriteConverter final : public Converter {
 
     std::uint64_t unpack_beat = 0;
     std::uint64_t acks = 0;
+    // Sticky: an errored index word (or word ack) poisons the burst. Writes
+    // whose index came after the corruption are issued with an empty strobe
+    // so a bogus substituted index can never clobber unrelated memory; the
+    // master sees the SLVERR B and replays the whole store.
+    bool err = false;
   };
 
   Burst* unpack_target();

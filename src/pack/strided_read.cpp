@@ -78,8 +78,20 @@ void StridedReadConverter::tick_pack() {
   for (unsigned l = 0; l < valid; ++l) {
     const mem::WordResp resp = lanes_[l].resp->pop();
     regulator_.on_retire(l);
+    // An errored element word errors the whole beat (the master discards
+    // the payload and retries the burst).
+    if (resp.error) beat.resp = axi::worst_resp(beat.resp, axi::kRespSlvErr);
     axi::place_bytes(beat.data, 4 * l,
                      reinterpret_cast<const std::uint8_t*>(&resp.rdata), 4);
+  }
+  if (faults_ != nullptr) {
+    unsigned bit = 0;
+    if (faults_->next_pack_beat(sim::FaultSite::pack_strided, &bit)) {
+      const unsigned bits = beat.useful_bytes > 0 ? beat.useful_bytes * 8u : 8u;
+      const unsigned b = bit % bits;
+      beat.data[b / 8] ^= static_cast<std::uint8_t>(1u << (b % 8));
+      beat.resp = axi::worst_resp(beat.resp, axi::kRespSlvErr);
+    }
   }
   ++bu.pack_beat;
   beat.last = bu.pack_beat == bu.geom.beats;

@@ -16,6 +16,7 @@
 
 #include "axi/types.hpp"
 #include "pack/converter.hpp"
+#include "sim/fault.hpp"
 #include "sim/kernel.hpp"
 
 namespace axipack::pack {
@@ -35,6 +36,10 @@ class StridedReadConverter final : public Converter {
   void tick() override;
 
   std::uint64_t beats_packed() const { return beats_packed_; }
+
+  /// Attaches the system fault plan (nullptr = fault-free): packed beats
+  /// leaving this converter may be bit-corrupted (delivered as SLVERR).
+  void set_fault_plan(sim::FaultPlan* plan) { faults_ = plan; }
 
  private:
   struct Burst {
@@ -69,6 +74,7 @@ class StridedReadConverter final : public Converter {
   std::deque<Burst> bursts_;
   std::size_t max_bursts_;
   std::uint64_t beats_packed_ = 0;
+  sim::FaultPlan* faults_ = nullptr;
 };
 
 }  // namespace axipack::pack

@@ -78,11 +78,13 @@ void StridedWriteConverter::tick() {
   // Collect write acknowledgements (one per lane per cycle); they arrive in
   // issue order, so each belongs to the oldest burst still missing acks.
   for (unsigned l = 0; l < lanes_.size(); ++l) {
-    if (!lanes_[l].resp->try_pop()) continue;
+    if (!lanes_[l].resp->can_pop()) continue;
+    const bool err = lanes_[l].resp->pop().error;
     regulator_.on_retire(l);
     for (Burst& bu : bursts_) {
       if (bu.acks < bu.geom.total_words) {
         ++bu.acks;
+        bu.err |= err;
         break;
       }
     }
@@ -93,6 +95,7 @@ void StridedWriteConverter::tick() {
         bu.unpack_beat == bu.geom.beats && b_out_.can_push()) {
       axi::AxiB b;
       b.id = bu.id;
+      if (bu.err) b.resp = axi::kRespSlvErr;
       b_out_.push(b);
       bursts_.pop_front();
     }

@@ -38,6 +38,7 @@ class StridedWriteConverter final : public Converter {
     std::uint32_t id = 0;
     std::uint64_t unpack_beat = 0;  ///< next W beat to unpack
     std::uint64_t acks = 0;         ///< word acknowledgements received
+    bool err = false;               ///< any errored ack -> B reports SLVERR
   };
 
   std::uint64_t slot_addr(const Burst& bu, std::uint64_t slot) const {

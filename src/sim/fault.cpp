@@ -1,0 +1,96 @@
+#include "sim/fault.hpp"
+
+namespace axipack::sim {
+
+LinkFault FaultPlan::next_link_r(Cycle* stall_cycles, unsigned* bit) {
+  const std::uint64_t n = link_r_events_++;
+  LinkFault kind = LinkFault::none;
+  switch (forced_kind(FaultSite::link_r, n)) {
+    case 1: kind = LinkFault::flip; break;
+    case 2: kind = LinkFault::truncate; break;
+    case 3: kind = LinkFault::stall; break;
+    default:
+      // Independent draws per kind; flip wins ties (order is arbitrary but
+      // fixed, so the schedule stays deterministic).
+      if (fires(FaultSite::link_r, n, 0x11, cfg_.link_flip_rate)) {
+        kind = LinkFault::flip;
+      } else if (fires(FaultSite::link_r, n, 0x22, cfg_.link_truncate_rate)) {
+        kind = LinkFault::truncate;
+      } else if (fires(FaultSite::link_r, n, 0x33, cfg_.link_stall_rate)) {
+        kind = LinkFault::stall;
+      }
+  }
+  switch (kind) {
+    case LinkFault::none:
+      break;
+    case LinkFault::flip:
+      *bit = static_cast<unsigned>(draw(FaultSite::link_r, n, 0x44) & 0xff);
+      ++stats_.injected;
+      ++stats_.link_flips;
+      break;
+    case LinkFault::truncate:
+      ++stats_.injected;
+      ++stats_.link_truncations;
+      break;
+    case LinkFault::stall:
+      *stall_cycles = cfg_.link_stall_cycles > 0 ? cfg_.link_stall_cycles : 1;
+      ++stats_.injected;
+      ++stats_.link_stalls;
+      break;
+  }
+  return kind;
+}
+
+bool FaultPlan::next_dram_read(bool* correctable, unsigned* bit) {
+  const std::uint64_t n = dram_read_events_++;
+  int kind = forced_kind(FaultSite::dram_read, n);
+  if (kind == 0) {
+    if (fires(FaultSite::dram_read, n, 0x11,
+              cfg_.dram_read_correctable_rate)) {
+      kind = 1;
+    } else if (fires(FaultSite::dram_read, n, 0x22,
+                     cfg_.dram_read_uncorrectable_rate)) {
+      kind = 2;
+    }
+  }
+  if (kind == 0) return false;
+  ++stats_.injected;
+  if (kind == 1) {
+    *correctable = true;
+    ++stats_.dram_correctable;
+  } else {
+    *correctable = false;
+    *bit = static_cast<unsigned>(draw(FaultSite::dram_read, n, 0x33) & 31);
+    ++stats_.dram_uncorrectable;
+  }
+  return true;
+}
+
+bool FaultPlan::next_dram_write() {
+  const std::uint64_t n = dram_write_events_++;
+  const bool hit =
+      forced_kind(FaultSite::dram_write, n) != 0 ||
+      fires(FaultSite::dram_write, n, 0x11, cfg_.dram_write_error_rate);
+  if (hit) {
+    ++stats_.injected;
+    ++stats_.dram_write_errors;
+  }
+  return hit;
+}
+
+bool FaultPlan::next_pack_beat(FaultSite site, unsigned* bit) {
+  std::uint64_t& counter = site == FaultSite::pack_strided
+                               ? pack_strided_events_
+                               : pack_indirect_events_;
+  const std::uint64_t n = counter++;
+  const bool hit = forced_kind(site, n) != 0 ||
+                   fires(site, n, 0x11, cfg_.pack_corrupt_rate);
+  if (hit) {
+    *bit = static_cast<unsigned>(draw(site, n, 0x22) & 0xff);
+    ++stats_.injected;
+    ++stats_.pack_corruptions;
+  }
+  return hit;
+}
+
+}  // namespace axipack::sim

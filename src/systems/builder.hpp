@@ -27,6 +27,7 @@
 #include "dma/engine.hpp"
 #include "mem/backend.hpp"
 #include "pack/adapter.hpp"
+#include "sim/fault.hpp"
 #include "sim/kernel.hpp"
 #include "vproc/context.hpp"
 
@@ -94,6 +95,19 @@ class SystemBuilder {
   SystemBuilder& coalescer(bool enable, std::size_t entries = 512,
                            std::size_t window = 16);
 
+  // ---- robustness ------------------------------------------------------
+  /// Deterministic fault injection across the fabric: the built system owns
+  /// a FaultPlan wired into the monitored link, the pack converters and the
+  /// DRAM backend. Calling this with an all-zero-rate config still attaches
+  /// a plan (so tests can pin faults via FaultPlan::force); not calling it
+  /// attaches nothing and the system is bit- and cycle-identical to one
+  /// built before this subsystem existed.
+  SystemBuilder& faults(const sim::FaultConfig& cfg);
+  /// Master-side retry/watchdog/breaker knobs, applied to every attached
+  /// processor and DMA engine at build time (overriding any RetryConfig
+  /// set on an individual master's own config).
+  SystemBuilder& retry(const sim::RetryConfig& cfg);
+
   // ---- masters ---------------------------------------------------------
   /// Vector processor in the given VLSU mode; its lane count and bus width
   /// are derived from the builder's bus. VlsuMode::ideal processors run on
@@ -153,6 +167,10 @@ class SystemBuilder {
   bool coalesce_enable_ = false;
   std::size_t coalesce_entries_ = 512;
   std::size_t coalesce_window_ = 16;
+  bool faults_set_ = false;
+  sim::FaultConfig fault_cfg_;
+  bool retry_set_ = false;
+  sim::RetryConfig retry_cfg_;
   std::vector<MasterSpec> masters_;
 };
 

@@ -31,6 +31,17 @@ std::optional<unsigned> parse_number(const std::string& s,
   return static_cast<unsigned>(value);
 }
 
+/// The retry profile the scenario knobs imply: a small bounded budget with
+/// a watchdog generous enough to never fire on legitimate DRAM latency
+/// (refresh + row misses stay well under it).
+sim::RetryConfig default_retry() {
+  sim::RetryConfig rc;
+  rc.max_attempts = 4;
+  rc.timeout_cycles = 50'000;
+  rc.backoff = 16;
+  return rc;
+}
+
 }  // namespace
 
 std::string scenario_name(SystemKind kind, unsigned bus_bits,
@@ -70,22 +81,29 @@ std::optional<SystemBuilder> parse_scenario(const std::string& name) {
   if (pos >= name.size() || name[pos] != '-') return std::nullopt;
   ++pos;
   if (name.compare(pos, 4, "dram") == 0) {
-    // "{base|pack}-{bits}-dram[-w{W}][-c{C}][-q{Q}][-x{E}][-g{G}]": the
-    // paper SoC over the DRAM backend, with optional knobs —
+    // "{base|pack}-{bits}-dram[-w{W}][-c{C}][-q{Q}][-x{E}][-g{G}]
+    //  [-f{F}][-r{R}]": the paper SoC over the DRAM backend, with optional
+    // knobs —
     // w = row-batching per-port lookahead window (1 = head-only),
     // c = row-batching starvation cap in cycles (0 = no batching),
     // q = per-port memory request-FIFO depth (response depth keeps its
     //     default),
     // x = index-coalescer pending-table entries (enables the unit),
-    // g = index-coalescer grouping-window lookahead (enables the unit).
+    // g = index-coalescer grouping-window lookahead (enables the unit),
+    // f = fault injection at F times the default mixed-fault rates
+    //     (attaches a FaultPlan; f0 = plan with zero rates, for forcing),
+    // r = master-side retry budget in total attempts (r0 = error handling
+    //     off). f without r implies the default budget of 4 attempts.
     // Knobs may appear in any order, each at most once.
     pos += 4;
     SystemBuilder b = soc_builder(kind, *bus_bits, 17);
     b.memory("dram");
     std::size_t window = 0, cap = 0, req_depth = 0;  // 0 = not given
     std::size_t co_entries = 0, co_window = 0;
+    unsigned fault_scale = 0, retry_attempts = 0;
     bool have_w = false, have_c = false, have_q = false;
     bool have_x = false, have_g = false;
+    bool have_f = false, have_r = false;
     while (pos != name.size()) {
       if (name[pos] != '-' || pos + 2 >= name.size()) return std::nullopt;
       const char knob = name[pos + 1];
@@ -118,6 +136,16 @@ std::optional<SystemBuilder> parse_scenario(const std::string& name) {
           co_window = *value;
           have_g = true;
           break;
+        case 'f':
+          if (have_f) return std::nullopt;
+          fault_scale = *value;
+          have_f = true;
+          break;
+        case 'r':
+          if (have_r) return std::nullopt;
+          retry_attempts = *value;
+          have_r = true;
+          break;
         default:
           return std::nullopt;
       }
@@ -132,6 +160,14 @@ std::optional<SystemBuilder> parse_scenario(const std::string& name) {
       pack::AdapterConfig ad;
       b.coalescer(true, have_x ? co_entries : ad.coalesce_entries,
                   have_g ? co_window : ad.coalesce_window);
+    }
+    if (have_f) {
+      b.faults(sim::FaultConfig::defaults(static_cast<double>(fault_scale)));
+    }
+    if (have_f || have_r) {
+      sim::RetryConfig rc = default_retry();
+      if (have_r) rc.max_attempts = retry_attempts;
+      b.retry(rc);
     }
     return b;
   }
@@ -179,6 +215,17 @@ ScenarioRegistry::ScenarioRegistry() {
          SystemBuilder b = soc_builder(SystemKind::pack, 256, 17);
          b.memory("dram");
          b.coalescer(true);
+         return b;
+       }});
+
+  add({"pack-dram-faults",
+       "PACK SoC, 256-bit bus, DRAM backend, default mixed-fault injection "
+       "and a 4-attempt retry budget (parametric: pack-256-dram-f{F}-r{R})",
+       [] {
+         SystemBuilder b = soc_builder(SystemKind::pack, 256, 17);
+         b.memory("dram");
+         b.faults(sim::FaultConfig::defaults(1.0));
+         b.retry(default_retry());
          return b;
        }});
 

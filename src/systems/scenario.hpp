@@ -18,12 +18,18 @@
 //                                   memory request-FIFO depth; e.g.
 //                                   pack-256-dram-w1 (no batching) or
 //                                   pack-256-dram-w16-c128-q32
+//     ...-dram[-f{F}][-r{R}]        fault injection at F x the default
+//                                   mixed-fault rates and a retry budget of
+//                                   R total attempts (f implies r4); e.g.
+//                                   pack-256-dram-f2-r4
 //   ideal-{64|128|256}              processor on exclusive ideal memory
 //
 // Fixed names:
 //
 //   base-dram           BASE SoC over the cycle-level "dram" backend
 //   pack-dram           PACK SoC over the cycle-level "dram" backend
+//   pack-dram-faults    PACK SoC over "dram" with default mixed-fault
+//                       injection and a 4-attempt retry budget
 //   pack-256-idealmem   PACK pipeline over the conflict-free "ideal"
 //                       memory backend (adapter upper bound)
 //   dual-master-pack    vector processor + DMA engine sharing the xbar,

@@ -124,6 +124,18 @@ SystemBuilder& SystemBuilder::coalescer(bool enable, std::size_t entries,
   return *this;
 }
 
+SystemBuilder& SystemBuilder::faults(const sim::FaultConfig& cfg) {
+  faults_set_ = true;
+  fault_cfg_ = cfg;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::retry(const sim::RetryConfig& cfg) {
+  retry_set_ = true;
+  retry_cfg_ = cfg;
+  return *this;
+}
+
 MasterId SystemBuilder::attach_processor(vproc::VlsuMode mode) {
   vproc::VProcConfig cfg;
   cfg.mode = mode;
@@ -165,6 +177,9 @@ std::unique_ptr<System> SystemBuilder::build() const {
 System::System(const SystemBuilder& b) : bus_bytes_(b.bus_bits_ / 8) {
   kernel_.set_gating(!b.naive_kernel_);
   store_ = std::make_unique<mem::BackingStore>(b.mem_base_, b.mem_size_);
+  if (b.faults_set_) {
+    fault_plan_ = std::make_unique<sim::FaultPlan>(b.fault_cfg_);
+  }
 
   // Create one AXI port per fabric-attached master.
   std::vector<axi::AxiPort*> fabric_ports;
@@ -267,6 +282,13 @@ System::System(const SystemBuilder& b) : bus_bytes_(b.bus_bits_ / 8) {
         });
       }
     }
+    if (fault_plan_) {
+      if (link_) link_->set_fault_plan(fault_plan_.get());
+      adapter_->set_fault_plan(fault_plan_.get());
+      if (auto* db = dynamic_cast<mem::DramBackend*>(backend_.get())) {
+        db->dram().set_fault_plan(fault_plan_.get());
+      }
+    }
   }
 
   // Instantiate the masters now that their ports exist.
@@ -278,6 +300,7 @@ System::System(const SystemBuilder& b) : bus_bytes_(b.bus_bits_ / 8) {
         vproc::VProcConfig vc = spec.proc;
         vc.bus_bytes = bus_bytes_;
         vc.lanes = bus_bytes_ / mem::kWordBytes;
+        if (b.retry_set_) vc.retry = b.retry_cfg_;
         m.proc = std::make_unique<vproc::Processor>(kernel_, vc, *store_,
                                                     m.port.get());
         break;
@@ -285,6 +308,7 @@ System::System(const SystemBuilder& b) : bus_bytes_(b.bus_bits_ / 8) {
       case SystemBuilder::MasterKind::dma: {
         dma::DmaConfig dc = spec.dma;
         dc.bus_bytes = bus_bytes_;
+        if (b.retry_set_) dc.retry = b.retry_cfg_;
         m.dma = std::make_unique<dma::DmaEngine>(kernel_, *m.port, dc);
         break;
       }
@@ -339,8 +363,30 @@ RunResult System::run(const wl::WorkloadInstance& instance,
   vproc::Processor& proc = processor();
   RunResult result;
   result.bus_bits = bus_bytes_ * 8;
+  // Master-side recovery counters, summed over all processors and DMA
+  // engines (they accumulate across runs, so diff like the others).
+  const auto aggregate_retry = [this]() {
+    sim::RetryStats s;
+    for (const auto& m : masters_) {
+      const sim::RetryStats* rs = nullptr;
+      if (m.proc) {
+        rs = &m.proc->context().retry_stats;
+      } else if (m.dma) {
+        rs = &m.dma->retry_stats();
+      }
+      if (rs == nullptr) continue;
+      s.retries += rs->retries;
+      s.timeouts += rs->timeouts;
+      s.failed_ops += rs->failed_ops;
+      s.degraded = s.degraded || rs->degraded;
+    }
+    return s;
+  };
   const sim::Cycle start = kernel_.now();
   const sim::Counters counters_start = proc.counters();
+  const sim::FaultStats faults_start =
+      fault_plan_ ? fault_plan_->stats() : sim::FaultStats{};
+  const sim::RetryStats retry_start = aggregate_retry();
   const axi::BusStats bus_start = link_ ? link_->stats() : axi::BusStats{};
   const mem::MemoryBackendStats mem_start =
       backend_ ? backend_->stats() : mem::MemoryBackendStats{};
@@ -407,15 +453,40 @@ RunResult System::run(const wl::WorkloadInstance& instance,
     result.indirect_idx_words = iw.idx_words - iw_start.idx_words;
     result.indirect_elem_words = iw.elem_words - iw_start.elem_words;
   }
+  if (fault_plan_) {
+    const sim::FaultStats& fs = fault_plan_->stats();
+    result.faults_injected = fs.injected - faults_start.injected;
+    result.faults_corrected =
+        fs.dram_correctable - faults_start.dram_correctable;
+    result.faults_uncorrectable =
+        result.faults_injected - result.faults_corrected;
+  }
+  const sim::RetryStats retry_now = aggregate_retry();
+  result.retries = retry_now.retries - retry_start.retries;
+  result.retry_timeouts = retry_now.timeouts - retry_start.timeouts;
+  result.failed_ops = retry_now.failed_ops - retry_start.failed_ops;
+  result.degraded = retry_now.degraded;
   if (checker_) {
     result.protocol_violations = checker_->violations().size();
-    if (result.protocol_violations > 0) {
+    // With fault injection active, rule breaches are the expected symptom
+    // of injected misbehaviour (a truncated burst IS a beat-count
+    // violation): surface them as diagnostics and keep going. Without a
+    // fault plan they indicate a real modelling bug and fail the run hard.
+    if (result.protocol_violations > 0 && fault_plan_ == nullptr) {
       result.correct = false;
       result.error = "AXI protocol violation: " +
                      checker_->violations().front().rule + " — " +
                      checker_->violations().front().detail;
       return result;
     }
+  }
+  if (result.failed_ops > 0) {
+    // A master exhausted its retry budget (or hit a fatal DECERR): the
+    // produced data is unrecoverable by construction, so don't bother
+    // diffing it against the reference.
+    result.correct = false;
+    result.error = "unrecoverable memory fault";
+    return result;
   }
   result.correct = instance.check(*store_, result.error);
   return result;
@@ -445,6 +516,13 @@ std::string RunResult::to_json() const {
   w.key("coalesce_row_groups").value(coalesce_row_groups);
   w.key("indirect_idx_words").value(indirect_idx_words);
   w.key("indirect_elem_words").value(indirect_elem_words);
+  w.key("faults_injected").value(faults_injected);
+  w.key("faults_corrected").value(faults_corrected);
+  w.key("faults_uncorrectable").value(faults_uncorrectable);
+  w.key("retries").value(retries);
+  w.key("retry_timeouts").value(retry_timeouts);
+  w.key("failed_ops").value(failed_ops);
+  w.key("degraded").value(degraded);
   if (!error.empty()) w.key("error").value(error);
   w.end_object();
   return w.str();

@@ -58,6 +58,17 @@ struct RunResult {
   // coalesce_unique + coalesce_merged >= indirect_elem_words.
   std::uint64_t indirect_idx_words = 0;
   std::uint64_t indirect_elem_words = 0;
+  // Fault injection and recovery (all zero/false on systems built without
+  // SystemBuilder::faults). `failed_ops` > 0 means data was unrecoverable
+  // and the run is reported incorrect; `degraded` means a master's breaker
+  // tripped and it finished the run on the base (unpacked) path.
+  std::uint64_t faults_injected = 0;
+  std::uint64_t faults_corrected = 0;      ///< ECC-corrected DRAM reads
+  std::uint64_t faults_uncorrectable = 0;  ///< injected minus corrected
+  std::uint64_t retries = 0;
+  std::uint64_t retry_timeouts = 0;
+  std::uint64_t failed_ops = 0;
+  bool degraded = false;
 
   /// Fraction of dram accesses served from the open row (0 when the run
   /// did not touch a dram backend).
@@ -108,6 +119,14 @@ class System {
   const axi::BusStats* bus_stats() const {
     return link_ ? &link_->stats() : nullptr;
   }
+  /// The system's fault plan, or null when built without faults(). Tests
+  /// pin exact faults on it via FaultPlan::force before running.
+  sim::FaultPlan* fault_plan() { return fault_plan_.get(); }
+  /// Protocol-checker diagnostics collected so far (empty when the system
+  /// was built with monitor(false)).
+  const axi::ProtocolChecker* protocol_checker() const {
+    return checker_.get();
+  }
 
   /// True when every master is quiescent (processors done, DMA engines
   /// idle; raw ports are caller-driven and always count as quiescent) and
@@ -146,6 +165,7 @@ class System {
   std::unique_ptr<axi::ProtocolChecker> checker_;
   std::unique_ptr<mem::MemoryBackend> backend_;
   std::unique_ptr<pack::AxiPackAdapter> adapter_;
+  std::unique_ptr<sim::FaultPlan> fault_plan_;  ///< null = fault-free
 };
 
 }  // namespace axipack::sys

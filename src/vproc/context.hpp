@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "mem/backing_store.hpp"
+#include "sim/fault.hpp"
 #include "sim/probe.hpp"
 #include "vproc/program.hpp"
 #include "vproc/vrf.hpp"
@@ -61,6 +62,12 @@ struct VProcConfig {
   std::size_t load_q = 4;   ///< load-unit op queue depth
   std::size_t store_q = 4;  ///< store-unit op queue depth
   std::size_t vfu_q = 4;    ///< VFU op queue depth
+
+  /// Master-side fault handling: per-op bounded retry with exponential
+  /// backoff, a progress watchdog, and the pack-path circuit breaker.
+  /// Disabled (max_attempts == 0) the VLSU behaves exactly as before —
+  /// an errored response simply fails the op.
+  sim::RetryConfig retry;
 };
 
 /// An issued, not-yet-retired vector instruction. `prod_elems` is the
@@ -118,6 +125,23 @@ struct ProcContext {
   // load and store units — "one port per lane").
   unsigned ideal_budget = 0;
   std::uint64_t ideal_busy_words = 0;  ///< total words moved (utilization)
+
+  // Fault handling (all zero in fault-free runs).
+  sim::RetryStats retry_stats;
+  std::uint64_t pack_fault_attempts = 0;  ///< failed pack-path op attempts
+  bool degraded = false;  ///< breaker tripped: plan new ops base-style
+
+  /// Records one failed pack-path op attempt; past the configured breaker
+  /// threshold the VLSU stops planning AXI-Pack bursts for new ops and
+  /// degrades to the base per-element path (correct, just slow).
+  void note_pack_fault() {
+    ++pack_fault_attempts;
+    if (!degraded && cfg.retry.breaker_threshold != 0 &&
+        pack_fault_attempts >= cfg.retry.breaker_threshold) {
+      degraded = true;
+      retry_stats.degraded = true;
+    }
+  }
 
   explicit ProcContext(const VProcConfig& c) : cfg(c), vrf(c.vlmax) {
     hot.vlsu_ar = counters.handle("vlsu.ar");

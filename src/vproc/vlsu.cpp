@@ -26,17 +26,19 @@ void LoadUnit::accept(const OpRef& op) {
                                          v.traffic);
         break;
       case OpKind::vlse:
-        if (ctx_.cfg.mode == VlsuMode::pack) {
+        if (ctx_.cfg.mode == VlsuMode::pack && !ctx_.degraded) {
           a.bursts =
               axi::split_pack_strided(v.addr, v.stride, kElemBytes, v.vl, bus);
         }
-        break;  // base mode: per-element ARs generated on the fly
+        break;  // base mode (or degraded): per-element ARs on the fly
       case OpKind::vlimxei:
         assert(ctx_.cfg.mode == VlsuMode::pack &&
                "vlimxei requires an AXI-Pack system");
-        a.bursts = axi::split_pack_indirect(v.addr, v.idx_addr, 32, kElemBytes,
-                                            v.vl, bus);
-        break;
+        if (!ctx_.degraded) {
+          a.bursts = axi::split_pack_indirect(v.addr, v.idx_addr, 32,
+                                              kElemBytes, v.vl, bus);
+        }
+        break;  // degraded: per-element, core resolves the indices itself
       case OpKind::vluxei:
         break;  // per-element in both base and pack modes
       default:
@@ -80,6 +82,10 @@ void LoadUnit::tick_issue() {
   // Strictly in op order: find the first op with outstanding requests.
   for (Active& a : q_) {
     const VecOp& v = a.op->op;
+    // A faulted op blocks further issue (its own and later ops') until the
+    // attempt drains and the retry logic resolves it; backoff holds the
+    // re-issue. Strict op order is what keeps R-beat attribution trivial.
+    if (a.fault || now_ < a.backoff_until) return;
     if (!a.bursts.empty()) {
       if (a.next_burst >= a.bursts.size()) continue;
       if (outstanding_bursts_ >= ctx_.cfg.max_outstanding_bursts) return;
@@ -87,6 +93,7 @@ void LoadUnit::tick_issue() {
       ++a.next_burst;
       ++outstanding_bursts_;
       ++*ctx_.hot.vlsu_ar;
+      last_progress_ = now_;
       return;
     }
     // Per-element narrow requests (base-mode strided / indexed).
@@ -107,27 +114,61 @@ void LoadUnit::tick_issue() {
     ++a.elems_requested;
     ++outstanding_bursts_;
     ++*ctx_.hot.vlsu_ar;
+    last_progress_ = now_;
     return;
   }
 }
 
 void LoadUnit::tick_receive() {
   if (!port_->r.can_pop()) return;
-  // The beat belongs to the first op that still expects data (single-ID AXI
+  // Beats of a timed-out, already-abandoned attempt: drain and discard.
+  if (stale_bursts_ > 0) {
+    const axi::AxiR beat = port_->r.pop();
+    last_progress_ = now_;
+    if (beat.last) {
+      --stale_bursts_;
+      assert(outstanding_bursts_ > 0);
+      --outstanding_bursts_;
+    }
+    return;
+  }
+  // The beat belongs to the first op with bursts in flight (single-ID AXI
   // returns R bursts in AR order, and we issue ARs in op order).
   for (Active& a : q_) {
     const VecOp& v = a.op->op;
-    if (a.elems_rx >= v.vl) continue;
-    // VRF port conflict: when a chained consumer is live, every N-th
-    // writeback loses a cycle (see VProcConfig::vrf_conflict_every).
-    const unsigned every = ctx_.cfg.vrf_conflict_every;
-    if (every != 0 && ctx_.has_reader(v.vd) && !conflict_stall_ &&
-        (a.beats_rx + 1) % every == 0) {
-      conflict_stall_ = true;
+    if (a.bursts_done >= issued_bursts(a)) continue;
+    const bool errbeat = port_->r.front().resp != axi::kRespOkay;
+    if (!a.fault && !errbeat) {
+      // VRF port conflict: when a chained consumer is live, every N-th
+      // writeback loses a cycle (see VProcConfig::vrf_conflict_every).
+      const unsigned every = ctx_.cfg.vrf_conflict_every;
+      if (every != 0 && ctx_.has_reader(v.vd) && !conflict_stall_ &&
+          (a.beats_rx + 1) % every == 0) {
+        conflict_stall_ = true;
+        return;
+      }
+      conflict_stall_ = false;
+    }
+    const axi::AxiR beat = port_->r.pop();
+    last_progress_ = now_;
+    if (errbeat) {
+      a.fault = true;
+      if (beat.resp == axi::kRespDecErr) a.fatal = true;
+    }
+    if (a.fault) {
+      // Discard the payload: an errored beat (and every beat after it —
+      // element positions depend on elems_rx, which stays frozen until the
+      // replay) must never reach the VRF. Chained consumers stall on the
+      // frozen prod_elems instead of computing on corrupt data.
+      ++a.beats_rx;
+      ++*ctx_.hot.vlsu_beats_rx;
+      if (beat.last) {
+        ++a.bursts_done;
+        assert(outstanding_bursts_ > 0);
+        --outstanding_bursts_;
+      }
       return;
     }
-    conflict_stall_ = false;
-    const axi::AxiR beat = port_->r.pop();
     std::uint64_t cnt = 0;
     unsigned lane = 0;
     switch (v.kind) {
@@ -140,7 +181,7 @@ void LoadUnit::tick_receive() {
       }
       case OpKind::vlse:
       case OpKind::vlimxei:
-        if (ctx_.cfg.mode == VlsuMode::pack) {
+        if (!a.bursts.empty()) {
           lane = 0;
           cnt = beat.useful_bytes / 4;  // packed payload
         } else {
@@ -170,12 +211,74 @@ void LoadUnit::tick_receive() {
     ++*ctx_.hot.vlsu_beats_rx;
     *ctx_.hot.vlsu_bytes_rx += cnt * 4;
     if (beat.last) {
+      ++a.bursts_done;
       assert(outstanding_bursts_ > 0);
       --outstanding_bursts_;
     }
     return;
   }
   assert(false && "R beat with no expecting load op");
+}
+
+void LoadUnit::tick_retry() {
+  // Resolve faulted ops only once the whole unit has drained: beats still
+  // in flight (of this op or any other) would otherwise be misattributed
+  // after the replayed ARs break strict op order.
+  if (outstanding_bursts_ != 0 || stale_bursts_ != 0) return;
+  const sim::RetryConfig& rc = ctx_.cfg.retry;
+  for (Active& a : q_) {
+    if (!a.fault) continue;
+    const VecOp& v = a.op->op;
+    const bool pack_op = !a.bursts.empty() && a.bursts[0].pack.has_value();
+    ++a.attempts;
+    if (pack_op) ctx_.note_pack_fault();
+    if (a.fatal || !rc.enabled() || a.attempts >= rc.max_attempts) {
+      // Permanent error or budget exhausted: force-complete the op so the
+      // program can terminate; the run is reported as failed.
+      ++ctx_.retry_stats.failed_ops;
+      a.fault = false;
+      a.elems_rx = v.vl;
+      a.elems_requested = v.vl;
+      a.next_burst = a.bursts.size();
+      a.bursts_done = issued_bursts(a);
+      a.op->prod_elems = v.vl;
+      continue;
+    }
+    ++ctx_.retry_stats.retries;
+    a.fault = false;
+    a.next_burst = 0;
+    a.elems_requested = 0;
+    a.elems_rx = 0;
+    a.beats_rx = 0;
+    a.bursts_done = 0;
+    a.op->prod_elems = 0;
+    if (ctx_.degraded && pack_op &&
+        (v.kind == OpKind::vlse || v.kind == OpKind::vlimxei)) {
+      a.bursts.clear();  // breaker tripped: replay on the base path
+    }
+    const unsigned shift = a.attempts > 16 ? 16u : a.attempts - 1;
+    a.backoff_until = now_ + (rc.backoff << shift);
+  }
+}
+
+void LoadUnit::tick_timeout() {
+  const sim::RetryConfig& rc = ctx_.cfg.retry;
+  if (!rc.enabled() || rc.timeout_cycles == 0) return;
+  if (outstanding_bursts_ == 0) return;
+  if (now_ <= last_progress_ + rc.timeout_cycles) return;
+  // No beat and no issue for a full timeout window with bursts in flight:
+  // abandon every in-flight attempt (their beats drain as stale) and let
+  // the retry logic replay the ops.
+  ++ctx_.retry_stats.timeouts;
+  for (Active& a : q_) {
+    const std::uint64_t issued = issued_bursts(a);
+    if (a.bursts_done < issued) {
+      stale_bursts_ += issued - a.bursts_done;
+      a.bursts_done = issued;
+      a.fault = true;
+    }
+  }
+  last_progress_ = now_;
 }
 
 void LoadUnit::tick_ideal() {
@@ -214,6 +317,8 @@ void LoadUnit::tick() {
   } else {
     tick_issue();
     tick_receive();
+    tick_retry();
+    tick_timeout();
   }
   // Retire the front op once fully received.
   while (!q_.empty() && q_.front().elems_rx >= q_.front().op->op.vl) {
@@ -237,16 +342,18 @@ void StoreUnit::accept(const OpRef& op) {
         a.bursts = axi::split_contiguous(v.addr, std::uint64_t{v.vl} * 4, bus);
         break;
       case OpKind::vsse:
-        if (ctx_.cfg.mode == VlsuMode::pack) {
+        if (ctx_.cfg.mode == VlsuMode::pack && !ctx_.degraded) {
           a.bursts =
               axi::split_pack_strided(v.addr, v.stride, kElemBytes, v.vl, bus);
         }
         break;
       case OpKind::vsimxei:
         assert(ctx_.cfg.mode == VlsuMode::pack);
-        a.bursts = axi::split_pack_indirect(v.addr, v.idx_addr, 32, kElemBytes,
-                                            v.vl, bus);
-        break;
+        if (!ctx_.degraded) {
+          a.bursts = axi::split_pack_indirect(v.addr, v.idx_addr, 32,
+                                              kElemBytes, v.vl, bus);
+        }
+        break;  // degraded: per-element scatter, core resolves the indices
       case OpKind::vsuxei:
         break;
       default:
@@ -291,9 +398,26 @@ std::uint32_t StoreUnit::read_elem(const Active& a, std::uint64_t i) const {
   return ctx_.vrf.read_u32(a.op->op.vs2, static_cast<std::uint32_t>(i));
 }
 
+std::uint64_t StoreUnit::w_total(const Active& a) {
+  if (a.bursts.empty()) return a.op->op.vl;
+  std::uint64_t beats = 0;
+  for (const axi::AxiAw& aw : a.bursts) beats += aw.beats();
+  return beats;
+}
+
+std::uint64_t StoreUnit::w_sent(const Active& a) {
+  if (a.bursts.empty()) return a.elems_tx;
+  std::uint64_t beats = a.w_beat_in_burst;
+  for (std::size_t i = 0; i < a.w_burst; ++i) beats += a.bursts[i].beats();
+  return beats;
+}
+
 void StoreUnit::tick_issue_aw() {
   for (Active& a : q_) {
     const VecOp& v = a.op->op;
+    // A faulted op blocks further AW issue until its attempt drains (W data
+    // for already-issued AWs keeps flowing — the slave is owed those beats).
+    if (a.fault || now_ < a.backoff_until) return;
     if (!a.bursts.empty()) {
       if (a.next_burst >= a.bursts.size()) continue;
       if (outstanding_b_ >= ctx_.cfg.store_max_outstanding_b) return;
@@ -301,6 +425,7 @@ void StoreUnit::tick_issue_aw() {
       ++a.next_burst;
       ++outstanding_b_;
       ++*ctx_.hot.vlsu_aw;
+      last_progress_ = now_;
       return;
     }
     // Per-element narrow writes (base-mode strided / indexed stores), paced
@@ -328,6 +453,7 @@ void StoreUnit::tick_issue_aw() {
     ++a.next_burst;
     ++outstanding_b_;
     ++*ctx_.hot.vlsu_aw;
+    last_progress_ = now_;
     return;
   }
 }
@@ -405,18 +531,109 @@ void StoreUnit::tick_issue_w() {
 }
 
 void StoreUnit::tick_receive_b() {
-  if (!port_->b.try_pop()) return;
+  if (!port_->b.can_pop()) return;
+  const axi::AxiB b = port_->b.pop();
   assert(outstanding_b_ > 0);
   --outstanding_b_;
+  last_progress_ = now_;
+  if (stale_b_ > 0) {
+    --stale_b_;  // response of a timed-out, already-abandoned attempt
+    return;
+  }
   for (Active& a : q_) {
     const std::uint64_t expect =
         a.bursts.empty() ? a.op->op.vl : a.bursts.size();
     if (a.b_received < expect) {
       ++a.b_received;
+      if (b.resp != axi::kRespOkay) {
+        a.fault = true;
+        if (b.resp == axi::kRespDecErr) a.fatal = true;
+      }
       return;
     }
   }
   assert(false && "B with no expecting store op");
+}
+
+void StoreUnit::tick_retry() {
+  // Resolve faulted stores only once every B (including stale ones) has
+  // drained, so replayed AWs cannot interleave with in-flight responses.
+  if (outstanding_b_ != 0 || stale_b_ != 0) return;
+  const sim::RetryConfig& rc = ctx_.cfg.retry;
+  for (Active& a : q_) {
+    if (!a.fault) continue;
+    const VecOp& v = a.op->op;
+    const bool pack_op = !a.bursts.empty() && a.bursts[0].pack.has_value();
+    // With no Bs outstanding, every issued AW's W data has been sent and
+    // acknowledged — the attempt is fully drained.
+    ++a.attempts;
+    if (pack_op) ctx_.note_pack_fault();
+    if (a.fatal || !rc.enabled() || a.attempts >= rc.max_attempts) {
+      ++ctx_.retry_stats.failed_ops;
+      a.fault = false;
+      // Cancel the unsent W obligation and force-complete.
+      const std::uint64_t owed = w_total(a) - w_sent(a);
+      assert(ctx_.store_w_beats_left >= owed);
+      ctx_.store_w_beats_left -= owed;
+      if (!a.all_w_sent) {
+        a.all_w_sent = true;
+        --ctx_.stores_pending_w;
+      }
+      a.next_burst = a.bursts.empty() ? v.vl : a.bursts.size();
+      a.b_received = static_cast<unsigned>(
+          a.bursts.empty() ? v.vl : a.bursts.size());
+      a.elems_tx = v.vl;
+      a.op->prod_elems = v.vl;
+      continue;
+    }
+    ++ctx_.retry_stats.retries;
+    a.fault = false;
+    // Stores are idempotent: re-add the full W obligation and replay every
+    // AW/W of the op (a degraded replan switches to the per-element path).
+    const std::uint64_t owed_old = w_total(a) - w_sent(a);
+    assert(ctx_.store_w_beats_left >= owed_old);
+    ctx_.store_w_beats_left -= owed_old;
+    if (a.all_w_sent) {
+      a.all_w_sent = false;
+      ++ctx_.stores_pending_w;
+    }
+    if (ctx_.degraded && pack_op &&
+        (v.kind == OpKind::vsse || v.kind == OpKind::vsimxei)) {
+      a.bursts.clear();
+    }
+    a.next_burst = 0;
+    a.w_burst = 0;
+    a.w_beat_in_burst = 0;
+    a.elems_tx = 0;
+    a.b_received = 0;
+    a.op->prod_elems = 0;
+    ctx_.store_w_beats_left += w_total(a);
+    const unsigned shift = a.attempts > 16 ? 16u : a.attempts - 1;
+    a.backoff_until = now_ + (rc.backoff << shift);
+  }
+}
+
+void StoreUnit::tick_timeout() {
+  const sim::RetryConfig& rc = ctx_.cfg.retry;
+  if (!rc.enabled() || rc.timeout_cycles == 0) return;
+  if (outstanding_b_ == 0) return;
+  if (now_ <= last_progress_ + rc.timeout_cycles) return;
+  ++ctx_.retry_stats.timeouts;
+  for (Active& a : q_) {
+    const std::uint64_t issued = a.next_burst;
+    const std::uint64_t w_done =
+        a.bursts.empty() ? a.elems_tx : a.w_burst;
+    if (a.b_received < issued && w_done >= issued) {
+      // Waiting only on B responses: abandon them (drained as stale) and
+      // retry. An attempt still owing W data cannot be aborted safely —
+      // the slave is owed those beats — so it just keeps the fault flag off
+      // and waits for W-channel progress.
+      stale_b_ += issued - a.b_received;
+      a.b_received = static_cast<unsigned>(issued);
+      a.fault = true;
+    }
+  }
+  last_progress_ = now_;
 }
 
 void StoreUnit::tick_ideal() {
@@ -461,11 +678,15 @@ void StoreUnit::tick() {
     tick_receive_b();
     tick_issue_aw();
     tick_issue_w();
+    tick_retry();
+    tick_timeout();
     while (!q_.empty()) {
       Active& a = q_.front();
       const std::uint64_t expect =
           a.bursts.empty() ? a.op->op.vl : a.bursts.size();
-      if (!a.all_w_sent || a.b_received < expect) break;
+      // A faulted op may have its full B count (the error response is a B
+      // too) — it must stay queued until tick_retry resolves it.
+      if (a.fault || !a.all_w_sent || a.b_received < expect) break;
       ctx_.retire(a.op);
       q_.pop_front();
     }

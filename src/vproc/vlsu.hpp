@@ -38,13 +38,27 @@ class LoadUnit {
     std::uint64_t elems_requested = 0;  ///< base strided/indexed progress
     std::uint64_t elems_rx = 0;
     std::uint64_t beats_rx = 0;
+    std::uint64_t bursts_done = 0;  ///< issued bursts fully received
     std::uint64_t start_cycle = 0;  ///< ideal mode: when op became active
     bool started = false;
+    // Fault handling: an errored beat freezes element progress (its payload
+    // and everything after it is discarded); once the attempt drains the op
+    // is either replayed from scratch or force-failed.
+    bool fault = false;
+    bool fatal = false;  ///< DECERR seen: permanent, never retried
+    unsigned attempts = 0;  ///< failed attempts so far
+    std::uint64_t backoff_until = 0;
   };
 
   void tick_issue();
   void tick_receive();
+  void tick_retry();
+  void tick_timeout();
   void tick_ideal();
+  /// Bursts issued for the current attempt (per-element ops: elements).
+  static std::uint64_t issued_bursts(const Active& a) {
+    return a.bursts.empty() ? a.elems_requested : a.next_burst;
+  }
   /// Element address for base-mode strided/indexed ops.
   std::uint64_t elem_addr(const Active& a, std::uint64_t i) const;
   void write_elem(const Active& a, std::uint64_t i, std::uint32_t value);
@@ -55,6 +69,8 @@ class LoadUnit {
   unsigned outstanding_bursts_ = 0;
   bool conflict_stall_ = false;
   std::uint64_t now_ = 0;  ///< advanced once per tick (ideal-mode timing)
+  std::uint64_t stale_bursts_ = 0;  ///< abandoned-attempt bursts to drain
+  std::uint64_t last_progress_ = 0;  ///< watchdog: last issue/receive cycle
 };
 
 class StoreUnit {
@@ -79,14 +95,25 @@ class StoreUnit {
     std::uint64_t start_cycle = 0;
     bool started = false;
     bool all_w_sent = false;
+    // Fault handling (see LoadUnit::Active): stores are idempotent, so a
+    // replay simply re-sends every AW/W of the op.
+    bool fault = false;
+    bool fatal = false;
+    unsigned attempts = 0;
+    std::uint64_t backoff_until = 0;
   };
 
   void tick_issue_aw();
   void tick_issue_w();
   void tick_receive_b();
+  void tick_retry();
+  void tick_timeout();
   void tick_ideal();
   std::uint64_t elem_addr(const Active& a, std::uint64_t i) const;
   std::uint32_t read_elem(const Active& a, std::uint64_t i) const;
+  /// Total W beats the op's current plan owes / has already sent.
+  static std::uint64_t w_total(const Active& a);
+  static std::uint64_t w_sent(const Active& a);
 
   ProcContext& ctx_;
   axi::AxiPort* port_;
@@ -94,6 +121,8 @@ class StoreUnit {
   unsigned outstanding_b_ = 0;
   unsigned elem_issue_wait_ = 0;  ///< base-mode per-element store pacing
   std::uint64_t now_ = 0;
+  std::uint64_t stale_b_ = 0;  ///< abandoned-attempt B responses to drain
+  std::uint64_t last_progress_ = 0;
 };
 
 }  // namespace axipack::vproc

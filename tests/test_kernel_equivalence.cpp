@@ -44,6 +44,12 @@ struct Snapshot {
   std::uint64_t coalesce_row_groups = 0;
   std::uint64_t indirect_idx_words = 0;
   std::uint64_t indirect_elem_words = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t faults_corrected = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t retry_timeouts = 0;
+  std::uint64_t failed_ops = 0;
+  bool degraded = false;
   std::uint64_t dma_bytes_moved = 0;
   std::uint64_t dma_busy_cycles = 0;
 
@@ -71,6 +77,12 @@ struct Snapshot {
     s.coalesce_row_groups = r.coalesce_row_groups;
     s.indirect_idx_words = r.indirect_idx_words;
     s.indirect_elem_words = r.indirect_elem_words;
+    s.faults_injected = r.faults_injected;
+    s.faults_corrected = r.faults_corrected;
+    s.retries = r.retries;
+    s.retry_timeouts = r.retry_timeouts;
+    s.failed_ops = r.failed_ops;
+    s.degraded = r.degraded;
     return s;
   }
 };
@@ -101,6 +113,12 @@ void expect_identical(const Snapshot& naive, const Snapshot& gated,
   EXPECT_EQ(naive.coalesce_row_groups, gated.coalesce_row_groups) << what;
   EXPECT_EQ(naive.indirect_idx_words, gated.indirect_idx_words) << what;
   EXPECT_EQ(naive.indirect_elem_words, gated.indirect_elem_words) << what;
+  EXPECT_EQ(naive.faults_injected, gated.faults_injected) << what;
+  EXPECT_EQ(naive.faults_corrected, gated.faults_corrected) << what;
+  EXPECT_EQ(naive.retries, gated.retries) << what;
+  EXPECT_EQ(naive.retry_timeouts, gated.retry_timeouts) << what;
+  EXPECT_EQ(naive.failed_ops, gated.failed_ops) << what;
+  EXPECT_EQ(naive.degraded, gated.degraded) << what;
   EXPECT_EQ(naive.dma_bytes_moved, gated.dma_bytes_moved) << what;
   EXPECT_EQ(naive.dma_busy_cycles, gated.dma_busy_cycles) << what;
 }
@@ -227,6 +245,37 @@ TEST(KernelEquivalence, CoalescedIndirectKernels) {
                        scenario + " " + wl::kernel_name(kernel));
       EXPECT_GT(gated.coalesce_unique, 0u) << scenario;
       EXPECT_GT(gated.coalesce_merged, 0u) << scenario;
+    }
+  }
+}
+
+TEST(KernelEquivalence, FaultInjectionStaysCycleIdentical) {
+  // Fault decisions are a pure hash of per-site event ordinals, so the
+  // gated and naive kernels (identical traffic) must see identical faults,
+  // identical retries and identical cycles. Rates high enough that the run
+  // is non-vacuous: faults actually fire and are recovered.
+  for (const std::string scenario :
+       {std::string("pack-256-dram-f50-r4"),
+        std::string("pack-64-dram-f50-r4")}) {
+    for (const auto kernel : {wl::KernelKind::spmv, wl::KernelKind::gemv}) {
+      auto cfg = sys::plan_workload(kernel, scenario);
+      cfg.n = 64;
+      if (wl::kernel_is_indirect(kernel)) cfg.nnz_per_row = 16;
+      sys::WorkloadJob naive_job;
+      naive_job.scenario = scenario;
+      naive_job.cfg = cfg;
+      naive_job.naive_kernel = true;
+      sys::WorkloadJob gated_job = naive_job;
+      gated_job.naive_kernel = false;
+      const auto results =
+          sys::run_workloads({naive_job, gated_job}, /*threads=*/1);
+      const Snapshot naive = Snapshot::of(results[0]);
+      const Snapshot gated = Snapshot::of(results[1]);
+      expect_identical(naive, gated,
+                       scenario + " " + wl::kernel_name(kernel));
+      EXPECT_GT(gated.faults_injected, 0u)
+          << scenario << " " << wl::kernel_name(kernel);
+      EXPECT_TRUE(gated.correct) << scenario << " " << results[1].error;
     }
   }
 }

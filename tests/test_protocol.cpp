@@ -17,8 +17,13 @@
 #include "mem/backing_store.hpp"
 #include "mem/banked_memory.hpp"
 #include "pack/adapter.hpp"
+#include "sim/fault.hpp"
 #include "sim/kernel.hpp"
+#include "systems/runner.hpp"
+#include "systems/scenario.hpp"
+#include "systems/system.hpp"
 #include "util/rng.hpp"
+#include "workloads/workloads.hpp"
 
 namespace axipack {
 namespace {
@@ -352,6 +357,52 @@ TEST(RandomTraffic, MixedWritesLandCorrectlyUnderChecker) {
       << checker.violations().size() << " violations, first: "
       << checker.violations()[0].rule;
   EXPECT_TRUE(checker.drained());
+}
+
+// ------------------------------------------- fault-mode diagnostics policy
+
+TEST(ProtocolDiagnostics, InjectedTruncationIsCollectedNotFatal) {
+  // An injected burst truncation breaks the R beat-count rule on purpose.
+  // With a fault plan attached, checker findings are collected diagnostics
+  // surfaced through RunResult — the run must recover via retry and stay
+  // correct instead of hard-failing on the first violation.
+  sys::SystemBuilder b =
+      sys::ScenarioRegistry::instance().builder("pack-256-17b");
+  b.faults(sim::FaultConfig{});
+  sim::RetryConfig rc;
+  rc.max_attempts = 4;
+  rc.timeout_cycles = 50'000;
+  b.retry(rc);
+  std::unique_ptr<sys::System> system = b.build();
+  system->fault_plan()->force(sim::FaultSite::link_r, 12, 2);
+
+  wl::WorkloadConfig cfg = sys::plan_workload(wl::KernelKind::gemv, b);
+  cfg.n = 64;
+  const wl::WorkloadInstance inst = wl::build_workload(system->store(), cfg);
+  const sys::RunResult r = system->run(inst);
+
+  EXPECT_TRUE(r.correct) << r.error;
+  EXPECT_GE(r.protocol_violations, 1u);
+  ASSERT_TRUE(system->protocol_checker() != nullptr);
+  EXPECT_EQ(system->protocol_checker()->violations().size(),
+            r.protocol_violations);
+  EXPECT_FALSE(system->protocol_checker()->violations().front().rule.empty());
+}
+
+TEST(ProtocolDiagnostics, CleanFaultPlanRunsStayViolationFree) {
+  // The converse guard: attaching a plan must not relax checking into
+  // false positives — a zero-rate plan still reports a clean link.
+  sys::SystemBuilder b =
+      sys::ScenarioRegistry::instance().builder("pack-256-17b");
+  b.faults(sim::FaultConfig{});
+  std::unique_ptr<sys::System> system = b.build();
+  wl::WorkloadConfig cfg = sys::plan_workload(wl::KernelKind::spmv, b);
+  cfg.n = 48;
+  cfg.nnz_per_row = 16;
+  const wl::WorkloadInstance inst = wl::build_workload(system->store(), cfg);
+  const sys::RunResult r = system->run(inst);
+  EXPECT_TRUE(r.correct) << r.error;
+  EXPECT_EQ(r.protocol_violations, 0u);
 }
 
 }  // namespace

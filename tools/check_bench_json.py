@@ -22,7 +22,9 @@ def fail(path, msg):
 
 RUN_FIELDS = {"cycles", "r_util", "correct", "row_hit_ratio",
               "coalesce_merged", "coalesce_unique", "coalesce_peak_pending",
-              "coalesce_row_groups"}
+              "coalesce_row_groups",
+              "faults_injected", "faults_corrected", "faults_uncorrectable",
+              "retries", "retry_timeouts", "failed_ops", "degraded"}
 
 
 def check_file(path):
@@ -84,6 +86,34 @@ def check_file(path):
                     fail(path,
                          f"{name}: coalesced point "
                          f"{point['coords']} saw no coalescer traffic")
+        # The fault-tolerance sweep must actually inject: the f0 baseline
+        # stays clean, every other rate point records injections, and — in
+        # quick mode, where CI validates it — no point with the full retry
+        # budget may lose an op below the extreme-rate knee. (Full-size
+        # runs inject proportionally more faults per op, which moves the
+        # knee leftward, so the recovery assertion only binds quick runs.)
+        if "fault" in axis_values:
+            for point in points:
+                run = point["run"]
+                coords = point["coords"]
+                if coords["fault"] == "f0":
+                    if run["faults_injected"] != 0 or run["failed_ops"] != 0:
+                        fail(path, f"{name}: fault-free baseline point "
+                                   f"{coords} reports fault activity")
+                    if not run["correct"]:
+                        fail(path, f"{name}: fault-free baseline point "
+                                   f"{coords} is incorrect")
+                else:
+                    if run["faults_injected"] == 0:
+                        fail(path, f"{name}: fault point {coords} "
+                                   f"injected nothing")
+                    if (doc["quick"]
+                            and coords.get("budget") == "r4"
+                            and coords["fault"] in ("f20", "f100")
+                            and (run["failed_ops"] != 0
+                                 or not run["correct"])):
+                        fail(path, f"{name}: budgeted point {coords} "
+                                   f"failed to recover")
     n_exp = len(doc["experiments"])
     n_pts = sum(len(e["points"]) for e in doc["experiments"])
     print(f"{path}: ok ({doc['bench']}, {n_exp} experiment(s), "
