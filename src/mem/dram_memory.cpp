@@ -1,6 +1,7 @@
 #include "mem/dram_memory.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <cassert>
 #include <cstdio>
@@ -11,13 +12,21 @@ namespace axipack::mem {
 namespace {
 constexpr unsigned kNone = ~0u;
 
-/// Round-robin tie-break: first candidate at or after `start`, else the
-/// first overall. `cands` is in ascending port order and non-empty.
-unsigned pick_rr(const std::vector<unsigned>& cands, unsigned start) {
-  for (const unsigned c : cands) {
-    if (c >= start) return c;
-  }
-  return cands.front();
+/// Index of the lowest set bit; `m` must be nonzero. Drives the ascending-
+/// bank and ascending-port iteration over the candidate bitmasks.
+inline unsigned ctz64(std::uint64_t m) {
+  return static_cast<unsigned>(__builtin_ctzll(m));
+}
+
+inline unsigned popcount64(std::uint64_t m) {
+  return static_cast<unsigned>(__builtin_popcountll(m));
+}
+
+/// Round-robin tie-break over a port bitmask: lowest set bit at or after
+/// `start`, else the lowest overall. `m` must be nonzero, `start` < 64.
+inline unsigned pick_rr(std::uint64_t m, unsigned start) {
+  const std::uint64_t ge = m & (~std::uint64_t{0} << start);
+  return ctz64(ge != 0 ? ge : m);
 }
 }  // namespace
 
@@ -41,13 +50,39 @@ DramMemory::DramMemory(sim::Kernel& k, BackingStore& store,
       map_(cfg.timing.num_banks(), cfg.timing.row_words, cfg.timing.mapping),
       banks_(cfg.timing.num_banks()),
       rr_(cfg.timing.num_banks(), 0),
-      rob_(cfg.num_ports),
+      win_head_(cfg.num_ports, 0),
+      win_size_(cfg.num_ports, 0),
+      win_base_(cfg.num_ports, 0),
       cand_entry_(cfg.num_ports * cfg.timing.num_banks(), 0),
       cand_hit_(cfg.num_ports * cfg.timing.num_banks(), 0),
-      same_row_pending_(cfg.timing.num_banks(), 0),
-      granted_this_cycle_(cfg.num_ports, 0) {
+      bank_ports_(cfg.timing.num_banks(), 0),
+      port_ungranted_writes_(cfg.num_ports, 0),
+      port_bank_mask_(cfg.num_ports, 0),
+      port_interest_mask_(cfg.num_ports, 0),
+      port_samerow_mask_(cfg.num_ports, 0),
+      port_recompute_at_(cfg.num_ports, sim::kNeverCycle),
+      port_cold_banks_(cfg.num_ports, 0) {
   assert(cfg.num_ports > 0);
   assert(cfg.timing.num_banks() > 0 && cfg.timing.row_words > 0);
+  // Every port starts dirty: the first tick builds the candidate caches.
+  dirty_ports_ = cfg.num_ports >= 64 ? ~std::uint64_t{0}
+                                     : (std::uint64_t{1} << cfg.num_ports) - 1;
+  // The event-driven scheduler tracks pending banks and contending ports
+  // in 64-bit masks.
+  if (cfg.timing.num_banks() > 64) {
+    std::fprintf(stderr,
+                 "DramMemory: %u banks exceed the scheduler's 64-bank "
+                 "bitmask limit\n",
+                 cfg.timing.num_banks());
+    std::abort();
+  }
+  if (cfg.num_ports > 64) {
+    std::fprintf(stderr,
+                 "DramMemory: %u ports exceed the scheduler's 64-port "
+                 "bitmask limit\n",
+                 cfg.num_ports);
+    std::abort();
+  }
   // The response channel needs at least one register stage.
   assert(cfg.timing.tCAS >= 1 && cfg.timing.tCCD >= 1);
   // Config validation happens unconditionally (not just via assert): a
@@ -84,6 +119,18 @@ DramMemory::DramMemory(sim::Kernel& k, BackingStore& store,
                  static_cast<unsigned long long>(t.tRCD));
     std::abort();
   }
+  // Effective per-port window: the scan depth the config asks for, bounded
+  // by what the request FIFO can ever hold. Ring capacity is the next
+  // power of two so entry addressing is a mask, not a division.
+  const std::size_t eff_window = std::min(cfg.sched_window, cfg.req_depth);
+  win_cap_ = std::bit_ceil(static_cast<std::uint32_t>(eff_window));
+  win_hot_.resize(static_cast<std::size_t>(cfg.num_ports) * win_cap_);
+  win_cold_.resize(static_cast<std::size_t>(cfg.num_ports) * win_cap_);
+  chain_next_.resize(static_cast<std::size_t>(cfg.num_ports) * win_cap_, 0);
+  chain_head_.resize(
+      static_cast<std::size_t>(cfg.num_ports) * cfg.timing.num_banks(), 0);
+  chain_tail_.resize(
+      static_cast<std::size_t>(cfg.num_ports) * cfg.timing.num_banks(), 0);
   ports_.reserve(cfg.num_ports);
   for (unsigned i = 0; i < cfg.num_ports; ++i) {
     // Response latency is per item (Fifo::push_in), so the channel's own
@@ -110,21 +157,312 @@ void DramMemory::refresh_update(BankState& b, sim::Cycle now) {
   b.refresh_block_until = window_end;
 }
 
-void DramMemory::release_responses(sim::Cycle now) {
-  const unsigned n = static_cast<unsigned>(ports_.size());
-  for (unsigned p = 0; p < n; ++p) {
-    std::deque<PendingEntry>& rob = rob_[p];
+bool DramMemory::release_responses(sim::Cycle now) {
+  bool released = false;
+  blocked_release_ = false;
+  const unsigned num_banks = static_cast<unsigned>(banks_.size());
+  // Only ports whose head entry is granted can release anything; the mask
+  // is maintained here and by grant() (a head can only become granted via
+  // a grant at index 0 or a pop exposing a deep grant — both covered).
+  for (std::uint64_t m = release_ports_; m != 0; m &= m - 1) {
+    const unsigned p = ctz64(m);
     WordPort& port = *ports_[p];
-    while (!rob.empty() && rob.front().granted && port.resp.can_push()) {
-      const PendingEntry e = rob.front();
-      rob.pop_front();
-      port.req.pop();
+    bool popped = false;
+    while (win_size_[p] != 0 && win_hot(p, 0).granted &&
+           port.resp.can_push()) {
+      const ColdEntry& e = win_cold(p, 0);
+      // Unlink the popped entry from its bank chain unless the chain head
+      // already slid past it (rescan_bank skips granted prefixes
+      // permanently); the link is read before the slot can be reused by a
+      // later decode.
+      {
+        const std::size_t hs =
+            static_cast<std::size_t>(p) * win_cap_ + win_head_[p];
+        const std::size_t cs = static_cast<std::size_t>(p) * num_banks +
+                               win_hot_[hs].bank;
+        if (chain_head_[cs] == win_base_[p] + 1) {
+          chain_head_[cs] = chain_next_[hs];
+          if (chain_head_[cs] == 0) chain_tail_[cs] = 0;
+        }
+      }
       // Remaining data latency; already-ready responses held back by
       // in-order release still need the 1-cycle register floor.
       const sim::Cycle delay = e.ready_at > now ? e.ready_at - now : 1;
       port.resp.push_in(e.resp, delay);
+      port.req.pop();
+      win_head_[p] = (win_head_[p] + 1) & (win_cap_ - 1);
+      --win_size_[p];
+      ++win_base_[p];
+      released = true;
+      popped = true;
+    }
+    if (win_size_[p] != 0 && win_hot(p, 0).granted) {
+      // A granted head parked behind a full response FIFO must retry the
+      // release every cycle — the consumer can free space at any time and
+      // the component cannot predict when, so it may not sleep.
+      blocked_release_ = true;
+    } else {
+      release_ports_ &= ~(std::uint64_t{1} << p);
+    }
+    if (!popped) continue;
+    // Freed window slots may uncover the next in-flight request (the pop
+    // shifted FIFO indices with the window, so the first undecoded item
+    // is still at index win_size_).
+    if (win_size_[p] < cfg_.sched_window && win_size_[p] < port.req.size()) {
+      const sim::Cycle v = port.req.item_visible_at(win_size_[p]);
+      if (v < next_arrival_) next_arrival_ = v;
+    }
+    if (!port_dirty(p) && win_size_[p] != 0) {
+      // The window slid. Only *granted* entries were removed, and granted
+      // entries contribute nothing to the cached candidate view (no
+      // hazard words, no interest/same-row anchors), so the surviving
+      // entries' eligibility is unchanged — except that the new head, if
+      // ungranted, now falls under the head-is-always-eligible rule.
+      // Candidates are keyed by absolute id (win_base_), so no cached
+      // index shifted; fold the head's forced eligibility into its bank's
+      // slot instead of rescanning the whole window: the head displaces
+      // any non-hit candidate (it is earlier), a hit head displaces any
+      // candidate, and a deeper hit candidate survives a non-hit head
+      // (prefer-hit). Same-row and interest anchors only ever gain here.
+      const HotEntry& h = win_hot(p, 0);
+      if (!h.granted) {
+        const unsigned b = h.bank;
+        const std::uint64_t bbit = std::uint64_t{1} << b;
+        const std::size_t slot = static_cast<std::size_t>(p) * num_banks + b;
+        const bool hits = banks_[b].row_open && banks_[b].open_row == h.row;
+        const std::uint64_t head_id1 = win_base_[p] + 1;
+        if (cand_entry_[slot] == 0) {
+          cand_entry_[slot] = head_id1;
+          cand_hit_[slot] = hits;
+          port_bank_mask_[p] |= bbit;
+          bank_ports_add(b, p);
+        } else if (cand_entry_[slot] != head_id1 &&
+                   (hits || !cand_hit_[slot])) {
+          cand_entry_[slot] = head_id1;
+          cand_hit_[slot] = hits;
+        }
+        if (hits) port_samerow_mask_[p] |= bbit;
+      }
     }
   }
+  return released;
+}
+
+bool DramMemory::absorb_arrivals(sim::Cycle now) {
+  bool grew = false;
+  const unsigned n = static_cast<unsigned>(ports_.size());
+  const unsigned num_banks = static_cast<unsigned>(banks_.size());
+  const sim::Cycle keepalive = cfg_.timing.tRP + cfg_.timing.tRCD;
+  next_arrival_ = sim::kNeverCycle;
+  for (unsigned p = 0; p < n; ++p) {
+    WordPort& port = *ports_[p];
+    // Decode once on entry: requests are immutable once enqueued, so every
+    // later rescan touches only cached fields. Visibility is FIFO (the
+    // scan stops at the first in-flight item), so the window always holds
+    // exactly the first min(sched_window, visible_count) requests.
+    while (win_size_[p] < cfg_.sched_window &&
+           win_size_[p] < port.req.size() &&
+           port.req.item_visible_at(win_size_[p]) <= now) {
+      const WordReq& rq = port.req.peek(win_size_[p]);
+      const std::uint32_t i = win_size_[p];
+      HotEntry& e = win_hot(p, i);
+      e.word = word_index(rq.addr);
+      e.row = map_.row_of(e.word);
+      e.defer_cycles = 0;
+      e.bank = static_cast<std::uint16_t>(map_.bank_of(e.word));
+      e.write = rq.write ? 1 : 0;
+      e.granted = 0;
+      // Thread the entry onto its bank chain (structural — happens even
+      // when the port is dirty; rescans never rebuild chains).
+      {
+        const std::uint64_t id1 = win_base_[p] + i + 1;
+        const std::size_t ns = static_cast<std::size_t>(p) * win_cap_ +
+                               ((win_head_[p] + i) & (win_cap_ - 1));
+        const std::size_t cs =
+            static_cast<std::size_t>(p) * num_banks + e.bank;
+        chain_next_[ns] = 0;
+        if (chain_tail_[cs] != 0) {
+          chain_next_[slot_of(p, chain_tail_[cs] - 1)] = id1;
+        } else {
+          chain_head_[cs] = id1;
+        }
+        chain_tail_[cs] = id1;
+      }
+      ++win_size_[p];
+      if (e.write) ++port_ungranted_writes_[p];
+      grew = true;
+      if (port_dirty(p)) continue;  // a rescan is already pending
+      // Fold the append into the candidate caches without a rescan where
+      // its effect is fully determined: an appended entry can only claim
+      // an *empty* bank slot or upgrade a non-hit candidate to a hit
+      // (prefer-hit); it can never displace an earlier hit. Same-row and
+      // interest anchors only gain. (A refresh boundary crossed this tick
+      // re-dirties every port with entries before arbitration, so the
+      // pre-sweep row state read here cannot leak into a decision.)
+      const unsigned b = e.bank;
+      const std::uint64_t bbit = std::uint64_t{1} << b;
+      const std::size_t slot = static_cast<std::size_t>(p) * num_banks + b;
+      const bool hits = banks_[b].row_open && banks_[b].open_row == e.row;
+      if (i == 0) {
+        // New head of an empty window: always eligible, claims its slot
+        // (all of this port's caches are empty at this point).
+        cand_entry_[slot] = win_base_[p] + 1;
+        cand_hit_[slot] = hits;
+        port_bank_mask_[p] = bbit;
+        bank_ports_add(b, p);
+        port_interest_mask_[p] = bbit;
+        port_samerow_mask_[p] = hits ? bbit : 0;
+      } else if (!e.write && port_ungranted_writes_[p] == 0) {
+        // Appended read into an all-read window: hazards are vacuous, so
+        // its eligibility is the bank predicate alone — a hit, a closed
+        // bank, or a bank gone cold. An eligible read claims an empty
+        // slot; behind an existing candidate only a hit upgrades
+        // (prefer-hit). A warm-blocked read facing an empty slot becomes
+        // the candidate when the bank cools: fold that horizon into the
+        // rescan clock instead of dirtying the port.
+        const BankState& bank = banks_[b];
+        if (cand_entry_[slot] == 0) {
+          const bool warm = bank.granted_ever &&
+                            now - bank.last_grant_at <= keepalive;
+          if (hits || !bank.row_open || !warm) {
+            cand_entry_[slot] = win_base_[p] + i + 1;
+            cand_hit_[slot] = hits;
+            port_bank_mask_[p] |= bbit;
+            bank_ports_add(b, p);
+          } else {
+            fold_recompute_at(p, b, bank.last_grant_at + keepalive + 1);
+          }
+        } else if (hits && !cand_hit_[slot]) {
+          cand_entry_[slot] = win_base_[p] + i + 1;
+          cand_hit_[slot] = 1;
+        }
+        port_interest_mask_[p] |= bbit;
+        if (hits) port_samerow_mask_[p] |= bbit;
+      } else if (cand_entry_[slot] != 0 && (cand_hit_[slot] || !hits)) {
+        // Deep append that cannot become the candidate: anchors only.
+        port_interest_mask_[p] |= bbit;
+        if (hits) port_samerow_mask_[p] |= bbit;
+      } else {
+        // Could claim an empty slot or upgrade to a hit — eligibility
+        // (bank state, hazards, window position) needs a real scan, but an
+        // append perturbs only its own bank's view: rebuild that alone.
+        rescan_bank(p, b, now);
+      }
+    }
+    // The first still-in-flight request that would grow this window (the
+    // decode loop above stopped right at it) bounds the horizon.
+    if (win_size_[p] < cfg_.sched_window && win_size_[p] < port.req.size()) {
+      const sim::Cycle v = port.req.item_visible_at(win_size_[p]);
+      if (v < next_arrival_) next_arrival_ = v;
+    }
+  }
+  return grew;
+}
+
+void DramMemory::rescan_port(unsigned p, sim::Cycle now) {
+  const unsigned num_banks = static_cast<unsigned>(banks_.size());
+  const sim::Cycle keepalive = cfg_.timing.tRP + cfg_.timing.tRCD;
+  // Clear only the slots this port previously offered.
+  for (std::uint64_t m = port_bank_mask_[p]; m != 0; m &= m - 1) {
+    cand_entry_[static_cast<std::size_t>(p) * num_banks + ctz64(m)] = 0;
+  }
+  std::uint64_t bank_mask = 0, interest = 0, samerow = 0, cold_banks = 0;
+  sim::Cycle recompute_at = sim::kNeverCycle;
+  // Words of the ungranted entries scanned so far, for the word-level
+  // program-order hazards: a read may not pass a pending same-word write,
+  // a write may not pass any pending same-word access. Hazard sources are
+  // pending writes, so an all-read window skips the bookkeeping entirely.
+  const bool has_writes = port_ungranted_writes_[p] != 0;
+  std::vector<std::uint64_t>& words = words_scratch_;
+  std::vector<std::uint64_t>& write_words = write_words_scratch_;
+  words.clear();
+  write_words.clear();
+  const HotEntry* const ring = &win_hot_[static_cast<std::size_t>(p) * win_cap_];
+  const std::uint32_t capm = win_cap_ - 1;
+  const std::uint32_t head = win_head_[p];
+  const std::uint64_t base = win_base_[p];
+  const std::uint32_t limit = win_size_[p];
+  for (std::uint32_t i = 0; i < limit; ++i) {
+    const HotEntry& e = ring[(head + i) & capm];
+    if (e.granted) continue;  // served, awaiting in-order release
+    const unsigned b = e.bank;
+    const std::uint64_t bbit = std::uint64_t{1} << b;
+    interest |= bbit;
+    const bool hits_open_row =
+        banks_[b].row_open && banks_[b].open_row == e.row;
+    // Ungranted same-row entries — eligible or not, backpressured or not —
+    // anchor the batching veto.
+    if (hits_open_row) samerow |= bbit;
+    bool eligible;
+    if (i == 0) {
+      eligible = true;
+    } else if (!e.write) {
+      // Deep reads only where they cannot disturb a streamed row: a hit,
+      // a closed bank, or a bank gone cold.
+      const bool warm = banks_[b].granted_ever &&
+                        now - banks_[b].last_grant_at <= keepalive;
+      const bool bank_undisturbed =
+          hits_open_row || !banks_[b].row_open || !warm;
+      if (!bank_undisturbed) {
+        // Time alone flips this predicate: rescan when the bank goes cold.
+        const sim::Cycle cold_at = banks_[b].last_grant_at + keepalive + 1;
+        if (cold_at < recompute_at) recompute_at = cold_at;
+        cold_banks |= bbit;
+      }
+      eligible = bank_undisturbed;
+      if (eligible && !write_words.empty()) {
+        for (const std::uint64_t w : write_words) {
+          if (w == e.word) {
+            eligible = false;
+            break;
+          }
+        }
+      }
+    } else {
+      // Deep writes are held to open-row hits (opening a row for a write
+      // the stream has moved past is never worth it).
+      eligible = hits_open_row;
+      if (eligible) {
+        for (const std::uint64_t w : words) {
+          if (w == e.word) {
+            eligible = false;
+            break;
+          }
+        }
+      }
+    }
+    if (has_writes) {
+      words.push_back(e.word);
+      if (e.write) write_words.push_back(e.word);
+    }
+    if (!eligible) continue;
+    const std::size_t slot = static_cast<std::size_t>(p) * num_banks + b;
+    if (cand_entry_[slot] == 0) {
+      cand_entry_[slot] = base + i + 1;
+      cand_hit_[slot] = hits_open_row;
+      bank_mask |= bbit;
+    } else if (hits_open_row && !cand_hit_[slot]) {
+      cand_entry_[slot] = base + i + 1;
+      cand_hit_[slot] = 1;
+    }
+  }
+  // Mirror the candidate banks into the per-bank contender masks (only
+  // the banks whose membership changed are touched).
+  for (std::uint64_t diff = port_bank_mask_[p] ^ bank_mask; diff != 0;
+       diff &= diff - 1) {
+    const unsigned db = ctz64(diff);
+    if ((bank_mask >> db) & 1) {
+      bank_ports_add(db, p);
+    } else {
+      bank_ports_remove(db, p);
+    }
+  }
+  port_bank_mask_[p] = bank_mask;
+  port_interest_mask_[p] = interest;
+  port_samerow_mask_[p] = samerow;
+  port_cold_banks_[p] = cold_banks;
+  port_recompute_at_[p] = recompute_at;
+  if (recompute_at < min_recompute_at_) min_recompute_at_ = recompute_at;
 }
 
 void DramMemory::grant(unsigned port_idx, std::size_t entry,
@@ -133,7 +471,7 @@ void DramMemory::grant(unsigned port_idx, std::size_t entry,
   const DramTimingConfig& t = cfg_.timing;
   BankState& bank = banks_[bank_idx];
   const WordReq& req = ports_[port_idx]->req.peek(entry);
-  const std::uint64_t row = rob_[port_idx][entry].row;
+  const std::uint64_t row = win_hot(port_idx, entry).row;
 
   sim::Cycle col_time = now;   // cycle the column command issues
   sim::Cycle data_delay = 0;   // grant -> data ready
@@ -163,21 +501,24 @@ void DramMemory::grant(unsigned port_idx, std::size_t entry,
   bank.last_grant_at = now;
   bank.granted_ever = true;
 
-  PendingEntry& pe = rob_[port_idx][entry];
-  pe.granted = true;
-  pe.ready_at = now + data_delay;
-  pe.resp.tag = req.tag;
-  pe.resp.was_write = req.write;
+  win_hot(port_idx, entry).granted = 1;
+  if (entry == 0) release_ports_ |= std::uint64_t{1} << port_idx;
+  if (req.write) --port_ungranted_writes_[port_idx];
+  ColdEntry& ce = win_cold(port_idx, entry);
+  ce.ready_at = now + data_delay;
+  ce.resp = WordResp{};  // ring slots are reused: clear stale error/rdata
+  ce.resp.tag = req.tag;
+  ce.resp.was_write = req.write;
   if (req.write) {
     // A faulted write is dropped before reaching the array (the retry
     // rewrites it); memory is never silently corrupted.
     if (faults_ != nullptr && faults_->next_dram_write()) {
-      pe.resp.error = true;
+      ce.resp.error = true;
     } else {
       store_.write_word(req.addr, req.wdata, req.wstrb);
     }
   } else {
-    pe.resp.rdata = store_.read_u32(req.addr);
+    ce.resp.rdata = store_.read_u32(req.addr);
     if (faults_ != nullptr) {
       bool correctable = false;
       unsigned bit = 0;
@@ -185,16 +526,194 @@ void DramMemory::grant(unsigned port_idx, std::size_t entry,
         // Uncorrectable: poison the returned data and flag the response.
         // Correctable faults are fixed by ECC in place — counted by the
         // plan, invisible on the port.
-        pe.resp.rdata ^= 1u << bit;
-        pe.resp.error = true;
+        ce.resp.rdata ^= 1u << bit;
+        ce.resp.error = true;
       }
     }
   }
-  granted_this_cycle_[port_idx] = 1;
   ++stats_.grants;
   if (trace_ != nullptr) {
     trace_->push_back({now, now + data_delay, port_idx, bank_idx, row,
                        req.write, kind});
+  }
+  // Repair the candidate caches the grant made stale. Only bank
+  // `bank_idx`'s state changed, and word-level hazards are bank-local
+  // (same word implies same bank), so for every affected port the repair
+  // is a single-bank rebuild (see rescan_bank) instead of a full rescan —
+  // including windows with pending writes. Note this holds even for the
+  // hazards the granted entry itself releases (a write leaving the
+  // pending set, or a read leaving a write's path): the entries they may
+  // have blocked share its word, hence its bank — covered by the rebuild.
+  // Already-dirty ports are left alone; their pending full rescan rebuilds
+  // every bank, this one included.
+  //
+  // Affected ports: the granting port always (its entry left the
+  // candidate set). After a miss or closed grant the open row changed, so
+  // every port with ungranted work on the bank is affected. A row hit
+  // leaves the open row unchanged and only refreshes the keep-alive
+  // anchor: another port's candidate survives if it is itself a hit (hit
+  // eligibility ignores warmth) or the port's head entry (always
+  // eligible); only a candidate that was eligible because the bank had
+  // gone *cold* — impossible for a hit or a head — is invalidated by the
+  // renewed warmth. Ports with ungranted work but no candidate on the
+  // bank lose nothing then: warmth only extends, so no blocked entry
+  // becomes eligible (their warm->cold horizon is merely stale-early,
+  // which costs a spurious rescan, not correctness).
+  if (!port_dirty(port_idx)) rescan_bank(port_idx, bank_idx, now);
+  const std::uint64_t bbit = std::uint64_t{1} << bank_idx;
+  const unsigned num_banks = static_cast<unsigned>(banks_.size());
+  const unsigned n = static_cast<unsigned>(ports_.size());
+  if (kind != DramGrant::Kind::hit) {
+    for (unsigned p = 0; p < n; ++p) {
+      if (p == port_idx || (port_interest_mask_[p] & bbit) == 0 ||
+          port_dirty(p)) {
+        continue;
+      }
+      rescan_bank(p, bank_idx, now);
+    }
+  } else {
+    for (unsigned p = 0; p < n; ++p) {
+      if (p == port_idx || (port_bank_mask_[p] & bbit) == 0) continue;
+      const std::size_t slot =
+          static_cast<std::size_t>(p) * num_banks + bank_idx;
+      if (cand_hit_[slot] || cand_entry_[slot] == win_base_[p] + 1) continue;
+      if (!port_dirty(p)) rescan_bank(p, bank_idx, now);
+    }
+  }
+}
+
+void DramMemory::rescan_bank(unsigned p, unsigned b, sim::Cycle now) {
+  // Single-bank mirror of rescan_port: identical eligibility, prefer-hit,
+  // anchor and cold-horizon rules, applied to bank b's chain only. This is
+  // exact because every rule is bank-local — row state and warmth are the
+  // bank's own, and the word-level hazards (a read may not pass a pending
+  // same-word write, a write may not pass any pending same-word access)
+  // can only involve entries whose words collide, which map to the same
+  // bank. Candidates cached for other banks therefore stay exact across
+  // any bank-b-only change.
+  const unsigned num_banks = static_cast<unsigned>(banks_.size());
+  const std::size_t slot = static_cast<std::size_t>(p) * num_banks + b;
+  const std::uint64_t bbit = std::uint64_t{1} << b;
+  const BankState& bank = banks_[b];
+  // Slide the chain head past its granted prefix (permanent: granted
+  // entries never revert, and release unlinks only un-slid heads).
+  std::uint64_t cid = chain_head_[slot];
+  while (cid != 0) {
+    const std::size_t s = slot_of(p, cid - 1);
+    if (!win_hot_[s].granted) break;
+    cid = chain_next_[s];
+  }
+  chain_head_[slot] = cid;
+  if (cid == 0) {
+    chain_tail_[slot] = 0;
+    // No ungranted entry on b at all.
+    port_interest_mask_[p] &= ~bbit;
+    port_samerow_mask_[p] &= ~bbit;
+    cand_entry_[slot] = 0;
+    if ((port_bank_mask_[p] & bbit) != 0) {
+      port_bank_mask_[p] &= ~bbit;
+      bank_ports_remove(b, p);
+    }
+    return;
+  }
+  port_interest_mask_[p] |= bbit;
+  const sim::Cycle keepalive = cfg_.timing.tRP + cfg_.timing.tRCD;
+  const bool warm =
+      bank.granted_ever && now - bank.last_grant_at <= keepalive;
+  const bool hazards = port_ungranted_writes_[p] != 0;
+  std::vector<std::uint64_t>& words = words_scratch_;
+  std::vector<std::uint64_t>& write_words = write_words_scratch_;
+  if (hazards) {
+    words.clear();
+    write_words.clear();
+  }
+  const std::uint64_t head_id1 = win_base_[p] + 1;
+  std::uint64_t first_el = 0;  // first eligible entry (claims the slot)
+  std::uint8_t first_el_hit = 0;
+  bool samerow = false;
+  bool fold_cold = false;
+  for (std::uint64_t c = cid; c != 0;) {
+    const std::size_t s = slot_of(p, c - 1);
+    const HotEntry& e = win_hot_[s];
+    const std::uint64_t cn = chain_next_[s];
+    if (e.granted) {
+      c = cn;
+      continue;
+    }
+    const bool hit = bank.row_open && bank.open_row == e.row;
+    // Ungranted same-row entries — eligible or not — anchor the veto.
+    if (hit) samerow = true;
+    bool eligible;
+    if (c == head_id1) {
+      eligible = true;  // window head: always eligible, nothing before it
+    } else if (!e.write) {
+      // Deep reads only where they cannot disturb a streamed row.
+      const bool undisturbed = hit || !bank.row_open || !warm;
+      if (!undisturbed) fold_cold = true;
+      eligible = undisturbed;
+      if (eligible && hazards) {
+        for (const std::uint64_t w : write_words) {
+          if (w == e.word) {
+            eligible = false;
+            break;
+          }
+        }
+      }
+    } else {
+      // Deep writes are held to open-row hits.
+      eligible = hit;
+      if (eligible && hazards) {
+        for (const std::uint64_t w : words) {
+          if (w == e.word) {
+            eligible = false;
+            break;
+          }
+        }
+      }
+    }
+    if (hazards) {
+      words.push_back(e.word);
+      if (e.write) write_words.push_back(e.word);
+    }
+    if (eligible) {
+      if (first_el == 0) {
+        first_el = c;
+        first_el_hit = hit;
+      }
+      if (hit) {
+        // Prefer-hit: the first eligible hit is final. Stopping here may
+        // skip a deeper warm-blocked read's cold-horizon fold, but while a
+        // hit candidate stands that read could never displace it; the fold
+        // is re-derived when the hit is granted (this same path) or the
+        // bank's state changes.
+        first_el = c;
+        first_el_hit = 1;
+        break;
+      }
+    }
+    c = cn;
+  }
+  if (samerow) {
+    port_samerow_mask_[p] |= bbit;
+  } else {
+    port_samerow_mask_[p] &= ~bbit;
+  }
+  if (fold_cold) {
+    fold_recompute_at(p, b, bank.last_grant_at + keepalive + 1);
+  } else {
+    port_cold_banks_[p] &= ~bbit;
+  }
+  if (first_el != 0) {
+    cand_entry_[slot] = first_el;
+    cand_hit_[slot] = first_el_hit;
+    port_bank_mask_[p] |= bbit;
+    bank_ports_add(b, p);
+  } else {
+    cand_entry_[slot] = 0;
+    if ((port_bank_mask_[p] & bbit) != 0) {
+      port_bank_mask_[p] &= ~bbit;
+      bank_ports_remove(b, p);
+    }
   }
 }
 
@@ -205,276 +724,328 @@ void DramMemory::tick() {
   const DramTimingConfig& t = cfg_.timing;
 
   // In-order release first: frees window slots whose grants completed.
-  release_responses(now);
+  // (Releases and arrivals update the candidate caches incrementally and
+  // do not usually dirty a port, but they do change what is grantable, so
+  // either forces the full arbitration path below.)
+  // Response-path backpressure never blocks granting: a granted entry
+  // waits in the release stage (bounded by the window) until the response
+  // FIFO has room, so a backpressured port keeps scheduling — and its
+  // pending entries keep anchoring the veto — instead of wedging behind
+  // its own out-of-order grants. (Gating grants on response occupancy
+  // deadlocks when a deep grant fills the budget the older head needs to
+  // release first.)
+  const bool released = release_responses(now);
+  // Decode newly visible requests into the windows.
+  const bool grew = absorb_arrivals(now);
 
-  // Refresh is applied lazily but uniformly before any open-row state is
-  // read this cycle, so candidate classification and the batching veto see
-  // post-refresh rows.
-  for (BankState& bank : banks_) refresh_update(bank, now);
+  if (dirty_ports_ == 0 && !released && !grew && now < next_sched_at_) {
+    // Nothing changed and no scheduling predicate can flip before
+    // next_sched_at_: this tick reduces to the release poll above plus
+    // the constant-rate refresh-stall attribution of the span.
+    settle_stalls(now);
+    wake_hint_ = blocked_release_ ? 0 : next_sched_at_;
+    return;
+  }
 
-  // ---- candidate discovery --------------------------------------------
-  // For each port, scan the first sched_window visible entries. The head
-  // is always eligible; a deeper entry is eligible when granting it cannot
-  // disturb an actively streamed row: it *hits* the open row of its bank
-  // ("first-ready" in FR-FCFS terms), or its bank is closed, or its bank
-  // has gone cold (no grant within the keep-alive window). Reordering
-  // misses onto warm rows would let different ports' stream phases spread
-  // and thrash the very locality the batching protects; reordering onto
-  // idle banks only relieves head-of-line blocking behind a hot bank.
-  // Program order per port is preserved for data by exact word-level
-  // dependencies: a read may not pass a pending write to the same word,
-  // and a write may not pass any pending access to the same word —
-  // accesses to different words commute (the response stream carries no
-  // data for writes, and reads of distinct words are independent). Each
-  // port offers each bank at most one entry, preferring an open-row hit.
-  // Ungranted same-row entries — eligible or not, backpressured or not —
-  // anchor the batching veto.
-  const sim::Cycle keepalive = t.tRP + t.tRCD;
-  std::fill(cand_entry_.begin(), cand_entry_.end(), 0u);
-  std::fill(same_row_pending_.begin(), same_row_pending_.end(), 0);
-  std::fill(granted_this_cycle_.begin(), granted_this_cycle_.end(), 0);
-  bool any_candidate = false;
-  for (unsigned p = 0; p < n; ++p) {
-    WordPort& port = *ports_[p];
-    const std::size_t limit =
-        std::min(cfg_.sched_window, port.req.visible_count(now));
-    if (limit == 0) continue;
-    std::deque<PendingEntry>& rob = rob_[p];
-    while (rob.size() < limit) {
-      // Decode once on entry: requests are immutable once enqueued, so the
-      // per-tick rescans below touch only cached fields.
-      const WordReq& rq = port.req.peek(rob.size());
-      PendingEntry e;
-      e.write = rq.write;
-      e.word = word_index(rq.addr);
-      e.bank = map_.bank_of(e.word);
-      e.row = map_.row_of(e.word);
-      rob.push_back(e);
+  // Settle the span accrual before this reschedule adds its own stalls.
+  if (now > 0) settle_stalls(now - 1);
+
+  // Refresh sweeps only on ticks that crossed a tREFI boundary (the lazy
+  // per-bank catch-up collapses any number of skipped epochs exactly);
+  // bank row state must be current before any candidate classification or
+  // veto reads it, and a closed row invalidates the holders' candidates.
+  if (t.tREFI != 0 && now >= next_refresh_sweep_) {
+    for (BankState& bank : banks_) refresh_update(bank, now);
+    next_refresh_sweep_ = (now / t.tREFI + 1) * t.tREFI;
+    for (unsigned p = 0; p < n; ++p) {
+      if (win_size_[p] != 0) mark_port_dirty(p);
     }
-    // Response-path backpressure never blocks granting: a granted entry
-    // waits in the release stage (bounded by the window) until the
-    // response FIFO has room, so a backpressured port keeps scheduling —
-    // and its pending entries keep anchoring the veto — instead of
-    // wedging behind its own out-of-order grants. (Gating grants on
-    // response occupancy deadlocks when a deep grant fills the budget the
-    // older head needs to release first.)
-    // Words of the ungranted entries scanned so far, for the word-level
-    // program-order hazards: a read may not pass a pending same-word
-    // write, a write may not pass any pending same-word access.
-    std::vector<std::uint64_t>& words = words_scratch_;
-    std::vector<std::uint64_t>& write_words = write_words_scratch_;
-    words.clear();
-    write_words.clear();
-    for (std::size_t i = 0; i < limit; ++i) {
-      PendingEntry& e = rob[i];
-      if (e.granted) continue;  // served, awaiting in-order release
-      const unsigned b = e.bank;
-      const bool hits_open_row =
-          banks_[b].row_open && banks_[b].open_row == e.row;
-      if (hits_open_row) same_row_pending_[b] = 1;
-      bool eligible;
-      if (i == 0) {
-        eligible = true;
-      } else if (!e.write) {
-        // Deep reads only where they cannot disturb a streamed row: a hit,
-        // a closed bank, or a bank gone cold.
-        const bool bank_undisturbed =
-            hits_open_row || !banks_[b].row_open ||
-            !(banks_[b].granted_ever &&
-              now - banks_[b].last_grant_at <= keepalive);
-        eligible = bank_undisturbed;
-        if (eligible && !write_words.empty()) {
-          for (const std::uint64_t w : write_words) {
-            if (w == e.word) {
-              eligible = false;
-              break;
-            }
-          }
+  }
+
+  // ---- candidate maintenance ------------------------------------------
+  // Rebuild only the ports whose inputs changed — arrivals, grants,
+  // releases, row-state changes on banks they hold entries on — or whose
+  // warm->cold horizon arrived. See rescan_port for the eligibility and
+  // hazard rules; the scan is unchanged, it just no longer runs per tick
+  // per port. The global rescan clock is a stale-early lower bound, so
+  // when it comes due the per-port clocks decide, and the bound is
+  // rebuilt exactly.
+  std::uint64_t scan = dirty_ports_;
+  dirty_ports_ = 0;
+  const bool recompute_due = min_recompute_at_ <= now;
+  if (recompute_due) {
+    for (unsigned p = 0; p < n; ++p) {
+      if (port_recompute_at_[p] > now || ((scan >> p) & 1) != 0) continue;
+      // Cold horizons name their banks: rebuild exactly those banks (the
+      // rest of the port's cached view did not change with time alone).
+      std::uint64_t cb = port_cold_banks_[p];
+      port_cold_banks_[p] = 0;
+      port_recompute_at_[p] = sim::kNeverCycle;
+      const sim::Cycle keepalive = t.tRP + t.tRCD;
+      for (; cb != 0; cb &= cb - 1) {
+        const unsigned cbk = ctz64(cb);
+        const BankState& bank = banks_[cbk];
+        if (bank.granted_ever && bank.row_open &&
+            now - bank.last_grant_at <= keepalive) {
+          // The bank was re-granted since the fold and is still warm and
+          // open: the blocked deep reads stay blocked, so nothing to
+          // rebuild — just refold the new cold horizon. (A stale bit —
+          // no blocked read left — costs one refold per keepalive span
+          // until the bank actually cools and the rescan clears it.)
+          fold_recompute_at(p, cbk, bank.last_grant_at + keepalive + 1);
+        } else {
+          rescan_bank(p, cbk, now);
         }
-      } else {
-        // Deep writes are held to open-row hits (opening a row for a
-        // write the stream has moved past is never worth it).
-        eligible = hits_open_row;
-        if (eligible) {
-          for (const std::uint64_t w : words) {
-            if (w == e.word) {
-              eligible = false;
-              break;
-            }
-          }
-        }
-      }
-      words.push_back(e.word);
-      if (e.write) write_words.push_back(e.word);
-      if (!eligible) continue;
-      const std::size_t slot =
-          static_cast<std::size_t>(p) * num_banks + b;
-      if (cand_entry_[slot] == 0) {
-        cand_entry_[slot] = static_cast<std::uint32_t>(i) + 1;
-        cand_hit_[slot] = hits_open_row;
-        any_candidate = true;
-      } else if (hits_open_row && !cand_hit_[slot]) {
-        cand_entry_[slot] = static_cast<std::uint32_t>(i) + 1;
-        cand_hit_[slot] = 1;
       }
     }
   }
-  if (!any_candidate) return;
+  for (std::uint64_t m = scan; m != 0; m &= m - 1) {
+    rescan_port(ctz64(m), now);
+  }
+  if (recompute_due) {
+    min_recompute_at_ = sim::kNeverCycle;
+    for (unsigned p = 0; p < n; ++p) {
+      if (port_recompute_at_[p] < min_recompute_at_) {
+        min_recompute_at_ = port_recompute_at_[p];
+      }
+    }
+  }
+
+  const std::uint64_t all_mask = live_banks_;
 
   // ---- per-bank FR-FCFS ------------------------------------------------
   // Among each bank's contenders, grant a *timing-legal* row hit first,
   // else a timing-legal miss/closed access (subject to the row-batching
   // veto); ties break round-robin by port index. A port is granted at most
-  // once per cycle.
-  for (unsigned b = 0; b < num_banks; ++b) {
-    std::vector<unsigned>& contenders = contender_scratch_;
-    contenders.clear();
-    for (unsigned p = 0; p < n; ++p) {
-      if (granted_this_cycle_[p]) continue;
-      if (cand_entry_[static_cast<std::size_t>(p) * num_banks + b] != 0) {
-        contenders.push_back(p);
-      }
-    }
-    if (contenders.empty()) continue;
-    BankState& bank = banks_[b];
+  // once per cycle. Only banks with live candidates are visited, in
+  // ascending order (the grant order — and with it fault ordinals, traces
+  // and stats — matches the full scan exactly). While arbitrating, every
+  // cycle at which a currently-illegal move could become legal — or the
+  // stall attribution could flip — is folded into `horizon`.
+  std::uint64_t grants_this_tick = 0;
+  std::uint64_t stall_count = 0;
+  bool defer_accounting = false;
+  sim::Cycle horizon = sim::kNeverCycle;
+  const auto bound = [&horizon](sim::Cycle c) {
+    if (c < horizon) horizon = c;
+  };
 
+  if (all_mask != 0) {
+    std::uint64_t granted_ports = 0;  // per-port once-per-cycle grant latch
+    const sim::Cycle keepalive = t.tRP + t.tRCD;
     // An activate/column sequence must complete before the next refresh
     // window opens — a controller never starts a row cycle it would have
     // to interrupt for refresh.
     const sim::Cycle no_col_from =
-        t.tREFI == 0 ? std::numeric_limits<sim::Cycle>::max()
-                     : (now / t.tREFI + 1) * t.tREFI;
-    bool refresh_deferred = false;
-    unsigned hit_first = kNone, hit_first_ge = kNone;
-    std::vector<unsigned>& legal_other = pick_scratch_;
-    legal_other.clear();  // timing-legal closed/miss contenders, port order
-    for (const unsigned q : contenders) {
-      const std::size_t slot = static_cast<std::size_t>(q) * num_banks + b;
-      if (cand_hit_[slot]) {
-        // Row hit: the column command issues immediately.
-        if (now < bank.next_col) continue;
-        if (hit_first == kNone) hit_first = q;
-        if (hit_first_ge == kNone && q >= rr_[b]) hit_first_ge = q;
-      } else if (!bank.row_open) {
-        // Closed bank: activate must be legal, and the column command it
-        // leads to must respect the bank's column spacing and finish
-        // before the next refresh window.
-        if (now + t.tRCD >= no_col_from) {
-          refresh_deferred = true;
-          continue;
-        }
-        if (now < bank.next_act || now + t.tRCD < bank.next_col) continue;
-        legal_other.push_back(q);
-      } else {
-        // Row conflict: precharge is legal only tRAS after the activate
-        // that opened the current row, and the full precharge-activate-
-        // column sequence must clear the next refresh window.
-        if (now + t.tRP + t.tRCD >= no_col_from) {
-          refresh_deferred = true;
-          continue;
-        }
-        if (now < bank.act_at + t.tRAS || now < bank.next_act ||
-            now + t.tRP + t.tRCD < bank.next_col) {
-          continue;
-        }
-        legal_other.push_back(q);
-      }
-    }
+        t.tREFI == 0 ? sim::kNeverCycle : (now / t.tREFI + 1) * t.tREFI;
+    for (std::uint64_t bmask = all_mask; bmask != 0; bmask &= bmask - 1) {
+      const unsigned b = ctz64(bmask);
+      const std::uint64_t contenders = bank_ports_[b] & ~granted_ports;
+      if (contenders == 0) continue;
+      BankState& bank = banks_[b];
 
-    // All legal non-hit contenders share one kind: the bank is either
-    // closed (activate only) or holds a conflicting row (full row cycle).
-    const DramGrant::Kind other_kind =
-        bank.row_open ? DramGrant::Kind::miss : DramGrant::Kind::closed;
-    // Starvation cap: a timing-legal row miss spends one cycle of its
-    // deferral budget every cycle it is passed over — whether by the
-    // batching veto or by hit-priority — and wins unconditionally once the
-    // budget is gone. Misses eventually beat any hit stream.
-    std::vector<unsigned>& starved = starved_scratch_;
-    starved.clear();
-    if (batching_enabled() && other_kind == DramGrant::Kind::miss) {
-      for (const unsigned q : legal_other) {
-        const std::size_t entry =
-            cand_entry_[static_cast<std::size_t>(q) * num_banks + b] - 1;
-        if (rob_[q][entry].defer_cycles >= cfg_.starve_cap) {
-          starved.push_back(q);
+      bool refresh_deferred = false;
+      std::uint64_t hit_mask = 0;     // timing-legal row-hit contenders
+      std::uint64_t legal_other = 0;  // timing-legal closed/miss contenders
+      for (std::uint64_t cm = contenders; cm != 0; cm &= cm - 1) {
+        const unsigned q = ctz64(cm);
+        const std::size_t slot = static_cast<std::size_t>(q) * num_banks + b;
+        if (cand_hit_[slot]) {
+          // Row hit: the column command issues immediately.
+          if (now < bank.next_col) {
+            bound(bank.next_col);
+            continue;
+          }
+          hit_mask |= std::uint64_t{1} << q;
+        } else if (!bank.row_open) {
+          // Closed bank: activate must be legal, and the column command it
+          // leads to must respect the bank's column spacing and finish
+          // before the next refresh window.
+          if (now + t.tRCD >= no_col_from) {
+            // Schedulable again only past the boundary (bounded globally).
+            refresh_deferred = true;
+            continue;
+          }
+          if (no_col_from != sim::kNeverCycle) {
+            bound(no_col_from - t.tRCD);  // deferral flips on here
+          }
+          const sim::Cycle legal_at = std::max(
+              bank.next_act,
+              bank.next_col > t.tRCD ? bank.next_col - t.tRCD : 0);
+          if (legal_at > now) {
+            bound(legal_at);
+            continue;
+          }
+          legal_other |= std::uint64_t{1} << q;
+        } else {
+          // Row conflict: precharge is legal only tRAS after the activate
+          // that opened the current row, and the full precharge-activate-
+          // column sequence must clear the next refresh window.
+          const sim::Cycle row_cycle = t.tRP + t.tRCD;
+          if (now + row_cycle >= no_col_from) {
+            refresh_deferred = true;
+            continue;
+          }
+          if (no_col_from != sim::kNeverCycle) {
+            bound(no_col_from - row_cycle);  // deferral flips on here
+          }
+          const sim::Cycle legal_at = std::max(
+              std::max(bank.act_at + t.tRAS, bank.next_act),
+              bank.next_col > row_cycle ? bank.next_col - row_cycle : 0);
+          if (legal_at > now) {
+            bound(legal_at);
+            continue;
+          }
+          legal_other |= std::uint64_t{1} << q;
         }
       }
-    }
 
-    unsigned chosen = kNone;
-    DramGrant::Kind kind = DramGrant::Kind::hit;
-    if (!starved.empty()) {
-      chosen = pick_rr(starved, rr_[b]);
-      kind = other_kind;
-      ++stats_.starved_grants;
-    } else if (hit_first != kNone) {
-      chosen = hit_first_ge != kNone ? hit_first_ge : hit_first;
-      if (batching_enabled()) {
-        // Legal misses passed over by this hit pay from their budget.
-        for (const unsigned q : legal_other) {
-          const std::size_t entry =
-              cand_entry_[static_cast<std::size_t>(q) * num_banks + b] - 1;
-          ++rob_[q][entry].defer_cycles;
+      // All legal non-hit contenders share one kind: the bank is either
+      // closed (activate only) or holds a conflicting row (full row cycle).
+      const DramGrant::Kind other_kind =
+          bank.row_open ? DramGrant::Kind::miss : DramGrant::Kind::closed;
+      // Entry of port q's candidate on this bank, as a window index.
+      const auto cand_index = [&](unsigned q) -> std::size_t {
+        return static_cast<std::size_t>(
+            cand_entry_[static_cast<std::size_t>(q) * num_banks + b] - 1 -
+            win_base_[q]);
+      };
+      // Starvation cap: a timing-legal row miss spends one cycle of its
+      // deferral budget every cycle it is passed over — whether by the
+      // batching veto or by hit-priority — and wins unconditionally once
+      // the budget is gone. Misses eventually beat any hit stream.
+      std::uint64_t starved = 0;
+      if (batching_enabled() && other_kind == DramGrant::Kind::miss) {
+        for (std::uint64_t m = legal_other; m != 0; m &= m - 1) {
+          const unsigned q = ctz64(m);
+          if (win_hot(q, cand_index(q)).defer_cycles >= cfg_.starve_cap) {
+            starved |= std::uint64_t{1} << q;
+          }
         }
       }
-    } else if (!legal_other.empty()) {
-      kind = other_kind;
-      const bool row_warm =
-          bank.granted_ever && now - bank.last_grant_at <= keepalive;
-      const bool veto = kind == DramGrant::Kind::miss && batching_enabled() &&
-                        same_row_pending_[b] != 0 && row_warm;
-      std::vector<unsigned>& exempt_writes = exempt_scratch_;
-      exempt_writes.clear();
-      if (veto) {
-        // Write misses are exempt from the veto: a write is near the head
-        // of its port by construction, so deferring one stalls the whole
-        // port (everything behind it is blocked by program order), which
-        // costs far more than the row it would close. Only the writes
-        // themselves are granted through the veto — read misses at the
-        // same bank stay deferred.
-        for (const unsigned q : legal_other) {
-          const std::size_t entry =
-              cand_entry_[static_cast<std::size_t>(q) * num_banks + b] - 1;
-          if (rob_[q][entry].write) exempt_writes.push_back(q);
+
+      unsigned chosen = kNone;
+      DramGrant::Kind kind = DramGrant::Kind::hit;
+      if (starved != 0) {
+        chosen = pick_rr(starved, rr_[b]);
+        kind = other_kind;
+        ++stats_.starved_grants;
+      } else if (hit_mask != 0) {
+        chosen = pick_rr(hit_mask, rr_[b]);
+        if (batching_enabled()) {
+          // Legal misses passed over by this hit pay from their budget.
+          for (std::uint64_t m = legal_other; m != 0; m &= m - 1) {
+            const unsigned q = ctz64(m);
+            ++win_hot(q, cand_index(q)).defer_cycles;
+          }
+        }
+      } else if (legal_other != 0) {
+        kind = other_kind;
+        const bool row_warm =
+            bank.granted_ever && now - bank.last_grant_at <= keepalive;
+        bool veto = kind == DramGrant::Kind::miss && batching_enabled() &&
+                    row_warm;
+        if (veto) {
+          // Veto anchors (any port's ungranted open-row hit on this bank)
+          // are checked on demand: far fewer miss considerations than
+          // ticks, so this beats re-aggregating a global mask per tick.
+          veto = false;
+          const std::uint64_t bb = std::uint64_t{1} << b;
+          for (unsigned q = 0; q < n; ++q) {
+            if ((port_samerow_mask_[q] & bb) != 0) {
+              veto = true;
+              break;
+            }
+          }
+        }
+        std::uint64_t exempt_writes = 0;
+        if (veto) {
+          // Write misses are exempt from the veto: a write is near the
+          // head of its port by construction, so deferring one stalls the
+          // whole port (everything behind it is blocked by program order),
+          // which costs far more than the row it would close. Only the
+          // writes themselves are granted through the veto — read misses
+          // at the same bank stay deferred.
+          for (std::uint64_t m = legal_other; m != 0; m &= m - 1) {
+            const unsigned q = ctz64(m);
+            if (win_hot(q, cand_index(q)).write) {
+              exempt_writes |= std::uint64_t{1} << q;
+            }
+          }
+        }
+        if (!veto) {
+          chosen = pick_rr(legal_other, rr_[b]);
+        } else if (exempt_writes != 0) {
+          chosen = pick_rr(exempt_writes, rr_[b]);
+        } else {
+          // Every legal miss spends one cycle of its budget and the open
+          // row survives for the pending same-row work. Budgets accrue
+          // per cycle, so veto cycles must be ticked one by one.
+          for (std::uint64_t m = legal_other; m != 0; m &= m - 1) {
+            const unsigned q = ctz64(m);
+            ++win_hot(q, cand_index(q)).defer_cycles;
+          }
+          ++stats_.batch_defer_cycles;
+          defer_accounting = true;
+          continue;
         }
       }
-      if (!veto) {
-        chosen = pick_rr(legal_other, rr_[b]);
-      } else if (!exempt_writes.empty()) {
-        chosen = pick_rr(exempt_writes, rr_[b]);
-      } else {
-        // Every legal miss spends one cycle of its budget and the open
-        // row survives for the pending same-row work.
-        for (const unsigned q : legal_other) {
-          const std::size_t entry =
-              cand_entry_[static_cast<std::size_t>(q) * num_banks + b] - 1;
-          ++rob_[q][entry].defer_cycles;
+      if (chosen == kNone) {
+        // Contenders exist but none is timing-legal this cycle; attribute
+        // the stall to refresh when the bank sits inside (or right behind)
+        // a refresh window, or deferred a row cycle to clear the next one.
+        // The count per span cycle is constant (the horizon is bounded by
+        // every flip point), so skipped cycles settle at stall_rate_ each.
+        if (now < bank.refresh_block_until || refresh_deferred) {
+          ++stats_.refresh_stall_cycles;
+          ++stall_count;
+          if (now < bank.refresh_block_until) {
+            bound(bank.refresh_block_until);
+          }
         }
-        ++stats_.batch_defer_cycles;
         continue;
       }
-    }
-    if (chosen == kNone) {
-      // Contenders exist but none is timing-legal this cycle; attribute
-      // the stall to refresh when the bank sits inside (or right behind)
-      // a refresh window, or deferred a row cycle to clear the next one.
-      if (now < bank.refresh_block_until || refresh_deferred) {
-        ++stats_.refresh_stall_cycles;
+      const unsigned ncontend = popcount64(contenders);
+      if (ncontend > 1) {
+        stats_.conflict_losses += ncontend - 1;
       }
-      continue;
+      rr_[b] = (chosen + 1) % n;
+      ++grants_this_tick;
+      granted_ports |= std::uint64_t{1} << chosen;
+      grant(chosen, cand_index(chosen), b, kind, now);
     }
-    if (contenders.size() > 1) {
-      stats_.conflict_losses += contenders.size() - 1;
-    }
-    rr_[b] = (chosen + 1) % n;
-    grant(chosen,
-          cand_entry_[static_cast<std::size_t>(chosen) * num_banks + b] - 1,
-          b, kind, now);
   }
 
-  // Grants made this cycle whose entry sits at a port's head release now,
-  // matching the head-only scheduler's response timing exactly.
-  release_responses(now);
+  if (grants_this_tick != 0) {
+    // Grants made this cycle whose entry sits at a port's head release
+    // now, matching the head-only scheduler's response timing exactly.
+    release_responses(now);
+  }
+
+  // ---- horizon ---------------------------------------------------------
+  // Fold in the maintained event times: the (stale-early) global
+  // warm->cold rescan clock and the visibility of the next in-flight
+  // request that would grow a window (kept current by absorb_arrivals and
+  // the post-grant release above). A stale-early rescan clock at worst
+  // schedules a tick that rescans nothing and re-tightens the bound.
+  bound(min_recompute_at_);
+  bound(next_arrival_);
+  // Pending work must observe every refresh boundary (state flips there).
+  if (all_mask != 0 && t.tREFI != 0) bound(next_refresh_sweep_);
+
+  // A tick that granted, released or paid deferral budgets invalidates the
+  // horizon computed above — reschedule next cycle. Otherwise nothing can
+  // change before `horizon`, and the skipped cycles each stall exactly
+  // `stall_count` banks.
+  const bool acted = released || grants_this_tick != 0 || defer_accounting ||
+                     dirty_ports_ != 0;
+  next_sched_at_ =
+      acted ? now + 1
+            : (horizon == sim::kNeverCycle ? horizon
+                                           : std::max(horizon, now + 1));
+  stall_rate_ = stall_count;
+  stalls_settled_to_ = now;
+  wake_hint_ = blocked_release_ ? 0 : next_sched_at_;
 }
 
 }  // namespace axipack::mem

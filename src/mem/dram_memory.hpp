@@ -51,15 +51,52 @@
 // Like BankXbar, the component is a *pure request server*: every grant
 // decision is a deterministic function of the visible request FIFOs, the
 // current cycle, and per-bank/per-entry state that only changes on ticks
-// with visible requests. A granted-but-unreleased request stays in its
-// request Fifo until release, so all pending work — including the release
-// stage's — keeps the component awake through request visibility alone;
-// quiescent() == true stays trivially correct, and nothing ever needs to
-// tick while no request is pending.
+// with visible requests.
+//
+// Event-driven scheduling (the tick() hot path)
+// ---------------------------------------------
+// tick() does not rebuild the scheduler's view of the world every cycle.
+// Instead:
+//
+//  * Candidate state is *dirty-tracked per port*: the per-(port, bank)
+//    candidate slots, the per-port bank/interest/same-row bitmasks and the
+//    hazard classification survive across cycles, and a port is rescanned
+//    only when its inputs changed — a request became visible, one of its
+//    entries was granted or released, a bank it has entries on changed row
+//    state (grant or refresh), or a bank it was blocked behind crossed the
+//    warm->cold keep-alive boundary (`port_recompute_at_`).
+//  * Arbitration visits only banks with live candidates, via a bank
+//    bitmask OR-ed from the per-port masks (num_banks <= 64, validated).
+//  * All bank timers are folded into one horizon: when a tick ends with no
+//    grant, no release and no deferral accounting, the earliest future
+//    cycle at which *any* scheduling predicate can change — column/
+//    activate/precharge legality, refresh-window expiry, the refresh
+//    deferral flip-on points before a tREFI boundary, the boundary itself,
+//    warm->cold transitions, and the visibility time of every in-flight
+//    request — is computed (`next_sched_at_`), and ticks before it reduce
+//    to a release poll plus constant-rate stall accounting. Refresh is
+//    swept into bank state only at ticks that crossed a tREFI boundary
+//    (multi-epoch catch-up is exact), not re-checked per bank per cycle.
+//  * The same horizon backs a real sleep protocol: quiescent() is true,
+//    and wake_hint() publishes `next_sched_at_` so the kernel can sleep
+//    the component *through* tRCD/tRP/tRFC waits even while requests sit
+//    visible in its FIFOs (see Component::wake_hint). The hint is withheld
+//    (0) whenever per-cycle work remains: a granted head response blocked
+//    by a full response FIFO, or batching-veto cycles whose per-entry
+//    deferral budgets accrue each cycle. Refresh-stall statistics over a
+//    skipped span are settled in bulk (`stall_rate_` x cycles, flushed
+//    lazily), and are exactly what per-cycle ticking would have counted —
+//    the horizon is bounded by every cycle at which the stall predicate
+//    could flip.
+//
+// The result is bit- and cycle-identical to the per-cycle rescan (the
+// equivalence suite diff-tests gated vs naive, and naive mode itself
+// early-outs through the same horizon), but grants cost work proportional
+// to the ports/banks actually contending, and blocked stretches cost
+// nothing at all.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -136,10 +173,22 @@ class DramMemory final : public WordMemory, public sim::Component {
   /// entries in subscribed request Fifos, and all timing state is
   /// evaluated lazily.
   bool quiescent() const override { return true; }
+  /// Event-driven sleep: the earliest future cycle any scheduling
+  /// predicate can change (see the file header). 0 while per-cycle work
+  /// remains (blocked release, veto accounting); sim::kNeverCycle when
+  /// only a new request can create work.
+  sim::Cycle wake_hint() const override { return wake_hint_; }
 
   const DramAddressMap& map() const { return map_; }
   const DramTimingConfig& timing() const { return cfg_.timing; }
-  const DramStats& stats() const { return stats_; }
+  /// Counters are exact at any cycle: a query mid-span settles the bulk
+  /// refresh-stall accrual for the cycles ticked past (or slept through)
+  /// so far, so observers never see a partially-accounted window.
+  const DramStats& stats() const {
+    const sim::Cycle now = kernel_.now();
+    if (now > 0) settle_stalls(now - 1);
+    return stats_;
+  }
   bool batching_enabled() const {
     return cfg_.sched_window > 1 && cfg_.starve_cap > 0;
   }
@@ -166,20 +215,27 @@ class DramMemory final : public WordMemory, public sim::Component {
     bool granted_ever = false;           ///< last_grant_at is meaningful
   };
 
-  /// Scheduler-side state of one request-FIFO entry; rob_[p][i] parallels
-  /// the i-th item (from the head) of port p's request Fifo. The address
+  /// Scheduler-hot state of one window entry; win_hot(p, i) parallels the
+  /// i-th item (from the head) of port p's request Fifo. The address
   /// decomposition is cached at entry (requests are immutable once
-  /// enqueued), and granted entries keep their computed response here
-  /// until the in-order release stage pops both together.
-  struct PendingEntry {
-    bool granted = false;
-    bool write = false;           ///< cached from the request
-    unsigned bank = 0;            ///< cached map_.bank_of
-    sim::Cycle defer_cycles = 0;  ///< starvation budget spent while vetoed
-    sim::Cycle ready_at = 0;      ///< data-ready cycle of the granted access
-    std::uint64_t word = 0;       ///< cached word index
-    std::uint64_t row = 0;        ///< cached map_.row_of
+  /// enqueued). Kept to 24 bytes on purpose: rescans stream these, and the
+  /// rescan is the scheduler's hot loop.
+  struct HotEntry {
+    std::uint64_t word = 0;  ///< cached word index
+    std::uint64_t row = 0;   ///< cached map_.row_of
+    /// Starvation budget spent while vetoed. 32 bits bound the budget an
+    /// entry can accrue during its (bounded) window residence.
+    std::uint32_t defer_cycles = 0;
+    std::uint16_t bank = 0;   ///< cached map_.bank_of
+    std::uint8_t write = 0;   ///< cached from the request
+    std::uint8_t granted = 0; ///< served, awaiting in-order release
+  };
+
+  /// Release-stage state of a granted entry (written once per grant, read
+  /// once per release — kept out of the rescan stream).
+  struct ColdEntry {
     WordResp resp;
+    sim::Cycle ready_at = 0;  ///< data-ready cycle of the granted access
   };
 
   std::uint64_t word_index(std::uint64_t addr) const {
@@ -188,12 +244,63 @@ class DramMemory final : public WordMemory, public sim::Component {
 
   /// Lazily applies any refresh windows that started since the bank was
   /// last considered: the row is closed and activates are pushed past the
-  /// window's end.
+  /// window's end. Multi-epoch catch-up (a sleep spanning several tREFI
+  /// boundaries) collapses to the latest window exactly.
   void refresh_update(BankState& b, sim::Cycle now);
 
   /// Pops granted heads off each port, pushing their responses (with the
   /// remaining data latency) into the response FIFO in request order.
-  void release_responses(sim::Cycle now);
+  /// Returns true when anything was released (the windows slid); leaves
+  /// blocked_release_ = a granted head is parked behind a full response
+  /// FIFO, which forces per-cycle release polling (no sleep).
+  bool release_responses(sim::Cycle now);
+
+  /// Decodes newly visible requests into the window rings (decode-once)
+  /// and dirties the ports whose windows grew. Returns true if any grew.
+  bool absorb_arrivals(sim::Cycle now);
+
+  /// Rebuilds one dirty port's candidate slots, bitmasks and hazard
+  /// classification from its window (the only full window scan left).
+  void rescan_port(unsigned p, sim::Cycle now);
+
+  /// Settles the constant-rate refresh-stall accrual for all fully
+  /// elapsed cycles up to and including `through`.
+  void settle_stalls(sim::Cycle through) const {
+    if (through > stalls_settled_to_) {
+      if (stall_rate_ != 0) {
+        stats_.refresh_stall_cycles +=
+            stall_rate_ * (through - stalls_settled_to_);
+      }
+      stalls_settled_to_ = through;
+    }
+  }
+
+  void mark_port_dirty(unsigned p) { dirty_ports_ |= std::uint64_t{1} << p; }
+  bool port_dirty(unsigned p) const {
+    return ((dirty_ports_ >> p) & 1) != 0;
+  }
+
+  /// Adds/removes port `p` to bank `b`'s contender mask, keeping the
+  /// global live-bank mask in sync (a bank is live while any port offers
+  /// it a candidate).
+  void bank_ports_add(unsigned b, unsigned p) {
+    bank_ports_[b] |= std::uint64_t{1} << p;
+    live_banks_ |= std::uint64_t{1} << b;
+  }
+  void bank_ports_remove(unsigned b, unsigned p) {
+    bank_ports_[b] &= ~(std::uint64_t{1} << p);
+    if (bank_ports_[b] == 0) live_banks_ &= ~(std::uint64_t{1} << b);
+  }
+
+  /// Folds a warm->cold horizon on bank `b` into port `p`'s rescan clock
+  /// and the global lower bound (both allowed to run stale-early — a
+  /// spurious rescan is harmless, a missed one is not), and records the
+  /// bank so the clock can be serviced by single-bank rescans.
+  void fold_recompute_at(unsigned p, unsigned b, sim::Cycle c) {
+    port_cold_banks_[p] |= std::uint64_t{1} << b;
+    if (c < port_recompute_at_[p]) port_recompute_at_[p] = c;
+    if (c < min_recompute_at_) min_recompute_at_ = c;
+  }
 
   /// Serves entry `entry` of port `port_idx` on bank `bank_idx` at cycle
   /// `now` (timing already validated): performs the store access, stores
@@ -202,6 +309,14 @@ class DramMemory final : public WordMemory, public sim::Component {
   void grant(unsigned port_idx, std::size_t entry, unsigned bank_idx,
              DramGrant::Kind kind, sim::Cycle now);
 
+  /// Rebuilds port `p`'s candidate, anchor bits and cold horizon for bank
+  /// `b` alone, walking only b's entry chain. Exact at any instant — the
+  /// word-level hazard rules are bank-local (same word implies same bank),
+  /// so a change confined to bank b (a grant on b, an append on b) never
+  /// perturbs the port's cached view of any other bank. Replaces the full
+  /// rescan for every grant-time repair and deep-append fallback.
+  void rescan_bank(unsigned p, unsigned b, sim::Cycle now);
+
   BackingStore& store_;
   sim::Kernel& kernel_;
   DramMemoryConfig cfg_;
@@ -209,22 +324,90 @@ class DramMemory final : public WordMemory, public sim::Component {
   std::vector<std::unique_ptr<WordPort>> ports_;
   std::vector<BankState> banks_;
   std::vector<unsigned> rr_;  ///< per-bank round-robin pointer
-  std::vector<std::deque<PendingEntry>> rob_;       ///< per-port entry state
-  DramStats stats_;
+  mutable DramStats stats_;  ///< mutable: stats() settles bulk stall accrual
   std::vector<DramGrant>* trace_ = nullptr;
   sim::FaultPlan* faults_ = nullptr;
-  // Per-tick scratch (hot path, allocated once). cand_* are [port][bank]
-  // flattened: the window entry each port offers each bank this cycle.
-  std::vector<std::uint32_t> cand_entry_;  ///< entry index + 1 (0 = none)
+  // Per-port scheduling window: a power-of-two ring (capacity >= the
+  // effective window, min(sched_window, req_depth)) of decode-once
+  // entries. Entries are addressed by *absolute* id — win_base_[p] is the
+  // id of the current head — so a release (pop) shifts no cached indices.
+  std::vector<HotEntry> win_hot_;        ///< [port][slot] flattened
+  std::vector<ColdEntry> win_cold_;      ///< [port][slot] flattened
+  std::vector<std::uint32_t> win_head_;  ///< ring slot of the head entry
+  std::vector<std::uint32_t> win_size_;  ///< entries currently in the window
+  std::vector<std::uint64_t> win_base_;  ///< absolute id of the head entry
+  std::uint32_t win_cap_ = 1;            ///< ring capacity (power of two)
+
+  HotEntry& win_hot(unsigned p, std::size_t i) {
+    return win_hot_[static_cast<std::size_t>(p) * win_cap_ +
+                    ((win_head_[p] + i) & (win_cap_ - 1))];
+  }
+  const HotEntry& win_hot(unsigned p, std::size_t i) const {
+    return win_hot_[static_cast<std::size_t>(p) * win_cap_ +
+                    ((win_head_[p] + i) & (win_cap_ - 1))];
+  }
+  ColdEntry& win_cold(unsigned p, std::size_t i) {
+    return win_cold_[static_cast<std::size_t>(p) * win_cap_ +
+                     ((win_head_[p] + i) & (win_cap_ - 1))];
+  }
+
+  /// Flat ring slot of the live entry with absolute id `id`. Invariant
+  /// over the entry's window residence: pops advance win_head_ and
+  /// win_base_ together, so the difference below never moves.
+  std::size_t slot_of(unsigned p, std::uint64_t id) const {
+    return static_cast<std::size_t>(p) * win_cap_ +
+           ((win_head_[p] +
+             static_cast<std::uint32_t>(id - win_base_[p])) &
+            (win_cap_ - 1));
+  }
+
+  // Persistent candidate caches (dirty-tracked, NOT refilled per tick).
+  // cand_* are [port][bank] flattened: the window entry each port offers
+  // each bank; valid only for banks set in port_bank_mask_.
+  std::vector<std::uint64_t> cand_entry_;  ///< absolute entry id + 1 (0 = none)
   std::vector<std::uint8_t> cand_hit_;     ///< candidate targets the open row
-  std::vector<std::uint8_t> same_row_pending_;  ///< per-bank veto anchor
-  std::vector<std::uint8_t> granted_this_cycle_;  ///< per-port grant latch
-  std::vector<unsigned> contender_scratch_;
-  std::vector<unsigned> pick_scratch_;
-  std::vector<unsigned> starved_scratch_;
-  std::vector<unsigned> exempt_scratch_;
+  std::vector<std::uint64_t> bank_ports_;  ///< per-bank contender port mask
+  /// Ungranted writes currently in the window. While 0, reads have no
+  /// word hazards by construction (hazard sources are pending writes), so
+  /// an appended read hit may upgrade its bank slot without a rescan.
+  std::vector<std::uint32_t> port_ungranted_writes_;
   std::vector<std::uint64_t> words_scratch_;        ///< hazard-scan helpers
   std::vector<std::uint64_t> write_words_scratch_;
+  // ---- event-driven scheduler state (see file header) ------------------
+  std::uint64_t dirty_ports_ = 0;  ///< ports whose candidate cache needs rescan
+  std::uint64_t live_banks_ = 0;   ///< banks with a nonzero contender mask
+  std::uint64_t release_ports_ = 0;  ///< ports whose head entry is granted
+  std::vector<std::uint64_t> port_bank_mask_;      ///< banks with a candidate
+  std::vector<std::uint64_t> port_interest_mask_;  ///< banks with ungranted entries
+  std::vector<std::uint64_t> port_samerow_mask_;   ///< banks with an ungranted open-row hit (veto anchors)
+  // Per-(port,bank) chains threading each window's entries by bank, in
+  // window order (ids ascend along a chain). Purely structural — valid
+  // regardless of dirty/eligibility state: absorb_arrivals appends,
+  // release_responses unlinks popped heads, and recompute_bank_candidate
+  // additionally slides chain heads past granted entries (permanent:
+  // granted never reverts). They let the single-bank candidate recompute
+  // touch same-bank entries only instead of striding the whole window.
+  std::vector<std::uint64_t> chain_next_;  ///< [port][slot]: next id+1 on bank
+  std::vector<std::uint64_t> chain_head_;  ///< [port][bank]: first id+1 (0=none)
+  std::vector<std::uint64_t> chain_tail_;  ///< [port][bank]: last id+1 (0=none)
+  std::vector<sim::Cycle> port_recompute_at_;  ///< earliest warm->cold rescan
+  /// Banks with a pending warm->cold fold behind port_recompute_at_: the
+  /// clock is serviced by rebuilding exactly these banks (rescan_bank),
+  /// not the whole window.
+  std::vector<std::uint64_t> port_cold_banks_;
+  /// Lower bound on min(port_recompute_at_): min-updated on folds, rebuilt
+  /// exactly whenever it comes due (stale-early at worst).
+  sim::Cycle min_recompute_at_ = sim::kNeverCycle;
+  /// Visibility time of the earliest in-flight request that would grow a
+  /// non-full window; recomputed by absorb_arrivals each tick and advanced
+  /// by release_responses when pops free window slots.
+  sim::Cycle next_arrival_ = sim::kNeverCycle;
+  sim::Cycle next_refresh_sweep_ = 0;  ///< first tREFI boundary not yet applied
+  sim::Cycle next_sched_at_ = 0;  ///< horizon: earliest scheduling-predicate flip
+  sim::Cycle wake_hint_ = 0;      ///< published to the kernel (0 = must poll)
+  bool blocked_release_ = false;  ///< granted head parked on a full resp FIFO
+  std::uint64_t stall_rate_ = 0;  ///< refresh-stalled banks per span cycle
+  mutable sim::Cycle stalls_settled_to_ = 0;  ///< stall accrual complete through here
 };
 
 }  // namespace axipack::mem

@@ -51,22 +51,31 @@ void Kernel::try_sleep(std::uint32_t i) {
     return;
   }
   const std::vector<FifoBase*>& subs = subs_[i];
-  const std::size_t n = subs.size();
-  // Start scanning at the subscription that kept us awake last time: in
-  // steady streaming the same input stays visible, making the scan O(1).
-  const std::size_t hint = sub_hint_[i] < n ? sub_hint_[i] : 0;
   Cycle next_wake = kNever;
-  for (std::size_t k = 0; k < n; ++k) {
-    std::size_t j = hint + k;
-    if (j >= n) j -= n;
-    const FifoBase* f = subs[j];
-    if (f->size_ == 0) continue;
-    if (f->head_visible_ <= cycle_) {  // visible work: stay awake
-      sub_hint_[i] = j;
-      defer_sleep_check(i);
-      return;
+  const Cycle timed = c->wake_hint();
+  if (timed > cycle_) {
+    // The component vouches its tick() is a no-op until `timed` even with
+    // visible subscribed input (a timing window, with the visibility of
+    // every already-enqueued item folded into the hint) — sleep through
+    // it. New pushes while asleep still wake earlier via notify_push.
+    next_wake = timed;
+  } else {
+    const std::size_t n = subs.size();
+    // Start scanning at the subscription that kept us awake last time: in
+    // steady streaming the same input stays visible, making the scan O(1).
+    const std::size_t hint = sub_hint_[i] < n ? sub_hint_[i] : 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      std::size_t j = hint + k;
+      if (j >= n) j -= n;
+      const FifoBase* f = subs[j];
+      if (f->size_ == 0) continue;
+      if (f->head_visible_ <= cycle_) {  // visible work: stay awake
+        sub_hint_[i] = j;
+        defer_sleep_check(i);
+        return;
+      }
+      next_wake = std::min(next_wake, f->head_visible_);
     }
-    next_wake = std::min(next_wake, f->head_visible_);
   }
   // A sleep/wake round-trip has real cost (subscription counters, wake
   // heap); napping through a short latency window is a net loss, so stay

@@ -30,6 +30,12 @@
 //    *visible* item in any Fifo it subscribed to is put to sleep and not
 //    ticked again until it is woken — by an item becoming visible on a
 //    subscribed Fifo, or by an explicit Kernel::wake() (see below).
+//  * A component whose idleness is bounded by *time* rather than by input
+//    (a DRAM bank waiting out tRCD/tRP/tRFC with requests already queued)
+//    can additionally publish a wake_hint(): a future cycle before which
+//    its tick() is a no-op even though subscribed input is visible. The
+//    kernel then sleeps it through the window and wakes it at the hint;
+//    pushes that arrive while it sleeps still wake it earlier.
 //  * When every component is asleep and only Fifo latency timers are
 //    pending, run()/run_until() fast-forward the clock to the next
 //    scheduled wake-up instead of stepping through dead cycles.
@@ -68,6 +74,10 @@ namespace axipack::sim {
 
 using Cycle = std::uint64_t;
 
+/// "No scheduled event": the far-future sentinel used by wake hints and the
+/// kernel's wake bookkeeping.
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
 class Kernel;
 class FifoBase;
 
@@ -80,6 +90,16 @@ class Component {
   /// Activity hook: true iff tick() is a no-op now and stays one until new
   /// input arrives (see the quiescence protocol in the file header).
   virtual bool quiescent() const { return false; }
+  /// Timed-idleness hook, consulted only when quiescent() is true. A value
+  /// `h` greater than the current cycle vouches that tick() is a no-op on
+  /// every cycle < h *even if subscribed Fifos hold visible items* — the
+  /// component has folded all its already-enqueued work (including the
+  /// visibility times of in-flight subscribed items) into the hint, and
+  /// only the passage of time or a *new* push can change its behaviour
+  /// before h. The kernel may then sleep it until min(h, next new push).
+  /// kNeverCycle means "no timed work at all: sleep until a push". The
+  /// default 0 opts out: sleep is governed by visible input alone.
+  virtual Cycle wake_hint() const { return 0; }
 
  protected:
   /// Marks this component runnable again; call from any non-tick entry
@@ -178,7 +198,7 @@ class Kernel {
   friend class Component;
   friend class FifoBase;
 
-  static constexpr Cycle kNever = std::numeric_limits<Cycle>::max();
+  static constexpr Cycle kNever = kNeverCycle;
 
   void wake_id(std::uint32_t id) {
     if (awake_[id]) return;
@@ -359,6 +379,15 @@ class Fifo : public FifoBase {
   const T& peek(std::size_t i) const {
     assert(i < size_);
     return ring_[(head_ + i) & (storage_ - 1)].item;
+  }
+
+  /// Cycle the i-th stored item (counted from the head, like peek) becomes
+  /// poppable; `i` must be < size(). Lets lookahead schedulers compute
+  /// exact wake horizons — "when does the next in-flight request land?" —
+  /// without a visibility scan.
+  Cycle item_visible_at(std::size_t i) const {
+    assert(i < size_);
+    return ring_[(head_ + i) & (storage_ - 1)].visible_at;
   }
 
   /// Number of items visible (poppable, in FIFO order) at cycle `now`.

@@ -53,7 +53,8 @@ std::string scenario_name(SystemKind kind, unsigned bus_bits,
          "-" + std::to_string(banks) + "b";
 }
 
-std::optional<SystemBuilder> parse_scenario(const std::string& name) {
+std::optional<SystemBuilder> parse_scenario(const std::string& name,
+                                            std::string* error) {
   SystemKind kind;
   std::size_t pos;
   if (name.rfind("base-", 0) == 0) {
@@ -104,6 +105,15 @@ std::optional<SystemBuilder> parse_scenario(const std::string& name) {
     bool have_w = false, have_c = false, have_q = false;
     bool have_x = false, have_g = false;
     bool have_f = false, have_r = false;
+    // A repeated knob ("-w8-w16") is almost certainly a typo'd sweep point;
+    // last-wins would silently run the wrong configuration, so name the
+    // offender for the diagnostic instead of just disengaging.
+    const auto repeated = [&](char k) {
+      if (error != nullptr) {
+        *error = "scenario \"" + name + "\": knob '-" + std::string(1, k) +
+                 "' given more than once";
+      }
+    };
     while (pos != name.size()) {
       if (name[pos] != '-' || pos + 2 >= name.size()) return std::nullopt;
       const char knob = name[pos + 1];
@@ -112,37 +122,41 @@ std::optional<SystemBuilder> parse_scenario(const std::string& name) {
       if (!value) return std::nullopt;
       switch (knob) {
         case 'w':
-          if (have_w || *value == 0) return std::nullopt;
+          if (have_w) return repeated('w'), std::nullopt;
+          if (*value == 0) return std::nullopt;
           window = *value;
           have_w = true;
           break;
         case 'c':
-          if (have_c) return std::nullopt;
+          if (have_c) return repeated('c'), std::nullopt;
           cap = *value;
           have_c = true;
           break;
         case 'q':
-          if (have_q || *value == 0) return std::nullopt;
+          if (have_q) return repeated('q'), std::nullopt;
+          if (*value == 0) return std::nullopt;
           req_depth = *value;
           have_q = true;
           break;
         case 'x':
-          if (have_x || *value == 0) return std::nullopt;
+          if (have_x) return repeated('x'), std::nullopt;
+          if (*value == 0) return std::nullopt;
           co_entries = *value;
           have_x = true;
           break;
         case 'g':
-          if (have_g || *value == 0) return std::nullopt;
+          if (have_g) return repeated('g'), std::nullopt;
+          if (*value == 0) return std::nullopt;
           co_window = *value;
           have_g = true;
           break;
         case 'f':
-          if (have_f) return std::nullopt;
+          if (have_f) return repeated('f'), std::nullopt;
           fault_scale = *value;
           have_f = true;
           break;
         case 'r':
-          if (have_r) return std::nullopt;
+          if (have_r) return repeated('r'), std::nullopt;
           retry_attempts = *value;
           have_r = true;
           break;
@@ -317,9 +331,14 @@ const Scenario* ScenarioRegistry::find(const std::string& name) const {
 
 SystemBuilder ScenarioRegistry::builder(const std::string& name) const {
   if (const Scenario* s = find(name)) return s->recipe();
-  if (auto parsed = parse_scenario(name)) return *parsed;
+  std::string parse_error;
+  if (auto parsed = parse_scenario(name, &parse_error)) return *parsed;
   // A typo'd scenario name must never yield a garbage topology: fail loudly
   // even in assert-free builds.
+  if (!parse_error.empty()) {
+    std::fprintf(stderr, "%s\n", parse_error.c_str());
+    std::abort();
+  }
   std::fprintf(stderr, "unknown scenario \"%s\"; registered: ", name.c_str());
   for (const auto& s : scenarios_) std::fprintf(stderr, "%s ", s.name.c_str());
   std::fprintf(stderr, "\n");

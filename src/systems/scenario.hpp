@@ -96,7 +96,12 @@ std::string scenario_name(SystemKind kind, unsigned bus_bits = 256,
                           unsigned banks = 17);
 
 /// Parses a parametric-family name into a builder (see file header).
-/// Disengaged if the name does not match a family.
-std::optional<SystemBuilder> parse_scenario(const std::string& name);
+/// Disengaged if the name does not match a family. When `error` is
+/// non-null and the name is *almost* a family member but malformed in a
+/// diagnosable way (e.g. a knob repeated: "pack-256-dram-w8-w16"), a
+/// human-readable description is stored there; it is left untouched for
+/// names that simply belong to no family.
+std::optional<SystemBuilder> parse_scenario(const std::string& name,
+                                            std::string* error = nullptr);
 
 }  // namespace axipack::sys

@@ -12,9 +12,11 @@
 #pragma once
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <functional>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -29,11 +31,41 @@ class SweepRunner {
 
   unsigned threads() const { return threads_; }
 
-  /// Hardware/environment default worker count (>= 1).
+  /// Parses an AXIPACK_THREADS-style value: a plain positive decimal
+  /// integer (optional surrounding whitespace). Disengaged for anything
+  /// else — empty, zero, negative, non-numeric, trailing garbage, or an
+  /// implausibly large count.
+  static std::optional<unsigned> parse_threads(const char* text) {
+    if (text == nullptr) return std::nullopt;
+    while (*text == ' ' || *text == '\t') ++text;
+    if (*text < '0' || *text > '9') return std::nullopt;
+    constexpr unsigned long kMaxThreads = 65'536;
+    unsigned long value = 0;
+    while (*text >= '0' && *text <= '9') {
+      value = value * 10 + static_cast<unsigned long>(*text - '0');
+      if (value > kMaxThreads) return std::nullopt;
+      ++text;
+    }
+    while (*text == ' ' || *text == '\t') ++text;
+    if (*text != '\0' || value == 0) return std::nullopt;
+    return static_cast<unsigned>(value);
+  }
+
+  /// Hardware/environment default worker count (>= 1). A set-but-invalid
+  /// AXIPACK_THREADS is a config error, not a hint: silently falling back
+  /// to hardware_concurrency() would run a sweep at the wrong width, so
+  /// fail loudly instead.
   static unsigned default_threads() {
     if (const char* env = std::getenv("AXIPACK_THREADS")) {
-      const long n = std::strtol(env, nullptr, 10);
-      if (n > 0) return static_cast<unsigned>(n);
+      const std::optional<unsigned> n = parse_threads(env);
+      if (!n) {
+        std::fprintf(stderr,
+                     "AXIPACK_THREADS=\"%s\" is not a valid worker count; "
+                     "expected a positive integer (e.g. AXIPACK_THREADS=4)\n",
+                     env);
+        std::abort();
+      }
+      return *n;
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw != 0 ? hw : 1;

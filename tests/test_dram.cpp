@@ -683,5 +683,168 @@ TEST(DramOrdering, ReadsReturnStoreContentsAndWritesLand) {
   EXPECT_EQ(h.store.read_u32(kBase + 4 * 100), 0xDEADBEEFu);
 }
 
+// ----------------------------------------------------- sleep and refresh
+
+/// Drives `h` through alternating traffic bursts and fully-idle spans,
+/// each span long enough that the gated kernel's fast-forward jumps
+/// several tREFI epochs in one step. Returns the drained response sets
+/// per burst for cross-harness comparison.
+std::vector<std::vector<std::vector<WordResp>>> drive_bursty_with_gaps(
+    DramHarness& h, const DramMemoryConfig& cfg) {
+  std::vector<std::vector<std::vector<WordResp>>> per_burst;
+  util::Rng rng(7);
+  for (int burst = 0; burst < 6; ++burst) {
+    for (auto& q : h.pending) q.clear();
+    for (int i = 0; i < 12; ++i) {
+      const unsigned port =
+          static_cast<unsigned>(rng.next() % cfg.num_ports);
+      const bool write = (rng.next() & 7) == 0;
+      h.enqueue(port, kBase + 4ull * (rng.next() % (1u << 12)), write,
+                static_cast<std::uint32_t>(rng.next()));
+    }
+    EXPECT_TRUE(h.run()) << "burst " << burst;
+    per_burst.push_back(h.responses);
+    // Idle span: no traffic at all, crossing several refresh epochs. The
+    // refresh sweep is caught up lazily, so the skipped epochs must be
+    // accounted for exactly when the next burst arrives.
+    h.kernel.run(5 * cfg.timing.tREFI + 31);
+  }
+  return per_burst;
+}
+
+TEST(DramSleep, IdleFastForwardAcrossRefreshEpochsStaysLegal) {
+  // Refresh state is swept only at ticks that crossed a tREFI boundary;
+  // an idle span fast-forwarded in one jump skips *several* boundaries at
+  // once, and the multi-epoch catch-up must leave every bank exactly
+  // where per-cycle ticking would have: the full command trace across
+  // six burst/idle rounds has to satisfy every timing and refresh-window
+  // rule.
+  DramMemoryConfig cfg = strict_cfg();
+  cfg.timing.tREFI = 150;  // short epochs: every idle span skips several
+  cfg.timing.tRFC = 40;
+  DramHarness h(cfg);
+  const auto bursts = drive_bursty_with_gaps(h, cfg);
+  EXPECT_EQ(bursts.size(), 6u);
+  check_trace_legality(h.trace, cfg.timing, "multi-epoch fast-forward");
+  EXPECT_GT(h.mem.stats().refresh_stall_cycles, 0u);
+  EXPECT_GT(h.kernel.now(), 25u * cfg.timing.tREFI)
+      << "the idle spans never actually crossed refresh epochs";
+}
+
+TEST(DramSleep, MultiEpochSkipMatchesNaivePerCycleTicking) {
+  // The same bursty script on a gated and a force-naive kernel: grants,
+  // response data and every counter must be bit-identical, cycle for
+  // cycle — the lazily-settled refresh-stall accrual and the multi-epoch
+  // refresh catch-up may not drift from per-cycle accounting.
+  DramMemoryConfig cfg = strict_cfg();
+  cfg.timing.tREFI = 150;
+  cfg.timing.tRFC = 40;
+  DramHarness gated(cfg);
+  DramHarness naive(cfg);
+  naive.kernel.set_gating(false);
+  const auto gated_bursts = drive_bursty_with_gaps(gated, cfg);
+  const auto naive_bursts = drive_bursty_with_gaps(naive, cfg);
+  EXPECT_EQ(gated.kernel.now(), naive.kernel.now());
+  ASSERT_EQ(gated.trace.size(), naive.trace.size());
+  for (std::size_t i = 0; i < gated.trace.size(); ++i) {
+    const DramGrant& g = gated.trace[i];
+    const DramGrant& n = naive.trace[i];
+    EXPECT_EQ(g.cycle, n.cycle) << "grant " << i;
+    EXPECT_EQ(g.data_at, n.data_at) << "grant " << i;
+    EXPECT_EQ(g.port, n.port) << "grant " << i;
+    EXPECT_EQ(g.bank, n.bank) << "grant " << i;
+    EXPECT_EQ(g.row, n.row) << "grant " << i;
+    EXPECT_EQ(g.write, n.write) << "grant " << i;
+    EXPECT_EQ(static_cast<int>(g.kind), static_cast<int>(n.kind))
+        << "grant " << i;
+  }
+  ASSERT_EQ(gated_bursts.size(), naive_bursts.size());
+  for (std::size_t b = 0; b < gated_bursts.size(); ++b) {
+    for (std::size_t p = 0; p < gated_bursts[b].size(); ++p) {
+      ASSERT_EQ(gated_bursts[b][p].size(), naive_bursts[b][p].size());
+      for (std::size_t i = 0; i < gated_bursts[b][p].size(); ++i) {
+        EXPECT_EQ(gated_bursts[b][p][i].rdata, naive_bursts[b][p][i].rdata);
+        EXPECT_EQ(gated_bursts[b][p][i].tag, naive_bursts[b][p][i].tag);
+      }
+    }
+  }
+  EXPECT_EQ(gated.mem.stats().grants, naive.mem.stats().grants);
+  EXPECT_EQ(gated.mem.stats().row_hits, naive.mem.stats().row_hits);
+  EXPECT_EQ(gated.mem.stats().row_misses, naive.mem.stats().row_misses);
+  EXPECT_EQ(gated.mem.stats().refresh_stall_cycles,
+            naive.mem.stats().refresh_stall_cycles);
+  EXPECT_EQ(gated.mem.stats().batch_defer_cycles,
+            naive.mem.stats().batch_defer_cycles);
+  EXPECT_EQ(gated.mem.stats().starved_grants,
+            naive.mem.stats().starved_grants);
+  EXPECT_GT(gated.mem.stats().refresh_stall_cycles, 0u);
+}
+
+TEST(DramSleep, SleepNeverSkipsInFlightResponses) {
+  // After the lone request is granted there is no candidate work left —
+  // only a response with a future ready_at. The sleep horizon must still
+  // stop at the release cycle: delivery time has to match the force-naive
+  // kernel exactly, and a horizon that skipped the in-flight release
+  // would time the run out.
+  sim::Cycle delivered_at[2] = {0, 0};
+  for (const bool gated_mode : {false, true}) {
+    DramMemoryConfig cfg = strict_cfg();
+    DramHarness h(cfg);
+    h.kernel.set_gating(gated_mode);
+    WordPort& port = h.mem.port(0);
+    WordReq req;
+    req.addr = kBase + 4 * 5;
+    req.wstrb = 0xF;
+    req.tag = 9;
+    port.req.push(req);
+    // Driving predicate: the harness is not a subscribed component, so it
+    // must observe every cycle itself. The gated kernel may still sleep
+    // the DRAM model; if the model dozed past pushing the release, this
+    // run would hang.
+    const auto status =
+        h.kernel.run_until([&] { return port.resp.can_pop(); }, 10'000);
+    ASSERT_TRUE(status.completed) << (gated_mode ? "gated" : "naive")
+                                  << ": response skipped past";
+    delivered_at[gated_mode ? 1 : 0] = h.kernel.now();
+    EXPECT_EQ(port.resp.pop().rdata, 5u * 2654435761u);
+  }
+  EXPECT_EQ(delivered_at[0], delivered_at[1])
+      << "gated sleep shifted an in-flight response";
+}
+
+TEST(DramSleep, BlockedReleaseSurvivesSlowConsumer) {
+  // A full response FIFO blocks the in-order release stage; the scheduler
+  // must keep polling (wake hint withheld) rather than sleep past the
+  // unblock. A slow consumer that pops one response at a time must see
+  // every response, at cycles identical to the naive kernel.
+  std::vector<sim::Cycle> pop_cycles[2];
+  for (const bool gated_mode : {false, true}) {
+    DramMemoryConfig cfg = strict_cfg();
+    cfg.req_depth = 8;   // room to queue the whole burst up front
+    cfg.resp_depth = 1;  // release blocks after a single response
+    DramHarness h(cfg);
+    h.kernel.set_gating(gated_mode);
+    WordPort& port = h.mem.port(0);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      WordReq req;
+      req.addr = kBase + 4ull * (5 + i);
+      req.wstrb = 0xF;
+      req.tag = i;
+      port.req.push(req);
+    }
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      const auto status =
+          h.kernel.run_until([&] { return port.resp.can_pop(); }, 50'000);
+      ASSERT_TRUE(status.completed) << "response " << i << " never arrived";
+      // Dwell before popping: the release stage sits blocked on the full
+      // FIFO for a while, a state the sleep protocol must stay awake for.
+      h.kernel.run(100);
+      pop_cycles[gated_mode ? 1 : 0].push_back(h.kernel.now());
+      EXPECT_EQ(port.resp.pop().tag, i);
+    }
+  }
+  EXPECT_EQ(pop_cycles[0], pop_cycles[1]);
+}
+
 }  // namespace
 }  // namespace axipack::mem

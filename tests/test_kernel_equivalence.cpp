@@ -280,6 +280,45 @@ TEST(KernelEquivalence, FaultInjectionStaysCycleIdentical) {
   }
 }
 
+TEST(KernelEquivalence, RefreshEpochMultiSkipStress) {
+  // Tiny refresh interval: epochs are ~18x more frequent than the default,
+  // so every idle fast-forward in the gated run (converter stalls, drain
+  // tails) spans several tREFI boundaries, and the DRAM model's lazy
+  // multi-epoch refresh catch-up plus bulk stall settlement must stay bit-
+  // and cycle-identical to per-cycle naive ticking. (The timing set keeps
+  // the ctor liveness rule tRFC + tRP + tRCD < tREFI.)
+  mem::DramTimingConfig t;
+  t.tREFI = 256;
+  t.tRFC = 48;
+  for (const auto kernel : {wl::KernelKind::gemv, wl::KernelKind::spmv}) {
+    for (const std::string scenario :
+         {std::string("pack-dram"), std::string("base-dram")}) {
+      auto cfg = sys::plan_workload(kernel, scenario);
+      cfg.n = 64;
+      if (wl::kernel_is_indirect(kernel)) cfg.nnz_per_row = 16;
+      sys::WorkloadJob naive_job;
+      naive_job.scenario = scenario;
+      naive_job.cfg = cfg;
+      naive_job.naive_kernel = true;
+      naive_job.builder_patch = [&t](sys::SystemBuilder& b) {
+        b.dram_timing(t);
+      };
+      sys::WorkloadJob gated_job = naive_job;
+      gated_job.naive_kernel = false;
+      const auto results =
+          sys::run_workloads({naive_job, gated_job}, /*threads=*/1);
+      const Snapshot naive = Snapshot::of(results[0]);
+      const Snapshot gated = Snapshot::of(results[1]);
+      expect_identical(naive, gated, scenario + " small-tREFI " +
+                                         wl::kernel_name(kernel));
+      EXPECT_TRUE(gated.correct) << scenario << " " << results[1].error;
+      // Non-vacuous: the run must actually have crossed many epochs.
+      EXPECT_GT(gated.refresh_stall_cycles, 0u) << scenario;
+      EXPECT_GT(gated.cycles, 4u * t.tREFI) << scenario;
+    }
+  }
+}
+
 TEST(KernelEquivalence, DramRowStatsAreExercised) {
   // Guard against the dram equivalence checks passing vacuously: the gated
   // run of a dram scenario must actually accumulate row-buffer activity.

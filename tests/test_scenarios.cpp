@@ -154,6 +154,35 @@ TEST(MemoryBackends, DramSchedulerKnobSuffixesParse) {
   EXPECT_FALSE(reg.contains("pack-256-dram-"));
 }
 
+TEST(MemoryBackends, RepeatedKnobNamesTheOffender) {
+  // A repeated knob must be rejected with a diagnostic naming the knob —
+  // historically it disengaged silently and surfaced only as a generic
+  // "unknown scenario" abort far from the typo.
+  for (const char knob : {'w', 'c', 'q', 'x', 'g', 'f', 'r'}) {
+    const std::string name = std::string("pack-256-dram-") + knob + "4-" +
+                             knob + "8";
+    std::string error;
+    EXPECT_FALSE(sys::parse_scenario(name, &error).has_value()) << name;
+    EXPECT_NE(error.find(name), std::string::npos) << error;
+    EXPECT_NE(error.find(std::string("'-") + knob + "'"), std::string::npos)
+        << "diagnostic for " << name << " does not name the knob: " << error;
+  }
+  // Repeats separated by other knobs are still repeats.
+  std::string error;
+  EXPECT_FALSE(
+      sys::parse_scenario("pack-256-dram-w8-c16-w32", &error).has_value());
+  EXPECT_NE(error.find("'-w'"), std::string::npos) << error;
+  // Names that merely belong to no family leave the diagnostic untouched.
+  error.clear();
+  EXPECT_FALSE(sys::parse_scenario("not-a-scenario", &error).has_value());
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_FALSE(sys::parse_scenario("pack-256-dram-z4", &error).has_value());
+  EXPECT_TRUE(error.empty()) << error;
+  // Valid parametric points still parse with the diagnostic parameter set.
+  EXPECT_TRUE(sys::parse_scenario("pack-256-dram-w8-c16", &error).has_value());
+  EXPECT_TRUE(error.empty()) << error;
+}
+
 TEST(MemoryBackends, SchedWindowScenarioRunsAndShiftsHitRatio) {
   // The parsed knobs must actually reach the scheduler: an indirect
   // workload on the head-only scheduler thrashes rows; the batched default

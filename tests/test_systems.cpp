@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "systems/runner.hpp"
+#include "systems/sweep.hpp"
 
 namespace axipack {
 namespace {
@@ -133,6 +134,33 @@ TEST(Utilization, BoundedByOne) {
     EXPECT_LE(r.r_util, 1.0);
     EXPECT_LE(r.r_util_no_idx, r.r_util + 1e-12);
   }
+}
+
+TEST(SweepThreads, ParsesValidCounts) {
+  EXPECT_EQ(sys::SweepRunner::parse_threads("1").value_or(0), 1u);
+  EXPECT_EQ(sys::SweepRunner::parse_threads("4").value_or(0), 4u);
+  EXPECT_EQ(sys::SweepRunner::parse_threads("128").value_or(0), 128u);
+  EXPECT_EQ(sys::SweepRunner::parse_threads(" 8 ").value_or(0), 8u);
+  EXPECT_EQ(sys::SweepRunner::parse_threads("007").value_or(0), 7u);
+}
+
+TEST(SweepThreads, RejectsInvalidCounts) {
+  // Historical bug: strtol-based parsing silently fell through to
+  // hardware_concurrency() on all of these instead of rejecting them.
+  EXPECT_FALSE(sys::SweepRunner::parse_threads(nullptr).has_value());
+  EXPECT_FALSE(sys::SweepRunner::parse_threads("").has_value());
+  EXPECT_FALSE(sys::SweepRunner::parse_threads("0").has_value());
+  EXPECT_FALSE(sys::SweepRunner::parse_threads("-2").has_value());
+  EXPECT_FALSE(sys::SweepRunner::parse_threads("four").has_value());
+  EXPECT_FALSE(sys::SweepRunner::parse_threads("4x").has_value());
+  EXPECT_FALSE(sys::SweepRunner::parse_threads("4 8").has_value());
+  EXPECT_FALSE(sys::SweepRunner::parse_threads("0x4").has_value());
+  EXPECT_FALSE(sys::SweepRunner::parse_threads("99999999999").has_value());
+}
+
+TEST(SweepThreads, ExplicitCountOverridesEnvironment) {
+  const sys::SweepRunner runner(3);
+  EXPECT_EQ(runner.threads(), 3u);
 }
 
 }  // namespace

@@ -1,12 +1,20 @@
 #!/usr/bin/env python3
 """Validates the JSON artifacts the bench binaries emit with --json.
 
-Checks, per file:
+Checks, per experiment-grid file:
   * the document parses and has the {"bench", "quick", "experiments"} keys;
   * every experiment carries a name, a non-empty axes list and points;
   * every point's coords object has exactly one entry per declared axis,
     and its label is one of the axis's declared values;
   * every point embeds a "run" object with the RunResult core fields.
+
+Files with "bench": "kernel" (perf_kernel's BENCH_kernel.json) are
+validated against the kernel-artifact shape instead: the throughput /
+identity / floor fields are present and internally consistent, every
+thread-scaling point records requested vs effective threads with an
+oversubscription flag, and no oversubscribed point leaks into
+gated_parallel_ms (oversubscribed wall-clocks measure the host, not the
+engine, so CI floors must ignore them).
 
 Usage: check_bench_json.py FILE.json [FILE.json ...]
 Exits non-zero on the first malformed artifact.
@@ -27,12 +35,77 @@ RUN_FIELDS = {"cycles", "r_util", "correct", "row_hit_ratio",
               "retries", "retry_timeouts", "failed_ops", "degraded"}
 
 
+KERNEL_FIELDS = {"seed", "hardware_threads", "gated_serial_ms",
+                 "gated_parallel_ms", "dram_naive_serial_ms",
+                 "dram_gated_serial_ms", "dram_sim_cycles_total",
+                 "dram_sim_cycles_per_sec", "dram_cycles_per_sec_floor",
+                 "dram_throughput_pass", "dram_cycle_identical",
+                 "sim_cycles_total", "sim_cycles_per_sec_gated_serial",
+                 "cycle_identical_naive_vs_gated", "all_workloads_verified",
+                 "thread_scaling"}
+
+SCALE_POINT_FIELDS = {"threads_requested", "threads_effective",
+                      "oversubscribed", "wall_ms", "dram_wall_ms"}
+
+
+def check_kernel_file(path, doc):
+    """Validates perf_kernel's BENCH_kernel.json artifact shape."""
+    missing = KERNEL_FIELDS - set(doc)
+    if missing:
+        fail(path, f"kernel artifact missing fields {sorted(missing)}")
+    hw = doc["hardware_threads"]
+    points = doc["thread_scaling"]
+    if not points:
+        fail(path, "empty thread_scaling series")
+    honest_min = None
+    for point in points:
+        if not SCALE_POINT_FIELDS <= set(point):
+            fail(path, f"thread_scaling point {point!r} missing fields")
+        req, eff = point["threads_requested"], point["threads_effective"]
+        if eff != min(req, hw):
+            fail(path, f"threads_effective {eff} != min(requested {req}, "
+                       f"hardware {hw})")
+        if point["oversubscribed"] != (req > hw):
+            fail(path, f"oversubscribed flag wrong for requested={req} "
+                       f"on {hw} hardware thread(s)")
+        if not point["oversubscribed"]:
+            wall = point["wall_ms"]
+            honest_min = wall if honest_min is None else min(honest_min, wall)
+    if honest_min is None:
+        fail(path, "every thread_scaling point is oversubscribed "
+                   "(the serial point never is)")
+    # CI floors must ignore flagged points: gated_parallel_ms may only
+    # come from non-oversubscribed runs.
+    if doc["gated_parallel_ms"] > honest_min * (1 + 1e-9):
+        fail(path, f"gated_parallel_ms {doc['gated_parallel_ms']} exceeds "
+                   f"best non-oversubscribed point {honest_min}")
+    # The throughput fields must be self-consistent and the floor honored.
+    derived = doc["dram_sim_cycles_total"] / (doc["dram_gated_serial_ms"]
+                                              / 1000.0)
+    if abs(derived - doc["dram_sim_cycles_per_sec"]) > 1e-6 * derived:
+        fail(path, f"dram_sim_cycles_per_sec {doc['dram_sim_cycles_per_sec']}"
+                   f" inconsistent with cycles/wall ({derived:.1f})")
+    floor_ok = doc["dram_sim_cycles_per_sec"] >= doc["dram_cycles_per_sec_floor"]
+    if doc["dram_throughput_pass"] != floor_ok:
+        fail(path, "dram_throughput_pass disagrees with the recorded "
+                   "floor comparison")
+    for gate in ("dram_throughput_pass", "dram_cycle_identical",
+                 "cycle_identical_naive_vs_gated", "all_workloads_verified"):
+        if not doc[gate]:
+            fail(path, f"kernel artifact gate {gate} is false")
+    print(f"{path}: ok (kernel, {len(points)} thread-scaling point(s), "
+          f"{doc['dram_sim_cycles_per_sec']:.0f} dram sim cycles/s)")
+
+
 def check_file(path):
     with open(path) as f:
         try:
             doc = json.load(f)
         except json.JSONDecodeError as e:
             fail(path, f"does not parse: {e}")
+    if doc.get("bench") == "kernel" and "experiments" not in doc:
+        check_kernel_file(path, doc)
+        return
     for key in ("bench", "quick", "experiments"):
         if key not in doc:
             fail(path, f"missing top-level key {key!r}")
