@@ -14,7 +14,21 @@ BusStats BusStats::diff(const BusStats& earlier) const {
   d.w_beats = w_beats - earlier.w_beats;
   d.w_payload_bytes = w_payload_bytes - earlier.w_payload_bytes;
   d.b_handshakes = b_handshakes - earlier.b_handshakes;
+  d.r_fault_beats = r_fault_beats - earlier.r_fault_beats;
   return d;
+}
+
+BusStats& BusStats::operator+=(const BusStats& other) {
+  ar_handshakes += other.ar_handshakes;
+  aw_handshakes += other.aw_handshakes;
+  r_beats += other.r_beats;
+  r_payload_bytes += other.r_payload_bytes;
+  r_index_bytes += other.r_index_bytes;
+  w_beats += other.w_beats;
+  w_payload_bytes += other.w_payload_bytes;
+  b_handshakes += other.b_handshakes;
+  r_fault_beats += other.r_fault_beats;
+  return *this;
 }
 
 AxiLink::AxiLink(sim::Kernel& k, AxiPort& upstream, AxiPort& downstream)
@@ -70,6 +84,7 @@ void AxiLink::tick() {
       }
     }
     AxiR beat = down_.r.pop();
+    if (r_fault_ != sim::LinkFault::none) ++stats_.r_fault_beats;
     if (r_fault_ == sim::LinkFault::flip) {
       const unsigned bits =
           beat.useful_bytes > 0 ? beat.useful_bytes * 8u : 8u;

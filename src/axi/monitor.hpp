@@ -23,8 +23,14 @@ struct BusStats {
   std::uint64_t w_beats = 0;
   std::uint64_t w_payload_bytes = 0;
   std::uint64_t b_handshakes = 0;
+  /// R beats this hop corrupted (bit-flip) or truncated under an armed
+  /// fault plan — the per-link slice of the system-wide injection count,
+  /// so multi-channel systems can report where faults landed.
+  std::uint64_t r_fault_beats = 0;
 
   BusStats diff(const BusStats& earlier) const;
+  /// Field-wise accumulation (multi-channel aggregation).
+  BusStats& operator+=(const BusStats& other);
 };
 
 class ProtocolChecker;

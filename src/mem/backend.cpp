@@ -32,6 +32,8 @@ DramBackend::DramBackend(sim::Kernel& k, BackingStore& store,
   mc.sched_window = cfg.dram_sched_window;
   mc.starve_cap = cfg.dram_starve_cap;
   mc.timing = cfg.dram;
+  mc.channels = cfg.channels;
+  mc.channel_granule_words = cfg.channel_granule_bytes / kWordBytes;
   memory_ = std::make_unique<DramMemory>(k, store, mc);
 }
 

@@ -48,6 +48,13 @@ struct MemoryBackendConfig {
   /// window is bounded by req_depth, so deepen both together.
   std::size_t dram_sched_window = 32;
   sim::Cycle dram_starve_cap = 48;
+  /// Channel-interleave geometry of the surrounding system (1 = the
+  /// single-channel identity). "dram" compacts the channel-select address
+  /// bits out of its row/bank decomposition so per-channel row locality
+  /// survives interleaving; "banked" (17 prime banks) and "ideal" decode
+  /// absolute addresses and ignore these.
+  unsigned channels = 1;
+  std::uint64_t channel_granule_bytes = 4096;
 };
 
 /// Activity counters every backend can report; backends without a concept

@@ -47,7 +47,8 @@ DramMemory::DramMemory(sim::Kernel& k, BackingStore& store,
     : store_(store),
       kernel_(k),
       cfg_(cfg),
-      map_(cfg.timing.num_banks(), cfg.timing.row_words, cfg.timing.mapping),
+      map_(cfg.timing.num_banks(), cfg.timing.row_words, cfg.timing.mapping,
+           cfg.channels, cfg.channel_granule_words),
       banks_(cfg.timing.num_banks()),
       rr_(cfg.timing.num_banks(), 0),
       win_head_(cfg.num_ports, 0),

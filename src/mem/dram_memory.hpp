@@ -121,6 +121,12 @@ struct DramMemoryConfig {
   /// pending same-row requests before it wins anyway. 0 never defers.
   sim::Cycle starve_cap = 48;
   DramTimingConfig timing;
+  /// Channel-interleave geometry of the surrounding system. This channel
+  /// still receives absolute addresses; the address map compacts the
+  /// channel-select bits out before decomposition (see DramAddressMap) so
+  /// per-channel row locality is not diluted. 1 = single-channel identity.
+  unsigned channels = 1;
+  std::uint64_t channel_granule_words = 1;  ///< interleave granule in words
 };
 
 /// Activity counters of the DRAM model.

@@ -80,18 +80,42 @@ struct DramTimingConfig {
 /// Decomposes word indices into (bank, row, column) under a mapping policy.
 /// Row identifiers are globally unique per bank (row_of is what the row
 /// buffer compares), columns index words within the row buffer.
+///
+/// Multi-channel systems hand each channel's DRAM the *absolute* word index
+/// even though the channel only owns every channels-th interleave granule
+/// (the router's XOR-folded selection). Decomposing the sparse index
+/// directly would dilute row locality channels-fold, so the map first
+/// *compacts* the granule index: the log2(channels) channel-select bits are
+/// squeezed out, making this channel's address space dense again. The
+/// XOR fold picks exactly one granule per channel out of every aligned
+/// block of `channels` granules, so dropping the low granule-index bits is
+/// injective per channel and consecutive owned granules stay consecutive —
+/// the channel interleave composes with (instead of fighting) all three
+/// bank mappings. channels = 1 is the identity.
 class DramAddressMap {
  public:
-  DramAddressMap(unsigned num_banks, unsigned row_words, DramMapping mapping)
+  DramAddressMap(unsigned num_banks, unsigned row_words, DramMapping mapping,
+                 unsigned channels = 1, std::uint64_t granule_words = 1)
       : banks_(num_banks), row_words_(row_words), mapping_(mapping) {
     while ((1u << shift_) < banks_) ++shift_;  // ceil(log2(banks))
+    while ((1u << ch_shift_) < channels) ++ch_shift_;
+    while ((std::uint64_t{1} << gran_shift_) < granule_words) ++gran_shift_;
   }
 
   unsigned num_banks() const { return banks_; }
   unsigned row_words() const { return row_words_; }
   DramMapping mapping() const { return mapping_; }
 
-  unsigned bank_of(std::uint64_t word_index) const {
+  /// Squeezes the channel-select bits out of a (channel-sparse) absolute
+  /// word index; identity for single-channel maps. See the class comment.
+  std::uint64_t compact(std::uint64_t word_index) const {
+    if (ch_shift_ == 0) return word_index;
+    return ((word_index >> (gran_shift_ + ch_shift_)) << gran_shift_) |
+           (word_index & ((std::uint64_t{1} << gran_shift_) - 1));
+  }
+
+  unsigned bank_of(std::uint64_t sparse_index) const {
+    const std::uint64_t word_index = compact(sparse_index);
     switch (mapping_) {
       case DramMapping::row_interleaved:
         return static_cast<unsigned>((word_index / row_words_) % banks_);
@@ -115,14 +139,16 @@ class DramAddressMap {
     }
     return 0;  // unreachable
   }
-  std::uint64_t row_of(std::uint64_t word_index) const {
+  std::uint64_t row_of(std::uint64_t sparse_index) const {
+    const std::uint64_t word_index = compact(sparse_index);
     // For both interleaved policies (plain and permuted) the row is the
     // span of banks_ * row_words_ consecutive words the word falls in.
     return mapping_ == DramMapping::row_interleaved
                ? word_index / (static_cast<std::uint64_t>(row_words_) * banks_)
                : (word_index / banks_) / row_words_;
   }
-  unsigned column_of(std::uint64_t word_index) const {
+  unsigned column_of(std::uint64_t sparse_index) const {
+    const std::uint64_t word_index = compact(sparse_index);
     return mapping_ == DramMapping::row_interleaved
                ? static_cast<unsigned>(word_index % row_words_)
                : static_cast<unsigned>((word_index / banks_) % row_words_);
@@ -132,7 +158,9 @@ class DramAddressMap {
   unsigned banks_;
   unsigned row_words_;
   DramMapping mapping_;
-  unsigned shift_ = 1;  ///< fold distance of the permuted policy
+  unsigned shift_ = 1;      ///< fold distance of the permuted policy
+  unsigned ch_shift_ = 0;   ///< log2(channels); 0 = single channel
+  unsigned gran_shift_ = 0; ///< log2(interleave granule) in words
 };
 
 }  // namespace axipack::mem

@@ -33,6 +33,26 @@ PortMux::PortMux(sim::Kernel& k, mem::WordMemory& memory,
   for (unsigned l = 0; l < lanes_; ++l) {
     k.subscribe(*this, memory_.port(l).resp);
   }
+  // Every Fifo a lane's work arrives through re-flags the lane's bit on
+  // push, so a lane whose bit is clear provably has nothing stored and
+  // tick() may skip it.
+  assert(lanes_ <= 64 && "active-lane bitmask is one 64-bit word");
+  active_lanes_ = lanes_ == 64 ? ~std::uint64_t{0}
+                               : (std::uint64_t{1} << lanes_) - 1;
+  for (unsigned l = 0; l < lanes_; ++l) {
+    for (unsigned c = 0; c < convs_; ++c) {
+      req(c, l).set_push_flag(&active_lanes_, l);
+    }
+    memory_.port(l).resp.set_push_flag(&active_lanes_, l);
+  }
+}
+
+PortMux::~PortMux() {
+  // The memory outlives the mux in some harnesses; detach the push taps so
+  // its response Fifos never write through a dangling pointer.
+  for (unsigned l = 0; l < lanes_; ++l) {
+    memory_.port(l).resp.set_push_flag(nullptr, 0);
+  }
 }
 
 std::vector<LaneIO> PortMux::lanes_of(unsigned conv) {
@@ -47,7 +67,16 @@ std::vector<LaneIO> PortMux::lanes_of(unsigned conv) {
 
 void PortMux::tick() {
   const sim::Cycle now = kernel_.now();  // hoisted out of the fifo checks
-  for (unsigned l = 0; l < lanes_; ++l) {
+  // Only flagged lanes can have stored work; an unflagged lane's body is a
+  // no-op (no visible request, no response, and hold aging needs a visible
+  // competitor), so skipping it cannot change any outcome. Pushes during
+  // this tick re-flag bits via the Fifo taps; lanes that still hold items
+  // (possibly not yet visible) re-flag themselves below.
+  std::uint64_t live = active_lanes_;
+  active_lanes_ = 0;
+  for (; live != 0; live &= live - 1) {
+    const unsigned l =
+        static_cast<unsigned>(__builtin_ctzll(live));
     mem::WordPort& port = *ports_[l];
     // Requests: round-robin over converters with a pending request. With a
     // sticky quantum, the last-granted converter keeps the lane while it
@@ -118,6 +147,13 @@ void PortMux::tick() {
         resp(c, l).push(r);
       }
     }
+    // Re-flag while anything is still stored in the lane (visible or in
+    // flight: blocked requests, next-cycle pushes, unrouted responses).
+    bool busy = !port.resp.empty();
+    for (unsigned c = 0; !busy && c < convs_; ++c) {
+      busy = !req(c, l).empty();
+    }
+    if (busy) active_lanes_ |= std::uint64_t{1} << l;
   }
 }
 

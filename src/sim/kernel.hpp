@@ -123,6 +123,17 @@ class FifoBase {
     return size_ > 0 && head_visible_ <= now;
   }
 
+  /// Activity tap: every push also ORs `1 << bit` into `*word` (pass
+  /// nullptr to detach). Consumers that mux many Fifos (the adapter's
+  /// bank-port mux) point a group of channels at one bitmask word and scan
+  /// only flagged groups instead of polling every channel every cycle.
+  /// Purely an observer — occupancy and visibility are unaffected, so
+  /// gated and naive scheduling stay cycle-identical.
+  void set_push_flag(std::uint64_t* word, unsigned bit) {
+    push_flag_word_ = word;
+    push_flag_mask_ = std::uint64_t{1} << bit;
+  }
+
  protected:
   // Called by Fifo<T>; defined inline after Kernel.
   void notify_push(Cycle visible_at);
@@ -130,6 +141,8 @@ class FifoBase {
   std::size_t size_ = 0;       ///< items stored (visible or in flight)
   Cycle head_visible_ = 0;     ///< visible_at of the head item (if size_>0)
   Kernel* kernel_ = nullptr;
+  std::uint64_t* push_flag_word_ = nullptr;  ///< see set_push_flag
+  std::uint64_t push_flag_mask_ = 0;
 
  private:
   friend class Kernel;
@@ -276,6 +289,7 @@ inline void Component::wake_self() {
 }
 
 inline void FifoBase::notify_push(Cycle visible_at) {
+  if (push_flag_word_ != nullptr) *push_flag_word_ |= push_flag_mask_;
   if (asleep_subscribers_ != 0) {
     kernel_->on_push(subscribers_, visible_at);
   }

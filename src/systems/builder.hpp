@@ -55,6 +55,16 @@ class SystemBuilder {
   /// every cycle. Results are cycle-identical to the default gated kernel;
   /// used by the equivalence tests and as the perf-harness baseline.
   SystemBuilder& naive_kernel(bool on);
+  /// Memory channels behind an address-interleaving ChannelRouter per
+  /// master: each channel owns a full fabric slice (crossbar, monitored
+  /// link, adapter, backend) and `granule_bytes` decides the interleave
+  /// granularity (XOR-folded channel selection, composable with the DRAM
+  /// mappings). Both values must be powers of two — rejected loudly
+  /// otherwise, like the capacity constraints at build time (granule at
+  /// least one bus beat; mem size divisible by channels * granule).
+  /// channels(1) is the single-endpoint system, bit- and cycle-identical
+  /// to builds that never call this.
+  SystemBuilder& channels(unsigned n, std::uint64_t granule_bytes = 4096);
 
   // ---- memory backend --------------------------------------------------
   /// Selects a registered backend by name ("banked", "ideal", ...),
@@ -121,6 +131,7 @@ class SystemBuilder {
   MasterId attach_port(const std::string& name);
 
   unsigned bus_bytes() const { return bus_bits_ / 8; }
+  unsigned num_channels() const { return channels_; }
 
   // ---- planning introspection ------------------------------------------
   // Read-only views the workload planner (plan_workload) uses to pick the
@@ -156,6 +167,8 @@ class SystemBuilder {
   unsigned bus_bits_ = 256;
   std::uint64_t mem_base_ = 0x8000'0000ull;
   std::uint64_t mem_size_ = 96ull << 20;
+  unsigned channels_ = 1;
+  std::uint64_t channel_granule_ = 4096;
   unsigned queue_depth_ = 8;
   bool monitor_ = true;
   bool naive_kernel_ = false;

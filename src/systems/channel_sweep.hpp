@@ -1,0 +1,42 @@
+// Channel-scaling measurement harness (the fig10 bench's engine): M raw
+// requestor masters stream disjoint contiguous regions through the
+// channel-interleaved fabric and the aggregate read utilization — every
+// channel link's payload summed against ONE link's capacity — is recorded
+// together with its per-channel slices. With granule-sized bursts each
+// master's stream round-robins the channels, so aggregate utilization
+// scales with min(masters, channels) until the DRAM backends saturate;
+// the knee of that curve is what the bench reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/dram_timing.hpp"
+
+namespace axipack::sys {
+
+struct ChannelScalingConfig {
+  unsigned bus_bytes = 32;
+  unsigned channels = 1;   ///< power of two in [1, 64]
+  unsigned masters = 8;    ///< concurrent streaming requestors
+  mem::DramMapping mapping = mem::DramMapping::permuted;
+  std::uint64_t granule_bytes = 4096;  ///< channel interleave granularity
+  std::uint64_t bytes_per_master = 256 * 1024;  ///< stream length each
+  bool naive_kernel = false;  ///< equivalence testing: disable gating
+};
+
+struct ChannelScalingResult {
+  /// Sum of all channel links' R payload over cycles * one link's
+  /// capacity; exceeds 1.0 once more than one channel streams.
+  double agg_r_util = 0.0;
+  std::uint64_t cycles = 0;
+  std::uint64_t payload_bytes = 0;  ///< drained at the masters
+  std::vector<double> per_channel_r_util;
+  std::vector<std::uint64_t> per_channel_row_hits;
+  std::vector<std::uint64_t> per_channel_row_misses;
+};
+
+/// Streams every master's region to completion and reports utilization.
+ChannelScalingResult measure_channel_scaling(const ChannelScalingConfig& cfg);
+
+}  // namespace axipack::sys

@@ -42,6 +42,26 @@ sim::RetryConfig default_retry() {
   return rc;
 }
 
+/// Grows the builder's master list to `total` fabric masters: the SoC's
+/// own processor plus extras alternating DMA engine / processor, all
+/// matched to the SoC kind (base SoCs get narrow-burst DMA and base-mode
+/// processors). Extra masters are left unprogrammed — they contend for the
+/// fabric only when a harness drives them — so single-workload runs still
+/// drain.
+void attach_extra_masters(SystemBuilder& b, SystemKind kind,
+                          unsigned total) {
+  const bool pack = kind == SystemKind::pack;
+  for (unsigned i = 1; i < total; ++i) {
+    if (i % 2 == 1) {
+      dma::DmaConfig dc;
+      dc.use_pack = pack;
+      b.attach_dma(dc);
+    } else {
+      b.attach_processor(pack ? vproc::VlsuMode::pack : vproc::VlsuMode::base);
+    }
+  }
+}
+
 }  // namespace
 
 std::string scenario_name(SystemKind kind, unsigned bus_bits,
@@ -83,8 +103,8 @@ std::optional<SystemBuilder> parse_scenario(const std::string& name,
   ++pos;
   if (name.compare(pos, 4, "dram") == 0) {
     // "{base|pack}-{bits}-dram[-w{W}][-c{C}][-q{Q}][-x{E}][-g{G}]
-    //  [-f{F}][-r{R}]": the paper SoC over the DRAM backend, with optional
-    // knobs —
+    //  [-f{F}][-r{R}][-ch{C}][-m{M}]": the paper SoC over the DRAM
+    // backend, with optional knobs —
     // w = row-batching per-port lookahead window (1 = head-only),
     // c = row-batching starvation cap in cycles (0 = no batching),
     // q = per-port memory request-FIFO depth (response depth keeps its
@@ -95,6 +115,10 @@ std::optional<SystemBuilder> parse_scenario(const std::string& name,
     //     (attaches a FaultPlan; f0 = plan with zero rates, for forcing),
     // r = master-side retry budget in total attempts (r0 = error handling
     //     off). f without r implies the default budget of 4 attempts.
+    // ch = interleaved memory channels (default granule; ch1 is the
+    //      single-endpoint system),
+    // m = total fabric masters: the SoC's processor plus M-1 extras
+    //     alternating DMA engine / processor (all kind-matched).
     // Knobs may appear in any order, each at most once.
     pos += 4;
     SystemBuilder b = soc_builder(kind, *bus_bits, 17);
@@ -102,63 +126,93 @@ std::optional<SystemBuilder> parse_scenario(const std::string& name,
     std::size_t window = 0, cap = 0, req_depth = 0;  // 0 = not given
     std::size_t co_entries = 0, co_window = 0;
     unsigned fault_scale = 0, retry_attempts = 0;
+    unsigned num_channels = 0, num_masters = 0;
     bool have_w = false, have_c = false, have_q = false;
     bool have_x = false, have_g = false;
     bool have_f = false, have_r = false;
+    bool have_ch = false, have_m = false;
     // A repeated knob ("-w8-w16") is almost certainly a typo'd sweep point;
     // last-wins would silently run the wrong configuration, so name the
     // offender for the diagnostic instead of just disengaging.
-    const auto repeated = [&](char k) {
+    const auto repeated = [&](const char* k) {
       if (error != nullptr) {
-        *error = "scenario \"" + name + "\": knob '-" + std::string(1, k) +
+        *error = "scenario \"" + name + "\": knob '-" + std::string(k) +
                  "' given more than once";
       }
     };
     while (pos != name.size()) {
       if (name[pos] != '-' || pos + 2 >= name.size()) return std::nullopt;
+      // The two-letter "ch" knob must match before the one-letter switch:
+      // a bare 'c' is the starvation cap.
+      if (name.compare(pos + 1, 2, "ch") == 0 && pos + 3 < name.size() &&
+          name[pos + 3] >= '0' && name[pos + 3] <= '9') {
+        if (have_ch) return repeated("ch"), std::nullopt;
+        pos += 3;
+        const auto value = parse_number(name, pos);
+        if (!value || *value == 0) return std::nullopt;
+        // Reject bad geometry here instead of letting channels() abort:
+        // a scenario *name* is user input, not programmer error.
+        if (*value > 64 || (*value & (*value - 1)) != 0) {
+          if (error != nullptr) {
+            *error = "scenario \"" + name + "\": '-ch" +
+                     std::to_string(*value) +
+                     "' is not a power-of-two channel count in [1, 64]";
+          }
+          return std::nullopt;
+        }
+        num_channels = *value;
+        have_ch = true;
+        continue;
+      }
       const char knob = name[pos + 1];
       pos += 2;
       const auto value = parse_number(name, pos);
       if (!value) return std::nullopt;
       switch (knob) {
         case 'w':
-          if (have_w) return repeated('w'), std::nullopt;
+          if (have_w) return repeated("w"), std::nullopt;
           if (*value == 0) return std::nullopt;
           window = *value;
           have_w = true;
           break;
         case 'c':
-          if (have_c) return repeated('c'), std::nullopt;
+          if (have_c) return repeated("c"), std::nullopt;
           cap = *value;
           have_c = true;
           break;
         case 'q':
-          if (have_q) return repeated('q'), std::nullopt;
+          if (have_q) return repeated("q"), std::nullopt;
           if (*value == 0) return std::nullopt;
           req_depth = *value;
           have_q = true;
           break;
         case 'x':
-          if (have_x) return repeated('x'), std::nullopt;
+          if (have_x) return repeated("x"), std::nullopt;
           if (*value == 0) return std::nullopt;
           co_entries = *value;
           have_x = true;
           break;
         case 'g':
-          if (have_g) return repeated('g'), std::nullopt;
+          if (have_g) return repeated("g"), std::nullopt;
           if (*value == 0) return std::nullopt;
           co_window = *value;
           have_g = true;
           break;
         case 'f':
-          if (have_f) return repeated('f'), std::nullopt;
+          if (have_f) return repeated("f"), std::nullopt;
           fault_scale = *value;
           have_f = true;
           break;
         case 'r':
-          if (have_r) return repeated('r'), std::nullopt;
+          if (have_r) return repeated("r"), std::nullopt;
           retry_attempts = *value;
           have_r = true;
+          break;
+        case 'm':
+          if (have_m) return repeated("m"), std::nullopt;
+          if (*value == 0) return std::nullopt;
+          num_masters = *value;
+          have_m = true;
           break;
         default:
           return std::nullopt;
@@ -183,6 +237,8 @@ std::optional<SystemBuilder> parse_scenario(const std::string& name,
       if (have_r) rc.max_attempts = retry_attempts;
       b.retry(rc);
     }
+    if (have_ch) b.channels(num_channels);
+    if (have_m) attach_extra_masters(b, kind, num_masters);
     return b;
   }
   const auto banks = parse_number(name, pos);
@@ -294,6 +350,23 @@ ScenarioRegistry::ScenarioRegistry() {
          for (int i = 0; i < 4; ++i) b.attach_dma();
          return b;
        }});
+
+  // Channel scale-out SoCs: many mixed masters (vector processors + DMA
+  // engines, alternating) over interleaved DRAM channels. The master mix
+  // and channel count are also parametric: "pack-256-dram-ch{C}-m{M}".
+  for (const auto& [masters, chans] :
+       {std::pair<unsigned, unsigned>{16, 4}, {32, 8}, {64, 8}}) {
+    add({"many-master-pack-" + std::to_string(masters),
+         std::to_string(masters) + " mixed masters (vproc + DMA) over " +
+             std::to_string(chans) + " interleaved DRAM channels",
+         [masters = masters, chans = chans] {
+           SystemBuilder b = soc_builder(SystemKind::pack, 256, 17);
+           b.memory("dram");
+           b.channels(chans);
+           attach_extra_masters(b, SystemKind::pack, masters);
+           return b;
+         }});
+  }
 }
 
 ScenarioRegistry& ScenarioRegistry::instance() {

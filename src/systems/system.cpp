@@ -1,5 +1,6 @@
 #include "systems/system.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +36,31 @@ SystemBuilder& SystemBuilder::monitor(bool on) {
 
 SystemBuilder& SystemBuilder::naive_kernel(bool on) {
   naive_kernel_ = on;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::channels(unsigned n,
+                                       std::uint64_t granule_bytes) {
+  // Bad geometry fails loudly here, like dram_sched(): the XOR-folded
+  // channel selector consumes exactly log2(channels) address bits, so
+  // non-power-of-two values silently alias channels instead of spreading.
+  if (n == 0 || n > 64 || (n & (n - 1)) != 0) {
+    std::fprintf(stderr,
+                 "SystemBuilder::channels: channel count must be a power of "
+                 "two in [1, 64] (got %u); the interleaved channel selector "
+                 "uses log2(channels) address bits\n",
+                 n);
+    std::abort();
+  }
+  if (granule_bytes == 0 || (granule_bytes & (granule_bytes - 1)) != 0) {
+    std::fprintf(stderr,
+                 "SystemBuilder::channels: interleave granule must be a "
+                 "power of two (got %llu bytes)\n",
+                 static_cast<unsigned long long>(granule_bytes));
+    std::abort();
+  }
+  channels_ = n;
+  channel_granule_ = granule_bytes;
   return *this;
 }
 
@@ -197,37 +223,62 @@ System::System(const SystemBuilder& b) : bus_bytes_(b.bus_bits_ / 8) {
     masters_.push_back(std::move(m));
   }
 
-  // Wire the fabric and the memory endpoint behind it.
+  // Wire the fabric and the memory channels behind it.
   if (!fabric_ports.empty()) {
-    axi::AxiPort* upstream = nullptr;  // port that feeds the adapter
-    if (b.monitor_) {
-      // masters -> xbar -> mid -> monitored link -> adapter.
-      port_mid_ = std::make_unique<axi::AxiPort>(kernel_, 2, "mid");
-      port_adapter_ = std::make_unique<axi::AxiPort>(kernel_, 2, "adapter");
-      xbar_ = std::make_unique<axi::AxiXbar>(
-          kernel_, fabric_ports,
-          std::vector<axi::AxiPort*>{port_mid_.get()},
-          std::vector<axi::AddrRule>{{b.mem_base_, b.mem_size_, 0}});
-      link_ = std::make_unique<axi::AxiLink>(kernel_, *port_mid_,
-                                             *port_adapter_);
-      checker_ = std::make_unique<axi::ProtocolChecker>(bus_bytes_);
-      link_->attach_checker(checker_.get());
-      upstream = port_adapter_.get();
-    } else if (fabric_ports.size() == 1) {
-      // Bare measurement fabric: the master port feeds the adapter.
-      upstream = fabric_ports.front();
+    const unsigned num_ch = b.channels_;
+    if (num_ch > 1) {
+      // Capacity constraints only checkable once the bus width and memory
+      // region are both known; loud like the setter's power-of-two checks.
+      if (b.channel_granule_ < bus_bytes_) {
+        std::fprintf(stderr,
+                     "SystemBuilder::channels: interleave granule %llu B is "
+                     "smaller than one bus beat (%u B); bursts would change "
+                     "channel mid-beat\n",
+                     static_cast<unsigned long long>(b.channel_granule_),
+                     bus_bytes_);
+        std::abort();
+      }
+      const std::uint64_t block =
+          static_cast<std::uint64_t>(num_ch) * b.channel_granule_;
+      if (b.mem_size_ % block != 0) {
+        std::fprintf(stderr,
+                     "SystemBuilder::channels: memory size %llu B is not "
+                     "divisible by channels * granule = %u * %llu B; the "
+                     "tail would interleave across a partial block\n",
+                     static_cast<unsigned long long>(b.mem_size_), num_ch,
+                     static_cast<unsigned long long>(b.channel_granule_));
+        std::abort();
+      }
+    }
+
+    // With >= 2 channels every fabric master gets an interleaving router;
+    // each channel's fabric then sees the routers' per-channel ports as
+    // its masters. channels(1) routes nothing and wires the master ports
+    // straight into the single fabric slice (today's system, exactly).
+    std::vector<std::vector<axi::AxiPort*>> ch_masters(num_ch);
+    if (num_ch > 1) {
+      axi::ChannelRouteConfig rc;
+      rc.base = b.mem_base_;
+      rc.size = b.mem_size_;
+      rc.granule = b.channel_granule_;
+      rc.channels = num_ch;
+      routers_.resize(masters_.size());
+      for (std::size_t i = 0; i < masters_.size(); ++i) {
+        if (!masters_[i].port) continue;
+        routers_[i] = std::make_unique<axi::ChannelRouter>(
+            kernel_, *masters_[i].port, rc, masters_[i].name + ".rt");
+        for (unsigned c = 0; c < num_ch; ++c) {
+          ch_masters[c].push_back(&routers_[i]->down(c));
+        }
+      }
     } else {
-      // masters -> xbar -> adapter (no monitoring hop).
-      port_adapter_ = std::make_unique<axi::AxiPort>(kernel_, 2, "adapter");
-      xbar_ = std::make_unique<axi::AxiXbar>(
-          kernel_, fabric_ports,
-          std::vector<axi::AxiPort*>{port_adapter_.get()},
-          std::vector<axi::AddrRule>{{b.mem_base_, b.mem_size_, 0}});
-      upstream = port_adapter_.get();
+      ch_masters[0] = fabric_ports;
     }
 
     mem::MemoryBackendConfig mc = b.mem_cfg_;
     mc.num_ports = bus_bytes_ / mem::kWordBytes;
+    mc.channels = num_ch;
+    mc.channel_granule_bytes = b.channel_granule_;
     if (mc.name == "dram" && !b.mem_depths_explicit_) {
       // The row-batching scheduler can only batch what it can see: give
       // the per-port request FIFOs at least a full default lookahead
@@ -238,7 +289,6 @@ System::System(const SystemBuilder& b) : bus_bytes_(b.bus_bits_ / 8) {
       mc.req_depth = std::max(
           mc.req_depth, std::max<std::size_t>(32, mc.dram_sched_window));
     }
-    backend_ = mem::BackendRegistry::instance().create(kernel_, *store_, mc);
 
     pack::AdapterConfig ac = b.adapter_cfg_;
     if (!b.adapter_explicit_) {
@@ -267,27 +317,70 @@ System::System(const SystemBuilder& b) : bus_bytes_(b.bus_bits_ / 8) {
       ac.coalesce_window = b.coalesce_window_;
     }
     ac.bus_bytes = bus_bytes_;
-    adapter_ = std::make_unique<pack::AxiPackAdapter>(
-        kernel_, *upstream, backend_->word_memory(), ac);
-    if (ac.coalesce_enable && mc.name == "dram") {
-      // Give the grouping window the backend's real bank/row decomposition
-      // instead of the coarse address-granule default.
-      if (auto* db = dynamic_cast<mem::DramBackend*>(backend_.get())) {
-        const mem::DramAddressMap* map = &db->dram().map();
-        const std::uint64_t base = b.mem_base_;
-        adapter_->set_indirect_locality([map, base](std::uint64_t addr) {
-          const std::uint64_t w = (addr - base) / mem::kWordBytes;
-          return (static_cast<std::uint64_t>(map->bank_of(w)) << 48) |
-                 map->row_of(w);
-        });
+
+    channels_.reserve(num_ch);
+    for (unsigned c = 0; c < num_ch; ++c) {
+      Channel ch;
+      const std::string sfx = num_ch > 1 ? std::to_string(c) : std::string{};
+      axi::AxiPort* upstream = nullptr;  // port that feeds this adapter
+      if (b.monitor_) {
+        // channel masters -> xbar -> mid -> monitored link -> adapter.
+        ch.mid = std::make_unique<axi::AxiPort>(kernel_, 2, "mid" + sfx);
+        ch.adapter_port =
+            std::make_unique<axi::AxiPort>(kernel_, 2, "adapter" + sfx);
+        ch.xbar = std::make_unique<axi::AxiXbar>(
+            kernel_, ch_masters[c],
+            std::vector<axi::AxiPort*>{ch.mid.get()},
+            std::vector<axi::AddrRule>{{b.mem_base_, b.mem_size_, 0}});
+        ch.link = std::make_unique<axi::AxiLink>(kernel_, *ch.mid,
+                                                 *ch.adapter_port);
+        ch.checker = std::make_unique<axi::ProtocolChecker>(bus_bytes_);
+        ch.link->attach_checker(ch.checker.get());
+        upstream = ch.adapter_port.get();
+      } else if (ch_masters[c].size() == 1) {
+        // Bare measurement fabric: the channel's one port feeds the
+        // adapter directly.
+        upstream = ch_masters[c].front();
+      } else {
+        // channel masters -> xbar -> adapter (no monitoring hop).
+        ch.adapter_port =
+            std::make_unique<axi::AxiPort>(kernel_, 2, "adapter" + sfx);
+        ch.xbar = std::make_unique<axi::AxiXbar>(
+            kernel_, ch_masters[c],
+            std::vector<axi::AxiPort*>{ch.adapter_port.get()},
+            std::vector<axi::AddrRule>{{b.mem_base_, b.mem_size_, 0}});
+        upstream = ch.adapter_port.get();
       }
-    }
-    if (fault_plan_) {
-      if (link_) link_->set_fault_plan(fault_plan_.get());
-      adapter_->set_fault_plan(fault_plan_.get());
-      if (auto* db = dynamic_cast<mem::DramBackend*>(backend_.get())) {
-        db->dram().set_fault_plan(fault_plan_.get());
+
+      ch.backend =
+          mem::BackendRegistry::instance().create(kernel_, *store_, mc);
+      ch.adapter = std::make_unique<pack::AxiPackAdapter>(
+          kernel_, *upstream, ch.backend->word_memory(), ac);
+      if (ac.coalesce_enable && mc.name == "dram") {
+        // Give the grouping window the backend's real bank/row
+        // decomposition instead of the coarse address-granule default.
+        if (auto* db = dynamic_cast<mem::DramBackend*>(ch.backend.get())) {
+          const mem::DramAddressMap* map = &db->dram().map();
+          const std::uint64_t base = b.mem_base_;
+          ch.adapter->set_indirect_locality([map, base](std::uint64_t addr) {
+            const std::uint64_t w = (addr - base) / mem::kWordBytes;
+            return (static_cast<std::uint64_t>(map->bank_of(w)) << 48) |
+                   map->row_of(w);
+          });
+        }
       }
+      if (fault_plan_) {
+        // One plan shared by every channel: injection sites draw from the
+        // same per-site event counters, so the fault stream stays a pure
+        // function of (seed, site, event ordinal) regardless of which
+        // channel an event lands on.
+        if (ch.link) ch.link->set_fault_plan(fault_plan_.get());
+        ch.adapter->set_fault_plan(fault_plan_.get());
+        if (auto* db = dynamic_cast<mem::DramBackend*>(ch.backend.get())) {
+          db->dram().set_fault_plan(fault_plan_.get());
+        }
+      }
+      channels_.push_back(std::move(ch));
     }
   }
 
@@ -348,7 +441,13 @@ bool System::drained() const {
     if (m.proc && !m.proc->done()) return false;
     if (m.dma && !m.dma->idle()) return false;
   }
-  return adapter_ == nullptr || adapter_->idle();
+  for (const auto& ch : channels_) {
+    if (ch.adapter && !ch.adapter->idle()) return false;
+  }
+  for (const auto& rt : routers_) {
+    if (rt && rt->pending() != 0) return false;
+  }
+  return true;
 }
 
 sim::RunStatus System::run_until_drained(sim::Cycle max_cycles) {
@@ -387,17 +486,26 @@ RunResult System::run(const wl::WorkloadInstance& instance,
   const sim::FaultStats faults_start =
       fault_plan_ ? fault_plan_->stats() : sim::FaultStats{};
   const sim::RetryStats retry_start = aggregate_retry();
-  const axi::BusStats bus_start = link_ ? link_->stats() : axi::BusStats{};
-  const mem::MemoryBackendStats mem_start =
-      backend_ ? backend_->stats() : mem::MemoryBackendStats{};
-  const pack::CoalescerStats co_start =
-      adapter_ ? adapter_->coalescer_stats() : pack::CoalescerStats{};
-  const pack::IndirectWordStats iw_start =
-      adapter_ ? adapter_->indirect_word_stats() : pack::IndirectWordStats{};
+  // Per-channel snapshots (counters accumulate across runs, so diff).
+  std::vector<axi::BusStats> bus_start(channels_.size());
+  std::vector<mem::MemoryBackendStats> mem_start(channels_.size());
+  std::vector<pack::CoalescerStats> co_start(channels_.size());
+  std::vector<pack::IndirectWordStats> iw_start(channels_.size());
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    const Channel& ch = channels_[c];
+    if (ch.link) bus_start[c] = ch.link->stats();
+    if (ch.backend) mem_start[c] = ch.backend->stats();
+    if (ch.adapter) {
+      co_start[c] = ch.adapter->coalescer_stats();
+      iw_start[c] = ch.adapter->indirect_word_stats();
+    }
+  }
 
   proc.run(instance.program);
   const sim::RunStatus finished = run_until_drained(max_cycles);
   result.cycles = kernel_.now() - start;
+  result.channels =
+      static_cast<unsigned>(std::max<std::size_t>(1, channels_.size()));
   if (!finished) {
     result.error = "timeout";
     return result;
@@ -406,8 +514,21 @@ RunResult System::run(const wl::WorkloadInstance& instance,
   result.activity = proc.counters().diff(counters_start);
   const double bus_capacity =
       static_cast<double>(result.cycles) * bus_bytes_;
-  if (link_) {
-    result.bus = link_->stats().diff(bus_start);
+  const bool monitored =
+      !channels_.empty() && channels_.front().link != nullptr;
+  if (monitored) {
+    // Aggregate = sum of every channel link's counters; utilizations are
+    // normalized against ONE link's capacity (see RunResult), so a
+    // perfectly-scaled C-channel run reports r_util near C.
+    result.per_channel.resize(channels_.size());
+    for (std::size_t c = 0; c < channels_.size(); ++c) {
+      const axi::BusStats d = channels_[c].link->stats().diff(bus_start[c]);
+      result.bus += d;
+      ChannelRunStats& cs = result.per_channel[c];
+      cs.bus = d;
+      cs.r_util = static_cast<double>(d.r_payload_bytes) / bus_capacity;
+      cs.r_fault_beats = d.r_fault_beats;
+    }
     result.r_util = static_cast<double>(result.bus.r_payload_bytes) /
                     bus_capacity;
     result.r_util_no_idx =
@@ -427,31 +548,40 @@ RunResult System::run(const wl::WorkloadInstance& instance,
   }
   // else: fabric built with monitor(false) — there is no monitored hop, so
   // bus utilization is not measured and the fields stay 0.
-  if (backend_) {
-    const mem::MemoryBackendStats now = backend_->stats();
-    result.bank_grants = now.grants - mem_start.grants;
-    result.bank_conflict_losses =
-        now.conflict_losses - mem_start.conflict_losses;
-    result.row_hits = now.row_hits - mem_start.row_hits;
-    result.row_misses = now.row_misses - mem_start.row_misses;
-    result.refresh_stall_cycles =
-        now.refresh_stall_cycles - mem_start.refresh_stall_cycles;
-    result.row_batch_defer_cycles =
-        now.row_batch_defer_cycles - mem_start.row_batch_defer_cycles;
-    result.row_starved_grants =
-        now.row_starved_grants - mem_start.row_starved_grants;
-  }
-  if (adapter_) {
-    const pack::CoalescerStats co = adapter_->coalescer_stats();
-    result.coalesce_merged = co.merged - co_start.merged;
-    result.coalesce_unique = co.unique - co_start.unique;
-    // Peak occupancy is a high-water mark, not a counter: report the
-    // lifetime peak rather than a meaningless difference.
-    result.coalesce_peak_pending = co.peak_pending;
-    result.coalesce_row_groups = co.row_groups - co_start.row_groups;
-    const pack::IndirectWordStats iw = adapter_->indirect_word_stats();
-    result.indirect_idx_words = iw.idx_words - iw_start.idx_words;
-    result.indirect_elem_words = iw.elem_words - iw_start.elem_words;
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    const Channel& ch = channels_[c];
+    if (ch.backend) {
+      const mem::MemoryBackendStats now = ch.backend->stats();
+      const mem::MemoryBackendStats& st = mem_start[c];
+      result.bank_grants += now.grants - st.grants;
+      result.bank_conflict_losses +=
+          now.conflict_losses - st.conflict_losses;
+      result.row_hits += now.row_hits - st.row_hits;
+      result.row_misses += now.row_misses - st.row_misses;
+      result.refresh_stall_cycles +=
+          now.refresh_stall_cycles - st.refresh_stall_cycles;
+      result.row_batch_defer_cycles +=
+          now.row_batch_defer_cycles - st.row_batch_defer_cycles;
+      result.row_starved_grants +=
+          now.row_starved_grants - st.row_starved_grants;
+      if (monitored) {
+        result.per_channel[c].row_hits = now.row_hits - st.row_hits;
+        result.per_channel[c].row_misses = now.row_misses - st.row_misses;
+      }
+    }
+    if (ch.adapter) {
+      const pack::CoalescerStats co = ch.adapter->coalescer_stats();
+      result.coalesce_merged += co.merged - co_start[c].merged;
+      result.coalesce_unique += co.unique - co_start[c].unique;
+      // Peak occupancy is a high-water mark, not a counter: report the
+      // worst lifetime peak across channels, not a difference or a sum.
+      result.coalesce_peak_pending =
+          std::max(result.coalesce_peak_pending, co.peak_pending);
+      result.coalesce_row_groups += co.row_groups - co_start[c].row_groups;
+      const pack::IndirectWordStats iw = ch.adapter->indirect_word_stats();
+      result.indirect_idx_words += iw.idx_words - iw_start[c].idx_words;
+      result.indirect_elem_words += iw.elem_words - iw_start[c].elem_words;
+    }
   }
   if (fault_plan_) {
     const sim::FaultStats& fs = fault_plan_->stats();
@@ -466,17 +596,18 @@ RunResult System::run(const wl::WorkloadInstance& instance,
   result.retry_timeouts = retry_now.timeouts - retry_start.timeouts;
   result.failed_ops = retry_now.failed_ops - retry_start.failed_ops;
   result.degraded = retry_now.degraded;
-  if (checker_) {
-    result.protocol_violations = checker_->violations().size();
+  for (const Channel& ch : channels_) {
+    if (!ch.checker) continue;
+    result.protocol_violations += ch.checker->violations().size();
     // With fault injection active, rule breaches are the expected symptom
     // of injected misbehaviour (a truncated burst IS a beat-count
     // violation): surface them as diagnostics and keep going. Without a
     // fault plan they indicate a real modelling bug and fail the run hard.
-    if (result.protocol_violations > 0 && fault_plan_ == nullptr) {
+    if (!ch.checker->violations().empty() && fault_plan_ == nullptr) {
       result.correct = false;
       result.error = "AXI protocol violation: " +
-                     checker_->violations().front().rule + " — " +
-                     checker_->violations().front().detail;
+                     ch.checker->violations().front().rule + " — " +
+                     ch.checker->violations().front().detail;
       return result;
     }
   }
@@ -497,6 +628,7 @@ std::string RunResult::to_json() const {
   w.begin_object();
   w.key("bus_bits").value(bus_bits);
   w.key("cycles").value(cycles);
+  w.key("channels").value(channels);
   w.key("r_util").value(r_util);
   w.key("r_util_no_idx").value(r_util_no_idx);
   w.key("w_util").value(w_util);
@@ -523,6 +655,19 @@ std::string RunResult::to_json() const {
   w.key("retry_timeouts").value(retry_timeouts);
   w.key("failed_ops").value(failed_ops);
   w.key("degraded").value(degraded);
+  w.key("per_channel").begin_array();
+  for (const ChannelRunStats& cs : per_channel) {
+    w.begin_object();
+    w.key("r_util").value(cs.r_util);
+    w.key("r_beats").value(cs.bus.r_beats);
+    w.key("r_payload_bytes").value(cs.bus.r_payload_bytes);
+    w.key("w_payload_bytes").value(cs.bus.w_payload_bytes);
+    w.key("row_hits").value(cs.row_hits);
+    w.key("row_misses").value(cs.row_misses);
+    w.key("r_fault_beats").value(cs.r_fault_beats);
+    w.end_object();
+  }
+  w.end_array();
   if (!error.empty()) w.key("error").value(error);
   w.end_object();
   return w.str();

@@ -1,14 +1,17 @@
 // One assembled evaluation SoC. Systems are constructed exclusively by
 // SystemBuilder (see builder.hpp): any number of masters (vector
-// processors, DMA engines, raw ports) reach one AXI-Pack adapter and its
-// pluggable memory backend through an auto-wired crossbar/link fabric;
-// ideal-mode processors run on their exclusive ideal memory instead.
+// processors, DMA engines, raw ports) reach N independent memory channels
+// — each a full fabric slice of crossbar, monitored link, AXI-Pack adapter
+// and pluggable memory backend — through per-master address-interleaving
+// ChannelRouters (channels(1) needs no router and is the single-endpoint
+// system); ideal-mode processors run on their exclusive ideal memory.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "axi/channel_router.hpp"
 #include "axi/monitor.hpp"
 #include "axi/protocol_checker.hpp"
 #include "axi/xbar.hpp"
@@ -23,13 +26,31 @@
 
 namespace axipack::sys {
 
+/// Per-channel slice of a multi-channel run's measurements (monitored
+/// systems only; one entry per memory channel).
+struct ChannelRunStats {
+  axi::BusStats bus;            ///< this channel's link traffic
+  double r_util = 0.0;          ///< this channel's link R utilization
+  std::uint64_t row_hits = 0;   ///< dram only
+  std::uint64_t row_misses = 0; ///< dram only
+  std::uint64_t r_fault_beats = 0;  ///< injected R faults on this link
+};
+
 /// Measurements from one workload run.
 struct RunResult {
   unsigned bus_bits = 256;  ///< data-bus width of the system that ran
   std::uint64_t cycles = 0;
+  unsigned channels = 1;    ///< memory channels of the system that ran
+  /// Aggregate utilizations sum every channel link's payload against ONE
+  /// link's capacity, so they scale past 1.0 as channels are added — the
+  /// scale-out metric the channel-scaling bench gates on. At channels == 1
+  /// they are the familiar single-link utilizations.
   double r_util = 0.0;         ///< read-bus utilization, incl. index traffic
   double r_util_no_idx = 0.0;  ///< read-bus utilization, data only
   double w_util = 0.0;
+  /// Per-channel slices of the aggregate counters (empty when the system
+  /// was built with monitor(false); size == channels otherwise).
+  std::vector<ChannelRunStats> per_channel;
   bool correct = false;
   std::uint64_t protocol_violations = 0;  ///< AXI rule breaches on the link
   std::string error;
@@ -111,21 +132,47 @@ class System {
   axi::AxiPort& master_port(MasterId id);
 
   // ---- fabric / endpoint -----------------------------------------------
-  bool has_fabric() const { return adapter_ != nullptr; }
-  pack::AxiPackAdapter& adapter() { return *adapter_; }
-  /// Memory backend behind the adapter; null on fabric-less (IDEAL) systems.
-  const mem::MemoryBackend* memory_backend() const { return backend_.get(); }
-  /// Monitored-link counters; null when built with monitor(false).
+  bool has_fabric() const {
+    return !channels_.empty() && channels_.front().adapter != nullptr;
+  }
+  unsigned num_channels() const {
+    return static_cast<unsigned>(channels_.size());
+  }
+  /// Channel 0's adapter (the only one on single-channel systems).
+  pack::AxiPackAdapter& adapter() { return *channels_.front().adapter; }
+  pack::AxiPackAdapter& adapter(unsigned channel) {
+    return *channels_[channel].adapter;
+  }
+  /// Channel 0's memory backend (the only one on single-channel systems);
+  /// null on fabric-less (IDEAL) systems.
+  const mem::MemoryBackend* memory_backend() const {
+    return channels_.empty() ? nullptr : channels_.front().backend.get();
+  }
+  const mem::MemoryBackend* memory_backend(unsigned channel) const {
+    return channels_[channel].backend.get();
+  }
+  /// Channel 0's monitored-link counters; null when built with
+  /// monitor(false). Multi-channel callers aggregate over bus_stats(c).
   const axi::BusStats* bus_stats() const {
-    return link_ ? &link_->stats() : nullptr;
+    return channels_.empty() || !channels_.front().link
+               ? nullptr
+               : &channels_.front().link->stats();
+  }
+  const axi::BusStats* bus_stats(unsigned channel) const {
+    return channels_[channel].link ? &channels_[channel].link->stats()
+                                   : nullptr;
+  }
+  /// The per-master channel router (channels >= 2 only; null otherwise).
+  axi::ChannelRouter* router(MasterId id) {
+    return id < routers_.size() ? routers_[id].get() : nullptr;
   }
   /// The system's fault plan, or null when built without faults(). Tests
   /// pin exact faults on it via FaultPlan::force before running.
   sim::FaultPlan* fault_plan() { return fault_plan_.get(); }
-  /// Protocol-checker diagnostics collected so far (empty when the system
-  /// was built with monitor(false)).
+  /// Channel 0's protocol-checker diagnostics (empty when the system was
+  /// built with monitor(false)).
   const axi::ProtocolChecker* protocol_checker() const {
-    return checker_.get();
+    return channels_.empty() ? nullptr : channels_.front().checker.get();
   }
 
   /// True when every master is quiescent (processors done, DMA engines
@@ -153,18 +200,29 @@ class System {
     std::unique_ptr<dma::DmaEngine> dma;     ///< kind == dma
   };
 
+  /// One memory channel's fabric slice: its crossbar (several masters),
+  /// monitored link + checker (monitor(true)), and its adapter + backend.
+  /// All backends decode absolute addresses against the one shared
+  /// BackingStore, so data placement is channel-count-invariant.
+  struct Channel {
+    std::unique_ptr<axi::AxiPort> mid;           ///< xbar -> link hop
+    std::unique_ptr<axi::AxiPort> adapter_port;  ///< feeds the adapter
+    std::unique_ptr<axi::AxiXbar> xbar;
+    std::unique_ptr<axi::AxiLink> link;
+    std::unique_ptr<axi::ProtocolChecker> checker;
+    std::unique_ptr<mem::MemoryBackend> backend;
+    std::unique_ptr<pack::AxiPackAdapter> adapter;
+  };
+
   unsigned bus_bytes_ = 32;
   sim::Kernel kernel_;
   std::unique_ptr<mem::BackingStore> store_;
   std::vector<Master> masters_;
-  // Fabric (absent when no master has an AXI port).
-  std::unique_ptr<axi::AxiPort> port_mid_;
-  std::unique_ptr<axi::AxiPort> port_adapter_;
-  std::unique_ptr<axi::AxiXbar> xbar_;
-  std::unique_ptr<axi::AxiLink> link_;
-  std::unique_ptr<axi::ProtocolChecker> checker_;
-  std::unique_ptr<mem::MemoryBackend> backend_;
-  std::unique_ptr<pack::AxiPackAdapter> adapter_;
+  // Fabric (empty when no master has an AXI port). One Channel per memory
+  // channel; with >= 2 channels each fabric master gets a ChannelRouter
+  // (indexed like masters_; null entries for port-less ideal processors).
+  std::vector<Channel> channels_;
+  std::vector<std::unique_ptr<axi::ChannelRouter>> routers_;
   std::unique_ptr<sim::FaultPlan> fault_plan_;  ///< null = fault-free
 };
 

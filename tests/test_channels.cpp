@@ -1,0 +1,522 @@
+// Multi-channel memory scale-out tests.
+//
+// Three layers:
+//   * ChannelRouter unit tests against a scripted per-channel memory stub:
+//     interleave geometry, read splitting + seam-hidden reassembly, write
+//     splitting + worst-resp B merging, and the error-truncation poison
+//     protocol (including drain and reuse after a poisoned transaction).
+//   * System-level differential tests: the same workload produces the same
+//     memory image and verified result for channels in {1, 2, 4, 8} under
+//     every DRAM mapping, 1-channel builds match the legacy single-endpoint
+//     wiring exactly, and per-channel stats sum to the aggregates.
+//   * Scenario-grammar tests for the -ch / -m knobs.
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "axi/burst.hpp"
+#include "axi/channel_router.hpp"
+#include "axi/types.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/dram_timing.hpp"
+#include "sim/kernel.hpp"
+#include "systems/builder.hpp"
+#include "systems/runner.hpp"
+#include "systems/scenario.hpp"
+#include "systems/system.hpp"
+#include "test_common.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace axipack;
+
+constexpr std::uint64_t kBase = 0x8000'0000ull;
+constexpr std::uint64_t kSize = 1ull << 20;
+constexpr unsigned kBusBytes = 32;
+
+/// Scripted slave for one router down-channel: serves R beats whose first
+/// eight data lanes carry the beat's absolute address (so reassembly order
+/// and pass-through addressing are both observable upstream), accepts W
+/// bursts and answers each with a configurable B response, and can
+/// truncate one chosen read burst early with an error beat.
+class MemStub final : public sim::Component {
+ public:
+  MemStub(sim::Kernel& k, axi::AxiPort& port) : port_(port) {
+    k.add(*this);
+    k.subscribe(*this, port.ar);
+    k.subscribe(*this, port.aw);
+    k.subscribe(*this, port.w);
+  }
+
+  /// Truncate the `burst`-th read burst served (0-based): emit `beats`
+  /// beats, the final one SLVERR with `last` set.
+  void truncate_read(unsigned burst, unsigned beats) {
+    trunc_burst_ = burst;
+    trunc_beats_ = beats;
+  }
+  void write_resp(std::uint8_t resp) { b_resp_ = resp; }
+
+  const std::vector<axi::AxiAr>& ars_seen() const { return ars_seen_; }
+  const std::vector<unsigned>& w_burst_lens() const { return w_lens_; }
+  std::uint64_t r_beats_served() const { return r_beats_served_; }
+
+  void tick() override {
+    if (!r_active_ && port_.ar.can_pop()) {
+      ar_ = port_.ar.pop();
+      ars_seen_.push_back(ar_);
+      r_active_ = true;
+      beat_ = 0;
+      ++r_bursts_started_;
+    }
+    if (r_active_ && port_.r.can_push()) {
+      axi::AxiR r;
+      r.id = ar_.id;
+      // Pack-burst element addresses are data-dependent; stamp a synthetic
+      // per-beat address for those instead of decoding the stream.
+      const std::uint64_t addr =
+          ar_.pack.has_value()
+              ? ar_.addr + beat_ * std::uint64_t{ar_.beat_bytes()}
+              : axi::beat_addr(ar_, beat_);
+      std::memcpy(r.data.data(), &addr, sizeof(addr));
+      r.useful_bytes = kBusBytes;
+      const bool trunc = r_bursts_started_ - 1 == trunc_burst_ &&
+                         beat_ + 1 == trunc_beats_;
+      r.last = trunc || beat_ == ar_.len;
+      r.resp = trunc ? axi::kRespSlvErr : axi::kRespOkay;
+      port_.r.push(r);
+      ++r_beats_served_;
+      ++beat_;
+      if (r.last) r_active_ = false;
+    }
+    if (!w_active_ && !b_pending_ && port_.aw.can_pop()) {
+      aw_ = port_.aw.pop();
+      w_active_ = true;
+      wbeat_ = 0;
+    }
+    if (w_active_ && port_.w.can_pop()) {
+      const axi::AxiW wb = port_.w.pop();
+      ++wbeat_;
+      if (wb.last) {
+        w_lens_.push_back(wbeat_);
+        w_active_ = false;
+        b_pending_ = true;
+      }
+    }
+    if (b_pending_ && port_.b.can_push()) {
+      axi::AxiB b;
+      b.id = aw_.id;
+      b.resp = b_resp_;
+      port_.b.push(b);
+      b_pending_ = false;
+    }
+  }
+
+ private:
+  axi::AxiPort& port_;
+  axi::AxiAr ar_;
+  axi::AxiAw aw_;
+  bool r_active_ = false;
+  bool w_active_ = false;
+  bool b_pending_ = false;
+  unsigned beat_ = 0;
+  unsigned wbeat_ = 0;
+  std::uint64_t r_bursts_started_ = 0;
+  std::uint64_t r_beats_served_ = 0;
+  unsigned trunc_burst_ = ~0u;
+  unsigned trunc_beats_ = 0;
+  std::uint8_t b_resp_ = axi::kRespOkay;
+  std::vector<axi::AxiAr> ars_seen_;
+  std::vector<unsigned> w_lens_;
+};
+
+struct RouterHarness {
+  sim::Kernel kernel;
+  axi::AxiPort up;
+  axi::ChannelRouter router;
+  std::vector<std::unique_ptr<MemStub>> stubs;
+
+  RouterHarness(unsigned channels, std::uint64_t granule)
+      : up(kernel, 2, "up"),
+        router(kernel, up,
+               axi::ChannelRouteConfig{kBase, kSize, granule, channels},
+               "rt") {
+    for (unsigned c = 0; c < channels; ++c) {
+      stubs.push_back(std::make_unique<MemStub>(kernel, router.down(c)));
+    }
+  }
+
+  /// Pushes `ar` upstream and collects R beats until `last` or the cycle
+  /// limit.
+  std::vector<axi::AxiR> run_read(const axi::AxiAr& ar,
+                                  unsigned limit = 5000) {
+    bool pushed = false;
+    std::vector<axi::AxiR> beats;
+    for (unsigned i = 0; i < limit; ++i) {
+      if (!pushed) pushed = up.ar.try_push(ar);
+      kernel.step();
+      while (const auto b = up.r.try_pop()) beats.push_back(*b);
+      if (!beats.empty() && beats.back().last) break;
+    }
+    return beats;
+  }
+};
+
+std::uint64_t stamped_addr(const axi::AxiR& r) {
+  std::uint64_t a = 0;
+  std::memcpy(&a, r.data.data(), sizeof(a));
+  return a;
+}
+
+TEST(ChannelRouter, BlockOfGranulesCoversEveryChannelOnce) {
+  RouterHarness h(4, 4096);
+  for (std::uint64_t block = 0; block < 8; ++block) {
+    unsigned seen_mask = 0;
+    for (std::uint64_t c = 0; c < 4; ++c) {
+      const std::uint64_t addr = kBase + (block * 4 + c) * 4096;
+      const unsigned ch = h.router.channel_of(addr);
+      EXPECT_LT(ch, 4u);
+      seen_mask |= 1u << ch;
+      // Every address of a granule maps to the granule's channel.
+      EXPECT_EQ(h.router.channel_of(addr + 4095), ch);
+    }
+    EXPECT_EQ(seen_mask, 0xfu);
+  }
+  // Out-of-region addresses decode to channel 0 (its crossbar raises the
+  // DECERR).
+  EXPECT_EQ(h.router.channel_of(kBase - 1), 0u);
+  EXPECT_EQ(h.router.channel_of(kBase + kSize), 0u);
+}
+
+TEST(ChannelRouter, SplitsReadAtGranulesAndReassemblesInOrder) {
+  RouterHarness h(2, 256);
+  axi::AxiAr ar;
+  ar.addr = kBase;
+  ar.id = 7;
+  ar.len = 31;  // 32 beats x 32 B = 1 KiB = 4 granules
+  ar.size = 5;
+  const std::vector<axi::AxiR> beats = h.run_read(ar);
+
+  ASSERT_EQ(beats.size(), 32u);
+  for (unsigned i = 0; i < 32; ++i) {
+    EXPECT_EQ(beats[i].id, 7u);
+    EXPECT_EQ(beats[i].resp, axi::kRespOkay);
+    // Beats come back in original order with pass-through addressing; the
+    // sub-burst seams are hidden (`last` only on the final beat).
+    EXPECT_EQ(stamped_addr(beats[i]), kBase + i * 32ull);
+    EXPECT_EQ(beats[i].last, i == 31);
+  }
+
+  // Each stub only saw sub-bursts that belong to its channel, each
+  // granule-contained, and the sub-burst beats sum to the original burst.
+  std::uint64_t total_beats = 0;
+  for (unsigned c = 0; c < 2; ++c) {
+    for (const axi::AxiAr& sub : h.stubs[c]->ars_seen()) {
+      EXPECT_EQ(h.router.channel_of(sub.addr), c);
+      EXPECT_EQ(h.router.channel_of(axi::beat_addr(sub, sub.len)), c);
+      total_beats += sub.beats();
+    }
+    EXPECT_GT(h.stubs[c]->ars_seen().size(), 0u);
+  }
+  EXPECT_EQ(total_beats, 32u);
+  EXPECT_EQ(h.router.pending(), 0u);
+}
+
+TEST(ChannelRouter, RoutesPackBurstsWholeByStreamAnchor) {
+  RouterHarness h(2, 256);
+  axi::AxiAr ar;
+  ar.addr = kBase + 3 * 256;  // granule 3
+  ar.id = 1;
+  ar.len = 15;
+  ar.size = 2;
+  axi::PackRequest pr;
+  pr.indir = false;
+  pr.stride = 1024;  // elements hop granules; the burst must not split
+  pr.num_elems = 16;
+  ar.pack = pr;
+  const std::vector<axi::AxiR> beats = h.run_read(ar);
+  ASSERT_EQ(beats.size(), 16u);
+  EXPECT_TRUE(beats.back().last);
+
+  const unsigned home = h.router.channel_of(ar.addr);
+  EXPECT_EQ(h.stubs[home]->ars_seen().size(), 1u);
+  EXPECT_EQ(h.stubs[home ^ 1]->ars_seen().size(), 0u);
+  EXPECT_TRUE(h.stubs[home]->ars_seen()[0].pack.has_value());
+}
+
+TEST(ChannelRouter, MergesWriteResponsesWorstResp) {
+  RouterHarness h(2, 256);
+  // 16 beats x 32 B = 512 B = 2 granules: one sub-AW per channel.
+  axi::AxiAw aw;
+  aw.addr = kBase;
+  aw.id = 3;
+  aw.len = 15;
+  aw.size = 5;
+  h.stubs[0]->write_resp(axi::kRespOkay);
+  h.stubs[1]->write_resp(axi::kRespSlvErr);
+
+  bool aw_pushed = false;
+  unsigned w_pushed = 0;
+  std::vector<axi::AxiB> bs;
+  for (unsigned i = 0; i < 2000 && bs.empty(); ++i) {
+    if (!aw_pushed) aw_pushed = h.up.aw.try_push(aw);
+    if (aw_pushed && w_pushed < 16) {
+      axi::AxiW w;
+      w.strb = 0xffffffffu;
+      w.useful_bytes = kBusBytes;
+      w.last = w_pushed == 15;
+      if (h.up.w.try_push(w)) ++w_pushed;
+    }
+    h.kernel.step();
+    while (const auto b = h.up.b.try_pop()) bs.push_back(*b);
+  }
+
+  // Exactly one merged B, carrying the worst sub-response.
+  ASSERT_EQ(bs.size(), 1u);
+  EXPECT_EQ(bs[0].id, 3u);
+  EXPECT_EQ(bs[0].resp, axi::kRespSlvErr);
+  // Each channel got its 8-beat slice with `last` rewritten per sub-burst.
+  ASSERT_EQ(h.stubs[0]->w_burst_lens().size(), 1u);
+  ASSERT_EQ(h.stubs[1]->w_burst_lens().size(), 1u);
+  EXPECT_EQ(h.stubs[0]->w_burst_lens()[0], 8u);
+  EXPECT_EQ(h.stubs[1]->w_burst_lens()[0], 8u);
+  EXPECT_EQ(h.router.pending(), 0u);
+}
+
+TEST(ChannelRouter, TruncatedSubBurstPoisonsDrainsAndRecovers) {
+  RouterHarness h(2, 256);
+  // 32 beats spanning 4 granules; channel sequence ch0 x8, ch1 x16, ch0 x8
+  // (granules 1 and 2 both fold to channel 1 with two channels).
+  axi::AxiAr ar;
+  ar.addr = kBase;
+  ar.id = 9;
+  ar.len = 31;
+  ar.size = 5;
+  ASSERT_EQ(h.router.channel_of(kBase + 0 * 256), 0u);
+  ASSERT_EQ(h.router.channel_of(kBase + 1 * 256), 1u);
+  ASSERT_EQ(h.router.channel_of(kBase + 2 * 256), 1u);
+  ASSERT_EQ(h.router.channel_of(kBase + 3 * 256), 0u);
+  // Channel 1 dies 6 beats into its (first) 16-beat sub-burst.
+  h.stubs[1]->truncate_read(0, 6);
+
+  const std::vector<axi::AxiR> beats = h.run_read(ar);
+  // 8 clean channel-0 beats, 5 clean channel-1 beats, then the error beat
+  // terminates the burst early with `last` set.
+  ASSERT_EQ(beats.size(), 14u);
+  for (unsigned i = 0; i < 13; ++i) {
+    EXPECT_EQ(beats[i].resp, axi::kRespOkay);
+    EXPECT_FALSE(beats[i].last);
+    EXPECT_EQ(stamped_addr(beats[i]), kBase + i * 32ull);
+  }
+  EXPECT_EQ(beats[13].resp, axi::kRespSlvErr);
+  EXPECT_TRUE(beats[13].last);
+
+  // The poisoned transaction's trailing sub-burst is drained internally;
+  // nothing else surfaces upstream and the router goes fully idle.
+  for (unsigned i = 0; i < 200; ++i) {
+    h.kernel.step();
+    EXPECT_FALSE(h.up.r.try_pop().has_value());
+  }
+  EXPECT_EQ(h.router.pending(), 0u);
+
+  // The router is reusable after a poisoned transaction.
+  axi::AxiAr again;
+  again.addr = kBase + 4 * 256;
+  again.id = 10;
+  again.len = 7;
+  again.size = 5;
+  const std::vector<axi::AxiR> ok = h.run_read(again);
+  ASSERT_EQ(ok.size(), 8u);
+  EXPECT_TRUE(ok.back().last);
+  EXPECT_EQ(ok.back().resp, axi::kRespOkay);
+  EXPECT_EQ(stamped_addr(ok[0]), again.addr);
+}
+
+// ---------------------------------------------------------------------------
+// System-level differential tests.
+
+std::uint64_t store_hash(sys::System& system) {
+  mem::BackingStore& st = system.store();
+  std::vector<std::uint8_t> buf(1u << 16);
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (std::uint64_t off = 0; off < st.size(); off += buf.size()) {
+    const std::uint64_t n =
+        std::min<std::uint64_t>(buf.size(), st.size() - off);
+    st.read(st.base() + off, buf.data(), n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      h ^= buf[i];
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+struct ChannelRun {
+  sys::RunResult rr;
+  std::uint64_t hash = 0;
+};
+
+ChannelRun run_gemv(unsigned channels, mem::DramMapping mapping) {
+  sys::SystemBuilder b = sys::parse_scenario("pack-256-dram").value();
+  mem::DramTimingConfig t;
+  t.mapping = mapping;
+  b.dram_timing(t);
+  b.channels(channels);
+  wl::WorkloadConfig cfg = sys::plan_workload(wl::KernelKind::gemv, b);
+  cfg.n = 96;
+  std::unique_ptr<sys::System> system = b.build();
+  const wl::WorkloadInstance inst = wl::build_workload(system->store(), cfg);
+  ChannelRun out;
+  out.rr = system->run(inst);
+  out.hash = store_hash(*system);
+  return out;
+}
+
+TEST(SystemChannels, DataIdenticalAcrossChannelCountsAndMappings) {
+  for (const mem::DramMapping mapping :
+       {mem::DramMapping::permuted, mem::DramMapping::bank_interleaved,
+        mem::DramMapping::row_interleaved}) {
+    std::optional<std::uint64_t> golden;
+    for (const unsigned channels : {1u, 2u, 4u, 8u}) {
+      const ChannelRun run = run_gemv(channels, mapping);
+      ASSERT_TRUE(run.rr.correct);
+      EXPECT_EQ(run.rr.error, std::string());
+      EXPECT_EQ(run.rr.channels, channels);
+      // Same inputs, same outputs: the interleaved fan-out must not change
+      // a single byte of the memory image, only the timing.
+      if (!golden) {
+        golden = run.hash;
+      } else {
+        EXPECT_EQ(run.hash, *golden);
+      }
+    }
+  }
+}
+
+TEST(SystemChannels, OneChannelBuildMatchesLegacyWiringExactly) {
+  // channels(1) must not merely be "close": it is the same wiring (no
+  // router is built), so cycles and every counter match bit for bit.
+  std::optional<sys::SystemBuilder> legacy =
+      sys::parse_scenario("pack-256-dram");
+  ASSERT_TRUE(legacy.has_value());
+  std::optional<sys::SystemBuilder> one = sys::parse_scenario("pack-256-dram");
+  ASSERT_TRUE(one.has_value());
+  one->channels(1);
+
+  wl::WorkloadConfig cfg = sys::plan_workload(wl::KernelKind::gemv, *legacy);
+  cfg.n = 96;
+
+  std::unique_ptr<sys::System> sys_a = legacy->build();
+  const wl::WorkloadInstance inst_a = wl::build_workload(sys_a->store(), cfg);
+  const sys::RunResult a = sys_a->run(inst_a);
+
+  std::unique_ptr<sys::System> sys_b = one->build();
+  const wl::WorkloadInstance inst_b = wl::build_workload(sys_b->store(), cfg);
+  const sys::RunResult b = sys_b->run(inst_b);
+
+  EXPECT_TRUE(a.correct);
+  EXPECT_TRUE(b.correct);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.channels, 1u);
+  EXPECT_EQ(b.channels, 1u);
+  EXPECT_EQ(a.bus.r_beats, b.bus.r_beats);
+  EXPECT_EQ(a.bus.r_payload_bytes, b.bus.r_payload_bytes);
+  EXPECT_EQ(a.bus.w_beats, b.bus.w_beats);
+  EXPECT_EQ(a.row_hits, b.row_hits);
+  EXPECT_EQ(a.row_misses, b.row_misses);
+  EXPECT_EQ(a.r_util, b.r_util);
+  EXPECT_EQ(store_hash(*sys_a), store_hash(*sys_b));
+}
+
+TEST(SystemChannels, PerChannelStatsSumToAggregates) {
+  const ChannelRun run = run_gemv(4, mem::DramMapping::permuted);
+  ASSERT_TRUE(run.rr.correct);
+  const sys::RunResult& rr = run.rr;
+  ASSERT_EQ(rr.per_channel.size(), 4u);
+
+  std::uint64_t r_beats = 0, r_payload = 0, hits = 0, misses = 0;
+  double util = 0.0;
+  unsigned active = 0;
+  for (const sys::ChannelRunStats& cs : rr.per_channel) {
+    r_beats += cs.bus.r_beats;
+    r_payload += cs.bus.r_payload_bytes;
+    hits += cs.row_hits;
+    misses += cs.row_misses;
+    util += cs.r_util;
+    if (cs.bus.r_beats > 0) ++active;
+  }
+  EXPECT_EQ(r_beats, rr.bus.r_beats);
+  EXPECT_EQ(r_payload, rr.bus.r_payload_bytes);
+  EXPECT_EQ(hits, rr.row_hits);
+  EXPECT_EQ(misses, rr.row_misses);
+  EXPECT_NEAR(util, rr.r_util, 1e-9);
+  // The gemv footprint spans many granules: the interleave must actually
+  // spread the stream over the channels.
+  EXPECT_GT(active, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-grammar coverage for the channel and master-count knobs.
+
+TEST(ScenarioGrammar, ChannelKnobParsesAndConfigures) {
+  std::string error;
+  const auto b = sys::parse_scenario("pack-256-dram-ch4", &error);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(error, std::string());
+  EXPECT_EQ(b->num_channels(), 4u);
+
+  // Composes with the other dram knobs, in any order.
+  const auto c = sys::parse_scenario("pack-64-dram-w8-ch2-f50-r4", &error);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->num_channels(), 2u);
+
+  // A bare '-c' is still the starvation cap, not a channel count.
+  const auto d = sys::parse_scenario("pack-256-dram-c100", &error);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->num_channels(), 1u);
+}
+
+TEST(ScenarioGrammar, ChannelKnobRejectsBadValues) {
+  std::string error;
+  EXPECT_FALSE(sys::parse_scenario("pack-256-dram-ch0", &error).has_value());
+
+  error.clear();
+  EXPECT_FALSE(sys::parse_scenario("pack-256-dram-ch3", &error).has_value());
+  EXPECT_NE(error.find("'-ch3'"), std::string::npos);
+  EXPECT_NE(error.find("power-of-two"), std::string::npos);
+
+  error.clear();
+  EXPECT_FALSE(sys::parse_scenario("pack-256-dram-ch128", &error).has_value());
+
+  error.clear();
+  EXPECT_FALSE(
+      sys::parse_scenario("pack-256-dram-ch2-ch4", &error).has_value());
+  EXPECT_NE(error.find("'-ch'"), std::string::npos);
+}
+
+TEST(ScenarioGrammar, MasterCountKnobParses) {
+  std::string error;
+  const auto b = sys::parse_scenario("pack-256-dram-ch4-m6", &error);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(error, std::string());
+  EXPECT_EQ(b->num_channels(), 4u);
+
+  EXPECT_FALSE(sys::parse_scenario("pack-256-dram-m0", &error).has_value());
+
+  error.clear();
+  EXPECT_FALSE(
+      sys::parse_scenario("pack-256-dram-m4-m8", &error).has_value());
+  EXPECT_NE(error.find("'-m'"), std::string::npos);
+}
+
+TEST(ScenarioGrammar, ManyMasterScenariosAreRegistered) {
+  for (const char* name :
+       {"many-master-pack-16", "many-master-pack-32", "many-master-pack-64"}) {
+    sys::SystemBuilder b = sys::ScenarioRegistry::instance().builder(name);
+    EXPECT_GT(b.num_channels(), 1u);
+  }
+}
+
+}  // namespace

@@ -213,7 +213,14 @@ TEST(KernelEquivalence, ParametricFamilyMembers) {
         // merge/fan-out/reorder machinery in the loop (and the coalescer
         // stats themselves must be bit-identical).
         "pack-256-dram-x16", "pack-64-dram-x8-g4",
-        "pack-128-dram-x32-g16-w8"}) {
+        "pack-128-dram-x32-g16-w8",
+        // Multi-channel family: the channel router's eager response
+        // reordering holds internal state the gating sleep logic must
+        // account for, so cycle identity here guards the whole
+        // fan-out/reassembly machine, alone and composed with the other
+        // knobs (scheduler window, coalescer, extra masters).
+        "pack-256-dram-ch2", "base-128-dram-ch2", "pack-64-dram-ch4-w8",
+        "pack-256-dram-ch8-x16", "pack-256-dram-ch4-m6"}) {
     const Snapshot naive = drive_scenario(name, /*naive=*/true);
     const Snapshot gated = drive_scenario(name, /*naive=*/false);
     expect_identical(naive, gated, name);
@@ -256,7 +263,10 @@ TEST(KernelEquivalence, FaultInjectionStaysCycleIdentical) {
   // is non-vacuous: faults actually fire and are recovered.
   for (const std::string scenario :
        {std::string("pack-256-dram-f50-r4"),
-        std::string("pack-64-dram-f50-r4")}) {
+        std::string("pack-64-dram-f50-r4"),
+        // Faults on a multi-channel fabric: per-link injection plus the
+        // router's truncation-poison path must stay deterministic.
+        std::string("pack-256-dram-ch4-f50-r4")}) {
     for (const auto kernel : {wl::KernelKind::spmv, wl::KernelKind::gemv}) {
       auto cfg = sys::plan_workload(kernel, scenario);
       cfg.n = 64;

@@ -40,6 +40,8 @@ KERNEL_FIELDS = {"seed", "hardware_threads", "gated_serial_ms",
                  "dram_gated_serial_ms", "dram_sim_cycles_total",
                  "dram_sim_cycles_per_sec", "dram_cycles_per_sec_floor",
                  "dram_throughput_pass", "dram_cycle_identical",
+                 "dram_mc_cycle_identical", "dram_mc_all_verified",
+                 "channel_scaling",
                  "sim_cycles_total", "sim_cycles_per_sec_gated_serial",
                  "cycle_identical_naive_vs_gated", "all_workloads_verified",
                  "thread_scaling"}
@@ -90,9 +92,29 @@ def check_kernel_file(path, doc):
         fail(path, "dram_throughput_pass disagrees with the recorded "
                    "floor comparison")
     for gate in ("dram_throughput_pass", "dram_cycle_identical",
+                 "dram_mc_cycle_identical", "dram_mc_all_verified",
                  "cycle_identical_naive_vs_gated", "all_workloads_verified"):
         if not doc[gate]:
             fail(path, f"kernel artifact gate {gate} is false")
+    # Channel scale-out: the 2-channel aggregate R-util scaling of the
+    # streaming harness must meet the recorded floor, and the recorded
+    # pass flag must agree with the recorded numbers.
+    cs = doc["channel_scaling"]
+    for field in ("agg_r_util", "channels", "scaling_2ch", "floor", "pass"):
+        if field not in cs:
+            fail(path, f"channel_scaling missing field {field!r}")
+    if len(cs["agg_r_util"]) != len(cs["channels"]):
+        fail(path, "channel_scaling series length mismatch")
+    derived_scaling = (cs["agg_r_util"][1] / cs["agg_r_util"][0]
+                       if cs["agg_r_util"][0] else 0.0)
+    if abs(derived_scaling - cs["scaling_2ch"]) > 1e-6:
+        fail(path, f"channel_scaling scaling_2ch {cs['scaling_2ch']} "
+                   f"inconsistent with the utilization series")
+    if cs["pass"] != (cs["scaling_2ch"] >= cs["floor"]):
+        fail(path, "channel_scaling pass flag disagrees with the floor")
+    if not cs["pass"]:
+        fail(path, f"channel scaling {cs['scaling_2ch']:.2f}x below the "
+                   f"{cs['floor']}x floor")
     print(f"{path}: ok (kernel, {len(points)} thread-scaling point(s), "
           f"{doc['dram_sim_cycles_per_sec']:.0f} dram sim cycles/s)")
 
@@ -159,6 +181,40 @@ def check_file(path):
                     fail(path,
                          f"{name}: coalesced point "
                          f"{point['coords']} saw no coalescer traffic")
+        # The channel-scaling sweep must actually scale: every point
+        # carries the aggregate and per-channel utilization metrics plus
+        # the recorded knee, and along each fixed (masters, mapping)
+        # curve the aggregate R-util grows monotonically (2% tolerance)
+        # with the channel count up to that knee.
+        if "channels" in axis_values:
+            curves = {}
+            for point in points:
+                metrics = point.get("metrics") or {}
+                for field in ("agg_r_util", "min_ch_r_util",
+                              "max_ch_r_util", "knee_channels"):
+                    if field not in metrics:
+                        fail(path, f"{name}: channel point "
+                                   f"{point['coords']} missing metric "
+                                   f"{field!r}")
+                key = tuple(sorted((a, l)
+                                   for a, l in point["coords"].items()
+                                   if a != "channels"))
+                curves.setdefault(key, []).append(
+                    (int(point["coords"]["channels"]),
+                     metrics["agg_r_util"], metrics["knee_channels"]))
+            for key, series in curves.items():
+                series.sort()
+                knee = series[0][2]
+                prev = None
+                for ch, util, _ in series:
+                    if ch > knee:
+                        break
+                    if prev is not None and util < prev * 0.98:
+                        fail(path, f"{name}: aggregate R-util not "
+                                   f"monotone up to the knee for "
+                                   f"{dict(key)}: {util:.3f} at {ch} "
+                                   f"channels < {prev:.3f}")
+                    prev = util
         # The fault-tolerance sweep must actually inject: the f0 baseline
         # stays clean, every other rate point records injections, and — in
         # quick mode, where CI validates it — no point with the full retry

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "systems/channel_sweep.hpp"
 #include "systems/runner.hpp"
 #include "systems/scenario.hpp"
 #include "systems/sweep.hpp"
@@ -146,6 +147,32 @@ constexpr double kCoalescedHitFloor = 0.90;
 /// regression to per-cycle rescanning fails CI while box-speed jitter
 /// does not.
 constexpr double kDramCyclesPerSecFloor = 700'000.0;
+
+/// The same six kernels over four interleaved DRAM channels (parametric
+/// "{kind}-256-dram-ch4"): the per-master ChannelRouter, per-channel
+/// adapters/backends and B-merge all sit on the hot path, so this set is
+/// both a wall-clock datapoint and a naive-vs-gated cycle-identity check
+/// for the multi-channel fabric.
+std::vector<sys::WorkloadJob> dram_mc_jobs(bool naive) {
+  std::vector<sys::WorkloadJob> jobs;
+  for (const auto kernel : kKernels) {
+    for (const auto kind : {sys::SystemKind::base, sys::SystemKind::pack}) {
+      sys::WorkloadJob job;
+      job.scenario = std::string(sys::system_name(kind)) + "-256-dram-ch4";
+      job.cfg = sys::plan_workload(kernel, job.scenario);
+      job.cfg.seed = kPerfSeed;
+      job.naive_kernel = naive;
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+/// Aggregate R-util scaling floor at 2 channels for the streaming
+/// requestor harness (8 masters, permuted mapping). Ideal doubling is
+/// 2.0x; the floor leaves headroom for arbitration and DRAM effects while
+/// failing any regression that re-serializes the channels.
+constexpr double kChannelScalingFloor = 1.7;
 
 std::vector<sys::WorkloadJob> dram_coalesced_jobs() {
   std::vector<sys::WorkloadJob> jobs;
@@ -278,6 +305,45 @@ int main(int argc, char** argv) {
                 point.oversubscribed ? "  [oversubscribed]" : "");
   }
 
+  // 4b) The multi-channel DRAM set (4 interleaved channels), naive vs
+  // gated: wall-clock datapoint plus cycle-identity through the channel
+  // routers, per-channel adapters and the B-merge.
+  const SetResult mc_naive =
+      run_jobs(dram_mc_jobs, /*naive=*/true, /*threads=*/1, repeats);
+  const SetResult mc_gated =
+      run_jobs(dram_mc_jobs, /*naive=*/false, /*threads=*/1, repeats);
+  std::printf("  dram-ch4 naive : %8.1f ms  (%llu sim cycles)\n",
+              mc_naive.wall_ms,
+              static_cast<unsigned long long>(mc_naive.cycles));
+  std::printf("  dram-ch4 gated : %8.1f ms\n", mc_gated.wall_ms);
+  bool mc_identical = mc_naive.cycles == mc_gated.cycles;
+  for (std::size_t i = 0; mc_identical && i < mc_naive.runs.size(); ++i) {
+    mc_identical = mc_naive.runs[i].cycles == mc_gated.runs[i].cycles;
+  }
+  const bool mc_correct = mc_naive.correct && mc_gated.correct;
+  std::printf("  dram-ch4 cycle-identical: %s, verified: %s\n",
+              mc_identical ? "yes" : "NO", mc_correct ? "yes" : "NO");
+
+  // 4c) Channel-scaling gate: the streaming requestor harness (8 masters)
+  // must show >= 1.7x aggregate R utilization at 2 channels vs 1; 4- and
+  // 8-channel points are recorded for the scaling trajectory.
+  std::vector<double> ch_utils;
+  for (const unsigned c : {1u, 2u, 4u, 8u}) {
+    sys::ChannelScalingConfig ccfg;
+    ccfg.channels = c;
+    ccfg.masters = 8;
+    ccfg.bytes_per_master = 128 * 1024;
+    ch_utils.push_back(sys::measure_channel_scaling(ccfg).agg_r_util);
+  }
+  const double ch2_scaling = ch_utils[0] > 0 ? ch_utils[1] / ch_utils[0] : 0;
+  const bool ch_scaling_ok = ch2_scaling >= kChannelScalingFloor;
+  std::printf("  channel scaling (8 streams): agg R-util %.3f / %.3f / "
+              "%.3f / %.3f at 1/2/4/8 ch; 2-ch scaling %.2fx (floor "
+              "%.2fx) — %s\n",
+              ch_utils[0], ch_utils[1], ch_utils[2], ch_utils[3],
+              ch2_scaling, kChannelScalingFloor,
+              ch_scaling_ok ? "ok" : "REGRESSION");
+
   // 5) The dram_batched strided sweep: row-hit-ratio floor check.
   const auto batched_results = sys::run_workloads(dram_batched_jobs(), 1);
   double min_hit = 1.0;
@@ -406,6 +472,23 @@ int main(int argc, char** argv) {
   w.key("dram_cycles_per_sec_floor").value(kDramCyclesPerSecFloor);
   w.key("dram_throughput_pass").value(dram_throughput_ok);
   w.key("dram_cycle_identical").value(dram_identical);
+  w.key("dram_mc_naive_serial_ms").value(mc_naive.wall_ms);
+  w.key("dram_mc_gated_serial_ms").value(mc_gated.wall_ms);
+  w.key("dram_mc_sim_cycles_total").value(mc_gated.cycles);
+  w.key("dram_mc_cycle_identical").value(mc_identical);
+  w.key("dram_mc_all_verified").value(mc_correct);
+  w.key("channel_scaling").begin_object();
+  w.key("masters").value(8);
+  w.key("agg_r_util").begin_array();
+  for (const double u : ch_utils) w.value(u);
+  w.end_array();
+  w.key("channels").begin_array();
+  for (const unsigned c : {1u, 2u, 4u, 8u}) w.value(c);
+  w.end_array();
+  w.key("scaling_2ch").value(ch2_scaling);
+  w.key("floor").value(kChannelScalingFloor);
+  w.key("pass").value(ch_scaling_ok);
+  w.end_object();
   w.key("sim_cycles_total").value(gated.cycles);
   w.key("sim_cycles_per_sec_gated_serial")
       .value(static_cast<double>(gated.cycles) / (gated.wall_ms / 1000.0));
@@ -496,7 +579,8 @@ int main(int argc, char** argv) {
   std::printf("wrote %s\n", out_path.c_str());
 
   return (identical && all_correct && hit_floor_ok && dram_speedup_ok &&
-          coalesced_ok && dram_throughput_ok)
+          coalesced_ok && dram_throughput_ok && mc_identical && mc_correct &&
+          ch_scaling_ok)
              ? 0
              : 1;
 }
