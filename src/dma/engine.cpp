@@ -49,18 +49,75 @@ DmaEngine::DmaEngine(sim::Kernel& k, axi::AxiPort& port, const DmaConfig& cfg)
 void DmaEngine::push(const Descriptor& d) {
   assert(d.elem_bytes >= 4 && d.elem_bytes % 4 == 0 &&
          d.elem_bytes <= cfg_.bus_bytes);
-  queue_.push_back(PendingDesc{d, 0, false});
+  assert(!ring_active_ && "register descriptors are exclusive with a ring");
+  queue_.push_back(PendingDesc{d, 0, false, now_});
+  stats_.queue_peak = std::max<std::uint64_t>(stats_.queue_peak,
+                                              queue_.size());
   wake_self();
 }
 
 void DmaEngine::start_chain(std::uint64_t head) {
   assert(head != 0);
-  queue_.push_back(PendingDesc{{}, head, true});
+  assert(!ring_active_ && "chains are exclusive with a ring");
+  queue_.push_back(PendingDesc{{}, head, true, now_});
+  stats_.queue_peak = std::max<std::uint64_t>(stats_.queue_peak,
+                                              queue_.size());
   wake_self();
 }
 
+void DmaEngine::start_ring(const RingConfig& rc) {
+  assert(idle() && "start_ring requires an idle engine");
+  assert(!ring_active_);
+  assert(rc.head_addr != 0);
+  ring_active_ = true;
+  ring_cfg_ = rc;
+  ring_next_addr_ = rc.head_addr;
+  ring_published_ = ring_consumed_ = ring_completed_ = 0;
+  has_prefetched_ = false;
+  cur_ring_ordinal_ = kNoOrdinal;
+  wake_self();
+}
+
+void DmaEngine::publish(std::uint64_t n) {
+  assert(ring_active_ && "publish without a ring");
+  ring_published_ += n;
+  stats_.queue_peak = std::max(stats_.queue_peak,
+                               ring_published_ - ring_completed_);
+  wake_self();
+}
+
+void DmaEngine::stop_ring() {
+  assert(ring_active_);
+  assert(ring_completed_ == ring_published_ && !transfer_active_ &&
+         !fetching_desc_ && !has_prefetched_ &&
+         "stop_ring before the ring drained");
+  ring_active_ = false;
+  cur_ring_ordinal_ = kNoOrdinal;
+}
+
+void DmaEngine::set_completion(std::function<void(std::uint64_t, bool)> fn) {
+  completion_ = std::move(fn);
+}
+
+void DmaEngine::ring_complete(std::uint64_t ordinal, bool ok) {
+  ++ring_completed_;
+  if (completion_) completion_(ordinal, ok);
+}
+
+void DmaEngine::ring_reject_pending() {
+  while (ring_consumed_ < ring_published_) {
+    ++retry_stats_.failed_ops;
+    ++stats_.error_descriptors;
+    ring_complete(ring_consumed_++, false);
+  }
+}
+
 bool DmaEngine::idle() const {
-  return !transfer_active_ && !fetching_desc_ && queue_.empty();
+  const bool ring_work =
+      ring_active_ &&
+      (has_prefetched_ || ring_consumed_ < ring_published_);
+  return !transfer_active_ && !fetching_desc_ && queue_.empty() &&
+         !ring_work;
 }
 
 std::uint64_t DmaEngine::elem_addr(const Pattern& p, std::uint64_t i,
@@ -562,6 +619,15 @@ void DmaEngine::reset_transfer() {
 
 void DmaEngine::resolve_fault() {
   assert(fault_ && fault_drained());
+  // A ring prefetch that was in flight when the transfer faulted is
+  // abandoned: its slot was not yet consumed and will simply be fetched
+  // again. The transfer owns the retry/fail decision.
+  if (transfer_active_ && fetching_desc_) {
+    fetching_desc_ = false;
+    desc_raw_.clear();
+    planned_reads_.clear();
+    next_read_ = 0;
+  }
   ++attempts_;
   const sim::RetryConfig& rc = cfg_.retry;
   // Breaker input: a failed attempt of a transfer whose irregular side rode
@@ -581,7 +647,10 @@ void DmaEngine::resolve_fault() {
   fault_ = false;
   if (fatal_ || !rc.enabled() || attempts_ >= rc.max_attempts) {
     // Error completion: record it and terminate the chain (cur_.next is
-    // not followed; a descriptor fetch in progress is abandoned).
+    // not followed; a descriptor fetch in progress is abandoned). A ring
+    // behaves differently: slots are independent requests, so a failed
+    // transfer completes with an error and the ring continues — but a
+    // failed slot *fetch* breaks the link walk and ends the ring.
     ++retry_stats_.failed_ops;
     ++stats_.error_descriptors;
     fatal_ = false;
@@ -591,8 +660,16 @@ void DmaEngine::resolve_fault() {
       desc_raw_.clear();
       planned_reads_.clear();
       next_read_ = 0;
+      if (ring_active_) {
+        ring_complete(ring_consumed_++, false);
+        ring_next_addr_ = 0;
+        ring_reject_pending();
+      }
     } else {
+      const std::uint64_t ring_ord = cur_ring_ordinal_;
+      cur_ring_ordinal_ = kNoOrdinal;
       reset_transfer();
+      if (ring_ord != kNoOrdinal) ring_complete(ring_ord, false);
     }
   } else {
     ++retry_stats_.retries;
@@ -609,22 +686,54 @@ void DmaEngine::finish_transfer() {
   attempts_ = 0;
   rd_narrow_next_ = 0;
   wr_narrow_next_ = 0;
+  if (cur_ring_ordinal_ != kNoOrdinal) {
+    // Ring slots chain through their link fields at fetch time; `next` is
+    // not followed here — the walk already advanced when this descriptor
+    // was parsed.
+    const std::uint64_t ord = cur_ring_ordinal_;
+    cur_ring_ordinal_ = kNoOrdinal;
+    ring_complete(ord, true);
+    return;
+  }
+  latency_.record(now_ - cur_arrival_);
   if (cur_.next != 0) {
-    queue_.push_front(PendingDesc{{}, cur_.next, true});
+    queue_.push_front(PendingDesc{{}, cur_.next, true, now_});
   }
 }
 
 void DmaEngine::tick_start() {
-  if (transfer_active_ || fetching_desc_ || queue_.empty()) return;
+  if (transfer_active_ || fetching_desc_) return;
+  if (ring_active_) {
+    if (has_prefetched_) {
+      has_prefetched_ = false;
+      cur_ring_ordinal_ = prefetched_ordinal_;
+      begin_transfer(prefetched_);
+      return;
+    }
+    if (ring_next_addr_ == 0) {
+      // Broken ring (zero link, malformed slot or failed fetch): nothing
+      // published can ever execute — reject it so producers don't hang.
+      ring_reject_pending();
+      return;
+    }
+    if (ring_consumed_ < ring_published_) {
+      fetching_desc_ = true;
+      plan_desc_fetch(ring_next_addr_);
+    }
+    return;
+  }
+  if (queue_.empty()) return;
   PendingDesc& head = queue_.front();
   if (!head.from_memory) {
     const Descriptor d = head.desc;
+    cur_arrival_ = head.arrival;
     queue_.pop_front();
     begin_transfer(d);
     return;
   }
   // Fetch the descriptor over the port (plain INCR reads).
   fetching_desc_ = true;
+  fetch_arrival_ = head.arrival;
   plan_desc_fetch(head.addr);
   queue_.pop_front();
 }
@@ -650,11 +759,58 @@ void DmaEngine::plan_desc_fetch(std::uint64_t addr) {
   }
 }
 
+bool DmaEngine::read_side_drained() const {
+  if (next_read_ < planned_reads_.size() || !active_reads_.empty()) {
+    return false;
+  }
+  if (needs_src_idx_ || needs_dst_idx_) return false;
+  const bool narrow_src =
+      !cfg_.use_pack && cur_.src.kind != Pattern::Kind::contiguous;
+  return !narrow_src || rd_narrow_next_ >= cur_.num_elems;
+}
+
+void DmaEngine::tick_ring() {
+  if (!ring_active_ || !transfer_active_) return;
+
+  // Parse a prefetch whose beats have all arrived. The transfer path's
+  // tick_read() consumed them (routed by ReadKind), so the raw bytes are
+  // already assembled here.
+  if (fetching_desc_ && desc_raw_.size() == kDescriptorBytes &&
+      active_reads_.empty()) {
+    const auto d = parse_descriptor(desc_raw_.data());
+    fetching_desc_ = false;
+    desc_raw_.clear();
+    const std::uint64_t ordinal = ring_consumed_++;
+    if (!d.has_value()) {
+      ++stats_.malformed_descriptors;
+      ++stats_.error_descriptors;
+      ++retry_stats_.failed_ops;
+      ring_complete(ordinal, false);
+      ring_next_addr_ = 0;
+      // Later slots are rejected once the active transfer retires
+      // (tick_start's broken-ring path), keeping completions in order.
+    } else {
+      prefetched_ = *d;
+      prefetched_ordinal_ = ordinal;
+      has_prefetched_ = true;
+      ring_next_addr_ = d->next;
+    }
+  }
+
+  // Start the next prefetch once the transfer's read side has fully
+  // drained: from here on plan_desc_fetch() may repurpose the read plan,
+  // and descriptor beats cannot interleave with data beats.
+  if (ring_cfg_.double_buffer && !fetching_desc_ && !has_prefetched_ &&
+      ring_next_addr_ != 0 && ring_consumed_ < ring_published_ &&
+      !retry_pending_ && read_side_drained()) {
+    fetching_desc_ = true;
+    plan_desc_fetch(ring_next_addr_);
+  }
+}
+
 void DmaEngine::tick() {
   ++now_;
-  if (transfer_active_ || fetching_desc_ || !queue_.empty()) {
-    ++stats_.busy_cycles;
-  }
+  if (!idle()) ++stats_.busy_cycles;
 
   // Backoff between failed attempts: replay once the window closes.
   if (retry_pending_) {
@@ -673,7 +829,7 @@ void DmaEngine::tick() {
 
   tick_start();
 
-  if (fetching_desc_) {
+  if (fetching_desc_ && !transfer_active_) {
     issue_next_read();
     if (const std::optional<axi::AxiR> r = port_.r.try_pop()) {
       ++stats_.r_beats;
@@ -697,7 +853,23 @@ void DmaEngine::tick() {
       fetching_desc_ = false;
       attempts_ = 0;
       desc_raw_.clear();
-      if (!d.has_value()) {
+      if (ring_active_) {
+        const std::uint64_t ordinal = ring_consumed_++;
+        if (!d.has_value()) {
+          // Malformed ring slot: the link is unreadable, so the walk
+          // cannot continue — fail this slot and break the ring.
+          ++stats_.malformed_descriptors;
+          ++stats_.error_descriptors;
+          ++retry_stats_.failed_ops;
+          ring_complete(ordinal, false);
+          ring_next_addr_ = 0;
+          ring_reject_pending();
+        } else {
+          ring_next_addr_ = d->next;
+          cur_ring_ordinal_ = ordinal;
+          begin_transfer(*d);
+        }
+      } else if (!d.has_value()) {
         // Malformed chain entry: error completion, chain terminated. A
         // register-programmed chain head that points at garbage lands
         // here too — no UB, just a recorded failure.
@@ -705,6 +877,7 @@ void DmaEngine::tick() {
         ++stats_.error_descriptors;
         ++retry_stats_.failed_ops;
       } else {
+        cur_arrival_ = fetch_arrival_;
         begin_transfer(*d);
       }
     }
@@ -720,6 +893,8 @@ void DmaEngine::tick() {
     if (fault_drained()) resolve_fault();
     return;
   }
+
+  tick_ring();
 
   // Transfer completion check.
   const bool reads_planned_done = next_read_ >= planned_reads_.size();

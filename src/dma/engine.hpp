@@ -21,16 +21,27 @@
 // (non-pack) mode irregular elements must also be element-size-aligned, as
 // a single narrow AXI beat cannot cross its size container. Source and
 // destination ranges of one descriptor must not overlap.
+// A third descriptor source is the ring mode used by the open-loop traffic
+// subsystem (and by real streaming engines): start_ring() points the engine
+// at a circular chain of in-memory descriptors whose `next` links close the
+// loop. The producer publishes slots with publish() (a doorbell: "n more
+// descriptors are valid") and the engine follows the links continuously,
+// raising a completion event per descriptor. In double-buffer mode the next
+// descriptor is prefetched while the current transfer's write side drains,
+// hiding the fetch latency; single-buffer mode serializes fetch and
+// transfer like the simplest hardware engines.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "axi/types.hpp"
 #include "dma/descriptor.hpp"
 #include "sim/fault.hpp"
 #include "sim/kernel.hpp"
+#include "util/histogram.hpp"
 
 namespace axipack::dma {
 
@@ -63,6 +74,16 @@ struct DmaStats {
   /// terminates its chain.
   std::uint64_t error_descriptors = 0;
   std::uint64_t malformed_descriptors = 0;
+  /// High-water mark of descriptors pending execution (register queue
+  /// depth, or published-but-incomplete ring slots) — saturation signal.
+  std::uint64_t queue_peak = 0;
+};
+
+/// Circular descriptor chain configuration for ring mode.
+struct RingConfig {
+  std::uint64_t head_addr = 0;  ///< first slot; links must close the loop
+  /// Prefetch the next descriptor while the current transfer drains.
+  bool double_buffer = true;
 };
 
 class DmaEngine final : public sim::Component {
@@ -77,12 +98,36 @@ class DmaEngine final : public sim::Component {
   /// Appends an in-memory descriptor chain starting at `head`.
   void start_chain(std::uint64_t head);
 
+  /// Enters ring mode: the engine follows the circular descriptor chain at
+  /// `rc.head_addr`, executing one descriptor per publish() credit and
+  /// raising a completion event per descriptor. Exclusive with push() /
+  /// start_chain() until stop_ring(). Requires idle().
+  void start_ring(const RingConfig& rc);
+  /// Doorbell: `n` more ring slots hold valid descriptors. Completions are
+  /// per-ordinal (0-based, in publish order). A broken ring (malformed
+  /// slot, zero link, or a fetch whose retries exhaust) fail-completes
+  /// everything still published so producers never hang.
+  void publish(std::uint64_t n = 1);
+  /// Leaves ring mode. All published descriptors must have completed.
+  void stop_ring();
+  /// Completion event for ring descriptors: (ordinal, ok). Invoked from
+  /// the engine's tick when the descriptor finishes or errors out.
+  void set_completion(std::function<void(std::uint64_t, bool)> fn);
+  bool ring_active() const { return ring_active_; }
+  std::uint64_t ring_completed() const { return ring_completed_; }
+
   /// True when no descriptor is pending or in flight.
   bool idle() const;
 
   const DmaStats& stats() const { return stats_; }
   const sim::RetryStats& retry_stats() const { return retry_stats_; }
   const DmaConfig& config() const { return cfg_; }
+
+  /// Per-descriptor latency (queue entry -> completion) of register- and
+  /// chain-programmed descriptors. Ring descriptors are measured by their
+  /// producer instead (sojourn time including the slot wait).
+  util::Histogram& latency_hist() { return latency_; }
+  const util::Histogram& latency_hist() const { return latency_; }
 
   void tick() override;
   /// idle() implies nothing is in flight (no descriptors, reads, writes or
@@ -95,6 +140,7 @@ class DmaEngine final : public sim::Component {
     Descriptor desc;         ///< valid when !from_memory
     std::uint64_t addr = 0;  ///< valid when from_memory
     bool from_memory = false;
+    std::uint64_t arrival = 0;  ///< engine clock when queued (latency stamp)
   };
 
   /// What an R beat's payload is for.
@@ -127,7 +173,17 @@ class DmaEngine final : public sim::Component {
   void tick_read();     ///< AR issue + R receive
   void tick_write();    ///< AW/W issue + B receive
   void tick_timeout();  ///< progress watchdog
+  void tick_ring();     ///< double-buffer prefetch start/parse
   void finish_transfer();
+
+  // Ring-mode helpers.
+  void ring_complete(std::uint64_t ordinal, bool ok);
+  /// Fail-completes every published-but-unconsumed slot of a broken ring.
+  void ring_reject_pending();
+  /// True once the active transfer's entire read side (indices, planned
+  /// and lazy data reads) has drained — the only window in which
+  /// plan_desc_fetch() may safely repurpose the read plan for a prefetch.
+  bool read_side_drained() const;
 
   void begin_transfer(const Descriptor& d);
   void plan_index_fetch(const Pattern& p);
@@ -184,6 +240,26 @@ class DmaEngine final : public sim::Component {
   bool fetching_desc_ = false;
   std::vector<std::uint8_t> desc_raw_;
   std::uint64_t desc_addr_ = 0;  ///< chain address being fetched (for retry)
+
+  // Ring mode (all inert unless start_ring() was called).
+  static constexpr std::uint64_t kNoOrdinal = ~0ull;
+  bool ring_active_ = false;
+  RingConfig ring_cfg_;
+  std::uint64_t ring_next_addr_ = 0;  ///< next slot to fetch; 0: ring broken
+  std::uint64_t ring_published_ = 0;  ///< doorbell credits (cumulative)
+  std::uint64_t ring_consumed_ = 0;   ///< descriptors fetched+parsed
+  std::uint64_t ring_completed_ = 0;  ///< completion events raised
+  bool has_prefetched_ = false;       ///< prefetched_ holds a parsed slot
+  Descriptor prefetched_;
+  std::uint64_t prefetched_ordinal_ = 0;
+  std::uint64_t cur_ring_ordinal_ = kNoOrdinal;  ///< of the active transfer
+  std::function<void(std::uint64_t, bool)> completion_;
+
+  // Latency stamps (engine clock; deltas equal wall-cycle deltas because
+  // the engine never sleeps while a descriptor is in flight).
+  std::uint64_t cur_arrival_ = 0;    ///< queue-entry stamp of cur_
+  std::uint64_t fetch_arrival_ = 0;  ///< stamp carried through a fetch
+  util::Histogram latency_;
 
   // Fault-handling state (all inert in fault-free runs).
   bool fault_ = false;          ///< current attempt is poisoned

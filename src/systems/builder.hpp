@@ -29,6 +29,7 @@
 #include "pack/adapter.hpp"
 #include "sim/fault.hpp"
 #include "sim/kernel.hpp"
+#include "traffic/driver.hpp"
 #include "vproc/context.hpp"
 
 namespace axipack::sys {
@@ -118,6 +119,20 @@ class SystemBuilder {
   /// set on an individual master's own config).
   SystemBuilder& retry(const sim::RetryConfig& cfg);
 
+  // ---- open-loop traffic -----------------------------------------------
+  /// Open-loop arrival-process load stream against a scatter-gather ring
+  /// DMA master (see traffic/driver.hpp). The built system owns an
+  /// OpenLoopDriver whose ring/pool/data footprint is carved from the TOP
+  /// of the memory region; drive it with System::run_open_loop. If no
+  /// sg_dma() master was attached yet, one is attached here with
+  /// `cfg.dma`. Not calling this builds no driver and the system stays
+  /// bit- and cycle-identical to one built before this subsystem existed.
+  SystemBuilder& traffic(const traffic::TrafficConfig& cfg);
+  /// Attaches the scatter-gather ring DMA master the traffic stream will
+  /// drive. Call before traffic() to control the engine configuration;
+  /// traffic() auto-attaches a default-configured one otherwise.
+  MasterId sg_dma(const dma::DmaConfig& cfg = {});
+
   // ---- masters ---------------------------------------------------------
   /// Vector processor in the given VLSU mode; its lane count and bus width
   /// are derived from the builder's bus. VlsuMode::ideal processors run on
@@ -184,6 +199,9 @@ class SystemBuilder {
   sim::FaultConfig fault_cfg_;
   bool retry_set_ = false;
   sim::RetryConfig retry_cfg_;
+  bool traffic_set_ = false;
+  traffic::TrafficConfig traffic_cfg_;
+  int sg_master_ = -1;  ///< index of the sg_dma() master, -1 = none yet
   std::vector<MasterSpec> masters_;
 };
 

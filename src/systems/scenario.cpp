@@ -119,6 +119,11 @@ std::optional<SystemBuilder> parse_scenario(const std::string& name,
     //      single-endpoint system),
     // m = total fabric masters: the SoC's processor plus M-1 extras
     //     alternating DMA engine / processor (all kind-matched).
+    // p = open-loop Poisson arrivals at P requests per 100k cycles against
+    //     a scatter-gather ring DMA master (kind-matched pack/narrow);
+    //     run with System::run_open_loop,
+    // b = bursty on/off arrivals with burst length B (requires -p; the
+    //     mean rate stays P).
     // Knobs may appear in any order, each at most once.
     pos += 4;
     SystemBuilder b = soc_builder(kind, *bus_bits, 17);
@@ -127,10 +132,12 @@ std::optional<SystemBuilder> parse_scenario(const std::string& name,
     std::size_t co_entries = 0, co_window = 0;
     unsigned fault_scale = 0, retry_attempts = 0;
     unsigned num_channels = 0, num_masters = 0;
+    unsigned rate = 0, burst = 0;
     bool have_w = false, have_c = false, have_q = false;
     bool have_x = false, have_g = false;
     bool have_f = false, have_r = false;
     bool have_ch = false, have_m = false;
+    bool have_p = false, have_b = false;
     // A repeated knob ("-w8-w16") is almost certainly a typo'd sweep point;
     // last-wins would silently run the wrong configuration, so name the
     // offender for the diagnostic instead of just disengaging.
@@ -214,6 +221,18 @@ std::optional<SystemBuilder> parse_scenario(const std::string& name,
           num_masters = *value;
           have_m = true;
           break;
+        case 'p':
+          if (have_p) return repeated("p"), std::nullopt;
+          if (*value == 0) return std::nullopt;
+          rate = *value;
+          have_p = true;
+          break;
+        case 'b':
+          if (have_b) return repeated("b"), std::nullopt;
+          if (*value == 0) return std::nullopt;
+          burst = *value;
+          have_b = true;
+          break;
         default:
           return std::nullopt;
       }
@@ -239,6 +258,26 @@ std::optional<SystemBuilder> parse_scenario(const std::string& name,
     }
     if (have_ch) b.channels(num_channels);
     if (have_m) attach_extra_masters(b, kind, num_masters);
+    if (have_b && !have_p) {
+      // A burst length without an arrival rate is always a typo'd sweep
+      // point: there is no stream to shape. Name it, like repeated knobs.
+      if (error != nullptr) {
+        *error = "scenario \"" + name + "\": '-b" + std::to_string(burst) +
+                 "' (burst length) requires an arrival rate '-p{R}'";
+      }
+      return std::nullopt;
+    }
+    if (have_p) {
+      // The sg master is attached last so -m master numbering and the
+      // closed-loop fabric are untouched by the traffic knob.
+      traffic::TrafficConfig tc;
+      tc.arrival.kind =
+          have_b ? traffic::ArrivalKind::bursty : traffic::ArrivalKind::poisson;
+      tc.arrival.rate_per_100k = rate;
+      if (have_b) tc.arrival.burst_len = burst;
+      tc.dma.use_pack = kind == SystemKind::pack;
+      b.traffic(tc);
+    }
     return b;
   }
   const auto banks = parse_number(name, pos);
@@ -287,6 +326,24 @@ ScenarioRegistry::ScenarioRegistry() {
          b.coalescer(true);
          return b;
        }});
+
+  // Open-loop traffic SoCs: the DRAM-backed systems under a sustained
+  // Poisson arrival stream against a kind-matched scatter-gather ring DMA
+  // master (run with System::run_open_loop). The names are shorthand for
+  // the parametric spellings; sweep the rate with -p{R}.
+  add({"open-loop-base-dram",
+       "BASE SoC, DRAM backend, open-loop Poisson load on a narrow-burst "
+       "scatter-gather ring DMA (= base-256-dram-p40)",
+       [] { return *parse_scenario("base-256-dram-p40"); }});
+  add({"open-loop-pack-dram",
+       "PACK SoC, DRAM backend, open-loop Poisson load on an AXI-Pack "
+       "scatter-gather ring DMA (= pack-256-dram-p40)",
+       [] { return *parse_scenario("pack-256-dram-p40"); }});
+  add({"open-loop-coalesce-dram",
+       "PACK SoC, DRAM backend + index coalescing, open-loop Poisson load "
+       "on an AXI-Pack scatter-gather ring DMA "
+       "(= pack-256-dram-x512-g16-p40)",
+       [] { return *parse_scenario("pack-256-dram-x512-g16-p40"); }});
 
   add({"pack-dram-faults",
        "PACK SoC, 256-bit bus, DRAM backend, default mixed-fault injection "

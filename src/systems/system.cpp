@@ -162,6 +162,19 @@ SystemBuilder& SystemBuilder::retry(const sim::RetryConfig& cfg) {
   return *this;
 }
 
+SystemBuilder& SystemBuilder::traffic(const traffic::TrafficConfig& cfg) {
+  traffic_set_ = true;
+  traffic_cfg_ = cfg;
+  if (sg_master_ < 0) sg_dma(cfg.dma);
+  return *this;
+}
+
+MasterId SystemBuilder::sg_dma(const dma::DmaConfig& cfg) {
+  const MasterId id = attach_dma(cfg);
+  sg_master_ = static_cast<int>(id);
+  return id;
+}
+
 MasterId SystemBuilder::attach_processor(vproc::VlsuMode mode) {
   vproc::VProcConfig cfg;
   cfg.mode = mode;
@@ -409,6 +422,31 @@ System::System(const SystemBuilder& b) : bus_bytes_(b.bus_bits_ / 8) {
         break;
     }
   }
+
+  // Open-loop traffic: carve the driver's ring/pool/data footprint from
+  // the TOP of the memory window (workloads allocate from the bottom, so
+  // closed-loop data placement is unaffected) and register the driver
+  // last, after every component it may wake.
+  if (b.traffic_set_) {
+    assert(b.sg_master_ >= 0 && "traffic() attaches the sg master");
+    sg_master_ = static_cast<MasterId>(b.sg_master_);
+    dma::DmaEngine* engine = masters_[sg_master_].dma.get();
+    assert(engine != nullptr);
+    const std::uint64_t fp = traffic::footprint_bytes(b.traffic_cfg_);
+    if (fp + 4096 > b.mem_size_) {
+      std::fprintf(stderr,
+                   "SystemBuilder::traffic: driver footprint %llu B does "
+                   "not fit the %llu B memory region (shrink data_words / "
+                   "pool_reqs or grow mem_region)\n",
+                   static_cast<unsigned long long>(fp),
+                   static_cast<unsigned long long>(b.mem_size_));
+      std::abort();
+    }
+    const std::uint64_t region =
+        (b.mem_base_ + b.mem_size_ - fp) & ~std::uint64_t{63};
+    driver_ = std::make_unique<traffic::OpenLoopDriver>(
+        kernel_, *engine, *store_, b.traffic_cfg_, region);
+  }
 }
 
 vproc::Processor& System::processor(MasterId id) {
@@ -437,6 +475,7 @@ axi::AxiPort& System::master_port(MasterId id) {
 }
 
 bool System::drained() const {
+  if (driver_ && !driver_->drained()) return false;
   for (const auto& m : masters_) {
     if (m.proc && !m.proc->done()) return false;
     if (m.dma && !m.dma->idle()) return false;
@@ -457,61 +496,57 @@ sim::RunStatus System::run_until_drained(sim::Cycle max_cycles) {
                            sim::Kernel::PredKind::pure);
 }
 
-RunResult System::run(const wl::WorkloadInstance& instance,
-                      sim::Cycle max_cycles) {
-  vproc::Processor& proc = processor();
-  RunResult result;
-  result.bus_bits = bus_bytes_ * 8;
+sim::RetryStats System::aggregate_retry() const {
   // Master-side recovery counters, summed over all processors and DMA
-  // engines (they accumulate across runs, so diff like the others).
-  const auto aggregate_retry = [this]() {
-    sim::RetryStats s;
-    for (const auto& m : masters_) {
-      const sim::RetryStats* rs = nullptr;
-      if (m.proc) {
-        rs = &m.proc->context().retry_stats;
-      } else if (m.dma) {
-        rs = &m.dma->retry_stats();
-      }
-      if (rs == nullptr) continue;
-      s.retries += rs->retries;
-      s.timeouts += rs->timeouts;
-      s.failed_ops += rs->failed_ops;
-      s.degraded = s.degraded || rs->degraded;
+  // engines (they accumulate across runs, so callers diff snapshots).
+  sim::RetryStats s;
+  for (const auto& m : masters_) {
+    const sim::RetryStats* rs = nullptr;
+    if (m.proc) {
+      rs = &m.proc->context().retry_stats;
+    } else if (m.dma) {
+      rs = &m.dma->retry_stats();
     }
-    return s;
-  };
-  const sim::Cycle start = kernel_.now();
-  const sim::Counters counters_start = proc.counters();
-  const sim::FaultStats faults_start =
-      fault_plan_ ? fault_plan_->stats() : sim::FaultStats{};
-  const sim::RetryStats retry_start = aggregate_retry();
+    if (rs == nullptr) continue;
+    s.retries += rs->retries;
+    s.timeouts += rs->timeouts;
+    s.failed_ops += rs->failed_ops;
+    s.degraded = s.degraded || rs->degraded;
+  }
+  return s;
+}
+
+System::StatSnapshot System::snapshot_stats() const {
+  StatSnapshot s;
+  s.start = kernel_.now();
+  if (fault_plan_) s.faults = fault_plan_->stats();
+  s.retry = aggregate_retry();
   // Per-channel snapshots (counters accumulate across runs, so diff).
-  std::vector<axi::BusStats> bus_start(channels_.size());
-  std::vector<mem::MemoryBackendStats> mem_start(channels_.size());
-  std::vector<pack::CoalescerStats> co_start(channels_.size());
-  std::vector<pack::IndirectWordStats> iw_start(channels_.size());
+  s.bus.resize(channels_.size());
+  s.mem.resize(channels_.size());
+  s.co.resize(channels_.size());
+  s.iw.resize(channels_.size());
   for (std::size_t c = 0; c < channels_.size(); ++c) {
     const Channel& ch = channels_[c];
-    if (ch.link) bus_start[c] = ch.link->stats();
-    if (ch.backend) mem_start[c] = ch.backend->stats();
+    if (ch.link) s.bus[c] = ch.link->stats();
+    if (ch.backend) s.mem[c] = ch.backend->stats();
     if (ch.adapter) {
-      co_start[c] = ch.adapter->coalescer_stats();
-      iw_start[c] = ch.adapter->indirect_word_stats();
+      s.co[c] = ch.adapter->coalescer_stats();
+      s.iw[c] = ch.adapter->indirect_word_stats();
     }
   }
+  return s;
+}
 
-  proc.run(instance.program);
-  const sim::RunStatus finished = run_until_drained(max_cycles);
-  result.cycles = kernel_.now() - start;
-  result.channels =
-      static_cast<unsigned>(std::max<std::size_t>(1, channels_.size()));
-  if (!finished) {
-    result.error = "timeout";
-    return result;
+void System::clear_latency_histograms() {
+  for (auto& m : masters_) {
+    if (m.proc) m.proc->context().mem_latency.clear();
+    if (m.dma) m.dma->latency_hist().clear();
   }
+  if (driver_) driver_->clear_measurements();
+}
 
-  result.activity = proc.counters().diff(counters_start);
+bool System::collect_stats(RunResult& result, const StatSnapshot& snap) {
   const double bus_capacity =
       static_cast<double>(result.cycles) * bus_bytes_;
   const bool monitored =
@@ -522,7 +557,7 @@ RunResult System::run(const wl::WorkloadInstance& instance,
     // perfectly-scaled C-channel run reports r_util near C.
     result.per_channel.resize(channels_.size());
     for (std::size_t c = 0; c < channels_.size(); ++c) {
-      const axi::BusStats d = channels_[c].link->stats().diff(bus_start[c]);
+      const axi::BusStats d = channels_[c].link->stats().diff(snap.bus[c]);
       result.bus += d;
       ChannelRunStats& cs = result.per_channel[c];
       cs.bus = d;
@@ -552,7 +587,7 @@ RunResult System::run(const wl::WorkloadInstance& instance,
     const Channel& ch = channels_[c];
     if (ch.backend) {
       const mem::MemoryBackendStats now = ch.backend->stats();
-      const mem::MemoryBackendStats& st = mem_start[c];
+      const mem::MemoryBackendStats& st = snap.mem[c];
       result.bank_grants += now.grants - st.grants;
       result.bank_conflict_losses +=
           now.conflict_losses - st.conflict_losses;
@@ -571,31 +606,41 @@ RunResult System::run(const wl::WorkloadInstance& instance,
     }
     if (ch.adapter) {
       const pack::CoalescerStats co = ch.adapter->coalescer_stats();
-      result.coalesce_merged += co.merged - co_start[c].merged;
-      result.coalesce_unique += co.unique - co_start[c].unique;
+      result.coalesce_merged += co.merged - snap.co[c].merged;
+      result.coalesce_unique += co.unique - snap.co[c].unique;
       // Peak occupancy is a high-water mark, not a counter: report the
       // worst lifetime peak across channels, not a difference or a sum.
       result.coalesce_peak_pending =
           std::max(result.coalesce_peak_pending, co.peak_pending);
-      result.coalesce_row_groups += co.row_groups - co_start[c].row_groups;
+      result.coalesce_row_groups += co.row_groups - snap.co[c].row_groups;
       const pack::IndirectWordStats iw = ch.adapter->indirect_word_stats();
-      result.indirect_idx_words += iw.idx_words - iw_start[c].idx_words;
-      result.indirect_elem_words += iw.elem_words - iw_start[c].elem_words;
+      result.indirect_idx_words += iw.idx_words - snap.iw[c].idx_words;
+      result.indirect_elem_words += iw.elem_words - snap.iw[c].elem_words;
     }
   }
   if (fault_plan_) {
     const sim::FaultStats& fs = fault_plan_->stats();
-    result.faults_injected = fs.injected - faults_start.injected;
+    result.faults_injected = fs.injected - snap.faults.injected;
     result.faults_corrected =
-        fs.dram_correctable - faults_start.dram_correctable;
+        fs.dram_correctable - snap.faults.dram_correctable;
     result.faults_uncorrectable =
         result.faults_injected - result.faults_corrected;
   }
   const sim::RetryStats retry_now = aggregate_retry();
-  result.retries = retry_now.retries - retry_start.retries;
-  result.retry_timeouts = retry_now.timeouts - retry_start.timeouts;
-  result.failed_ops = retry_now.failed_ops - retry_start.failed_ops;
+  result.retries = retry_now.retries - snap.retry.retries;
+  result.retry_timeouts = retry_now.timeouts - snap.retry.timeouts;
+  result.failed_ops = retry_now.failed_ops - snap.retry.failed_ops;
   result.degraded = retry_now.degraded;
+  // Per-request latency: every master's histogram was cleared when the
+  // run started, so merging the raw histograms is the run's own traffic.
+  for (const auto& m : masters_) {
+    if (m.proc) result.latency.merge(m.proc->context().mem_latency);
+    if (m.dma) {
+      result.latency.merge(m.dma->latency_hist());
+      result.queue_peak =
+          std::max(result.queue_peak, m.dma->stats().queue_peak);
+    }
+  }
   for (const Channel& ch : channels_) {
     if (!ch.checker) continue;
     result.protocol_violations += ch.checker->violations().size();
@@ -608,7 +653,7 @@ RunResult System::run(const wl::WorkloadInstance& instance,
       result.error = "AXI protocol violation: " +
                      ch.checker->violations().front().rule + " — " +
                      ch.checker->violations().front().detail;
-      return result;
+      return false;
     }
   }
   if (result.failed_ops > 0) {
@@ -617,9 +662,79 @@ RunResult System::run(const wl::WorkloadInstance& instance,
     // diffing it against the reference.
     result.correct = false;
     result.error = "unrecoverable memory fault";
+    return false;
+  }
+  return true;
+}
+
+RunResult System::run(const wl::WorkloadInstance& instance,
+                      sim::Cycle max_cycles) {
+  vproc::Processor& proc = processor();
+  RunResult result;
+  result.bus_bits = bus_bytes_ * 8;
+  clear_latency_histograms();
+  const StatSnapshot snap = snapshot_stats();
+  const sim::Counters counters_start = proc.counters();
+
+  proc.run(instance.program);
+  const sim::RunStatus finished = run_until_drained(max_cycles);
+  result.cycles = kernel_.now() - snap.start;
+  result.channels =
+      static_cast<unsigned>(std::max<std::size_t>(1, channels_.size()));
+  if (!finished) {
+    result.error = "timeout";
     return result;
   }
+
+  result.activity = proc.counters().diff(counters_start);
+  if (!collect_stats(result, snap)) return result;
   result.correct = instance.check(*store_, result.error);
+  return result;
+}
+
+RunResult System::run_open_loop(sim::Cycle measure_cycles,
+                                sim::Cycle max_cycles) {
+  if (!driver_) {
+    // Must fail loudly even in assert-free builds: without traffic() there
+    // is no arrival process to run.
+    std::fprintf(stderr,
+                 "System::run_open_loop: system was built without "
+                 "SystemBuilder::traffic()\n");
+    std::abort();
+  }
+  RunResult result;
+  result.bus_bits = bus_bytes_ * 8;
+  clear_latency_histograms();
+  const StatSnapshot snap = snapshot_stats();
+
+  driver_->arm(kernel_.now() + measure_cycles);
+  kernel_.run(measure_cycles);
+  // Arrivals have stopped; let every in-flight request complete.
+  const sim::RunStatus finished = run_until_drained(max_cycles);
+  result.cycles = kernel_.now() - snap.start;
+  result.channels =
+      static_cast<unsigned>(std::max<std::size_t>(1, channels_.size()));
+  if (!finished) {
+    result.error = "timeout";
+    return result;
+  }
+
+  const bool ok = collect_stats(result, snap);
+  // The driver's sojourn measurements (arrival -> completion, including
+  // ring-slot wait) subsume nothing the masters recorded: the sg engine
+  // only stamps push/chain descriptors, never ring ordinals.
+  result.latency.merge(driver_->latency());
+  result.offered_rate = driver_->offered_rate();
+  result.achieved_rate = driver_->achieved_rate();
+  result.queue_peak =
+      std::max(result.queue_peak, driver_->stats().queue_peak);
+  if (!ok) return result;
+  if (driver_->stats().failed != 0) {
+    result.correct = false;
+    result.error = "open-loop request completed with error";
+    return result;
+  }
+  result.correct = driver_->verify(result.error);
   return result;
 }
 
@@ -655,6 +770,14 @@ std::string RunResult::to_json() const {
   w.key("retry_timeouts").value(retry_timeouts);
   w.key("failed_ops").value(failed_ops);
   w.key("degraded").value(degraded);
+  w.key("latency_p50").value(latency.percentile(50.0));
+  w.key("latency_p95").value(latency.percentile(95.0));
+  w.key("latency_p99").value(latency.percentile(99.0));
+  w.key("latency_max").value(latency.max());
+  w.key("latency_count").value(latency.count());
+  w.key("offered_rate").value(offered_rate);
+  w.key("achieved_rate").value(achieved_rate);
+  w.key("queue_peak").value(queue_peak);
   w.key("per_channel").begin_array();
   for (const ChannelRunStats& cs : per_channel) {
     w.begin_object();

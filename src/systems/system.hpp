@@ -21,6 +21,8 @@
 #include "pack/adapter.hpp"
 #include "sim/kernel.hpp"
 #include "systems/builder.hpp"
+#include "traffic/driver.hpp"
+#include "util/histogram.hpp"
 #include "vproc/processor.hpp"
 #include "workloads/workloads.hpp"
 
@@ -90,6 +92,20 @@ struct RunResult {
   std::uint64_t retry_timeouts = 0;
   std::uint64_t failed_ops = 0;
   bool degraded = false;
+  // Per-request latency over the run, merged across every master
+  // (processor accept->retire stamps, DMA descriptor arrival->completion)
+  // and — on open-loop runs — the traffic driver's sojourn measurements
+  // (arrival -> completion event, including ring-slot wait). Empty when
+  // nothing retired (e.g. raw-port harness runs).
+  util::Histogram latency;
+  // Open-loop load metrics (zero on closed-loop runs): requests per 100k
+  // cycles offered by the arrival process vs completed inside the
+  // measurement window, and the in-system high-water mark (software
+  // backlog + occupied ring slots). achieved < offered means the system
+  // saturated below the offered rate.
+  double offered_rate = 0.0;
+  double achieved_rate = 0.0;
+  std::uint64_t queue_peak = 0;
 
   /// Fraction of dram accesses served from the open row (0 when the run
   /// did not touch a dram backend).
@@ -188,9 +204,44 @@ class System {
   RunResult run(const wl::WorkloadInstance& instance,
                 sim::Cycle max_cycles = 200'000'000);
 
+  /// The open-loop traffic driver, or null when the system was built
+  /// without SystemBuilder::traffic().
+  traffic::OpenLoopDriver* traffic_driver() { return driver_.get(); }
+  /// Runs the open-loop traffic stream (builder::traffic() required —
+  /// aborts loudly otherwise): arms the driver, generates arrivals for
+  /// `measure_cycles`, drains every in-flight request, and reports
+  /// latency percentiles, offered/achieved rates and the queue high-water
+  /// mark alongside the usual fabric measurements. Data correctness is
+  /// verified by diffing every touched destination group against a
+  /// recomputed reference gather.
+  RunResult run_open_loop(sim::Cycle measure_cycles = 400'000,
+                          sim::Cycle max_cycles = 200'000'000);
+
  private:
   friend class SystemBuilder;
   explicit System(const SystemBuilder& b);
+
+  /// Pre-run snapshot of every accumulating counter a RunResult diffs
+  /// (shared by run() and run_open_loop()).
+  struct StatSnapshot {
+    sim::Cycle start = 0;
+    sim::FaultStats faults;
+    sim::RetryStats retry;
+    std::vector<axi::BusStats> bus;
+    std::vector<mem::MemoryBackendStats> mem;
+    std::vector<pack::CoalescerStats> co;
+    std::vector<pack::IndirectWordStats> iw;
+  };
+  StatSnapshot snapshot_stats() const;
+  /// Sums the master-side recovery counters over every processor and DMA.
+  sim::RetryStats aggregate_retry() const;
+  /// Resets every per-request latency histogram a run merges.
+  void clear_latency_histograms();
+  /// Fills the fabric/backend/fault/retry measurements of `result`
+  /// (requires result.cycles set) and merges the latency histograms.
+  /// Returns false — with result.correct/error set — on a hard failure
+  /// (protocol violation without a fault plan, unrecoverable fault).
+  bool collect_stats(RunResult& result, const StatSnapshot& snap);
 
   struct Master {
     SystemBuilder::MasterKind kind;
@@ -224,6 +275,9 @@ class System {
   std::vector<Channel> channels_;
   std::vector<std::unique_ptr<axi::ChannelRouter>> routers_;
   std::unique_ptr<sim::FaultPlan> fault_plan_;  ///< null = fault-free
+  /// Open-loop traffic driver + its scatter-gather master (traffic()).
+  std::unique_ptr<traffic::OpenLoopDriver> driver_;
+  MasterId sg_master_ = 0;  ///< valid only when driver_ != null
 };
 
 }  // namespace axipack::sys

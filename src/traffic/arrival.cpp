@@ -1,0 +1,70 @@
+#include "traffic/arrival.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace axipack::traffic {
+
+namespace {
+
+/// splitmix64 — same decision hash FaultPlan uses.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform draw in (0, 1] from (seed, ordinal) — never 0, so log() is
+/// always finite.
+double uniform01(std::uint64_t seed, std::uint64_t ordinal) {
+  const std::uint64_t h =
+      mix(seed ^ (ordinal * 0xc2b2ae3d27d4eb4full));
+  return (static_cast<double>(h >> 11) + 1.0) / 9007199254740992.0;
+}
+
+}  // namespace
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig& cfg) : cfg_(cfg) {
+  if (cfg_.rate_per_100k > 0) {
+    mean_gap_ = 100000.0 / static_cast<double>(cfg_.rate_per_100k);
+  }
+}
+
+sim::Cycle ArrivalProcess::poisson_gap(std::uint64_t ordinal) const {
+  const double u = uniform01(cfg_.seed, ordinal);
+  const double gap = -mean_gap_ * std::log(u);
+  return static_cast<sim::Cycle>(std::llround(gap));
+}
+
+sim::Cycle ArrivalProcess::arrival_cycle(std::uint64_t ordinal) const {
+  assert(enabled() && "arrival_cycle on a disabled process");
+  switch (cfg_.kind) {
+    case ArrivalKind::fixed:
+      return static_cast<sim::Cycle>(
+          std::llround(static_cast<double>(ordinal + 1) * mean_gap_));
+    case ArrivalKind::bursty: {
+      const std::uint64_t burst = ordinal / cfg_.burst_len;
+      const std::uint64_t within = ordinal % cfg_.burst_len;
+      const auto burst_start = static_cast<sim::Cycle>(std::llround(
+          static_cast<double>(burst * cfg_.burst_len) * mean_gap_));
+      const auto on_gap = std::max<sim::Cycle>(
+          1, static_cast<sim::Cycle>(
+                 std::llround(mean_gap_ / cfg_.burst_speedup)));
+      return burst_start + within * on_gap;
+    }
+    case ArrivalKind::poisson: {
+      // Prefix-sum of hashed exponential gaps, memoized in order.
+      while (poisson_memo_.size() <= ordinal) {
+        const std::uint64_t i = poisson_memo_.size();
+        const sim::Cycle prev = i == 0 ? 0 : poisson_memo_[i - 1];
+        poisson_memo_.push_back(prev + poisson_gap(i));
+      }
+      return poisson_memo_[ordinal];
+    }
+  }
+  return 0;  // unreachable
+}
+
+}  // namespace axipack::traffic

@@ -1,0 +1,63 @@
+// Seeded, deterministic arrival processes for open-loop load generation.
+//
+// Every process is a pure function of (seed, ordinal): the cycle at which
+// request i arrives depends on nothing the simulation does, the same
+// counter-hash trick FaultPlan uses for injection decisions. That is what
+// keeps gated and naive kernels cycle-identical under load — an arrival
+// can never move because a component slept through a cycle.
+//
+// Rates are expressed as requests per 100,000 cycles (the `-p{RATE}`
+// scenario knob), so integer knob values cover the whole useful range
+// from a trickle to well past saturation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace axipack::traffic {
+
+enum class ArrivalKind : std::uint8_t {
+  fixed,    ///< metronome: one request every mean gap
+  poisson,  ///< exponential inter-arrivals from a counter hash
+  bursty,   ///< on/off: bursts of back-to-back requests, then silence
+};
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::poisson;
+  /// Mean arrival rate in requests per 100,000 cycles. 0 disables the
+  /// generator entirely (a zero-rate run must behave like closed loop).
+  std::uint32_t rate_per_100k = 0;
+  std::uint64_t seed = 42;
+  /// bursty only: requests per burst. The long-run mean rate stays
+  /// `rate_per_100k`; inside a burst requests arrive `burst_speedup`
+  /// times faster than the mean gap.
+  std::uint32_t burst_len = 8;
+  std::uint32_t burst_speedup = 8;
+};
+
+class ArrivalProcess {
+ public:
+  explicit ArrivalProcess(const ArrivalConfig& cfg);
+
+  bool enabled() const { return cfg_.rate_per_100k > 0; }
+  const ArrivalConfig& config() const { return cfg_; }
+
+  /// Cycle offset (from the start of generation) at which request
+  /// `ordinal` arrives. Strictly a function of (seed, ordinal);
+  /// non-decreasing in `ordinal`. Must not be called when disabled.
+  sim::Cycle arrival_cycle(std::uint64_t ordinal) const;
+
+ private:
+  sim::Cycle poisson_gap(std::uint64_t ordinal) const;
+
+  ArrivalConfig cfg_;
+  double mean_gap_ = 0.0;
+  /// Memoized Poisson prefix sums. Filled on demand in ordinal order;
+  /// contents depend only on (seed, ordinal), never on simulation state,
+  /// so lazy filling cannot break determinism.
+  mutable std::vector<sim::Cycle> poisson_memo_;
+};
+
+}  // namespace axipack::traffic

@@ -1,0 +1,80 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace axipack::util {
+
+unsigned Histogram::bucket_of(std::uint64_t v) {
+  return v == 0 ? 0u : static_cast<unsigned>(std::bit_width(v));
+}
+
+std::uint64_t Histogram::bucket_lo(unsigned i) {
+  return i == 0 ? 0ull : 1ull << (i - 1);
+}
+
+std::uint64_t Histogram::bucket_hi(unsigned i) {
+  if (i == 0) return 0;
+  if (i == 64) return ~0ull;
+  return (1ull << i) - 1;
+}
+
+void Histogram::record(std::uint64_t v) {
+  ++counts_[bucket_of(v)];
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+void Histogram::merge(const Histogram& o) {
+  for (unsigned i = 0; i < kBuckets; ++i) counts_[i] += o.counts_[i];
+  count_ += o.count_;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+void Histogram::clear() { *this = Histogram{}; }
+
+double Histogram::mean() const {
+  return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                : 0.0;
+}
+
+double Histogram::value_at_rank(std::uint64_t r) const {
+  // The extreme ranks are known exactly regardless of bucketing.
+  if (r == 0) return static_cast<double>(min_);
+  if (r + 1 >= count_) return static_cast<double>(max_);
+  std::uint64_t seen = 0;
+  for (unsigned i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = counts_[i];
+    if (r < seen + c) {
+      // Clamp the bucket span to the observed extremes so the first and
+      // last buckets don't report values that were never seen.
+      const double lo =
+          static_cast<double>(std::max(bucket_lo(i), min_));
+      const double hi =
+          static_cast<double>(std::min(bucket_hi(i), max_));
+      if (c == 1) return lo == hi ? lo : (lo + hi) / 2.0;
+      const double pos = static_cast<double>(r - seen);
+      return lo + (hi - lo) * pos / static_cast<double>(c - 1);
+    }
+    seen += c;
+  }
+  return static_cast<double>(max_);
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double fr = p / 100.0 * static_cast<double>(count_ - 1);
+  const std::uint64_t lo_rank = static_cast<std::uint64_t>(fr);
+  const double frac = fr - static_cast<double>(lo_rank);
+  const double lo = value_at_rank(lo_rank);
+  if (frac == 0.0) return lo;
+  const double hi = value_at_rank(lo_rank + 1);
+  return lo + (hi - lo) * frac;
+}
+
+}  // namespace axipack::util

@@ -1,0 +1,62 @@
+// Fixed-bucket log2 latency histogram.
+//
+// Values are binned by bit width: bucket 0 holds the value 0, bucket k
+// (k >= 1) holds [2^(k-1), 2^k). Recording is O(1) with no allocation, so
+// the timing models can stamp every request without perturbing the hot
+// path, and two histograms merge by adding bucket counts — per-master
+// histograms aggregate into one RunResult exactly, in any order.
+//
+// Percentiles are reconstructed from the bucket counts: samples inside a
+// bucket are assumed evenly spread across it, with the bucket range
+// clamped to the observed global [min, max] so p0 == min and p100 == max
+// are exact. Single-sample buckets report their clamped midpoint. This
+// keeps the error of any quantile below one octave while storing only
+// 65 counters per histogram.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace axipack::util {
+
+class Histogram {
+ public:
+  /// Bucket 0 is the exact value 0; bucket k >= 1 spans [2^(k-1), 2^k).
+  static constexpr unsigned kBuckets = 65;
+
+  void record(std::uint64_t v);
+  /// Adds `o`'s samples to this histogram. Associative and commutative.
+  void merge(const Histogram& o);
+  void clear();
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  /// Smallest / largest recorded value; 0 when empty.
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return count_ ? max_ : 0; }
+  double mean() const;
+
+  /// Quantile at `p` in [0, 100]; 0.0 when empty. p is clamped.
+  /// percentile(0) == min(), percentile(100) == max() exactly.
+  double percentile(double p) const;
+
+  std::uint64_t bucket_count(unsigned i) const { return counts_[i]; }
+
+  static unsigned bucket_of(std::uint64_t v);
+  /// Inclusive bucket bounds: [bucket_lo(i), bucket_hi(i)].
+  static std::uint64_t bucket_lo(unsigned i);
+  static std::uint64_t bucket_hi(unsigned i);
+
+ private:
+  /// Value of the sample at 0-based rank `r` (samples sorted ascending),
+  /// interpolated within its bucket.
+  double value_at_rank(std::uint64_t r) const;
+
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace axipack::util

@@ -10,6 +10,7 @@
 #include "mem/backing_store.hpp"
 #include "sim/fault.hpp"
 #include "sim/probe.hpp"
+#include "util/histogram.hpp"
 #include "vproc/program.hpp"
 #include "vproc/vrf.hpp"
 
@@ -125,6 +126,11 @@ struct ProcContext {
   // load and store units — "one port per lane").
   unsigned ideal_budget = 0;
   std::uint64_t ideal_busy_words = 0;  ///< total words moved (utilization)
+
+  // Per-request latency of retired memory ops (accept -> retire, in
+  // cycles). Stamped once at first issue — fault replays keep the original
+  // stamp — and aggregated into RunResult by System::run.
+  util::Histogram mem_latency;
 
   // Fault handling (all zero in fault-free runs).
   sim::RetryStats retry_stats;

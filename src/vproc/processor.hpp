@@ -42,6 +42,7 @@ class Processor final : public sim::Component {
   bool quiescent() const override { return done(); }
 
   ProcContext& context() { return ctx_; }
+  const ProcContext& context() const { return ctx_; }
   const sim::Counters& counters() const { return ctx_.counters; }
 
  private:

@@ -17,6 +17,9 @@ void LoadUnit::accept(const OpRef& op) {
   assert(can_accept());
   Active a;
   a.op = op;
+  // First-issue latency stamp: replays after a fault keep this value, so
+  // retries never double-count a request's latency.
+  a.accept_cycle = now_;
   const VecOp& v = op->op;
   const unsigned bus = ctx_.cfg.bus_bytes;
   if (ctx_.cfg.mode != VlsuMode::ideal) {
@@ -322,6 +325,7 @@ void LoadUnit::tick() {
   }
   // Retire the front op once fully received.
   while (!q_.empty() && q_.front().elems_rx >= q_.front().op->op.vl) {
+    ctx_.mem_latency.record(now_ - q_.front().accept_cycle);
     ctx_.retire(q_.front().op);
     q_.pop_front();
   }
@@ -334,6 +338,7 @@ void StoreUnit::accept(const OpRef& op) {
   assert(can_accept());
   Active a;
   a.op = op;
+  a.accept_cycle = now_;
   const VecOp& v = op->op;
   const unsigned bus = ctx_.cfg.bus_bytes;
   if (ctx_.cfg.mode != VlsuMode::ideal) {
@@ -671,6 +676,7 @@ void StoreUnit::tick() {
     tick_ideal();
     while (!q_.empty() && q_.front().elems_tx >= q_.front().op->op.vl &&
            q_.front().b_received > 0) {
+      ctx_.mem_latency.record(now_ - q_.front().accept_cycle);
       ctx_.retire(q_.front().op);
       q_.pop_front();
     }
@@ -687,6 +693,7 @@ void StoreUnit::tick() {
       // A faulted op may have its full B count (the error response is a B
       // too) — it must stay queued until tick_retry resolves it.
       if (a.fault || !a.all_w_sent || a.b_received < expect) break;
+      ctx_.mem_latency.record(now_ - a.accept_cycle);
       ctx_.retire(a.op);
       q_.pop_front();
     }

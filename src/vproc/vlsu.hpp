@@ -41,6 +41,8 @@ class LoadUnit {
     std::uint64_t bursts_done = 0;  ///< issued bursts fully received
     std::uint64_t start_cycle = 0;  ///< ideal mode: when op became active
     bool started = false;
+    std::uint64_t accept_cycle = 0;  ///< first-issue latency stamp
+
     // Fault handling: an errored beat freezes element progress (its payload
     // and everything after it is discarded); once the attempt drains the op
     // is either replayed from scratch or force-failed.
@@ -94,6 +96,7 @@ class StoreUnit {
     unsigned b_received = 0;
     std::uint64_t start_cycle = 0;
     bool started = false;
+    std::uint64_t accept_cycle = 0;  ///< first-issue latency stamp
     bool all_w_sent = false;
     // Fault handling (see LoadUnit::Active): stores are idempotent, so a
     // replay simply re-sends every AW/W of the op.

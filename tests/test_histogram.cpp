@@ -1,0 +1,204 @@
+// Unit tests for the log2-bucket latency histogram: bucket boundaries,
+// percentile interpolation, merge associativity, and empty/one-sample
+// edge cases.
+#include "util/histogram.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include "test_common.hpp"
+
+namespace {
+
+using axipack::util::Histogram;
+
+TEST(HistogramBuckets, ZeroHasItsOwnBucket) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_lo(0), 0ull);
+  EXPECT_EQ(Histogram::bucket_hi(0), 0ull);
+}
+
+TEST(HistogramBuckets, PowerOfTwoBoundaries) {
+  // Bucket k >= 1 spans [2^(k-1), 2^k): each power of two opens a new
+  // bucket and the value just below it closes the previous one.
+  for (unsigned k = 1; k < 64; ++k) {
+    const std::uint64_t lo = 1ull << (k - 1);
+    EXPECT_EQ(Histogram::bucket_of(lo), k);
+    EXPECT_EQ(Histogram::bucket_of(2 * lo - 1), k);
+    EXPECT_EQ(Histogram::bucket_lo(k), lo);
+    EXPECT_EQ(Histogram::bucket_hi(k), 2 * lo - 1);
+  }
+  EXPECT_EQ(Histogram::bucket_of(~0ull), 64u);
+  EXPECT_EQ(Histogram::bucket_hi(64), ~0ull);
+}
+
+TEST(HistogramBuckets, RecordLandsInTheRightBucket) {
+  Histogram h;
+  h.record(0);
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  h.record(4);
+  h.record(1023);
+  EXPECT_EQ(h.bucket_count(0), 1ull);  // {0}
+  EXPECT_EQ(h.bucket_count(1), 1ull);  // {1}
+  EXPECT_EQ(h.bucket_count(2), 2ull);  // {2, 3}
+  EXPECT_EQ(h.bucket_count(3), 1ull);  // {4}
+  EXPECT_EQ(h.bucket_count(10), 1ull);  // {1023}
+  EXPECT_EQ(h.count(), 6ull);
+  EXPECT_EQ(h.min(), 0ull);
+  EXPECT_EQ(h.max(), 1023ull);
+  EXPECT_EQ(h.sum(), 1033ull);
+}
+
+TEST(HistogramEdges, EmptyReportsZeroes) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0ull);
+  EXPECT_EQ(h.min(), 0ull);
+  EXPECT_EQ(h.max(), 0ull);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.0), 0.0);
+  EXPECT_EQ(h.percentile(50.0), 0.0);
+  EXPECT_EQ(h.percentile(100.0), 0.0);
+}
+
+TEST(HistogramEdges, SingleSampleIsExactEverywhere) {
+  Histogram h;
+  h.record(42);
+  // 42 sits mid-bucket ([32, 63]) but min==max clamps the span, so every
+  // quantile is exact.
+  EXPECT_EQ(h.percentile(0.0), 42.0);
+  EXPECT_EQ(h.percentile(50.0), 42.0);
+  EXPECT_EQ(h.percentile(99.0), 42.0);
+  EXPECT_EQ(h.percentile(100.0), 42.0);
+  EXPECT_EQ(h.mean(), 42.0);
+}
+
+TEST(HistogramEdges, ClearResets) {
+  Histogram h;
+  h.record(7);
+  h.record(9000);
+  h.clear();
+  EXPECT_EQ(h.count(), 0ull);
+  EXPECT_EQ(h.percentile(99.0), 0.0);
+  h.record(5);
+  EXPECT_EQ(h.percentile(50.0), 5.0);
+}
+
+TEST(HistogramPercentiles, ExtremesMatchMinMax) {
+  Histogram h;
+  h.record(3);
+  h.record(900);
+  h.record(17);
+  h.record(64);
+  EXPECT_EQ(h.percentile(0.0), 3.0);
+  EXPECT_EQ(h.percentile(100.0), 900.0);
+}
+
+TEST(HistogramPercentiles, FullBucketInterpolatesExactly) {
+  // {4,5,6,7} fill bucket 3 ([4,7]) completely: even spreading across
+  // the bucket reconstructs each sample exactly.
+  Histogram h;
+  for (std::uint64_t v = 4; v <= 7; ++v) h.record(v);
+  EXPECT_EQ(h.percentile(0.0), 4.0);
+  EXPECT_NEAR(h.percentile(100.0 / 3.0), 5.0, 1e-9);
+  EXPECT_NEAR(h.percentile(200.0 / 3.0), 6.0, 1e-9);
+  EXPECT_EQ(h.percentile(100.0), 7.0);
+  // p50 falls between ranks 1 and 2 -> linear interpolation.
+  EXPECT_NEAR(h.percentile(50.0), 5.5, 1e-9);
+}
+
+TEST(HistogramPercentiles, SmallSetMatchesExactQuantiles) {
+  Histogram h;
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  // Buckets: {1} alone, {2,3} spread over [2,3] exactly.
+  EXPECT_EQ(h.percentile(0.0), 1.0);
+  EXPECT_NEAR(h.percentile(50.0), 2.0, 1e-9);
+  EXPECT_EQ(h.percentile(100.0), 3.0);
+}
+
+TEST(HistogramPercentiles, MonotoneInP) {
+  Histogram h;
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 1000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    h.record((x >> 33) % 100000);
+  }
+  double prev = -1.0;
+  for (int p = 0; p <= 100; p += 5) {
+    const double v = h.percentile(static_cast<double>(p));
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_LE(h.percentile(50.0), h.percentile(95.0));
+  EXPECT_LE(h.percentile(95.0), h.percentile(99.0));
+  EXPECT_LE(h.percentile(99.0), static_cast<double>(h.max()));
+}
+
+TEST(HistogramMerge, MergeEqualsRecordingEverything) {
+  Histogram a, b, all;
+  for (std::uint64_t v : {1ull, 5ull, 70ull, 3000ull}) {
+    a.record(v);
+    all.record(v);
+  }
+  for (std::uint64_t v : {0ull, 2ull, 900ull}) {
+    b.record(v);
+    all.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.sum(), all.sum());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  for (unsigned i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(a.bucket_count(i), all.bucket_count(i));
+  }
+  EXPECT_EQ(a.percentile(99.0), all.percentile(99.0));
+}
+
+TEST(HistogramMerge, Associative) {
+  Histogram a, b, c;
+  std::uint64_t x = 99;
+  for (int i = 0; i < 50; ++i) {
+    x = x * 2862933555777941757ull + 3037000493ull;
+    const std::uint64_t v = (x >> 40) + (i % 3);
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).record(v);
+  }
+  // (a + b) + c
+  Histogram left = a;
+  left.merge(b);
+  left.merge(c);
+  // a + (b + c)
+  Histogram right_tail = b;
+  right_tail.merge(c);
+  Histogram right = a;
+  right.merge(right_tail);
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_EQ(left.sum(), right.sum());
+  EXPECT_EQ(left.min(), right.min());
+  EXPECT_EQ(left.max(), right.max());
+  for (unsigned i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(left.bucket_count(i), right.bucket_count(i));
+  }
+  for (double p : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_EQ(left.percentile(p), right.percentile(p));
+  }
+}
+
+TEST(HistogramMerge, MergingEmptyIsIdentity) {
+  Histogram h, empty;
+  h.record(11);
+  h.record(300);
+  const double p99 = h.percentile(99.0);
+  h.merge(empty);
+  EXPECT_EQ(h.count(), 2ull);
+  EXPECT_EQ(h.percentile(99.0), p99);
+  Histogram other;
+  other.merge(h);
+  EXPECT_EQ(other.min(), 11ull);
+  EXPECT_EQ(other.max(), 300ull);
+}
+
+}  // namespace

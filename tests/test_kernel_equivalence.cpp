@@ -365,6 +365,39 @@ TEST(KernelEquivalence, EveryHeadlineWorkloadKind) {
   }
 }
 
+TEST(KernelEquivalence, OpenLoopTrafficStaysCycleIdentical) {
+  // The open-loop subsystem sleeps between arrivals via wake_hint, so it is
+  // exactly the kind of component that could desynchronize the gated
+  // kernel. Latency percentiles, rates and queue peaks — not just cycle
+  // counts — must match the naive kernel on every arrival shape: smooth
+  // Poisson, bursty, multi-channel, coalesced and fault-injected.
+  for (const std::string name :
+       {std::string("base-256-dram-p80"), std::string("pack-256-dram-p160"),
+        std::string("pack-256-dram-p80-b16"),
+        std::string("pack-256-dram-x512-g16-ch2-p160"),
+        std::string("pack-256-dram-f50-r4-p80")}) {
+    sys::RunResult res[2];
+    for (const bool naive : {false, true}) {
+      auto b = sys::ScenarioRegistry::instance().builder(name);
+      b.naive_kernel(naive);
+      res[naive] = b.build()->run_open_loop(60'000, 10'000'000);
+      ASSERT_TRUE(res[naive].correct) << name << ": " << res[naive].error;
+    }
+    EXPECT_EQ(res[0].cycles, res[1].cycles) << name;
+    EXPECT_EQ(res[0].latency.count(), res[1].latency.count()) << name;
+    EXPECT_EQ(res[0].latency.percentile(50), res[1].latency.percentile(50))
+        << name;
+    EXPECT_EQ(res[0].latency.percentile(99), res[1].latency.percentile(99))
+        << name;
+    EXPECT_EQ(res[0].latency.max(), res[1].latency.max()) << name;
+    EXPECT_EQ(res[0].offered_rate, res[1].offered_rate) << name;
+    EXPECT_EQ(res[0].achieved_rate, res[1].achieved_rate) << name;
+    EXPECT_EQ(res[0].queue_peak, res[1].queue_peak) << name;
+    EXPECT_EQ(res[0].retries, res[1].retries) << name;
+    EXPECT_EQ(res[0].faults_injected, res[1].faults_injected) << name;
+  }
+}
+
 TEST(KernelEquivalence, SensitivityHarness) {
   for (const bool indirect : {false, true}) {
     sys::SensitivityConfig cfg;

@@ -158,7 +158,7 @@ TEST(MemoryBackends, RepeatedKnobNamesTheOffender) {
   // A repeated knob must be rejected with a diagnostic naming the knob —
   // historically it disengaged silently and surfaced only as a generic
   // "unknown scenario" abort far from the typo.
-  for (const char knob : {'w', 'c', 'q', 'x', 'g', 'f', 'r'}) {
+  for (const char knob : {'w', 'c', 'q', 'x', 'g', 'f', 'r', 'p', 'b'}) {
     const std::string name = std::string("pack-256-dram-") + knob + "4-" +
                              knob + "8";
     std::string error;
@@ -181,6 +181,49 @@ TEST(MemoryBackends, RepeatedKnobNamesTheOffender) {
   // Valid parametric points still parse with the diagnostic parameter set.
   EXPECT_TRUE(sys::parse_scenario("pack-256-dram-w8-c16", &error).has_value());
   EXPECT_TRUE(error.empty()) << error;
+}
+
+TEST(OpenLoopScenarios, TrafficKnobsParse) {
+  auto& reg = ScenarioRegistry::instance();
+  // -p{RATE} (requests per 100k cycles) and -b{BURST} compose with every
+  // other knob, in any order.
+  EXPECT_TRUE(reg.contains("pack-256-dram-p40"));
+  EXPECT_TRUE(reg.contains("base-128-dram-p160"));
+  EXPECT_TRUE(reg.contains("pack-256-dram-p80-b16"));
+  EXPECT_TRUE(reg.contains("pack-256-dram-b16-p80"));  // order-free
+  EXPECT_TRUE(reg.contains("pack-256-dram-x512-g16-ch2-p320"));
+  EXPECT_TRUE(reg.contains("pack-256-dram-f50-r4-p80"));
+  // Zero rate / zero burst are malformed, not "disabled".
+  EXPECT_FALSE(reg.contains("pack-256-dram-p0"));
+  EXPECT_FALSE(reg.contains("pack-256-dram-p40-b0"));
+  // Named open-loop scenarios are registered.
+  EXPECT_TRUE(reg.contains("open-loop-base-dram"));
+  EXPECT_TRUE(reg.contains("open-loop-pack-dram"));
+  EXPECT_TRUE(reg.contains("open-loop-coalesce-dram"));
+}
+
+TEST(OpenLoopScenarios, BurstWithoutRateNamesTheProblem) {
+  // A burst length with no arrival rate shapes nothing: loud diagnostic,
+  // like repeated knobs, instead of silently running closed-loop.
+  std::string error;
+  EXPECT_FALSE(sys::parse_scenario("pack-256-dram-b16", &error).has_value());
+  EXPECT_NE(error.find("'-b16'"), std::string::npos) << error;
+  EXPECT_NE(error.find("-p{R}"), std::string::npos) << error;
+}
+
+TEST(OpenLoopScenarios, TrafficKnobBuildsADriverAndKeepsMasterNumbering) {
+  // -p attaches the sg master last: master 0 stays the processor and -m
+  // numbering is unchanged relative to the closed-loop family member.
+  auto system = ScenarioRegistry::instance().build("pack-256-dram-p40");
+  EXPECT_NE(system->traffic_driver(), nullptr);
+  EXPECT_TRUE(system->is_processor(0));
+  EXPECT_TRUE(system->is_dma(system->num_masters() - 1));
+  // The narrow variant's sg engine must also be narrow (that asymmetry is
+  // the whole open-loop comparison).
+  auto base = ScenarioRegistry::instance().build("base-256-dram-p40");
+  EXPECT_FALSE(base->dma(base->num_masters() - 1).config().use_pack);
+  auto pack = ScenarioRegistry::instance().build("pack-256-dram-p40");
+  EXPECT_TRUE(pack->dma(pack->num_masters() - 1).config().use_pack);
 }
 
 TEST(MemoryBackends, SchedWindowScenarioRunsAndShiftsHitRatio) {

@@ -32,7 +32,9 @@ RUN_FIELDS = {"cycles", "r_util", "correct", "row_hit_ratio",
               "coalesce_merged", "coalesce_unique", "coalesce_peak_pending",
               "coalesce_row_groups",
               "faults_injected", "faults_corrected", "faults_uncorrectable",
-              "retries", "retry_timeouts", "failed_ops", "degraded"}
+              "retries", "retry_timeouts", "failed_ops", "degraded",
+              "latency_p50", "latency_p95", "latency_p99", "latency_max",
+              "latency_count", "offered_rate", "achieved_rate", "queue_peak"}
 
 
 KERNEL_FIELDS = {"seed", "hardware_threads", "gated_serial_ms",
@@ -44,7 +46,7 @@ KERNEL_FIELDS = {"seed", "hardware_threads", "gated_serial_ms",
                  "channel_scaling",
                  "sim_cycles_total", "sim_cycles_per_sec_gated_serial",
                  "cycle_identical_naive_vs_gated", "all_workloads_verified",
-                 "thread_scaling"}
+                 "open_loop", "thread_scaling"}
 
 SCALE_POINT_FIELDS = {"threads_requested", "threads_effective",
                       "oversubscribed", "wall_ms", "dram_wall_ms"}
@@ -115,6 +117,41 @@ def check_kernel_file(path, doc):
     if not cs["pass"]:
         fail(path, f"channel scaling {cs['scaling_2ch']:.2f}x below the "
                    f"{cs['floor']}x floor")
+    # Open-loop latency gate: the three SLO-knee curves are present and
+    # internally consistent, the recorded knee ratio matches the knees, the
+    # floor comparison matches the pass flag, and the gated-vs-naive
+    # open-loop identity check passed.
+    ol = doc["open_loop"]
+    for field in ("slo_p99", "rates", "base", "pack", "coalesce",
+                  "knee_ratio", "floor", "pass", "identical"):
+        if field not in ol:
+            fail(path, f"open_loop missing field {field!r}")
+    for label in ("base", "pack", "coalesce"):
+        curve = ol[label]
+        if len(curve["p99"]) != len(ol["rates"]):
+            fail(path, f"open_loop {label} p99 series length mismatch")
+        if not curve["verified"]:
+            fail(path, f"open_loop {label} curve has unverified points")
+        derived_knee = 0.0
+        for rate, p99 in zip(ol["rates"], curve["p99"]):
+            if p99 <= ol["slo_p99"]:
+                derived_knee = max(derived_knee, rate)
+        if derived_knee != curve["knee"]:
+            fail(path, f"open_loop {label} knee {curve['knee']} "
+                       f"inconsistent with its p99 series "
+                       f"({derived_knee})")
+    derived_ratio = (ol["coalesce"]["knee"] / ol["base"]["knee"]
+                     if ol["base"]["knee"] else 0.0)
+    if abs(derived_ratio - ol["knee_ratio"]) > 1e-6:
+        fail(path, f"open_loop knee_ratio {ol['knee_ratio']} inconsistent "
+                   f"with the recorded knees ({derived_ratio:.3f})")
+    if ol["pass"] != (ol["knee_ratio"] >= ol["floor"]):
+        fail(path, "open_loop pass flag disagrees with the floor")
+    if not ol["pass"]:
+        fail(path, f"open-loop knee ratio {ol['knee_ratio']:.2f}x below "
+                   f"the {ol['floor']}x floor")
+    if not ol["identical"]:
+        fail(path, "open-loop gated vs naive runs diverged")
     print(f"{path}: ok (kernel, {len(points)} thread-scaling point(s), "
           f"{doc['dram_sim_cycles_per_sec']:.0f} dram sim cycles/s)")
 
@@ -185,8 +222,10 @@ def check_file(path):
         # carries the aggregate and per-channel utilization metrics plus
         # the recorded knee, and along each fixed (masters, mapping)
         # curve the aggregate R-util grows monotonically (2% tolerance)
-        # with the channel count up to that knee.
-        if "channels" in axis_values:
+        # with the channel count up to that knee. (The open-loop latency
+        # sweep also crosses channels but sweeps rate — it gets its own
+        # shape check below.)
+        if "channels" in axis_values and "rate" not in axis_values:
             curves = {}
             for point in points:
                 metrics = point.get("metrics") or {}
@@ -215,6 +254,46 @@ def check_file(path):
                                    f"{dict(key)}: {util:.3f} at {ch} "
                                    f"channels < {prev:.3f}")
                     prev = util
+        # The open-loop latency sweep must be self-consistent: every point
+        # carries the latency/rate metrics, achieved never exceeds offered
+        # (small slack for window-edge completions), and each fixed
+        # (system, channels) curve agrees on one knee_rate — the highest
+        # swept rate whose p99 met the SLO — with every above-knee point
+        # violating the SLO (the defining property of a maximum).
+        if "rate" in axis_values:
+            curves = {}
+            for point in points:
+                metrics = point.get("metrics") or {}
+                for field in ("latency_p50", "latency_p95", "latency_p99",
+                              "offered_rate", "achieved_rate", "queue_peak",
+                              "knee_rate", "slo_p99"):
+                    if field not in metrics:
+                        fail(path, f"{name}: open-loop point "
+                                   f"{point['coords']} missing metric "
+                                   f"{field!r}")
+                if (metrics["achieved_rate"]
+                        > metrics["offered_rate"] * 1.02 + 2):
+                    fail(path, f"{name}: point {point['coords']} achieved "
+                               f"more than it offered")
+                if not (metrics["latency_p50"] <= metrics["latency_p95"]
+                        <= metrics["latency_p99"]):
+                    fail(path, f"{name}: point {point['coords']} has "
+                               f"non-monotone latency percentiles")
+                key = tuple(sorted((a, l)
+                                   for a, l in point["coords"].items()
+                                   if a != "rate"))
+                curves.setdefault(key, []).append(metrics)
+            for key, series in curves.items():
+                knees = {m["knee_rate"] for m in series}
+                if len(knees) != 1:
+                    fail(path, f"{name}: curve {dict(key)} disagrees on "
+                               f"knee_rate: {sorted(knees)}")
+                knee = knees.pop()
+                for m in series:
+                    if (m["offered_rate"] > knee
+                            and m["latency_p99"] <= m["slo_p99"]):
+                        fail(path, f"{name}: curve {dict(key)} meets the "
+                                   f"SLO above its recorded knee {knee}")
         # The fault-tolerance sweep must actually inject: the f0 baseline
         # stays clean, every other rate point records injections, and — in
         # quick mode, where CI validates it — no point with the full retry

@@ -27,6 +27,7 @@
 #include "systems/runner.hpp"
 #include "systems/scenario.hpp"
 #include "systems/sweep.hpp"
+#include "systems/system.hpp"
 #include "util/json.hpp"
 #include "workloads/workloads.hpp"
 
@@ -199,6 +200,43 @@ std::vector<sys::WorkloadJob> dram_batched_jobs() {
     jobs.push_back(std::move(job));
   }
   return jobs;
+}
+
+/// Open-loop latency-under-load gate (the PR-10 subsystem): a geometric
+/// rate sweep of the three open-loop systems, each point a 120k-cycle
+/// measured window of Poisson-arriving indirect gathers through the
+/// scatter-gather ring DMA. A curve's knee is the highest swept rate whose
+/// p99 sojourn latency met the SLO; the coalesced PACK system must sustain
+/// >= 1.5x the narrow baseline's knee (measured at seed 42: base 80,
+/// pack 160, coalesce 160 req/100k cycles -> 2.0x).
+constexpr unsigned kOpenLoopRates[] = {10, 20, 40, 80, 160, 320, 640};
+constexpr double kOpenLoopSloP99 = 5000.0;
+constexpr double kOpenLoopKneeFloor = 1.5;
+constexpr unsigned kOpenLoopRefRate = 80;  ///< reference-rate p99 datapoint
+
+struct OpenLoopCurve {
+  std::vector<double> p99;       // per swept rate
+  std::vector<double> achieved;  // per swept rate
+  double knee = 0.0;             // highest rate with p99 <= SLO
+  double p99_at_ref = 0.0;
+  bool correct = true;
+};
+
+OpenLoopCurve run_open_loop_curve(const std::string& stem) {
+  OpenLoopCurve curve;
+  for (const unsigned rate : kOpenLoopRates) {
+    auto system = sys::ScenarioRegistry::instance()
+                      .builder(stem + "-p" + std::to_string(rate))
+                      .build();
+    const sys::RunResult r = system->run_open_loop(120'000, 20'000'000);
+    curve.correct = curve.correct && r.correct;
+    const double p99 = r.latency.percentile(99);
+    curve.p99.push_back(p99);
+    curve.achieved.push_back(r.achieved_rate);
+    if (p99 <= kOpenLoopSloP99 && rate > curve.knee) curve.knee = rate;
+    if (rate == kOpenLoopRefRate) curve.p99_at_ref = p99;
+  }
+  return curve;
 }
 
 /// Runs a job set `repeats` times and keeps the fastest wall-clock pass.
@@ -411,6 +449,42 @@ int main(int argc, char** argv) {
               coalesced_speedups[1], coalesced_speedups[2],
               coalesced_ok ? "ok" : "REGRESSION");
 
+  // 8) Open-loop latency under load: SLO-knee sweep of the three open-loop
+  // systems plus a gated-vs-naive identity check on an open-loop run (the
+  // driver sleeps between arrivals, so it exercises the wake scheduler in
+  // a way no closed-loop set does).
+  const OpenLoopCurve ol_base = run_open_loop_curve("base-256-dram");
+  const OpenLoopCurve ol_pack = run_open_loop_curve("pack-256-dram");
+  const OpenLoopCurve ol_coalesce =
+      run_open_loop_curve("pack-256-dram-x512-g16");
+  const double ol_knee_ratio =
+      ol_base.knee > 0 ? ol_coalesce.knee / ol_base.knee : 0.0;
+  const bool ol_correct =
+      ol_base.correct && ol_pack.correct && ol_coalesce.correct;
+  const bool ol_ok = ol_correct && ol_knee_ratio >= kOpenLoopKneeFloor;
+  std::printf("  open-loop knees (p99 <= %.0f cyc): base %.0f, pack %.0f, "
+              "coalesce %.0f req/100k; coalesce/base %.2fx (floor %.2fx) "
+              "— %s\n",
+              kOpenLoopSloP99, ol_base.knee, ol_pack.knee, ol_coalesce.knee,
+              ol_knee_ratio, kOpenLoopKneeFloor,
+              ol_ok ? "ok" : "REGRESSION");
+  sys::RunResult ol_ident[2];
+  for (const bool nv : {false, true}) {
+    auto b = sys::ScenarioRegistry::instance().builder(
+        "pack-256-dram-p" + std::to_string(kOpenLoopRefRate * 2));
+    b.naive_kernel(nv);
+    ol_ident[nv] = b.build()->run_open_loop(120'000, 20'000'000);
+  }
+  const bool ol_identical =
+      ol_ident[0].cycles == ol_ident[1].cycles &&
+      ol_ident[0].latency.count() == ol_ident[1].latency.count() &&
+      ol_ident[0].latency.percentile(99) ==
+          ol_ident[1].latency.percentile(99) &&
+      ol_ident[0].queue_peak == ol_ident[1].queue_peak &&
+      ol_ident[0].correct && ol_ident[1].correct;
+  std::printf("  open-loop cycle-identical (gated vs naive): %s\n",
+              ol_identical ? "yes" : "NO");
+
   // Cycle-identity across configurations is the hard constraint.
   bool identical = naive.cycles == gated.cycles;
   for (std::size_t i = 0; identical && i < naive.runs.size(); ++i) {
@@ -553,6 +627,33 @@ int main(int argc, char** argv) {
   }
   w.end_array();
   w.end_object();
+  w.key("open_loop").begin_object();
+  w.key("slo_p99").value(kOpenLoopSloP99);
+  w.key("ref_rate").value(kOpenLoopRefRate);
+  w.key("rates").begin_array();
+  for (const unsigned r : kOpenLoopRates) w.value(r);
+  w.end_array();
+  const auto emit_curve = [&w](const char* label, const OpenLoopCurve& c) {
+    w.key(label).begin_object();
+    w.key("knee").value(c.knee);
+    w.key("p99_at_ref").value(c.p99_at_ref);
+    w.key("p99").begin_array();
+    for (const double v : c.p99) w.value(v);
+    w.end_array();
+    w.key("achieved_rate").begin_array();
+    for (const double v : c.achieved) w.value(v);
+    w.end_array();
+    w.key("verified").value(c.correct);
+    w.end_object();
+  };
+  emit_curve("base", ol_base);
+  emit_curve("pack", ol_pack);
+  emit_curve("coalesce", ol_coalesce);
+  w.key("knee_ratio").value(ol_knee_ratio);
+  w.key("floor").value(kOpenLoopKneeFloor);
+  w.key("pass").value(ol_ok);
+  w.key("identical").value(ol_identical);
+  w.end_object();
   w.key("dram_scenarios").begin_array();
   {
     const auto djobs = dram_jobs(false);
@@ -580,7 +681,7 @@ int main(int argc, char** argv) {
 
   return (identical && all_correct && hit_floor_ok && dram_speedup_ok &&
           coalesced_ok && dram_throughput_ok && mc_identical && mc_correct &&
-          ch_scaling_ok)
+          ch_scaling_ok && ol_ok && ol_identical)
              ? 0
              : 1;
 }
